@@ -1,0 +1,195 @@
+// virec-sim — command-line front end for the simulator.
+//
+//   virec-sim --workload gather --scheme virec --threads 8 --ctx 0.8
+//   virec-sim --workload spmv --policy mrt-plru --cores 4 --stats
+//   virec-sim --workload gather --trace --iters 8   # pipeline trace
+//   virec-sim --list
+//
+// Prints runtime, IPC, RF behaviour and (optionally) every counter of
+// every component, in a stable machine-greppable "key value" format.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "area/area_model.hpp"
+#include "cpu/trace.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+
+using namespace virec;
+
+namespace {
+
+struct Options {
+  sim::RunSpec spec;
+  bool list = false;
+  bool stats = false;
+  bool trace = false;
+  bool area = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::cout <<
+      "virec-sim — near-memory multithreading simulator (ViReC reproduction)\n"
+      "\n"
+      "usage: virec-sim [options]\n"
+      "  --workload NAME     kernel to run (default gather; see --list)\n"
+      "  --scheme NAME       banked | software | prefetch-full |\n"
+      "                      prefetch-exact | virec | nsf (default virec)\n"
+      "  --policy NAME       plru | lru | fifo | random | mrt-plru |\n"
+      "                      mrt-lru | lrc (default lrc)\n"
+      "  --threads N         hardware threads per core (default 8)\n"
+      "  --cores N           near-memory processors (default 1)\n"
+      "  --ctx F             context fraction stored on chip (default 0.8)\n"
+      "  --regs N            explicit physical register count\n"
+      "  --iters N           inner iterations per thread (default 256)\n"
+      "  --elements N        data set elements (default 65536)\n"
+      "  --stride N          stride kernel: element stride (default 8)\n"
+      "  --window N          gather_local: locality window (default 512)\n"
+      "  --dcache-bytes N    override dcache capacity\n"
+      "  --dcache-latency N  override dcache hit latency\n"
+      "  --group-spill       enable the group-spill extension\n"
+      "  --switch-prefetch   enable the switch-prefetch extension\n"
+      "  --seed N            workload RNG seed (default 42)\n"
+      "  --trace             print a pipeline trace of core 0\n"
+      "  --stats             dump every component counter\n"
+      "  --area              print the area/delay report for this config\n"
+      "  --list              list workloads and exit\n";
+}
+
+u64 to_u64(const std::string& v) { return std::strtoull(v.c_str(), nullptr, 0); }
+
+bool parse(int argc, char** argv, Options& opt) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--help" || arg == "-h") opt.help = true;
+    else if (arg == "--list") opt.list = true;
+    else if (arg == "--stats") opt.stats = true;
+    else if (arg == "--trace") opt.trace = true;
+    else if (arg == "--area") opt.area = true;
+    else if (arg == "--group-spill") opt.spec.group_spill = true;
+    else if (arg == "--switch-prefetch") opt.spec.switch_prefetch = true;
+    else if (arg == "--workload") opt.spec.workload = value();
+    else if (arg == "--scheme") opt.spec.scheme = sim::parse_scheme(value());
+    else if (arg == "--policy") opt.spec.policy = core::parse_policy(value());
+    else if (arg == "--threads")
+      opt.spec.threads_per_core = static_cast<u32>(to_u64(value()));
+    else if (arg == "--cores")
+      opt.spec.num_cores = static_cast<u32>(to_u64(value()));
+    else if (arg == "--ctx") opt.spec.context_fraction = std::stod(value());
+    else if (arg == "--regs")
+      opt.spec.phys_regs = static_cast<u32>(to_u64(value()));
+    else if (arg == "--iters") opt.spec.params.iters_per_thread = to_u64(value());
+    else if (arg == "--elements") opt.spec.params.elements = to_u64(value());
+    else if (arg == "--stride") opt.spec.params.stride = to_u64(value());
+    else if (arg == "--window")
+      opt.spec.params.locality_window = to_u64(value());
+    else if (arg == "--dcache-bytes")
+      opt.spec.dcache_bytes = static_cast<u32>(to_u64(value()));
+    else if (arg == "--dcache-latency")
+      opt.spec.dcache_latency = static_cast<u32>(to_u64(value()));
+    else if (arg == "--seed") opt.spec.params.seed = to_u64(value());
+    else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.spec.params.iters_per_thread = 256;
+  try {
+    if (!parse(argc, argv, opt)) {
+      print_usage();
+      return 2;
+    }
+    if (opt.help) {
+      print_usage();
+      return 0;
+    }
+    if (opt.list) {
+      for (const workloads::Workload* w : workloads::workload_registry()) {
+        std::cout << w->name() << "\t(" << w->active_regs()
+                  << " active regs)\t" << w->description() << "\n";
+      }
+      return 0;
+    }
+
+    const workloads::Workload& workload =
+        workloads::find_workload(opt.spec.workload);
+    const sim::SystemConfig config = sim::build_config(opt.spec);
+
+    if (opt.area) {
+      const area::CoreAreaReport report = area::core_area_for(config);
+      std::cout << "area.label " << report.label << "\n"
+                << "area.total_mm2 " << report.total_mm2 << "\n"
+                << "area.rf_mm2 " << report.rf_mm2 << "\n"
+                << "area.tag_mm2 " << report.tag_mm2 << "\n"
+                << "area.rf_delay_ns " << report.rf_delay_ns << "\n";
+    }
+
+    sim::System system(config, workload, opt.spec.params);
+    cpu::TextTracer tracer(std::cout);
+    if (opt.trace) system.core(0).set_tracer(&tracer);
+
+    const sim::RunResult result = system.run();
+
+    std::cout << "workload " << workload.name() << "\n"
+              << "scheme " << sim::scheme_name(opt.spec.scheme) << "\n"
+              << "policy " << core::policy_name(opt.spec.policy) << "\n"
+              << "cores " << opt.spec.num_cores << "\n"
+              << "threads_per_core " << opt.spec.threads_per_core << "\n"
+              << "phys_regs " << sim::spec_phys_regs(opt.spec) << "\n"
+              << "cycles " << result.cycles << "\n"
+              << "instructions " << result.instructions << "\n"
+              << "ipc " << result.ipc << "\n"
+              << "context_switches " << result.context_switches << "\n"
+              << "rf_hit_rate " << result.rf_hit_rate << "\n"
+              << "rf_fills " << result.rf_fills << "\n"
+              << "rf_spills " << result.rf_spills << "\n"
+              << "check " << (result.check_ok ? "OK" : "FAIL") << "\n";
+
+    if (opt.stats) {
+      for (u32 c = 0; c < opt.spec.num_cores; ++c) {
+        const std::string prefix = "core" + std::to_string(c) + ".";
+        for (const Stat& s : system.core(c).stats().all()) {
+          std::cout << prefix << s.name << " " << s.value << "\n";
+        }
+        for (const Stat& s : system.manager(c).stats().all()) {
+          std::cout << prefix << s.name << " " << s.value << "\n";
+        }
+        for (const Stat& s :
+             system.memory_system().dcache(c).stats().all()) {
+          std::cout << prefix << s.name << " " << s.value << "\n";
+        }
+      }
+      for (const Stat& s : system.memory_system().dram().stats().all()) {
+        std::cout << s.name << " " << s.value << "\n";
+      }
+      for (const Stat& s : system.memory_system().crossbar().stats().all()) {
+        std::cout << s.name << " " << s.value << "\n";
+      }
+    }
+    if (!result.check_ok) {
+      std::cerr << "CHECK FAILED: " << result.check_msg << "\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

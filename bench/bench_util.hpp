@@ -1,0 +1,35 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+
+namespace virec::bench {
+
+/// Standard experiment sizing: large enough for steady-state behaviour,
+/// small enough that a full figure regenerates in seconds.
+inline workloads::WorkloadParams default_params() {
+  workloads::WorkloadParams params;
+  params.iters_per_thread = 256;
+  params.elements = 1 << 16;
+  return params;
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::cout << "\n================================================================\n"
+            << title << "\n" << paper
+            << "\n================================================================\n";
+}
+
+/// Performance = work / time, normalised so the baseline run is 1.0.
+inline double relative_perf(Cycle baseline, Cycle measured) {
+  return static_cast<double>(baseline) / static_cast<double>(measured);
+}
+
+}  // namespace virec::bench

@@ -1,0 +1,109 @@
+// Figure 1: performance-area trade-off for the gather kernel.
+//
+// Points: a single in-order core, the OoO comparator, banked CGMT cores
+// with 4/8 threads, and ViReC cores at 40-100% context storage for 4/8
+// threads. Performance is normalised to the single in-order core at
+// equal total work; area comes from the analytical 45nm model.
+#include "area/area_model.hpp"
+#include "bench/bench_util.hpp"
+#include "cpu/ooo_core.hpp"
+
+using namespace virec;
+
+namespace {
+
+/// Total work: kTotalIters gather iterations, split across threads.
+constexpr u64 kTotalIters = 2048;
+
+Cycle run_cgmt(sim::Scheme scheme, u32 threads, double fraction) {
+  sim::RunSpec spec;
+  spec.workload = "gather";
+  spec.scheme = scheme;
+  spec.threads_per_core = threads;
+  spec.context_fraction = fraction;
+  spec.params = bench::default_params();
+  spec.params.iters_per_thread = kTotalIters / threads;
+  return sim::run_spec(spec).cycles;
+}
+
+/// The OoO anchor runs the whole gather sequentially on the simplified
+/// dataflow core (2GHz in the paper; we report cycles at its clock and
+/// scale to the 1GHz NMP time base).
+double ooo_time_units() {
+  const workloads::Workload& gather = workloads::find_workload("gather");
+  workloads::WorkloadParams params = bench::default_params();
+  params.iters_per_thread = kTotalIters;
+  mem::MemSystemConfig mc;
+  mc.dcache = mem::CacheConfig{.name = "dcache",
+                               .size_bytes = 32 * 1024,
+                               .assoc = 4,
+                               .hit_latency = 4,
+                               .mshrs = 32};
+  mc.has_l2 = true;
+  mem::MemorySystem ms(mc);
+  gather.init_memory(ms.memory(), params, 1);
+  const workloads::RegContext regs = gather.thread_regs(params, 0, 1);
+  const kasm::Program program = gather.program(params);
+  cpu::OooCore core(cpu::OooCoreConfig{}, ms, 0, program);
+  for (u32 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    core.regfile().write_reg(0, static_cast<isa::RegId>(r), regs[r]);
+  }
+  const Cycle cycles = core.run();
+  // 2GHz core: halve the cycle count to express time in 1GHz units.
+  return static_cast<double>(cycles) / 2.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 1 — performance-area trade-off (gather)",
+      "Paper: OoO ~5.3x perf at ~19.1x area of one InO; banked CGMT better\n"
+      "perf/area; ViReC matches banked at 100% ctx with ~40% less area and\n"
+      "degrades gracefully at 80%/40% context.");
+
+  struct Point {
+    std::string label;
+    double time;  // 1GHz cycles for the full job
+    double area;
+  };
+  std::vector<Point> points;
+
+  const Cycle ino = run_cgmt(sim::Scheme::kBanked, 1, 1.0);
+  points.push_back({"InO x1", static_cast<double>(ino),
+                    area::ino_core_area().total_mm2});
+  points.push_back({"OoO (N1-class)", ooo_time_units(),
+                    area::ooo_core_area().total_mm2});
+
+  for (u32 threads : {4u, 8u}) {
+    points.push_back(
+        {"banked " + std::to_string(threads) + "T",
+         static_cast<double>(run_cgmt(sim::Scheme::kBanked, threads, 1.0)),
+         area::banked_core_area(threads).total_mm2});
+    for (double frac : {1.0, 0.8, 0.6, 0.4}) {
+      sim::RunSpec spec;
+      spec.workload = "gather";
+      spec.threads_per_core = threads;
+      spec.context_fraction = frac;
+      const u32 regs = sim::spec_phys_regs(spec);
+      points.push_back(
+          {"virec " + std::to_string(threads) + "T " +
+               Table::fmt_pct(frac, 0) + " (" + std::to_string(regs) + "r)",
+           static_cast<double>(run_cgmt(sim::Scheme::kViReC, threads, frac)),
+           area::virec_core_area(regs).total_mm2});
+    }
+  }
+
+  const double base_time = points[0].time;
+  const double base_area = points[0].area;
+  Table table({"configuration", "perf (x InO)", "area mm^2", "area (x InO)",
+               "perf/area"});
+  for (const Point& p : points) {
+    const double perf = base_time / p.time;
+    table.add_row({p.label, Table::fmt(perf, 2), Table::fmt(p.area, 2),
+                   Table::fmt(p.area / base_area, 2),
+                   Table::fmt(perf / (p.area / base_area), 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

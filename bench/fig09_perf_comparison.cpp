@@ -1,0 +1,68 @@
+// Figure 9: performance of ViReC vs a banked processor, the NSF
+// register cache and full/exact context prefetching, per workload at
+// 4/6/8 threads. Values are performance relative to the similarly-
+// threaded banked processor.
+#include "bench/bench_util.hpp"
+
+using namespace virec;
+
+namespace {
+
+Cycle run(const std::string& workload, sim::Scheme scheme, u32 threads,
+          double fraction) {
+  sim::RunSpec spec;
+  spec.workload = workload;
+  spec.scheme = scheme;
+  spec.threads_per_core = threads;
+  spec.context_fraction = fraction;
+  spec.params = bench::default_params();
+  return sim::run_spec(spec).cycles;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 9 — performance vs banked (higher is better, banked = 1.0)",
+      "Paper: ViReC mean drop 4.4%/7.1%/10% at 80% ctx and\n"
+      "10.7%/17.6%/22.1% at 40% ctx for 4/6/8 threads; ViReC ~2.3x NSF;\n"
+      "full prefetch almost always worst; exact prefetch between.");
+
+  for (u32 threads : {4u, 6u, 8u}) {
+    std::cout << "\n--- " << threads << " threads ---\n";
+    Table table({"workload", "virec80", "virec60", "virec40", "nsf80",
+                 "pf-exact80", "pf-full80"});
+    std::vector<double> v80, v60, v40, nsf, pfx, pff;
+    for (const workloads::Workload* w : workloads::figure_workloads()) {
+      const Cycle banked = run(w->name(), sim::Scheme::kBanked, threads, 1.0);
+      auto rel = [&](sim::Scheme s, double f) {
+        return bench::relative_perf(banked, run(w->name(), s, threads, f));
+      };
+      const double r80 = rel(sim::Scheme::kViReC, 0.8);
+      const double r60 = rel(sim::Scheme::kViReC, 0.6);
+      const double r40 = rel(sim::Scheme::kViReC, 0.4);
+      const double rn = rel(sim::Scheme::kNSF, 0.8);
+      const double rx = rel(sim::Scheme::kPrefetchExact, 0.8);
+      const double rf = rel(sim::Scheme::kPrefetchFull, 0.8);
+      v80.push_back(r80);
+      v60.push_back(r60);
+      v40.push_back(r40);
+      nsf.push_back(rn);
+      pfx.push_back(rx);
+      pff.push_back(rf);
+      table.add_row({w->name(), Table::fmt(r80, 2), Table::fmt(r60, 2),
+                     Table::fmt(r40, 2), Table::fmt(rn, 2),
+                     Table::fmt(rx, 2), Table::fmt(rf, 2)});
+    }
+    table.add_row({"geomean", Table::fmt(geomean(v80), 2),
+                   Table::fmt(geomean(v60), 2), Table::fmt(geomean(v40), 2),
+                   Table::fmt(geomean(nsf), 2), Table::fmt(geomean(pfx), 2),
+                   Table::fmt(geomean(pff), 2)});
+    table.print(std::cout);
+    std::cout << "virec80 vs nsf80 speedup: "
+              << Table::fmt_pct(geomean(v80) / geomean(nsf) - 1.0, 1)
+              << "   virec80 vs pf-exact80: "
+              << Table::fmt_pct(geomean(v80) / geomean(pfx) - 1.0, 1) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 10: performance-per-register trade-off for gather.
+//
+// Sweeps the number of scheduled threads; for each thread count plots
+// ViReC at 40/60/80/100% context storage plus a banked configuration.
+// "Performance" is total work over cycles, divided by physical
+// registers.
+#include "bench/bench_util.hpp"
+
+using namespace virec;
+
+namespace {
+constexpr u64 kTotalIters = 2048;
+}
+
+int main() {
+  bench::print_header(
+      "Figure 10 — performance per register (gather)",
+      "Paper: with few threads (latency not hidden) small contexts cost\n"
+      "little; once latency is hidden, extra per-thread context beats\n"
+      "extra threads. ViReC dominates banked on perf/register.");
+
+  Table table({"threads", "config", "regs", "cycles", "perf", "perf/reg"});
+  double base_perf = 0.0;
+  for (u32 threads : {2u, 4u, 6u, 8u, 10u}) {
+    for (double frac : {0.4, 0.6, 0.8, 1.0, -1.0 /* banked */}) {
+      sim::RunSpec spec;
+      spec.workload = "gather";
+      spec.threads_per_core = threads;
+      spec.params = bench::default_params();
+      spec.params.iters_per_thread = kTotalIters / threads;
+      u32 regs;
+      std::string label;
+      if (frac < 0) {
+        spec.scheme = sim::Scheme::kBanked;
+        regs = threads * isa::kNumArchRegs;
+        label = "banked";
+      } else {
+        spec.scheme = sim::Scheme::kViReC;
+        spec.context_fraction = frac;
+        regs = sim::spec_phys_regs(spec);
+        label = "virec " + Table::fmt_pct(frac, 0);
+      }
+      const sim::RunResult result = sim::run_spec(spec);
+      const double perf = static_cast<double>(kTotalIters) /
+                          static_cast<double>(result.cycles);
+      if (base_perf == 0.0) base_perf = perf;
+      table.add_row({std::to_string(threads), label, std::to_string(regs),
+                     std::to_string(result.cycles),
+                     Table::fmt(perf / base_perf, 2),
+                     Table::fmt(1000.0 * perf / regs, 3)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

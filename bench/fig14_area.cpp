@@ -1,0 +1,53 @@
+// Figure 14: processor area versus thread count — banked cores with
+// 64-register banks against ViReC cores with 8/16/32/64 registers of
+// per-thread context — plus the Section 6.2 delay comparison.
+#include "area/area_model.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace virec;
+
+int main() {
+  bench::print_header(
+      "Figure 14 — area vs thread count",
+      "Paper: the fully-associative tag store scales superlinearly, so\n"
+      "full contexts in ViReC eventually cost more than banking; at the\n"
+      "5-10 registers/thread memory-intensive kernels need, ViReC stays\n"
+      "~40% below banked (1.7 vs 2.8-3.9 mm^2 at 8-16 threads).");
+
+  Table table({"threads", "banked(64r/bank)", "virec 8r/t", "virec 16r/t",
+               "virec 32r/t", "virec 64r/t"});
+  for (u32 threads : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    table.add_row(
+        {std::to_string(threads),
+         Table::fmt(area::banked_core_area(threads, 64).total_mm2, 2),
+         Table::fmt(area::virec_core_area(threads * 8).total_mm2, 2),
+         Table::fmt(area::virec_core_area(threads * 16).total_mm2, 2),
+         Table::fmt(area::virec_core_area(threads * 32).total_mm2, 2),
+         Table::fmt(area::virec_core_area(threads * 64).total_mm2, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n--- component breakdown (ViReC, 64 physical registers) ---\n";
+  const area::CoreAreaReport v = area::virec_core_area(64);
+  Table parts({"component", "mm^2", "share"});
+  parts.add_row({"base core (sans RF)", Table::fmt(v.base_mm2, 3),
+                 Table::fmt_pct(v.base_mm2 / v.total_mm2, 1)});
+  parts.add_row({"register file", Table::fmt(v.rf_mm2, 3),
+                 Table::fmt_pct(v.rf_mm2 / v.total_mm2, 1)});
+  parts.add_row({"VRMU tag store (CAM)", Table::fmt(v.tag_mm2, 3),
+                 Table::fmt_pct(v.tag_mm2 / v.total_mm2, 1)});
+  parts.add_row({"rollback queue + misc", Table::fmt(v.queue_mm2, 3),
+                 Table::fmt_pct(v.queue_mm2 / v.total_mm2, 1)});
+  parts.print(std::cout);
+
+  std::cout << "\n--- RF access delay ---\n";
+  Table delay({"configuration", "delay ns"});
+  delay.add_row({"baseline 32-reg RF",
+                 Table::fmt(area::ino_core_area().rf_delay_ns, 3)});
+  delay.add_row({"virec 80 regs",
+                 Table::fmt(area::virec_core_area(80).rf_delay_ns, 3)});
+  delay.add_row({"banked 8x64",
+                 Table::fmt(area::banked_core_area(8, 64).rf_delay_ns, 3)});
+  delay.print(std::cout);
+  return 0;
+}

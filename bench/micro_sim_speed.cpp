@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark) of the simulator's hot paths:
+// cache accesses, replacement-policy victim selection, the ViReC decode
+// path and whole-system simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/virec_manager.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/runner.hpp"
+
+namespace virec {
+namespace {
+
+void BM_CacheHit(benchmark::State& state) {
+  mem::MemSystemConfig mc;
+  mem::MemorySystem ms(mc);
+  mem::Cache& dcache = ms.dcache(0);
+  Cycle now = dcache.access(0x1000, false, 0).done;
+  for (auto _ : state) {
+    now = dcache.access(0x1000, false, now).done;
+    benchmark::DoNotOptimize(now);
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheMissStream(benchmark::State& state) {
+  mem::MemSystemConfig mc;
+  mem::MemorySystem ms(mc);
+  mem::Cache& dcache = ms.dcache(0);
+  Cycle now = 0;
+  Addr addr = 0;
+  for (auto _ : state) {
+    now = dcache.access(addr, false, now).done;
+    addr += 4224;
+    benchmark::DoNotOptimize(now);
+  }
+}
+BENCHMARK(BM_CacheMissStream);
+
+void BM_PolicyVictim(benchmark::State& state) {
+  core::ReplacementPolicy policy(core::PolicyKind::kLRC);
+  std::vector<core::RfEntry> entries(static_cast<std::size_t>(state.range(0)));
+  for (u32 i = 0; i < entries.size(); ++i) {
+    policy.on_insert(entries, i, static_cast<u8>(i % 8),
+                     static_cast<isa::RegId>(i % 31));
+  }
+  std::vector<u8> locked(entries.size(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.pick_victim(entries, locked));
+  }
+}
+BENCHMARK(BM_PolicyVictim)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ViReCDecode(benchmark::State& state) {
+  mem::MemSystemConfig mc;
+  mem::MemorySystem ms(mc);
+  cpu::CoreEnv env{.core_id = 0, .num_threads = 8, .ms = &ms};
+  core::ViReCConfig vc;
+  vc.num_phys_regs = 48;
+  core::ViReCManager manager(vc, env);
+  isa::Inst inst;
+  inst.op = isa::Op::kAdd;
+  inst.rd = 3;
+  inst.rn = 1;
+  inst.rm = 2;
+  Cycle now = 0;
+  int tid = 0;
+  for (auto _ : state) {
+    const cpu::DecodeAccess acc = manager.on_decode(tid, inst, now);
+    manager.on_commit(tid, inst);
+    now = acc.ready + 1;
+    tid = (tid + 1) % 8;
+    benchmark::DoNotOptimize(acc.ready);
+  }
+}
+BENCHMARK(BM_ViReCDecode);
+
+void BM_GatherSimulation(benchmark::State& state) {
+  // Whole-system simulation throughput (simulated instructions/sec).
+  sim::RunSpec spec;
+  spec.workload = "gather";
+  spec.scheme = sim::Scheme::kViReC;
+  spec.threads_per_core = 8;
+  spec.context_fraction = 0.8;
+  spec.params.iters_per_thread = 256;
+  u64 instructions = 0;
+  for (auto _ : state) {
+    const sim::RunResult result = sim::run_spec(spec);
+    instructions += result.instructions;
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.counters["sim_instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GatherSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace virec
+
+BENCHMARK_MAIN();

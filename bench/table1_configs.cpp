@@ -1,0 +1,57 @@
+// Table 1: the simulated processor configurations. Prints the
+// parameters actually instantiated by this repository side by side with
+// the paper's values.
+#include "area/area_model.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace virec;
+
+int main() {
+  bench::print_header("Table 1 — performance simulation parameters",
+                      "Paper: 1GHz single-issue NMP cores, 32kB icache, 8kB "
+                      "dcache, no L2,\nDDR5_6400 (2ch, tRP-tCL-tRCD "
+                      "14-14-14); OoO: 8-wide, 224 ROB, L2 1MB");
+
+  const sim::SystemConfig nmp = sim::SystemConfig::nmp_default();
+  Table table({"parameter", "this repo", "paper"});
+  table.add_row({"NMP issue width", "1", "1"});
+  table.add_row({"NMP store queue", std::to_string(nmp.core.sq_entries), "5"});
+  table.add_row({"icache", std::to_string(nmp.mem.icache.size_bytes / 1024) +
+                               "kB/" + std::to_string(nmp.mem.icache.assoc) +
+                               "-way/" +
+                               std::to_string(nmp.mem.icache.hit_latency) +
+                               "cyc",
+                 "32kB/4-way/2cyc"});
+  table.add_row({"dcache", std::to_string(nmp.mem.dcache.size_bytes / 1024) +
+                               "kB/" + std::to_string(nmp.mem.dcache.assoc) +
+                               "-way/" +
+                               std::to_string(nmp.mem.dcache.hit_latency) +
+                               "cyc",
+                 "8kB/4-way/2cyc"});
+  table.add_row({"dcache MSHRs", std::to_string(nmp.mem.dcache.mshrs), "24"});
+  table.add_row({"DRAM channels", std::to_string(nmp.mem.dram.channels), "2"});
+  table.add_row({"tRP-tCL-tRCD", std::to_string(nmp.mem.dram.t_rp) + "-" +
+                                     std::to_string(nmp.mem.dram.t_cl) + "-" +
+                                     std::to_string(nmp.mem.dram.t_rcd),
+                 "14-14-14"});
+  table.add_row({"banked core", "32 regs/bank, 1 bank/thread",
+                 "8 banks 32/32 Int/FP"});
+  table.add_row({"ViReC RF", "24-120 regs (per-config)", "24-120 regs"});
+  table.add_row({"ViReC T/C/A bits", "3/1/3", "3/1/3"});
+  table.add_row({"OoO width/ROB/LQ/SQ", "8/224/113/120", "8/224/113/120"});
+  table.add_row({"OoO L2", "1MB/8-way/12cyc + stride pf deg 8",
+                 "1MB/8-way/12cyc + stride pf deg 8"});
+  table.print(std::cout);
+
+  std::cout << "\nArea model anchors (45nm, Section 6.2):\n";
+  Table area({"core", "area mm^2", "RF delay ns"});
+  for (const auto& report :
+       {area::ino_core_area(), area::banked_core_area(8, 64),
+        area::banked_core_area(16, 64), area::virec_core_area(64),
+        area::ooo_core_area()}) {
+    area.add_row({report.label, Table::fmt(report.total_mm2, 2),
+                  Table::fmt(report.rf_delay_ns, 3)});
+  }
+  area.print(std::cout);
+  return 0;
+}

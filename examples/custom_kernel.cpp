@@ -1,0 +1,83 @@
+// Writing your own near-memory kernel: assemble NMP ISA text, build a
+// two-thread ViReC core by hand (no workload registry involved), offload
+// contexts and inspect the results.
+//
+// The kernel computes a dot product of two integer vectors; each thread
+// handles half the elements.
+#include <iostream>
+
+#include "core/virec_manager.hpp"
+#include "cpu/cgmt_core.hpp"
+#include "kasm/assembler.hpp"
+
+using namespace virec;
+
+int main() {
+  // --- 1. The kernel, in NMP assembly. --------------------------------
+  const kasm::Program program = kasm::assemble(R"(
+    // x0 = &a[start], x1 = &b[start], x2 = count, x3 = acc, x6 = &result
+    loop:
+      ldr  x4, [x0], #8
+      ldr  x5, [x1], #8
+      madd x3, x4, x5, x3
+      sub  x2, x2, #1
+      cbnz x2, loop
+    str  x3, [x6]
+    halt
+  )");
+  std::cout << "kernel listing:\n" << program.listing() << "\n";
+
+  // --- 2. A memory system and a 2-thread ViReC core. -------------------
+  mem::MemSystemConfig mem_config;  // Table-1 NMP defaults
+  mem::MemorySystem ms(mem_config);
+
+  cpu::CoreEnv env{.core_id = 0, .num_threads = 2, .ms = &ms};
+  core::ViReCConfig virec_config;
+  virec_config.num_phys_regs = 12;  // deliberately tiny: forces fills
+  virec_config.policy = core::PolicyKind::kLRC;
+  core::ViReCManager manager(virec_config, env);
+
+  cpu::CgmtCoreConfig core_config;
+  core_config.num_threads = 2;
+  cpu::CgmtCore core(core_config, env, manager, program);
+
+  // --- 3. Input data + offloaded thread contexts. ----------------------
+  constexpr u64 kN = 256;
+  constexpr Addr kA = 0x2000'0000, kB = 0x2100'0000, kOut = 0x2200'0000;
+  u64 expected = 0;
+  for (u64 i = 0; i < kN; ++i) {
+    ms.memory().write_u64(kA + i * 8, i + 1);
+    ms.memory().write_u64(kB + i * 8, 2 * i + 1);
+    expected += (i + 1) * (2 * i + 1);
+  }
+  for (u32 tid = 0; tid < 2; ++tid) {
+    const u64 start = tid * (kN / 2);
+    // The offload mechanism writes initial register values into the
+    // core's reserved backing region; the core fetches them when the
+    // thread is first scheduled.
+    auto set = [&](u32 reg, u64 value) {
+      ms.memory().write_u64(ms.reg_addr(0, tid, reg), value);
+    };
+    set(0, kA + start * 8);
+    set(1, kB + start * 8);
+    set(2, kN / 2);
+    set(3, 0);
+    set(6, kOut + tid * 64);
+    core.start_thread(static_cast<int>(tid));
+  }
+
+  // --- 4. Simulate. -----------------------------------------------------
+  core.run();
+
+  const u64 result = ms.memory().read_u64(kOut) +
+                     ms.memory().read_u64(kOut + 64);
+  std::cout << "dot product  = " << result << " (expected " << expected
+            << ")\n"
+            << "cycles       = " << core.cycle() << "\n"
+            << "instructions = " << core.instructions() << "\n"
+            << "IPC          = " << core.ipc() << "\n"
+            << "RF hit rate  = " << manager.rf_hit_rate() * 100.0 << "%\n"
+            << "ctx switches = "
+            << core.stats().get("context_switches") << "\n";
+  return result == expected ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Thread/context scaling study: for a fixed physical register budget,
+// how should it be split between threads and per-thread context? This
+// automates the trade-off behind Figure 10 / Section 6.1 ("ViReC
+// scaling") for any workload and register budget.
+//
+//   ./scaling_study [workload] [register_budget] [total_iters]
+#include <cstdlib>
+#include <iostream>
+
+#include "area/area_model.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+
+using namespace virec;
+
+int main(int argc, char** argv) {
+  const std::string workload_name = argc > 1 ? argv[1] : "gather";
+  const u32 budget = argc > 2 ? static_cast<u32>(std::atoi(argv[2])) : 32;
+  const u64 total_iters =
+      argc > 3 ? static_cast<u64>(std::atoll(argv[3])) : 2048;
+
+  const workloads::Workload& workload =
+      workloads::find_workload(workload_name);
+  std::cout << "scaling study: " << workload_name << ", "
+            << budget << "-register ViReC file, " << total_iters
+            << " total iterations\n"
+            << "active context: " << workload.active_regs()
+            << " registers/thread\n\n";
+
+  Table table({"threads", "regs/thread", "context %", "cycles", "perf",
+               "area mm^2"});
+  double best = 0.0;
+  u32 best_threads = 0;
+  for (u32 threads : {1u, 2u, 4u, 6u, 8u, 10u, 12u}) {
+    if (total_iters % threads != 0) continue;
+    sim::RunSpec spec;
+    spec.workload = workload_name;
+    spec.scheme = sim::Scheme::kViReC;
+    spec.threads_per_core = threads;
+    spec.phys_regs = budget;
+    spec.params.iters_per_thread = total_iters / threads;
+    const sim::RunResult result = sim::run_spec(spec);
+    const double perf =
+        static_cast<double>(total_iters) / static_cast<double>(result.cycles);
+    const double context_pct =
+        100.0 * static_cast<double>(budget) /
+        (static_cast<double>(threads) * workload.active_regs());
+    if (perf > best) {
+      best = perf;
+      best_threads = threads;
+    }
+    table.add_row({std::to_string(threads),
+                   Table::fmt(static_cast<double>(budget) / threads, 1),
+                   Table::fmt(std::min(context_pct, 100.0), 0) + "%",
+                   std::to_string(result.cycles), Table::fmt(perf * 1000, 2),
+                   Table::fmt(area::virec_core_area(budget).total_mm2, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nbest thread count for a " << budget
+            << "-register file: " << best_threads << "\n"
+            << "(banked comparison: " << best_threads
+            << " threads would need "
+            << best_threads * isa::kNumArchRegs << " registers, "
+            << Table::fmt(
+                   area::banked_core_area(best_threads).total_mm2, 2)
+            << " mm^2)\n";
+  return 0;
+}

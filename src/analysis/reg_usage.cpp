@@ -1,0 +1,69 @@
+#include "analysis/reg_usage.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "cpu/ooo_core.hpp"  // ArrayRegFile
+#include "isa/semantics.hpp"
+
+namespace virec::analysis {
+
+RegUsageReport profile_registers(const workloads::Workload& workload,
+                                 const workloads::WorkloadParams& params,
+                                 u64 max_instructions) {
+  const kasm::Program program = workload.program(params);
+  program.validate();
+
+  mem::SparseMemory memory;
+  workload.init_memory(memory, params, /*total_threads=*/1);
+  const workloads::RegContext init = workload.thread_regs(params, 0, 1);
+
+  cpu::ArrayRegFile rf;
+  for (u32 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    rf.write_reg(0, static_cast<isa::RegId>(r), init[r]);
+  }
+
+  std::vector<u64> exec_count(program.size(), 0);
+  RegUsageReport report;
+
+  u64 pc = 0;
+  u8 nzcv = 0;
+  while (true) {
+    if (report.instructions >= max_instructions) {
+      throw std::runtime_error("profile_registers: instruction cap exceeded");
+    }
+    const isa::Inst& inst = program.at(pc);
+    ++exec_count[pc];
+    ++report.instructions;
+    const isa::RegList regs = isa::all_regs(inst);
+    for (u32 i = 0; i < regs.count; ++i) {
+      ++report.access_counts[regs.regs[i]];
+    }
+    const isa::ExecResult res = isa::execute(inst, pc, 0, rf, memory, nzcv);
+    if (res.halted) break;
+    pc = res.next_pc;
+  }
+
+  // Classify instructions: the innermost loop executes at least half as
+  // often as the hottest instruction.
+  u64 hottest = 0;
+  for (u64 c : exec_count) hottest = std::max(hottest, c);
+  std::array<bool, isa::kNumAllocatableRegs> total_seen{};
+  std::array<bool, isa::kNumAllocatableRegs> inner_seen{};
+  for (u64 i = 0; i < program.size(); ++i) {
+    if (exec_count[i] == 0) continue;
+    const bool inner = exec_count[i] * 2 >= hottest;
+    const isa::RegList regs = isa::all_regs(program.at(i));
+    for (u32 r = 0; r < regs.count; ++r) {
+      total_seen[regs.regs[r]] = true;
+      if (inner) inner_seen[regs.regs[r]] = true;
+    }
+  }
+  for (u32 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    if (total_seen[r]) ++report.total_regs;
+    if (inner_seen[r]) ++report.inner_regs;
+  }
+  return report;
+}
+
+}  // namespace virec::analysis

@@ -1,0 +1,42 @@
+// Dynamic register-usage characterisation (Figure 2 of the paper).
+//
+// A workload thread is executed functionally (no timing) while counting
+// per-instruction execution frequencies; instructions executed at least
+// half as often as the hottest instruction are classified as the
+// innermost loop. The registers referenced by those instructions form
+// the "active context" the ViReC register file is sized against.
+#pragma once
+
+#include <array>
+
+#include "kasm/program.hpp"
+#include "workloads/workload.hpp"
+
+namespace virec::analysis {
+
+struct RegUsageReport {
+  /// Distinct allocatable registers referenced anywhere.
+  u32 total_regs = 0;
+  /// Distinct registers referenced by innermost-loop instructions.
+  u32 inner_regs = 0;
+  u64 instructions = 0;
+  /// Per-register dynamic access counts (reads + writes), x0..x30.
+  std::array<u64, isa::kNumAllocatableRegs> access_counts{};
+  /// Fraction of the 31-register context active in the inner loop.
+  double inner_fraction() const {
+    return static_cast<double>(inner_regs) /
+           static_cast<double>(isa::kNumAllocatableRegs);
+  }
+  double total_fraction() const {
+    return static_cast<double>(total_regs) /
+           static_cast<double>(isa::kNumAllocatableRegs);
+  }
+};
+
+/// Profile thread 0 of @p workload under @p params.
+/// @p max_instructions caps runaway programs (throws on overflow).
+RegUsageReport profile_registers(const workloads::Workload& workload,
+                                 const workloads::WorkloadParams& params,
+                                 u64 max_instructions = 50'000'000);
+
+}  // namespace virec::analysis

@@ -1,0 +1,143 @@
+#include "analysis/reuse_distance.hpp"
+
+#include <algorithm>
+#include <list>
+#include <stdexcept>
+
+#include "cpu/ooo_core.hpp"
+#include "isa/semantics.hpp"
+
+namespace virec::analysis {
+
+double ReuseHistogram::mean_distance() const {
+  u64 n = 0;
+  double sum = 0.0;
+  for (u32 d = 0; d <= kMaxDistance; ++d) {
+    n += counts[d];
+    sum += static_cast<double>(counts[d]) * d;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double ReuseHistogram::cdf(u32 d) const {
+  u64 n = 0, below = 0;
+  for (u32 i = 0; i <= kMaxDistance; ++i) {
+    n += counts[i];
+    if (i <= d) below += counts[i];
+  }
+  return n == 0 ? 0.0 : static_cast<double>(below) / static_cast<double>(n);
+}
+
+namespace {
+
+/// LRU stack over (tid, reg) keys.
+class LruStack {
+ public:
+  /// Returns the stack distance of @p key, or -1 on first touch, then
+  /// moves the key to the top.
+  int touch(u32 key) {
+    int depth = 0;
+    for (auto it = stack_.begin(); it != stack_.end(); ++it, ++depth) {
+      if (*it == key) {
+        stack_.erase(it);
+        stack_.push_front(key);
+        return depth;
+      }
+    }
+    stack_.push_front(key);
+    return -1;
+  }
+
+ private:
+  std::list<u32> stack_;
+};
+
+/// Generate thread @p tid's register access trace (flattened per
+/// instruction, program order).
+std::vector<u8> access_trace(const workloads::Workload& workload,
+                             const workloads::WorkloadParams& params,
+                             u32 tid, u32 total_threads,
+                             u64 max_instructions) {
+  const kasm::Program program = workload.program(params);
+  mem::SparseMemory memory;
+  workload.init_memory(memory, params, total_threads);
+  const workloads::RegContext init =
+      workload.thread_regs(params, tid, total_threads);
+  cpu::ArrayRegFile rf;
+  for (u32 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    rf.write_reg(0, static_cast<isa::RegId>(r), init[r]);
+  }
+  std::vector<u8> trace;
+  u64 pc = 0, executed = 0;
+  u8 nzcv = 0;
+  while (true) {
+    if (++executed > max_instructions) {
+      throw std::runtime_error("access_trace: instruction cap exceeded");
+    }
+    const isa::Inst& inst = program.at(pc);
+    const isa::RegList regs = isa::all_regs(inst);
+    for (u32 i = 0; i < regs.count; ++i) trace.push_back(regs.regs[i]);
+    const isa::ExecResult res = isa::execute(inst, pc, 0, rf, memory, nzcv);
+    if (res.halted) break;
+    pc = res.next_pc;
+  }
+  return trace;
+}
+
+void accumulate(ReuseHistogram& hist, LruStack& stack, u32 key) {
+  const int d = stack.touch(key);
+  ++hist.total_accesses;
+  if (d < 0) {
+    ++hist.first_touches;
+  } else {
+    ++hist.counts[std::min<u32>(static_cast<u32>(d),
+                                ReuseHistogram::kMaxDistance)];
+  }
+}
+
+}  // namespace
+
+ReuseHistogram register_reuse(const workloads::Workload& workload,
+                              const workloads::WorkloadParams& params,
+                              u64 max_instructions) {
+  ReuseHistogram hist;
+  LruStack stack;
+  for (u8 reg : access_trace(workload, params, 0, 1, max_instructions)) {
+    accumulate(hist, stack, reg);
+  }
+  return hist;
+}
+
+ReuseHistogram interleaved_register_reuse(
+    const workloads::Workload& workload,
+    const workloads::WorkloadParams& params, u32 threads,
+    u32 accesses_per_episode, u64 max_instructions) {
+  if (threads == 0 || accesses_per_episode == 0) {
+    throw std::invalid_argument("interleaved_register_reuse: bad arguments");
+  }
+  // Collect each thread's trace, then interleave round-robin in
+  // fixed-size episodes.
+  std::vector<std::vector<u8>> traces;
+  for (u32 t = 0; t < threads; ++t) {
+    traces.push_back(
+        access_trace(workload, params, t, threads, max_instructions));
+  }
+  ReuseHistogram hist;
+  LruStack stack;
+  std::vector<std::size_t> cursor(threads, 0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (u32 t = 0; t < threads; ++t) {
+      for (u32 k = 0; k < accesses_per_episode; ++k) {
+        if (cursor[t] >= traces[t].size()) break;
+        progress = true;
+        accumulate(hist, stack,
+                   t * isa::kNumArchRegs + traces[t][cursor[t]++]);
+      }
+    }
+  }
+  return hist;
+}
+
+}  // namespace virec::analysis

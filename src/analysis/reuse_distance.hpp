@@ -1,0 +1,43 @@
+// Register reuse-distance analysis (Section 4 of the paper): measures,
+// for each dynamic register access, how many *distinct* registers were
+// touched since the previous access to the same register (LRU stack
+// distance). Short distances favour recency policies; the CGMT switch
+// pattern creates the bimodal distribution that motivates MRT/LRC.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "kasm/program.hpp"
+#include "workloads/workload.hpp"
+
+namespace virec::analysis {
+
+struct ReuseHistogram {
+  /// histogram[d] = number of accesses with stack distance d
+  /// (capped at kMaxDistance; first-touch accesses are excluded).
+  static constexpr u32 kMaxDistance = 64;
+  std::array<u64, kMaxDistance + 1> counts{};
+  u64 first_touches = 0;
+  u64 total_accesses = 0;
+
+  double mean_distance() const;
+  /// Fraction of accesses with distance <= d.
+  double cdf(u32 d) const;
+};
+
+/// Single-threaded register reuse profile of thread 0.
+ReuseHistogram register_reuse(const workloads::Workload& workload,
+                              const workloads::WorkloadParams& params,
+                              u64 max_instructions = 50'000'000);
+
+/// Interleaved profile: simulates round-robin thread interleaving with
+/// a fixed number of iterations per scheduling episode, concatenating
+/// (tid, reg) streams the way a CGMT processor's register file sees
+/// them. This exposes the inter-thread distances of Section 4.1.
+ReuseHistogram interleaved_register_reuse(
+    const workloads::Workload& workload,
+    const workloads::WorkloadParams& params, u32 threads,
+    u32 accesses_per_episode, u64 max_instructions = 50'000'000);
+
+}  // namespace virec::analysis

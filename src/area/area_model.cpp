@@ -1,0 +1,76 @@
+#include "area/area_model.hpp"
+
+namespace virec::area {
+
+namespace {
+void finish(CoreAreaReport& report) {
+  report.total_mm2 =
+      report.base_mm2 + report.rf_mm2 + report.tag_mm2 + report.queue_mm2;
+}
+}  // namespace
+
+CoreAreaReport ino_core_area() {
+  CoreAreaReport report;
+  report.label = "in-order";
+  report.base_mm2 = tech45().ino_core_sans_rf_mm2;
+  report.rf_mm2 = rf_area_mm2(32);
+  report.rf_delay_ns = rf_delay_ns(32);
+  finish(report);
+  return report;
+}
+
+CoreAreaReport banked_core_area(u32 banks, u32 regs_per_bank) {
+  CoreAreaReport report;
+  report.label = "banked x" + std::to_string(banks);
+  report.base_mm2 = tech45().ino_core_sans_rf_mm2 + tech45().banked_ctrl_mm2;
+  report.rf_mm2 = banked_rf_area_mm2(banks, regs_per_bank);
+  report.rf_delay_ns = banked_rf_delay_ns(banks, regs_per_bank);
+  finish(report);
+  return report;
+}
+
+CoreAreaReport virec_core_area(u32 phys_regs, u32 rollback_depth) {
+  CoreAreaReport report;
+  report.label = "virec r" + std::to_string(phys_regs);
+  report.base_mm2 = tech45().ino_core_sans_rf_mm2;
+  report.rf_mm2 = rf_area_mm2(phys_regs);
+  report.tag_mm2 = cam_area_mm2(phys_regs);
+  report.queue_mm2 = rollback_queue_area_mm2(rollback_depth);
+  report.rf_delay_ns =
+      std::max(rf_delay_ns(phys_regs), cam_delay_ns(phys_regs));
+  finish(report);
+  return report;
+}
+
+CoreAreaReport ooo_core_area() {
+  CoreAreaReport report = ino_core_area();
+  report.label = "ooo (N1-class)";
+  const double scale = tech45().ooo_area_factor;
+  report.base_mm2 *= scale;
+  report.rf_mm2 *= scale;
+  finish(report);
+  return report;
+}
+
+CoreAreaReport core_area_for(const sim::SystemConfig& config) {
+  switch (config.scheme) {
+    case sim::Scheme::kBanked:
+      return banked_core_area(config.threads_per_core);
+    case sim::Scheme::kSoftware:
+      return ino_core_area();
+    case sim::Scheme::kPrefetchFull:
+    case sim::Scheme::kPrefetchExact: {
+      // Double buffer = 2 banks.
+      CoreAreaReport report = banked_core_area(2);
+      report.label = "prefetch double-buffer";
+      return report;
+    }
+    case sim::Scheme::kViReC:
+    case sim::Scheme::kNSF:
+      return virec_core_area(config.virec.num_phys_regs,
+                             config.virec.rollback_depth);
+  }
+  return ino_core_area();
+}
+
+}  // namespace virec::area

@@ -1,0 +1,37 @@
+// Core-level area/delay reports (Figures 1 and 14 of the paper).
+#pragma once
+
+#include <string>
+
+#include "area/components.hpp"
+#include "sim/system_config.hpp"
+
+namespace virec::area {
+
+struct CoreAreaReport {
+  std::string label;
+  double base_mm2 = 0.0;   ///< core logic + caches, without register storage
+  double rf_mm2 = 0.0;     ///< register file(s)
+  double tag_mm2 = 0.0;    ///< VRMU tag store CAM (ViReC/NSF only)
+  double queue_mm2 = 0.0;  ///< rollback queue + misc VRMU logic
+  double total_mm2 = 0.0;
+  double rf_delay_ns = 0.0;
+};
+
+/// Single-threaded in-order baseline (CVA6-class, one 32-entry RF).
+CoreAreaReport ino_core_area();
+
+/// Banked CGMT core with @p banks 32-register thread banks (Figure 1)
+/// or 64-register banks (Figure 14's banked sweep).
+CoreAreaReport banked_core_area(u32 banks, u32 regs_per_bank = 32);
+
+/// ViReC core with @p phys_regs shared physical registers.
+CoreAreaReport virec_core_area(u32 phys_regs, u32 rollback_depth = 8);
+
+/// OoO comparator core (Neoverse-N1-class anchor).
+CoreAreaReport ooo_core_area();
+
+/// Area of the core a SystemConfig describes (per processor).
+CoreAreaReport core_area_for(const sim::SystemConfig& config);
+
+}  // namespace virec::area

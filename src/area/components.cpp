@@ -1,0 +1,46 @@
+#include "area/components.hpp"
+
+#include <cmath>
+
+namespace virec::area {
+
+double rf_area_mm2(u32 regs, u32 read_ports, u32 write_ports,
+                   const TechParams& tech) {
+  const double bits = static_cast<double>(regs) * kRegBits;
+  const double port_factor =
+      std::pow(static_cast<double>(read_ports + write_ports) /
+                   tech.rf_base_ports,
+               2.0);
+  return bits * tech.rf_mm2_per_bit * port_factor;
+}
+
+double banked_rf_area_mm2(u32 banks, u32 regs_per_bank,
+                          const TechParams& tech) {
+  return banks * rf_area_mm2(regs_per_bank, 2, 1, tech) +
+         banks * tech.bank_mux_mm2;
+}
+
+double cam_area_mm2(u32 entries, const TechParams& tech) {
+  const double at64 = tech.cam_mm2_per_entry_at64 * 64.0;
+  return at64 * std::pow(static_cast<double>(entries) / 64.0,
+                         tech.cam_scaling_exponent);
+}
+
+double rollback_queue_area_mm2(u32 depth, const TechParams& tech) {
+  return depth * tech.queue_mm2_per_entry;
+}
+
+double rf_delay_ns(u32 regs, const TechParams& tech) {
+  return tech.rf_delay_base_ns + regs * tech.rf_delay_per_reg_ns;
+}
+
+double banked_rf_delay_ns(u32 banks, u32 regs_per_bank,
+                          const TechParams& tech) {
+  return rf_delay_ns(regs_per_bank, tech) + banks * tech.bank_mux_delay_ns;
+}
+
+double cam_delay_ns(u32 entries, const TechParams& tech) {
+  return tech.cam_delay_base_ns + entries * tech.cam_delay_per_entry_ns;
+}
+
+}  // namespace virec::area

@@ -1,0 +1,32 @@
+// Component-level area/delay models (register files, banked register
+// files, CAM tag stores, FIFO queues) used by area_model.hpp.
+#pragma once
+
+#include "area/technology.hpp"
+
+namespace virec::area {
+
+inline constexpr u32 kRegBits = 64;
+
+/// Flat SRAM register file of @p regs 64-bit registers.
+double rf_area_mm2(u32 regs, u32 read_ports = 2, u32 write_ports = 1,
+                   const TechParams& tech = tech45());
+
+/// Banked register file: @p banks independent banks plus select muxes.
+double banked_rf_area_mm2(u32 banks, u32 regs_per_bank,
+                          const TechParams& tech = tech45());
+
+/// Fully-associative CAM tag store with @p entries entries.
+/// Superlinear growth models match lines + priority encoder.
+double cam_area_mm2(u32 entries, const TechParams& tech = tech45());
+
+/// Rollback queue (FIFO of register indices) of @p depth entries.
+double rollback_queue_area_mm2(u32 depth, const TechParams& tech = tech45());
+
+/// Access delays (ns).
+double rf_delay_ns(u32 regs, const TechParams& tech = tech45());
+double banked_rf_delay_ns(u32 banks, u32 regs_per_bank,
+                          const TechParams& tech = tech45());
+double cam_delay_ns(u32 entries, const TechParams& tech = tech45());
+
+}  // namespace virec::area

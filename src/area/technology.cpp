@@ -1,0 +1,10 @@
+#include "area/technology.hpp"
+
+namespace virec::area {
+
+const TechParams& tech45() {
+  static const TechParams params{};
+  return params;
+}
+
+}  // namespace virec::area

@@ -1,0 +1,54 @@
+// 45 nm technology constants for the analytical area/delay model.
+//
+// The paper uses CACTI 6.0 plus FreePDK45 synthesis; we stand in an
+// analytical model whose scaling shapes follow the standard SRAM/CAM
+// models (register file area linear in bits and quadratic in ports,
+// fully-associative CAM superlinear in entries due to match lines and
+// priority encoding) and whose absolute constants are calibrated to the
+// component values the paper reports:
+//   * baseline CVA6-class in-order core  ~1.42 mm^2,
+//   * banked cores with 8/16 64-register banks  2.8-3.9 mm^2,
+//   * a ViReC core with 64 physical registers  ~1.7 mm^2 (+20%),
+//   * RF access delay 0.22 ns baseline -> 0.24 ns at 80 registers,
+//   * Neoverse-N1-class OoO  19.1x the in-order core area.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace virec::area {
+
+struct TechParams {
+  /// Register file: area per bit (mm^2) including decode overhead, at
+  /// the base port count.
+  double rf_mm2_per_bit = 0.1375 / (64.0 * 64.0);
+  /// Port scaling exponent: area scales with ((r+w)/base_ports)^2 for
+  /// wordlines/bitlines.
+  double rf_base_ports = 3.0;  // 2R1W
+  /// CAM tag store: mm^2 per entry at 64 entries, superlinear exponent.
+  double cam_mm2_per_entry_at64 = 0.19 / 64.0;
+  double cam_scaling_exponent = 1.4;
+  /// FIFO rollback queue: mm^2 per entry (registers + comparators).
+  double queue_mm2_per_entry = 0.0014;
+  /// Baseline in-order core (CVA6-class, 45 nm) without its RF.
+  double ino_core_sans_rf_mm2 = 1.35;
+  /// Bank multiplexing/interconnect overhead per additional bank.
+  double bank_mux_mm2 = 0.004;
+  /// Fixed thread-select / bank-control logic of a banked CGMT core.
+  double banked_ctrl_mm2 = 0.21;
+  /// OoO comparator (Neoverse-N1-class) as a multiple of the in-order
+  /// core (Pellegrini & Abernathy, Hot Chips'19; scaled).
+  double ooo_area_factor = 19.1;
+  /// RF delay: base + per-register wordline/bitline growth (ns).
+  double rf_delay_base_ns = 0.200;
+  double rf_delay_per_reg_ns = 0.0005;
+  /// CAM match+encode delay: base + per-entry growth (ns).
+  double cam_delay_base_ns = 0.150;
+  double cam_delay_per_entry_ns = 0.0009;
+  /// Bank select mux delay per bank (ns).
+  double bank_mux_delay_ns = 0.002;
+};
+
+/// The calibrated 45 nm parameter set used throughout the repo.
+const TechParams& tech45();
+
+}  // namespace virec::area

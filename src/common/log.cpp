@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace virec {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level > g_level) return;
+  std::fprintf(stderr, "[virec %-5s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace virec

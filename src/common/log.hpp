@@ -1,0 +1,37 @@
+// Minimal leveled logging. Off by default so simulations stay quiet;
+// tests and debugging sessions can raise the level per run.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace virec {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Global log threshold. Messages above the threshold are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one formatted line to stderr if @p level passes the threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience: log_msg(LogLevel::kDebug, "x=", x).
+template <typename... Args>
+void log_msg(LogLevel level, const Args&... args) {
+  if (level > log_level()) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(level, os.str());
+}
+
+}  // namespace virec

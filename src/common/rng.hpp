@@ -1,0 +1,47 @@
+// Deterministic xorshift128+ RNG. Workload generators use this instead
+// of <random> so index streams are identical across platforms and runs,
+// which the experiment harnesses rely on.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace virec {
+
+class Xorshift128 {
+ public:
+  explicit constexpr Xorshift128(u64 seed = 0x9e3779b97f4a7c15ull)
+      : s0_(splitmix(seed)), s1_(splitmix(s0_ ^ seed)) {
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Next 64 uniformly distributed bits.
+  constexpr u64 next() {
+    u64 x = s0_;
+    const u64 y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  constexpr u64 next_below(u64 bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static constexpr u64 splitmix(u64 x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  u64 s0_;
+  u64 s1_;
+};
+
+}  // namespace virec

@@ -1,0 +1,67 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace virec {
+
+StatSet::StatSet(std::string prefix) : prefix_(std::move(prefix)) {}
+
+std::size_t StatSet::index_of(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const std::size_t idx = stats_.size();
+  stats_.push_back(Stat{name, 0.0});
+  index_.emplace(name, idx);
+  return idx;
+}
+
+void StatSet::inc(const std::string& name, double delta) {
+  stats_[index_of(name)].value += delta;
+}
+
+void StatSet::set(const std::string& name, double value) {
+  stats_[index_of(name)].value = value;
+}
+
+double StatSet::get(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? 0.0 : stats_[it->second].value;
+}
+
+bool StatSet::has(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+std::vector<Stat> StatSet::all() const {
+  std::vector<Stat> out;
+  out.reserve(stats_.size());
+  for (const Stat& s : stats_) {
+    out.push_back(Stat{prefix_.empty() ? s.name : prefix_ + "." + s.name,
+                       s.value});
+  }
+  return out;
+}
+
+void StatSet::clear() {
+  for (Stat& s : stats_) s.value = 0.0;
+}
+
+void StatSet::merge(const StatSet& other) {
+  for (const Stat& s : other.stats_) inc(s.name, s.value);
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += std::log(v);
+  return std::exp(acc / static_cast<double>(values.size()));
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+}  // namespace virec

@@ -1,0 +1,65 @@
+// Named statistics registry. Each simulated component owns a StatSet;
+// counters are cheap (plain u64 increments) and the registry can render
+// itself for reports or be queried programmatically by the harnesses.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace virec {
+
+/// A single scalar statistic.
+struct Stat {
+  std::string name;
+  double value = 0.0;
+};
+
+/// A flat, ordered collection of named counters.
+///
+/// Counters are created on first use and retain insertion order so
+/// reports are stable. Lookup is by exact name.
+class StatSet {
+ public:
+  explicit StatSet(std::string prefix = "");
+
+  /// Add @p delta (default 1) to counter @p name.
+  void inc(const std::string& name, double delta = 1.0);
+
+  /// Overwrite counter @p name.
+  void set(const std::string& name, double value);
+
+  /// Current value of @p name (0 if never touched).
+  double get(const std::string& name) const;
+
+  /// True if the counter exists.
+  bool has(const std::string& name) const;
+
+  /// All counters in insertion order, names prefixed with the set prefix.
+  std::vector<Stat> all() const;
+
+  /// Reset every counter to zero (entries are kept).
+  void clear();
+
+  /// Merge: add every counter of @p other into this set.
+  void merge(const StatSet& other);
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::size_t index_of(const std::string& name);
+
+  std::string prefix_;
+  std::vector<Stat> stats_;
+  std::map<std::string, std::size_t> index_;
+};
+
+/// Geometric mean of a vector of positive values; returns 0 for empty.
+double geomean(const std::vector<double>& values);
+
+/// Arithmetic mean; returns 0 for empty.
+double mean(const std::vector<double>& values);
+
+}  // namespace virec

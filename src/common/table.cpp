@@ -1,0 +1,67 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace virec {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c])) << row[c]
+         << " |";
+    }
+    os << '\n';
+  };
+  auto print_sep = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace virec

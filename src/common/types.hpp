@@ -1,0 +1,48 @@
+// Fixed-width type aliases and small utilities shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace virec {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulation time in core clock cycles.
+using Cycle = u64;
+
+/// Byte address in the simulated physical address space.
+using Addr = u64;
+
+/// Sentinel for "no cycle" / "not scheduled".
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+/// True iff @p v is a power of two (and nonzero).
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power-of-two value.
+constexpr u32 log2_pow2(u64 v) {
+  u32 n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Round @p v up to a multiple of power-of-two @p align.
+constexpr u64 align_up(u64 v, u64 align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Round @p v down to a multiple of power-of-two @p align.
+constexpr u64 align_down(u64 v, u64 align) { return v & ~(align - 1); }
+
+}  // namespace virec

@@ -1,0 +1,64 @@
+#include "core/backing_store_interface.hpp"
+
+#include <algorithm>
+
+namespace virec::core {
+
+BackingStoreInterface::BackingStoreInterface(const BsiConfig& config,
+                                             const cpu::CoreEnv& env,
+                                             StatSet& stats)
+    : config_(config), env_(env), stats_(stats) {}
+
+Cycle BackingStoreInterface::issue(Addr addr, bool is_write, Cycle now) {
+  Cycle start = now;
+  if (!config_.non_blocking) {
+    start = std::max(start, busy_until_);
+  }
+  const Cycle done = env_.ms->dcache(env_.core_id)
+                         .access(addr, is_write, start,
+                                 /*reg_region=*/config_.pin_lines)
+                         .done;
+  busy_until_ = done;
+  return done;
+}
+
+Cycle BackingStoreInterface::fill(int tid, isa::RegId arch, Cycle now) {
+  const Addr addr =
+      env_.ms->reg_addr(env_.core_id, static_cast<u32>(tid), arch);
+  const Cycle done = issue(addr, /*is_write=*/false, now);
+  last_fill_done_ = std::max(last_fill_done_, done);
+  stats_.inc("bsi_fills");
+  return done;
+}
+
+Cycle BackingStoreInterface::dummy_fill(int tid, isa::RegId arch, Cycle now) {
+  const Addr addr =
+      env_.ms->reg_addr(env_.core_id, static_cast<u32>(tid), arch);
+  if (config_.dummy_dest_fill) {
+    // Bookkeeping transaction proceeds in the background; the decode
+    // stage gets a dummy value immediately.
+    issue(addr, /*is_write=*/false, now);
+    stats_.inc("bsi_dummy_fills");
+    return now;
+  }
+  const Cycle done = issue(addr, /*is_write=*/false, now);
+  last_fill_done_ = std::max(last_fill_done_, done);
+  stats_.inc("bsi_fills");
+  return done;
+}
+
+Cycle BackingStoreInterface::spill(int tid, isa::RegId arch, Cycle now) {
+  const Addr addr =
+      env_.ms->reg_addr(env_.core_id, static_cast<u32>(tid), arch);
+  stats_.inc("bsi_spills");
+  return issue(addr, /*is_write=*/true, now);
+}
+
+Cycle BackingStoreInterface::sysreg_transfer(int tid, bool is_write,
+                                             Cycle now) {
+  const Addr addr = env_.ms->sysreg_addr(env_.core_id, static_cast<u32>(tid));
+  stats_.inc(is_write ? "bsi_sysreg_writes" : "bsi_sysreg_reads");
+  return issue(addr, is_write, now);
+}
+
+}  // namespace virec::core

@@ -1,0 +1,75 @@
+#include "core/context_switch_logic.hpp"
+
+#include <algorithm>
+
+namespace virec::core {
+
+ContextSwitchLogic::ContextSwitchLogic(const CslConfig& config,
+                                       u32 num_threads,
+                                       BackingStoreInterface& bsi,
+                                       StatSet& stats)
+    : config_(config),
+      bsi_(bsi),
+      stats_(stats),
+      sysreg_ready_(num_threads, 0),
+      buffered_(num_threads, 0) {}
+
+Cycle ContextSwitchLogic::on_thread_start(int tid, Cycle now) {
+  const auto t = static_cast<std::size_t>(tid);
+  if (buffered_[t]) return std::max(now, sysreg_ready_[t]);
+  const Cycle done = bsi_.sysreg_transfer(tid, /*is_write=*/false, now);
+  buffered_[t] = 1;
+  sysreg_ready_[t] = done;
+  return done;
+}
+
+Cycle ContextSwitchLogic::on_switch(int from_tid, int to_tid,
+                                    int predicted_next, Cycle now) {
+  const auto to = static_cast<std::size_t>(to_tid);
+
+  Cycle ready;
+  if (buffered_[to]) {
+    // Ping-pong buffer swap: the incoming sysregs are (or soon will be)
+    // on chip.
+    ready = std::max(now, sysreg_ready_[to]);
+    if (sysreg_ready_[to] > now) stats_.inc("csl_prefetch_late");
+  } else {
+    // Demand fetch before the new thread can run.
+    ready = bsi_.sysreg_transfer(to_tid, /*is_write=*/false, now);
+    sysreg_ready_[to] = ready;
+    buffered_[to] = 1;
+    stats_.inc("csl_demand_sysreg_fetches");
+  }
+
+  // Outgoing sysregs are written back in the background and leave the
+  // buffer.
+  if (from_tid >= 0) {
+    bsi_.sysreg_transfer(from_tid, /*is_write=*/true, ready);
+    buffered_[static_cast<std::size_t>(from_tid)] = 0;
+  }
+
+  // Prefetch the predicted next thread's sysregs, overlapping the new
+  // thread's pipeline warm-up.
+  if (config_.sysreg_prefetch && predicted_next >= 0 &&
+      predicted_next != to_tid) {
+    const auto nx = static_cast<std::size_t>(predicted_next);
+    if (!buffered_[nx]) {
+      sysreg_ready_[nx] =
+          bsi_.sysreg_transfer(predicted_next, /*is_write=*/false, ready);
+      buffered_[nx] = 1;
+      stats_.inc("csl_sysreg_prefetches");
+    }
+  }
+
+  // The ping-pong buffer holds exactly two contexts: the running thread
+  // and the prefetched one. Anything else falls out of the buffer.
+  for (std::size_t t = 0; t < buffered_.size(); ++t) {
+    if (static_cast<int>(t) != to_tid &&
+        static_cast<int>(t) != predicted_next) {
+      buffered_[t] = 0;
+    }
+  }
+  return ready;
+}
+
+}  // namespace virec::core

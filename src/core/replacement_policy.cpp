@@ -1,0 +1,138 @@
+#include "core/replacement_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace virec::core {
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPLRU: return "plru";
+    case PolicyKind::kLRU: return "lru";
+    case PolicyKind::kFIFO: return "fifo";
+    case PolicyKind::kRandom: return "random";
+    case PolicyKind::kMrtPLRU: return "mrt-plru";
+    case PolicyKind::kMrtLRU: return "mrt-lru";
+    case PolicyKind::kLRC: return "lrc";
+  }
+  return "?";
+}
+
+PolicyKind parse_policy(const std::string& name) {
+  for (PolicyKind kind : all_policies()) {
+    if (name == policy_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown policy '" + name + "'");
+}
+
+std::vector<PolicyKind> all_policies() {
+  return {PolicyKind::kPLRU,    PolicyKind::kLRU,    PolicyKind::kFIFO,
+          PolicyKind::kRandom,  PolicyKind::kMrtPLRU, PolicyKind::kMrtLRU,
+          PolicyKind::kLRC};
+}
+
+ReplacementPolicy::ReplacementPolicy(PolicyKind kind, u64 seed)
+    : kind_(kind), rng_(seed) {}
+
+void ReplacementPolicy::on_access(std::vector<RfEntry>& entries, u32 idx) {
+  // Every access ages all other entries (saturating 3-bit counters):
+  // entries not touched for a handful of accesses all reach the
+  // maximum age — the "fuzzing of reuse distances" of Section 4.2 that
+  // the commit bit disambiguates.
+  for (u32 i = 0; i < entries.size(); ++i) {
+    if (i == idx || !entries[i].valid) continue;
+    if (entries[i].age < kMaxAge) ++entries[i].age;
+  }
+  RfEntry& entry = entries[idx];
+  entry.age = 0;
+  entry.last_use = ++tick_;
+  entry.c_bit = true;  // speculative; rollback clears it on flush
+}
+
+void ReplacementPolicy::on_instruction(std::vector<RfEntry>& entries,
+                                       const std::vector<u32>& accessed) {
+  for (u32 i = 0; i < entries.size(); ++i) {
+    RfEntry& entry = entries[i];
+    if (!entry.valid) continue;
+    if (std::find(accessed.begin(), accessed.end(), i) != accessed.end()) {
+      continue;
+    }
+    if (entry.age < kMaxAge) ++entry.age;
+  }
+}
+
+void ReplacementPolicy::on_insert(std::vector<RfEntry>& entries, u32 idx,
+                                  u8 tid, isa::RegId arch) {
+  RfEntry& entry = entries[idx];
+  entry.valid = true;
+  entry.tid = tid;
+  entry.arch = arch;
+  entry.dirty = false;
+  entry.t_bits = 0;
+  entry.age = 0;
+  entry.c_bit = true;
+  entry.last_use = ++tick_;
+  entry.insert_seq = ++seq_;
+}
+
+void ReplacementPolicy::on_context_switch(std::vector<RfEntry>& entries,
+                                          int from_tid, int to_tid) {
+  for (RfEntry& entry : entries) {
+    if (!entry.valid) continue;
+    if (static_cast<int>(entry.tid) == from_tid) {
+      entry.t_bits = kMaxTBits;
+    } else if (static_cast<int>(entry.tid) == to_tid) {
+      entry.t_bits = 0;
+    } else if (entry.t_bits > 0) {
+      --entry.t_bits;
+    }
+  }
+}
+
+u64 ReplacementPolicy::priority(const RfEntry& entry) const {
+  // Perfect timestamps are inverted so "older" => larger priority.
+  const u64 inv_use = ~entry.last_use;
+  const u64 inv_seq = ~entry.insert_seq;
+  switch (kind_) {
+    case PolicyKind::kPLRU:
+      return entry.age;
+    case PolicyKind::kLRU:
+      return inv_use;
+    case PolicyKind::kFIFO:
+      return inv_seq;
+    case PolicyKind::kRandom:
+      return 0;  // handled in pick_victim
+    case PolicyKind::kMrtPLRU:
+      return (u64{entry.t_bits} << 3) | entry.age;
+    case PolicyKind::kMrtLRU:
+      return (u64{entry.t_bits} << 58) | (inv_use & ((u64{1} << 58) - 1));
+    case PolicyKind::kLRC:
+      return (u64{entry.t_bits} << 4) | (u64{entry.c_bit} << 3) | entry.age;
+  }
+  return 0;
+}
+
+int ReplacementPolicy::pick_victim(const std::vector<RfEntry>& entries,
+                                   const std::vector<u8>& locked) {
+  if (kind_ == PolicyKind::kRandom) {
+    std::vector<u32> candidates;
+    for (u32 i = 0; i < entries.size(); ++i) {
+      if (entries[i].valid && !locked[i]) candidates.push_back(i);
+    }
+    if (candidates.empty()) return -1;
+    return static_cast<int>(candidates[rng_.next_below(candidates.size())]);
+  }
+  int best = -1;
+  u64 best_priority = 0;
+  for (u32 i = 0; i < entries.size(); ++i) {
+    if (!entries[i].valid || locked[i]) continue;
+    const u64 p = priority(entries[i]);
+    if (best < 0 || p > best_priority) {
+      best = static_cast<int>(i);
+      best_priority = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace virec::core

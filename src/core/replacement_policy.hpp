@@ -1,0 +1,105 @@
+// Register-cache replacement policies (Section 4 of the paper).
+//
+// Every physical register entry carries the replacement state the
+// paper's tag store holds: a 3-bit thread-recency field (T), a 1-bit
+// commit flag (C), a 3-bit pseudo-LRU age (A), plus perfect-LRU
+// timestamps and FIFO sequence numbers for the non-pseudo baseline
+// variants. The policy ranks eviction candidates by a retention
+// priority word; the entry with the *highest* priority is evicted:
+//
+//   PLRU      A
+//   LRU       oldest perfect timestamp
+//   FIFO      oldest insertion
+//   Random    uniform
+//   MRT-PLRU  (T << 3) | A
+//   MRT-LRU   T, then oldest perfect timestamp
+//   LRC       (T << 4) | (C << 3) | A        <- the paper's contribution
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "isa/inst.hpp"
+
+namespace virec::core {
+
+enum class PolicyKind {
+  kPLRU,
+  kLRU,
+  kFIFO,
+  kRandom,
+  kMrtPLRU,
+  kMrtLRU,
+  kLRC,
+};
+
+const char* policy_name(PolicyKind kind);
+/// Parse "lrc", "mrt-plru", ... Throws std::invalid_argument.
+PolicyKind parse_policy(const std::string& name);
+/// All policies, in the order Figure 12 reports them.
+std::vector<PolicyKind> all_policies();
+
+/// One physical register file entry's tag-store state.
+struct RfEntry {
+  bool valid = false;
+  u8 tid = 0;
+  isa::RegId arch = 0;
+  bool dirty = false;
+  // Replacement policy state.
+  u8 t_bits = 0;       ///< 0 = running thread, max = just suspended
+  u8 age = 0;          ///< 3-bit saturating pseudo-LRU age
+  bool c_bit = false;  ///< last accessing instruction committed
+  u64 last_use = 0;    ///< perfect-LRU timestamp
+  u64 insert_seq = 0;  ///< FIFO insertion order
+};
+
+class ReplacementPolicy {
+ public:
+  static constexpr u8 kMaxAge = 7;     // 3-bit A field
+  static constexpr u8 kMaxTBits = 7;   // 3-bit T field
+
+  explicit ReplacementPolicy(PolicyKind kind, u64 seed = 0x5eedf00d);
+
+  PolicyKind kind() const { return kind_; }
+
+  /// Entry @p idx was accessed by a decoding instruction. Resets its
+  /// age, stamps perfect-LRU time and speculatively sets the C bit
+  /// (Section 5.1: C is set on access and rolled back on flush).
+  void on_access(std::vector<RfEntry>& entries, u32 idx);
+
+  /// Age every valid entry except those accessed this instruction;
+  /// called once per decoded instruction.
+  void on_instruction(std::vector<RfEntry>& entries,
+                      const std::vector<u32>& accessed);
+
+  /// New mapping installed in entry @p idx.
+  void on_insert(std::vector<RfEntry>& entries, u32 idx, u8 tid,
+                 isa::RegId arch);
+
+  /// Context switch: previous thread's registers get T = max, all
+  /// others decrement saturating at zero; the incoming thread's
+  /// registers are forced to zero.
+  void on_context_switch(std::vector<RfEntry>& entries, int from_tid,
+                         int to_tid);
+
+  /// Rollback-queue compaction reset of a flushed register's C bit.
+  static void on_flush_reset(RfEntry& entry) { entry.c_bit = false; }
+
+  /// Pick the victim among valid entries whose index is not in
+  /// @p locked (bool per entry). Returns -1 if none is evictable.
+  int pick_victim(const std::vector<RfEntry>& entries,
+                  const std::vector<u8>& locked);
+
+ private:
+  /// Retention priority; higher values are evicted first.
+  u64 priority(const RfEntry& entry) const;
+
+  PolicyKind kind_;
+  Xorshift128 rng_;
+  u64 tick_ = 0;
+  u64 seq_ = 0;
+};
+
+}  // namespace virec::core

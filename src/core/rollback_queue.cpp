@@ -1,0 +1,32 @@
+#include "core/rollback_queue.hpp"
+
+#include <stdexcept>
+
+namespace virec::core {
+
+RollbackQueue::RollbackQueue(u32 depth) : depth_(depth) {}
+
+void RollbackQueue::push(const Entry& entry) {
+  if (fifo_.size() >= depth_) {
+    throw std::logic_error("RollbackQueue overflow: backend deeper than queue");
+  }
+  fifo_.push_back(entry);
+}
+
+void RollbackQueue::pop_oldest() {
+  if (fifo_.empty()) {
+    throw std::logic_error("RollbackQueue underflow on commit");
+  }
+  fifo_.pop_front();
+}
+
+void RollbackQueue::flush_to(TagStore& tags) {
+  for (const Entry& entry : fifo_) {
+    for (u32 i = 0; i < entry.count; ++i) {
+      tags.reset_c_bit(entry.phys[i], entry.tid[i], entry.arch[i]);
+    }
+  }
+  fifo_.clear();
+}
+
+}  // namespace virec::core

@@ -1,0 +1,60 @@
+// The VRMU rollback queue (Section 5.1): a FIFO with one entry per
+// in-flight instruction, recording which physical registers it touched
+// and whether it is a memory operation.
+//
+//  * decode pushes an entry;
+//  * commit pops the oldest entry (its registers keep C = 1);
+//  * a context-switch flush compacts all remaining entries into a
+//    one-hot vector and resets the C bits of those registers, marking
+//    them "will be replayed soon -- retain";
+//  * the oldest entry's memory-op flag feeds the CSL switch mask.
+#pragma once
+
+#include <array>
+#include <deque>
+
+#include "core/tag_store.hpp"
+
+namespace virec::core {
+
+class RollbackQueue {
+ public:
+  explicit RollbackQueue(u32 depth);
+
+  struct Entry {
+    u32 count = 0;
+    std::array<u16, 4> phys{};
+    std::array<u8, 4> tid{};
+    std::array<isa::RegId, 4> arch{};
+    bool is_mem = false;
+  };
+
+  /// Push a decoded instruction's register set. The queue depth equals
+  /// the processor backend capacity, so overflow indicates a pipeline
+  /// modelling bug; it throws.
+  void push(const Entry& entry);
+
+  /// Commit the oldest in-flight instruction.
+  void pop_oldest();
+
+  /// Context-switch flush: reset C bits of every queued register whose
+  /// mapping is still current, then clear the queue.
+  void flush_to(TagStore& tags);
+
+  /// Wrong-path discard (branch misprediction, post-halt fetch): drop
+  /// entries without touching C bits.
+  void clear() { fifo_.clear(); }
+
+  /// CSL mask input: is the oldest in-flight instruction a memory op?
+  bool oldest_is_mem() const { return !fifo_.empty() && fifo_.front().is_mem; }
+
+  u32 size() const { return static_cast<u32>(fifo_.size()); }
+  bool empty() const { return fifo_.empty(); }
+  u32 depth() const { return depth_; }
+
+ private:
+  u32 depth_;
+  std::deque<Entry> fifo_;
+};
+
+}  // namespace virec::core

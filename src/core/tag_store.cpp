@@ -1,0 +1,75 @@
+#include "core/tag_store.hpp"
+
+#include <stdexcept>
+
+namespace virec::core {
+
+TagStore::TagStore(u32 num_phys_regs, u32 num_threads, PolicyKind policy,
+                   u64 seed)
+    : entries_(num_phys_regs),
+      map_(static_cast<std::size_t>(num_threads) * isa::kNumArchRegs, -1),
+      policy_(policy, seed) {
+  if (num_phys_regs == 0 || num_phys_regs > 4096) {
+    throw std::invalid_argument("TagStore: bad physical register count");
+  }
+}
+
+int TagStore::lookup(int tid, isa::RegId arch) const {
+  return map_[static_cast<std::size_t>(tid) * isa::kNumArchRegs + arch];
+}
+
+int TagStore::allocate(int tid, isa::RegId arch,
+                       const std::vector<u8>& locked, Victim* victim) {
+  if (victim != nullptr) *victim = Victim{};
+  // Prefer a free entry.
+  for (u32 i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].valid && !locked[i]) {
+      policy_.on_insert(entries_, i, static_cast<u8>(tid), arch);
+      map_[static_cast<std::size_t>(tid) * isa::kNumArchRegs + arch] =
+          static_cast<i16>(i);
+      return static_cast<int>(i);
+    }
+  }
+  const int idx = policy_.pick_victim(entries_, locked);
+  if (idx < 0) return -1;
+  RfEntry& entry = entries_[static_cast<u32>(idx)];
+  if (victim != nullptr) {
+    victim->valid = true;
+    victim->tid = entry.tid;
+    victim->arch = entry.arch;
+    victim->dirty = entry.dirty;
+  }
+  map_[static_cast<std::size_t>(entry.tid) * isa::kNumArchRegs + entry.arch] =
+      -1;
+  policy_.on_insert(entries_, static_cast<u32>(idx), static_cast<u8>(tid),
+                    arch);
+  map_[static_cast<std::size_t>(tid) * isa::kNumArchRegs + arch] =
+      static_cast<i16>(idx);
+  return idx;
+}
+
+void TagStore::invalidate(u32 idx) {
+  RfEntry& entry = entries_[idx];
+  if (!entry.valid) return;
+  map_[static_cast<std::size_t>(entry.tid) * isa::kNumArchRegs + entry.arch] =
+      -1;
+  entry = RfEntry{};
+}
+
+void TagStore::reset_c_bit(u32 idx, int tid, isa::RegId arch) {
+  RfEntry& entry = entries_[idx];
+  if (entry.valid && static_cast<int>(entry.tid) == tid &&
+      entry.arch == arch) {
+    ReplacementPolicy::on_flush_reset(entry);
+  }
+}
+
+u32 TagStore::valid_entries() const {
+  u32 count = 0;
+  for (const RfEntry& e : entries_) {
+    if (e.valid) ++count;
+  }
+  return count;
+}
+
+}  // namespace virec::core

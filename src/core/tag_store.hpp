@@ -1,0 +1,70 @@
+// The VRMU tag store (Figure 8): a fully-associative CAM that maps
+// (thread, architectural register) pairs to physical register file
+// indices and owns the replacement state of every entry.
+#pragma once
+
+#include <vector>
+
+#include "core/replacement_policy.hpp"
+
+namespace virec::core {
+
+class TagStore {
+ public:
+  TagStore(u32 num_phys_regs, u32 num_threads, PolicyKind policy,
+           u64 seed = 0x5eedf00d);
+
+  /// Physical index holding (tid, arch), or -1.
+  int lookup(int tid, isa::RegId arch) const;
+
+  /// Record a decode access to @p idx (policy A/C/timestamps).
+  void touch(u32 idx) { policy_.on_access(entries_, idx); }
+
+  /// Per-instruction aging; @p accessed lists the entry indices the
+  /// instruction touched.
+  void age_tick(const std::vector<u32>& accessed) {
+    policy_.on_instruction(entries_, accessed);
+  }
+
+  struct Victim {
+    bool valid = false;  ///< an existing mapping was displaced
+    u8 tid = 0;
+    isa::RegId arch = 0;
+    bool dirty = false;
+  };
+
+  /// Install a mapping for (tid, arch), evicting if the RF is full.
+  /// Entries flagged in @p locked are exempt from eviction. Returns the
+  /// physical index, or -1 when every entry is locked.
+  int allocate(int tid, isa::RegId arch, const std::vector<u8>& locked,
+               Victim* victim);
+
+  /// Drop the mapping in entry @p idx (thread halt).
+  void invalidate(u32 idx);
+
+  void mark_dirty(u32 idx) { entries_[idx].dirty = true; }
+  void clear_dirty(u32 idx) { entries_[idx].dirty = false; }
+
+  /// T-bit update on a context switch.
+  void on_context_switch(int from_tid, int to_tid) {
+    policy_.on_context_switch(entries_, from_tid, to_tid);
+  }
+
+  /// Rollback-queue compaction: reset the C bit of entry @p idx if it
+  /// still maps (tid, arch); stale (remapped) indices are ignored.
+  void reset_c_bit(u32 idx, int tid, isa::RegId arch);
+
+  const RfEntry& entry(u32 idx) const { return entries_[idx]; }
+  const std::vector<RfEntry>& entries() const { return entries_; }
+  u32 size() const { return static_cast<u32>(entries_.size()); }
+  u32 valid_entries() const;
+  PolicyKind policy_kind() const { return policy_.kind(); }
+
+ private:
+  std::vector<RfEntry> entries_;
+  // Direct map for O(1) lookup: (tid * 32 + arch) -> phys idx or -1.
+  std::vector<i16> map_;
+  ReplacementPolicy policy_;
+};
+
+}  // namespace virec::core

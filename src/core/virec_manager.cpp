@@ -1,0 +1,259 @@
+#include "core/virec_manager.hpp"
+
+#include <algorithm>
+
+namespace virec::core {
+
+ViReCConfig make_nsf_config(u32 num_phys_regs) {
+  ViReCConfig config;
+  config.num_phys_regs = num_phys_regs;
+  config.policy = PolicyKind::kPLRU;
+  config.bsi.non_blocking = false;
+  config.bsi.dummy_dest_fill = false;
+  config.bsi.pin_lines = false;
+  config.csl.sysreg_prefetch = false;
+  return config;
+}
+
+ViReCManager::ViReCManager(const ViReCConfig& config, const cpu::CoreEnv& env)
+    : ContextManager(env, "virec"),
+      config_(config),
+      tags_(config.num_phys_regs, env.num_threads, config.policy,
+            config.seed),
+      rollback_(config.rollback_depth),
+      bsi_(config.bsi, env, stats_),
+      csl_(config.csl, env.num_threads, bsi_, stats_),
+      phys_values_(config.num_phys_regs, 0),
+      used_this_episode_(env.num_threads, 0),
+      last_episode_used_(env.num_threads, 0) {}
+
+Cycle ViReCManager::on_thread_start(int tid, Cycle now) {
+  // General-purpose registers are demand-filled; only the sysreg line
+  // must be present before the thread can fetch.
+  return csl_.on_thread_start(tid, now);
+}
+
+int ViReCManager::allocate_entry(int tid, isa::RegId arch,
+                                 std::vector<u8>& locked, Cycle now,
+                                 Cycle& spill_done) {
+  TagStore::Victim victim;
+  const int idx = tags_.allocate(tid, arch, locked, &victim);
+  if (idx < 0) return -1;
+  if (victim.valid && victim.dirty) {
+    // Functional value moves to the backing store immediately; the
+    // timing cost is a background BSI spill.
+    backing_write(victim.tid, victim.arch,
+                  phys_values_[static_cast<u32>(idx)]);
+    spill_done =
+        std::max(spill_done, bsi_.spill(victim.tid, victim.arch, now));
+    stats_.inc("rf_spills");
+  }
+  if (victim.valid) stats_.inc("rf_evictions");
+  locked[static_cast<u32>(idx)] = 1;
+  return idx;
+}
+
+cpu::DecodeAccess ViReCManager::on_decode(int tid, const isa::Inst& inst,
+                                          Cycle now) {
+  cpu::DecodeAccess acc;
+  acc.ready = now;
+
+  const isa::RegList srcs = isa::src_regs(inst);
+  const isa::RegList dsts = isa::dst_regs(inst);
+
+  // Registers this instruction references must not evict each other
+  // while its misses resolve.
+  std::vector<u8> locked(config_.num_phys_regs, 0);
+  std::vector<u32> accessed;
+  RollbackQueue::Entry rb;
+  rb.is_mem = isa::is_mem(inst.op);
+
+  Cycle spill_done = now;
+
+  auto record = [&](int idx, isa::RegId arch) {
+    used_this_episode_[static_cast<std::size_t>(tid)] |= 1u << arch;
+    locked[static_cast<u32>(idx)] = 1;
+    accessed.push_back(static_cast<u32>(idx));
+    if (rb.count < rb.phys.size()) {
+      rb.phys[rb.count] = static_cast<u16>(idx);
+      rb.tid[rb.count] = static_cast<u8>(tid);
+      rb.arch[rb.count] = arch;
+      ++rb.count;
+    }
+  };
+
+  // Source operands: must hold the architectural value before decode
+  // completes.
+  for (u32 i = 0; i < srcs.count; ++i) {
+    const isa::RegId arch = srcs.regs[i];
+    int idx = tags_.lookup(tid, arch);
+    if (idx >= 0) {
+      stats_.inc("rf_hits");
+      tags_.touch(static_cast<u32>(idx));
+    } else {
+      stats_.inc("rf_misses");
+      idx = allocate_entry(tid, arch, locked, now, spill_done);
+      if (idx < 0) {
+        // Pathological: every entry locked by this instruction. Serve
+        // the operand straight from the backing store.
+        acc.ready = std::max(acc.ready, bsi_.fill(tid, arch, acc.ready));
+        acc.hit = false;
+        ++acc.fills;
+        continue;
+      }
+      phys_values_[static_cast<u32>(idx)] = backing_read(tid, arch);
+      acc.ready = std::max(acc.ready, bsi_.fill(tid, arch, now));
+      acc.hit = false;
+      ++acc.fills;
+    }
+    record(idx, arch);
+  }
+
+  // Destination-only operands: allocate, optionally with a dummy fill.
+  for (u32 i = 0; i < dsts.count; ++i) {
+    const isa::RegId arch = dsts.regs[i];
+    bool also_src = false;
+    for (u32 j = 0; j < srcs.count; ++j) {
+      if (srcs.regs[j] == arch) {
+        also_src = true;
+        break;
+      }
+    }
+    if (also_src) continue;
+    int idx = tags_.lookup(tid, arch);
+    if (idx >= 0) {
+      stats_.inc("rf_hits");
+      tags_.touch(static_cast<u32>(idx));
+    } else {
+      stats_.inc("rf_misses");
+      idx = allocate_entry(tid, arch, locked, now, spill_done);
+      if (idx < 0) continue;  // handled functionally via backing store
+      // The architectural value is dead (pure destination); install the
+      // current backing value so partial-width updates stay correct,
+      // but do not put the fill latency on the critical path.
+      phys_values_[static_cast<u32>(idx)] = backing_read(tid, arch);
+      const Cycle done = bsi_.dummy_fill(tid, arch, now);
+      acc.ready = std::max(acc.ready, done);
+      if (done > now) {
+        acc.hit = false;
+        ++acc.fills;
+      }
+    }
+    record(idx, arch);
+  }
+
+  rollback_.push(rb);
+  acc.spills = static_cast<u32>(stats_.get("rf_spills"));
+  return acc;
+}
+
+void ViReCManager::on_commit(int tid, const isa::Inst& inst) {
+  (void)tid;
+  (void)inst;
+  if (!rollback_.empty()) rollback_.pop_oldest();
+}
+
+void ViReCManager::on_mispredict_flush(int tid) {
+  (void)tid;
+  // Wrong-path instructions never replay; drop their entries without
+  // resetting C bits.
+  rollback_.clear();
+}
+
+Cycle ViReCManager::on_context_switch(int from_tid, int to_tid,
+                                      int predicted_next, Cycle now) {
+  rollback_.flush_to(tags_);
+  tags_.on_context_switch(from_tid, to_tid);
+  stats_.inc("context_switches");
+
+  if (from_tid >= 0) {
+    const auto from = static_cast<std::size_t>(from_tid);
+    last_episode_used_[from] = used_this_episode_[from];
+    used_this_episode_[from] = 0;
+
+    if (config_.group_spill) {
+      // Future-work "group evictions": eagerly write back the
+      // suspended thread's dirty committed registers in one burst.
+      // Their entries stay valid (and clean), so when the policy later
+      // victimises them no spill sits on anyone's critical path.
+      Cycle t = now;
+      for (u32 i = 0; i < tags_.size(); ++i) {
+        const RfEntry& entry = tags_.entry(i);
+        if (!entry.valid || static_cast<int>(entry.tid) != from_tid ||
+            !entry.dirty || !entry.c_bit) {
+          continue;
+        }
+        backing_write(from_tid, entry.arch, phys_values_[i]);
+        t = bsi_.spill(from_tid, entry.arch, t);
+        tags_.clear_dirty(i);
+        stats_.inc("group_spills");
+      }
+    }
+  }
+
+  const Cycle ready = csl_.on_switch(from_tid, to_tid, predicted_next, now);
+
+  if (config_.switch_prefetch && to_tid >= 0) {
+    // Future-work prefetch hybrid: pull the incoming thread's
+    // previous-episode registers into the RF in the background. The
+    // BSI traffic overlaps the pipeline refill; wrongly predicted
+    // registers simply occupy entries until evicted.
+    const auto to = static_cast<std::size_t>(to_tid);
+    const u32 want = last_episode_used_[to];
+    std::vector<u8> locked(config_.num_phys_regs, 0);
+    Cycle t = now;
+    for (u8 arch = 0; arch < isa::kNumAllocatableRegs; ++arch) {
+      if (!(want & (1u << arch))) continue;
+      if (tags_.lookup(to_tid, arch) >= 0) continue;
+      Cycle spill_done = t;
+      const int idx = allocate_entry(to_tid, arch, locked, t, spill_done);
+      if (idx < 0) break;
+      phys_values_[static_cast<u32>(idx)] = backing_read(to_tid, arch);
+      t = bsi_.fill(to_tid, arch, t);
+      stats_.inc("switch_prefetch_fills");
+    }
+  }
+  return ready;
+}
+
+bool ViReCManager::switch_allowed(Cycle now) const {
+  return !bsi_.fill_outstanding(now);
+}
+
+void ViReCManager::on_thread_halt(int tid, Cycle now) {
+  Cycle t = now;
+  for (u32 i = 0; i < tags_.size(); ++i) {
+    const RfEntry& entry = tags_.entry(i);
+    if (!entry.valid || static_cast<int>(entry.tid) != tid) continue;
+    if (entry.dirty) {
+      backing_write(tid, entry.arch, phys_values_[i]);
+      t = bsi_.spill(tid, entry.arch, t);
+    }
+    tags_.invalidate(i);
+  }
+}
+
+u64 ViReCManager::read_reg(int tid, isa::RegId reg) {
+  const int idx = tags_.lookup(tid, reg);
+  if (idx >= 0) return phys_values_[static_cast<u32>(idx)];
+  return backing_read(tid, reg);
+}
+
+void ViReCManager::write_reg(int tid, isa::RegId reg, u64 value) {
+  const int idx = tags_.lookup(tid, reg);
+  if (idx >= 0) {
+    phys_values_[static_cast<u32>(idx)] = value;
+    tags_.mark_dirty(static_cast<u32>(idx));
+  } else {
+    backing_write(tid, reg, value);
+  }
+}
+
+double ViReCManager::rf_hit_rate() const {
+  const double hits = stats_.get("rf_hits");
+  const double misses = stats_.get("rf_misses");
+  const double total = hits + misses;
+  return total == 0.0 ? 1.0 : hits / total;
+}
+
+}  // namespace virec::core

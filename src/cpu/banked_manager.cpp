@@ -1,0 +1,55 @@
+#include "cpu/banked_manager.hpp"
+
+namespace virec::cpu {
+
+BankedManager::BankedManager(const CoreEnv& env)
+    : ContextManager(env, "banked"), banks_(env.num_threads) {
+  for (auto& bank : banks_) bank.fill(0);
+}
+
+Cycle BankedManager::on_thread_start(int tid, Cycle now) {
+  // Fetch the offloaded context (4 GPR lines + 1 sysreg line) from the
+  // reserved region into the bank through the dcache.
+  const Addr base = env_.ms->context_base(env_.core_id, static_cast<u32>(tid));
+  Cycle ready = now;
+  for (u32 line = 0; line < 5; ++line) {
+    const auto acc = dcache().access(base + line * mem::kLineBytes,
+                                     /*is_write=*/false, now,
+                                     /*reg_region=*/false);
+    ready = std::max(ready, acc.done);
+  }
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    banks_[static_cast<std::size_t>(tid)][r] = backing_read(tid, r);
+  }
+  stats_.inc("context_loads");
+  return ready;
+}
+
+DecodeAccess BankedManager::on_decode(int tid, const isa::Inst& inst,
+                                      Cycle now) {
+  (void)tid;
+  (void)inst;
+  stats_.inc("rf_accesses");
+  return DecodeAccess{.ready = now, .fills = 0, .spills = 0, .hit = true};
+}
+
+void BankedManager::on_thread_halt(int tid, Cycle now) {
+  (void)now;
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    backing_write(tid, r, banks_[static_cast<std::size_t>(tid)][r]);
+  }
+}
+
+u32 BankedManager::physical_regs() const {
+  return env_.num_threads * isa::kNumArchRegs;
+}
+
+u64 BankedManager::read_reg(int tid, isa::RegId reg) {
+  return banks_[static_cast<std::size_t>(tid)][reg];
+}
+
+void BankedManager::write_reg(int tid, isa::RegId reg, u64 value) {
+  banks_[static_cast<std::size_t>(tid)][reg] = value;
+}
+
+}  // namespace virec::cpu

@@ -1,0 +1,362 @@
+#include "cpu/cgmt_core.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace virec::cpu {
+
+CgmtCore::CgmtCore(const CgmtCoreConfig& config, const CoreEnv& env,
+                   ContextManager& rcm, const kasm::Program& program)
+    : config_(config),
+      env_(env),
+      rcm_(rcm),
+      program_(program),
+      sq_(config.sq_entries, env.ms->dcache(env.core_id)),
+      threads_(config.num_threads),
+      stats_("core") {
+  if (env.num_threads != config.num_threads) {
+    throw std::invalid_argument("CgmtCore: env/config thread count mismatch");
+  }
+  program_.validate();
+}
+
+void CgmtCore::start_thread(int tid, u64 entry_pc) {
+  Thread& t = threads_.at(static_cast<std::size_t>(tid));
+  if (t.started) throw std::logic_error("thread started twice");
+  t.started = true;
+  t.pc = entry_pc;
+  ++live_threads_;
+}
+
+u64 CgmtCore::predict_next(const isa::Inst& inst, u64 pc) const {
+  switch (inst.op) {
+    case isa::Op::kB:
+    case isa::Op::kBl:
+      return static_cast<u64>(inst.target);
+    case isa::Op::kBcond:
+    case isa::Op::kCbz:
+    case isa::Op::kCbnz:
+      // Backward-taken / forward-not-taken.
+      return static_cast<u64>(inst.target) <= pc
+                 ? static_cast<u64>(inst.target)
+                 : pc + 1;
+    default:
+      return pc + 1;  // ret predicted fall-through (resolved at commit)
+  }
+}
+
+int CgmtCore::pick_next_thread() const {
+  const u32 n = config_.num_threads;
+  if (current_tid_ < 0) {
+    // Initial schedule: first ready thread, else earliest to become ready.
+    int best = -1;
+    for (u32 tid = 0; tid < n; ++tid) {
+      const Thread& t = threads_[tid];
+      if (!t.started || t.halted) continue;
+      if (t.blocked_until <= cycle_) return static_cast<int>(tid);
+      if (best < 0 ||
+          t.blocked_until < threads_[static_cast<u32>(best)].blocked_until) {
+        best = static_cast<int>(tid);
+      }
+    }
+    return best;
+  }
+  // Round-robin from the current thread over *ready* candidates only.
+  // If every other thread is still blocked, the pending switch request
+  // is retried each cycle, so threads resume in data-arrival order.
+  for (u32 step = 1; step < n; ++step) {
+    const u32 tid = (static_cast<u32>(current_tid_) + step) % n;
+    const Thread& t = threads_[tid];
+    if (!t.started || t.halted) continue;
+    if (t.blocked_until <= cycle_) return static_cast<int>(tid);
+  }
+  return -1;
+}
+
+int CgmtCore::predict_thread_after(int after) const {
+  // Mirror pick_next_thread()'s ready-first round-robin so the sysreg
+  // ping-pong buffer and the register prefetchers target the thread the
+  // scheduler will actually choose.
+  const u32 n = config_.num_threads;
+  int best = -1;
+  for (u32 step = 1; step < n; ++step) {
+    const u32 tid = (static_cast<u32>(after) + step) % n;
+    const Thread& t = threads_[tid];
+    if (!t.started || t.halted || static_cast<int>(tid) == after ||
+        static_cast<int>(tid) == current_tid_) {
+      continue;
+    }
+    if (t.blocked_until <= cycle_) return static_cast<int>(tid);
+    if (best < 0 ||
+        t.blocked_until < threads_[static_cast<u32>(best)].blocked_until) {
+      best = static_cast<int>(tid);
+    }
+  }
+  return best;
+}
+
+void CgmtCore::flush_pipeline(bool replayed) {
+  (void)replayed;
+  if_.valid = false;
+  id_.valid = false;
+  ex_.valid = false;
+  mem_.valid = false;
+  switch_pending_ = false;
+}
+
+void CgmtCore::switch_to(int to_tid) {
+  Thread& t = threads_[static_cast<std::size_t>(to_tid)];
+  if (t.has_reserved_line) {
+    env_.ms->dcache(env_.core_id).release_line(t.reserved_line);
+    t.has_reserved_line = false;
+  }
+  current_tid_ = to_tid;
+  fetch_pc_ = t.pc;
+  Cycle ready = std::max(cycle_ + 1, t.blocked_until);
+  if (!t.launched_context) {
+    t.launched_context = true;
+    t.start_ready = rcm_.on_thread_start(to_tid, ready);
+  }
+  ready = std::max(ready, t.start_ready);
+  fetch_ready_ = ready;
+}
+
+bool CgmtCore::request_context_switch(u64 resume_pc, Cycle miss_done) {
+  Thread& cur = threads_[static_cast<std::size_t>(current_tid_)];
+  const int next = pick_next_thread();
+  if (next < 0 || next == current_tid_) {
+    // No ready thread this cycle; the pending request is retried.
+    return false;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->on_context_switch(cycle_, current_tid_, next, resume_pc);
+  }
+  cur.pc = resume_pc;
+  cur.blocked_until = miss_done;
+  // Hold the miss response for this thread: the line it is waiting on
+  // must survive until the replayed load consumes it.
+  cur.has_reserved_line =
+      env_.ms->dcache(env_.core_id).reserve_line(mem_.mem_addr);
+  cur.reserved_line = mem_.mem_addr;
+  flush_pipeline(/*replayed=*/true);
+  stats_.inc("context_switches");
+  const Cycle csl_ready = rcm_.on_context_switch(
+      current_tid_, next, predict_thread_after(next), cycle_);
+  switch_to(next);
+  fetch_ready_ = std::max(fetch_ready_, csl_ready);
+  committed_since_switch_ = false;
+  return true;
+}
+
+void CgmtCore::commit(Latch& latch) {
+  const int tid = current_tid_;
+  Thread& t = threads_[static_cast<std::size_t>(tid)];
+  const isa::ExecResult res = isa::execute(
+      latch.inst, latch.pc, tid, rcm_, env_.ms->memory(), t.nzcv);
+  rcm_.on_commit(tid, latch.inst);
+  ++instructions_;
+  committed_since_switch_ = true;
+  latch.valid = false;
+  if (tracer_ != nullptr) tracer_->on_commit(cycle_, tid, latch.pc, latch.inst);
+
+  if (res.halted) {
+    if (tracer_ != nullptr) tracer_->on_halt(cycle_, tid);
+    t.halted = true;
+    --live_threads_;
+    rcm_.on_thread_halt(tid, cycle_);
+    flush_pipeline(/*replayed=*/false);
+    rcm_.on_mispredict_flush(tid);
+    stats_.inc("halts");
+    const int next = pick_next_thread();
+    if (next >= 0 && next != tid) {
+      const Cycle csl_ready = rcm_.on_context_switch(
+          tid, next, predict_thread_after(next), cycle_);
+      switch_to(next);
+      fetch_ready_ = std::max(fetch_ready_, csl_ready);
+      committed_since_switch_ = false;
+    } else {
+      current_tid_ = -1;
+    }
+    return;
+  }
+
+  if (res.taken_branch || isa::is_branch(latch.inst.op)) {
+    stats_.inc("branches");
+  }
+  if (res.next_pc != latch.pred_next) {
+    // Misprediction: discard wrong-path in-flight instructions.
+    stats_.inc("mispredicts");
+    if (tracer_ != nullptr) {
+      tracer_->on_mispredict(cycle_, tid, latch.pc, res.next_pc);
+    }
+    flush_pipeline(/*replayed=*/false);
+    rcm_.on_mispredict_flush(tid);
+    fetch_pc_ = res.next_pc;
+    fetch_ready_ = std::max(fetch_ready_, cycle_ + 1);
+  }
+}
+
+void CgmtCore::handle_mem_and_commit() {
+  if (!mem_.valid || current_tid_ < 0) return;
+  if (!mem_.mem_issued) {
+    if (isa::is_mem(mem_.inst.op)) {
+      const Addr addr = isa::compute_mem_addr(mem_.inst, current_tid_, rcm_);
+      const bool reg_region = env_.ms->in_reg_region(addr);
+      if (isa::is_store(mem_.inst.op)) {
+        if (!sq_.push(addr, cycle_, reg_region)) {
+          stats_.inc("sq_full_stall_cycles");
+          return;  // retry next cycle
+        }
+        mem_.ready = cycle_;
+        mem_.mem_issued = true;
+      } else {
+        const mem::CacheAccess acc = env_.ms->dcache(env_.core_id)
+                                         .access(addr, /*is_write=*/false,
+                                                 cycle_, reg_region);
+        mem_.mem_issued = true;
+        mem_.mem_addr = addr;
+        if (acc.hit) {
+          // Pipelined hit: the final access cycle overlaps writeback.
+          mem_.ready = std::max(cycle_, acc.done - 1);
+        } else if (reg_region) {
+          // Register backing-store miss: never a context switch.
+          mem_.ready = acc.done;
+          stats_.inc("reg_region_miss_stalls");
+        } else {
+          stats_.inc("dcache_data_misses");
+          if (!committed_since_switch_) stats_.inc("replay_misses");
+          if (tracer_ != nullptr) {
+            tracer_->on_data_miss(cycle_, current_tid_, mem_.pc, addr,
+                                  acc.done);
+          }
+          mem_.ready = acc.done;
+          if (config_.switch_on_miss) {
+            // The miss signal to the CSL arrives after the dcache tag
+            // check (Figure 4, (C) -> (D)).
+            switch_pending_ = true;
+            switch_eligible_at_ =
+                cycle_ + env_.ms->config().dcache.hit_latency;
+          }
+        }
+      }
+    } else {
+      mem_.ready = cycle_;
+      mem_.mem_issued = true;
+    }
+  }
+  if (switch_pending_) {
+    // The switch request stays pending until the CSL masks (outstanding
+    // BSI fill, no commit since last switch) clear — or the miss
+    // returns first and execution simply continues.
+    if (cycle_ >= mem_.ready) {
+      switch_pending_ = false;
+    } else if (cycle_ >= switch_eligible_at_ && rcm_.switch_allowed(cycle_) &&
+               committed_since_switch_) {
+      if (request_context_switch(mem_.pc, mem_.ready)) return;
+      stats_.inc("switch_no_target_cycles");
+    } else {
+      stats_.inc("switch_masked_cycles");
+    }
+  }
+  if (cycle_ >= mem_.ready) commit(mem_);
+}
+
+void CgmtCore::advance_ex_mem() {
+  if (ex_.valid && !mem_.valid && cycle_ >= ex_.ready) {
+    mem_ = ex_;
+    mem_.mem_issued = false;
+    ex_.valid = false;
+  }
+}
+
+void CgmtCore::advance_id_ex() {
+  if (id_.valid && !ex_.valid && cycle_ >= id_.ready) {
+    ex_ = id_;
+    ex_.ready = cycle_ + isa::op_latency(id_.inst.op);
+    id_.valid = false;
+  }
+}
+
+void CgmtCore::advance_if_id() {
+  if (if_.valid && !id_.valid && cycle_ >= if_.ready) {
+    id_ = if_;
+    if_.valid = false;
+    // Decode-stage register access through the context manager.
+    const DecodeAccess da = rcm_.on_decode(current_tid_, id_.inst, cycle_);
+    id_.decoded = true;
+    id_.ready = std::max(cycle_ + 1, da.ready);
+    if (!da.hit) {
+      stats_.inc("rf_miss_stall_cycles", double(id_.ready - (cycle_ + 1)));
+    }
+  }
+}
+
+void CgmtCore::do_fetch() {
+  if (if_.valid || current_tid_ < 0 || cycle_ < fetch_ready_) return;
+  if (fetch_pc_ >= program_.size()) return;  // wrong-path runoff
+  const isa::Inst& inst = program_.at(fetch_pc_);
+  const mem::CacheAccess acc =
+      env_.ms->icache(env_.core_id)
+          .access(mem::MemorySystem::code_addr(fetch_pc_), false, cycle_);
+  if_.valid = true;
+  if_.pc = fetch_pc_;
+  if_.inst = inst;
+  if_.decoded = false;
+  if_.mem_issued = false;
+  // Pipelined icache: hits deliver next cycle, misses stall the front end.
+  if_.ready = acc.hit ? cycle_ + 1 : acc.done;
+  if_.pred_next = predict_next(inst, fetch_pc_);
+  if (tracer_ != nullptr) {
+    tracer_->on_fetch(cycle_, current_tid_, fetch_pc_, inst);
+  }
+  fetch_pc_ = if_.pred_next;
+}
+
+void CgmtCore::step() {
+  if (live_threads_ == 0) return;
+  if (current_tid_ < 0) {
+    const int next = pick_next_thread();
+    if (next >= 0) {
+      const Cycle csl_ready =
+          rcm_.on_context_switch(-1, next, predict_thread_after(next), cycle_);
+      switch_to(next);
+      fetch_ready_ = std::max(fetch_ready_, csl_ready);
+    } else {
+      stats_.inc("idle_cycles");
+      ++cycle_;
+      return;
+    }
+  }
+  // A fully idle frontend+pipeline while the current thread is blocked
+  // counts as stall cycles.
+  handle_mem_and_commit();
+  advance_ex_mem();
+  advance_id_ex();
+  // Once a context switch is pending, the front end freezes: decoding
+  // further instructions that are about to be flushed would only
+  // trigger pointless register fills (which would in turn mask the
+  // switch longer).
+  if (!switch_pending_) {
+    advance_if_id();
+    do_fetch();
+  }
+  if (!if_.valid && !id_.valid && !ex_.valid && !mem_.valid &&
+      cycle_ < fetch_ready_) {
+    stats_.inc("frontend_wait_cycles");
+  }
+  ++cycle_;
+}
+
+void CgmtCore::run() {
+  while (!done()) {
+    step();
+    if (cycle_ >= config_.max_cycles) {
+      throw std::runtime_error("CgmtCore: max_cycles exceeded");
+    }
+  }
+  stats_.set("cycles", static_cast<double>(cycle_));
+  stats_.set("instructions", static_cast<double>(instructions_));
+}
+
+}  // namespace virec::cpu

@@ -1,0 +1,141 @@
+// Coarse-grain multithreaded in-order core (Section 3 of the paper).
+//
+// A 4-latch in-order pipeline (IF -> ID -> EX -> MEM, commit on leaving
+// MEM) with BTFN static branch prediction. Architectural state mutates
+// only at commit, so the CGMT context-switch flush (triggered by dcache
+// data misses) can replay flushed instructions safely.
+//
+// Register storage is delegated to a ContextManager: decode-stage
+// operand access timing, commit notifications and context-switch costs
+// all flow through that interface, which is how the banked, software,
+// prefetching and ViReC schemes plug into the same pipeline.
+#pragma once
+
+#include <vector>
+
+#include "cpu/context_manager.hpp"
+#include "cpu/store_queue.hpp"
+#include "cpu/trace.hpp"
+#include "kasm/program.hpp"
+
+namespace virec::cpu {
+
+struct CgmtCoreConfig {
+  u32 num_threads = 1;
+  u32 sq_entries = 5;
+  /// CGMT enable: switch threads on dcache data misses. With a single
+  /// thread the core simply stalls on misses.
+  bool switch_on_miss = true;
+  /// Hard guard against runaway simulations.
+  u64 max_cycles = 4'000'000'000ull;
+};
+
+class CgmtCore {
+ public:
+  /// @p env.num_threads must equal @p config.num_threads.
+  CgmtCore(const CgmtCoreConfig& config, const CoreEnv& env,
+           ContextManager& rcm, const kasm::Program& program);
+
+  /// Mark thread @p tid runnable. Its initial register context must
+  /// already be present in the reserved backing region (see
+  /// sim::System / offload). @p entry_pc is its start instruction.
+  void start_thread(int tid, u64 entry_pc = 0);
+
+  /// Advance one cycle.
+  void step();
+
+  /// All started threads halted.
+  bool done() const { return live_threads_ == 0; }
+
+  /// Run to completion (single-core convenience). Throws on exceeding
+  /// max_cycles.
+  void run();
+
+  Cycle cycle() const { return cycle_; }
+  u64 instructions() const { return instructions_; }
+  double ipc() const {
+    return cycle_ == 0 ? 0.0
+                       : static_cast<double>(instructions_) /
+                             static_cast<double>(cycle_);
+  }
+
+  const StatSet& stats() const { return stats_; }
+  StatSet& stats() { return stats_; }
+  ContextManager& context_manager() { return rcm_; }
+
+  /// Attach a pipeline tracer (nullptr detaches). Not owned.
+  void set_tracer(TraceSink* tracer) { tracer_ = tracer; }
+
+  /// Per-thread NZCV flags (functional sysreg, exposed for tests).
+  u8 nzcv(int tid) const { return threads_[static_cast<std::size_t>(tid)].nzcv; }
+
+ private:
+  struct Thread {
+    bool started = false;
+    bool halted = false;
+    u64 pc = 0;
+    u8 nzcv = 0;
+    Cycle blocked_until = 0;       // dcache miss outstanding
+    Cycle start_ready = 0;         // initial context transfer
+    bool launched_context = false; // on_thread_start already charged
+    bool has_reserved_line = false;
+    Addr reserved_line = 0;        // miss response held until resume
+  };
+
+  struct Latch {
+    bool valid = false;
+    u64 pc = 0;
+    u64 pred_next = 0;
+    isa::Inst inst;
+    Cycle ready = 0;     // stage completion time
+    bool decoded = false;
+    bool mem_issued = false;
+    Addr mem_addr = 0;   // effective address once issued
+  };
+
+  void do_fetch();
+  void advance_if_id();
+  void advance_id_ex();
+  void advance_ex_mem();
+  void handle_mem_and_commit();
+  void commit(Latch& latch);
+  /// Flush IF/ID/EX/MEM latches. @p replayed: a context switch will
+  /// replay these instructions (vs. a wrong-path discard).
+  void flush_pipeline(bool replayed);
+  u64 predict_next(const isa::Inst& inst, u64 pc) const;
+  /// Round-robin choice of the next thread to run; -1 if none exists.
+  int pick_next_thread() const;
+  /// Prediction of the thread that will run after @p after (prefetch
+  /// hint for the context managers); -1 if none.
+  int predict_thread_after(int after) const;
+  /// Switch to @p to_tid (flush already done); schedules fetch start.
+  void switch_to(int to_tid);
+  /// Try to switch away from the in-flight miss; returns true if a
+  /// switch happened (pipeline flushed).
+  bool request_context_switch(u64 resume_pc, Cycle miss_done);
+
+  CgmtCoreConfig config_;
+  CoreEnv env_;
+  ContextManager& rcm_;
+  const kasm::Program& program_;
+  StoreQueue sq_;
+  std::vector<Thread> threads_;
+
+  Cycle cycle_ = 0;
+  u64 instructions_ = 0;
+  int current_tid_ = -1;
+  u32 live_threads_ = 0;
+  bool committed_since_switch_ = true;
+  Cycle fetch_ready_ = 0;  // earliest cycle the frontend may fetch
+  u64 fetch_pc_ = 0;
+  /// A dcache data miss is outstanding and a context switch will fire
+  /// as soon as the CSL masks clear (or the miss returns first).
+  bool switch_pending_ = false;
+  Cycle switch_eligible_at_ = 0;  // miss-detection (tag check) delay
+
+  Latch if_, id_, ex_, mem_;
+  StatSet stats_;
+  TraceSink* tracer_ = nullptr;
+};
+
+}  // namespace virec::cpu

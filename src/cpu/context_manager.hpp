@@ -1,0 +1,123 @@
+// Register context management interface for the CGMT pipeline.
+//
+// A ContextManager owns the storage for thread register contexts and
+// answers the pipeline's timing questions:
+//  * on_decode  — instruction entered the decode stage; make its
+//                 register operands available and report when.
+//  * on_commit  — instruction committed (drives commit/C-bit state).
+//  * on_context_switch — the core flushed the pipeline and is
+//                 switching threads; report when the new thread may
+//                 fetch (sysreg buffers, bank swaps, save/restore...).
+//  * switch_allowed — CSL masking input (e.g. BSI fill in flight).
+//
+// It also implements isa::RegisterFileIO so committed instructions read
+// and write functional register values through whatever storage the
+// scheme uses (banks, a cached physical RF + backing memory, ...).
+//
+// Implementations: BankedManager, SoftwareManager, PrefetchManager
+// (this directory) and core::ViReCManager / core::make_nsf_manager (the
+// paper's contribution and the NSF prior-work baseline).
+#pragma once
+
+#include <memory>
+
+#include "common/stats.hpp"
+#include "isa/semantics.hpp"
+#include "mem/memory_system.hpp"
+
+namespace virec::cpu {
+
+/// Environment handed to a context manager: which core it serves, how
+/// many thread contexts it manages, and the memory system that holds
+/// the backing store.
+struct CoreEnv {
+  u32 core_id = 0;
+  u32 num_threads = 1;
+  mem::MemorySystem* ms = nullptr;
+};
+
+/// Timing result of a decode-stage register access.
+struct DecodeAccess {
+  Cycle ready = 0;  ///< cycle when all operands are present
+  u32 fills = 0;    ///< registers fetched from the backing store
+  u32 spills = 0;   ///< dirty registers written back
+  bool hit = true;  ///< no fill was needed
+};
+
+class ContextManager : public isa::RegisterFileIO {
+ public:
+  explicit ContextManager(const CoreEnv& env, const char* stat_prefix);
+  ~ContextManager() override = default;
+
+  ContextManager(const ContextManager&) = delete;
+  ContextManager& operator=(const ContextManager&) = delete;
+
+  // --- pipeline timing hooks ---
+
+  /// Thread @p tid was offloaded; returns the cycle at which it may
+  /// start fetching (initial context transfer, if the scheme pays one).
+  virtual Cycle on_thread_start(int tid, Cycle now) {
+    (void)tid;
+    return now;
+  }
+
+  /// Instruction enters decode at @p now.
+  virtual DecodeAccess on_decode(int tid, const isa::Inst& inst,
+                                 Cycle now) = 0;
+
+  /// Instruction committed.
+  virtual void on_commit(int tid, const isa::Inst& inst) {
+    (void)tid;
+    (void)inst;
+  }
+
+  /// Branch-misprediction flush: in-flight instructions of @p tid were
+  /// discarded and will NOT be replayed (wrong path).
+  virtual void on_mispredict_flush(int tid) { (void)tid; }
+
+  /// Context switch from @p from_tid to @p to_tid after a pipeline
+  /// flush at @p now; flushed instructions WILL be replayed.
+  /// @p predicted_next is the scheduler's prediction of the thread that
+  /// will run after @p to_tid (prefetch hint; -1 if none). Returns the
+  /// cycle at which @p to_tid may fetch its first instruction.
+  virtual Cycle on_context_switch(int from_tid, int to_tid, int predicted_next,
+                                  Cycle now) {
+    (void)from_tid;
+    (void)to_tid;
+    (void)predicted_next;
+    return now;
+  }
+
+  /// CSL mask: false while the scheme must delay context switches
+  /// (e.g. an outstanding BSI fill).
+  virtual bool switch_allowed(Cycle now) const {
+    (void)now;
+    return true;
+  }
+
+  /// Thread halted; flush its dirty state to the backing store so the
+  /// host can read results.
+  virtual void on_thread_halt(int tid, Cycle now) {
+    (void)tid;
+    (void)now;
+  }
+
+  /// Physical registers this scheme instantiates (area model input).
+  virtual u32 physical_regs() const = 0;
+
+  const StatSet& stats() const { return stats_; }
+  StatSet& stats() { return stats_; }
+  const CoreEnv& env() const { return env_; }
+
+ protected:
+  /// Functional access to the reserved backing region in memory.
+  u64 backing_read(int tid, isa::RegId reg) const;
+  void backing_write(int tid, isa::RegId reg, u64 value);
+
+  mem::Cache& dcache() { return env_.ms->dcache(env_.core_id); }
+
+  CoreEnv env_;
+  StatSet stats_;
+};
+
+}  // namespace virec::cpu

@@ -1,0 +1,170 @@
+#include "cpu/prefetch_manager.hpp"
+
+#include <bit>
+
+#include "isa/inst.hpp"
+
+namespace virec::cpu {
+
+namespace {
+constexpr u32 kAllRegsMask = (1u << isa::kNumAllocatableRegs) - 1;
+}
+
+PrefetchManager::PrefetchManager(const CoreEnv& env, PrefetchMode mode)
+    : ContextManager(env, mode == PrefetchMode::kFull ? "prefetch_full"
+                                                      : "prefetch_exact"),
+      mode_(mode),
+      values_(env.num_threads),
+      resident_(env.num_threads, 0),
+      used_this_episode_(env.num_threads, 0),
+      last_episode_used_(env.num_threads, 0),
+      started_(env.num_threads, false),
+      prefetch_ready_(env.num_threads, 0) {
+  for (auto& v : values_) v.fill(0);
+}
+
+Cycle PrefetchManager::transfer(int tid, RegMask mask, bool is_write,
+                                Cycle now) {
+  // The double-buffer datapath moves whole cache lines (8 registers per
+  // 64 B line); only the lines covering the transfer set are touched.
+  Cycle t = now;
+  u32 line_mask = 0;
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    if (!(mask & (1u << r))) continue;
+    line_mask |= 1u << (r / 8);
+    if (is_write) {
+      backing_write(tid, r, values_[static_cast<std::size_t>(tid)][r]);
+      stats_.inc("reg_spills");
+    } else {
+      stats_.inc("reg_fills");
+    }
+  }
+  const Addr base = env_.ms->context_base(env_.core_id, static_cast<u32>(tid));
+  for (u32 line = 0; line < 4; ++line) {
+    if (!(line_mask & (1u << line))) continue;
+    t = dcache().access(base + line * mem::kLineBytes, is_write, t).done;
+  }
+  // The system register line travels with every episode.
+  t = dcache()
+          .access(env_.ms->sysreg_addr(env_.core_id, static_cast<u32>(tid)),
+                  is_write, t)
+          .done;
+  return t;
+}
+
+PrefetchManager::RegMask PrefetchManager::predicted_set(int tid) const {
+  if (mode_ == PrefetchMode::kFull) return kAllRegsMask;
+  const RegMask hist = last_episode_used_[static_cast<std::size_t>(tid)];
+  return hist != 0 ? hist : kAllRegsMask;  // first episode: whole context
+}
+
+Cycle PrefetchManager::on_thread_start(int tid, Cycle now) {
+  auto& vals = values_[static_cast<std::size_t>(tid)];
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    vals[r] = backing_read(tid, r);
+  }
+  started_[static_cast<std::size_t>(tid)] = true;
+  if (prefetched_tid_ < 0) {
+    // Very first thread: demand-load its context.
+    prefetched_tid_ = tid;
+    resident_[static_cast<std::size_t>(tid)] = predicted_set(tid);
+    prefetch_ready_[static_cast<std::size_t>(tid)] =
+        transfer(tid, predicted_set(tid), /*is_write=*/false, now);
+    return prefetch_ready_[static_cast<std::size_t>(tid)];
+  }
+  return now;
+}
+
+DecodeAccess PrefetchManager::on_decode(int tid, const isa::Inst& inst,
+                                        Cycle now) {
+  DecodeAccess acc;
+  acc.ready = now;
+  const isa::RegList regs = isa::all_regs(inst);
+  RegMask& resident = resident_[static_cast<std::size_t>(tid)];
+  RegMask& used = used_this_episode_[static_cast<std::size_t>(tid)];
+  stats_.inc("rf_accesses");
+  for (u32 i = 0; i < regs.count; ++i) {
+    const u8 r = regs.regs[i];
+    used |= 1u << r;
+    if (!(resident & (1u << r))) {
+      // Oracle miss: demand-fetch with a decode stall.
+      const Addr addr =
+          env_.ms->reg_addr(env_.core_id, static_cast<u32>(tid), r);
+      acc.ready = dcache().access(addr, /*is_write=*/false, acc.ready).done;
+      resident |= 1u << r;
+      acc.hit = false;
+      ++acc.fills;
+      stats_.inc("demand_fills");
+    }
+  }
+  return acc;
+}
+
+Cycle PrefetchManager::on_context_switch(int from_tid, int to_tid,
+                                         int predicted_next, Cycle now) {
+  const auto from = static_cast<std::size_t>(from_tid);
+  const auto to = static_cast<std::size_t>(to_tid);
+  stats_.inc("context_switches");
+
+  // Close the outgoing episode: remember its used set, write back the
+  // registers the strategy must store (full: all; exact: all used).
+  const RegMask spill_mask =
+      mode_ == PrefetchMode::kFull ? kAllRegsMask : used_this_episode_[from];
+  Cycle spill_done = transfer(from_tid, spill_mask, /*is_write=*/true, now);
+  last_episode_used_[from] = used_this_episode_[from];
+  used_this_episode_[from] = 0;
+  resident_[from] = 0;
+
+  // The incoming thread should already be prefetched; a wrong
+  // prediction degenerates to a demand fetch here.
+  Cycle ready;
+  if (prefetched_tid_ == to_tid) {
+    ready = std::max(now, prefetch_ready_[to]);
+  } else {
+    stats_.inc("prefetch_mispredicts");
+    resident_[to] = predicted_set(to_tid);
+    ready = transfer(to_tid, resident_[to], /*is_write=*/false, spill_done);
+  }
+
+  // Kick the next prefetch (scheduler-provided prediction) to overlap
+  // with the incoming thread's execution.
+  int next = predicted_next;
+  if (next == to_tid ||
+      (next >= 0 && !started_[static_cast<std::size_t>(next)])) {
+    next = -1;
+  }
+  if (next >= 0) {
+    const auto nx = static_cast<std::size_t>(next);
+    resident_[nx] = predicted_set(next);
+    prefetch_ready_[nx] =
+        transfer(next, resident_[nx], /*is_write=*/false,
+                 std::max(spill_done, ready));
+    prefetched_tid_ = next;
+    stats_.inc("prefetches");
+  } else {
+    prefetched_tid_ = -1;
+  }
+  return ready;
+}
+
+void PrefetchManager::on_thread_halt(int tid, Cycle now) {
+  (void)now;
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    backing_write(tid, r, values_[static_cast<std::size_t>(tid)][r]);
+  }
+  started_[static_cast<std::size_t>(tid)] = false;
+}
+
+u32 PrefetchManager::physical_regs() const {
+  return 2 * isa::kNumArchRegs;  // double buffer
+}
+
+u64 PrefetchManager::read_reg(int tid, isa::RegId reg) {
+  return values_[static_cast<std::size_t>(tid)][reg];
+}
+
+void PrefetchManager::write_reg(int tid, isa::RegId reg, u64 value) {
+  values_[static_cast<std::size_t>(tid)][reg] = value;
+}
+
+}  // namespace virec::cpu

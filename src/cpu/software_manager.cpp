@@ -1,0 +1,99 @@
+#include "cpu/software_manager.hpp"
+
+namespace virec::cpu {
+
+SoftwareManager::SoftwareManager(const CoreEnv& env)
+    : ContextManager(env, "swctx") {}
+
+Cycle SoftwareManager::save_context(int tid, Cycle now) {
+  // A software trampoline saves registers with stp pairs: one dcache
+  // access per two registers.
+  Cycle t = now;
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    backing_write(tid, r, rf_[r]);
+    if (r % 2 != 0) continue;
+    const Addr addr = env_.ms->reg_addr(env_.core_id, static_cast<u32>(tid), r);
+    t = dcache().access(addr, /*is_write=*/true, t).done;
+  }
+  // System register line (PC, NZCV, ...).
+  t = dcache()
+          .access(env_.ms->sysreg_addr(env_.core_id, static_cast<u32>(tid)),
+                  /*is_write=*/true, t)
+          .done;
+  stats_.inc("context_saves");
+  return t;
+}
+
+Cycle SoftwareManager::load_context(int tid, Cycle now) {
+  // ldp pairs: one dcache access per two registers.
+  Cycle t = now;
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    rf_[r] = backing_read(tid, r);
+    if (r % 2 != 0) continue;
+    const Addr addr = env_.ms->reg_addr(env_.core_id, static_cast<u32>(tid), r);
+    t = dcache().access(addr, /*is_write=*/false, t).done;
+  }
+  t = dcache()
+          .access(env_.ms->sysreg_addr(env_.core_id, static_cast<u32>(tid)),
+                  /*is_write=*/false, t)
+          .done;
+  resident_tid_ = tid;
+  stats_.inc("context_loads");
+  return t;
+}
+
+Cycle SoftwareManager::on_thread_start(int tid, Cycle now) {
+  if (resident_tid_ == tid) return now;
+  return now;  // context is loaded lazily at the first switch-in
+}
+
+DecodeAccess SoftwareManager::on_decode(int tid, const isa::Inst& inst,
+                                        Cycle now) {
+  (void)inst;
+  stats_.inc("rf_accesses");
+  DecodeAccess acc;
+  acc.ready = now;
+  if (resident_tid_ != tid) {
+    // First decode of a newly scheduled thread pulls in its context.
+    Cycle t = now;
+    if (resident_tid_ >= 0) t = save_context(resident_tid_, t);
+    acc.ready = load_context(tid, t);
+    acc.hit = false;
+  }
+  return acc;
+}
+
+Cycle SoftwareManager::on_context_switch(int from_tid, int to_tid,
+                                         int predicted_next, Cycle now) {
+  (void)from_tid;
+  (void)to_tid;
+  (void)predicted_next;
+  // The save/restore cost is charged when the incoming thread first
+  // decodes (on_decode), mirroring a software trampoline that runs
+  // before the thread's own instructions.
+  return now;
+}
+
+void SoftwareManager::on_thread_halt(int tid, Cycle now) {
+  if (resident_tid_ == tid) {
+    save_context(tid, now);
+    resident_tid_ = -1;
+  }
+}
+
+u32 SoftwareManager::physical_regs() const { return isa::kNumArchRegs; }
+
+u64 SoftwareManager::read_reg(int tid, isa::RegId reg) {
+  if (tid == resident_tid_) return rf_[reg];
+  return backing_read(tid, reg);
+}
+
+void SoftwareManager::write_reg(int tid, isa::RegId reg, u64 value) {
+  if (tid == resident_tid_) {
+    rf_[reg] = value;
+  } else {
+    backing_write(tid, reg, value);
+  }
+}
+
+}  // namespace virec::cpu

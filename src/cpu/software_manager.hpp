@@ -1,0 +1,41 @@
+// Software context switching (Figure 3(a) of the paper): a single
+// 32-entry register file; on every context switch the previous thread's
+// registers and system registers are stored to memory and the next
+// thread's are loaded, one 8-byte access at a time through the dcache,
+// exactly like a software trap handler would.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "cpu/context_manager.hpp"
+
+namespace virec::cpu {
+
+class SoftwareManager final : public ContextManager {
+ public:
+  explicit SoftwareManager(const CoreEnv& env);
+
+  Cycle on_thread_start(int tid, Cycle now) override;
+  DecodeAccess on_decode(int tid, const isa::Inst& inst, Cycle now) override;
+  Cycle on_context_switch(int from_tid, int to_tid, int predicted_next,
+                          Cycle now) override;
+  void on_thread_halt(int tid, Cycle now) override;
+  u32 physical_regs() const override;
+
+  // RegisterFileIO: only the resident thread has live values; all other
+  // threads' values live in the backing region.
+  u64 read_reg(int tid, isa::RegId reg) override;
+  void write_reg(int tid, isa::RegId reg, u64 value) override;
+
+ private:
+  /// Store the resident context to memory (one store per register).
+  Cycle save_context(int tid, Cycle now);
+  /// Load @p tid's context from memory into the RF.
+  Cycle load_context(int tid, Cycle now);
+
+  int resident_tid_ = -1;
+  std::array<u64, isa::kNumAllocatableRegs> rf_{};
+};
+
+}  // namespace virec::cpu

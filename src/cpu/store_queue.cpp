@@ -1,0 +1,39 @@
+#include "cpu/store_queue.hpp"
+
+#include <algorithm>
+
+namespace virec::cpu {
+
+StoreQueue::StoreQueue(u32 capacity, mem::Cache& dcache)
+    : capacity_(capacity), dcache_(dcache) {}
+
+bool StoreQueue::push(Addr addr, Cycle now, bool reg_region) {
+  u32 busy = 0;
+  Cycle* reuse = nullptr;
+  for (Cycle& c : completion_) {
+    if (c > now) {
+      ++busy;
+    } else if (reuse == nullptr) {
+      reuse = &c;
+    }
+  }
+  if (busy >= capacity_) return false;
+  const Cycle done = dcache_.access(addr, /*is_write=*/true, now, reg_region).done;
+  last_completion_ = std::max(last_completion_, done);
+  if (reuse != nullptr) {
+    *reuse = done;
+  } else {
+    completion_.push_back(done);
+  }
+  return true;
+}
+
+u32 StoreQueue::occupancy(Cycle now) const {
+  u32 busy = 0;
+  for (Cycle c : completion_) {
+    if (c > now) ++busy;
+  }
+  return busy;
+}
+
+}  // namespace virec::cpu

@@ -1,0 +1,36 @@
+// Post-commit store queue. Committed stores drain to the dcache in the
+// background through its single write port; the pipeline only stalls
+// when all entries are occupied (5 in the paper's configurations).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+
+namespace virec::cpu {
+
+class StoreQueue {
+ public:
+  StoreQueue(u32 capacity, mem::Cache& dcache);
+
+  /// Accept a store at @p now, issuing its dcache access immediately.
+  /// Returns false when the queue is full (the caller must stall).
+  bool push(Addr addr, Cycle now, bool reg_region = false);
+
+  /// Entries still in flight at @p now.
+  u32 occupancy(Cycle now) const;
+
+  bool empty(Cycle now) const { return occupancy(now) == 0; }
+
+  /// Completion time of the last store accepted (0 if none).
+  Cycle last_completion() const { return last_completion_; }
+
+ private:
+  u32 capacity_;
+  mem::Cache& dcache_;
+  std::vector<Cycle> completion_;
+  Cycle last_completion_ = 0;
+};
+
+}  // namespace virec::cpu

@@ -1,0 +1,53 @@
+#include "cpu/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "isa/disasm.hpp"
+
+namespace virec::cpu {
+
+void TextTracer::line(Cycle cycle, int tid, const std::string& body) {
+  os_ << '[' << std::setw(7) << cycle << "] t" << tid << ' ' << body << '\n';
+}
+
+void TextTracer::on_fetch(Cycle cycle, int tid, u64 pc,
+                          const isa::Inst& inst) {
+  if (!trace_fetch_) return;
+  std::ostringstream body;
+  body << "fetch  @" << pc << "\t" << isa::disasm(inst);
+  line(cycle, tid, body.str());
+}
+
+void TextTracer::on_commit(Cycle cycle, int tid, u64 pc,
+                           const isa::Inst& inst) {
+  std::ostringstream body;
+  body << "commit @" << pc << "\t" << isa::disasm(inst);
+  line(cycle, tid, body.str());
+}
+
+void TextTracer::on_data_miss(Cycle cycle, int tid, u64 pc, Addr addr,
+                              Cycle ready) {
+  std::ostringstream body;
+  body << "dmiss  @" << pc << "\taddr=0x" << std::hex << addr << std::dec
+       << " ready=" << ready;
+  line(cycle, tid, body.str());
+}
+
+void TextTracer::on_context_switch(Cycle cycle, int from_tid, int to_tid,
+                                   u64 resume_pc) {
+  std::ostringstream body;
+  body << "==> t" << to_tid << " switch (resume@" << resume_pc << ")";
+  line(cycle, from_tid, body.str());
+}
+
+void TextTracer::on_mispredict(Cycle cycle, int tid, u64 pc, u64 actual) {
+  std::ostringstream body;
+  body << "redirect @" << pc << " -> @" << actual;
+  line(cycle, tid, body.str());
+}
+
+void TextTracer::on_halt(Cycle cycle, int tid) { line(cycle, tid, "halt"); }
+
+}  // namespace virec::cpu

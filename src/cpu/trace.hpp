@@ -1,0 +1,79 @@
+// Pipeline event tracing. A TraceSink receives structured events from
+// a CgmtCore (fetches, commits, register fills, context switches) and
+// renders them; the default TextTracer prints a compact one-line-per-
+// event log that reads like a classic pipeline trace:
+//
+//   [    124] t0 commit @7   ldr x5, [x1, x4, lsl #3]
+//   [    126] t0 dmiss  @8   addr=0x28001c0 ready=193
+//   [    128] t0 ==> t1 switch (resume@7)
+//
+// Tracing is opt-in (CgmtCore::set_tracer) and has zero overhead when
+// disabled.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/inst.hpp"
+
+namespace virec::cpu {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_fetch(Cycle cycle, int tid, u64 pc, const isa::Inst& inst) = 0;
+  virtual void on_commit(Cycle cycle, int tid, u64 pc,
+                         const isa::Inst& inst) = 0;
+  virtual void on_data_miss(Cycle cycle, int tid, u64 pc, Addr addr,
+                            Cycle ready) = 0;
+  virtual void on_context_switch(Cycle cycle, int from_tid, int to_tid,
+                                 u64 resume_pc) = 0;
+  virtual void on_mispredict(Cycle cycle, int tid, u64 pc, u64 actual) = 0;
+  virtual void on_halt(Cycle cycle, int tid) = 0;
+};
+
+/// Renders events as text lines to an ostream.
+class TextTracer final : public TraceSink {
+ public:
+  explicit TextTracer(std::ostream& os) : os_(os) {}
+
+  void on_fetch(Cycle cycle, int tid, u64 pc, const isa::Inst& inst) override;
+  void on_commit(Cycle cycle, int tid, u64 pc,
+                 const isa::Inst& inst) override;
+  void on_data_miss(Cycle cycle, int tid, u64 pc, Addr addr,
+                    Cycle ready) override;
+  void on_context_switch(Cycle cycle, int from_tid, int to_tid,
+                         u64 resume_pc) override;
+  void on_mispredict(Cycle cycle, int tid, u64 pc, u64 actual) override;
+  void on_halt(Cycle cycle, int tid) override;
+
+  /// Fetch events are noisy; off by default.
+  void set_trace_fetch(bool enable) { trace_fetch_ = enable; }
+
+ private:
+  void line(Cycle cycle, int tid, const std::string& body);
+
+  std::ostream& os_;
+  bool trace_fetch_ = false;
+};
+
+/// Counts events (used by tests and for cheap summaries).
+class CountingTracer final : public TraceSink {
+ public:
+  void on_fetch(Cycle, int, u64, const isa::Inst&) override { ++fetches; }
+  void on_commit(Cycle, int, u64, const isa::Inst&) override { ++commits; }
+  void on_data_miss(Cycle, int, u64, Addr, Cycle) override { ++data_misses; }
+  void on_context_switch(Cycle, int, int, u64) override { ++switches; }
+  void on_mispredict(Cycle, int, u64, u64) override { ++mispredicts; }
+  void on_halt(Cycle, int) override { ++halts; }
+
+  u64 fetches = 0;
+  u64 commits = 0;
+  u64 data_misses = 0;
+  u64 switches = 0;
+  u64 mispredicts = 0;
+  u64 halts = 0;
+};
+
+}  // namespace virec::cpu

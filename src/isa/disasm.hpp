@@ -1,0 +1,18 @@
+// Textual rendering of instructions, round-trippable through the
+// assembler in kasm/assembler.hpp.
+#pragma once
+
+#include <string>
+
+#include "isa/inst.hpp"
+
+namespace virec::isa {
+
+/// Render @p reg as "x7" / "xzr".
+std::string reg_name(RegId reg);
+
+/// Render one instruction in assembler syntax. Branch targets are
+/// printed as absolute instruction indices ("@12").
+std::string disasm(const Inst& inst);
+
+}  // namespace virec::isa

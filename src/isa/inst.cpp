@@ -1,0 +1,293 @@
+#include "isa/inst.hpp"
+
+namespace virec::isa {
+
+bool is_load(Op op) {
+  switch (op) {
+    case Op::kLdr:
+    case Op::kLdrw:
+    case Op::kLdrsw:
+    case Op::kLdrh:
+    case Op::kLdrb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_store(Op op) {
+  switch (op) {
+    case Op::kStr:
+    case Op::kStrw:
+    case Op::kStrh:
+    case Op::kStrb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_branch(Op op) {
+  switch (op) {
+    case Op::kB:
+    case Op::kBcond:
+    case Op::kCbz:
+    case Op::kCbnz:
+    case Op::kBl:
+    case Op::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_cond_branch(Op op) {
+  return op == Op::kBcond || op == Op::kCbz || op == Op::kCbnz;
+}
+
+bool writes_flags(Op op) { return op == Op::kCmp || op == Op::kCmpImm; }
+
+bool reads_flags(Op op) { return op == Op::kBcond; }
+
+bool is_fp(Op op) {
+  switch (op) {
+    case Op::kFadd:
+    case Op::kFsub:
+    case Op::kFmul:
+    case Op::kFdiv:
+    case Op::kFmadd:
+    case Op::kScvtf:
+    case Op::kFcvtzs:
+      return true;
+    default:
+      return false;
+  }
+}
+
+u32 mem_size(Op op) {
+  switch (op) {
+    case Op::kLdr:
+    case Op::kStr:
+      return 8;
+    case Op::kLdrw:
+    case Op::kLdrsw:
+    case Op::kStrw:
+      return 4;
+    case Op::kLdrh:
+    case Op::kStrh:
+      return 2;
+    case Op::kLdrb:
+    case Op::kStrb:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+u32 op_latency(Op op) {
+  switch (op) {
+    case Op::kMul:
+    case Op::kMadd:
+      return 3;
+    case Op::kUdiv:
+    case Op::kSdiv:
+      return 12;
+    case Op::kFadd:
+    case Op::kFsub:
+    case Op::kFmul:
+    case Op::kScvtf:
+    case Op::kFcvtzs:
+      return 4;
+    case Op::kFmadd:
+      return 5;
+    case Op::kFdiv:
+      return 15;
+    default:
+      return 1;
+  }
+}
+
+RegList src_regs(const Inst& inst) {
+  RegList out;
+  switch (inst.op) {
+    case Op::kNop:
+    case Op::kHalt:
+    case Op::kB:
+    case Op::kBcond:
+    case Op::kBl:
+    case Op::kMovImm:
+      break;
+    case Op::kRet:
+      out.push(inst.rn == kNoReg ? RegId{30} : inst.rn);
+      break;
+    case Op::kCbz:
+    case Op::kCbnz:
+      out.push(inst.rn);
+      break;
+    case Op::kMov:
+    case Op::kMvn:
+      out.push(inst.rm);
+      break;
+    case Op::kMovk:
+      out.push(inst.rd);  // read-modify-write of the destination
+      break;
+    case Op::kCmp:
+      out.push(inst.rn);
+      out.push(inst.rm);
+      break;
+    case Op::kCmpImm:
+      out.push(inst.rn);
+      break;
+    case Op::kMadd:
+    case Op::kFmadd:
+      out.push(inst.rn);
+      out.push(inst.rm);
+      out.push(inst.ra);
+      break;
+    case Op::kScvtf:
+    case Op::kFcvtzs:
+      out.push(inst.rn);
+      break;
+    default:
+      if (is_load(inst.op)) {
+        out.push(inst.rn);
+        if (inst.mem_mode == MemMode::kRegOffset) out.push(inst.rm);
+      } else if (is_store(inst.op)) {
+        out.push(inst.rd);  // value to store
+        out.push(inst.rn);
+        if (inst.mem_mode == MemMode::kRegOffset) out.push(inst.rm);
+      } else if (inst.op == Op::kAddImm || inst.op == Op::kSubImm ||
+                 inst.op == Op::kAndImm || inst.op == Op::kOrrImm ||
+                 inst.op == Op::kEorImm || inst.op == Op::kLslImm ||
+                 inst.op == Op::kLsrImm || inst.op == Op::kAsrImm) {
+        out.push(inst.rn);
+      } else {
+        // Two-source register ALU ops.
+        out.push(inst.rn);
+        out.push(inst.rm);
+      }
+      break;
+  }
+  return out;
+}
+
+RegList dst_regs(const Inst& inst) {
+  RegList out;
+  switch (inst.op) {
+    case Op::kNop:
+    case Op::kHalt:
+    case Op::kB:
+    case Op::kBcond:
+    case Op::kCbz:
+    case Op::kCbnz:
+    case Op::kRet:
+    case Op::kCmp:
+    case Op::kCmpImm:
+      break;
+    case Op::kBl:
+      out.push(RegId{30});
+      break;
+    default:
+      if (is_store(inst.op)) {
+        // Stores have no value destination; fall through to writeback.
+      } else {
+        out.push(inst.rd);
+      }
+      break;
+  }
+  if (is_mem(inst.op) && (inst.mem_mode == MemMode::kPreIndex ||
+                          inst.mem_mode == MemMode::kPostIndex)) {
+    out.push(inst.rn);  // base register writeback
+  }
+  return out;
+}
+
+RegList all_regs(const Inst& inst) {
+  const RegList s = src_regs(inst);
+  const RegList d = dst_regs(inst);
+  RegList out;
+  auto push_unique = [&out](RegId reg) {
+    for (u32 j = 0; j < out.count; ++j) {
+      if (out.regs[j] == reg) return;
+    }
+    out.push(reg);
+  };
+  for (u32 i = 0; i < s.count; ++i) push_unique(s.regs[i]);
+  for (u32 i = 0; i < d.count; ++i) push_unique(d.regs[i]);
+  return out;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kUdiv: return "udiv";
+    case Op::kSdiv: return "sdiv";
+    case Op::kAnd: return "and";
+    case Op::kOrr: return "orr";
+    case Op::kEor: return "eor";
+    case Op::kLsl: return "lsl";
+    case Op::kLsr: return "lsr";
+    case Op::kAsr: return "asr";
+    case Op::kAddImm: return "add";
+    case Op::kSubImm: return "sub";
+    case Op::kAndImm: return "and";
+    case Op::kOrrImm: return "orr";
+    case Op::kEorImm: return "eor";
+    case Op::kLslImm: return "lsl";
+    case Op::kLsrImm: return "lsr";
+    case Op::kAsrImm: return "asr";
+    case Op::kMov: return "mov";
+    case Op::kMovImm: return "mov";
+    case Op::kMovk: return "movk";
+    case Op::kMvn: return "mvn";
+    case Op::kMadd: return "madd";
+    case Op::kFadd: return "fadd";
+    case Op::kFsub: return "fsub";
+    case Op::kFmul: return "fmul";
+    case Op::kFdiv: return "fdiv";
+    case Op::kFmadd: return "fmadd";
+    case Op::kScvtf: return "scvtf";
+    case Op::kFcvtzs: return "fcvtzs";
+    case Op::kCmp: return "cmp";
+    case Op::kCmpImm: return "cmp";
+    case Op::kB: return "b";
+    case Op::kBcond: return "b.";
+    case Op::kCbz: return "cbz";
+    case Op::kCbnz: return "cbnz";
+    case Op::kBl: return "bl";
+    case Op::kRet: return "ret";
+    case Op::kLdr: return "ldr";
+    case Op::kLdrw: return "ldrw";
+    case Op::kLdrsw: return "ldrsw";
+    case Op::kLdrh: return "ldrh";
+    case Op::kLdrb: return "ldrb";
+    case Op::kStr: return "str";
+    case Op::kStrw: return "strw";
+    case Op::kStrh: return "strh";
+    case Op::kStrb: return "strb";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+const char* cond_name(Cond cond) {
+  switch (cond) {
+    case Cond::kEq: return "eq";
+    case Cond::kNe: return "ne";
+    case Cond::kLt: return "lt";
+    case Cond::kLe: return "le";
+    case Cond::kGt: return "gt";
+    case Cond::kGe: return "ge";
+    case Cond::kLo: return "lo";
+    case Cond::kLs: return "ls";
+    case Cond::kHi: return "hi";
+    case Cond::kHs: return "hs";
+    case Cond::kAl: return "al";
+  }
+  return "?";
+}
+
+}  // namespace virec::isa

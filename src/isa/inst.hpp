@@ -1,0 +1,154 @@
+// The NMP ISA: a small AArch64-flavoured 64-bit instruction set used by
+// the simulated near-memory cores. It is deliberately close to the
+// subset of AArch64 that memory-intensive kernels compile to (loads and
+// stores with register/immediate addressing and pre/post-index
+// writeback, ALU ops, compare + conditional branches), so the register
+// access patterns the paper studies are reproduced faithfully.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace virec::isa {
+
+/// Architectural register identifier: x0..x30 are general purpose,
+/// index 31 is xzr (reads as zero, writes discarded).
+using RegId = u8;
+inline constexpr RegId kZeroReg = 31;
+inline constexpr RegId kNoReg = 0xff;
+inline constexpr int kNumArchRegs = 32;  // x0..x30 + xzr
+inline constexpr int kNumAllocatableRegs = 31;  // excludes xzr
+
+enum class Op : u8 {
+  kNop,
+  // ALU, register operands: rd = rn OP rm.
+  kAdd,
+  kSub,
+  kMul,
+  kUdiv,
+  kSdiv,
+  kAnd,
+  kOrr,
+  kEor,
+  kLsl,
+  kLsr,
+  kAsr,
+  // ALU, immediate: rd = rn OP imm.
+  kAddImm,
+  kSubImm,
+  kAndImm,
+  kOrrImm,
+  kEorImm,
+  kLslImm,
+  kLsrImm,
+  kAsrImm,
+  // Moves.
+  kMov,     // rd = rm
+  kMovImm,  // rd = imm (64-bit immediate, assembler sugar over movz/movk)
+  kMovk,    // rd[imm2*16 +: 16] = imm (keep others)
+  kMvn,     // rd = ~rm
+  // Multiply-add: rd = ra + rn*rm.
+  kMadd,
+  // Floating point on the unified register file; register contents are
+  // interpreted as IEEE-754 double bit patterns.
+  kFadd,
+  kFsub,
+  kFmul,
+  kFdiv,
+  kFmadd,  // rd = ra + rn*rm
+  kScvtf,  // rd = (double)(i64)rn
+  kFcvtzs, // rd = (i64)(double)rn
+  // Compare: sets NZCV from rn - (rm|imm).
+  kCmp,
+  kCmpImm,
+  // Branches. Targets are absolute instruction indices.
+  kB,
+  kBcond,
+  kCbz,
+  kCbnz,
+  kBl,
+  kRet,
+  // Memory. Loads/stores of 1/2/4/8 bytes; W-suffixed 4-byte forms
+  // zero-extend, kLdrsw sign-extends.
+  kLdr,
+  kLdrw,
+  kLdrsw,
+  kLdrh,
+  kLdrb,
+  kStr,
+  kStrw,
+  kStrh,
+  kStrb,
+  // Control.
+  kHalt,
+};
+
+/// Condition codes for kBcond (subset of AArch64, signed + unsigned).
+enum class Cond : u8 { kEq, kNe, kLt, kLe, kGt, kGe, kLo, kLs, kHi, kHs, kAl };
+
+/// Addressing mode for memory ops.
+enum class MemMode : u8 {
+  kOffset,    // [rn, #imm]
+  kPreIndex,  // [rn, #imm]!   (rn += imm before access)
+  kPostIndex, // [rn], #imm    (rn += imm after access)
+  kRegOffset, // [rn, rm, lsl #shift]
+};
+
+/// One decoded instruction. Fixed-size POD; the pipeline copies these
+/// freely through its stage latches.
+struct Inst {
+  Op op = Op::kNop;
+  RegId rd = kNoReg;  // destination (loads: loaded reg; stores: stored reg)
+  RegId rn = kNoReg;  // first source / base register
+  RegId rm = kNoReg;  // second source / index register
+  RegId ra = kNoReg;  // third source (madd/fmadd accumulator)
+  Cond cond = Cond::kAl;
+  MemMode mem_mode = MemMode::kOffset;
+  u8 shift = 0;    // register-offset shift amount
+  u8 imm2 = 0;     // movk 16-bit lane selector
+  i64 imm = 0;     // immediate operand / memory displacement
+  i64 target = -1; // branch target (absolute instruction index)
+};
+
+/// Instruction classification queries.
+bool is_load(Op op);
+bool is_store(Op op);
+inline bool is_mem(Op op) { return is_load(op) || is_store(op); }
+bool is_branch(Op op);
+bool is_cond_branch(Op op);
+bool writes_flags(Op op);
+bool reads_flags(Op op);
+bool is_fp(Op op);
+inline bool is_halt(Op op) { return op == Op::kHalt; }
+
+/// Access size in bytes for memory ops (0 for non-memory).
+u32 mem_size(Op op);
+
+/// Fixed execute latency in cycles for non-memory ops (memory ops take
+/// the dcache-determined latency instead).
+u32 op_latency(Op op);
+
+/// Small fixed-capacity register list used for source/destination
+/// queries; at most 4 registers ever participate in one instruction.
+struct RegList {
+  std::array<RegId, 4> regs{};
+  u32 count = 0;
+  void push(RegId r) {
+    if (r != kNoReg && r != kZeroReg) regs[count++] = r;
+  }
+};
+
+/// Architectural registers read by @p inst (excluding xzr).
+RegList src_regs(const Inst& inst);
+/// Architectural registers written by @p inst (excluding xzr). Includes
+/// the base register for pre/post-index addressing.
+RegList dst_regs(const Inst& inst);
+/// Union of src and dst registers, deduplicated.
+RegList all_regs(const Inst& inst);
+
+const char* op_name(Op op);
+const char* cond_name(Cond cond);
+
+}  // namespace virec::isa

@@ -1,0 +1,217 @@
+#include "isa/semantics.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace virec::isa {
+
+namespace {
+
+u64 read(RegisterFileIO& rf, int tid, RegId r) {
+  return r == kZeroReg ? 0 : rf.read_reg(tid, r);
+}
+
+void write(RegisterFileIO& rf, int tid, RegId r, u64 v) {
+  if (r != kZeroReg) rf.write_reg(tid, r, v);
+}
+
+double as_f64(u64 bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+u64 as_bits(double v) {
+  u64 bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+u8 flags_from_sub(u64 a, u64 b) {
+  const u64 res = a - b;
+  const bool n = static_cast<i64>(res) < 0;
+  const bool z = res == 0;
+  const bool c = a >= b;  // no borrow
+  const bool v = (static_cast<i64>(a) < 0) != (static_cast<i64>(b) < 0) &&
+                 (static_cast<i64>(res) < 0) != (static_cast<i64>(a) < 0);
+  return static_cast<u8>((n ? kFlagN : 0) | (z ? kFlagZ : 0) |
+                         (c ? kFlagC : 0) | (v ? kFlagV : 0));
+}
+
+}  // namespace
+
+bool cond_holds(Cond cond, u8 nzcv) {
+  const bool n = nzcv & kFlagN;
+  const bool z = nzcv & kFlagZ;
+  const bool c = nzcv & kFlagC;
+  const bool v = nzcv & kFlagV;
+  switch (cond) {
+    case Cond::kEq: return z;
+    case Cond::kNe: return !z;
+    case Cond::kLt: return n != v;
+    case Cond::kLe: return z || n != v;
+    case Cond::kGt: return !z && n == v;
+    case Cond::kGe: return n == v;
+    case Cond::kLo: return !c;
+    case Cond::kLs: return !c || z;
+    case Cond::kHi: return c && !z;
+    case Cond::kHs: return c;
+    case Cond::kAl: return true;
+  }
+  return false;
+}
+
+Addr compute_mem_addr(const Inst& inst, int tid, RegisterFileIO& rf) {
+  const u64 base = read(rf, tid, inst.rn);
+  switch (inst.mem_mode) {
+    case MemMode::kOffset:
+    case MemMode::kPreIndex:
+      return base + static_cast<u64>(inst.imm);
+    case MemMode::kPostIndex:
+      return base;
+    case MemMode::kRegOffset:
+      return base + (read(rf, tid, inst.rm) << inst.shift);
+  }
+  return base;
+}
+
+ExecResult execute(const Inst& inst, u64 pc, int tid, RegisterFileIO& rf,
+                   mem::SparseMemory& memory, u8& nzcv) {
+  ExecResult result;
+  result.next_pc = pc + 1;
+
+  auto rd_write = [&](u64 v) { write(rf, tid, inst.rd, v); };
+  const auto rn = [&] { return read(rf, tid, inst.rn); };
+  const auto rm = [&] { return read(rf, tid, inst.rm); };
+  const auto ra = [&] { return read(rf, tid, inst.ra); };
+  const u64 imm = static_cast<u64>(inst.imm);
+
+  switch (inst.op) {
+    case Op::kNop:
+      break;
+    case Op::kHalt:
+      result.halted = true;
+      result.next_pc = pc;
+      break;
+
+    case Op::kAdd: rd_write(rn() + rm()); break;
+    case Op::kSub: rd_write(rn() - rm()); break;
+    case Op::kMul: rd_write(rn() * rm()); break;
+    case Op::kUdiv: rd_write(rm() == 0 ? 0 : rn() / rm()); break;
+    case Op::kSdiv: {
+      const i64 a = static_cast<i64>(rn());
+      const i64 b = static_cast<i64>(rm());
+      rd_write(b == 0 ? 0 : static_cast<u64>(a / b));
+      break;
+    }
+    case Op::kAnd: rd_write(rn() & rm()); break;
+    case Op::kOrr: rd_write(rn() | rm()); break;
+    case Op::kEor: rd_write(rn() ^ rm()); break;
+    case Op::kLsl: rd_write(rn() << (rm() & 63)); break;
+    case Op::kLsr: rd_write(rn() >> (rm() & 63)); break;
+    case Op::kAsr:
+      rd_write(static_cast<u64>(static_cast<i64>(rn()) >>
+                                (rm() & 63)));
+      break;
+
+    case Op::kAddImm: rd_write(rn() + imm); break;
+    case Op::kSubImm: rd_write(rn() - imm); break;
+    case Op::kAndImm: rd_write(rn() & imm); break;
+    case Op::kOrrImm: rd_write(rn() | imm); break;
+    case Op::kEorImm: rd_write(rn() ^ imm); break;
+    case Op::kLslImm: rd_write(rn() << (imm & 63)); break;
+    case Op::kLsrImm: rd_write(rn() >> (imm & 63)); break;
+    case Op::kAsrImm:
+      rd_write(static_cast<u64>(static_cast<i64>(rn()) >> (imm & 63)));
+      break;
+
+    case Op::kMov: rd_write(rm()); break;
+    case Op::kMovImm: rd_write(imm); break;
+    case Op::kMovk: {
+      const u32 lane = inst.imm2 & 3;
+      const u64 mask = u64{0xffff} << (16 * lane);
+      const u64 old = read(rf, tid, inst.rd);
+      rd_write((old & ~mask) | ((imm & 0xffff) << (16 * lane)));
+      break;
+    }
+    case Op::kMvn: rd_write(~rm()); break;
+    case Op::kMadd: rd_write(ra() + rn() * rm()); break;
+
+    case Op::kFadd: rd_write(as_bits(as_f64(rn()) + as_f64(rm()))); break;
+    case Op::kFsub: rd_write(as_bits(as_f64(rn()) - as_f64(rm()))); break;
+    case Op::kFmul: rd_write(as_bits(as_f64(rn()) * as_f64(rm()))); break;
+    case Op::kFdiv: rd_write(as_bits(as_f64(rn()) / as_f64(rm()))); break;
+    case Op::kFmadd:
+      rd_write(as_bits(as_f64(ra()) + as_f64(rn()) * as_f64(rm())));
+      break;
+    case Op::kScvtf:
+      rd_write(as_bits(static_cast<double>(static_cast<i64>(rn()))));
+      break;
+    case Op::kFcvtzs:
+      rd_write(static_cast<u64>(static_cast<i64>(as_f64(rn()))));
+      break;
+
+    case Op::kCmp: nzcv = flags_from_sub(rn(), rm()); break;
+    case Op::kCmpImm: nzcv = flags_from_sub(rn(), imm); break;
+
+    case Op::kB:
+      result.next_pc = static_cast<u64>(inst.target);
+      result.taken_branch = true;
+      break;
+    case Op::kBcond:
+      if (cond_holds(inst.cond, nzcv)) {
+        result.next_pc = static_cast<u64>(inst.target);
+        result.taken_branch = true;
+      }
+      break;
+    case Op::kCbz:
+      if (rn() == 0) {
+        result.next_pc = static_cast<u64>(inst.target);
+        result.taken_branch = true;
+      }
+      break;
+    case Op::kCbnz:
+      if (rn() != 0) {
+        result.next_pc = static_cast<u64>(inst.target);
+        result.taken_branch = true;
+      }
+      break;
+    case Op::kBl:
+      write(rf, tid, RegId{30}, pc + 1);
+      result.next_pc = static_cast<u64>(inst.target);
+      result.taken_branch = true;
+      break;
+    case Op::kRet: {
+      const RegId link = inst.rn == kNoReg ? RegId{30} : inst.rn;
+      result.next_pc = read(rf, tid, link);
+      result.taken_branch = true;
+      break;
+    }
+
+    default: {
+      if (!is_mem(inst.op)) {
+        throw std::logic_error("execute: unhandled opcode");
+      }
+      const Addr addr = compute_mem_addr(inst, tid, rf);
+      const u32 size = mem_size(inst.op);
+      if (is_load(inst.op)) {
+        u64 value = memory.read(addr, size);
+        if (inst.op == Op::kLdrsw) {
+          value = static_cast<u64>(static_cast<i64>(static_cast<i32>(value)));
+        }
+        rd_write(value);
+      } else {
+        const u64 value = inst.rd == kZeroReg ? 0 : read(rf, tid, inst.rd);
+        memory.write(addr, size, value);
+      }
+      if (inst.mem_mode == MemMode::kPreIndex ||
+          inst.mem_mode == MemMode::kPostIndex) {
+        write(rf, tid, inst.rn, read(rf, tid, inst.rn) + imm);
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace virec::isa

@@ -1,0 +1,57 @@
+// Architectural semantics of the NMP ISA.
+//
+// Execution is split in two phases to match the pipeline model:
+//  * compute_mem_addr() is called when a memory instruction reaches the
+//    MEM stage (all older instructions have committed, so register
+//    values are architectural), and
+//  * execute() is called at commit, mutating registers/memory/flags and
+//    returning the successor PC. Flushed (never-committed) instructions
+//    therefore have no architectural side effects and can be replayed
+//    safely after a context switch — the property ViReC's rollback
+//    queue relies on.
+#pragma once
+
+#include "isa/inst.hpp"
+#include "mem/sparse_memory.hpp"
+
+namespace virec::isa {
+
+/// Per-thread functional register access. Implemented by the context
+/// managers (banked, software, prefetch, ViReC); the ViReC manager
+/// reads through the physical register file and falls back to the
+/// backing store for evicted entries.
+class RegisterFileIO {
+ public:
+  virtual ~RegisterFileIO() = default;
+  /// Architectural read of x0..x30; callers never pass xzr.
+  virtual u64 read_reg(int tid, RegId reg) = 0;
+  /// Architectural write of x0..x30; callers never pass xzr.
+  virtual void write_reg(int tid, RegId reg, u64 value) = 0;
+};
+
+/// NZCV flag bits (per-thread system register).
+inline constexpr u8 kFlagN = 0x8;
+inline constexpr u8 kFlagZ = 0x4;
+inline constexpr u8 kFlagC = 0x2;
+inline constexpr u8 kFlagV = 0x1;
+
+/// Evaluate @p cond against NZCV flags.
+bool cond_holds(Cond cond, u8 nzcv);
+
+/// Effective address of a memory instruction using current register
+/// values. For post-index addressing this is the un-incremented base.
+Addr compute_mem_addr(const Inst& inst, int tid, RegisterFileIO& rf);
+
+struct ExecResult {
+  u64 next_pc = 0;
+  bool taken_branch = false;
+  bool halted = false;
+};
+
+/// Commit @p inst: perform its register/memory/flag effects and return
+/// the successor PC (instruction index). @p pc is the instruction's own
+/// index.
+ExecResult execute(const Inst& inst, u64 pc, int tid, RegisterFileIO& rf,
+                   mem::SparseMemory& memory, u8& nzcv);
+
+}  // namespace virec::isa

@@ -1,0 +1,403 @@
+#include "kasm/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "kasm/builder.hpp"
+
+namespace virec::kasm {
+
+namespace {
+
+using isa::Inst;
+using isa::kNoReg;
+using isa::kZeroReg;
+
+std::string strip_comment(const std::string& line) {
+  // "//" anywhere; ";" and "#"-at-start-of-token comments. '#' also
+  // introduces immediates, so only treat it as a comment when it is the
+  // first non-space character of the line.
+  std::string out = line;
+  if (auto pos = out.find("//"); pos != std::string::npos) out.erase(pos);
+  if (auto pos = out.find(';'); pos != std::string::npos) out.erase(pos);
+  const auto first = out.find_first_not_of(" \t");
+  if (first != std::string::npos && out[first] == '#') out.clear();
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Split operand list on commas that are not inside brackets.
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!trim(cur).empty()) out.push_back(trim(cur));
+  return out;
+}
+
+struct LineCtx {
+  int line;
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw AsmError(line, msg);
+  }
+};
+
+isa::RegId parse_reg(const std::string& tok, const LineCtx& ctx) {
+  const std::string t = lower(trim(tok));
+  if (t == "xzr") return kZeroReg;
+  if (t.size() >= 2 && t[0] == 'x') {
+    int n = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(t[i]))) {
+        ctx.fail("bad register '" + tok + "'");
+      }
+      n = n * 10 + (t[i] - '0');
+    }
+    if (n >= 0 && n <= 30) return static_cast<isa::RegId>(n);
+  }
+  ctx.fail("bad register '" + tok + "'");
+}
+
+i64 parse_imm(const std::string& tok, const LineCtx& ctx) {
+  std::string t = trim(tok);
+  if (!t.empty() && t[0] == '#') t = t.substr(1);
+  if (t.empty()) ctx.fail("empty immediate");
+  try {
+    std::size_t used = 0;
+    const i64 v = std::stoll(t, &used, 0);
+    if (used != t.size()) ctx.fail("bad immediate '" + tok + "'");
+    return v;
+  } catch (const std::exception&) {
+    ctx.fail("bad immediate '" + tok + "'");
+  }
+}
+
+bool is_imm(const std::string& tok) {
+  const std::string t = trim(tok);
+  return !t.empty() && (t[0] == '#' || t[0] == '-' ||
+                        std::isdigit(static_cast<unsigned char>(t[0])));
+}
+
+struct MemOperand {
+  isa::RegId rn = kNoReg;
+  isa::RegId rm = kNoReg;
+  u8 shift = 0;
+  i64 imm = 0;
+  isa::MemMode mode = isa::MemMode::kOffset;
+};
+
+/// Parse "[xN]", "[xN, #imm]", "[xN, #imm]!", "[xN], #imm",
+/// "[xN, xM]", "[xN, xM, lsl #s]".
+MemOperand parse_mem(const std::string& op1, const std::string* op2,
+                     const LineCtx& ctx) {
+  MemOperand m;
+  std::string t = trim(op1);
+  if (t.empty() || t[0] != '[') ctx.fail("expected '[' in memory operand");
+  const bool pre = t.size() >= 2 && t.back() == '!';
+  if (pre) t.pop_back();
+  const auto close = t.find(']');
+  if (close == std::string::npos) ctx.fail("missing ']' in memory operand");
+  const std::string inside = t.substr(1, close - 1);
+  const std::string after = trim(t.substr(close + 1));
+  if (!after.empty()) ctx.fail("garbage after ']'");
+
+  const std::vector<std::string> parts = split_operands(inside);
+  if (parts.empty()) ctx.fail("empty memory operand");
+  m.rn = parse_reg(parts[0], ctx);
+
+  if (op2 != nullptr) {
+    // "[xN], #imm" post-index.
+    if (parts.size() != 1) ctx.fail("post-index with complex base");
+    if (pre) ctx.fail("cannot combine pre- and post-index");
+    m.imm = parse_imm(*op2, ctx);
+    m.mode = isa::MemMode::kPostIndex;
+    return m;
+  }
+  if (parts.size() == 1) {
+    m.mode = pre ? isa::MemMode::kPreIndex : isa::MemMode::kOffset;
+    return m;
+  }
+  if (is_imm(parts[1])) {
+    if (parts.size() != 2) ctx.fail("bad memory operand");
+    m.imm = parse_imm(parts[1], ctx);
+    m.mode = pre ? isa::MemMode::kPreIndex : isa::MemMode::kOffset;
+    return m;
+  }
+  // Register offset.
+  if (pre) ctx.fail("pre-index with register offset unsupported");
+  m.rm = parse_reg(parts[1], ctx);
+  m.mode = isa::MemMode::kRegOffset;
+  if (parts.size() == 3) {
+    std::istringstream ss(lower(trim(parts[2])));
+    std::string kw;
+    ss >> kw;
+    if (kw != "lsl") ctx.fail("expected 'lsl' shift");
+    std::string amount;
+    ss >> amount;
+    m.shift = static_cast<u8>(parse_imm(amount, ctx));
+  } else if (parts.size() > 3) {
+    ctx.fail("bad memory operand");
+  }
+  return m;
+}
+
+const std::map<std::string, isa::Op>& mem_ops() {
+  static const std::map<std::string, isa::Op> ops = {
+      {"ldr", isa::Op::kLdr},     {"ldrw", isa::Op::kLdrw},
+      {"ldrsw", isa::Op::kLdrsw}, {"ldrh", isa::Op::kLdrh},
+      {"ldrb", isa::Op::kLdrb},   {"str", isa::Op::kStr},
+      {"strw", isa::Op::kStrw},   {"strh", isa::Op::kStrh},
+      {"strb", isa::Op::kStrb},
+  };
+  return ops;
+}
+
+const std::map<std::string, isa::Cond>& cond_map() {
+  static const std::map<std::string, isa::Cond> conds = {
+      {"eq", isa::Cond::kEq}, {"ne", isa::Cond::kNe}, {"lt", isa::Cond::kLt},
+      {"le", isa::Cond::kLe}, {"gt", isa::Cond::kGt}, {"ge", isa::Cond::kGe},
+      {"lo", isa::Cond::kLo}, {"ls", isa::Cond::kLs}, {"hi", isa::Cond::kHi},
+      {"hs", isa::Cond::kHs}, {"al", isa::Cond::kAl},
+  };
+  return conds;
+}
+
+struct PendingBranch {
+  u64 index;
+  std::string target;
+  int line;
+};
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  std::vector<Inst> code;
+  std::map<std::string, u64> labels;
+  std::vector<PendingBranch> pending;
+
+  std::istringstream in(source);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const LineCtx ctx{line_no};
+    std::string line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+
+    // Labels (possibly multiple, possibly followed by an instruction).
+    while (true) {
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) break;
+      const std::string name = trim(line.substr(0, colon));
+      if (name.empty()) ctx.fail("empty label");
+      if (name.find(' ') != std::string::npos) break;  // ':' inside operands
+      if (!labels.emplace(name, code.size()).second) {
+        ctx.fail("duplicate label '" + name + "'");
+      }
+      line = trim(line.substr(colon + 1));
+      if (line.empty()) break;
+    }
+    if (line.empty()) continue;
+
+    // Mnemonic + operands.
+    const auto space = line.find_first_of(" \t");
+    const std::string mnemonic = lower(
+        space == std::string::npos ? line : line.substr(0, space));
+    const std::string rest =
+        space == std::string::npos ? "" : trim(line.substr(space + 1));
+    const std::vector<std::string> ops = split_operands(rest);
+
+    auto want = [&](std::size_t n) {
+      if (ops.size() != n) {
+        ctx.fail(mnemonic + ": expected " + std::to_string(n) +
+                 " operands, got " + std::to_string(ops.size()));
+      }
+    };
+    auto branch_target = [&](const std::string& tok) -> i64 {
+      const std::string t = trim(tok);
+      if (!t.empty() && t[0] == '@') {
+        return parse_imm(t.substr(1), ctx);
+      }
+      pending.push_back(PendingBranch{code.size(), t, line_no});
+      return -1;
+    };
+
+    Inst inst;
+
+    if (mnemonic == "nop") {
+      want(0);
+      inst.op = isa::Op::kNop;
+    } else if (mnemonic == "halt") {
+      want(0);
+      inst.op = isa::Op::kHalt;
+    } else if (mnemonic == "ret") {
+      inst.op = isa::Op::kRet;
+      if (ops.size() == 1) inst.rn = parse_reg(ops[0], ctx);
+      else want(0);
+    } else if (auto it = mem_ops().find(mnemonic); it != mem_ops().end()) {
+      if (ops.size() != 2 && ops.size() != 3) {
+        ctx.fail(mnemonic + ": expected 2-3 operands");
+      }
+      inst.op = it->second;
+      inst.rd = parse_reg(ops[0], ctx);
+      const std::string* post = ops.size() == 3 ? &ops[2] : nullptr;
+      const MemOperand m = parse_mem(ops[1], post, ctx);
+      inst.rn = m.rn;
+      inst.rm = m.rm;
+      inst.shift = m.shift;
+      inst.imm = m.imm;
+      inst.mem_mode = m.mode;
+    } else if (mnemonic == "b") {
+      want(1);
+      inst.op = isa::Op::kB;
+      inst.target = branch_target(ops[0]);
+    } else if (mnemonic == "bl") {
+      want(1);
+      inst.op = isa::Op::kBl;
+      inst.target = branch_target(ops[0]);
+    } else if (mnemonic.size() > 2 && mnemonic.rfind("b.", 0) == 0) {
+      want(1);
+      const auto cit = cond_map().find(mnemonic.substr(2));
+      if (cit == cond_map().end()) ctx.fail("bad condition " + mnemonic);
+      inst.op = isa::Op::kBcond;
+      inst.cond = cit->second;
+      inst.target = branch_target(ops[0]);
+    } else if (mnemonic == "cbz" || mnemonic == "cbnz") {
+      want(2);
+      inst.op = mnemonic == "cbz" ? isa::Op::kCbz : isa::Op::kCbnz;
+      inst.rn = parse_reg(ops[0], ctx);
+      inst.target = branch_target(ops[1]);
+    } else if (mnemonic == "cmp") {
+      want(2);
+      inst.rn = parse_reg(ops[0], ctx);
+      if (is_imm(ops[1])) {
+        inst.op = isa::Op::kCmpImm;
+        inst.imm = parse_imm(ops[1], ctx);
+      } else {
+        inst.op = isa::Op::kCmp;
+        inst.rm = parse_reg(ops[1], ctx);
+      }
+    } else if (mnemonic == "mov") {
+      want(2);
+      inst.rd = parse_reg(ops[0], ctx);
+      if (is_imm(ops[1])) {
+        inst.op = isa::Op::kMovImm;
+        inst.imm = parse_imm(ops[1], ctx);
+      } else {
+        inst.op = isa::Op::kMov;
+        inst.rm = parse_reg(ops[1], ctx);
+      }
+    } else if (mnemonic == "movk") {
+      if (ops.size() != 2 && ops.size() != 3) ctx.fail("movk: bad operands");
+      inst.op = isa::Op::kMovk;
+      inst.rd = parse_reg(ops[0], ctx);
+      inst.imm = parse_imm(ops[1], ctx);
+      if (ops.size() == 3) {
+        std::istringstream ss(lower(trim(ops[2])));
+        std::string kw, amount;
+        ss >> kw >> amount;
+        if (kw != "lsl") ctx.fail("movk: expected lsl");
+        const i64 bits = parse_imm(amount, ctx);
+        if (bits % 16 != 0 || bits < 0 || bits > 48) {
+          ctx.fail("movk: shift must be 0/16/32/48");
+        }
+        inst.imm2 = static_cast<u8>(bits / 16);
+      }
+    } else if (mnemonic == "mvn") {
+      want(2);
+      inst.op = isa::Op::kMvn;
+      inst.rd = parse_reg(ops[0], ctx);
+      inst.rm = parse_reg(ops[1], ctx);
+    } else if (mnemonic == "madd" || mnemonic == "fmadd") {
+      want(4);
+      inst.op = mnemonic == "madd" ? isa::Op::kMadd : isa::Op::kFmadd;
+      inst.rd = parse_reg(ops[0], ctx);
+      inst.rn = parse_reg(ops[1], ctx);
+      inst.rm = parse_reg(ops[2], ctx);
+      inst.ra = parse_reg(ops[3], ctx);
+    } else if (mnemonic == "scvtf" || mnemonic == "fcvtzs") {
+      want(2);
+      inst.op = mnemonic == "scvtf" ? isa::Op::kScvtf : isa::Op::kFcvtzs;
+      inst.rd = parse_reg(ops[0], ctx);
+      inst.rn = parse_reg(ops[1], ctx);
+    } else {
+      // Three-operand ALU/FP ops with reg or immediate third operand.
+      struct AluEntry {
+        isa::Op reg;
+        isa::Op imm;  // kNop when no immediate form exists
+      };
+      static const std::map<std::string, AluEntry> alu = {
+          {"add", {isa::Op::kAdd, isa::Op::kAddImm}},
+          {"sub", {isa::Op::kSub, isa::Op::kSubImm}},
+          {"mul", {isa::Op::kMul, isa::Op::kNop}},
+          {"udiv", {isa::Op::kUdiv, isa::Op::kNop}},
+          {"sdiv", {isa::Op::kSdiv, isa::Op::kNop}},
+          {"and", {isa::Op::kAnd, isa::Op::kAndImm}},
+          {"orr", {isa::Op::kOrr, isa::Op::kOrrImm}},
+          {"eor", {isa::Op::kEor, isa::Op::kEorImm}},
+          {"lsl", {isa::Op::kLsl, isa::Op::kLslImm}},
+          {"lsr", {isa::Op::kLsr, isa::Op::kLsrImm}},
+          {"asr", {isa::Op::kAsr, isa::Op::kAsrImm}},
+          {"fadd", {isa::Op::kFadd, isa::Op::kNop}},
+          {"fsub", {isa::Op::kFsub, isa::Op::kNop}},
+          {"fmul", {isa::Op::kFmul, isa::Op::kNop}},
+          {"fdiv", {isa::Op::kFdiv, isa::Op::kNop}},
+      };
+      const auto ait = alu.find(mnemonic);
+      if (ait == alu.end()) ctx.fail("unknown mnemonic '" + mnemonic + "'");
+      want(3);
+      inst.rd = parse_reg(ops[0], ctx);
+      inst.rn = parse_reg(ops[1], ctx);
+      if (is_imm(ops[2])) {
+        if (ait->second.imm == isa::Op::kNop) {
+          ctx.fail(mnemonic + ": no immediate form");
+        }
+        inst.op = ait->second.imm;
+        inst.imm = parse_imm(ops[2], ctx);
+      } else {
+        inst.op = ait->second.reg;
+        inst.rm = parse_reg(ops[2], ctx);
+      }
+    }
+    code.push_back(inst);
+  }
+
+  for (const PendingBranch& pb : pending) {
+    const auto it = labels.find(pb.target);
+    if (it == labels.end()) {
+      throw AsmError(pb.line, "unresolved label '" + pb.target + "'");
+    }
+    code[pb.index].target = static_cast<i64>(it->second);
+  }
+
+  Program program(std::move(code), std::move(labels));
+  program.validate();
+  return program;
+}
+
+}  // namespace virec::kasm

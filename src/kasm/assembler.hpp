@@ -1,0 +1,41 @@
+// Text assembler for the NMP ISA. Accepts the same syntax the
+// disassembler emits plus labels and comments:
+//
+//   // gather inner loop
+//   loop:
+//     ldr   x6, [x2, x5, lsl #3]
+//     ldrsw x7, [x3], #8
+//     add   x8, x8, x7
+//     add   x5, x5, #1
+//     cmp   x5, x4
+//     b.lt  loop
+//     halt
+//
+// Comments start with "//", ";" or "#" at the start of a token.
+// Immediates are written "#N" (decimal or 0x hex). Branch targets are
+// labels or absolute "@N" indices.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "kasm/program.hpp"
+
+namespace virec::kasm {
+
+/// Error with line information.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Assemble @p source into a validated Program. Throws AsmError.
+Program assemble(const std::string& source);
+
+}  // namespace virec::kasm

@@ -1,0 +1,247 @@
+#include "kasm/builder.hpp"
+
+#include <stdexcept>
+
+namespace virec::kasm {
+
+ProgramBuilder& ProgramBuilder::label(const std::string& name) {
+  if (!labels_.emplace(name, code_.size()).second) {
+    throw std::invalid_argument("duplicate label '" + name + "'");
+  }
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::alu(Op op, RegId rd, RegId rn, RegId rm) {
+  isa::Inst inst;
+  inst.op = op;
+  inst.rd = rd;
+  inst.rn = rn;
+  inst.rm = rm;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::alu_imm(Op op, RegId rd, RegId rn, i64 imm) {
+  isa::Inst inst;
+  inst.op = op;
+  inst.rd = rd;
+  inst.rn = rn;
+  inst.imm = imm;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::add(RegId rd, RegId rn, RegId rm) { return alu(Op::kAdd, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::sub(RegId rd, RegId rn, RegId rm) { return alu(Op::kSub, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::mul(RegId rd, RegId rn, RegId rm) { return alu(Op::kMul, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::udiv(RegId rd, RegId rn, RegId rm) { return alu(Op::kUdiv, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::sdiv(RegId rd, RegId rn, RegId rm) { return alu(Op::kSdiv, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::and_(RegId rd, RegId rn, RegId rm) { return alu(Op::kAnd, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::orr(RegId rd, RegId rn, RegId rm) { return alu(Op::kOrr, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::eor(RegId rd, RegId rn, RegId rm) { return alu(Op::kEor, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::lsl(RegId rd, RegId rn, RegId rm) { return alu(Op::kLsl, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::lsr(RegId rd, RegId rn, RegId rm) { return alu(Op::kLsr, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::asr(RegId rd, RegId rn, RegId rm) { return alu(Op::kAsr, rd, rn, rm); }
+
+ProgramBuilder& ProgramBuilder::madd(RegId rd, RegId rn, RegId rm, RegId ra) {
+  isa::Inst inst;
+  inst.op = Op::kMadd;
+  inst.rd = rd;
+  inst.rn = rn;
+  inst.rm = rm;
+  inst.ra = ra;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::add_imm(RegId rd, RegId rn, i64 imm) { return alu_imm(Op::kAddImm, rd, rn, imm); }
+ProgramBuilder& ProgramBuilder::sub_imm(RegId rd, RegId rn, i64 imm) { return alu_imm(Op::kSubImm, rd, rn, imm); }
+ProgramBuilder& ProgramBuilder::and_imm(RegId rd, RegId rn, i64 imm) { return alu_imm(Op::kAndImm, rd, rn, imm); }
+ProgramBuilder& ProgramBuilder::orr_imm(RegId rd, RegId rn, i64 imm) { return alu_imm(Op::kOrrImm, rd, rn, imm); }
+ProgramBuilder& ProgramBuilder::eor_imm(RegId rd, RegId rn, i64 imm) { return alu_imm(Op::kEorImm, rd, rn, imm); }
+ProgramBuilder& ProgramBuilder::lsl_imm(RegId rd, RegId rn, i64 imm) { return alu_imm(Op::kLslImm, rd, rn, imm); }
+ProgramBuilder& ProgramBuilder::lsr_imm(RegId rd, RegId rn, i64 imm) { return alu_imm(Op::kLsrImm, rd, rn, imm); }
+ProgramBuilder& ProgramBuilder::asr_imm(RegId rd, RegId rn, i64 imm) { return alu_imm(Op::kAsrImm, rd, rn, imm); }
+
+ProgramBuilder& ProgramBuilder::mov(RegId rd, RegId rm) {
+  isa::Inst inst;
+  inst.op = Op::kMov;
+  inst.rd = rd;
+  inst.rm = rm;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::mov_imm(RegId rd, i64 imm) {
+  isa::Inst inst;
+  inst.op = Op::kMovImm;
+  inst.rd = rd;
+  inst.imm = imm;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::movk(RegId rd, i64 imm16, int lane) {
+  isa::Inst inst;
+  inst.op = Op::kMovk;
+  inst.rd = rd;
+  inst.imm = imm16;
+  inst.imm2 = static_cast<u8>(lane);
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::mvn(RegId rd, RegId rm) {
+  isa::Inst inst;
+  inst.op = Op::kMvn;
+  inst.rd = rd;
+  inst.rm = rm;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::fadd(RegId rd, RegId rn, RegId rm) { return alu(Op::kFadd, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::fsub(RegId rd, RegId rn, RegId rm) { return alu(Op::kFsub, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::fmul(RegId rd, RegId rn, RegId rm) { return alu(Op::kFmul, rd, rn, rm); }
+ProgramBuilder& ProgramBuilder::fdiv(RegId rd, RegId rn, RegId rm) { return alu(Op::kFdiv, rd, rn, rm); }
+
+ProgramBuilder& ProgramBuilder::fmadd(RegId rd, RegId rn, RegId rm, RegId ra) {
+  isa::Inst inst;
+  inst.op = Op::kFmadd;
+  inst.rd = rd;
+  inst.rn = rn;
+  inst.rm = rm;
+  inst.ra = ra;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::scvtf(RegId rd, RegId rn) {
+  isa::Inst inst;
+  inst.op = Op::kScvtf;
+  inst.rd = rd;
+  inst.rn = rn;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::fcvtzs(RegId rd, RegId rn) {
+  isa::Inst inst;
+  inst.op = Op::kFcvtzs;
+  inst.rd = rd;
+  inst.rn = rn;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::cmp(RegId rn, RegId rm) {
+  isa::Inst inst;
+  inst.op = Op::kCmp;
+  inst.rn = rn;
+  inst.rm = rm;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::cmp_imm(RegId rn, i64 imm) {
+  isa::Inst inst;
+  inst.op = Op::kCmpImm;
+  inst.rn = rn;
+  inst.imm = imm;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::branch(Op op, Cond cond, RegId rn,
+                                       const std::string& target) {
+  isa::Inst inst;
+  inst.op = op;
+  inst.cond = cond;
+  inst.rn = rn;
+  fixups_.emplace_back(code_.size(), target);
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::b(const std::string& target) {
+  return branch(Op::kB, Cond::kAl, isa::kNoReg, target);
+}
+ProgramBuilder& ProgramBuilder::b_cond(Cond cond, const std::string& target) {
+  return branch(Op::kBcond, cond, isa::kNoReg, target);
+}
+ProgramBuilder& ProgramBuilder::cbz(RegId rn, const std::string& target) {
+  return branch(Op::kCbz, Cond::kAl, rn, target);
+}
+ProgramBuilder& ProgramBuilder::cbnz(RegId rn, const std::string& target) {
+  return branch(Op::kCbnz, Cond::kAl, rn, target);
+}
+ProgramBuilder& ProgramBuilder::bl(const std::string& target) {
+  return branch(Op::kBl, Cond::kAl, isa::kNoReg, target);
+}
+
+ProgramBuilder& ProgramBuilder::ret(RegId rn) {
+  isa::Inst inst;
+  inst.op = Op::kRet;
+  inst.rn = rn;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::memop(Op op, RegId rd, RegId rn, RegId rm,
+                                      u8 shift, i64 imm, MemMode mode) {
+  isa::Inst inst;
+  inst.op = op;
+  inst.rd = rd;
+  inst.rn = rn;
+  inst.rm = rm;
+  inst.shift = shift;
+  inst.imm = imm;
+  inst.mem_mode = mode;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::ldr(RegId rd, RegId rn, i64 imm, Op op) {
+  return memop(op, rd, rn, isa::kNoReg, 0, imm, MemMode::kOffset);
+}
+ProgramBuilder& ProgramBuilder::ldr(RegId rd, RegId rn, RegId rm, u8 shift,
+                                    Op op) {
+  return memop(op, rd, rn, rm, shift, 0, MemMode::kRegOffset);
+}
+ProgramBuilder& ProgramBuilder::ldr_post(RegId rd, RegId rn, i64 imm, Op op) {
+  return memop(op, rd, rn, isa::kNoReg, 0, imm, MemMode::kPostIndex);
+}
+ProgramBuilder& ProgramBuilder::ldr_pre(RegId rd, RegId rn, i64 imm, Op op) {
+  return memop(op, rd, rn, isa::kNoReg, 0, imm, MemMode::kPreIndex);
+}
+ProgramBuilder& ProgramBuilder::str(RegId rd, RegId rn, i64 imm, Op op) {
+  return memop(op, rd, rn, isa::kNoReg, 0, imm, MemMode::kOffset);
+}
+ProgramBuilder& ProgramBuilder::str(RegId rd, RegId rn, RegId rm, u8 shift,
+                                    Op op) {
+  return memop(op, rd, rn, rm, shift, 0, MemMode::kRegOffset);
+}
+ProgramBuilder& ProgramBuilder::str_post(RegId rd, RegId rn, i64 imm, Op op) {
+  return memop(op, rd, rn, isa::kNoReg, 0, imm, MemMode::kPostIndex);
+}
+ProgramBuilder& ProgramBuilder::str_pre(RegId rd, RegId rn, i64 imm, Op op) {
+  return memop(op, rd, rn, isa::kNoReg, 0, imm, MemMode::kPreIndex);
+}
+
+ProgramBuilder& ProgramBuilder::nop() {
+  isa::Inst inst;
+  inst.op = Op::kNop;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::halt() {
+  isa::Inst inst;
+  inst.op = Op::kHalt;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::emit(isa::Inst inst) {
+  code_.push_back(inst);
+  return *this;
+}
+
+Program ProgramBuilder::build() const {
+  std::vector<isa::Inst> code = code_;
+  for (const auto& [index, name] : fixups_) {
+    auto it = labels_.find(name);
+    if (it == labels_.end()) {
+      throw std::invalid_argument("unresolved label '" + name + "'");
+    }
+    code[index].target = static_cast<i64>(it->second);
+  }
+  Program program(std::move(code), labels_);
+  program.validate();
+  return program;
+}
+
+}  // namespace virec::kasm

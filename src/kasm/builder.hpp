@@ -1,0 +1,127 @@
+// Fluent programmatic assembler. Workload kernels are written against
+// this API; labels may be referenced before they are bound and are
+// resolved at build() time.
+//
+//   ProgramBuilder b;
+//   b.mov_imm(X(5), 0);
+//   b.label("loop");
+//   b.ldr(X(6), X(2), X(5), 3);          // ldr x6, [x2, x5, lsl #3]
+//   b.add_imm(X(5), X(5), 1);
+//   b.cmp(X(5), X(4));
+//   b.b_cond(Cond::kLt, "loop");
+//   b.halt();
+//   Program p = b.build();
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kasm/program.hpp"
+
+namespace virec::kasm {
+
+using isa::Cond;
+using isa::MemMode;
+using isa::Op;
+using isa::RegId;
+
+/// Convenience register constructor: X(5) == x5.
+constexpr RegId X(int n) { return static_cast<RegId>(n); }
+inline constexpr RegId XZR = isa::kZeroReg;
+
+class ProgramBuilder {
+ public:
+  /// Bind @p name to the next emitted instruction.
+  ProgramBuilder& label(const std::string& name);
+
+  // --- ALU ---
+  ProgramBuilder& add(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& sub(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& mul(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& udiv(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& sdiv(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& and_(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& orr(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& eor(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& lsl(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& lsr(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& asr(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& madd(RegId rd, RegId rn, RegId rm, RegId ra);
+
+  ProgramBuilder& add_imm(RegId rd, RegId rn, i64 imm);
+  ProgramBuilder& sub_imm(RegId rd, RegId rn, i64 imm);
+  ProgramBuilder& and_imm(RegId rd, RegId rn, i64 imm);
+  ProgramBuilder& orr_imm(RegId rd, RegId rn, i64 imm);
+  ProgramBuilder& eor_imm(RegId rd, RegId rn, i64 imm);
+  ProgramBuilder& lsl_imm(RegId rd, RegId rn, i64 imm);
+  ProgramBuilder& lsr_imm(RegId rd, RegId rn, i64 imm);
+  ProgramBuilder& asr_imm(RegId rd, RegId rn, i64 imm);
+
+  ProgramBuilder& mov(RegId rd, RegId rm);
+  ProgramBuilder& mov_imm(RegId rd, i64 imm);
+  ProgramBuilder& movk(RegId rd, i64 imm16, int lane);
+  ProgramBuilder& mvn(RegId rd, RegId rm);
+
+  // --- FP (unified register file, f64 bit patterns) ---
+  ProgramBuilder& fadd(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& fsub(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& fmul(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& fdiv(RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& fmadd(RegId rd, RegId rn, RegId rm, RegId ra);
+  ProgramBuilder& scvtf(RegId rd, RegId rn);
+  ProgramBuilder& fcvtzs(RegId rd, RegId rn);
+
+  // --- Compare & branch ---
+  ProgramBuilder& cmp(RegId rn, RegId rm);
+  ProgramBuilder& cmp_imm(RegId rn, i64 imm);
+  ProgramBuilder& b(const std::string& target);
+  ProgramBuilder& b_cond(Cond cond, const std::string& target);
+  ProgramBuilder& cbz(RegId rn, const std::string& target);
+  ProgramBuilder& cbnz(RegId rn, const std::string& target);
+  ProgramBuilder& bl(const std::string& target);
+  ProgramBuilder& ret(RegId rn = isa::kNoReg);
+
+  // --- Memory ---
+  /// ldr rd, [rn, #imm]  (set op for the other widths).
+  ProgramBuilder& ldr(RegId rd, RegId rn, i64 imm = 0, Op op = Op::kLdr);
+  /// ldr rd, [rn, rm, lsl #shift]
+  ProgramBuilder& ldr(RegId rd, RegId rn, RegId rm, u8 shift,
+                      Op op = Op::kLdr);
+  /// ldr rd, [rn], #imm (post-index) or [rn, #imm]! (pre-index).
+  ProgramBuilder& ldr_post(RegId rd, RegId rn, i64 imm, Op op = Op::kLdr);
+  ProgramBuilder& ldr_pre(RegId rd, RegId rn, i64 imm, Op op = Op::kLdr);
+  ProgramBuilder& str(RegId rd, RegId rn, i64 imm = 0, Op op = Op::kStr);
+  ProgramBuilder& str(RegId rd, RegId rn, RegId rm, u8 shift,
+                      Op op = Op::kStr);
+  ProgramBuilder& str_post(RegId rd, RegId rn, i64 imm, Op op = Op::kStr);
+  ProgramBuilder& str_pre(RegId rd, RegId rn, i64 imm, Op op = Op::kStr);
+
+  ProgramBuilder& nop();
+  ProgramBuilder& halt();
+
+  /// Append a raw instruction (escape hatch for tests).
+  ProgramBuilder& emit(isa::Inst inst);
+
+  /// Number of instructions emitted so far.
+  u64 size() const { return code_.size(); }
+
+  /// Resolve all label references and return the finished program.
+  /// Throws std::invalid_argument on unresolved labels.
+  Program build() const;
+
+ private:
+  ProgramBuilder& alu(Op op, RegId rd, RegId rn, RegId rm);
+  ProgramBuilder& alu_imm(Op op, RegId rd, RegId rn, i64 imm);
+  ProgramBuilder& branch(Op op, Cond cond, RegId rn,
+                         const std::string& target);
+  ProgramBuilder& memop(Op op, RegId rd, RegId rn, RegId rm, u8 shift,
+                        i64 imm, MemMode mode);
+
+  std::vector<isa::Inst> code_;
+  std::map<std::string, u64> labels_;
+  // Pending label fixups: instruction index -> label name.
+  std::vector<std::pair<u64, std::string>> fixups_;
+};
+
+}  // namespace virec::kasm

@@ -1,0 +1,55 @@
+#include "kasm/program.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "isa/disasm.hpp"
+
+namespace virec::kasm {
+
+Program::Program(std::vector<isa::Inst> code,
+                 std::map<std::string, u64> labels)
+    : code_(std::move(code)), labels_(std::move(labels)) {}
+
+u64 Program::label(const std::string& name) const {
+  auto it = labels_.find(name);
+  if (it == labels_.end()) {
+    throw std::out_of_range("Program: unknown label '" + name + "'");
+  }
+  return it->second;
+}
+
+void Program::validate() const {
+  bool has_halt = false;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const isa::Inst& inst = code_[i];
+    if (isa::is_branch(inst.op) && inst.op != isa::Op::kRet) {
+      if (inst.target < 0 ||
+          static_cast<u64>(inst.target) >= code_.size()) {
+        throw std::invalid_argument(
+            "Program: branch at @" + std::to_string(i) +
+            " targets out-of-range index " + std::to_string(inst.target));
+      }
+    }
+    if (inst.op == isa::Op::kHalt) has_halt = true;
+  }
+  if (!code_.empty() && !has_halt) {
+    throw std::invalid_argument("Program: no halt instruction");
+  }
+}
+
+std::string Program::listing() const {
+  // Invert the label map for annotation.
+  std::map<u64, std::vector<std::string>> at;
+  for (const auto& [name, pc] : labels_) at[pc].push_back(name);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    if (auto it = at.find(i); it != at.end()) {
+      for (const std::string& name : it->second) os << name << ":\n";
+    }
+    os << "  @" << i << "\t" << isa::disasm(code_[i]) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace virec::kasm

@@ -1,0 +1,42 @@
+// A Program is the unit of offload: a fully-resolved instruction
+// sequence plus label metadata. Thread contexts launched onto a
+// near-memory core all share one Program and differ only in their
+// initial register values (see sim/system.hpp).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hpp"
+
+namespace virec::kasm {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::vector<isa::Inst> code, std::map<std::string, u64> labels);
+
+  const std::vector<isa::Inst>& code() const { return code_; }
+  const isa::Inst& at(u64 pc) const { return code_[pc]; }
+  u64 size() const { return code_.size(); }
+  bool empty() const { return code_.empty(); }
+
+  /// Instruction index of @p label; throws std::out_of_range if absent.
+  u64 label(const std::string& name) const;
+  const std::map<std::string, u64>& labels() const { return labels_; }
+
+  /// Check structural invariants: every branch target is a valid
+  /// instruction index and every path can reach a halt. Throws
+  /// std::invalid_argument on violation.
+  void validate() const;
+
+  /// Full listing with addresses and label annotations.
+  std::string listing() const;
+
+ private:
+  std::vector<isa::Inst> code_;
+  std::map<std::string, u64> labels_;
+};
+
+}  // namespace virec::kasm

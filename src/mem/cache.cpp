@@ -1,0 +1,243 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace virec::mem {
+
+Cache::Cache(const CacheConfig& config, MemLevel& below)
+    : config_(config), below_(below), stats_(config.name) {
+  if (config_.size_bytes % (kLineBytes * config_.assoc) != 0) {
+    throw std::invalid_argument("Cache: size not divisible by assoc*line");
+  }
+  num_sets_ = config_.size_bytes / (kLineBytes * config_.assoc);
+  if (!is_pow2(num_sets_)) {
+    throw std::invalid_argument("Cache: number of sets must be a power of 2");
+  }
+  lines_.resize(static_cast<std::size_t>(num_sets_) * config_.assoc);
+  mshr_until_.assign(config_.mshrs, 0);
+}
+
+void Cache::reset() {
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  std::fill(mshr_until_.begin(), mshr_until_.end(), Cycle{0});
+  port_next_free_ = 0;
+  reg_port_next_free_ = 0;
+  last_miss_line_ = 0;
+  last_stride_ = 0;
+  stats_.clear();
+}
+
+Cache::Line* Cache::find_line(Addr line_addr) {
+  const u64 line_no = line_addr / kLineBytes;
+  const u32 set = static_cast<u32>(line_no & (num_sets_ - 1));
+  const u64 tag = line_no >> log2_pow2(num_sets_);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+  for (u32 w = 0; w < config_.assoc; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find_line(Addr line_addr) const {
+  return const_cast<Cache*>(this)->find_line(line_addr);
+}
+
+bool Cache::probe(Addr addr) const { return find_line(line_of(addr)) != nullptr; }
+
+bool Cache::reserve_line(Addr addr) {
+  Line* line = find_line(line_of(addr));
+  if (line == nullptr) return false;
+  if (line->pin < 7) ++line->pin;
+  return true;
+}
+
+void Cache::release_line(Addr addr) {
+  Line* line = find_line(line_of(addr));
+  if (line != nullptr && line->pin > 0) --line->pin;
+}
+
+u32 Cache::pinned_lines() const {
+  u32 count = 0;
+  for (const Line& line : lines_) {
+    if (line.valid && line.pin > 0) ++count;
+  }
+  return count;
+}
+
+Cache::Line* Cache::pick_victim(u32 set, Cycle now) {
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+  Line* victim = nullptr;
+  for (u32 w = 0; w < config_.assoc; ++w) {
+    Line& line = base[w];
+    if (!line.valid) return &line;
+    if (line.pin > 0 || line.pending_until > now) continue;
+    if (victim == nullptr || line.lru < victim->lru) victim = &line;
+  }
+  return victim;
+}
+
+Cycle Cache::acquire_mshr(Addr /*line_addr*/, Cycle start, bool& stalled) {
+  // Find a free MSHR; if all are busy, wait for the earliest to retire.
+  Cycle* best = &mshr_until_[0];
+  for (Cycle& until : mshr_until_) {
+    if (until <= start) {
+      until = kNeverCycle;  // claimed; caller fills in the real time
+      stalled = false;
+      return start;
+    }
+    if (until < *best) best = &until;
+  }
+  stalled = true;
+  const Cycle freed = *best;
+  *best = kNeverCycle;
+  stats_.inc("mshr_stall_cycles", double(freed - start));
+  return freed;
+}
+
+void Cache::maybe_prefetch(Addr line_addr, Cycle now) {
+  if (!config_.stride_prefetch) return;
+  const u64 line_no = line_addr / kLineBytes;
+  const i64 stride = static_cast<i64>(line_no) -
+                     static_cast<i64>(last_miss_line_);
+  if (stride != 0 && stride == last_stride_) {
+    for (u32 d = 1; d <= config_.prefetch_degree; ++d) {
+      const Addr pf_addr =
+          static_cast<Addr>(static_cast<i64>(line_no) + stride * d) *
+          kLineBytes;
+      if (find_line(pf_addr) != nullptr) continue;
+      const u64 pf_line_no = pf_addr / kLineBytes;
+      const u32 set = static_cast<u32>(pf_line_no & (num_sets_ - 1));
+      Line* victim = pick_victim(set, now);
+      if (victim == nullptr) break;
+      if (victim->valid && victim->dirty) {
+        const Addr wb = ((victim->tag << log2_pow2(num_sets_)) |
+                         (pf_line_no & (num_sets_ - 1))) *
+                        kLineBytes;
+        below_.line_access(wb, /*is_write=*/true, now);
+      }
+      const Cycle done = below_.line_access(pf_addr, false, now);
+      victim->valid = true;
+      victim->dirty = false;
+      victim->reg_line = false;
+      victim->pin = 0;
+      victim->tag = pf_line_no >> log2_pow2(num_sets_);
+      victim->pending_until = done;
+      victim->lru = done;  // inserted at fill response (MRU on arrival)
+      stats_.inc("prefetches");
+    }
+  }
+  last_stride_ = stride;
+  last_miss_line_ = line_no;
+}
+
+CacheAccess Cache::access(Addr addr, bool is_write, Cycle now,
+                          bool reg_region) {
+  CacheAccess result;
+  // One access per cycle through the port. The arbiter always gives
+  // LSQ/program requests priority; register-region (backing store)
+  // requests yield to them.
+  Cycle start;
+  if (reg_region) {
+    start = std::max(now, std::max(port_next_free_, reg_port_next_free_));
+    reg_port_next_free_ = start + 1;
+  } else {
+    start = std::max(now, port_next_free_);
+    port_next_free_ = start + 1;
+  }
+  if (start > now) stats_.inc("port_wait_cycles", double(start - now));
+  stats_.inc(is_write ? "writes" : "reads");
+
+  const Addr laddr = line_of(addr);
+  Line* line = find_line(laddr);
+
+  auto touch_reg_bits = [&](Line& l) {
+    if (!reg_region) return;
+    l.reg_line = true;
+    if (is_write) {
+      if (l.pin > 0) --l.pin;
+    } else {
+      if (l.pin < 7) ++l.pin;
+    }
+  };
+
+  if (line != nullptr && line->pending_until <= start) {
+    // Plain hit.
+    result.hit = true;
+    result.done = start + config_.hit_latency;
+    line->lru = start;
+    if (is_write) line->dirty = true;
+    touch_reg_bits(*line);
+    stats_.inc("hits");
+    return result;
+  }
+
+  if (line != nullptr) {
+    // Hit-under-miss: the line is being filled; coalesce.
+    result.hit = false;
+    result.done = std::max(line->pending_until,
+                           static_cast<Cycle>(start + config_.hit_latency));
+    line->lru = result.done;
+    if (is_write) line->dirty = true;
+    touch_reg_bits(*line);
+    stats_.inc("coalesced_misses");
+    return result;
+  }
+
+  // Miss.
+  stats_.inc("misses");
+  if (reg_region) stats_.inc("reg_region_misses");
+  maybe_prefetch(laddr, start);
+
+  bool mshr_stalled = false;
+  const Cycle issue = acquire_mshr(laddr, start + config_.hit_latency,
+                                   mshr_stalled);
+  result.mshr_stall = mshr_stalled;
+
+  const u64 line_no = laddr / kLineBytes;
+  const u32 set = static_cast<u32>(line_no & (num_sets_ - 1));
+  Line* victim = pick_victim(set, issue);
+
+  Cycle done;
+  if (victim == nullptr) {
+    // Every way pinned or mid-fill: bypass the cache entirely.
+    done = below_.line_access(laddr, is_write, issue);
+    stats_.inc("bypasses");
+  } else {
+    if (victim->valid && victim->dirty) {
+      const Addr wb = ((victim->tag << log2_pow2(num_sets_)) |
+                       (line_no & (num_sets_ - 1))) *
+                      kLineBytes;
+      below_.line_access(wb, /*is_write=*/true, issue);
+      stats_.inc("writebacks");
+    }
+    done = below_.line_access(laddr, false, issue);
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->reg_line = false;
+    victim->pin = 0;
+    victim->tag = line_no >> log2_pow2(num_sets_);
+    victim->pending_until = done;
+    victim->lru = done;  // inserted at fill response (MRU on arrival)
+    touch_reg_bits(*victim);
+  }
+
+  // Release the claimed MSHR at completion time.
+  for (Cycle& until : mshr_until_) {
+    if (until == kNeverCycle) {
+      until = done;
+      break;
+    }
+  }
+
+  result.hit = false;
+  result.done = done;
+  stats_.inc("miss_latency", double(done - start));
+  return result;
+}
+
+Cycle Cache::line_access(Addr line_addr, bool is_write, Cycle now) {
+  return access(line_addr, is_write, now, /*reg_region=*/false).done;
+}
+
+}  // namespace virec::mem

@@ -1,0 +1,26 @@
+#include "mem/crossbar.hpp"
+
+#include <algorithm>
+
+namespace virec::mem {
+
+Crossbar::Crossbar(const CrossbarConfig& config, MemLevel& below)
+    : config_(config), below_(below), stats_("xbar") {}
+
+void Crossbar::reset() {
+  link_next_free_ = 0;
+  stats_.clear();
+}
+
+Cycle Crossbar::line_access(Addr line_addr, bool is_write, Cycle now) {
+  const Cycle start = std::max(now, link_next_free_);
+  if (start > now) stats_.inc("contention_cycles", double(start - now));
+  link_next_free_ = start + config_.cycles_per_line;
+  stats_.inc("transfers");
+  const Cycle done =
+      below_.line_access(line_addr, is_write, start + config_.latency);
+  // Response traverses the crossbar again.
+  return done + config_.latency;
+}
+
+}  // namespace virec::mem

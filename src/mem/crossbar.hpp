@@ -1,0 +1,32 @@
+// System crossbar between near-memory processors and the memory
+// controller. Adds a fixed traversal latency plus shared-link occupancy
+// so concurrent processors contend for bandwidth (Figure 11).
+#pragma once
+
+#include "common/stats.hpp"
+#include "mem/mem_level.hpp"
+
+namespace virec::mem {
+
+struct CrossbarConfig {
+  u32 latency = 8;          // one-way traversal, cycles
+  u32 cycles_per_line = 4;  // shared-link occupancy per 64 B transfer
+};
+
+class Crossbar final : public MemLevel {
+ public:
+  Crossbar(const CrossbarConfig& config, MemLevel& below);
+
+  Cycle line_access(Addr line_addr, bool is_write, Cycle now) override;
+
+  const StatSet& stats() const { return stats_; }
+  void reset();
+
+ private:
+  CrossbarConfig config_;
+  MemLevel& below_;
+  Cycle link_next_free_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace virec::mem

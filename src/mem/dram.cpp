@@ -1,0 +1,62 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace virec::mem {
+
+DramModel::DramModel(const DramConfig& config)
+    : config_(config),
+      banks_(config.channels * config.banks_per_channel),
+      bus_next_free_(config.channels),
+      stats_("dram") {
+  if (config_.channels == 0 || config_.banks_per_channel == 0) {
+    throw std::invalid_argument("DramModel: need >=1 channel and bank");
+  }
+}
+
+void DramModel::reset() {
+  std::fill(banks_.begin(), banks_.end(), Bank{});
+  std::fill(bus_next_free_.begin(), bus_next_free_.end(), Cycle{0});
+  stats_.clear();
+}
+
+Cycle DramModel::line_access(Addr line_addr, bool is_write, Cycle now) {
+  // Line-interleaved channel mapping, then bank bits.
+  const u64 line = line_addr / kLineBytes;
+  const u32 channel = static_cast<u32>(line % config_.channels);
+  const u32 bank_idx =
+      static_cast<u32>((line / config_.channels) % config_.banks_per_channel);
+  Bank& bank = banks_[channel * config_.banks_per_channel + bank_idx];
+  const u64 row = line_addr / config_.row_bytes;
+
+  const Cycle start = std::max(now, bank.next_free);
+  if (start > now) stats_.inc("bank_conflict_cycles", double(start - now));
+
+  u32 access_latency;
+  if (bank.open_row == row) {
+    access_latency = config_.t_cl;
+    stats_.inc("row_hits");
+  } else if (bank.open_row == ~u64{0}) {
+    access_latency = config_.t_rcd + config_.t_cl;
+    stats_.inc("row_empty");
+  } else {
+    access_latency = config_.t_rp + config_.t_rcd + config_.t_cl;
+    stats_.inc("row_conflicts");
+  }
+  bank.open_row = row;
+
+  const Cycle data_ready = start + access_latency;
+  Cycle& bus = bus_next_free_[channel];
+  const Cycle burst_start = std::max(data_ready, bus);
+  const Cycle done = burst_start + config_.burst_cycles;
+  bus = done;
+  // The bank is busy until its data has been moved.
+  bank.next_free = done;
+
+  stats_.inc(is_write ? "writes" : "reads");
+  stats_.inc("total_latency", double(done - now));
+  return done;
+}
+
+}  // namespace virec::mem

@@ -1,0 +1,23 @@
+// Timing interface implemented by every level of the memory hierarchy
+// (caches, the crossbar, DRAM). Levels are composed into a chain; each
+// resolves the completion time of a 64 B line access at issue time.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace virec::mem {
+
+class MemLevel {
+ public:
+  virtual ~MemLevel() = default;
+
+  /// Issue a full-line (64 B) access at time @p now; returns the cycle
+  /// at which the data movement completes. Implementations advance
+  /// their internal contention state (bus/bank/port busy-until times).
+  virtual Cycle line_access(Addr line_addr, bool is_write, Cycle now) = 0;
+};
+
+inline constexpr u32 kLineBytes = 64;
+inline constexpr Addr line_of(Addr addr) { return addr & ~Addr{kLineBytes - 1}; }
+
+}  // namespace virec::mem

@@ -1,0 +1,27 @@
+#include "mem/memory_system.hpp"
+
+namespace virec::mem {
+
+MemorySystem::MemorySystem(const MemSystemConfig& config) : config_(config) {
+  dram_ = std::make_unique<DramModel>(config_.dram);
+  crossbar_ = std::make_unique<Crossbar>(config_.xbar, *dram_);
+  MemLevel* below = crossbar_.get();
+  if (config_.has_l2) {
+    l2_ = std::make_unique<Cache>(config_.l2, *crossbar_);
+    below = l2_.get();
+  }
+  for (u32 c = 0; c < config_.num_cores; ++c) {
+    icaches_.push_back(std::make_unique<Cache>(config_.icache, *below));
+    dcaches_.push_back(std::make_unique<Cache>(config_.dcache, *below));
+  }
+}
+
+void MemorySystem::reset_timing() {
+  dram_->reset();
+  crossbar_->reset();
+  if (l2_) l2_->reset();
+  for (auto& c : icaches_) c->reset();
+  for (auto& c : dcaches_) c->reset();
+}
+
+}  // namespace virec::mem

@@ -1,0 +1,80 @@
+#include "mem/sparse_memory.hpp"
+
+#include <algorithm>
+
+namespace virec::mem {
+
+const SparseMemory::Page* SparseMemory::find_page(Addr addr) const {
+  auto it = pages_.find(addr / kPageSize);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+SparseMemory::Page& SparseMemory::touch_page(Addr addr) {
+  Page& page = pages_[addr / kPageSize];
+  if (page.empty()) page.assign(kPageSize, 0);
+  return page;
+}
+
+u64 SparseMemory::read(Addr addr, u32 size) const {
+  u64 value = 0;
+  for (u32 i = 0; i < size; ++i) {
+    const Addr byte_addr = addr + i;
+    const Page* page = find_page(byte_addr);
+    const u64 byte = page ? (*page)[byte_addr % kPageSize] : 0;
+    value |= byte << (8 * i);
+  }
+  return value;
+}
+
+void SparseMemory::write(Addr addr, u32 size, u64 value) {
+  for (u32 i = 0; i < size; ++i) {
+    const Addr byte_addr = addr + i;
+    touch_page(byte_addr)[byte_addr % kPageSize] =
+        static_cast<u8>(value >> (8 * i));
+  }
+}
+
+double SparseMemory::read_f64(Addr addr) const {
+  const u64 bits = read_u64(addr);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+void SparseMemory::write_f64(Addr addr, double v) {
+  u64 bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  write_u64(addr, bits);
+}
+
+void SparseMemory::write_block(Addr addr, const void* src, std::size_t bytes) {
+  const u8* p = static_cast<const u8*>(src);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const Addr a = addr + done;
+    Page& page = touch_page(a);
+    const std::size_t off = a % kPageSize;
+    const std::size_t chunk = std::min(bytes - done, kPageSize - off);
+    std::memcpy(page.data() + off, p + done, chunk);
+    done += chunk;
+  }
+}
+
+void SparseMemory::read_block(Addr addr, void* dst, std::size_t bytes) const {
+  u8* p = static_cast<u8*>(dst);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const Addr a = addr + done;
+    const Page* page = find_page(a);
+    const std::size_t off = a % kPageSize;
+    const std::size_t chunk = std::min(bytes - done, kPageSize - off);
+    if (page) {
+      std::memcpy(p + done, page->data() + off, chunk);
+    } else {
+      std::memset(p + done, 0, chunk);
+    }
+    done += chunk;
+  }
+}
+
+}  // namespace virec::mem

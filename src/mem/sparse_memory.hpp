@@ -1,0 +1,53 @@
+// Functional (value-carrying) memory for the simulated system. Backing
+// storage is a sparse map of 4 KiB pages so workloads can scatter data
+// across a 64-bit physical address space without allocating it all.
+//
+// This is the *functional* half of the memory system; timing lives in
+// mem/cache.hpp, mem/dram.hpp and mem/crossbar.hpp.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace virec::mem {
+
+class SparseMemory {
+ public:
+  static constexpr u64 kPageSize = 4096;
+
+  /// Read @p size (1/2/4/8) bytes at @p addr, little-endian, zero if
+  /// the page was never written.
+  u64 read(Addr addr, u32 size) const;
+
+  /// Write the low @p size bytes of @p value at @p addr.
+  void write(Addr addr, u32 size, u64 value);
+
+  u64 read_u64(Addr addr) const { return read(addr, 8); }
+  void write_u64(Addr addr, u64 v) { write(addr, 8, v); }
+  double read_f64(Addr addr) const;
+  void write_f64(Addr addr, double v);
+
+  /// Bulk copy helpers used by workload initialisation and checkers.
+  void write_block(Addr addr, const void* src, std::size_t bytes);
+  void read_block(Addr addr, void* dst, std::size_t bytes) const;
+
+  /// Number of distinct touched pages (test/diagnostic aid).
+  std::size_t page_count() const { return pages_.size(); }
+
+  /// Drop all contents.
+  void clear() { pages_.clear(); }
+
+ private:
+  using Page = std::vector<u8>;
+
+  const Page* find_page(Addr addr) const;
+  Page& touch_page(Addr addr);
+
+  std::unordered_map<u64, Page> pages_;
+};
+
+}  // namespace virec::mem

@@ -1,0 +1,42 @@
+#include "sim/runner.hpp"
+
+#include <stdexcept>
+
+namespace virec::sim {
+
+u32 spec_phys_regs(const RunSpec& spec) {
+  if (spec.phys_regs != 0) return spec.phys_regs;
+  const workloads::Workload& w = workloads::find_workload(spec.workload);
+  return context_regs(spec.context_fraction, w.active_regs(),
+                      spec.threads_per_core);
+}
+
+SystemConfig build_config(const RunSpec& spec) {
+  SystemConfig config = SystemConfig::nmp_default();
+  config.num_cores = spec.num_cores;
+  config.threads_per_core = spec.threads_per_core;
+  config.scheme = spec.scheme;
+  config.virec.policy = spec.policy;
+  config.virec.num_phys_regs = spec_phys_regs(spec);
+  config.virec.group_spill = spec.group_spill;
+  config.virec.switch_prefetch = spec.switch_prefetch;
+  if (spec.dcache_bytes != 0) config.mem.dcache.size_bytes = spec.dcache_bytes;
+  if (spec.dcache_latency != 0) {
+    config.mem.dcache.hit_latency = spec.dcache_latency;
+  }
+  return config;
+}
+
+RunResult run_spec(const RunSpec& spec) {
+  const workloads::Workload& workload = workloads::find_workload(spec.workload);
+  System system(build_config(spec), workload, spec.params);
+  RunResult result = system.run();
+  if (!result.check_ok) {
+    throw std::runtime_error("workload check failed (" + spec.workload +
+                             ", scheme " + scheme_name(spec.scheme) +
+                             "): " + result.check_msg);
+  }
+  return result;
+}
+
+}  // namespace virec::sim

@@ -1,0 +1,43 @@
+// Experiment-runner helpers shared by the figure harnesses, examples
+// and tests: one-call "configure + run + check" entry points.
+#pragma once
+
+#include <string>
+
+#include "sim/system.hpp"
+
+namespace virec::sim {
+
+/// One experiment point.
+struct RunSpec {
+  std::string workload = "gather";
+  Scheme scheme = Scheme::kViReC;
+  u32 num_cores = 1;
+  u32 threads_per_core = 8;
+  /// Fraction of the per-thread active context stored on chip
+  /// (register-cache schemes). 1.0 => full active context.
+  double context_fraction = 1.0;
+  core::PolicyKind policy = core::PolicyKind::kLRC;
+  workloads::WorkloadParams params{};
+  /// Optional overrides applied to the Table-1 preset.
+  u32 dcache_bytes = 0;       // 0 = preset
+  u32 dcache_latency = 0;     // 0 = preset
+  /// Explicit physical register count; 0 derives from context_fraction.
+  u32 phys_regs = 0;
+  /// Future-work extensions (see core::ViReCConfig).
+  bool group_spill = false;
+  bool switch_prefetch = false;
+};
+
+/// Build the SystemConfig a RunSpec describes (exposed for tests).
+SystemConfig build_config(const RunSpec& spec);
+
+/// Run the experiment point; throws std::runtime_error if the workload
+/// result check fails (a simulator correctness bug, not a model
+/// property).
+RunResult run_spec(const RunSpec& spec);
+
+/// Registers per thread implied by a spec (for reporting).
+u32 spec_phys_regs(const RunSpec& spec);
+
+}  // namespace virec::sim

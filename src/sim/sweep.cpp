@@ -1,0 +1,126 @@
+#include "sim/sweep.hpp"
+
+#include <functional>
+#include <ostream>
+
+namespace virec::sim {
+
+std::vector<const SweepRecord*> SweepResults::where(
+    const std::function<bool(const SweepRecord&)>& predicate) const {
+  std::vector<const SweepRecord*> out;
+  for (const SweepRecord& record : records_) {
+    if (predicate(record)) out.push_back(&record);
+  }
+  return out;
+}
+
+std::optional<Cycle> SweepResults::cycles_of(const std::string& workload,
+                                             Scheme scheme, u32 threads,
+                                             double fraction) const {
+  for (const SweepRecord& record : records_) {
+    if (record.spec.workload == workload && record.spec.scheme == scheme &&
+        record.spec.threads_per_core == threads &&
+        record.spec.context_fraction == fraction) {
+      return record.result.cycles;
+    }
+  }
+  return std::nullopt;
+}
+
+void SweepResults::write_csv(std::ostream& os) const {
+  os << "workload,scheme,policy,cores,threads,ctx,phys_regs,cycles,"
+        "instructions,ipc,switches,rf_hit_rate,rf_fills,rf_spills\n";
+  for (const SweepRecord& r : records_) {
+    os << r.spec.workload << ',' << scheme_name(r.spec.scheme) << ','
+       << core::policy_name(r.spec.policy) << ',' << r.spec.num_cores << ','
+       << r.spec.threads_per_core << ',' << r.spec.context_fraction << ','
+       << spec_phys_regs(r.spec) << ',' << r.result.cycles << ','
+       << r.result.instructions << ',' << r.result.ipc << ','
+       << r.result.context_switches << ',' << r.result.rf_hit_rate << ','
+       << r.result.rf_fills << ',' << r.result.rf_spills << '\n';
+  }
+}
+
+Sweep& Sweep::over_workloads(std::vector<std::string> workloads) {
+  workloads_ = std::move(workloads);
+  return *this;
+}
+Sweep& Sweep::over_schemes(std::vector<Scheme> schemes) {
+  schemes_ = std::move(schemes);
+  return *this;
+}
+Sweep& Sweep::over_policies(std::vector<core::PolicyKind> policies) {
+  policies_ = std::move(policies);
+  return *this;
+}
+Sweep& Sweep::over_threads(std::vector<u32> threads) {
+  threads_ = std::move(threads);
+  return *this;
+}
+Sweep& Sweep::over_context_fractions(std::vector<double> fractions) {
+  fractions_ = std::move(fractions);
+  return *this;
+}
+Sweep& Sweep::over_cores(std::vector<u32> cores) {
+  cores_ = std::move(cores);
+  return *this;
+}
+
+std::size_t Sweep::size() const {
+  auto dim = [](std::size_t n) { return n == 0 ? 1 : n; };
+  return dim(workloads_.size()) * dim(schemes_.size()) *
+         dim(policies_.size()) * dim(threads_.size()) *
+         dim(fractions_.size()) * dim(cores_.size());
+}
+
+std::vector<RunSpec> Sweep::specs() const {
+  // Missing axes fall back to the base spec's value.
+  const std::vector<std::string> workloads =
+      workloads_.empty() ? std::vector<std::string>{base_.workload}
+                         : workloads_;
+  const std::vector<Scheme> schemes =
+      schemes_.empty() ? std::vector<Scheme>{base_.scheme} : schemes_;
+  const std::vector<core::PolicyKind> policies =
+      policies_.empty() ? std::vector<core::PolicyKind>{base_.policy}
+                        : policies_;
+  const std::vector<u32> threads =
+      threads_.empty() ? std::vector<u32>{base_.threads_per_core} : threads_;
+  const std::vector<double> fractions =
+      fractions_.empty() ? std::vector<double>{base_.context_fraction}
+                         : fractions_;
+  const std::vector<u32> cores =
+      cores_.empty() ? std::vector<u32>{base_.num_cores} : cores_;
+
+  std::vector<RunSpec> out;
+  for (const std::string& w : workloads) {
+    for (Scheme s : schemes) {
+      for (core::PolicyKind p : policies) {
+        for (u32 t : threads) {
+          for (double f : fractions) {
+            for (u32 c : cores) {
+              RunSpec spec = base_;
+              spec.workload = w;
+              spec.scheme = s;
+              spec.policy = p;
+              spec.threads_per_core = t;
+              spec.context_fraction = f;
+              spec.num_cores = c;
+              out.push_back(spec);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SweepResults Sweep::run() const {
+  std::vector<SweepRecord> records;
+  for (const RunSpec& spec : specs()) {
+    records.push_back(SweepRecord{spec, run_spec(spec)});
+  }
+  return SweepResults(std::move(records));
+}
+
+}  // namespace virec::sim

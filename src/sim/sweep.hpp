@@ -1,0 +1,89 @@
+// Declarative experiment sweeps: build a grid of RunSpecs, run them
+// all, and collect flat records that can be printed, filtered, or
+// exported as CSV. The figure harnesses in bench/ are hand-rolled for
+// readability; this is the programmatic interface for new studies.
+//
+//   sim::Sweep sweep;
+//   sweep.base().workload = "gather";
+//   sweep.over_schemes({Scheme::kBanked, Scheme::kViReC})
+//        .over_threads({4, 8})
+//        .over_context_fractions({1.0, 0.8, 0.4});
+//   sim::SweepResults results = sweep.run();
+//   results.write_csv(std::cout);
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace virec::sim {
+
+/// One completed experiment point: the spec that produced it plus the
+/// flattened result metrics.
+struct SweepRecord {
+  RunSpec spec;
+  RunResult result;
+};
+
+class SweepResults {
+ public:
+  explicit SweepResults(std::vector<SweepRecord> records)
+      : records_(std::move(records)) {}
+
+  const std::vector<SweepRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// Records matching a predicate.
+  std::vector<const SweepRecord*> where(
+      const std::function<bool(const SweepRecord&)>& predicate) const;
+
+  /// Cycles of the record matching (workload, scheme, threads,
+  /// fraction); nullopt if absent.
+  std::optional<Cycle> cycles_of(const std::string& workload, Scheme scheme,
+                                 u32 threads, double fraction) const;
+
+  /// CSV with a fixed header:
+  /// workload,scheme,policy,cores,threads,ctx,phys_regs,cycles,
+  /// instructions,ipc,switches,rf_hit_rate,rf_fills,rf_spills
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<SweepRecord> records_;
+};
+
+class Sweep {
+ public:
+  /// The spec every grid point starts from.
+  RunSpec& base() { return base_; }
+
+  Sweep& over_workloads(std::vector<std::string> workloads);
+  Sweep& over_schemes(std::vector<Scheme> schemes);
+  Sweep& over_policies(std::vector<core::PolicyKind> policies);
+  Sweep& over_threads(std::vector<u32> threads);
+  Sweep& over_context_fractions(std::vector<double> fractions);
+  Sweep& over_cores(std::vector<u32> cores);
+
+  /// Number of grid points.
+  std::size_t size() const;
+
+  /// Materialise the grid (exposed for tests).
+  std::vector<RunSpec> specs() const;
+
+  /// Run every point; throws if any workload check fails.
+  SweepResults run() const;
+
+ private:
+  RunSpec base_;
+  std::vector<std::string> workloads_;
+  std::vector<Scheme> schemes_;
+  std::vector<core::PolicyKind> policies_;
+  std::vector<u32> threads_;
+  std::vector<double> fractions_;
+  std::vector<u32> cores_;
+};
+
+}  // namespace virec::sim

@@ -1,0 +1,128 @@
+#include "sim/system.hpp"
+
+#include <stdexcept>
+
+namespace virec::sim {
+
+System::System(const SystemConfig& config, const workloads::Workload& workload,
+               const workloads::WorkloadParams& params)
+    : config_(config),
+      workload_(workload),
+      params_(params),
+      program_(workload.program(params)) {
+  config_.mem.num_cores = config_.num_cores;
+  config_.core.num_threads = config_.threads_per_core;
+  ms_ = std::make_unique<mem::MemorySystem>(config_.mem);
+
+  for (u32 c = 0; c < config_.num_cores; ++c) {
+    cpu::CoreEnv env{.core_id = c,
+                     .num_threads = config_.threads_per_core,
+                     .ms = ms_.get()};
+    managers_.push_back(make_manager(env));
+    cores_.push_back(std::make_unique<cpu::CgmtCore>(config_.core, env,
+                                                     *managers_.back(),
+                                                     program_));
+  }
+
+  workload_.init_memory(ms_->memory(), params_, total_threads());
+  offload_contexts();
+}
+
+std::unique_ptr<cpu::ContextManager> System::make_manager(
+    const cpu::CoreEnv& env) {
+  switch (config_.scheme) {
+    case Scheme::kBanked:
+      return std::make_unique<cpu::BankedManager>(env);
+    case Scheme::kSoftware:
+      return std::make_unique<cpu::SoftwareManager>(env);
+    case Scheme::kPrefetchFull:
+      return std::make_unique<cpu::PrefetchManager>(
+          env, cpu::PrefetchMode::kFull);
+    case Scheme::kPrefetchExact:
+      return std::make_unique<cpu::PrefetchManager>(
+          env, cpu::PrefetchMode::kExact);
+    case Scheme::kViReC:
+      return std::make_unique<core::ViReCManager>(config_.virec, env);
+    case Scheme::kNSF: {
+      core::ViReCConfig nsf = core::make_nsf_config(config_.virec.num_phys_regs);
+      nsf.rollback_depth = config_.virec.rollback_depth;
+      nsf.seed = config_.virec.seed;
+      return std::make_unique<core::ViReCManager>(nsf, env);
+    }
+  }
+  throw std::logic_error("unknown scheme");
+}
+
+void System::offload_contexts() {
+  // Task-level offload: contexts ship through the crossbar into each
+  // processor's reserved region; processors fetch them on first
+  // schedule. Functionally this writes the initial register values.
+  for (u32 c = 0; c < config_.num_cores; ++c) {
+    for (u32 t = 0; t < config_.threads_per_core; ++t) {
+      const u32 gtid = c * config_.threads_per_core + t;
+      const workloads::RegContext regs =
+          workload_.thread_regs(params_, gtid, total_threads());
+      for (u32 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+        ms_->memory().write_u64(ms_->reg_addr(c, t, r), regs[r]);
+      }
+      // Zeroed sysreg line (PC = entry, NZCV = 0).
+      for (u32 w = 0; w < mem::kLineBytes / 8; ++w) {
+        ms_->memory().write_u64(ms_->sysreg_addr(c, t) + w * 8, 0);
+      }
+      cores_[c]->start_thread(static_cast<int>(t));
+    }
+  }
+}
+
+RunResult System::run() {
+  if (cores_.size() == 1) {
+    cores_[0]->run();
+  } else {
+    // Lockstep multi-core simulation so crossbar/DRAM contention is
+    // interleaved correctly.
+    u64 guard = 0;
+    bool any_running = true;
+    while (any_running) {
+      any_running = false;
+      for (auto& core : cores_) {
+        if (!core->done()) {
+          core->step();
+          any_running = true;
+        }
+      }
+      if (++guard > config_.core.max_cycles) {
+        throw std::runtime_error("System: max_cycles exceeded");
+      }
+    }
+  }
+
+  RunResult result;
+  for (u32 c = 0; c < config_.num_cores; ++c) {
+    result.cycles = std::max(result.cycles, cores_[c]->cycle());
+    result.instructions += cores_[c]->instructions();
+    result.context_switches += static_cast<u64>(
+        cores_[c]->stats().get("context_switches"));
+    const StatSet& ms = managers_[c]->stats();
+    result.rf_fills += static_cast<u64>(ms.get("bsi_fills"));
+    result.rf_spills += static_cast<u64>(ms.get("bsi_spills"));
+  }
+  result.ipc = result.cycles == 0
+                   ? 0.0
+                   : static_cast<double>(result.instructions) /
+                         static_cast<double>(result.cycles);
+
+  if (config_.scheme == Scheme::kViReC || config_.scheme == Scheme::kNSF) {
+    double hits = 0.0, misses = 0.0;
+    for (auto& m : managers_) {
+      hits += m->stats().get("rf_hits");
+      misses += m->stats().get("rf_misses");
+    }
+    result.rf_hit_rate = (hits + misses) == 0.0 ? 1.0 : hits / (hits + misses);
+  }
+
+  result.check_ok = workload_.check(ms_->memory(), params_, total_threads(),
+                                    &result.check_msg);
+  return result;
+}
+
+}  // namespace virec::sim

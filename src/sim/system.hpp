@@ -1,0 +1,64 @@
+// A complete simulated near-memory system: N processors (each with its
+// own context manager and L1 caches) behind a shared crossbar and DRAM,
+// plus the task-level offload mechanism the paper describes — thread
+// contexts are written into each processor's reserved memory region and
+// the processor fetches them when the thread is first scheduled.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/banked_manager.hpp"
+#include "cpu/cgmt_core.hpp"
+#include "cpu/prefetch_manager.hpp"
+#include "cpu/software_manager.hpp"
+#include "core/virec_manager.hpp"
+#include "sim/system_config.hpp"
+#include "workloads/workload.hpp"
+
+namespace virec::sim {
+
+struct RunResult {
+  Cycle cycles = 0;        ///< max over all cores
+  u64 instructions = 0;    ///< summed over all cores
+  double ipc = 0.0;        ///< instructions / cycles (system level)
+  bool check_ok = false;
+  std::string check_msg;
+  double rf_hit_rate = 1.0;   ///< register-cache schemes only
+  u64 context_switches = 0;
+  u64 rf_fills = 0;
+  u64 rf_spills = 0;
+};
+
+class System {
+ public:
+  System(const SystemConfig& config, const workloads::Workload& workload,
+         const workloads::WorkloadParams& params);
+
+  /// Offload all thread contexts, run every core to completion, verify
+  /// results.
+  RunResult run();
+
+  cpu::CgmtCore& core(u32 i) { return *cores_[i]; }
+  cpu::ContextManager& manager(u32 i) { return *managers_[i]; }
+  mem::MemorySystem& memory_system() { return *ms_; }
+  const SystemConfig& config() const { return config_; }
+  u32 total_threads() const {
+    return config_.num_cores * config_.threads_per_core;
+  }
+
+ private:
+  void offload_contexts();
+  std::unique_ptr<cpu::ContextManager> make_manager(const cpu::CoreEnv& env);
+
+  SystemConfig config_;
+  const workloads::Workload& workload_;
+  workloads::WorkloadParams params_;
+  kasm::Program program_;
+  std::unique_ptr<mem::MemorySystem> ms_;
+  std::vector<std::unique_ptr<cpu::ContextManager>> managers_;
+  std::vector<std::unique_ptr<cpu::CgmtCore>> cores_;
+};
+
+}  // namespace virec::sim

@@ -1,0 +1,979 @@
+// Kernel implementations. Every kernel is written in the NMP ISA via
+// the ProgramBuilder, with data initialisers and host-side reference
+// checkers that recompute the expected results (bit-exact, including
+// floating-point operation order).
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "kasm/builder.hpp"
+#include "workloads/workload.hpp"
+
+namespace virec::workloads {
+
+namespace {
+
+using kasm::Cond;
+using kasm::Op;
+using kasm::ProgramBuilder;
+using kasm::X;
+
+u64 f64_to_bits(double v) {
+  u64 bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+/// Deterministic input formulas shared by initialisers and checkers.
+u64 index_at(u64 seed, u64 k, u64 bound) {
+  Xorshift128 rng(seed * 0x1003f + k);
+  return rng.next_below(bound);
+}
+u64 int_value_at(u64 k) { return k * 0x9e3779b97f4a7c15ull + 12345; }
+double f64_value_a(u64 k) { return 1.0 + static_cast<double>(k % 97) / 128.0; }
+double f64_value_b(u64 k) { return 0.5 + static_cast<double>(k % 53) / 256.0; }
+
+bool expect_eq(u64 got, u64 want, const std::string& what, std::string* why) {
+  if (got == want) return true;
+  if (why != nullptr) {
+    std::ostringstream os;
+    os << what << ": got 0x" << std::hex << got << ", want 0x" << want;
+    *why = os.str();
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// gather — Spatter-style streaming indirect read:  acc += B[A[k]]
+// ---------------------------------------------------------------------------
+class GatherWorkload final : public Workload {
+ public:
+  std::string name() const override { return "gather"; }
+  std::string description() const override {
+    return "streaming indirect gather (Spatter): acc += B[A[k]]";
+  }
+  u32 active_regs() const override { return 6; }
+
+  kasm::Program program(const WorkloadParams&) const override {
+    ProgramBuilder b;
+    // x0 = &A[start], x1 = B base, x2 = iters, x3 = acc, x6 = result.
+    b.label("loop");
+    b.ldr_post(X(4), X(0), 8);       // idx = *A++
+    b.ldr(X(5), X(1), X(4), 3);      // v = B[idx]
+    b.add(X(3), X(3), X(5));
+    b.sub_imm(X(2), X(2), 1);
+    b.cbnz(X(2), "loop");
+    b.str(X(3), X(6), 0);
+    b.halt();
+    return b.build();
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 total = p.iters_per_thread * total_threads;
+    for (u64 k = 0; k < total; ++k) {
+      memory.write_u64(layout::kArrayA + k * 8,
+                       index_at(p.seed, k, p.elements));
+    }
+    for (u64 j = 0; j < p.elements; ++j) {
+      memory.write_u64(layout::kArrayB + j * 8, int_value_at(j));
+    }
+  }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 /*total*/) const override {
+    RegContext regs{};
+    regs[0] = layout::kArrayA + gtid * p.iters_per_thread * 8;
+    regs[1] = layout::kArrayB;
+    regs[2] = p.iters_per_thread;
+    regs[3] = 0;
+    regs[6] = layout::result_addr(gtid);
+    return regs;
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    for (u32 t = 0; t < total_threads; ++t) {
+      u64 acc = 0;
+      for (u64 i = 0; i < p.iters_per_thread; ++i) {
+        const u64 k = t * p.iters_per_thread + i;
+        acc += int_value_at(index_at(p.seed, k, p.elements));
+      }
+      if (!expect_eq(memory.read_u64(layout::result_addr(t)), acc,
+                     "gather thread " + std::to_string(t), why)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// gather_local — gather whose indices fall in a sliding locality window
+// (Spatter patterns are rarely uniformly random; the window size tunes
+// the dcache hit rate and therefore the context-switch frequency)
+// ---------------------------------------------------------------------------
+class GatherLocalWorkload final : public Workload {
+ public:
+  std::string name() const override { return "gather_local"; }
+  std::string description() const override {
+    return "gather with a sliding index-locality window";
+  }
+  u32 active_regs() const override { return 6; }
+
+  kasm::Program program(const WorkloadParams& p) const override {
+    return find_workload("gather").program(p);  // identical inner loop
+  }
+
+  u64 window(const WorkloadParams& p) const {
+    return std::min<u64>(std::max<u64>(p.locality_window, 8), p.elements);
+  }
+
+  u64 index_for(const WorkloadParams& p, u64 k) const {
+    const u64 w = window(p);
+    const u64 span = p.elements - w + 1;
+    const u64 base = (k / 16) * (w / 4) % span;  // window slides every 16
+    return base + index_at(p.seed + 3, k, w);
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 total = p.iters_per_thread * total_threads;
+    for (u64 k = 0; k < total; ++k) {
+      memory.write_u64(layout::kArrayA + k * 8, index_for(p, k));
+    }
+    for (u64 j = 0; j < p.elements; ++j) {
+      memory.write_u64(layout::kArrayB + j * 8, int_value_at(j));
+    }
+  }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 total) const override {
+    return find_workload("gather").thread_regs(p, gtid, total);
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    for (u32 t = 0; t < total_threads; ++t) {
+      u64 acc = 0;
+      for (u64 i = 0; i < p.iters_per_thread; ++i) {
+        acc += int_value_at(index_for(p, t * p.iters_per_thread + i));
+      }
+      if (!expect_eq(memory.read_u64(layout::result_addr(t)), acc,
+                     "gather_local thread " + std::to_string(t), why)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// scatter — Spatter-style indirect write: C_t[A[k]] = B[k]
+// (per-thread output windows so the result is deterministic)
+// ---------------------------------------------------------------------------
+class ScatterWorkload final : public Workload {
+ public:
+  std::string name() const override { return "scatter"; }
+  std::string description() const override {
+    return "streaming indirect scatter (Spatter): C[A[k]] = B[k]";
+  }
+  u32 active_regs() const override { return 6; }
+
+  kasm::Program program(const WorkloadParams&) const override {
+    ProgramBuilder b;
+    // x0 = &A[start], x1 = &B[start], x2 = C window, x3 = iters.
+    b.label("loop");
+    b.ldr_post(X(4), X(0), 8);   // idx
+    b.ldr_post(X(5), X(1), 8);   // value
+    b.str(X(5), X(2), X(4), 3);  // C[idx] = value
+    b.sub_imm(X(3), X(3), 1);
+    b.cbnz(X(3), "loop");
+    b.halt();
+    return b.build();
+  }
+
+  u64 window(const WorkloadParams& p, u32 total_threads) const {
+    return std::max<u64>(1, p.elements / total_threads);
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 total = p.iters_per_thread * total_threads;
+    const u64 w = window(p, total_threads);
+    for (u64 k = 0; k < total; ++k) {
+      memory.write_u64(layout::kArrayA + k * 8, index_at(p.seed, k, w));
+      memory.write_u64(layout::kArrayB + k * 8, int_value_at(k));
+    }
+  }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 total) const override {
+    RegContext regs{};
+    regs[0] = layout::kArrayA + gtid * p.iters_per_thread * 8;
+    regs[1] = layout::kArrayB + gtid * p.iters_per_thread * 8;
+    regs[2] = layout::kArrayC + gtid * window(p, total) * 8;
+    regs[3] = p.iters_per_thread;
+    return regs;
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    const u64 w = window(p, total_threads);
+    for (u32 t = 0; t < total_threads; ++t) {
+      // Replay the writes; the final value per slot must match.
+      std::vector<u64> expected(w, 0);
+      std::vector<u8> written(w, 0);
+      for (u64 i = 0; i < p.iters_per_thread; ++i) {
+        const u64 k = t * p.iters_per_thread + i;
+        const u64 idx = index_at(p.seed, k, w);
+        expected[idx] = int_value_at(k);
+        written[idx] = 1;
+      }
+      const Addr base = layout::kArrayC + t * w * 8;
+      for (u64 j = 0; j < w; ++j) {
+        if (!written[j]) continue;
+        if (!expect_eq(memory.read_u64(base + j * 8), expected[j],
+                       "scatter thread " + std::to_string(t) + " slot " +
+                           std::to_string(j),
+                       why)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// stride — strided read reduction with a configurable element stride
+// ---------------------------------------------------------------------------
+class StrideWorkload final : public Workload {
+ public:
+  std::string name() const override { return "stride"; }
+  std::string description() const override {
+    return "strided read reduction: acc += B[k*stride]";
+  }
+  u32 active_regs() const override { return 5; }
+
+  kasm::Program program(const WorkloadParams&) const override {
+    ProgramBuilder b;
+    // x0 = cursor, x5 = byte stride, x2 = iters, x3 = acc, x6 = result.
+    b.label("loop");
+    b.ldr(X(4), X(0), 0);
+    b.add(X(0), X(0), X(5));
+    b.add(X(3), X(3), X(4));
+    b.sub_imm(X(2), X(2), 1);
+    b.cbnz(X(2), "loop");
+    b.str(X(3), X(6), 0);
+    b.halt();
+    return b.build();
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 total = p.iters_per_thread * p.stride * total_threads;
+    for (u64 j = 0; j < total; ++j) {
+      memory.write_u64(layout::kArrayB + j * 8, int_value_at(j));
+    }
+  }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 /*total*/) const override {
+    RegContext regs{};
+    regs[0] = layout::kArrayB + gtid * p.iters_per_thread * p.stride * 8;
+    regs[2] = p.iters_per_thread;
+    regs[3] = 0;
+    regs[5] = p.stride * 8;
+    regs[6] = layout::result_addr(gtid);
+    return regs;
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    for (u32 t = 0; t < total_threads; ++t) {
+      u64 acc = 0;
+      const u64 start = t * p.iters_per_thread * p.stride;
+      for (u64 i = 0; i < p.iters_per_thread; ++i) {
+        acc += int_value_at(start + i * p.stride);
+      }
+      if (!expect_eq(memory.read_u64(layout::result_addr(t)), acc,
+                     "stride thread " + std::to_string(t), why)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// maebo — Meabo-style mixed compute/memory phases: two streaming loads,
+// one FMA and `extra_compute` dependent FP adds per iteration
+// ---------------------------------------------------------------------------
+class MaeboWorkload final : public Workload {
+ public:
+  std::string name() const override { return "maebo"; }
+  std::string description() const override {
+    return "Meabo-like mixed FP compute over two streams";
+  }
+  u32 active_regs() const override { return 7; }
+
+  kasm::Program program(const WorkloadParams& p) const override {
+    ProgramBuilder b;
+    // x0 = &A[start], x1 = &B[start], x2 = iters, x6 = acc, x7 = acc2.
+    b.label("loop");
+    b.ldr_post(X(4), X(0), 8);
+    b.ldr_post(X(5), X(1), 8);
+    b.fmadd(X(6), X(4), X(5), X(6));
+    for (u32 e = 0; e < p.extra_compute; ++e) {
+      b.fadd(X(7), X(7), X(4));
+    }
+    b.sub_imm(X(2), X(2), 1);
+    b.cbnz(X(2), "loop");
+    b.fadd(X(6), X(6), X(7));
+    b.str(X(6), X(8), 0);
+    b.halt();
+    return b.build();
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 total = p.iters_per_thread * total_threads;
+    for (u64 k = 0; k < total; ++k) {
+      memory.write_f64(layout::kArrayA + k * 8, f64_value_a(k));
+      memory.write_f64(layout::kArrayB + k * 8, f64_value_b(k));
+    }
+  }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 /*total*/) const override {
+    RegContext regs{};
+    regs[0] = layout::kArrayA + gtid * p.iters_per_thread * 8;
+    regs[1] = layout::kArrayB + gtid * p.iters_per_thread * 8;
+    regs[2] = p.iters_per_thread;
+    regs[6] = f64_to_bits(0.0);
+    regs[7] = f64_to_bits(0.0);
+    regs[8] = layout::result_addr(gtid);
+    return regs;
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    for (u32 t = 0; t < total_threads; ++t) {
+      double acc = 0.0, acc2 = 0.0;
+      for (u64 i = 0; i < p.iters_per_thread; ++i) {
+        const u64 k = t * p.iters_per_thread + i;
+        const double a = f64_value_a(k);
+        const double bb = f64_value_b(k);
+        acc = acc + a * bb;
+        for (u32 e = 0; e < p.extra_compute; ++e) acc2 = acc2 + a;
+      }
+      const u64 want = f64_to_bits(acc + acc2);
+      if (!expect_eq(memory.read_u64(layout::result_addr(t)), want,
+                     "maebo thread " + std::to_string(t), why)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// pchase — serial pointer chasing through a random per-thread cycle
+// ---------------------------------------------------------------------------
+class PchaseWorkload final : public Workload {
+ public:
+  std::string name() const override { return "pchase"; }
+  std::string description() const override {
+    return "pointer chasing through a random permutation cycle";
+  }
+  u32 active_regs() const override { return 2; }
+
+  kasm::Program program(const WorkloadParams&) const override {
+    ProgramBuilder b;
+    // x0 = cursor (holds addresses), x2 = iters, x6 = result.
+    b.label("loop");
+    b.ldr(X(0), X(0), 0);
+    b.sub_imm(X(2), X(2), 1);
+    b.cbnz(X(2), "loop");
+    b.str(X(0), X(6), 0);
+    b.halt();
+    return b.build();
+  }
+
+  u64 window(const WorkloadParams& p, u32 total_threads) const {
+    return std::max<u64>(2, p.elements / total_threads);
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 w = window(p, total_threads);
+    for (u32 t = 0; t < total_threads; ++t) {
+      // Sattolo's algorithm: a single random cycle over the window.
+      std::vector<u64> perm(w);
+      for (u64 j = 0; j < w; ++j) perm[j] = j;
+      Xorshift128 rng(p.seed + 77 * t);
+      for (u64 j = w - 1; j > 0; --j) {
+        const u64 r = rng.next_below(j);
+        std::swap(perm[j], perm[r]);
+      }
+      const Addr base = layout::kArrayA + t * w * 8;
+      for (u64 j = 0; j < w; ++j) {
+        memory.write_u64(base + j * 8, base + perm[j] * 8);
+      }
+    }
+  }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 total) const override {
+    RegContext regs{};
+    regs[0] = layout::kArrayA + gtid * window(p, total) * 8;
+    regs[2] = p.iters_per_thread;
+    regs[6] = layout::result_addr(gtid);
+    return regs;
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    for (u32 t = 0; t < total_threads; ++t) {
+      const u64 w = window(p, total_threads);
+      Addr cursor = layout::kArrayA + t * w * 8;
+      for (u64 i = 0; i < p.iters_per_thread; ++i) {
+        cursor = memory.read_u64(cursor);
+      }
+      if (!expect_eq(memory.read_u64(layout::result_addr(t)), cursor,
+                     "pchase thread " + std::to_string(t), why)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// triad — STREAM triad: C[k] = A[k] + s * B[k] (f64)
+// ---------------------------------------------------------------------------
+class TriadWorkload final : public Workload {
+ public:
+  std::string name() const override { return "triad"; }
+  std::string description() const override {
+    return "STREAM triad: C[k] = A[k] + s*B[k]";
+  }
+  u32 active_regs() const override { return 8; }
+
+  kasm::Program program(const WorkloadParams&) const override {
+    ProgramBuilder b;
+    // x0 = &C[start], x1 = &A[start], x2 = &B[start], x3 = iters, x7 = s.
+    b.label("loop");
+    b.ldr_post(X(4), X(1), 8);
+    b.ldr_post(X(5), X(2), 8);
+    b.fmadd(X(6), X(5), X(7), X(4));  // a + s*b
+    b.str_post(X(6), X(0), 8);
+    b.sub_imm(X(3), X(3), 1);
+    b.cbnz(X(3), "loop");
+    b.halt();
+    return b.build();
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 total = p.iters_per_thread * total_threads;
+    for (u64 k = 0; k < total; ++k) {
+      memory.write_f64(layout::kArrayA + k * 8, f64_value_a(k));
+      memory.write_f64(layout::kArrayB + k * 8, f64_value_b(k));
+    }
+  }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 /*total*/) const override {
+    RegContext regs{};
+    regs[0] = layout::kArrayC + gtid * p.iters_per_thread * 8;
+    regs[1] = layout::kArrayA + gtid * p.iters_per_thread * 8;
+    regs[2] = layout::kArrayB + gtid * p.iters_per_thread * 8;
+    regs[3] = p.iters_per_thread;
+    regs[7] = f64_to_bits(3.0);
+    return regs;
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    const u64 total = p.iters_per_thread * total_threads;
+    for (u64 k = 0; k < total; ++k) {
+      const u64 want = f64_to_bits(f64_value_a(k) + 3.0 * f64_value_b(k));
+      if (!expect_eq(memory.read_u64(layout::kArrayC + k * 8), want,
+                     "triad element " + std::to_string(k), why)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// reduce — sequential integer sum
+// ---------------------------------------------------------------------------
+class ReduceWorkload final : public Workload {
+ public:
+  std::string name() const override { return "reduce"; }
+  std::string description() const override {
+    return "sequential integer reduction";
+  }
+  u32 active_regs() const override { return 4; }
+
+  kasm::Program program(const WorkloadParams&) const override {
+    ProgramBuilder b;
+    b.label("loop");
+    b.ldr_post(X(4), X(0), 8);
+    b.add(X(3), X(3), X(4));
+    b.sub_imm(X(2), X(2), 1);
+    b.cbnz(X(2), "loop");
+    b.str(X(3), X(6), 0);
+    b.halt();
+    return b.build();
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 total = p.iters_per_thread * total_threads;
+    for (u64 k = 0; k < total; ++k) {
+      memory.write_u64(layout::kArrayA + k * 8, int_value_at(k));
+    }
+  }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 /*total*/) const override {
+    RegContext regs{};
+    regs[0] = layout::kArrayA + gtid * p.iters_per_thread * 8;
+    regs[2] = p.iters_per_thread;
+    regs[3] = 0;
+    regs[6] = layout::result_addr(gtid);
+    return regs;
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    for (u32 t = 0; t < total_threads; ++t) {
+      u64 acc = 0;
+      for (u64 i = 0; i < p.iters_per_thread; ++i) {
+        acc += int_value_at(t * p.iters_per_thread + i);
+      }
+      if (!expect_eq(memory.read_u64(layout::result_addr(t)), acc,
+                     "reduce thread " + std::to_string(t), why)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// copy — stream copy C[k] = A[k]
+// ---------------------------------------------------------------------------
+class CopyWorkload final : public Workload {
+ public:
+  std::string name() const override { return "copy"; }
+  std::string description() const override { return "stream copy C[k]=A[k]"; }
+  u32 active_regs() const override { return 4; }
+
+  kasm::Program program(const WorkloadParams&) const override {
+    ProgramBuilder b;
+    b.label("loop");
+    b.ldr_post(X(4), X(0), 8);
+    b.str_post(X(4), X(1), 8);
+    b.sub_imm(X(2), X(2), 1);
+    b.cbnz(X(2), "loop");
+    b.halt();
+    return b.build();
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 total = p.iters_per_thread * total_threads;
+    for (u64 k = 0; k < total; ++k) {
+      memory.write_u64(layout::kArrayA + k * 8, int_value_at(k));
+    }
+  }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 /*total*/) const override {
+    RegContext regs{};
+    regs[0] = layout::kArrayA + gtid * p.iters_per_thread * 8;
+    regs[1] = layout::kArrayC + gtid * p.iters_per_thread * 8;
+    regs[2] = p.iters_per_thread;
+    return regs;
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    const u64 total = p.iters_per_thread * total_threads;
+    for (u64 k = 0; k < total; ++k) {
+      if (!expect_eq(memory.read_u64(layout::kArrayC + k * 8),
+                     int_value_at(k), "copy element " + std::to_string(k),
+                     why)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// stencil3 — 3-point integer stencil: C[k] = A[k-1] + A[k] + A[k+1]
+// ---------------------------------------------------------------------------
+class Stencil3Workload final : public Workload {
+ public:
+  std::string name() const override { return "stencil3"; }
+  std::string description() const override {
+    return "3-point stencil with spatial reuse";
+  }
+  u32 active_regs() const override { return 6; }
+
+  kasm::Program program(const WorkloadParams&) const override {
+    ProgramBuilder b;
+    // x0 = &C[start], x1 = &A[start+1], x2 = iters.
+    b.label("loop");
+    b.ldr(X(4), X(1), -8);
+    b.ldr(X(5), X(1), 0);
+    b.ldr(X(6), X(1), 8);
+    b.add(X(4), X(4), X(5));
+    b.add(X(4), X(4), X(6));
+    b.str_post(X(4), X(0), 8);
+    b.add_imm(X(1), X(1), 8);
+    b.sub_imm(X(2), X(2), 1);
+    b.cbnz(X(2), "loop");
+    b.halt();
+    return b.build();
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 total = p.iters_per_thread * total_threads + 2;
+    for (u64 k = 0; k < total; ++k) {
+      memory.write_u64(layout::kArrayA + k * 8, int_value_at(k));
+    }
+  }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 /*total*/) const override {
+    RegContext regs{};
+    regs[0] = layout::kArrayC + gtid * p.iters_per_thread * 8;
+    regs[1] = layout::kArrayA + (gtid * p.iters_per_thread + 1) * 8;
+    regs[2] = p.iters_per_thread;
+    return regs;
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    const u64 total = p.iters_per_thread * total_threads;
+    for (u64 k = 0; k < total; ++k) {
+      const u64 want =
+          int_value_at(k) + int_value_at(k + 1) + int_value_at(k + 2);
+      if (!expect_eq(memory.read_u64(layout::kArrayC + k * 8), want,
+                     "stencil3 element " + std::to_string(k), why)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// hist — histogram over private per-thread bins (read-modify-write with
+// random bin addresses)
+// ---------------------------------------------------------------------------
+class HistWorkload final : public Workload {
+ public:
+  static constexpr u64 kBins = 256;
+
+  std::string name() const override { return "hist"; }
+  std::string description() const override {
+    return "histogram: random read-modify-write over 256 private bins";
+  }
+  u32 active_regs() const override { return 5; }
+
+  kasm::Program program(const WorkloadParams&) const override {
+    ProgramBuilder b;
+    // x0 = &A[start], x1 = bin base, x2 = iters.
+    b.label("loop");
+    b.ldr_post(X(4), X(0), 8);
+    b.and_imm(X(4), X(4), static_cast<i64>(kBins - 1));
+    b.ldr(X(6), X(1), X(4), 3);
+    b.add_imm(X(6), X(6), 1);
+    b.str(X(6), X(1), X(4), 3);
+    b.sub_imm(X(2), X(2), 1);
+    b.cbnz(X(2), "loop");
+    b.halt();
+    return b.build();
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 total = p.iters_per_thread * total_threads;
+    for (u64 k = 0; k < total; ++k) {
+      memory.write_u64(layout::kArrayA + k * 8,
+                       index_at(p.seed + 5, k, 1u << 30));
+    }
+    for (u64 j = 0; j < kBins * total_threads; ++j) {
+      memory.write_u64(layout::kArrayC + j * 8, 0);
+    }
+  }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 /*total*/) const override {
+    RegContext regs{};
+    regs[0] = layout::kArrayA + gtid * p.iters_per_thread * 8;
+    regs[1] = layout::kArrayC + gtid * kBins * 8;
+    regs[2] = p.iters_per_thread;
+    return regs;
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    for (u32 t = 0; t < total_threads; ++t) {
+      std::vector<u64> bins(kBins, 0);
+      for (u64 i = 0; i < p.iters_per_thread; ++i) {
+        const u64 k = t * p.iters_per_thread + i;
+        ++bins[index_at(p.seed + 5, k, 1u << 30) & (kBins - 1)];
+      }
+      const Addr base = layout::kArrayC + t * kBins * 8;
+      for (u64 j = 0; j < kBins; ++j) {
+        if (!expect_eq(memory.read_u64(base + j * 8), bins[j],
+                       "hist thread " + std::to_string(t) + " bin " +
+                           std::to_string(j),
+                       why)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// spmv — CSR sparse matrix-vector product, 8 nonzeros per row
+// (nested loops: rowptr/y registers live only in the outer loop)
+// ---------------------------------------------------------------------------
+class SpmvWorkload final : public Workload {
+ public:
+  static constexpr u64 kNnzPerRow = 8;
+
+  std::string name() const override { return "spmv"; }
+  std::string description() const override {
+    return "CSR sparse matrix-vector product (nested loops)";
+  }
+  u32 active_regs() const override { return 9; }
+
+  u64 rows_per_thread(const WorkloadParams& p) const {
+    return std::max<u64>(1, p.iters_per_thread / kNnzPerRow);
+  }
+
+  kasm::Program program(const WorkloadParams&) const override {
+    ProgramBuilder b;
+    // x0 = &rowptr[start_row], x1 = colidx, x2 = vals, x3 = xvec,
+    // x4 = &y[start_row], x5 = rows.
+    b.label("outer");
+    b.ldr(X(6), X(0), 0);    // row start
+    b.ldr(X(7), X(0), 8);    // row end
+    b.mov_imm(X(8), 0);      // acc = 0.0
+    b.cmp(X(6), X(7));
+    b.b_cond(Cond::kGe, "store");
+    b.label("inner");
+    b.ldr(X(9), X(1), X(6), 3);    // col
+    b.ldr(X(10), X(2), X(6), 3);   // val
+    b.ldr(X(11), X(3), X(9), 3);   // x[col]
+    b.fmadd(X(8), X(10), X(11), X(8));
+    b.add_imm(X(6), X(6), 1);
+    b.cmp(X(6), X(7));
+    b.b_cond(Cond::kLt, "inner");
+    b.label("store");
+    b.str_post(X(8), X(4), 8);
+    b.add_imm(X(0), X(0), 8);
+    b.sub_imm(X(5), X(5), 1);
+    b.cbnz(X(5), "outer");
+    b.halt();
+    return b.build();
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 rows = rows_per_thread(p) * total_threads;
+    const u64 nnz = rows * kNnzPerRow;
+    for (u64 r = 0; r <= rows; ++r) {
+      memory.write_u64(layout::kArrayD + r * 8, r * kNnzPerRow);
+    }
+    for (u64 e = 0; e < nnz; ++e) {
+      memory.write_u64(layout::kArrayA + e * 8,
+                       index_at(p.seed + 9, e, p.elements));
+      memory.write_f64(layout::kArrayB + e * 8, f64_value_b(e));
+    }
+    for (u64 j = 0; j < p.elements; ++j) {
+      memory.write_f64(layout::kArrayE + j * 8, f64_value_a(j));
+    }
+  }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 /*total*/) const override {
+    const u64 start_row = gtid * rows_per_thread(p);
+    RegContext regs{};
+    regs[0] = layout::kArrayD + start_row * 8;
+    regs[1] = layout::kArrayA;
+    regs[2] = layout::kArrayB;
+    regs[3] = layout::kArrayE;
+    regs[4] = layout::kArrayC + start_row * 8;
+    regs[5] = rows_per_thread(p);
+    return regs;
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    const u64 rows = rows_per_thread(p) * total_threads;
+    for (u64 r = 0; r < rows; ++r) {
+      double acc = 0.0;
+      for (u64 e = r * kNnzPerRow; e < (r + 1) * kNnzPerRow; ++e) {
+        const u64 col = index_at(p.seed + 9, e, p.elements);
+        acc = acc + f64_value_b(e) * f64_value_a(col);
+      }
+      if (!expect_eq(memory.read_u64(layout::kArrayC + r * 8),
+                     f64_to_bits(acc), "spmv row " + std::to_string(r),
+                     why)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// gather_wide — gather whose outer loop consumes 8 additional
+// registers. With max_regs >= 15 they live in the register context;
+// with fewer, the "compiler" (this generator) spills them to scratch
+// memory and reloads them in the outer loop — the register-reduction
+// experiment of Section 4.2.
+// ---------------------------------------------------------------------------
+class GatherWideWorkload final : public Workload {
+ public:
+  static constexpr u64 kBlock = 64;  // inner iterations per outer round
+  static constexpr u32 kWide = 8;    // outer-loop registers x10..x17
+
+  std::string name() const override { return "gather_wide"; }
+  std::string description() const override {
+    return "gather with 8 outer-loop registers (register-reduction knob)";
+  }
+  u32 active_regs() const override { return 6; }
+
+  kasm::Program program(const WorkloadParams& p) const override {
+    const bool reduced = p.max_regs < 15;
+    ProgramBuilder b;
+    // x0=&A, x1=B, x2=outer rounds, x3=acc, x6=result, x9=scratch base,
+    // x10..x17 = wide constants (full-register variant only).
+    b.label("outer");
+    b.mov_imm(X(4), kBlock);
+    b.label("inner");
+    b.ldr_post(X(5), X(0), 8);
+    b.ldr(X(7), X(1), X(5), 3);
+    b.add(X(3), X(3), X(7));
+    b.sub_imm(X(4), X(4), 1);
+    b.cbnz(X(4), "inner");
+    if (reduced) {
+      // Outer-loop values were spilled by the compiler: reload each,
+      // accumulate, through a single temporary.
+      for (u32 w = 0; w < kWide; ++w) {
+        b.ldr(X(5), X(9), static_cast<i64>(w * 8));
+        b.add(X(3), X(3), X(5));
+      }
+    } else {
+      for (u32 w = 0; w < kWide; ++w) {
+        b.add(X(3), X(3), X(10 + static_cast<int>(w)));
+      }
+    }
+    b.sub_imm(X(2), X(2), 1);
+    b.cbnz(X(2), "outer");
+    b.str(X(3), X(6), 0);
+    b.halt();
+    return b.build();
+  }
+
+  u64 rounds(const WorkloadParams& p) const {
+    return std::max<u64>(1, p.iters_per_thread / kBlock);
+  }
+
+  void init_memory(mem::SparseMemory& memory, const WorkloadParams& p,
+                   u32 total_threads) const override {
+    const u64 total = rounds(p) * kBlock * total_threads;
+    for (u64 k = 0; k < total; ++k) {
+      memory.write_u64(layout::kArrayA + k * 8,
+                       index_at(p.seed, k, p.elements));
+    }
+    for (u64 j = 0; j < p.elements; ++j) {
+      memory.write_u64(layout::kArrayB + j * 8, int_value_at(j));
+    }
+    // Spill slots for the reduced-register variant.
+    for (u32 t = 0; t < total_threads; ++t) {
+      for (u32 w = 0; w < kWide; ++w) {
+        memory.write_u64(layout::scratch_addr(t) + w * 8, wide_value(t, w));
+      }
+    }
+  }
+
+  static u64 wide_value(u32 gtid, u32 w) { return 1000 + 17ull * gtid + w; }
+
+  RegContext thread_regs(const WorkloadParams& p, u32 gtid,
+                         u32 /*total*/) const override {
+    RegContext regs{};
+    regs[0] = layout::kArrayA + gtid * rounds(p) * kBlock * 8;
+    regs[1] = layout::kArrayB;
+    regs[2] = rounds(p);
+    regs[3] = 0;
+    regs[6] = layout::result_addr(gtid);
+    regs[9] = layout::scratch_addr(gtid);
+    for (u32 w = 0; w < kWide; ++w) regs[10 + w] = wide_value(gtid, w);
+    return regs;
+  }
+
+  bool check(const mem::SparseMemory& memory, const WorkloadParams& p,
+             u32 total_threads, std::string* why) const override {
+    for (u32 t = 0; t < total_threads; ++t) {
+      u64 acc = 0;
+      const u64 n = rounds(p);
+      for (u64 r = 0; r < n; ++r) {
+        for (u64 i = 0; i < kBlock; ++i) {
+          const u64 k = t * n * kBlock + r * kBlock + i;
+          acc += int_value_at(index_at(p.seed, k, p.elements));
+        }
+        for (u32 w = 0; w < kWide; ++w) acc += wide_value(t, w);
+      }
+      if (!expect_eq(memory.read_u64(layout::result_addr(t)), acc,
+                     "gather_wide thread " + std::to_string(t), why)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+const std::vector<const Workload*>& workload_registry() {
+  static const GatherWorkload gather;
+  static const GatherLocalWorkload gather_local;
+  static const ScatterWorkload scatter;
+  static const StrideWorkload stride;
+  static const MaeboWorkload maebo;
+  static const PchaseWorkload pchase;
+  static const TriadWorkload triad;
+  static const ReduceWorkload reduce;
+  static const CopyWorkload copy;
+  static const Stencil3Workload stencil3;
+  static const HistWorkload hist;
+  static const SpmvWorkload spmv;
+  static const GatherWideWorkload gather_wide;
+  static const std::vector<const Workload*> registry = {
+      &gather, &gather_local, &scatter, &stride,      &maebo,
+      &pchase, &triad,        &reduce,  &copy,        &stencil3,
+      &hist,   &spmv,         &gather_wide,
+  };
+  return registry;
+}
+
+}  // namespace virec::workloads

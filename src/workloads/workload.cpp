@@ -1,0 +1,23 @@
+#include "workloads/workload.hpp"
+
+#include <stdexcept>
+
+namespace virec::workloads {
+
+std::vector<const Workload*> figure_workloads() {
+  // The eight-kernel subset used by the paper's multi-workload figures.
+  static const char* const names[] = {"gather", "scatter", "stride", "maebo",
+                                      "pchase", "triad",   "spmv",   "hist"};
+  std::vector<const Workload*> out;
+  for (const char* name : names) out.push_back(&find_workload(name));
+  return out;
+}
+
+const Workload& find_workload(const std::string& name) {
+  for (const Workload* w : workload_registry()) {
+    if (w->name() == name) return *w;
+  }
+  throw std::out_of_range("unknown workload '" + name + "'");
+}
+
+}  // namespace virec::workloads

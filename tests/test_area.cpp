@@ -1,0 +1,139 @@
+// Area/delay model tests: calibration anchors from the paper and
+// scaling-shape properties.
+#include <gtest/gtest.h>
+
+#include "area/area_model.hpp"
+
+namespace virec::area {
+namespace {
+
+TEST(Calibration, BaselineInOrderCore) {
+  // CVA6-class core at 45nm: ~1.4-1.5 mm^2.
+  const CoreAreaReport ino = ino_core_area();
+  EXPECT_GT(ino.total_mm2, 1.3);
+  EXPECT_LT(ino.total_mm2, 1.6);
+}
+
+TEST(Calibration, BankedCoresMatchPaperRange) {
+  // Paper Section 6.2: 8-16 thread banked cores span 2.8-3.9 mm^2
+  // (64-register banks).
+  const double b8 = banked_core_area(8, 64).total_mm2;
+  const double b16 = banked_core_area(16, 64).total_mm2;
+  EXPECT_NEAR(b8, 2.8, 0.4);
+  EXPECT_NEAR(b16, 3.9, 0.5);
+}
+
+TEST(Calibration, ViReC64RegsAbout1p7) {
+  // ViReC with 8 regs/thread at 8 threads (64 physical): ~1.7 mm^2,
+  // ~20% over the baseline core.
+  const CoreAreaReport virec = virec_core_area(64);
+  EXPECT_NEAR(virec.total_mm2, 1.7, 0.2);
+  const double overhead = virec.total_mm2 / ino_core_area().total_mm2 - 1.0;
+  EXPECT_NEAR(overhead, 0.20, 0.08);
+}
+
+TEST(Calibration, ViReCSavesVsBanked) {
+  // Up to ~40% savings vs the banked designs.
+  const double virec = virec_core_area(64).total_mm2;
+  const double banked16 = banked_core_area(16, 64).total_mm2;
+  const double savings = 1.0 - virec / banked16;
+  EXPECT_GT(savings, 0.35);
+}
+
+TEST(Calibration, OooIsAbout19xInO) {
+  EXPECT_NEAR(ooo_core_area().total_mm2 / ino_core_area().total_mm2, 19.1,
+              0.5);
+}
+
+TEST(Calibration, RfDelayAnchors) {
+  // 0.22 ns baseline RF, ~0.24 ns at 80 registers (+~10%).
+  EXPECT_NEAR(rf_delay_ns(32), 0.22, 0.02);
+  EXPECT_NEAR(virec_core_area(80).rf_delay_ns, 0.24, 0.02);
+}
+
+TEST(Scaling, RfAreaLinearInRegs) {
+  const double a = rf_area_mm2(32);
+  const double b = rf_area_mm2(64);
+  EXPECT_NEAR(b / a, 2.0, 1e-9);
+}
+
+TEST(Scaling, RfAreaQuadraticInPorts) {
+  const double base = rf_area_mm2(32, 2, 1);
+  const double wide = rf_area_mm2(32, 4, 2);
+  EXPECT_NEAR(wide / base, 4.0, 1e-9);
+}
+
+TEST(Scaling, CamSuperlinear) {
+  // Fully-associative tag stores grow faster than linearly: doubling
+  // entries more than doubles area.
+  const double a = cam_area_mm2(64);
+  const double b = cam_area_mm2(128);
+  EXPECT_GT(b, 2.0 * a);
+  EXPECT_LT(b, 4.0 * a);
+}
+
+TEST(Scaling, ViReCOvertakesBankedForFullContexts) {
+  // Figure 14: storing complete 64-register contexts per thread in the
+  // fully-associative ViReC RF eventually costs more than banking.
+  bool crossover = false;
+  for (u32 threads = 1; threads <= 16; ++threads) {
+    const double banked = banked_core_area(threads, 64).total_mm2;
+    const double virec = virec_core_area(threads * 64).total_mm2;
+    if (virec > banked) crossover = true;
+  }
+  EXPECT_TRUE(crossover);
+}
+
+TEST(Scaling, ViReCWinsForSmallActiveContexts) {
+  // ...but with 8 registers per thread it stays well below banked at
+  // every thread count (the paper's headline trade-off).
+  for (u32 threads = 4; threads <= 16; ++threads) {
+    const double banked = banked_core_area(threads, 64).total_mm2;
+    const double virec = virec_core_area(threads * 8).total_mm2;
+    EXPECT_LT(virec, banked) << threads;
+  }
+}
+
+TEST(Scaling, DelayGrowsWithEntries) {
+  EXPECT_GT(rf_delay_ns(128), rf_delay_ns(32));
+  EXPECT_GT(cam_delay_ns(256), cam_delay_ns(64));
+  EXPECT_GT(banked_rf_delay_ns(16, 64), banked_rf_delay_ns(2, 64));
+}
+
+TEST(Reports, ComponentsSumToTotal) {
+  for (const CoreAreaReport& r :
+       {ino_core_area(), banked_core_area(8), virec_core_area(48),
+        ooo_core_area()}) {
+    EXPECT_NEAR(r.total_mm2,
+                r.base_mm2 + r.rf_mm2 + r.tag_mm2 + r.queue_mm2, 1e-12)
+        << r.label;
+    EXPECT_FALSE(r.label.empty());
+  }
+}
+
+TEST(Reports, RollbackQueueIsSmallFractionOfRf) {
+  // Paper: rollback queue + VRMU logic < 10% of the RF size.
+  const CoreAreaReport virec = virec_core_area(64, 8);
+  EXPECT_LT(virec.queue_mm2, 0.1 * virec.rf_mm2);
+}
+
+TEST(Reports, CoreAreaForEachScheme) {
+  sim::SystemConfig config = sim::SystemConfig::nmp_default();
+  config.threads_per_core = 8;
+  config.virec.num_phys_regs = 40;
+  config.scheme = sim::Scheme::kBanked;
+  const double banked = core_area_for(config).total_mm2;
+  config.scheme = sim::Scheme::kViReC;
+  const double virec = core_area_for(config).total_mm2;
+  config.scheme = sim::Scheme::kSoftware;
+  const double software = core_area_for(config).total_mm2;
+  config.scheme = sim::Scheme::kPrefetchExact;
+  const double prefetch = core_area_for(config).total_mm2;
+  EXPECT_LT(software, virec);
+  EXPECT_LT(virec, banked);
+  EXPECT_LT(prefetch, banked);
+  EXPECT_GT(prefetch, software);
+}
+
+}  // namespace
+}  // namespace virec::area

@@ -1,0 +1,267 @@
+// Text assembler tests: syntax coverage, label handling, error
+// reporting and disassembler round-trips.
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hpp"
+#include "kasm/assembler.hpp"
+
+namespace virec::kasm {
+namespace {
+
+using isa::Op;
+
+TEST(Assembler, MinimalProgram) {
+  const Program p = assemble("halt\n");
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.at(0).op, Op::kHalt);
+}
+
+TEST(Assembler, AluRegisterAndImmediate) {
+  const Program p = assemble(R"(
+    add x1, x2, x3
+    add x1, x2, #42
+    sub x4, x4, #1
+    and x5, x5, #255
+    lsl x6, x7, #3
+    halt
+  )");
+  EXPECT_EQ(p.at(0).op, Op::kAdd);
+  EXPECT_EQ(p.at(1).op, Op::kAddImm);
+  EXPECT_EQ(p.at(1).imm, 42);
+  EXPECT_EQ(p.at(2).op, Op::kSubImm);
+  EXPECT_EQ(p.at(3).op, Op::kAndImm);
+  EXPECT_EQ(p.at(4).op, Op::kLslImm);
+  EXPECT_EQ(p.at(4).imm, 3);
+}
+
+TEST(Assembler, HexImmediates) {
+  const Program p = assemble("mov x0, #0xff\nhalt\n");
+  EXPECT_EQ(p.at(0).imm, 0xff);
+}
+
+TEST(Assembler, NegativeImmediates) {
+  const Program p = assemble("add x0, x1, #-8\nhalt\n");
+  EXPECT_EQ(p.at(0).imm, -8);
+}
+
+TEST(Assembler, MemoryAddressingModes) {
+  const Program p = assemble(R"(
+    ldr x0, [x1]
+    ldr x0, [x1, #16]
+    ldr x0, [x1], #8
+    ldr x0, [x1, #8]!
+    ldr x0, [x1, x2]
+    ldr x0, [x1, x2, lsl #3]
+    str x0, [x1, #-8]
+    halt
+  )");
+  using isa::MemMode;
+  EXPECT_EQ(p.at(0).mem_mode, MemMode::kOffset);
+  EXPECT_EQ(p.at(0).imm, 0);
+  EXPECT_EQ(p.at(1).imm, 16);
+  EXPECT_EQ(p.at(2).mem_mode, MemMode::kPostIndex);
+  EXPECT_EQ(p.at(2).imm, 8);
+  EXPECT_EQ(p.at(3).mem_mode, MemMode::kPreIndex);
+  EXPECT_EQ(p.at(4).mem_mode, MemMode::kRegOffset);
+  EXPECT_EQ(p.at(4).shift, 0);
+  EXPECT_EQ(p.at(5).mem_mode, MemMode::kRegOffset);
+  EXPECT_EQ(p.at(5).shift, 3);
+  EXPECT_EQ(p.at(6).imm, -8);
+}
+
+TEST(Assembler, LoadStoreWidths) {
+  const Program p = assemble(R"(
+    ldrb x0, [x1]
+    ldrh x0, [x1]
+    ldrw x0, [x1]
+    ldrsw x0, [x1]
+    strb x0, [x1]
+    strh x0, [x1]
+    strw x0, [x1]
+    halt
+  )");
+  EXPECT_EQ(p.at(0).op, Op::kLdrb);
+  EXPECT_EQ(p.at(1).op, Op::kLdrh);
+  EXPECT_EQ(p.at(2).op, Op::kLdrw);
+  EXPECT_EQ(p.at(3).op, Op::kLdrsw);
+  EXPECT_EQ(p.at(4).op, Op::kStrb);
+  EXPECT_EQ(p.at(5).op, Op::kStrh);
+  EXPECT_EQ(p.at(6).op, Op::kStrw);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const Program p = assemble(R"(
+    mov x0, #4
+    loop:
+      sub x0, x0, #1
+      cbnz x0, loop
+    done: halt
+  )");
+  EXPECT_EQ(p.label("loop"), 1u);
+  EXPECT_EQ(p.label("done"), 3u);
+  EXPECT_EQ(p.at(2).target, 1);
+}
+
+TEST(Assembler, ForwardReferences) {
+  const Program p = assemble(R"(
+    cbz x0, end
+    mov x1, #1
+    end: halt
+  )");
+  EXPECT_EQ(p.at(0).target, 2);
+}
+
+TEST(Assembler, AbsoluteTargets) {
+  const Program p = assemble("b @1\nhalt\n");
+  EXPECT_EQ(p.at(0).target, 1);
+}
+
+TEST(Assembler, ConditionalBranches) {
+  const Program p = assemble(R"(
+    top:
+    cmp x0, x1
+    b.eq top
+    b.ne top
+    b.lt top
+    b.ge top
+    b.hi top
+    b.ls top
+    halt
+  )");
+  using isa::Cond;
+  EXPECT_EQ(p.at(1).cond, Cond::kEq);
+  EXPECT_EQ(p.at(2).cond, Cond::kNe);
+  EXPECT_EQ(p.at(3).cond, Cond::kLt);
+  EXPECT_EQ(p.at(4).cond, Cond::kGe);
+  EXPECT_EQ(p.at(5).cond, Cond::kHi);
+  EXPECT_EQ(p.at(6).cond, Cond::kLs);
+}
+
+TEST(Assembler, CommentsIgnored) {
+  const Program p = assemble(R"(
+    // full line comment
+    # hash comment
+    mov x0, #1   // trailing comment
+    halt ; semicolon comment
+  )");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.at(0).imm, 1);
+}
+
+TEST(Assembler, CmpForms) {
+  const Program p = assemble("cmp x1, x2\ncmp x1, #5\nhalt\n");
+  EXPECT_EQ(p.at(0).op, Op::kCmp);
+  EXPECT_EQ(p.at(1).op, Op::kCmpImm);
+}
+
+TEST(Assembler, MaddFmaddScvtf) {
+  const Program p = assemble(R"(
+    madd x0, x1, x2, x3
+    fmadd x0, x1, x2, x3
+    scvtf x0, x1
+    fcvtzs x0, x1
+    fadd x0, x1, x2
+    fdiv x0, x1, x2
+    halt
+  )");
+  EXPECT_EQ(p.at(0).op, Op::kMadd);
+  EXPECT_EQ(p.at(0).ra, 3);
+  EXPECT_EQ(p.at(1).op, Op::kFmadd);
+  EXPECT_EQ(p.at(2).op, Op::kScvtf);
+  EXPECT_EQ(p.at(3).op, Op::kFcvtzs);
+  EXPECT_EQ(p.at(4).op, Op::kFadd);
+  EXPECT_EQ(p.at(5).op, Op::kFdiv);
+}
+
+TEST(Assembler, MovkWithShift) {
+  const Program p = assemble("movk x0, #0xbeef, lsl #16\nhalt\n");
+  EXPECT_EQ(p.at(0).op, Op::kMovk);
+  EXPECT_EQ(p.at(0).imm, 0xbeef);
+  EXPECT_EQ(p.at(0).imm2, 1);
+}
+
+TEST(Assembler, XzrRegister) {
+  const Program p = assemble("add x0, xzr, xzr\nhalt\n");
+  EXPECT_EQ(p.at(0).rn, isa::kZeroReg);
+  EXPECT_EQ(p.at(0).rm, isa::kZeroReg);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  EXPECT_THROW(assemble("frobnicate x0, x1\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, BadRegister) {
+  EXPECT_THROW(assemble("add x0, x31, x1\nhalt\n"), AsmError);
+  EXPECT_THROW(assemble("add x0, y1, x1\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, UnresolvedLabel) {
+  EXPECT_THROW(assemble("b nowhere\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_THROW(assemble("a:\nnop\na:\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_THROW(assemble("add x0, x1\nhalt\n"), AsmError);
+  EXPECT_THROW(assemble("cbz x0\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, MulHasNoImmediateForm) {
+  EXPECT_THROW(assemble("mul x0, x1, #2\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, BadMemoryOperand) {
+  EXPECT_THROW(assemble("ldr x0, x1\nhalt\n"), AsmError);
+  EXPECT_THROW(assemble("ldr x0, [x1\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, ErrorCarriesLineNumber) {
+  try {
+    assemble("nop\nnop\nbogus x1\nhalt\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(AssemblerErrors, ProgramWithoutHaltRejected) {
+  EXPECT_THROW(assemble("nop\n"), std::invalid_argument);
+}
+
+TEST(Assembler, DisasmRoundTrip) {
+  // Assemble, disassemble, re-assemble: instruction streams must match.
+  const char* source = R"(
+    mov x5, #0
+    loop:
+    ldr x6, [x2, x5, lsl #3]
+    ldrsw x7, [x3], #8
+    add x8, x8, x7
+    str x8, [x9, #16]!
+    add x5, x5, #1
+    cmp x5, x4
+    b.lt loop
+    halt
+  )";
+  const Program first = assemble(source);
+  std::string redis;
+  for (u64 i = 0; i < first.size(); ++i) {
+    redis += isa::disasm(first.at(i)) + "\n";
+  }
+  const Program second = assemble(redis);
+  ASSERT_EQ(first.size(), second.size());
+  for (u64 i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(isa::disasm(first.at(i)), isa::disasm(second.at(i))) << i;
+  }
+}
+
+TEST(Assembler, ListingShowsLabels) {
+  const Program p = assemble("start:\nnop\nhalt\n");
+  const std::string listing = p.listing();
+  EXPECT_NE(listing.find("start:"), std::string::npos);
+  EXPECT_NE(listing.find("nop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace virec::kasm

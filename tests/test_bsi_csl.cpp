@@ -1,0 +1,170 @@
+// Backing Store Interface and Context Switch Logic tests.
+#include <gtest/gtest.h>
+
+#include "core/backing_store_interface.hpp"
+#include "core/context_switch_logic.hpp"
+#include "mem/memory_system.hpp"
+
+namespace virec::core {
+namespace {
+
+class BsiTest : public ::testing::Test {
+ protected:
+  BsiTest()
+      : ms(mem::MemSystemConfig{}),
+        env{.core_id = 0, .num_threads = 4, .ms = &ms},
+        stats("test") {}
+
+  mem::MemorySystem ms;
+  cpu::CoreEnv env;
+  StatSet stats;
+};
+
+TEST_F(BsiTest, FillReturnsAfterDcacheLatency) {
+  BackingStoreInterface bsi(BsiConfig{}, env, stats);
+  const Cycle done = bsi.fill(0, 3, 100);
+  EXPECT_GT(done, 100u);  // cold miss to DRAM the first time
+  // Second fill from the (now pinned) line hits.
+  const Cycle done2 = bsi.fill(0, 4, done + 10);
+  EXPECT_EQ(done2, done + 10 + ms.config().dcache.hit_latency);
+}
+
+TEST_F(BsiTest, FillPinsLineWhenEnabled) {
+  BackingStoreInterface bsi(BsiConfig{.pin_lines = true}, env, stats);
+  bsi.fill(0, 0, 0);
+  EXPECT_EQ(ms.dcache(0).pinned_lines(), 1u);
+}
+
+TEST_F(BsiTest, NsfModeDoesNotPin) {
+  BackingStoreInterface bsi(
+      BsiConfig{.non_blocking = false, .dummy_dest_fill = false,
+                .pin_lines = false},
+      env, stats);
+  bsi.fill(0, 0, 0);
+  EXPECT_EQ(ms.dcache(0).pinned_lines(), 0u);
+}
+
+TEST_F(BsiTest, NonBlockingPipelinesRequests) {
+  BackingStoreInterface nb(BsiConfig{.non_blocking = true}, env, stats);
+  // Warm the line.
+  const Cycle warm = nb.fill(0, 0, 0);
+  const Cycle a = nb.fill(0, 1, warm);
+  const Cycle b = nb.fill(0, 2, warm);
+  // Pipelined: the second completes one port-cycle later, not one full
+  // access later.
+  EXPECT_EQ(b - a, 1u);
+}
+
+TEST_F(BsiTest, BlockingSerialisesRequests) {
+  BackingStoreInterface blocking(BsiConfig{.non_blocking = false}, env, stats);
+  const Cycle warm = blocking.fill(0, 0, 0);
+  const Cycle a = blocking.fill(0, 1, warm);
+  const Cycle b = blocking.fill(0, 2, warm);
+  EXPECT_GE(b - a, ms.config().dcache.hit_latency);
+}
+
+TEST_F(BsiTest, DummyFillOffCriticalPath) {
+  BackingStoreInterface bsi(BsiConfig{.dummy_dest_fill = true}, env, stats);
+  bsi.fill(0, 0, 0);  // warm/pin the line
+  const Cycle done = bsi.dummy_fill(0, 1, 1000);
+  EXPECT_EQ(done, 1000u);  // no latency on the critical path
+  EXPECT_EQ(stats.get("bsi_dummy_fills"), 1.0);
+}
+
+TEST_F(BsiTest, DummyFillDisabledBehavesLikeFill) {
+  BackingStoreInterface bsi(BsiConfig{.dummy_dest_fill = false}, env, stats);
+  bsi.fill(0, 0, 0);
+  const Cycle done = bsi.dummy_fill(0, 1, 1000);
+  EXPECT_GT(done, 1000u);
+}
+
+TEST_F(BsiTest, FillOutstandingMasksSwitches) {
+  BackingStoreInterface bsi(BsiConfig{}, env, stats);
+  const Cycle done = bsi.fill(0, 0, 50);
+  EXPECT_TRUE(bsi.fill_outstanding(done - 1));
+  EXPECT_FALSE(bsi.fill_outstanding(done));
+}
+
+TEST_F(BsiTest, SpillDoesNotMaskSwitches) {
+  BackingStoreInterface bsi(BsiConfig{}, env, stats);
+  const Cycle done = bsi.spill(0, 0, 50);
+  EXPECT_FALSE(bsi.fill_outstanding(done - 1));
+  EXPECT_EQ(stats.get("bsi_spills"), 1.0);
+}
+
+TEST_F(BsiTest, SysregTransfersCounted) {
+  BackingStoreInterface bsi(BsiConfig{}, env, stats);
+  bsi.sysreg_transfer(2, false, 0);
+  bsi.sysreg_transfer(2, true, 100);
+  EXPECT_EQ(stats.get("bsi_sysreg_reads"), 1.0);
+  EXPECT_EQ(stats.get("bsi_sysreg_writes"), 1.0);
+}
+
+class CslTest : public BsiTest {
+ protected:
+  CslTest() : bsi(BsiConfig{}, env, stats) {}
+  BackingStoreInterface bsi;
+};
+
+TEST_F(CslTest, ThreadStartFetchesSysregs) {
+  ContextSwitchLogic csl(CslConfig{}, 4, bsi, stats);
+  const Cycle ready = csl.on_thread_start(0, 10);
+  EXPECT_GT(ready, 10u);
+  // Second call: already buffered.
+  EXPECT_EQ(csl.on_thread_start(0, ready + 5), ready + 5);
+}
+
+TEST_F(CslTest, PrefetchedSwitchIsFree) {
+  ContextSwitchLogic csl(CslConfig{.sysreg_prefetch = true}, 4, bsi, stats);
+  csl.on_thread_start(0, 0);
+  // Switch 0 -> 1 predicting 2: prefetches thread 2's sysregs.
+  const Cycle r1 = csl.on_switch(0, 1, 2, 100);
+  (void)r1;
+  // Much later, switch 1 -> 2: the buffer has thread 2.
+  const Cycle r2 = csl.on_switch(1, 2, 3, 10'000);
+  EXPECT_EQ(r2, 10'000u);
+  EXPECT_EQ(stats.get("csl_demand_sysreg_fetches"), 1.0);  // only thread 1
+}
+
+TEST_F(CslTest, WrongPredictionDemandFetches) {
+  ContextSwitchLogic csl(CslConfig{.sysreg_prefetch = true}, 4, bsi, stats);
+  csl.on_thread_start(0, 0);
+  csl.on_switch(0, 1, 2, 100);       // prefetches 2
+  const double before = stats.get("csl_demand_sysreg_fetches");
+  const Cycle r = csl.on_switch(1, 3, 0, 10'000);  // 3 was not prefetched
+  EXPECT_GT(r, 10'000u);
+  EXPECT_GT(stats.get("csl_demand_sysreg_fetches"), before);
+}
+
+TEST_F(CslTest, NoPrefetchModeAlwaysDemandFetches) {
+  ContextSwitchLogic csl(CslConfig{.sysreg_prefetch = false}, 4, bsi, stats);
+  csl.on_thread_start(0, 0);
+  csl.on_switch(0, 1, 2, 100);
+  const Cycle r = csl.on_switch(1, 2, 3, 10'000);
+  EXPECT_GT(r, 10'000u);  // thread 2 was never prefetched
+  EXPECT_EQ(stats.get("csl_sysreg_prefetches"), 0.0);
+}
+
+TEST_F(CslTest, LatePrefetchDelaysSwitch) {
+  ContextSwitchLogic csl(CslConfig{.sysreg_prefetch = true}, 4, bsi, stats);
+  csl.on_thread_start(0, 0);
+  const Cycle r1 = csl.on_switch(0, 1, 2, 100);
+  (void)r1;
+  // Switch to 2 immediately after the prefetch was issued: it cannot
+  // have completed yet (cold DRAM miss), so the switch waits.
+  const Cycle r2 = csl.on_switch(1, 2, 3, 101);
+  EXPECT_GT(r2, 101u);
+  EXPECT_GE(stats.get("csl_prefetch_late"), 1.0);
+}
+
+TEST_F(CslTest, BufferHoldsOnlyTwoContexts) {
+  ContextSwitchLogic csl(CslConfig{.sysreg_prefetch = true}, 4, bsi, stats);
+  csl.on_thread_start(0, 0);
+  csl.on_switch(0, 1, 2, 100);   // buffer: {1, 2}
+  csl.on_switch(1, 2, 3, 1000);  // buffer: {2, 3}; thread 0/1 dropped
+  const Cycle r = csl.on_switch(2, 0, 1, 5000);  // 0 fell out
+  EXPECT_GT(r, 5000u);
+}
+
+}  // namespace
+}  // namespace virec::core

@@ -1,0 +1,121 @@
+// ProgramBuilder and Program tests.
+#include <gtest/gtest.h>
+
+#include "kasm/builder.hpp"
+
+namespace virec::kasm {
+namespace {
+
+TEST(Builder, EmitsInstructionsInOrder) {
+  ProgramBuilder b;
+  b.mov_imm(X(0), 1).add_imm(X(0), X(0), 2).halt();
+  const Program p = b.build();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.at(0).op, Op::kMovImm);
+  EXPECT_EQ(p.at(1).op, Op::kAddImm);
+  EXPECT_EQ(p.at(2).op, Op::kHalt);
+}
+
+TEST(Builder, ResolvesBackwardLabel) {
+  ProgramBuilder b;
+  b.label("top").sub_imm(X(0), X(0), 1).cbnz(X(0), "top").halt();
+  const Program p = b.build();
+  EXPECT_EQ(p.at(1).target, 0);
+}
+
+TEST(Builder, ResolvesForwardLabel) {
+  ProgramBuilder b;
+  b.cbz(X(0), "end").nop().label("end").halt();
+  const Program p = b.build();
+  EXPECT_EQ(p.at(0).target, 2);
+}
+
+TEST(Builder, UnresolvedLabelThrows) {
+  ProgramBuilder b;
+  b.b("missing").halt();
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(Builder, DuplicateLabelThrows) {
+  ProgramBuilder b;
+  b.label("x");
+  EXPECT_THROW(b.label("x"), std::invalid_argument);
+}
+
+TEST(Builder, MemoryHelpers) {
+  ProgramBuilder b;
+  b.ldr(X(0), X(1), 8);
+  b.ldr(X(0), X(1), X(2), 3);
+  b.ldr_post(X(0), X(1), 8);
+  b.str_pre(X(0), X(1), -8);
+  b.halt();
+  const Program p = b.build();
+  EXPECT_EQ(p.at(0).mem_mode, MemMode::kOffset);
+  EXPECT_EQ(p.at(1).mem_mode, MemMode::kRegOffset);
+  EXPECT_EQ(p.at(2).mem_mode, MemMode::kPostIndex);
+  EXPECT_EQ(p.at(3).mem_mode, MemMode::kPreIndex);
+  EXPECT_EQ(p.at(3).imm, -8);
+}
+
+TEST(Builder, SizeTracksEmitted) {
+  ProgramBuilder b;
+  EXPECT_EQ(b.size(), 0u);
+  b.nop().nop();
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(Program, LabelLookupThrowsOnUnknown) {
+  ProgramBuilder b;
+  b.label("a").halt();
+  const Program p = b.build();
+  EXPECT_EQ(p.label("a"), 0u);
+  EXPECT_THROW(p.label("b"), std::out_of_range);
+}
+
+TEST(Program, ValidateRejectsOutOfRangeTarget) {
+  std::vector<isa::Inst> code(2);
+  code[0].op = isa::Op::kB;
+  code[0].target = 99;
+  code[1].op = isa::Op::kHalt;
+  Program p(std::move(code), {});
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Program, ValidateRejectsMissingHalt) {
+  std::vector<isa::Inst> code(1);
+  code[0].op = isa::Op::kNop;
+  Program p(std::move(code), {});
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Program, EmptyProgramIsValid) {
+  Program p;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(Builder, FluentChainingReturnsSelf) {
+  ProgramBuilder b;
+  ProgramBuilder& ref = b.nop();
+  EXPECT_EQ(&ref, &b);
+}
+
+TEST(Builder, BlAndRet) {
+  ProgramBuilder b;
+  b.bl("f").halt().label("f").ret();
+  const Program p = b.build();
+  EXPECT_EQ(p.at(0).op, Op::kBl);
+  EXPECT_EQ(p.at(0).target, 2);
+  EXPECT_EQ(p.at(2).op, Op::kRet);
+}
+
+TEST(Builder, RawEmit) {
+  ProgramBuilder b;
+  isa::Inst inst;
+  inst.op = Op::kHalt;
+  b.emit(inst);
+  EXPECT_EQ(b.build().at(0).op, Op::kHalt);
+}
+
+}  // namespace
+}  // namespace virec::kasm

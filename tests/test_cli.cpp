@@ -1,0 +1,116 @@
+// End-to-end tests of the virec-sim command-line front end: spawn the
+// real binary (path injected by CMake) and check its output contract.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+#ifndef VIREC_SIM_PATH
+#define VIREC_SIM_PATH "virec-sim"
+#endif
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string command = std::string(VIREC_SIM_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  CliResult result;
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buffer;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+bool has_line_prefix(const std::string& output, const std::string& prefix) {
+  return output.find("\n" + prefix) != std::string::npos ||
+         output.rfind(prefix, 0) == 0;
+}
+
+TEST(Cli, HelpExitsCleanly) {
+  const CliResult r = run_cli("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--workload"), std::string::npos);
+  EXPECT_NE(r.output.find("--policy"), std::string::npos);
+}
+
+TEST(Cli, ListShowsEveryKernel) {
+  const CliResult r = run_cli("--list");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* name : {"gather", "spmv", "pchase", "gather_wide"}) {
+    EXPECT_NE(r.output.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, DefaultRunReportsAndPasses) {
+  const CliResult r = run_cli("--iters 32 --elements 4096");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(has_line_prefix(r.output, "cycles "));
+  EXPECT_TRUE(has_line_prefix(r.output, "ipc "));
+  EXPECT_NE(r.output.find("check OK"), std::string::npos);
+}
+
+TEST(Cli, SchemeAndPolicySelection) {
+  const CliResult r = run_cli(
+      "--workload spmv --scheme virec --policy mrt-plru --threads 4 "
+      "--iters 32 --elements 4096");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("policy mrt-plru"), std::string::npos);
+  EXPECT_NE(r.output.find("check OK"), std::string::npos);
+}
+
+TEST(Cli, StatsDumpIncludesComponents) {
+  const CliResult r = run_cli("--iters 32 --elements 4096 --stats");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("core0.virec.rf_hits"), std::string::npos);
+  EXPECT_NE(r.output.find("dram.reads"), std::string::npos);
+  EXPECT_NE(r.output.find("xbar.transfers"), std::string::npos);
+}
+
+TEST(Cli, TraceShowsCommits) {
+  const CliResult r =
+      run_cli("--workload reduce --threads 1 --iters 4 --trace");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("commit @"), std::string::npos);
+}
+
+TEST(Cli, AreaReport) {
+  const CliResult r = run_cli("--iters 16 --elements 4096 --area");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_TRUE(has_line_prefix(r.output, "area.total_mm2"));
+}
+
+TEST(Cli, UnknownWorkloadFails) {
+  const CliResult r = run_cli("--workload nonsense");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagFails) {
+  const CliResult r = run_cli("--frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(Cli, MissingValueFails) {
+  const CliResult r = run_cli("--workload");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(Cli, ExtensionsRun) {
+  const CliResult r = run_cli(
+      "--workload gather --group-spill --switch-prefetch --iters 32 "
+      "--elements 4096");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("check OK"), std::string::npos);
+}
+
+}  // namespace

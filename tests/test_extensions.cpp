@@ -1,0 +1,118 @@
+// Tests for the future-work extensions (Section 8 of the paper):
+// group spills and the prefetch + caching hybrid.
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+
+namespace virec {
+namespace {
+
+workloads::WorkloadParams tiny_params() {
+  workloads::WorkloadParams params;
+  params.iters_per_thread = 64;
+  params.elements = 1 << 12;
+  return params;
+}
+
+sim::RunSpec base_spec(const std::string& workload) {
+  sim::RunSpec spec;
+  spec.workload = workload;
+  spec.scheme = sim::Scheme::kViReC;
+  spec.threads_per_core = 8;
+  spec.context_fraction = 0.8;
+  spec.params = tiny_params();
+  return spec;
+}
+
+TEST(GroupSpill, ResultsStayCorrect) {
+  for (const char* wl : {"gather", "spmv", "maebo", "hist"}) {
+    sim::RunSpec spec = base_spec(wl);
+    spec.group_spill = true;
+    EXPECT_TRUE(sim::run_spec(spec).check_ok) << wl;
+  }
+}
+
+TEST(GroupSpill, ActuallySpillsGroups) {
+  sim::RunSpec spec = base_spec("gather");
+  spec.group_spill = true;
+  sim::System system(sim::build_config(spec),
+                     workloads::find_workload("gather"), spec.params);
+  system.run();
+  EXPECT_GT(system.manager(0).stats().get("group_spills"), 0.0);
+}
+
+TEST(GroupSpill, ReducesCriticalPathSpills) {
+  // Eagerly written-back registers are clean when evicted, so the
+  // demand path performs fewer spills.
+  sim::RunSpec spec = base_spec("spmv");
+  sim::System plain(sim::build_config(spec),
+                    workloads::find_workload("spmv"), spec.params);
+  plain.run();
+  spec.group_spill = true;
+  sim::System eager(sim::build_config(spec),
+                    workloads::find_workload("spmv"), spec.params);
+  eager.run();
+  EXPECT_LT(eager.manager(0).stats().get("rf_spills"),
+            plain.manager(0).stats().get("rf_spills"));
+}
+
+TEST(SwitchPrefetch, ResultsStayCorrect) {
+  for (const char* wl : {"gather", "spmv", "maebo", "hist"}) {
+    sim::RunSpec spec = base_spec(wl);
+    spec.switch_prefetch = true;
+    EXPECT_TRUE(sim::run_spec(spec).check_ok) << wl;
+  }
+}
+
+TEST(SwitchPrefetch, IssuesPrefetches) {
+  sim::RunSpec spec = base_spec("gather");
+  spec.switch_prefetch = true;
+  sim::System system(sim::build_config(spec),
+                     workloads::find_workload("gather"), spec.params);
+  system.run();
+  EXPECT_GT(system.manager(0).stats().get("switch_prefetch_fills"), 0.0);
+}
+
+TEST(SwitchPrefetch, ReducesDecodeStallFills) {
+  // Registers prefetched at switch time no longer demand-miss in
+  // decode: rf_misses must drop.
+  sim::RunSpec spec = base_spec("gather");
+  spec.params.iters_per_thread = 128;
+  sim::System plain(sim::build_config(spec),
+                    workloads::find_workload("gather"), spec.params);
+  plain.run();
+  spec.switch_prefetch = true;
+  sim::System pf(sim::build_config(spec),
+                 workloads::find_workload("gather"), spec.params);
+  pf.run();
+  EXPECT_LT(pf.manager(0).stats().get("rf_misses"),
+            plain.manager(0).stats().get("rf_misses"));
+}
+
+TEST(Extensions, ComposeCorrectly) {
+  sim::RunSpec spec = base_spec("spmv");
+  spec.group_spill = true;
+  spec.switch_prefetch = true;
+  spec.context_fraction = 0.4;  // heavy pressure
+  EXPECT_TRUE(sim::run_spec(spec).check_ok);
+}
+
+TEST(Extensions, DeterministicWithExtensions) {
+  sim::RunSpec spec = base_spec("gather");
+  spec.group_spill = true;
+  spec.switch_prefetch = true;
+  const sim::RunResult a = sim::run_spec(spec);
+  const sim::RunResult b = sim::run_spec(spec);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Extensions, OffByDefault) {
+  const sim::RunSpec spec = base_spec("gather");
+  const sim::SystemConfig config = sim::build_config(spec);
+  EXPECT_FALSE(config.virec.group_spill);
+  EXPECT_FALSE(config.virec.switch_prefetch);
+}
+
+}  // namespace
+}  // namespace virec

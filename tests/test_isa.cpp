@@ -1,0 +1,260 @@
+// Unit tests for instruction classification, register queries and
+// disassembly.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/disasm.hpp"
+#include "isa/inst.hpp"
+
+namespace virec::isa {
+namespace {
+
+Inst make(Op op) {
+  Inst inst;
+  inst.op = op;
+  return inst;
+}
+
+TEST(Classify, Loads) {
+  for (Op op : {Op::kLdr, Op::kLdrw, Op::kLdrsw, Op::kLdrh, Op::kLdrb}) {
+    EXPECT_TRUE(is_load(op)) << op_name(op);
+    EXPECT_TRUE(is_mem(op));
+    EXPECT_FALSE(is_store(op));
+  }
+}
+
+TEST(Classify, Stores) {
+  for (Op op : {Op::kStr, Op::kStrw, Op::kStrh, Op::kStrb}) {
+    EXPECT_TRUE(is_store(op)) << op_name(op);
+    EXPECT_TRUE(is_mem(op));
+    EXPECT_FALSE(is_load(op));
+  }
+}
+
+TEST(Classify, Branches) {
+  for (Op op : {Op::kB, Op::kBcond, Op::kCbz, Op::kCbnz, Op::kBl, Op::kRet}) {
+    EXPECT_TRUE(is_branch(op)) << op_name(op);
+  }
+  EXPECT_FALSE(is_branch(Op::kAdd));
+  EXPECT_TRUE(is_cond_branch(Op::kBcond));
+  EXPECT_TRUE(is_cond_branch(Op::kCbz));
+  EXPECT_FALSE(is_cond_branch(Op::kB));
+  EXPECT_FALSE(is_cond_branch(Op::kRet));
+}
+
+TEST(Classify, Flags) {
+  EXPECT_TRUE(writes_flags(Op::kCmp));
+  EXPECT_TRUE(writes_flags(Op::kCmpImm));
+  EXPECT_FALSE(writes_flags(Op::kAdd));
+  EXPECT_TRUE(reads_flags(Op::kBcond));
+  EXPECT_FALSE(reads_flags(Op::kCbz));
+}
+
+TEST(Classify, Fp) {
+  for (Op op : {Op::kFadd, Op::kFsub, Op::kFmul, Op::kFdiv, Op::kFmadd,
+                Op::kScvtf, Op::kFcvtzs}) {
+    EXPECT_TRUE(is_fp(op)) << op_name(op);
+  }
+  EXPECT_FALSE(is_fp(Op::kMul));
+}
+
+TEST(MemSize, Widths) {
+  EXPECT_EQ(mem_size(Op::kLdr), 8u);
+  EXPECT_EQ(mem_size(Op::kStr), 8u);
+  EXPECT_EQ(mem_size(Op::kLdrw), 4u);
+  EXPECT_EQ(mem_size(Op::kLdrsw), 4u);
+  EXPECT_EQ(mem_size(Op::kStrw), 4u);
+  EXPECT_EQ(mem_size(Op::kLdrh), 2u);
+  EXPECT_EQ(mem_size(Op::kLdrb), 1u);
+  EXPECT_EQ(mem_size(Op::kAdd), 0u);
+}
+
+TEST(Latency, MultiCycleOps) {
+  EXPECT_EQ(op_latency(Op::kAdd), 1u);
+  EXPECT_EQ(op_latency(Op::kMul), 3u);
+  EXPECT_GE(op_latency(Op::kUdiv), 8u);
+  EXPECT_GE(op_latency(Op::kFdiv), op_latency(Op::kFmul));
+  EXPECT_GE(op_latency(Op::kFmadd), op_latency(Op::kFadd));
+}
+
+std::set<RegId> to_set(const RegList& list) {
+  std::set<RegId> out;
+  for (u32 i = 0; i < list.count; ++i) out.insert(list.regs[i]);
+  return out;
+}
+
+TEST(RegQueries, AluRegisterForm) {
+  Inst inst = make(Op::kAdd);
+  inst.rd = 1;
+  inst.rn = 2;
+  inst.rm = 3;
+  EXPECT_EQ(to_set(src_regs(inst)), (std::set<RegId>{2, 3}));
+  EXPECT_EQ(to_set(dst_regs(inst)), (std::set<RegId>{1}));
+  EXPECT_EQ(to_set(all_regs(inst)), (std::set<RegId>{1, 2, 3}));
+}
+
+TEST(RegQueries, XzrIsNeverReported) {
+  Inst inst = make(Op::kAdd);
+  inst.rd = kZeroReg;
+  inst.rn = kZeroReg;
+  inst.rm = 5;
+  EXPECT_EQ(to_set(src_regs(inst)), (std::set<RegId>{5}));
+  EXPECT_TRUE(to_set(dst_regs(inst)).empty());
+}
+
+TEST(RegQueries, LoadRegOffset) {
+  Inst inst = make(Op::kLdr);
+  inst.rd = 6;
+  inst.rn = 2;
+  inst.rm = 5;
+  inst.mem_mode = MemMode::kRegOffset;
+  inst.shift = 3;
+  EXPECT_EQ(to_set(src_regs(inst)), (std::set<RegId>{2, 5}));
+  EXPECT_EQ(to_set(dst_regs(inst)), (std::set<RegId>{6}));
+}
+
+TEST(RegQueries, PostIndexLoadWritesBase) {
+  Inst inst = make(Op::kLdr);
+  inst.rd = 4;
+  inst.rn = 0;
+  inst.mem_mode = MemMode::kPostIndex;
+  inst.imm = 8;
+  EXPECT_EQ(to_set(src_regs(inst)), (std::set<RegId>{0}));
+  EXPECT_EQ(to_set(dst_regs(inst)), (std::set<RegId>{0, 4}));
+}
+
+TEST(RegQueries, StoreReadsValueAndBase) {
+  Inst inst = make(Op::kStr);
+  inst.rd = 7;  // stored value
+  inst.rn = 1;
+  EXPECT_EQ(to_set(src_regs(inst)), (std::set<RegId>{1, 7}));
+  EXPECT_TRUE(to_set(dst_regs(inst)).empty());
+}
+
+TEST(RegQueries, PreIndexStoreWritesBase) {
+  Inst inst = make(Op::kStr);
+  inst.rd = 7;
+  inst.rn = 1;
+  inst.mem_mode = MemMode::kPreIndex;
+  inst.imm = 16;
+  EXPECT_EQ(to_set(dst_regs(inst)), (std::set<RegId>{1}));
+}
+
+TEST(RegQueries, MaddReadsThree) {
+  Inst inst = make(Op::kMadd);
+  inst.rd = 1;
+  inst.rn = 2;
+  inst.rm = 3;
+  inst.ra = 4;
+  EXPECT_EQ(to_set(src_regs(inst)), (std::set<RegId>{2, 3, 4}));
+}
+
+TEST(RegQueries, MovkReadsItsDestination) {
+  Inst inst = make(Op::kMovk);
+  inst.rd = 9;
+  inst.imm = 0xffff;
+  EXPECT_EQ(to_set(src_regs(inst)), (std::set<RegId>{9}));
+  EXPECT_EQ(to_set(dst_regs(inst)), (std::set<RegId>{9}));
+}
+
+TEST(RegQueries, BlWritesLinkRegister) {
+  Inst inst = make(Op::kBl);
+  inst.target = 0;
+  EXPECT_EQ(to_set(dst_regs(inst)), (std::set<RegId>{30}));
+}
+
+TEST(RegQueries, RetReadsLinkRegister) {
+  Inst inst = make(Op::kRet);
+  EXPECT_EQ(to_set(src_regs(inst)), (std::set<RegId>{30}));
+}
+
+TEST(RegQueries, CbzReadsOnlyItsOperand) {
+  Inst inst = make(Op::kCbz);
+  inst.rn = 11;
+  inst.target = 0;
+  EXPECT_EQ(to_set(src_regs(inst)), (std::set<RegId>{11}));
+  EXPECT_TRUE(to_set(dst_regs(inst)).empty());
+}
+
+TEST(RegQueries, AllRegsDeduplicates) {
+  Inst inst = make(Op::kAdd);
+  inst.rd = 3;
+  inst.rn = 3;
+  inst.rm = 3;
+  EXPECT_EQ(all_regs(inst).count, 1u);
+}
+
+TEST(Disasm, RegisterNames) {
+  EXPECT_EQ(reg_name(0), "x0");
+  EXPECT_EQ(reg_name(30), "x30");
+  EXPECT_EQ(reg_name(kZeroReg), "xzr");
+}
+
+TEST(Disasm, BasicFormats) {
+  Inst add = make(Op::kAdd);
+  add.rd = 1;
+  add.rn = 2;
+  add.rm = 3;
+  EXPECT_EQ(disasm(add), "add x1, x2, x3");
+
+  Inst addi = make(Op::kAddImm);
+  addi.rd = 1;
+  addi.rn = 2;
+  addi.imm = 42;
+  EXPECT_EQ(disasm(addi), "add x1, x2, #42");
+
+  Inst cmp = make(Op::kCmpImm);
+  cmp.rn = 5;
+  cmp.imm = -1;
+  EXPECT_EQ(disasm(cmp), "cmp x5, #-1");
+}
+
+TEST(Disasm, MemoryOperands) {
+  Inst ldr = make(Op::kLdr);
+  ldr.rd = 6;
+  ldr.rn = 2;
+  ldr.rm = 5;
+  ldr.mem_mode = MemMode::kRegOffset;
+  ldr.shift = 3;
+  EXPECT_EQ(disasm(ldr), "ldr x6, [x2, x5, lsl #3]");
+
+  Inst post = make(Op::kLdr);
+  post.rd = 4;
+  post.rn = 0;
+  post.mem_mode = MemMode::kPostIndex;
+  post.imm = 8;
+  EXPECT_EQ(disasm(post), "ldr x4, [x0], #8");
+
+  Inst pre = make(Op::kStr);
+  pre.rd = 4;
+  pre.rn = 0;
+  pre.mem_mode = MemMode::kPreIndex;
+  pre.imm = -16;
+  EXPECT_EQ(disasm(pre), "str x4, [x0, #-16]!");
+}
+
+TEST(Disasm, Branches) {
+  Inst b = make(Op::kB);
+  b.target = 12;
+  EXPECT_EQ(disasm(b), "b @12");
+
+  Inst bc = make(Op::kBcond);
+  bc.cond = Cond::kLt;
+  bc.target = 3;
+  EXPECT_EQ(disasm(bc), "b.lt @3");
+
+  Inst cbnz = make(Op::kCbnz);
+  cbnz.rn = 2;
+  cbnz.target = 0;
+  EXPECT_EQ(disasm(cbnz), "cbnz x2, @0");
+}
+
+TEST(Disasm, EveryOpcodeHasAName) {
+  for (int op = 0; op <= static_cast<int>(Op::kHalt); ++op) {
+    EXPECT_STRNE(op_name(static_cast<Op>(op)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace virec::isa

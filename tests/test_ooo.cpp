@@ -1,0 +1,176 @@
+// Simplified OoO comparator core tests.
+#include <gtest/gtest.h>
+
+#include "cpu/ooo_core.hpp"
+#include "kasm/assembler.hpp"
+
+namespace virec::cpu {
+namespace {
+
+mem::MemSystemConfig ooo_mem_config() {
+  mem::MemSystemConfig config;
+  // Table 1 OoO: 64kB icache, 32kB dcache (4 cycles), 1MB L2.
+  config.dcache = mem::CacheConfig{.name = "dcache",
+                                   .size_bytes = 32 * 1024,
+                                   .assoc = 4,
+                                   .hit_latency = 4,
+                                   .mshrs = 32};
+  config.has_l2 = true;
+  return config;
+}
+
+TEST(OooCore, ExecutesStraightLine) {
+  const kasm::Program p = kasm::assemble(R"(
+    mov x0, #6
+    mov x1, #7
+    mul x2, x0, x1
+    halt
+  )");
+  mem::MemorySystem ms(ooo_mem_config());
+  OooCore core(OooCoreConfig{}, ms, 0, p);
+  core.run();
+  EXPECT_EQ(core.regfile().read_reg(0, 2), 42u);
+  EXPECT_EQ(core.instructions(), 4u);
+}
+
+TEST(OooCore, LoopSemantics) {
+  const kasm::Program p = kasm::assemble(R"(
+    mov x0, #100
+    mov x1, #0
+    loop:
+      add x1, x1, #3
+      sub x0, x0, #1
+      cbnz x0, loop
+    halt
+  )");
+  mem::MemorySystem ms(ooo_mem_config());
+  OooCore core(OooCoreConfig{}, ms, 0, p);
+  core.run();
+  EXPECT_EQ(core.regfile().read_reg(0, 1), 300u);
+}
+
+TEST(OooCore, IndependentOpsExceedIpc1) {
+  // 8-wide with independent chains: IPC must exceed a single-issue
+  // in-order core's ceiling of 1.
+  std::string source = "mov x9, #200\nloop:\n";
+  for (int i = 0; i < 8; ++i) {
+    source += "add x" + std::to_string(i) + ", x" + std::to_string(i) +
+              ", #1\n";
+  }
+  source += "sub x9, x9, #1\ncbnz x9, loop\nhalt\n";
+  const kasm::Program p = kasm::assemble(source);
+  mem::MemorySystem ms(ooo_mem_config());
+  OooCore core(OooCoreConfig{}, ms, 0, p);
+  core.run();
+  EXPECT_GT(core.ipc(), 1.5);
+}
+
+TEST(OooCore, DependentChainLimitedToIpc1) {
+  std::string source = "mov x0, #0\nmov x9, #200\nloop:\n";
+  for (int i = 0; i < 8; ++i) source += "add x0, x0, #1\n";
+  source += "sub x9, x9, #1\ncbnz x9, loop\nhalt\n";
+  const kasm::Program p = kasm::assemble(source);
+  mem::MemorySystem ms(ooo_mem_config());
+  OooCore core(OooCoreConfig{}, ms, 0, p);
+  core.run();
+  EXPECT_LE(core.ipc(), 1.3);  // serial dependence chain
+}
+
+TEST(OooCore, ExtractsMemoryLevelParallelism) {
+  // Independent strided misses: an OoO core with a deep LQ overlaps
+  // them; total time must be far below misses * latency.
+  const kasm::Program p = kasm::assemble(R"(
+    mov x0, #0x100000
+    mov x2, #64
+    mov x3, #0
+    loop:
+      ldr x1, [x0], #4224
+      add x3, x3, x1
+      sub x2, x2, #1
+      cbnz x2, loop
+    halt
+  )");
+  mem::MemorySystem ms(ooo_mem_config());
+  OooCore core(OooCoreConfig{}, ms, 0, p);
+  const Cycle cycles = core.run();
+  // 64 DRAM misses at ~60+ cycles each would be ~4000 serial.
+  EXPECT_LT(cycles, 2500u);
+}
+
+TEST(OooCore, PointerChaseStaysSerial) {
+  // Build a tiny pointer ring in memory; each load depends on the last.
+  mem::MemorySystem ms(ooo_mem_config());
+  const Addr base = 0x200000;
+  const int n = 64;
+  for (int i = 0; i < n; ++i) {
+    ms.memory().write_u64(base + i * 4096,
+                          base + ((i + 1) % n) * 4096);
+  }
+  const kasm::Program p = kasm::assemble(R"(
+    mov x2, #64
+    loop:
+      ldr x0, [x0]
+      sub x2, x2, #1
+      cbnz x2, loop
+    halt
+  )");
+  OooCore core(OooCoreConfig{}, ms, 0, p);
+  core.regfile().write_reg(0, 0, base);
+  const Cycle cycles = core.run();
+  // Serial chain: cannot be much faster than misses * latency.
+  EXPECT_GT(cycles, 1500u);
+}
+
+TEST(OooCore, RobLimitsRunahead) {
+  // A tiny ROB throttles MLP extraction relative to a big one. The L2
+  // stride prefetcher is disabled so every load is a true DRAM miss.
+  const char* src = R"(
+    mov x0, #0x100000
+    mov x2, #64
+    loop:
+      ldr x1, [x0], #4224
+      sub x2, x2, #1
+      cbnz x2, loop
+    halt
+  )";
+  const kasm::Program p = kasm::assemble(src);
+  mem::MemSystemConfig mc = ooo_mem_config();
+  mc.has_l2 = false;
+  mem::MemorySystem ms_small(mc);
+  OooCoreConfig small;
+  small.rob_entries = 4;
+  OooCore core_small(small, ms_small, 0, p);
+  const Cycle t_small = core_small.run();
+
+  mem::MemorySystem ms_big(mc);
+  OooCore core_big(OooCoreConfig{}, ms_big, 0, p);
+  const Cycle t_big = core_big.run();
+  EXPECT_LT(t_big, t_small);
+}
+
+TEST(OooCore, InstructionCapThrows) {
+  const kasm::Program p = kasm::assemble("loop: b loop\nhalt\n");
+  mem::MemorySystem ms(ooo_mem_config());
+  OooCoreConfig config;
+  config.max_instructions = 1000;
+  OooCore core(config, ms, 0, p);
+  EXPECT_THROW(core.run(), std::runtime_error);
+}
+
+TEST(OooCore, StoresRetireThroughSq) {
+  const kasm::Program p = kasm::assemble(R"(
+    mov x0, #0x8000
+    mov x1, #5
+    str x1, [x0]
+    ldr x2, [x0]
+    halt
+  )");
+  mem::MemorySystem ms(ooo_mem_config());
+  OooCore core(OooCoreConfig{}, ms, 0, p);
+  core.run();
+  EXPECT_EQ(core.regfile().read_reg(0, 2), 5u);
+  EXPECT_EQ(ms.memory().read_u64(0x8000), 5u);
+}
+
+}  // namespace
+}  // namespace virec::cpu

@@ -1,0 +1,273 @@
+// Replacement policy tests, including the Figure 5 / Figure 6 scenarios
+// from the paper (PLRU thrashing vs MRT-PLRU thread targeting vs LRC
+// commit-bit differentiation).
+#include <gtest/gtest.h>
+
+#include "core/replacement_policy.hpp"
+
+namespace virec::core {
+namespace {
+
+std::vector<RfEntry> make_entries(u32 n) {
+  std::vector<RfEntry> entries(n);
+  return entries;
+}
+
+std::vector<u8> no_locks(u32 n) { return std::vector<u8>(n, 0); }
+
+void insert(ReplacementPolicy& policy, std::vector<RfEntry>& entries, u32 idx,
+            u8 tid, u8 arch) {
+  policy.on_insert(entries, idx, tid, arch);
+}
+
+TEST(PolicyNames, RoundTrip) {
+  for (PolicyKind kind : all_policies()) {
+    EXPECT_EQ(parse_policy(policy_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_policy("bogus"), std::invalid_argument);
+}
+
+TEST(PolicyNames, AllSevenPresent) { EXPECT_EQ(all_policies().size(), 7u); }
+
+TEST(Plru, EvictsOldestAge) {
+  ReplacementPolicy plru(PolicyKind::kPLRU);
+  auto entries = make_entries(3);
+  for (u32 i = 0; i < 3; ++i) insert(plru, entries, i, 0, static_cast<u8>(i));
+  // Touch 1 and 2 repeatedly; 0 ages out.
+  for (int round = 0; round < 4; ++round) {
+    plru.on_access(entries, 1);
+    plru.on_instruction(entries, {1});
+    plru.on_access(entries, 2);
+    plru.on_instruction(entries, {2});
+  }
+  EXPECT_EQ(plru.pick_victim(entries, no_locks(3)), 0);
+}
+
+TEST(Plru, AgeSaturatesAtMax) {
+  ReplacementPolicy plru(PolicyKind::kPLRU);
+  auto entries = make_entries(2);
+  insert(plru, entries, 0, 0, 0);
+  insert(plru, entries, 1, 0, 1);
+  for (int i = 0; i < 100; ++i) plru.on_instruction(entries, {});
+  EXPECT_EQ(entries[0].age, ReplacementPolicy::kMaxAge);
+  EXPECT_EQ(entries[1].age, ReplacementPolicy::kMaxAge);
+}
+
+TEST(Plru, IgnoresThreads) {
+  // Figure 5(b): PLRU evicts the upcoming thread's old registers even
+  // though they are needed soon.
+  ReplacementPolicy plru(PolicyKind::kPLRU);
+  auto entries = make_entries(4);
+  insert(plru, entries, 0, 0, 2);  // blue thread x2 (old)
+  insert(plru, entries, 1, 0, 4);  // blue thread x4 (old)
+  insert(plru, entries, 2, 1, 5);  // red thread x5 (fresh)
+  insert(plru, entries, 3, 1, 6);  // red thread x6 (fresh)
+  // Red thread executes for a while: blue entries age.
+  for (int i = 0; i < 5; ++i) {
+    plru.on_access(entries, 2);
+    plru.on_instruction(entries, {2});
+    plru.on_access(entries, 3);
+    plru.on_instruction(entries, {3});
+  }
+  plru.on_context_switch(entries, /*from=*/1, /*to=*/0);
+  // Even though thread 0 runs next, PLRU victimises its aged registers.
+  const int victim = plru.pick_victim(entries, no_locks(4));
+  EXPECT_EQ(entries[static_cast<u32>(victim)].tid, 0);
+}
+
+TEST(MrtPlru, TargetsMostRecentlySuspendedThread) {
+  // Figure 5(c): MRT-PLRU evicts from the thread that just suspended.
+  ReplacementPolicy mrt(PolicyKind::kMrtPLRU);
+  auto entries = make_entries(4);
+  insert(mrt, entries, 0, 0, 2);
+  insert(mrt, entries, 1, 0, 4);
+  insert(mrt, entries, 2, 1, 5);
+  insert(mrt, entries, 3, 1, 6);
+  for (int i = 0; i < 5; ++i) {
+    mrt.on_access(entries, 2);
+    mrt.on_instruction(entries, {2});
+  }
+  mrt.on_context_switch(entries, /*from=*/1, /*to=*/0);
+  const int victim = mrt.pick_victim(entries, no_locks(4));
+  // Thread 1 just suspended (runs furthest in the future): its entries
+  // must be victimised despite their fresh ages.
+  EXPECT_EQ(entries[static_cast<u32>(victim)].tid, 1);
+}
+
+TEST(TBits, SwitchSetsFromToMaxAndDecrementsOthers) {
+  ReplacementPolicy lrc(PolicyKind::kLRC);
+  auto entries = make_entries(3);
+  insert(lrc, entries, 0, 0, 1);
+  insert(lrc, entries, 1, 1, 1);
+  insert(lrc, entries, 2, 2, 1);
+  entries[2].t_bits = 3;
+  lrc.on_context_switch(entries, /*from=*/0, /*to=*/1);
+  EXPECT_EQ(entries[0].t_bits, ReplacementPolicy::kMaxTBits);
+  EXPECT_EQ(entries[1].t_bits, 0);  // incoming thread forced to zero
+  EXPECT_EQ(entries[2].t_bits, 2);  // decremented
+}
+
+TEST(TBits, DecrementSaturatesAtZero) {
+  ReplacementPolicy lrc(PolicyKind::kLRC);
+  auto entries = make_entries(2);
+  insert(lrc, entries, 0, 2, 1);
+  insert(lrc, entries, 1, 3, 1);
+  for (int i = 0; i < 10; ++i) lrc.on_context_switch(entries, 0, 1);
+  EXPECT_EQ(entries[0].t_bits, 0);
+  EXPECT_EQ(entries[1].t_bits, 0);
+}
+
+TEST(Lrc, CommitBitBreaksTies) {
+  // Figure 6: within the suspended thread, committed registers are
+  // evicted before flushed (to-be-replayed) ones.
+  ReplacementPolicy lrc(PolicyKind::kLRC);
+  auto entries = make_entries(3);
+  insert(lrc, entries, 0, 1, 0);  // x0: committed
+  insert(lrc, entries, 1, 1, 2);  // x2: in flight, flushed
+  insert(lrc, entries, 2, 1, 5);  // x5: in flight, flushed
+  // All same thread, saturate ages equally.
+  for (int i = 0; i < 10; ++i) lrc.on_instruction(entries, {});
+  // Rollback resets C of the flushed ones.
+  ReplacementPolicy::on_flush_reset(entries[1]);
+  ReplacementPolicy::on_flush_reset(entries[2]);
+  lrc.on_context_switch(entries, /*from=*/1, /*to=*/0);
+  const int victim = lrc.pick_victim(entries, no_locks(3));
+  EXPECT_EQ(victim, 0);  // the committed register goes first
+}
+
+TEST(Lrc, SpeculativeCommitSetOnAccess) {
+  ReplacementPolicy lrc(PolicyKind::kLRC);
+  auto entries = make_entries(1);
+  insert(lrc, entries, 0, 0, 3);
+  ReplacementPolicy::on_flush_reset(entries[0]);
+  EXPECT_FALSE(entries[0].c_bit);
+  lrc.on_access(entries, 0);
+  EXPECT_TRUE(entries[0].c_bit);
+}
+
+TEST(Lrc, ThreadFieldDominatesCommitField) {
+  ReplacementPolicy lrc(PolicyKind::kLRC);
+  auto entries = make_entries(2);
+  insert(lrc, entries, 0, 0, 1);  // current thread, committed
+  insert(lrc, entries, 1, 1, 1);  // suspended thread, flushed
+  entries[0].t_bits = 0;
+  entries[0].c_bit = true;
+  entries[1].t_bits = ReplacementPolicy::kMaxTBits;
+  entries[1].c_bit = false;
+  // Suspended-thread entry must still be preferred (T is most
+  // significant in the priority word).
+  EXPECT_EQ(lrc.pick_victim(entries, no_locks(2)), 1);
+}
+
+TEST(Lru, PerfectTimestampOrder) {
+  ReplacementPolicy lru(PolicyKind::kLRU);
+  auto entries = make_entries(3);
+  for (u32 i = 0; i < 3; ++i) insert(lru, entries, i, 0, static_cast<u8>(i));
+  lru.on_access(entries, 0);  // 0 is now newest
+  EXPECT_EQ(lru.pick_victim(entries, no_locks(3)), 1);
+}
+
+TEST(Lru, DistinguishesBeyondAgeSaturation) {
+  // Perfect LRU keeps ordering that PLRU's 3-bit ages lose.
+  ReplacementPolicy lru(PolicyKind::kLRU);
+  ReplacementPolicy plru(PolicyKind::kPLRU);
+  auto e_lru = make_entries(2);
+  auto e_plru = make_entries(2);
+  insert(lru, e_lru, 0, 0, 0);
+  insert(lru, e_lru, 1, 0, 1);
+  insert(plru, e_plru, 0, 0, 0);
+  insert(plru, e_plru, 1, 0, 1);
+  // Long time passes; both saturate in PLRU.
+  for (int i = 0; i < 20; ++i) {
+    lru.on_instruction(e_lru, {});
+    plru.on_instruction(e_plru, {});
+  }
+  EXPECT_EQ(e_plru[0].age, e_plru[1].age);       // PLRU cannot tell apart
+  EXPECT_EQ(lru.pick_victim(e_lru, no_locks(2)), 0);  // LRU still can
+}
+
+TEST(MrtLru, ThreadThenTimestamp) {
+  ReplacementPolicy mrtlru(PolicyKind::kMrtLRU);
+  auto entries = make_entries(4);
+  insert(mrtlru, entries, 0, 0, 0);
+  insert(mrtlru, entries, 1, 0, 1);
+  insert(mrtlru, entries, 2, 1, 0);
+  insert(mrtlru, entries, 3, 1, 1);
+  mrtlru.on_access(entries, 2);  // thread1/x0 refreshed
+  mrtlru.on_context_switch(entries, /*from=*/1, /*to=*/0);
+  // Victim from thread 1 (max T); among those, oldest timestamp = idx 3.
+  EXPECT_EQ(mrtlru.pick_victim(entries, no_locks(4)), 3);
+}
+
+TEST(Fifo, EvictsInInsertionOrder) {
+  ReplacementPolicy fifo(PolicyKind::kFIFO);
+  auto entries = make_entries(3);
+  for (u32 i = 0; i < 3; ++i) insert(fifo, entries, i, 0, static_cast<u8>(i));
+  // Touching does not matter for FIFO.
+  fifo.on_access(entries, 0);
+  EXPECT_EQ(fifo.pick_victim(entries, no_locks(3)), 0);
+}
+
+TEST(Random, OnlyPicksValidUnlocked) {
+  ReplacementPolicy random(PolicyKind::kRandom, /*seed=*/7);
+  auto entries = make_entries(4);
+  insert(random, entries, 1, 0, 1);
+  insert(random, entries, 3, 0, 3);
+  std::vector<u8> locked(4, 0);
+  locked[3] = 1;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(random.pick_victim(entries, locked), 1);
+  }
+}
+
+TEST(AllPolicies, RespectLocks) {
+  for (PolicyKind kind : all_policies()) {
+    ReplacementPolicy policy(kind);
+    auto entries = make_entries(2);
+    insert(policy, entries, 0, 0, 0);
+    insert(policy, entries, 1, 0, 1);
+    std::vector<u8> locked(2, 0);
+    locked[0] = 1;
+    EXPECT_EQ(policy.pick_victim(entries, locked), 1) << policy_name(kind);
+    locked[1] = 1;
+    EXPECT_EQ(policy.pick_victim(entries, locked), -1) << policy_name(kind);
+  }
+}
+
+TEST(AllPolicies, SkipInvalidEntries) {
+  for (PolicyKind kind : all_policies()) {
+    ReplacementPolicy policy(kind);
+    auto entries = make_entries(3);
+    insert(policy, entries, 1, 0, 1);  // only index 1 is valid
+    EXPECT_EQ(policy.pick_victim(entries, no_locks(3)), 1)
+        << policy_name(kind);
+  }
+}
+
+TEST(AllPolicies, EmptyRfHasNoVictim) {
+  for (PolicyKind kind : all_policies()) {
+    ReplacementPolicy policy(kind);
+    auto entries = make_entries(4);
+    EXPECT_EQ(policy.pick_victim(entries, no_locks(4)), -1)
+        << policy_name(kind);
+  }
+}
+
+TEST(Insert, ResetsAllPolicyState) {
+  ReplacementPolicy lrc(PolicyKind::kLRC);
+  auto entries = make_entries(1);
+  insert(lrc, entries, 0, 0, 5);
+  entries[0].age = 5;
+  entries[0].t_bits = 3;
+  entries[0].dirty = true;
+  lrc.on_insert(entries, 0, 2, 7);
+  EXPECT_EQ(entries[0].tid, 2);
+  EXPECT_EQ(entries[0].arch, 7);
+  EXPECT_EQ(entries[0].age, 0);
+  EXPECT_EQ(entries[0].t_bits, 0);
+  EXPECT_FALSE(entries[0].dirty);
+  EXPECT_TRUE(entries[0].c_bit);
+}
+
+}  // namespace
+}  // namespace virec::core

@@ -1,0 +1,281 @@
+// Cross-cutting property tests: invariants the paper's claims rest on,
+// checked over parameterized sweeps.
+//
+//  * Functional equivalence: every (scheme x policy x workload)
+//    combination computes bit-identical results.
+//  * Hit-rate monotonicity in RF size.
+//  * Scheduling-aware policies (MRT-*, LRC) beat scheduling-oblivious
+//    ones; LRC beats plain PLRU end to end.
+//  * Determinism: identical configs give identical cycle counts.
+//  * Banked is an upper bound for register-cache schemes' performance.
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+
+namespace virec {
+namespace {
+
+using sim::RunSpec;
+using sim::Scheme;
+
+workloads::WorkloadParams tiny_params() {
+  workloads::WorkloadParams params;
+  params.iters_per_thread = 48;
+  params.elements = 1 << 12;
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Functional equivalence across policies.
+// ---------------------------------------------------------------------------
+struct PolicyCase {
+  std::string workload;
+  core::PolicyKind policy;
+};
+
+class PolicyEquivalence : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(PolicyEquivalence, ComputesCorrectResults) {
+  RunSpec spec;
+  spec.workload = GetParam().workload;
+  spec.scheme = Scheme::kViReC;
+  spec.policy = GetParam().policy;
+  spec.threads_per_core = 4;
+  spec.context_fraction = 0.5;  // heavy pressure: lots of evictions
+  spec.params = tiny_params();
+  EXPECT_TRUE(sim::run_spec(spec).check_ok);
+}
+
+std::vector<PolicyCase> policy_cases() {
+  std::vector<PolicyCase> cases;
+  for (const char* wl : {"gather", "spmv", "maebo", "hist"}) {
+    for (core::PolicyKind pk : core::all_policies()) {
+      cases.push_back({wl, pk});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyEquivalence,
+                         ::testing::ValuesIn(policy_cases()),
+                         [](const auto& info) {
+                           std::string name =
+                               info.param.workload + "_" +
+                               core::policy_name(info.param.policy);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Hit-rate monotonicity in physical RF size.
+// ---------------------------------------------------------------------------
+class HitRateMonotonic : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HitRateMonotonic, LargerRfNeverHurtsHitRate) {
+  double prev = -1.0;
+  for (double frac : {0.4, 0.6, 0.8, 1.0}) {
+    RunSpec spec;
+    spec.workload = GetParam();
+    spec.scheme = Scheme::kViReC;
+    spec.threads_per_core = 8;
+    spec.context_fraction = frac;
+    spec.params = tiny_params();
+    const double hit = sim::run_spec(spec).rf_hit_rate;
+    EXPECT_GE(hit, prev - 0.01) << "fraction " << frac;
+    prev = hit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, HitRateMonotonic,
+                         ::testing::Values("gather", "spmv", "maebo",
+                                           "stride", "triad", "hist"));
+
+// ---------------------------------------------------------------------------
+// Policy quality ordering (Figure 12's qualitative result).
+// ---------------------------------------------------------------------------
+double hit_rate_for(core::PolicyKind policy, double fraction) {
+  RunSpec spec;
+  spec.workload = "gather";
+  spec.scheme = Scheme::kViReC;
+  spec.policy = policy;
+  spec.threads_per_core = 8;
+  spec.context_fraction = fraction;
+  spec.params = tiny_params();
+  spec.params.iters_per_thread = 128;
+  return sim::run_spec(spec).rf_hit_rate;
+}
+
+TEST(PolicyOrdering, MrtBeatsPlainPlru) {
+  EXPECT_GT(hit_rate_for(core::PolicyKind::kMrtPLRU, 0.8),
+            hit_rate_for(core::PolicyKind::kPLRU, 0.8));
+  EXPECT_GT(hit_rate_for(core::PolicyKind::kMrtPLRU, 0.4),
+            hit_rate_for(core::PolicyKind::kPLRU, 0.4));
+}
+
+TEST(PolicyOrdering, LrcBeatsPlru) {
+  EXPECT_GT(hit_rate_for(core::PolicyKind::kLRC, 0.8),
+            hit_rate_for(core::PolicyKind::kPLRU, 0.8));
+  EXPECT_GT(hit_rate_for(core::PolicyKind::kLRC, 0.4),
+            hit_rate_for(core::PolicyKind::kPLRU, 0.4));
+}
+
+TEST(PolicyOrdering, SchedulingAwareBeatsObliviousLru) {
+  // Perfect LRU thrashes under round-robin scheduling (Section 4.1);
+  // MRT-LRU fixes exactly that.
+  EXPECT_GT(hit_rate_for(core::PolicyKind::kMrtLRU, 0.8),
+            hit_rate_for(core::PolicyKind::kLRU, 0.8));
+}
+
+TEST(PolicyOrdering, LrcTracksMrtPlruClosely) {
+  // LRC = MRT-PLRU + commit bit: never significantly worse.
+  const double lrc = hit_rate_for(core::PolicyKind::kLRC, 0.8);
+  const double mrt = hit_rate_for(core::PolicyKind::kMrtPLRU, 0.8);
+  EXPECT_GE(lrc, mrt - 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism.
+// ---------------------------------------------------------------------------
+class Determinism : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(Determinism, RepeatRunsIdentical) {
+  RunSpec spec;
+  spec.workload = "gather";
+  spec.scheme = GetParam();
+  spec.threads_per_core = 4;
+  spec.params = tiny_params();
+  const sim::RunResult a = sim::run_spec(spec);
+  const sim::RunResult b = sim::run_spec(spec);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, Determinism,
+    ::testing::Values(Scheme::kBanked, Scheme::kSoftware,
+                      Scheme::kPrefetchFull, Scheme::kPrefetchExact,
+                      Scheme::kViReC, Scheme::kNSF),
+    [](const auto& info) {
+      std::string name = sim::scheme_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Performance-order properties.
+// ---------------------------------------------------------------------------
+Cycle cycles_for(const char* workload, Scheme scheme, double fraction,
+                 u32 threads = 4) {
+  RunSpec spec;
+  spec.workload = workload;
+  spec.scheme = scheme;
+  spec.threads_per_core = threads;
+  spec.context_fraction = fraction;
+  spec.params = tiny_params();
+  spec.params.iters_per_thread = 128;
+  return sim::run_spec(spec).cycles;
+}
+
+TEST(PerfOrdering, BankedBoundsViReCOnStreamingKernels) {
+  for (const char* wl : {"triad", "stride", "maebo"}) {
+    EXPECT_GE(cycles_for(wl, Scheme::kViReC, 0.8),
+              cycles_for(wl, Scheme::kBanked, 1.0) * 95 / 100)
+        << wl;
+  }
+}
+
+TEST(PerfOrdering, ViReCBeatsSoftwareSwitching) {
+  for (const char* wl : {"gather", "maebo"}) {
+    EXPECT_LT(cycles_for(wl, Scheme::kViReC, 0.8),
+              cycles_for(wl, Scheme::kSoftware, 1.0))
+        << wl;
+  }
+}
+
+TEST(PerfOrdering, ViReCBeatsFullContextPrefetch) {
+  // Figure 9: full-context prefetching is almost always worse.
+  for (const char* wl : {"gather", "maebo", "stride"}) {
+    EXPECT_LT(cycles_for(wl, Scheme::kViReC, 0.8),
+              cycles_for(wl, Scheme::kPrefetchFull, 0.8))
+        << wl;
+  }
+}
+
+TEST(PerfOrdering, ViReCNotWorseThanNsf) {
+  // The NSF baseline (PLRU, blocking BSI, no pinning, no dummy fill,
+  // no sysreg prefetch) must not beat the full ViReC design.
+  for (const char* wl : {"gather", "maebo"}) {
+    EXPECT_LE(cycles_for(wl, Scheme::kViReC, 0.8),
+              cycles_for(wl, Scheme::kNSF, 0.8) * 105 / 100)
+        << wl;
+  }
+}
+
+TEST(PerfOrdering, MultithreadingBeatsSingleThread) {
+  // 4 threads do 4x the single thread's work in far less than 4x time.
+  RunSpec spec;
+  spec.workload = "gather";
+  spec.scheme = Scheme::kBanked;
+  spec.params = tiny_params();
+  spec.params.iters_per_thread = 128;
+  spec.threads_per_core = 1;
+  const Cycle one = sim::run_spec(spec).cycles;
+  spec.threads_per_core = 4;
+  const Cycle four = sim::run_spec(spec).cycles;
+  EXPECT_LT(four, 2 * one);
+}
+
+TEST(PerfOrdering, GracefulDegradationUnderContention) {
+  // 40% context may cost performance but must stay within 2x of the
+  // full-context configuration (graceful, not collapsing).
+  for (const char* wl : {"gather", "maebo", "triad", "stride"}) {
+    const Cycle full = cycles_for(wl, Scheme::kViReC, 1.0, 8);
+    const Cycle tight = cycles_for(wl, Scheme::kViReC, 0.4, 8);
+    EXPECT_LT(tight, full * 2) << wl;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats sanity under every scheme.
+// ---------------------------------------------------------------------------
+class StatsSanity : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(StatsSanity, CountersAreConsistent) {
+  RunSpec spec;
+  spec.workload = "gather";
+  spec.scheme = GetParam();
+  spec.threads_per_core = 4;
+  spec.params = tiny_params();
+  sim::System system(build_config(spec), workloads::find_workload("gather"),
+                     spec.params);
+  const sim::RunResult result = system.run();
+  EXPECT_TRUE(result.check_ok);
+  const StatSet& core = system.core(0).stats();
+  EXPECT_EQ(core.get("halts"), 4.0);
+  EXPECT_GT(result.instructions, 0u);
+  EXPECT_LE(result.ipc, 1.0);  // single-issue ceiling
+  const StatSet& dcache = system.memory_system().dcache(0).stats();
+  EXPECT_GE(dcache.get("reads") + dcache.get("writes"),
+            dcache.get("misses"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, StatsSanity,
+    ::testing::Values(Scheme::kBanked, Scheme::kSoftware,
+                      Scheme::kPrefetchFull, Scheme::kPrefetchExact,
+                      Scheme::kViReC, Scheme::kNSF),
+    [](const auto& info) {
+      std::string name = sim::scheme_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace virec

@@ -1,0 +1,108 @@
+// Rollback queue tests: FIFO discipline, C-bit compaction on flush and
+// the oldest-is-memory CSL mask input.
+#include <gtest/gtest.h>
+
+#include "core/rollback_queue.hpp"
+
+namespace virec::core {
+namespace {
+
+RollbackQueue::Entry entry_for(u16 phys, u8 tid, isa::RegId arch,
+                               bool is_mem = false) {
+  RollbackQueue::Entry e;
+  e.count = 1;
+  e.phys[0] = phys;
+  e.tid[0] = tid;
+  e.arch[0] = arch;
+  e.is_mem = is_mem;
+  return e;
+}
+
+TEST(RollbackQueue, PushPopFifo) {
+  RollbackQueue queue(4);
+  queue.push(entry_for(0, 0, 1, true));
+  queue.push(entry_for(1, 0, 2, false));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_TRUE(queue.oldest_is_mem());
+  queue.pop_oldest();
+  EXPECT_FALSE(queue.oldest_is_mem());
+  queue.pop_oldest();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(RollbackQueue, OverflowThrows) {
+  RollbackQueue queue(2);
+  queue.push(entry_for(0, 0, 0));
+  queue.push(entry_for(1, 0, 1));
+  EXPECT_THROW(queue.push(entry_for(2, 0, 2)), std::logic_error);
+}
+
+TEST(RollbackQueue, UnderflowThrows) {
+  RollbackQueue queue(2);
+  EXPECT_THROW(queue.pop_oldest(), std::logic_error);
+}
+
+TEST(RollbackQueue, FlushResetsCBitsOfQueuedRegisters) {
+  TagStore tags(4, 2, PolicyKind::kLRC);
+  std::vector<u8> locked(4, 0);
+  const int a = tags.allocate(0, 5, locked, nullptr);
+  const int b = tags.allocate(0, 6, locked, nullptr);
+  const int c = tags.allocate(0, 7, locked, nullptr);
+  RollbackQueue queue(4);
+  queue.push(entry_for(static_cast<u16>(a), 0, 5));
+  queue.push(entry_for(static_cast<u16>(b), 0, 6));
+  // Entry c committed already (not in queue).
+  queue.flush_to(tags);
+  EXPECT_FALSE(tags.entry(static_cast<u32>(a)).c_bit);
+  EXPECT_FALSE(tags.entry(static_cast<u32>(b)).c_bit);
+  EXPECT_TRUE(tags.entry(static_cast<u32>(c)).c_bit);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(RollbackQueue, FlushIgnoresRemappedEntries) {
+  TagStore tags(1, 2, PolicyKind::kLRU);
+  std::vector<u8> locked(1, 0);
+  const int idx = tags.allocate(0, 5, locked, nullptr);
+  RollbackQueue queue(4);
+  queue.push(entry_for(static_cast<u16>(idx), 0, 5));
+  // The entry is remapped to another register before the flush.
+  tags.allocate(1, 3, locked, nullptr);
+  queue.flush_to(tags);
+  EXPECT_TRUE(tags.entry(0).c_bit);  // new mapping untouched
+}
+
+TEST(RollbackQueue, ClearDiscardsWithoutTouchingCBits) {
+  TagStore tags(2, 1, PolicyKind::kLRC);
+  std::vector<u8> locked(2, 0);
+  const int idx = tags.allocate(0, 1, locked, nullptr);
+  RollbackQueue queue(4);
+  queue.push(entry_for(static_cast<u16>(idx), 0, 1));
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_TRUE(tags.entry(static_cast<u32>(idx)).c_bit);
+}
+
+TEST(RollbackQueue, MultiRegisterEntries) {
+  TagStore tags(4, 1, PolicyKind::kLRC);
+  std::vector<u8> locked(4, 0);
+  const int a = tags.allocate(0, 1, locked, nullptr);
+  const int b = tags.allocate(0, 2, locked, nullptr);
+  RollbackQueue::Entry e;
+  e.count = 2;
+  e.phys = {static_cast<u16>(a), static_cast<u16>(b)};
+  e.tid = {0, 0};
+  e.arch = {1, 2};
+  RollbackQueue queue(4);
+  queue.push(e);
+  queue.flush_to(tags);
+  EXPECT_FALSE(tags.entry(static_cast<u32>(a)).c_bit);
+  EXPECT_FALSE(tags.entry(static_cast<u32>(b)).c_bit);
+}
+
+TEST(RollbackQueue, DepthAccessor) {
+  RollbackQueue queue(8);
+  EXPECT_EQ(queue.depth(), 8u);
+}
+
+}  // namespace
+}  // namespace virec::core

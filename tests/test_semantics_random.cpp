@@ -1,0 +1,187 @@
+// Randomized differential testing of the ISA semantics against host
+// arithmetic: for random operand values, each opcode's execute() result
+// must equal the natively computed expected value.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "cpu/ooo_core.hpp"
+#include "isa/semantics.hpp"
+
+namespace virec::isa {
+namespace {
+
+double as_f64(u64 bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+u64 as_bits(double v) {
+  u64 bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+class RandomSemantics : public ::testing::Test {
+ protected:
+  u64 run_binary(Op op, u64 a, u64 b) {
+    cpu::ArrayRegFile rf;
+    rf.write_reg(0, 1, a);
+    rf.write_reg(0, 2, b);
+    Inst inst;
+    inst.op = op;
+    inst.rd = 0;
+    inst.rn = 1;
+    inst.rm = 2;
+    u8 nzcv = 0;
+    mem::SparseMemory memory;
+    execute(inst, 0, 0, rf, memory, nzcv);
+    return rf.read_reg(0, 0);
+  }
+
+  Xorshift128 rng{20240704};
+};
+
+TEST_F(RandomSemantics, IntegerOpsMatchHost) {
+  for (int i = 0; i < 2000; ++i) {
+    const u64 a = rng.next();
+    const u64 b = rng.next();
+    EXPECT_EQ(run_binary(Op::kAdd, a, b), a + b);
+    EXPECT_EQ(run_binary(Op::kSub, a, b), a - b);
+    EXPECT_EQ(run_binary(Op::kMul, a, b), a * b);
+    EXPECT_EQ(run_binary(Op::kAnd, a, b), a & b);
+    EXPECT_EQ(run_binary(Op::kOrr, a, b), a | b);
+    EXPECT_EQ(run_binary(Op::kEor, a, b), a ^ b);
+    EXPECT_EQ(run_binary(Op::kLsl, a, b), a << (b & 63));
+    EXPECT_EQ(run_binary(Op::kLsr, a, b), a >> (b & 63));
+    EXPECT_EQ(run_binary(Op::kAsr, a, b),
+              static_cast<u64>(static_cast<i64>(a) >> (b & 63)));
+    if (b != 0) {
+      EXPECT_EQ(run_binary(Op::kUdiv, a, b), a / b);
+    }
+  }
+}
+
+TEST_F(RandomSemantics, SdivMatchesHostTruncation) {
+  for (int i = 0; i < 1000; ++i) {
+    const i64 a = static_cast<i64>(rng.next());
+    i64 b = static_cast<i64>(rng.next());
+    if (b == 0) b = 1;
+    // Avoid the single UB case of i64 division.
+    if (a == std::numeric_limits<i64>::min() && b == -1) continue;
+    EXPECT_EQ(static_cast<i64>(run_binary(Op::kSdiv, static_cast<u64>(a),
+                                          static_cast<u64>(b))),
+              a / b);
+  }
+}
+
+TEST_F(RandomSemantics, FpOpsAreBitExact) {
+  for (int i = 0; i < 1000; ++i) {
+    const double a =
+        (rng.next_double() - 0.5) * std::pow(10.0, rng.next_below(6));
+    const double b =
+        (rng.next_double() - 0.5) * std::pow(10.0, rng.next_below(6));
+    EXPECT_EQ(run_binary(Op::kFadd, as_bits(a), as_bits(b)), as_bits(a + b));
+    EXPECT_EQ(run_binary(Op::kFsub, as_bits(a), as_bits(b)), as_bits(a - b));
+    EXPECT_EQ(run_binary(Op::kFmul, as_bits(a), as_bits(b)), as_bits(a * b));
+    EXPECT_EQ(run_binary(Op::kFdiv, as_bits(a), as_bits(b)), as_bits(a / b));
+  }
+}
+
+TEST_F(RandomSemantics, FpSpecialValues) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(as_f64(run_binary(Op::kFadd, as_bits(inf), as_bits(1.0))), inf);
+  EXPECT_TRUE(std::isnan(
+      as_f64(run_binary(Op::kFsub, as_bits(inf), as_bits(inf)))));
+  EXPECT_EQ(as_f64(run_binary(Op::kFdiv, as_bits(1.0), as_bits(0.0))), inf);
+  EXPECT_EQ(run_binary(Op::kFmul, as_bits(-0.0), as_bits(0.0)),
+            as_bits(-0.0));
+}
+
+TEST_F(RandomSemantics, CmpFlagsMatchHostComparisons) {
+  for (int i = 0; i < 2000; ++i) {
+    const u64 a = rng.next_below(8) == 0 ? rng.next_below(16) : rng.next();
+    const u64 b = rng.next_below(8) == 0 ? a : rng.next();
+    cpu::ArrayRegFile rf;
+    rf.write_reg(0, 1, a);
+    rf.write_reg(0, 2, b);
+    Inst cmp;
+    cmp.op = Op::kCmp;
+    cmp.rn = 1;
+    cmp.rm = 2;
+    u8 nzcv = 0;
+    mem::SparseMemory memory;
+    execute(cmp, 0, 0, rf, memory, nzcv);
+    const i64 sa = static_cast<i64>(a);
+    const i64 sb = static_cast<i64>(b);
+    EXPECT_EQ(cond_holds(Cond::kEq, nzcv), a == b);
+    EXPECT_EQ(cond_holds(Cond::kNe, nzcv), a != b);
+    EXPECT_EQ(cond_holds(Cond::kLt, nzcv), sa < sb);
+    EXPECT_EQ(cond_holds(Cond::kLe, nzcv), sa <= sb);
+    EXPECT_EQ(cond_holds(Cond::kGt, nzcv), sa > sb);
+    EXPECT_EQ(cond_holds(Cond::kGe, nzcv), sa >= sb);
+    EXPECT_EQ(cond_holds(Cond::kLo, nzcv), a < b);
+    EXPECT_EQ(cond_holds(Cond::kLs, nzcv), a <= b);
+    EXPECT_EQ(cond_holds(Cond::kHi, nzcv), a > b);
+    EXPECT_EQ(cond_holds(Cond::kHs, nzcv), a >= b);
+  }
+}
+
+TEST_F(RandomSemantics, MemoryRoundTripsRandomWidths) {
+  cpu::ArrayRegFile rf;
+  mem::SparseMemory memory;
+  u8 nzcv = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Addr addr = 0x1000 + rng.next_below(4096) * 8;
+    const u64 value = rng.next();
+    rf.write_reg(0, 1, addr);
+    rf.write_reg(0, 2, value);
+
+    Inst str;
+    str.op = Op::kStr;
+    str.rd = 2;
+    str.rn = 1;
+    execute(str, 0, 0, rf, memory, nzcv);
+
+    Inst ldr;
+    ldr.op = Op::kLdr;
+    ldr.rd = 3;
+    ldr.rn = 1;
+    execute(ldr, 0, 0, rf, memory, nzcv);
+    EXPECT_EQ(rf.read_reg(0, 3), value);
+
+    Inst ldrb;
+    ldrb.op = Op::kLdrb;
+    ldrb.rd = 4;
+    ldrb.rn = 1;
+    execute(ldrb, 0, 0, rf, memory, nzcv);
+    EXPECT_EQ(rf.read_reg(0, 4), value & 0xff);
+  }
+}
+
+TEST_F(RandomSemantics, ConversionRoundTrip) {
+  for (int i = 0; i < 1000; ++i) {
+    const i64 v = static_cast<i64>(rng.next_below(1u << 30)) -
+                  (1 << 29);
+    cpu::ArrayRegFile rf;
+    rf.write_reg(0, 1, static_cast<u64>(v));
+    mem::SparseMemory memory;
+    u8 nzcv = 0;
+    Inst scvtf;
+    scvtf.op = Op::kScvtf;
+    scvtf.rd = 2;
+    scvtf.rn = 1;
+    execute(scvtf, 0, 0, rf, memory, nzcv);
+    Inst fcvt;
+    fcvt.op = Op::kFcvtzs;
+    fcvt.rd = 3;
+    fcvt.rn = 2;
+    execute(fcvt, 0, 0, rf, memory, nzcv);
+    EXPECT_EQ(static_cast<i64>(rf.read_reg(0, 3)), v);
+  }
+}
+
+}  // namespace
+}  // namespace virec::isa

@@ -1,0 +1,72 @@
+// Store queue unit tests.
+#include <gtest/gtest.h>
+
+#include "cpu/store_queue.hpp"
+#include "mem/memory_system.hpp"
+
+namespace virec::cpu {
+namespace {
+
+class StoreQueueTest : public ::testing::Test {
+ protected:
+  StoreQueueTest() : ms(mem::MemSystemConfig{}), sq(3, ms.dcache(0)) {}
+  mem::MemorySystem ms;
+  StoreQueue sq;
+};
+
+TEST_F(StoreQueueTest, AcceptsUpToCapacity) {
+  // Cold stores miss to DRAM: they stay in flight for a long time.
+  EXPECT_TRUE(sq.push(0x1000, 0));
+  EXPECT_TRUE(sq.push(0x2000, 0));
+  EXPECT_TRUE(sq.push(0x3000, 0));
+  EXPECT_EQ(sq.occupancy(0), 3u);
+  EXPECT_FALSE(sq.push(0x4000, 0));  // full
+}
+
+TEST_F(StoreQueueTest, SlotsFreeAtCompletion) {
+  sq.push(0x1000, 0);
+  sq.push(0x2000, 0);
+  sq.push(0x3000, 0);
+  const Cycle done = sq.last_completion();
+  EXPECT_GT(done, 0u);
+  EXPECT_TRUE(sq.push(0x4000, done + 1));
+  EXPECT_LT(sq.occupancy(done + 1), 3u);
+}
+
+TEST_F(StoreQueueTest, HitsRetireQuickly) {
+  // Warm the line, then a store to it completes in the hit latency.
+  const Cycle warm = ms.dcache(0).access(0x5000, false, 0).done;
+  ASSERT_TRUE(sq.push(0x5000, warm + 1));
+  EXPECT_LE(sq.last_completion(),
+            warm + 1 + ms.config().dcache.hit_latency + 1);
+}
+
+TEST_F(StoreQueueTest, EmptyReportsCorrectly) {
+  EXPECT_TRUE(sq.empty(0));
+  sq.push(0x1000, 0);
+  EXPECT_FALSE(sq.empty(1));
+  EXPECT_TRUE(sq.empty(sq.last_completion()));
+}
+
+TEST_F(StoreQueueTest, ReusesFreedSlotsWithoutGrowth) {
+  Cycle now = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(sq.push(0x6000 + i * 8, now));
+    now = sq.last_completion() + 1;
+  }
+  EXPECT_EQ(sq.occupancy(now), 0u);
+}
+
+TEST_F(StoreQueueTest, RegisterRegionStoresDriveUnpinning) {
+  // A register-region read pins the line; a register-region store
+  // through the SQ unpins it.
+  const Addr reg_addr = ms.reg_addr(0, 0, 0);
+  const Cycle warm =
+      ms.dcache(0).access(reg_addr, false, 0, /*reg_region=*/true).done;
+  ASSERT_EQ(ms.dcache(0).pinned_lines(), 1u);
+  ASSERT_TRUE(sq.push(reg_addr, warm + 1, /*reg_region=*/true));
+  EXPECT_EQ(ms.dcache(0).pinned_lines(), 0u);
+}
+
+}  // namespace
+}  // namespace virec::cpu

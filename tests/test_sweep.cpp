@@ -1,0 +1,104 @@
+// Sweep utility tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/sweep.hpp"
+
+namespace virec::sim {
+namespace {
+
+Sweep tiny_sweep() {
+  Sweep sweep;
+  sweep.base().workload = "reduce";
+  sweep.base().params.iters_per_thread = 32;
+  sweep.base().params.elements = 1 << 12;
+  return sweep;
+}
+
+TEST(Sweep, GridSizeIsProduct) {
+  Sweep sweep = tiny_sweep();
+  sweep.over_schemes({Scheme::kBanked, Scheme::kViReC})
+      .over_threads({2, 4})
+      .over_context_fractions({1.0, 0.5, 0.25});
+  EXPECT_EQ(sweep.size(), 12u);
+  EXPECT_EQ(sweep.specs().size(), 12u);
+}
+
+TEST(Sweep, MissingAxesUseBase) {
+  Sweep sweep = tiny_sweep();
+  sweep.base().threads_per_core = 3;
+  sweep.over_schemes({Scheme::kViReC});
+  const std::vector<RunSpec> specs = sweep.specs();
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].threads_per_core, 3u);
+  EXPECT_EQ(specs[0].workload, "reduce");
+}
+
+TEST(Sweep, RunProducesOneRecordPerPoint) {
+  Sweep sweep = tiny_sweep();
+  sweep.over_schemes({Scheme::kBanked, Scheme::kViReC}).over_threads({2, 4});
+  const SweepResults results = sweep.run();
+  EXPECT_EQ(results.size(), 4u);
+  for (const SweepRecord& record : results.records()) {
+    EXPECT_TRUE(record.result.check_ok);
+    EXPECT_GT(record.result.cycles, 0u);
+  }
+}
+
+TEST(Sweep, CyclesLookup) {
+  Sweep sweep = tiny_sweep();
+  sweep.over_schemes({Scheme::kBanked, Scheme::kViReC}).over_threads({2});
+  const SweepResults results = sweep.run();
+  EXPECT_TRUE(
+      results.cycles_of("reduce", Scheme::kBanked, 2, 1.0).has_value());
+  EXPECT_FALSE(
+      results.cycles_of("gather", Scheme::kBanked, 2, 1.0).has_value());
+}
+
+TEST(Sweep, WhereFilters) {
+  Sweep sweep = tiny_sweep();
+  sweep.over_schemes({Scheme::kBanked, Scheme::kViReC}).over_threads({2, 4});
+  const SweepResults results = sweep.run();
+  const auto banked = results.where([](const SweepRecord& r) {
+    return r.spec.scheme == Scheme::kBanked;
+  });
+  EXPECT_EQ(banked.size(), 2u);
+}
+
+TEST(Sweep, CsvHasHeaderAndRows) {
+  Sweep sweep = tiny_sweep();
+  sweep.over_threads({2});
+  const SweepResults results = sweep.run();
+  std::ostringstream os;
+  results.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("workload,scheme,policy"), std::string::npos);
+  EXPECT_NE(csv.find("reduce,virec,lrc"), std::string::npos);
+  // header + 1 row
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(Sweep, PolicyAxis) {
+  Sweep sweep = tiny_sweep();
+  sweep.base().scheme = Scheme::kViReC;
+  sweep.base().context_fraction = 0.5;
+  sweep.over_policies(
+      {core::PolicyKind::kPLRU, core::PolicyKind::kLRC});
+  const SweepResults results = sweep.run();
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_EQ(results.records()[0].spec.policy, core::PolicyKind::kPLRU);
+  EXPECT_EQ(results.records()[1].spec.policy, core::PolicyKind::kLRC);
+}
+
+TEST(Sweep, CoresAxisRunsMulticore) {
+  Sweep sweep = tiny_sweep();
+  sweep.over_cores({1, 2});
+  const SweepResults results = sweep.run();
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results.records()[1].result.check_ok);
+}
+
+}  // namespace
+}  // namespace virec::sim

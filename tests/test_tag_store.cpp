@@ -1,0 +1,140 @@
+// VRMU tag store tests: mapping maintenance, allocation/eviction and
+// C-bit rollback resets.
+#include <gtest/gtest.h>
+
+#include "core/tag_store.hpp"
+
+namespace virec::core {
+namespace {
+
+TEST(TagStore, EmptyLookupMisses) {
+  TagStore tags(8, 4, PolicyKind::kLRC);
+  EXPECT_EQ(tags.lookup(0, 3), -1);
+  EXPECT_EQ(tags.valid_entries(), 0u);
+}
+
+TEST(TagStore, AllocateThenLookup) {
+  TagStore tags(8, 4, PolicyKind::kLRC);
+  std::vector<u8> locked(8, 0);
+  const int idx = tags.allocate(1, 5, locked, nullptr);
+  ASSERT_GE(idx, 0);
+  EXPECT_EQ(tags.lookup(1, 5), idx);
+  EXPECT_EQ(tags.lookup(0, 5), -1);  // different thread, same arch reg
+  EXPECT_EQ(tags.valid_entries(), 1u);
+}
+
+TEST(TagStore, SameArchDifferentThreadsCoexist) {
+  TagStore tags(8, 4, PolicyKind::kLRC);
+  std::vector<u8> locked(8, 0);
+  const int a = tags.allocate(0, 7, locked, nullptr);
+  const int b = tags.allocate(1, 7, locked, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tags.lookup(0, 7), a);
+  EXPECT_EQ(tags.lookup(1, 7), b);
+}
+
+TEST(TagStore, FullRfEvicts) {
+  TagStore tags(2, 2, PolicyKind::kLRU);
+  std::vector<u8> locked(2, 0);
+  tags.allocate(0, 0, locked, nullptr);
+  tags.allocate(0, 1, locked, nullptr);
+  TagStore::Victim victim;
+  const int idx = tags.allocate(0, 2, locked, &victim);
+  ASSERT_GE(idx, 0);
+  EXPECT_TRUE(victim.valid);
+  EXPECT_EQ(victim.arch, 0);  // LRU: oldest mapping displaced
+  EXPECT_EQ(tags.lookup(0, 0), -1);
+  EXPECT_EQ(tags.lookup(0, 2), idx);
+}
+
+TEST(TagStore, EvictionReportsDirtyState) {
+  TagStore tags(1, 1, PolicyKind::kLRU);
+  std::vector<u8> locked(1, 0);
+  const int idx = tags.allocate(0, 0, locked, nullptr);
+  tags.mark_dirty(static_cast<u32>(idx));
+  TagStore::Victim victim;
+  tags.allocate(0, 1, locked, &victim);
+  EXPECT_TRUE(victim.valid);
+  EXPECT_TRUE(victim.dirty);
+}
+
+TEST(TagStore, AllLockedReturnsMinusOne) {
+  TagStore tags(2, 1, PolicyKind::kLRU);
+  std::vector<u8> locked(2, 1);
+  EXPECT_EQ(tags.allocate(0, 0, locked, nullptr), -1);
+}
+
+TEST(TagStore, InvalidateDropsMapping) {
+  TagStore tags(4, 1, PolicyKind::kLRC);
+  std::vector<u8> locked(4, 0);
+  const int idx = tags.allocate(0, 3, locked, nullptr);
+  tags.invalidate(static_cast<u32>(idx));
+  EXPECT_EQ(tags.lookup(0, 3), -1);
+  EXPECT_EQ(tags.valid_entries(), 0u);
+}
+
+TEST(TagStore, ResetCBitOnlyIfMappingCurrent) {
+  TagStore tags(2, 2, PolicyKind::kLRC);
+  std::vector<u8> locked(2, 0);
+  const int idx = tags.allocate(0, 4, locked, nullptr);
+  ASSERT_TRUE(tags.entry(static_cast<u32>(idx)).c_bit);
+  // Stale identity: wrong thread — must not reset.
+  tags.reset_c_bit(static_cast<u32>(idx), 1, 4);
+  EXPECT_TRUE(tags.entry(static_cast<u32>(idx)).c_bit);
+  // Matching identity resets.
+  tags.reset_c_bit(static_cast<u32>(idx), 0, 4);
+  EXPECT_FALSE(tags.entry(static_cast<u32>(idx)).c_bit);
+}
+
+TEST(TagStore, TouchRefreshesAgeAndC) {
+  TagStore tags(2, 1, PolicyKind::kLRC);
+  std::vector<u8> locked(2, 0);
+  const int idx = tags.allocate(0, 0, locked, nullptr);
+  tags.age_tick({});
+  tags.age_tick({});
+  EXPECT_GT(tags.entry(static_cast<u32>(idx)).age, 0);
+  tags.reset_c_bit(static_cast<u32>(idx), 0, 0);
+  tags.touch(static_cast<u32>(idx));
+  EXPECT_EQ(tags.entry(static_cast<u32>(idx)).age, 0);
+  EXPECT_TRUE(tags.entry(static_cast<u32>(idx)).c_bit);
+}
+
+TEST(TagStore, ContextSwitchUpdatesTBits) {
+  TagStore tags(2, 2, PolicyKind::kLRC);
+  std::vector<u8> locked(2, 0);
+  const int a = tags.allocate(0, 0, locked, nullptr);
+  const int b = tags.allocate(1, 0, locked, nullptr);
+  tags.on_context_switch(/*from=*/0, /*to=*/1);
+  EXPECT_EQ(tags.entry(static_cast<u32>(a)).t_bits,
+            ReplacementPolicy::kMaxTBits);
+  EXPECT_EQ(tags.entry(static_cast<u32>(b)).t_bits, 0);
+}
+
+TEST(TagStore, PrefersFreeEntriesOverEviction) {
+  TagStore tags(4, 1, PolicyKind::kLRU);
+  std::vector<u8> locked(4, 0);
+  tags.allocate(0, 0, locked, nullptr);
+  TagStore::Victim victim;
+  tags.allocate(0, 1, locked, &victim);
+  EXPECT_FALSE(victim.valid);  // free entry used, nothing displaced
+}
+
+TEST(TagStore, RejectsZeroRegisters) {
+  EXPECT_THROW(TagStore(0, 1, PolicyKind::kLRC), std::invalid_argument);
+}
+
+TEST(TagStore, RemapAfterEvictionIsConsistent) {
+  TagStore tags(2, 2, PolicyKind::kFIFO);
+  std::vector<u8> locked(2, 0);
+  tags.allocate(0, 0, locked, nullptr);
+  tags.allocate(0, 1, locked, nullptr);
+  // Evict (0,0), then reallocate it: both lookups must be coherent.
+  tags.allocate(1, 0, locked, nullptr);
+  EXPECT_EQ(tags.lookup(0, 0), -1);
+  const int back = tags.allocate(0, 0, locked, nullptr);
+  EXPECT_EQ(tags.lookup(0, 0), back);
+  EXPECT_EQ(tags.valid_entries(), 2u);
+}
+
+}  // namespace
+}  // namespace virec::core

@@ -1,0 +1,136 @@
+// Pipeline tracer tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpu/banked_manager.hpp"
+#include "cpu/cgmt_core.hpp"
+#include "kasm/assembler.hpp"
+
+namespace virec::cpu {
+namespace {
+
+struct Rig {
+  explicit Rig(const std::string& source, u32 threads = 1)
+      : program(kasm::assemble(source)),
+        ms(mem::MemSystemConfig{}),
+        env{.core_id = 0, .num_threads = threads, .ms = &ms},
+        manager(env),
+        core(make_config(threads), env, manager, program) {}
+
+  static CgmtCoreConfig make_config(u32 threads) {
+    CgmtCoreConfig config;
+    config.num_threads = threads;
+    return config;
+  }
+
+  kasm::Program program;
+  mem::MemorySystem ms;
+  CoreEnv env;
+  BankedManager manager;
+  CgmtCore core;
+};
+
+TEST(CountingTracer, CountsCommitsAndHalts) {
+  Rig rig(R"(
+    mov x0, #3
+    loop:
+      sub x0, x0, #1
+      cbnz x0, loop
+    halt
+  )");
+  CountingTracer tracer;
+  rig.core.set_tracer(&tracer);
+  rig.core.start_thread(0);
+  rig.core.run();
+  EXPECT_EQ(tracer.commits, rig.core.instructions());
+  EXPECT_EQ(tracer.halts, 1u);
+  EXPECT_GE(tracer.fetches, tracer.commits);  // wrong path fetches extra
+}
+
+TEST(CountingTracer, SeesDataMissesAndSwitches) {
+  Rig rig(R"(
+    loop:
+      ldr x1, [x0], #4224
+      sub x2, x2, #1
+      cbnz x2, loop
+    halt
+  )", 2);
+  for (u32 t = 0; t < 2; ++t) {
+    rig.ms.memory().write_u64(rig.ms.reg_addr(0, t, 0),
+                              0x100000 + t * 0x400000);
+    rig.ms.memory().write_u64(rig.ms.reg_addr(0, t, 2), 16);
+    rig.core.start_thread(static_cast<int>(t));
+  }
+  CountingTracer tracer;
+  rig.core.set_tracer(&tracer);
+  rig.core.run();
+  EXPECT_GT(tracer.data_misses, 10u);
+  EXPECT_GT(tracer.switches, 5u);
+  EXPECT_EQ(tracer.halts, 2u);
+}
+
+TEST(CountingTracer, CountsMispredicts) {
+  Rig rig(R"(
+    mov x0, #0
+    cbz x0, far
+    mov x1, #1
+    far: halt
+  )");
+  CountingTracer tracer;
+  rig.core.set_tracer(&tracer);
+  rig.core.start_thread(0);
+  rig.core.run();
+  EXPECT_EQ(tracer.mispredicts, 1u);
+}
+
+TEST(TextTracer, RendersReadableLines) {
+  Rig rig(R"(
+    mov x0, #2
+    loop:
+      sub x0, x0, #1
+      cbnz x0, loop
+    halt
+  )");
+  std::ostringstream os;
+  TextTracer tracer(os);
+  rig.core.set_tracer(&tracer);
+  rig.core.start_thread(0);
+  rig.core.run();
+  const std::string log = os.str();
+  EXPECT_NE(log.find("commit @0\tmov x0, #2"), std::string::npos);
+  EXPECT_NE(log.find("cbnz x0, @1"), std::string::npos);
+  EXPECT_NE(log.find("halt"), std::string::npos);
+  EXPECT_EQ(log.find("fetch"), std::string::npos);  // off by default
+}
+
+TEST(TextTracer, FetchTracingOptIn) {
+  Rig rig("halt\n");
+  std::ostringstream os;
+  TextTracer tracer(os);
+  tracer.set_trace_fetch(true);
+  rig.core.set_tracer(&tracer);
+  rig.core.start_thread(0);
+  rig.core.run();
+  EXPECT_NE(os.str().find("fetch"), std::string::npos);
+}
+
+TEST(Tracer, DetachingStopsEvents) {
+  Rig rig(R"(
+    mov x0, #2
+    loop:
+      sub x0, x0, #1
+      cbnz x0, loop
+    halt
+  )");
+  CountingTracer tracer;
+  rig.core.set_tracer(&tracer);
+  rig.core.start_thread(0);
+  rig.core.step();
+  rig.core.set_tracer(nullptr);
+  rig.core.run();
+  EXPECT_LT(tracer.commits, rig.core.instructions());
+}
+
+}  // namespace
+}  // namespace virec::cpu

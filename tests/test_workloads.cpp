@@ -1,0 +1,206 @@
+// Workload suite tests: every kernel must assemble, run to completion
+// on the timing simulator and produce bit-exact results — under both a
+// banked register file and a small ViReC register cache (which routes
+// every value through fills/spills and the backing store).
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace virec::workloads {
+namespace {
+
+WorkloadParams tiny_params() {
+  WorkloadParams params;
+  params.iters_per_thread = 64;
+  params.elements = 1 << 12;
+  return params;
+}
+
+TEST(Registry, ContainsAllKernels) {
+  EXPECT_EQ(workload_registry().size(), 13u);
+  for (const char* name :
+       {"gather", "gather_local", "scatter", "stride", "maebo", "pchase",
+        "triad", "reduce", "copy", "stencil3", "hist", "spmv",
+        "gather_wide"}) {
+    EXPECT_NO_THROW(find_workload(name)) << name;
+  }
+}
+
+TEST(Registry, FigureSubsetHasEight) {
+  EXPECT_EQ(figure_workloads().size(), 8u);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(find_workload("nope"), std::out_of_range);
+}
+
+TEST(Registry, NamesAndDescriptionsNonEmpty) {
+  for (const Workload* w : workload_registry()) {
+    EXPECT_FALSE(w->name().empty());
+    EXPECT_FALSE(w->description().empty());
+    EXPECT_GT(w->active_regs(), 0u);
+    EXPECT_LE(w->active_regs(), 31u);
+  }
+}
+
+TEST(Programs, AllValidateAndListing) {
+  for (const Workload* w : workload_registry()) {
+    const kasm::Program p = w->program(tiny_params());
+    EXPECT_NO_THROW(p.validate()) << w->name();
+    EXPECT_GT(p.size(), 0u);
+    EXPECT_FALSE(p.listing().empty());
+  }
+}
+
+struct RunCase {
+  std::string workload;
+  sim::Scheme scheme;
+};
+
+class WorkloadRunTest : public ::testing::TestWithParam<RunCase> {};
+
+TEST_P(WorkloadRunTest, ProducesCorrectResults) {
+  sim::RunSpec spec;
+  spec.workload = GetParam().workload;
+  spec.scheme = GetParam().scheme;
+  spec.threads_per_core = 4;
+  spec.context_fraction = 0.6;  // force register pressure under ViReC
+  spec.params = tiny_params();
+  const sim::RunResult result = sim::run_spec(spec);
+  EXPECT_TRUE(result.check_ok) << result.check_msg;
+  EXPECT_GT(result.instructions, 0u);
+  EXPECT_GT(result.cycles, 0u);
+}
+
+std::vector<RunCase> all_cases() {
+  std::vector<RunCase> cases;
+  for (const Workload* w : workload_registry()) {
+    cases.push_back({w->name(), sim::Scheme::kBanked});
+    cases.push_back({w->name(), sim::Scheme::kViReC});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, WorkloadRunTest,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) {
+                           return info.param.workload + "_" +
+                                  sim::scheme_name(info.param.scheme);
+                         });
+
+TEST(GatherWide, RegisterReductionVariantsAgree) {
+  // The wide (registers) and reduced (spilled) variants must compute
+  // the same result; the reduced one executes extra loads.
+  WorkloadParams wide = tiny_params();
+  wide.max_regs = 31;
+  WorkloadParams reduced = tiny_params();
+  reduced.max_regs = 10;
+
+  sim::RunSpec spec;
+  spec.workload = "gather_wide";
+  spec.scheme = sim::Scheme::kBanked;
+  spec.threads_per_core = 2;
+  spec.params = wide;
+  const sim::RunResult a = sim::run_spec(spec);
+  spec.params = reduced;
+  const sim::RunResult b = sim::run_spec(spec);
+  EXPECT_TRUE(a.check_ok);
+  EXPECT_TRUE(b.check_ok);
+  EXPECT_GT(b.instructions, a.instructions);  // explicit spill loads
+}
+
+TEST(GatherWide, ReductionOverheadIsSmall) {
+  // Section 4.2: outer-loop spill instructions are a negligible
+  // fraction of the dynamic instruction count.
+  WorkloadParams wide = tiny_params();
+  WorkloadParams reduced = tiny_params();
+  reduced.max_regs = 10;
+  sim::RunSpec spec;
+  spec.workload = "gather_wide";
+  spec.scheme = sim::Scheme::kBanked;
+  spec.threads_per_core = 2;
+  spec.params = wide;
+  const u64 base = sim::run_spec(spec).instructions;
+  spec.params = reduced;
+  const u64 more = sim::run_spec(spec).instructions;
+  EXPECT_LT(static_cast<double>(more - base) / static_cast<double>(base),
+            0.15);
+}
+
+TEST(Maebo, ExtraComputeKnobAddsInstructions) {
+  WorkloadParams lo = tiny_params();
+  lo.extra_compute = 0;
+  WorkloadParams hi = tiny_params();
+  hi.extra_compute = 6;
+  sim::RunSpec spec;
+  spec.workload = "maebo";
+  spec.scheme = sim::Scheme::kBanked;
+  spec.threads_per_core = 2;
+  spec.params = lo;
+  const u64 a = sim::run_spec(spec).instructions;
+  spec.params = hi;
+  const u64 b = sim::run_spec(spec).instructions;
+  EXPECT_GT(b, a);
+}
+
+TEST(Stride, LargerStrideIsSlower) {
+  sim::RunSpec spec;
+  spec.workload = "stride";
+  spec.scheme = sim::Scheme::kBanked;
+  spec.threads_per_core = 2;
+  spec.params = tiny_params();
+  spec.params.stride = 1;  // dense: 8 values per line
+  const Cycle dense = sim::run_spec(spec).cycles;
+  spec.params.stride = 8;  // one miss per element
+  const Cycle sparse = sim::run_spec(spec).cycles;
+  EXPECT_GT(sparse, dense);
+}
+
+TEST(GatherLocal, SmallerWindowIsFaster) {
+  // Locality window controls the dcache hit rate and hence the context
+  // switch frequency.
+  sim::RunSpec spec;
+  spec.workload = "gather_local";
+  spec.scheme = sim::Scheme::kBanked;
+  spec.threads_per_core = 4;
+  spec.params = tiny_params();
+  spec.params.iters_per_thread = 128;
+  spec.params.locality_window = 64;  // fits comfortably in the dcache
+  const Cycle local = sim::run_spec(spec).cycles;
+  spec.params.locality_window = spec.params.elements;  // ~uniform random
+  const Cycle uniform = sim::run_spec(spec).cycles;
+  EXPECT_LT(local, uniform);
+}
+
+TEST(Pchase, SerialChainIsLatencyBound) {
+  // Pointer chasing cannot overlap its own misses: cycles per iteration
+  // must be on the order of the memory latency.
+  sim::RunSpec spec;
+  spec.workload = "pchase";
+  spec.scheme = sim::Scheme::kBanked;
+  spec.threads_per_core = 1;
+  spec.params = tiny_params();
+  const sim::RunResult r = sim::run_spec(spec);
+  EXPECT_GT(static_cast<double>(r.cycles) /
+                static_cast<double>(spec.params.iters_per_thread),
+            20.0);
+}
+
+TEST(Workloads, DeterministicAcrossRuns) {
+  for (const char* name : {"gather", "spmv"}) {
+    sim::RunSpec spec;
+    spec.workload = name;
+    spec.scheme = sim::Scheme::kViReC;
+    spec.threads_per_core = 4;
+    spec.params = tiny_params();
+    const sim::RunResult a = sim::run_spec(spec);
+    const sim::RunResult b = sim::run_spec(spec);
+    EXPECT_EQ(a.cycles, b.cycles) << name;
+    EXPECT_EQ(a.instructions, b.instructions) << name;
+    EXPECT_EQ(a.rf_fills, b.rf_fills) << name;
+  }
+}
+
+}  // namespace
+}  // namespace virec::workloads
