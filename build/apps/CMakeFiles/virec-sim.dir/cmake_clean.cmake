@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virec-sim.dir/virec_sim.cpp.o"
+  "CMakeFiles/virec-sim.dir/virec_sim.cpp.o.d"
+  "virec-sim"
+  "virec-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virec-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

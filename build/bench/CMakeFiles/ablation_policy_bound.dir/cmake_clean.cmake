@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_policy_bound.dir/ablation_policy_bound.cpp.o"
+  "CMakeFiles/ablation_policy_bound.dir/ablation_policy_bound.cpp.o.d"
+  "ablation_policy_bound"
+  "ablation_policy_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_perf_per_reg.dir/fig10_perf_per_reg.cpp.o"
+  "CMakeFiles/fig10_perf_per_reg.dir/fig10_perf_per_reg.cpp.o.d"
+  "fig10_perf_per_reg"
+  "fig10_perf_per_reg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_perf_per_reg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_system_load.dir/fig11_system_load.cpp.o"
+  "CMakeFiles/fig11_system_load.dir/fig11_system_load.cpp.o.d"
+  "fig11_system_load"
+  "fig11_system_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_system_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_policy_hitrate.dir/fig12_policy_hitrate.cpp.o"
+  "CMakeFiles/fig12_policy_hitrate.dir/fig12_policy_hitrate.cpp.o.d"
+  "fig12_policy_hitrate"
+  "fig12_policy_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_policy_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

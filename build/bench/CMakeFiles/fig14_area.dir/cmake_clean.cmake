@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_area.dir/fig14_area.cpp.o"
+  "CMakeFiles/fig14_area.dir/fig14_area.cpp.o.d"
+  "fig14_area"
+  "fig14_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

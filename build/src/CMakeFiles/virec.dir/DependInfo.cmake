@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/policy_sim.cpp" "src/CMakeFiles/virec.dir/analysis/policy_sim.cpp.o" "gcc" "src/CMakeFiles/virec.dir/analysis/policy_sim.cpp.o.d"
+  "/root/repo/src/analysis/reg_usage.cpp" "src/CMakeFiles/virec.dir/analysis/reg_usage.cpp.o" "gcc" "src/CMakeFiles/virec.dir/analysis/reg_usage.cpp.o.d"
+  "/root/repo/src/analysis/reuse_distance.cpp" "src/CMakeFiles/virec.dir/analysis/reuse_distance.cpp.o" "gcc" "src/CMakeFiles/virec.dir/analysis/reuse_distance.cpp.o.d"
+  "/root/repo/src/area/area_model.cpp" "src/CMakeFiles/virec.dir/area/area_model.cpp.o" "gcc" "src/CMakeFiles/virec.dir/area/area_model.cpp.o.d"
+  "/root/repo/src/area/components.cpp" "src/CMakeFiles/virec.dir/area/components.cpp.o" "gcc" "src/CMakeFiles/virec.dir/area/components.cpp.o.d"
+  "/root/repo/src/area/technology.cpp" "src/CMakeFiles/virec.dir/area/technology.cpp.o" "gcc" "src/CMakeFiles/virec.dir/area/technology.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/virec.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/virec.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/virec.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/virec.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/virec.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/virec.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/backing_store_interface.cpp" "src/CMakeFiles/virec.dir/core/backing_store_interface.cpp.o" "gcc" "src/CMakeFiles/virec.dir/core/backing_store_interface.cpp.o.d"
+  "/root/repo/src/core/context_switch_logic.cpp" "src/CMakeFiles/virec.dir/core/context_switch_logic.cpp.o" "gcc" "src/CMakeFiles/virec.dir/core/context_switch_logic.cpp.o.d"
+  "/root/repo/src/core/replacement_policy.cpp" "src/CMakeFiles/virec.dir/core/replacement_policy.cpp.o" "gcc" "src/CMakeFiles/virec.dir/core/replacement_policy.cpp.o.d"
+  "/root/repo/src/core/rollback_queue.cpp" "src/CMakeFiles/virec.dir/core/rollback_queue.cpp.o" "gcc" "src/CMakeFiles/virec.dir/core/rollback_queue.cpp.o.d"
+  "/root/repo/src/core/tag_store.cpp" "src/CMakeFiles/virec.dir/core/tag_store.cpp.o" "gcc" "src/CMakeFiles/virec.dir/core/tag_store.cpp.o.d"
+  "/root/repo/src/core/virec_manager.cpp" "src/CMakeFiles/virec.dir/core/virec_manager.cpp.o" "gcc" "src/CMakeFiles/virec.dir/core/virec_manager.cpp.o.d"
+  "/root/repo/src/cpu/banked_manager.cpp" "src/CMakeFiles/virec.dir/cpu/banked_manager.cpp.o" "gcc" "src/CMakeFiles/virec.dir/cpu/banked_manager.cpp.o.d"
+  "/root/repo/src/cpu/cgmt_core.cpp" "src/CMakeFiles/virec.dir/cpu/cgmt_core.cpp.o" "gcc" "src/CMakeFiles/virec.dir/cpu/cgmt_core.cpp.o.d"
+  "/root/repo/src/cpu/context_manager.cpp" "src/CMakeFiles/virec.dir/cpu/context_manager.cpp.o" "gcc" "src/CMakeFiles/virec.dir/cpu/context_manager.cpp.o.d"
+  "/root/repo/src/cpu/ooo_core.cpp" "src/CMakeFiles/virec.dir/cpu/ooo_core.cpp.o" "gcc" "src/CMakeFiles/virec.dir/cpu/ooo_core.cpp.o.d"
+  "/root/repo/src/cpu/prefetch_manager.cpp" "src/CMakeFiles/virec.dir/cpu/prefetch_manager.cpp.o" "gcc" "src/CMakeFiles/virec.dir/cpu/prefetch_manager.cpp.o.d"
+  "/root/repo/src/cpu/software_manager.cpp" "src/CMakeFiles/virec.dir/cpu/software_manager.cpp.o" "gcc" "src/CMakeFiles/virec.dir/cpu/software_manager.cpp.o.d"
+  "/root/repo/src/cpu/store_queue.cpp" "src/CMakeFiles/virec.dir/cpu/store_queue.cpp.o" "gcc" "src/CMakeFiles/virec.dir/cpu/store_queue.cpp.o.d"
+  "/root/repo/src/cpu/trace.cpp" "src/CMakeFiles/virec.dir/cpu/trace.cpp.o" "gcc" "src/CMakeFiles/virec.dir/cpu/trace.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/virec.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/virec.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/inst.cpp" "src/CMakeFiles/virec.dir/isa/inst.cpp.o" "gcc" "src/CMakeFiles/virec.dir/isa/inst.cpp.o.d"
+  "/root/repo/src/isa/semantics.cpp" "src/CMakeFiles/virec.dir/isa/semantics.cpp.o" "gcc" "src/CMakeFiles/virec.dir/isa/semantics.cpp.o.d"
+  "/root/repo/src/kasm/assembler.cpp" "src/CMakeFiles/virec.dir/kasm/assembler.cpp.o" "gcc" "src/CMakeFiles/virec.dir/kasm/assembler.cpp.o.d"
+  "/root/repo/src/kasm/builder.cpp" "src/CMakeFiles/virec.dir/kasm/builder.cpp.o" "gcc" "src/CMakeFiles/virec.dir/kasm/builder.cpp.o.d"
+  "/root/repo/src/kasm/program.cpp" "src/CMakeFiles/virec.dir/kasm/program.cpp.o" "gcc" "src/CMakeFiles/virec.dir/kasm/program.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/virec.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/virec.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/crossbar.cpp" "src/CMakeFiles/virec.dir/mem/crossbar.cpp.o" "gcc" "src/CMakeFiles/virec.dir/mem/crossbar.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/virec.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/virec.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/memory_system.cpp" "src/CMakeFiles/virec.dir/mem/memory_system.cpp.o" "gcc" "src/CMakeFiles/virec.dir/mem/memory_system.cpp.o.d"
+  "/root/repo/src/mem/sparse_memory.cpp" "src/CMakeFiles/virec.dir/mem/sparse_memory.cpp.o" "gcc" "src/CMakeFiles/virec.dir/mem/sparse_memory.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/CMakeFiles/virec.dir/sim/runner.cpp.o" "gcc" "src/CMakeFiles/virec.dir/sim/runner.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/CMakeFiles/virec.dir/sim/sweep.cpp.o" "gcc" "src/CMakeFiles/virec.dir/sim/sweep.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/CMakeFiles/virec.dir/sim/system.cpp.o" "gcc" "src/CMakeFiles/virec.dir/sim/system.cpp.o.d"
+  "/root/repo/src/sim/system_config.cpp" "src/CMakeFiles/virec.dir/sim/system_config.cpp.o" "gcc" "src/CMakeFiles/virec.dir/sim/system_config.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/CMakeFiles/virec.dir/workloads/kernels.cpp.o" "gcc" "src/CMakeFiles/virec.dir/workloads/kernels.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/virec.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/virec.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsi_csl.dir/test_bsi_csl.cpp.o"
+  "CMakeFiles/test_bsi_csl.dir/test_bsi_csl.cpp.o.d"
+  "test_bsi_csl"
+  "test_bsi_csl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsi_csl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cgmt_core.dir/test_cgmt_core.cpp.o"
+  "CMakeFiles/test_cgmt_core.dir/test_cgmt_core.cpp.o.d"
+  "test_cgmt_core"
+  "test_cgmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cgmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

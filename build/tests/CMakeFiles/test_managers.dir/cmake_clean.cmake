@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_managers.dir/test_managers.cpp.o"
+  "CMakeFiles/test_managers.dir/test_managers.cpp.o.d"
+  "test_managers"
+  "test_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

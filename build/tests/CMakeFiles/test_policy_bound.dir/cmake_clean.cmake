@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_bound.dir/test_policy_bound.cpp.o"
+  "CMakeFiles/test_policy_bound.dir/test_policy_bound.cpp.o.d"
+  "test_policy_bound"
+  "test_policy_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

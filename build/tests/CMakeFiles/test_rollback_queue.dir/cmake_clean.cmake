@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rollback_queue.dir/test_rollback_queue.cpp.o"
+  "CMakeFiles/test_rollback_queue.dir/test_rollback_queue.cpp.o.d"
+  "test_rollback_queue"
+  "test_rollback_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rollback_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

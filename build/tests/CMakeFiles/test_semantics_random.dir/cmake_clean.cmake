@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semantics_random.dir/test_semantics_random.cpp.o"
+  "CMakeFiles/test_semantics_random.dir/test_semantics_random.cpp.o.d"
+  "test_semantics_random"
+  "test_semantics_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semantics_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_memory.dir/test_sparse_memory.cpp.o"
+  "CMakeFiles/test_sparse_memory.dir/test_sparse_memory.cpp.o.d"
+  "test_sparse_memory"
+  "test_sparse_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_queue.dir/test_store_queue.cpp.o"
+  "CMakeFiles/test_store_queue.dir/test_store_queue.cpp.o.d"
+  "test_store_queue"
+  "test_store_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

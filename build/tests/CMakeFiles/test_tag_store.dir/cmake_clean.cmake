@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag_store.dir/test_tag_store.cpp.o"
+  "CMakeFiles/test_tag_store.dir/test_tag_store.cpp.o.d"
+  "test_tag_store"
+  "test_tag_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

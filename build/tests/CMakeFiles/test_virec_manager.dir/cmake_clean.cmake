@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virec_manager.dir/test_virec_manager.cpp.o"
+  "CMakeFiles/test_virec_manager.dir/test_virec_manager.cpp.o.d"
+  "test_virec_manager"
+  "test_virec_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virec_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
