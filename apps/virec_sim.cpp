@@ -3,17 +3,25 @@
 //   virec-sim --workload gather --scheme virec --threads 8 --ctx 0.8
 //   virec-sim --workload spmv --policy mrt-plru --cores 4 --stats
 //   virec-sim --workload gather --trace --iters 8   # pipeline trace
+//   virec-sim --workload gather --json --trace-out trace.json
 //   virec-sim --list
 //
 // Prints runtime, IPC, RF behaviour and (optionally) every counter of
-// every component, in a stable machine-greppable "key value" format.
+// every component, in a stable machine-greppable "key value" format —
+// or, with --json, one JSON document carrying the config echo, the
+// results and every typed stat (see docs/observability.md).
+#include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "area/area_model.hpp"
+#include "cpu/perfetto_trace.hpp"
 #include "cpu/trace.hpp"
+#include "sim/observability.hpp"
 #include "sim/runner.hpp"
 #include "sim/system.hpp"
 
@@ -28,6 +36,11 @@ struct Options {
   bool trace = false;
   bool area = false;
   bool help = false;
+  u32 trace_core = 0;
+  bool json = false;
+  std::string json_path;   // empty = stdout
+  std::string trace_out;   // Perfetto trace file; empty = off
+  u64 sample_interval = 0;
 };
 
 void print_usage() {
@@ -53,13 +66,40 @@ void print_usage() {
       "  --group-spill       enable the group-spill extension\n"
       "  --switch-prefetch   enable the switch-prefetch extension\n"
       "  --seed N            workload RNG seed (default 42)\n"
-      "  --trace             print a pipeline trace of core 0\n"
+      "  --trace             print a pipeline trace (see --trace-core)\n"
+      "  --trace-core N      core to trace with --trace (default 0)\n"
+      "  --trace-out FILE    write a Perfetto/Chrome trace-event JSON\n"
+      "                      file covering every core\n"
+      "  --json[=FILE]       emit the run report as JSON (stdout or FILE);\n"
+      "                      enables histogram/distribution collection\n"
+      "  --sample-interval N record a time-series sample every N cycles\n"
+      "                      (reported in the JSON time_series section)\n"
       "  --stats             dump every component counter\n"
       "  --area              print the area/delay report for this config\n"
       "  --list              list workloads and exit\n";
 }
 
-u64 to_u64(const std::string& v) { return std::strtoull(v.c_str(), nullptr, 0); }
+/// Strict numeric parsing: the whole value must be consumed, so
+/// "--threads 8x" is an error instead of silently parsing as 8.
+u64 parse_u64(const std::string& flag, const std::string& v) {
+  errno = 0;
+  char* end = nullptr;
+  const u64 out = std::strtoull(v.c_str(), &end, 0);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    throw std::invalid_argument(flag + ": invalid number '" + v + "'");
+  }
+  return out;
+}
+
+double parse_double(const std::string& flag, const std::string& v) {
+  errno = 0;
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    throw std::invalid_argument(flag + ": invalid number '" + v + "'");
+  }
+  return out;
+}
 
 bool parse(int argc, char** argv, Options& opt) {
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -71,6 +111,7 @@ bool parse(int argc, char** argv, Options& opt) {
       }
       return args[++i];
     };
+    auto u64_value = [&]() { return parse_u64(arg, value()); };
     if (arg == "--help" || arg == "-h") opt.help = true;
     else if (arg == "--list") opt.list = true;
     else if (arg == "--stats") opt.stats = true;
@@ -82,23 +123,35 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--scheme") opt.spec.scheme = sim::parse_scheme(value());
     else if (arg == "--policy") opt.spec.policy = core::parse_policy(value());
     else if (arg == "--threads")
-      opt.spec.threads_per_core = static_cast<u32>(to_u64(value()));
+      opt.spec.threads_per_core = static_cast<u32>(u64_value());
     else if (arg == "--cores")
-      opt.spec.num_cores = static_cast<u32>(to_u64(value()));
-    else if (arg == "--ctx") opt.spec.context_fraction = std::stod(value());
+      opt.spec.num_cores = static_cast<u32>(u64_value());
+    else if (arg == "--ctx")
+      opt.spec.context_fraction = parse_double(arg, value());
     else if (arg == "--regs")
-      opt.spec.phys_regs = static_cast<u32>(to_u64(value()));
-    else if (arg == "--iters") opt.spec.params.iters_per_thread = to_u64(value());
-    else if (arg == "--elements") opt.spec.params.elements = to_u64(value());
-    else if (arg == "--stride") opt.spec.params.stride = to_u64(value());
+      opt.spec.phys_regs = static_cast<u32>(u64_value());
+    else if (arg == "--iters") opt.spec.params.iters_per_thread = u64_value();
+    else if (arg == "--elements") opt.spec.params.elements = u64_value();
+    else if (arg == "--stride") opt.spec.params.stride = u64_value();
     else if (arg == "--window")
-      opt.spec.params.locality_window = to_u64(value());
+      opt.spec.params.locality_window = u64_value();
     else if (arg == "--dcache-bytes")
-      opt.spec.dcache_bytes = static_cast<u32>(to_u64(value()));
+      opt.spec.dcache_bytes = static_cast<u32>(u64_value());
     else if (arg == "--dcache-latency")
-      opt.spec.dcache_latency = static_cast<u32>(to_u64(value()));
-    else if (arg == "--seed") opt.spec.params.seed = to_u64(value());
-    else {
+      opt.spec.dcache_latency = static_cast<u32>(u64_value());
+    else if (arg == "--seed") opt.spec.params.seed = u64_value();
+    else if (arg == "--trace-core")
+      opt.trace_core = static_cast<u32>(u64_value());
+    else if (arg == "--trace-out") opt.trace_out = value();
+    else if (arg == "--sample-interval") opt.sample_interval = u64_value();
+    else if (arg == "--json") opt.json = true;
+    else if (arg.rfind("--json=", 0) == 0) {
+      opt.json = true;
+      opt.json_path = arg.substr(7);
+      if (opt.json_path.empty()) {
+        throw std::invalid_argument("--json=FILE needs a file name");
+      }
+    } else {
       std::cerr << "unknown option: " << arg << "\n";
       return false;
     }
@@ -132,6 +185,13 @@ int main(int argc, char** argv) {
         workloads::find_workload(opt.spec.workload);
     const sim::SystemConfig config = sim::build_config(opt.spec);
 
+    if (opt.trace_core >= opt.spec.num_cores) {
+      throw std::invalid_argument(
+          "--trace-core " + std::to_string(opt.trace_core) +
+          ": system has only " + std::to_string(opt.spec.num_cores) +
+          " core(s)");
+    }
+
     if (opt.area) {
       const area::CoreAreaReport report = area::core_area_for(config);
       std::cout << "area.label " << report.label << "\n"
@@ -143,43 +203,76 @@ int main(int argc, char** argv) {
 
     sim::System system(config, workload, opt.spec.params);
     cpu::TextTracer tracer(std::cout);
-    if (opt.trace) system.core(0).set_tracer(&tracer);
+    if (opt.trace) system.core(opt.trace_core).set_tracer(&tracer);
+
+    // Perfetto trace: one shared writer, one sink per core (pipeline
+    // events + register traffic). Takes precedence over --trace on a
+    // core, since a core holds a single tracer.
+    std::ofstream trace_file;
+    std::unique_ptr<cpu::PerfettoTraceWriter> trace_writer;
+    std::vector<std::unique_ptr<cpu::PerfettoTracer>> perfetto;
+    if (!opt.trace_out.empty()) {
+      trace_file.open(opt.trace_out);
+      if (!trace_file) {
+        throw std::runtime_error("cannot open trace file " + opt.trace_out);
+      }
+      trace_writer = std::make_unique<cpu::PerfettoTraceWriter>(trace_file);
+      for (u32 c = 0; c < opt.spec.num_cores; ++c) {
+        perfetto.push_back(std::make_unique<cpu::PerfettoTracer>(
+            *trace_writer, c, opt.spec.threads_per_core));
+        system.set_tracer(c, perfetto[c].get());
+      }
+    }
+
+    if (opt.json) system.set_detailed_stats(true);
+    if (opt.sample_interval > 0) {
+      system.set_sample_interval(opt.sample_interval);
+    }
 
     const sim::RunResult result = system.run();
 
-    std::cout << "workload " << workload.name() << "\n"
-              << "scheme " << sim::scheme_name(opt.spec.scheme) << "\n"
-              << "policy " << core::policy_name(opt.spec.policy) << "\n"
-              << "cores " << opt.spec.num_cores << "\n"
-              << "threads_per_core " << opt.spec.threads_per_core << "\n"
-              << "phys_regs " << sim::spec_phys_regs(opt.spec) << "\n"
-              << "cycles " << result.cycles << "\n"
-              << "instructions " << result.instructions << "\n"
-              << "ipc " << result.ipc << "\n"
-              << "context_switches " << result.context_switches << "\n"
-              << "rf_hit_rate " << result.rf_hit_rate << "\n"
-              << "rf_fills " << result.rf_fills << "\n"
-              << "rf_spills " << result.rf_spills << "\n"
-              << "check " << (result.check_ok ? "OK" : "FAIL") << "\n";
-
-    if (opt.stats) {
+    if (trace_writer) {
       for (u32 c = 0; c < opt.spec.num_cores; ++c) {
-        const std::string prefix = "core" + std::to_string(c) + ".";
-        for (const Stat& s : system.core(c).stats().all()) {
-          std::cout << prefix << s.name << " " << s.value << "\n";
-        }
-        for (const Stat& s : system.manager(c).stats().all()) {
-          std::cout << prefix << s.name << " " << s.value << "\n";
-        }
-        for (const Stat& s :
-             system.memory_system().dcache(c).stats().all()) {
-          std::cout << prefix << s.name << " " << s.value << "\n";
-        }
+        perfetto[c]->flush_open_spans(system.core(c).cycle());
       }
-      for (const Stat& s : system.memory_system().dram().stats().all()) {
-        std::cout << s.name << " " << s.value << "\n";
+      trace_writer->finish();
+    }
+
+    if (opt.json) {
+      if (opt.json_path.empty()) {
+        sim::write_json_report(std::cout, system, opt.spec, result,
+                               opt.sample_interval);
+      } else {
+        std::ofstream out(opt.json_path);
+        if (!out) {
+          throw std::runtime_error("cannot open " + opt.json_path);
+        }
+        sim::write_json_report(out, system, opt.spec, result,
+                               opt.sample_interval);
       }
-      for (const Stat& s : system.memory_system().crossbar().stats().all()) {
+    }
+
+    // The human-readable report goes to stdout unless the JSON report
+    // already owns it.
+    if (!opt.json || !opt.json_path.empty()) {
+      std::cout << "workload " << workload.name() << "\n"
+                << "scheme " << sim::scheme_name(opt.spec.scheme) << "\n"
+                << "policy " << core::policy_name(opt.spec.policy) << "\n"
+                << "cores " << opt.spec.num_cores << "\n"
+                << "threads_per_core " << opt.spec.threads_per_core << "\n"
+                << "phys_regs " << sim::spec_phys_regs(opt.spec) << "\n"
+                << "cycles " << result.cycles << "\n"
+                << "instructions " << result.instructions << "\n"
+                << "ipc " << result.ipc << "\n"
+                << "context_switches " << result.context_switches << "\n"
+                << "rf_hit_rate " << result.rf_hit_rate << "\n"
+                << "rf_fills " << result.rf_fills << "\n"
+                << "rf_spills " << result.rf_spills << "\n"
+                << "check " << (result.check_ok ? "OK" : "FAIL") << "\n";
+    }
+
+    if (opt.stats && !opt.json) {
+      for (const Stat& s : system.registry().all_scalars()) {
         std::cout << s.name << " " << s.value << "\n";
       }
     }

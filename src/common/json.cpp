@@ -1,0 +1,134 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace virec {
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+std::string JsonWriter::quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < levels_.size() * indent_; ++i) os_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!levels_.empty()) {
+    if (levels_.back().has_items) os_ << ',';
+    levels_.back().has_items = true;
+    newline_indent();
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  levels_.push_back(Level{true, false});
+}
+
+void JsonWriter::end_object() {
+  const bool had = levels_.back().has_items;
+  levels_.pop_back();
+  if (had) newline_indent();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  levels_.push_back(Level{false, false});
+}
+
+void JsonWriter::end_array() {
+  const bool had = levels_.back().has_items;
+  levels_.pop_back();
+  if (had) newline_indent();
+  os_ << ']';
+}
+
+void JsonWriter::key(const std::string& name) {
+  if (levels_.back().has_items) os_ << ',';
+  levels_.back().has_items = true;
+  newline_indent();
+  os_ << quote(name) << (indent_ > 0 ? ": " : ":");
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  before_value();
+  os_ << quote(v);
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return;
+  }
+  // Integral doubles print without a fraction; others round-trip.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    os_ << buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os_ << buf;
+  }
+}
+
+void JsonWriter::value(u64 v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(i64 v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+}
+
+}  // namespace virec

@@ -1,0 +1,72 @@
+// Minimal streaming JSON writer used by the observability layer (run
+// reports, sweep exports, Perfetto traces). Handles commas, nesting,
+// indentation and string escaping; emits numbers with enough precision
+// to round-trip doubles, and integers without an exponent.
+//
+//   JsonWriter w(os);
+//   w.begin_object();
+//   w.key("config");
+//   w.begin_object();
+//   w.kv("workload", "gather");
+//   w.kv("threads", 8);
+//   w.end_object();
+//   w.end_object();   // => {"config":{"workload":"gather","threads":8}}
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace virec {
+
+class JsonWriter {
+ public:
+  /// @p indent spaces per nesting level; 0 emits compact single-line
+  /// JSON.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by exactly one value.
+  void key(const std::string& name);
+
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);
+  void value(u64 v);
+  void value(i64 v);
+  void value(int v) { value(static_cast<i64>(v)); }
+  void value(u32 v) { value(static_cast<u64>(v)); }
+  void value(bool v);
+  void null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void kv(const std::string& name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// Escape @p s as a JSON string literal (with quotes).
+  static std::string quote(const std::string& s);
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  struct Level {
+    bool is_object = false;
+    bool has_items = false;
+  };
+  std::vector<Level> levels_;
+  bool pending_key_ = false;
+};
+
+}  // namespace virec

@@ -1,8 +1,78 @@
 #include "common/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace virec {
+
+void Histogram::record_always(double value) {
+  if (value < 0.0) value = 0.0;
+  const u32 bucket = bucket_of(value);
+  if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::clear() {
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  buckets_.clear();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.size() < other.buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Distribution::record_always(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+double Distribution::stddev() const {
+  if (count_ == 0) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double m = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+void Distribution::clear() {
+  count_ = 0;
+  sum_ = sum_sq_ = min_ = max_ = 0.0;
+}
+
+void Distribution::merge(const Distribution& other) {
+  if (other.count_ == 0) return;
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
 
 StatSet::StatSet(std::string prefix) : prefix_(std::move(prefix)) {}
 
@@ -10,7 +80,7 @@ std::size_t StatSet::index_of(const std::string& name) {
   auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   const std::size_t idx = stats_.size();
-  stats_.push_back(Stat{name, 0.0});
+  stats_.push_back(Stat{name, 0.0, ""});
   index_.emplace(name, idx);
   return idx;
 }
@@ -32,22 +102,93 @@ bool StatSet::has(const std::string& name) const {
   return index_.count(name) != 0;
 }
 
+void StatSet::describe(const std::string& name, const std::string& desc) {
+  stats_[index_of(name)].desc = desc;
+}
+
 std::vector<Stat> StatSet::all() const {
   std::vector<Stat> out;
   out.reserve(stats_.size());
   for (const Stat& s : stats_) {
     out.push_back(Stat{prefix_.empty() ? s.name : prefix_ + "." + s.name,
-                       s.value});
+                       s.value, s.desc});
   }
   return out;
 }
 
+Histogram* StatSet::histogram(const std::string& name,
+                              const std::string& desc) {
+  for (auto& h : histograms_) {
+    if (h->name() == name) return h.get();
+  }
+  histograms_.push_back(std::make_unique<Histogram>(name, desc));
+  histograms_.back()->set_enabled(detailed_);
+  return histograms_.back().get();
+}
+
+Distribution* StatSet::distribution(const std::string& name,
+                                    const std::string& desc) {
+  for (auto& d : distributions_) {
+    if (d->name() == name) return d.get();
+  }
+  distributions_.push_back(std::make_unique<Distribution>(name, desc));
+  distributions_.back()->set_enabled(detailed_);
+  return distributions_.back().get();
+}
+
+void StatSet::set_detailed(bool on) {
+  detailed_ = on;
+  for (auto& h : histograms_) h->set_enabled(on);
+  for (auto& d : distributions_) d->set_enabled(on);
+}
+
 void StatSet::clear() {
   for (Stat& s : stats_) s.value = 0.0;
+  for (auto& h : histograms_) h->clear();
+  for (auto& d : distributions_) d->clear();
 }
 
 void StatSet::merge(const StatSet& other) {
   for (const Stat& s : other.stats_) inc(s.name, s.value);
+  for (const auto& h : other.histograms_) {
+    histogram(h->name(), h->desc())->merge(*h);
+  }
+  for (const auto& d : other.distributions_) {
+    distribution(d->name(), d->desc())->merge(*d);
+  }
+}
+
+void StatRegistry::add(std::string path, StatSet& set) {
+  entries_.push_back(Entry{std::move(path), &set});
+}
+
+std::string StatRegistry::full_name(const Entry& entry,
+                                    const std::string& name) {
+  return entry.path.empty() ? name : entry.path + "." + name;
+}
+
+std::vector<Stat> StatRegistry::all_scalars() const {
+  std::vector<Stat> out;
+  for (const Entry& entry : entries_) {
+    for (const Stat& s : entry.set->all()) {
+      out.push_back(Stat{full_name(entry, s.name), s.value, s.desc});
+    }
+  }
+  return out;
+}
+
+void StatRegistry::set_detailed(bool on) {
+  for (Entry& entry : entries_) entry.set->set_detailed(on);
+}
+
+u64 StatRegistry::populated_histograms() const {
+  u64 n = 0;
+  for (const Entry& entry : entries_) {
+    for (const auto& h : entry.set->histograms()) {
+      if (h->count() > 0) ++n;
+    }
+  }
+  return n;
 }
 
 double geomean(const std::vector<double>& values) {

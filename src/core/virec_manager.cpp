@@ -25,7 +25,15 @@ ViReCManager::ViReCManager(const ViReCConfig& config, const cpu::CoreEnv& env)
       csl_(config.csl, env.num_threads, bsi_, stats_),
       phys_values_(config.num_phys_regs, 0),
       used_this_episode_(env.num_threads, 0),
-      last_episode_used_(env.num_threads, 0) {}
+      last_episode_used_(env.num_threads, 0) {
+  stats_.describe("rf_hits", "decode operands present in the physical RF");
+  stats_.describe("rf_misses", "decode operands filled from the backing store");
+  stats_.describe("rf_spills", "dirty registers written back on eviction");
+  hist_rollback_depth_ = stats_.histogram(
+      "rollback_depth", "rollback-queue occupancy sampled at each decode");
+  dist_decode_stall_ = stats_.distribution(
+      "decode_stall", "cycles a missing decode waited for its fills");
+}
 
 Cycle ViReCManager::on_thread_start(int tid, Cycle now) {
   // General-purpose registers are demand-filled; only the sysreg line
@@ -47,6 +55,9 @@ int ViReCManager::allocate_entry(int tid, isa::RegId arch,
     spill_done =
         std::max(spill_done, bsi_.spill(victim.tid, victim.arch, now));
     stats_.inc("rf_spills");
+    if (tracer_ != nullptr) {
+      tracer_->on_reg_spill(now, victim.tid, victim.arch);
+    }
   }
   if (victim.valid) stats_.inc("rf_evictions");
   locked[static_cast<u32>(idx)] = 1;
@@ -105,6 +116,7 @@ cpu::DecodeAccess ViReCManager::on_decode(int tid, const isa::Inst& inst,
       acc.ready = std::max(acc.ready, bsi_.fill(tid, arch, now));
       acc.hit = false;
       ++acc.fills;
+      if (tracer_ != nullptr) tracer_->on_reg_fill(now, tid, arch);
     }
     record(idx, arch);
   }
@@ -143,6 +155,11 @@ cpu::DecodeAccess ViReCManager::on_decode(int tid, const isa::Inst& inst,
   }
 
   rollback_.push(rb);
+  hist_rollback_depth_->record(static_cast<double>(rollback_.size()));
+  if (!acc.hit) {
+    dist_decode_stall_->record(
+        static_cast<double>(acc.ready > now ? acc.ready - now : 0));
+  }
   acc.spills = static_cast<u32>(stats_.get("rf_spills"));
   return acc;
 }
@@ -162,6 +179,10 @@ void ViReCManager::on_mispredict_flush(int tid) {
 
 Cycle ViReCManager::on_context_switch(int from_tid, int to_tid,
                                       int predicted_next, Cycle now) {
+  const u32 flushed = rollback_.size();
+  if (tracer_ != nullptr && flushed > 0) {
+    tracer_->on_rollback(now, from_tid >= 0 ? from_tid : to_tid, flushed);
+  }
   rollback_.flush_to(tags_);
   tags_.on_context_switch(from_tid, to_tid);
   stats_.inc("context_switches");

@@ -23,6 +23,7 @@
 #include "core/rollback_queue.hpp"
 #include "core/tag_store.hpp"
 #include "cpu/context_manager.hpp"
+#include "cpu/trace.hpp"
 
 namespace virec::core {
 
@@ -76,6 +77,11 @@ class ViReCManager final : public cpu::ContextManager {
   const ViReCConfig& config() const { return config_; }
   double rf_hit_rate() const;
 
+  /// Attach a trace sink for register fills/spills and rollback
+  /// flushes (nullptr detaches; not owned). Typically the same sink
+  /// the owning core uses.
+  void set_tracer(cpu::TraceSink* tracer) override { tracer_ = tracer; }
+
  private:
   /// Evict whatever currently occupies (the policy's choice of) an
   /// entry and install (tid, arch); returns phys index or -1 when all
@@ -92,6 +98,10 @@ class ViReCManager final : public cpu::ContextManager {
   // Per-thread register sets for the switch-prefetch extension.
   std::vector<u32> used_this_episode_;
   std::vector<u32> last_episode_used_;
+  // Detailed (opt-in) stats; owned by stats_.
+  Histogram* hist_rollback_depth_ = nullptr;
+  Distribution* dist_decode_stall_ = nullptr;
+  cpu::TraceSink* tracer_ = nullptr;
 };
 
 }  // namespace virec::core

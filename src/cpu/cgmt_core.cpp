@@ -19,6 +19,21 @@ CgmtCore::CgmtCore(const CgmtCoreConfig& config, const CoreEnv& env,
     throw std::invalid_argument("CgmtCore: env/config thread count mismatch");
   }
   program_.validate();
+  stats_.describe("context_switches", "CGMT context switches taken");
+  stats_.describe("dcache_data_misses",
+                  "demand data misses signalled to the CSL");
+  hist_run_length_ = stats_.histogram(
+      "run_length", "committed instructions between context switches");
+  hist_miss_latency_ = stats_.histogram(
+      "miss_latency", "cycles from dcache data-miss issue to data ready");
+}
+
+u32 CgmtCore::runnable_threads(Cycle now) const {
+  u32 n = 0;
+  for (const Thread& t : threads_) {
+    if (t.started && !t.halted && t.blocked_until <= now) ++n;
+  }
+  return n;
 }
 
 void CgmtCore::start_thread(int tid, u64 entry_pc) {
@@ -141,6 +156,9 @@ bool CgmtCore::request_context_switch(u64 resume_pc, Cycle miss_done) {
   cur.reserved_line = mem_.mem_addr;
   flush_pipeline(/*replayed=*/true);
   stats_.inc("context_switches");
+  hist_run_length_->record(
+      static_cast<double>(instructions_ - episode_start_instructions_));
+  episode_start_instructions_ = instructions_;
   const Cycle csl_ready = rcm_.on_context_switch(
       current_tid_, next, predict_thread_after(next), cycle_);
   switch_to(next);
@@ -168,6 +186,9 @@ void CgmtCore::commit(Latch& latch) {
     flush_pipeline(/*replayed=*/false);
     rcm_.on_mispredict_flush(tid);
     stats_.inc("halts");
+    hist_run_length_->record(
+        static_cast<double>(instructions_ - episode_start_instructions_));
+    episode_start_instructions_ = instructions_;
     const int next = pick_next_thread();
     if (next >= 0 && next != tid) {
       const Cycle csl_ready = rcm_.on_context_switch(
@@ -225,6 +246,7 @@ void CgmtCore::handle_mem_and_commit() {
           stats_.inc("reg_region_miss_stalls");
         } else {
           stats_.inc("dcache_data_misses");
+          hist_miss_latency_->record(static_cast<double>(acc.done - cycle_));
           if (!committed_since_switch_) stats_.inc("replay_misses");
           if (tracer_ != nullptr) {
             tracer_->on_data_miss(cycle_, current_tid_, mem_.pc, addr,

@@ -63,6 +63,12 @@ class CgmtCore {
   StatSet& stats() { return stats_; }
   ContextManager& context_manager() { return rcm_; }
 
+  /// Threads started and not yet halted.
+  u32 live_threads() const { return live_threads_; }
+  /// Threads that could run at @p now (started, not halted, not
+  /// blocked on an outstanding miss).
+  u32 runnable_threads(Cycle now) const;
+
   /// Attach a pipeline tracer (nullptr detaches). Not owned.
   void set_tracer(TraceSink* tracer) { tracer_ = tracer; }
 
@@ -135,6 +141,10 @@ class CgmtCore {
 
   Latch if_, id_, ex_, mem_;
   StatSet stats_;
+  // Detailed (opt-in) histograms; owned by stats_.
+  Histogram* hist_run_length_ = nullptr;
+  Histogram* hist_miss_latency_ = nullptr;
+  u64 episode_start_instructions_ = 0;
   TraceSink* tracer_ = nullptr;
 };
 

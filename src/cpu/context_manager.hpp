@@ -27,6 +27,8 @@
 
 namespace virec::cpu {
 
+class TraceSink;
+
 /// Environment handed to a context manager: which core it serves, how
 /// many thread contexts it manages, and the memory system that holds
 /// the backing store.
@@ -104,6 +106,10 @@ class ContextManager : public isa::RegisterFileIO {
 
   /// Physical registers this scheme instantiates (area model input).
   virtual u32 physical_regs() const = 0;
+
+  /// Attach a trace sink for register-traffic events (fills, spills,
+  /// rollbacks). Schemes without such traffic ignore it.
+  virtual void set_tracer(TraceSink* tracer) { (void)tracer; }
 
   const StatSet& stats() const { return stats_; }
   StatSet& stats() { return stats_; }

@@ -31,6 +31,20 @@ class TraceSink {
                                  u64 resume_pc) = 0;
   virtual void on_mispredict(Cycle cycle, int tid, u64 pc, u64 actual) = 0;
   virtual void on_halt(Cycle cycle, int tid) = 0;
+
+  // Register-cache traffic (emitted by context managers that support a
+  // tracer, e.g. core::ViReCManager). Default no-ops keep sinks that
+  // only care about pipeline events small.
+  virtual void on_reg_fill(Cycle cycle, int tid, u8 arch) {
+    (void)cycle; (void)tid; (void)arch;
+  }
+  virtual void on_reg_spill(Cycle cycle, int tid, u8 arch) {
+    (void)cycle; (void)tid; (void)arch;
+  }
+  /// @p flushed entries had their C bits reset by a context-switch flush.
+  virtual void on_rollback(Cycle cycle, int tid, u32 flushed) {
+    (void)cycle; (void)tid; (void)flushed;
+  }
 };
 
 /// Renders events as text lines to an ostream.
@@ -67,6 +81,11 @@ class CountingTracer final : public TraceSink {
   void on_context_switch(Cycle, int, int, u64) override { ++switches; }
   void on_mispredict(Cycle, int, u64, u64) override { ++mispredicts; }
   void on_halt(Cycle, int) override { ++halts; }
+  void on_reg_fill(Cycle, int, u8) override { ++reg_fills; }
+  void on_reg_spill(Cycle, int, u8) override { ++reg_spills; }
+  void on_rollback(Cycle, int, u32 flushed) override {
+    rollbacks += flushed;
+  }
 
   u64 fetches = 0;
   u64 commits = 0;
@@ -74,6 +93,9 @@ class CountingTracer final : public TraceSink {
   u64 switches = 0;
   u64 mispredicts = 0;
   u64 halts = 0;
+  u64 reg_fills = 0;
+  u64 reg_spills = 0;
+  u64 rollbacks = 0;
 };
 
 }  // namespace virec::cpu

@@ -16,6 +16,10 @@ Cache::Cache(const CacheConfig& config, MemLevel& below)
   }
   lines_.resize(static_cast<std::size_t>(num_sets_) * config_.assoc);
   mshr_until_.assign(config_.mshrs, 0);
+  stats_.describe("hits", "demand accesses served from a present line");
+  stats_.describe("misses", "demand accesses that went to the next level");
+  hist_miss_cycles_ = stats_.histogram(
+      "miss_cycles", "per-miss latency from access to data return");
 }
 
 void Cache::reset() {
@@ -55,6 +59,14 @@ bool Cache::reserve_line(Addr addr) {
 void Cache::release_line(Addr addr) {
   Line* line = find_line(line_of(addr));
   if (line != nullptr && line->pin > 0) --line->pin;
+}
+
+u32 Cache::outstanding_misses(Cycle now) const {
+  u32 count = 0;
+  for (const Cycle until : mshr_until_) {
+    if (until > now) ++count;
+  }
+  return count;
 }
 
 u32 Cache::pinned_lines() const {
@@ -233,6 +245,7 @@ CacheAccess Cache::access(Addr addr, bool is_write, Cycle now,
   result.hit = false;
   result.done = done;
   stats_.inc("miss_latency", double(done - start));
+  hist_miss_cycles_->record(double(done - start));
   return result;
 }
 

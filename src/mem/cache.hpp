@@ -72,6 +72,10 @@ class Cache final : public MemLevel {
   /// Number of currently pinned (register) lines.
   u32 pinned_lines() const;
 
+  /// Misses still in flight at @p now (busy MSHRs). Cheap enough for
+  /// periodic sampling.
+  u32 outstanding_misses(Cycle now) const;
+
   u32 num_sets() const { return num_sets_; }
   u32 assoc() const { return config_.assoc; }
 
@@ -113,6 +117,7 @@ class Cache final : public MemLevel {
   u64 last_miss_line_ = 0;
   i64 last_stride_ = 0;
   StatSet stats_;
+  Histogram* hist_miss_cycles_ = nullptr;  // owned by stats_
 };
 
 }  // namespace virec::mem

@@ -5,7 +5,10 @@
 namespace virec::mem {
 
 Crossbar::Crossbar(const CrossbarConfig& config, MemLevel& below)
-    : config_(config), below_(below), stats_("xbar") {}
+    : config_(config), below_(below), stats_("xbar") {
+  dist_link_wait_ = stats_.distribution(
+      "link_wait", "per-transfer cycles spent waiting for the shared link");
+}
 
 void Crossbar::reset() {
   link_next_free_ = 0;
@@ -17,6 +20,7 @@ Cycle Crossbar::line_access(Addr line_addr, bool is_write, Cycle now) {
   if (start > now) stats_.inc("contention_cycles", double(start - now));
   link_next_free_ = start + config_.cycles_per_line;
   stats_.inc("transfers");
+  dist_link_wait_->record(double(start - now));
   const Cycle done =
       below_.line_access(line_addr, is_write, start + config_.latency);
   // Response traverses the crossbar again.

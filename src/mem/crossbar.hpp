@@ -22,11 +22,14 @@ class Crossbar final : public MemLevel {
   const StatSet& stats() const { return stats_; }
   void reset();
 
+  StatSet& stats() { return stats_; }
+
  private:
   CrossbarConfig config_;
   MemLevel& below_;
   Cycle link_next_free_ = 0;
   StatSet stats_;
+  Distribution* dist_link_wait_ = nullptr;  // owned by stats_
 };
 
 }  // namespace virec::mem

@@ -13,6 +13,9 @@ DramModel::DramModel(const DramConfig& config)
   if (config_.channels == 0 || config_.banks_per_channel == 0) {
     throw std::invalid_argument("DramModel: need >=1 channel and bank");
   }
+  stats_.describe("row_hits", "accesses to the currently open row");
+  dist_latency_ = stats_.distribution(
+      "access_latency", "per-access cycles from issue to data return");
 }
 
 void DramModel::reset() {
@@ -56,6 +59,7 @@ Cycle DramModel::line_access(Addr line_addr, bool is_write, Cycle now) {
 
   stats_.inc(is_write ? "writes" : "reads");
   stats_.inc("total_latency", double(done - now));
+  dist_latency_->record(double(done - now));
   return done;
 }
 

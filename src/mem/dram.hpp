@@ -49,6 +49,7 @@ class DramModel final : public MemLevel {
   std::vector<Bank> banks_;          // channels * banks_per_channel
   std::vector<Cycle> bus_next_free_;  // per channel
   StatSet stats_;
+  Distribution* dist_latency_ = nullptr;  // owned by stats_
 };
 
 }  // namespace virec::mem

@@ -58,6 +58,8 @@ class MemorySystem {
 
   Cache& icache(u32 core) { return *icaches_[core]; }
   Cache& dcache(u32 core) { return *dcaches_[core]; }
+  bool has_l2() const { return l2_ != nullptr; }
+  Cache& l2() { return *l2_; }
   Crossbar& crossbar() { return *crossbar_; }
   DramModel& dram() { return *dram_; }
   SparseMemory& memory() { return functional_; }

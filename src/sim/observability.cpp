@@ -1,0 +1,143 @@
+#include "sim/observability.hpp"
+
+#include <ostream>
+
+namespace virec::sim {
+
+namespace {
+
+void append_histogram(JsonWriter& w, const std::string& full_name,
+                      const Histogram& h) {
+  w.begin_object();
+  w.kv("name", full_name);
+  w.kv("kind", "histogram");
+  w.kv("desc", h.desc());
+  w.kv("count", h.count());
+  w.kv("sum", h.sum());
+  w.kv("min", h.min());
+  w.kv("max", h.max());
+  w.kv("mean", h.mean());
+  w.key("buckets");
+  w.begin_array();
+  for (u32 i = 0; i < h.buckets().size(); ++i) {
+    if (h.buckets()[i] == 0) continue;
+    w.begin_object();
+    w.kv("lo", Histogram::bucket_low(i));
+    w.kv("hi", Histogram::bucket_high(i));
+    w.kv("count", h.buckets()[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void append_distribution(JsonWriter& w, const std::string& full_name,
+                         const Distribution& d) {
+  w.begin_object();
+  w.kv("name", full_name);
+  w.kv("kind", "distribution");
+  w.kv("desc", d.desc());
+  w.kv("count", d.count());
+  w.kv("min", d.min());
+  w.kv("max", d.max());
+  w.kv("mean", d.mean());
+  w.kv("stddev", d.stddev());
+  w.end_object();
+}
+
+}  // namespace
+
+void append_stats(JsonWriter& w, const StatRegistry& registry) {
+  w.begin_array();
+  for (const StatRegistry::Entry& entry : registry.entries()) {
+    const StatSet& set = *entry.set;
+    for (const Stat& s : set.all()) {
+      w.begin_object();
+      w.kv("name", StatRegistry::full_name(entry, s.name));
+      w.kv("kind", "scalar");
+      w.kv("desc", s.desc);
+      w.kv("value", s.value);
+      w.end_object();
+    }
+    const std::string set_prefix =
+        set.prefix().empty() ? "" : set.prefix() + ".";
+    for (const auto& h : set.histograms()) {
+      append_histogram(
+          w, StatRegistry::full_name(entry, set_prefix + h->name()), *h);
+    }
+    for (const auto& d : set.distributions()) {
+      append_distribution(
+          w, StatRegistry::full_name(entry, set_prefix + d->name()), *d);
+    }
+  }
+  w.end_array();
+}
+
+void write_json_report(std::ostream& os, const System& system,
+                       const RunSpec& spec, const RunResult& result,
+                       Cycle sample_interval) {
+  const SystemConfig& config = system.config();
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", kReportSchemaVersion);
+
+  w.key("config");
+  w.begin_object();
+  w.kv("workload", spec.workload);
+  w.kv("scheme", scheme_name(spec.scheme));
+  w.kv("policy", core::policy_name(spec.policy));
+  w.kv("cores", config.num_cores);
+  w.kv("threads_per_core", config.threads_per_core);
+  w.kv("phys_regs", spec_phys_regs(spec));
+  w.kv("context_fraction", spec.context_fraction);
+  w.kv("dcache_bytes", config.mem.dcache.size_bytes);
+  w.kv("dcache_hit_latency", config.mem.dcache.hit_latency);
+  w.kv("icache_bytes", config.mem.icache.size_bytes);
+  w.kv("iters_per_thread", spec.params.iters_per_thread);
+  w.kv("elements", spec.params.elements);
+  w.kv("seed", spec.params.seed);
+  w.kv("group_spill", spec.group_spill);
+  w.kv("switch_prefetch", spec.switch_prefetch);
+  w.end_object();
+
+  w.key("results");
+  w.begin_object();
+  w.kv("cycles", result.cycles);
+  w.kv("instructions", result.instructions);
+  w.kv("ipc", result.ipc);
+  w.kv("context_switches", result.context_switches);
+  w.kv("rf_hit_rate", result.rf_hit_rate);
+  w.kv("rf_fills", result.rf_fills);
+  w.kv("rf_spills", result.rf_spills);
+  w.kv("check_ok", result.check_ok);
+  w.end_object();
+
+  w.key("stats");
+  append_stats(w, system.registry());
+
+  if (sample_interval > 0) {
+    w.key("time_series");
+    w.begin_object();
+    w.kv("interval", sample_interval);
+    w.key("samples");
+    w.begin_array();
+    for (const Sample& s : system.samples()) {
+      w.begin_object();
+      w.kv("cycle", s.cycle);
+      w.kv("instructions", s.instructions);
+      w.kv("ipc", s.ipc);
+      w.kv("interval_ipc", s.interval_ipc);
+      w.kv("rf_hit_rate", s.rf_hit_rate);
+      w.kv("runnable_threads", s.runnable_threads);
+      w.kv("outstanding_misses", s.outstanding_misses);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace virec::sim

@@ -1,0 +1,39 @@
+// Machine-readable run reports: serialise a completed experiment —
+// config echo, headline results, every registered stat (scalars,
+// histograms, distributions, each with kind and description) and the
+// sampled time series — as one JSON document.
+//
+// Schema (see docs/observability.md):
+//   {
+//     "schema_version": 1,
+//     "config":      { workload, scheme, policy, cores, ... },
+//     "results":     { cycles, instructions, ipc, ... },
+//     "stats":       [ {name, kind, desc, ...}, ... ],
+//     "time_series": { interval, samples: [...] }   // when sampled
+//   }
+#pragma once
+
+#include <iosfwd>
+
+#include "common/json.hpp"
+#include "sim/runner.hpp"
+
+namespace virec::sim {
+
+/// Current value of the report's "schema_version" field.
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Write the full JSON report for a finished run of @p system.
+/// @p spec is echoed into the "config" section; @p result into
+/// "results". Includes a "time_series" section iff @p sample_interval
+/// is nonzero (the system's samples() are used).
+void write_json_report(std::ostream& os, const System& system,
+                       const RunSpec& spec, const RunResult& result,
+                       Cycle sample_interval = 0);
+
+/// Append the registry as a "stats" array value on @p w (exposed for
+/// reuse by the sweep exporter and tests). Call between w.key("stats")
+/// / at an array-element position.
+void append_stats(JsonWriter& w, const StatRegistry& registry);
+
+}  // namespace virec::sim

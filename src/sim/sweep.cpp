@@ -3,6 +3,8 @@
 #include <functional>
 #include <ostream>
 
+#include "common/json.hpp"
+
 namespace virec::sim {
 
 std::vector<const SweepRecord*> SweepResults::where(
@@ -39,6 +41,38 @@ void SweepResults::write_csv(std::ostream& os) const {
        << r.result.context_switches << ',' << r.result.rf_hit_rate << ','
        << r.result.rf_fills << ',' << r.result.rf_spills << '\n';
   }
+}
+
+void SweepResults::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_array();
+  for (const SweepRecord& r : records_) {
+    w.begin_object();
+    w.key("spec");
+    w.begin_object();
+    w.kv("workload", r.spec.workload);
+    w.kv("scheme", scheme_name(r.spec.scheme));
+    w.kv("policy", core::policy_name(r.spec.policy));
+    w.kv("cores", r.spec.num_cores);
+    w.kv("threads", r.spec.threads_per_core);
+    w.kv("ctx", r.spec.context_fraction);
+    w.kv("phys_regs", spec_phys_regs(r.spec));
+    w.end_object();
+    w.key("result");
+    w.begin_object();
+    w.kv("cycles", r.result.cycles);
+    w.kv("instructions", r.result.instructions);
+    w.kv("ipc", r.result.ipc);
+    w.kv("context_switches", r.result.context_switches);
+    w.kv("rf_hit_rate", r.result.rf_hit_rate);
+    w.kv("rf_fills", r.result.rf_fills);
+    w.kv("rf_spills", r.result.rf_spills);
+    w.kv("check_ok", r.result.check_ok);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  os << "\n";
 }
 
 Sweep& Sweep::over_workloads(std::vector<std::string> workloads) {

@@ -51,6 +51,11 @@ class SweepResults {
   /// instructions,ipc,switches,rf_hit_rate,rf_fills,rf_spills
   void write_csv(std::ostream& os) const;
 
+  /// JSON array of {spec: {...}, result: {...}} records — the
+  /// machine-readable counterpart of write_csv for the bench/sweep
+  /// pipeline (same fields, no string re-parsing).
+  void write_json(std::ostream& os) const;
+
  private:
   std::vector<SweepRecord> records_;
 };

@@ -26,6 +26,25 @@ System::System(const SystemConfig& config, const workloads::Workload& workload,
 
   workload_.init_memory(ms_->memory(), params_, total_threads());
   offload_contexts();
+  build_registry();
+}
+
+void System::build_registry() {
+  for (u32 c = 0; c < config_.num_cores; ++c) {
+    const std::string path = "core" + std::to_string(c);
+    registry_.add(path, cores_[c]->stats());
+    registry_.add(path, managers_[c]->stats());
+    registry_.add(path, ms_->icache(c).stats());
+    registry_.add(path, ms_->dcache(c).stats());
+  }
+  if (ms_->has_l2()) registry_.add("", ms_->l2().stats());
+  registry_.add("", ms_->crossbar().stats());
+  registry_.add("", ms_->dram().stats());
+}
+
+void System::set_tracer(u32 core, cpu::TraceSink* tracer) {
+  cores_[core]->set_tracer(tracer);
+  managers_[core]->set_tracer(tracer);
 }
 
 std::unique_ptr<cpu::ContextManager> System::make_manager(
@@ -74,14 +93,47 @@ void System::offload_contexts() {
   }
 }
 
+void System::take_sample(Cycle prev_cycle, u64 prev_instructions) {
+  Sample s;
+  for (auto& core : cores_) {
+    s.cycle = std::max(s.cycle, core->cycle());
+    s.instructions += core->instructions();
+  }
+  if (!samples_.empty() && samples_.back().cycle == s.cycle) return;
+  s.ipc = s.cycle == 0 ? 0.0
+                       : static_cast<double>(s.instructions) /
+                             static_cast<double>(s.cycle);
+  s.interval_ipc =
+      s.cycle > prev_cycle
+          ? static_cast<double>(s.instructions - prev_instructions) /
+                static_cast<double>(s.cycle - prev_cycle)
+          : 0.0;
+  double hits = 0.0, misses = 0.0;
+  for (auto& m : managers_) {
+    hits += m->stats().get("rf_hits");
+    misses += m->stats().get("rf_misses");
+  }
+  s.rf_hit_rate = (hits + misses) == 0.0 ? 1.0 : hits / (hits + misses);
+  for (u32 c = 0; c < config_.num_cores; ++c) {
+    s.runnable_threads += cores_[c]->runnable_threads(s.cycle);
+    s.outstanding_misses += ms_->dcache(c).outstanding_misses(s.cycle);
+  }
+  samples_.push_back(s);
+}
+
 RunResult System::run() {
-  if (cores_.size() == 1) {
+  samples_.clear();
+  if (cores_.size() == 1 && sample_interval_ == 0) {
     cores_[0]->run();
   } else {
     // Lockstep multi-core simulation so crossbar/DRAM contention is
-    // interleaved correctly.
+    // interleaved correctly (also used whenever sampling needs to
+    // observe the system mid-run).
     u64 guard = 0;
     bool any_running = true;
+    Cycle next_sample = sample_interval_;
+    Cycle prev_cycle = 0;
+    u64 prev_instructions = 0;
     while (any_running) {
       any_running = false;
       for (auto& core : cores_) {
@@ -90,10 +142,33 @@ RunResult System::run() {
           any_running = true;
         }
       }
+      if (sample_interval_ > 0) {
+        Cycle now = 0;
+        for (auto& core : cores_) now = std::max(now, core->cycle());
+        if (now >= next_sample) {
+          const Cycle pc = prev_cycle;
+          const u64 pi = prev_instructions;
+          take_sample(pc, pi);
+          if (!samples_.empty()) {
+            prev_cycle = samples_.back().cycle;
+            prev_instructions = samples_.back().instructions;
+          }
+          while (next_sample <= now) next_sample += sample_interval_;
+        }
+      }
       if (++guard > config_.core.max_cycles) {
         throw std::runtime_error("System: max_cycles exceeded");
       }
     }
+    // Final row so the series ends exactly at the run result.
+    if (sample_interval_ > 0) take_sample(prev_cycle, prev_instructions);
+  }
+  // The step-driven paths bypass CgmtCore::run(); mirror its final
+  // scalar bookkeeping so registry dumps always carry totals.
+  for (auto& core : cores_) {
+    core->stats().set("cycles", static_cast<double>(core->cycle()));
+    core->stats().set("instructions",
+                      static_cast<double>(core->instructions()));
   }
 
   RunResult result;

@@ -31,6 +31,17 @@ struct RunResult {
   u64 rf_spills = 0;
 };
 
+/// One row of the sampled time series (see System::set_sample_interval).
+struct Sample {
+  Cycle cycle = 0;             ///< sample time (max core cycle)
+  u64 instructions = 0;        ///< cumulative, summed over cores
+  double ipc = 0.0;            ///< cumulative instructions / cycle
+  double interval_ipc = 0.0;   ///< IPC within this interval alone
+  double rf_hit_rate = 1.0;    ///< cumulative RF hit rate
+  u32 runnable_threads = 0;    ///< threads able to run at sample time
+  u32 outstanding_misses = 0;  ///< busy dcache MSHRs, summed over cores
+};
+
 class System {
  public:
   System(const SystemConfig& config, const workloads::Workload& workload,
@@ -48,9 +59,29 @@ class System {
     return config_.num_cores * config_.threads_per_core;
   }
 
+  /// Every component's StatSet under hierarchical names
+  /// ("core0.virec.*", "core0.dcache.*", "dram.*", "xbar.*", ...).
+  StatRegistry& registry() { return registry_; }
+  const StatRegistry& registry() const { return registry_; }
+
+  /// Enable detailed (histogram / distribution) collection on every
+  /// component. Off by default; recording is then a no-op branch.
+  void set_detailed_stats(bool on) { registry_.set_detailed(on); }
+
+  /// Record a Sample every @p interval cycles during run() (0 turns
+  /// sampling off). Forces the cycle-stepped run loop.
+  void set_sample_interval(Cycle interval) { sample_interval_ = interval; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Attach one trace sink per core (pipeline events from the core,
+  /// register traffic from its context manager). nullptr detaches.
+  void set_tracer(u32 core, cpu::TraceSink* tracer);
+
  private:
   void offload_contexts();
   std::unique_ptr<cpu::ContextManager> make_manager(const cpu::CoreEnv& env);
+  void build_registry();
+  void take_sample(Cycle prev_cycle, u64 prev_instructions);
 
   SystemConfig config_;
   const workloads::Workload& workload_;
@@ -59,6 +90,9 @@ class System {
   std::unique_ptr<mem::MemorySystem> ms_;
   std::vector<std::unique_ptr<cpu::ContextManager>> managers_;
   std::vector<std::unique_ptr<cpu::CgmtCore>> cores_;
+  StatRegistry registry_;
+  Cycle sample_interval_ = 0;
+  std::vector<Sample> samples_;
 };
 
 }  // namespace virec::sim

@@ -4,7 +4,11 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+
+#include "json_checker.hpp"
 
 namespace {
 
@@ -111,6 +115,103 @@ TEST(Cli, ExtensionsRun) {
       "--elements 4096");
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("check OK"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Observability surface: strict parsing, --json, --trace-out,
+// --trace-core, --sample-interval.
+
+TEST(Cli, TrailingGarbageInNumberIsRejected) {
+  // The old parser accepted "8x" as 8; the flag name must be reported.
+  const CliResult r = run_cli("--threads 8x");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--threads"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("8x"), std::string::npos) << r.output;
+
+  const CliResult d = run_cli("--ctx 0.8oops");
+  EXPECT_EQ(d.exit_code, 2);
+  EXPECT_NE(d.output.find("--ctx"), std::string::npos) << d.output;
+}
+
+TEST(Cli, TraceCoreOutOfRangeIsRejected) {
+  const CliResult r = run_cli("--trace-core 3 --iters 8 --elements 1024");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--trace-core"), std::string::npos) << r.output;
+}
+
+TEST(Cli, TraceCoreSelectsCore) {
+  const CliResult r = run_cli(
+      "--workload gather --cores 2 --threads 2 --iters 8 --elements 1024 "
+      "--trace --trace-core 1");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("commit @"), std::string::npos);
+}
+
+TEST(Cli, JsonReportIsValidAndComplete) {
+  const CliResult r = run_cli(
+      "--workload gather --scheme virec --iters 32 --elements 4096 --json");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const auto v = virec::testing::JsonParser::parse(r.output);
+  EXPECT_EQ(v.at("config").at("workload").string, "gather");
+  EXPECT_EQ(v.at("config").at("scheme").string, "virec");
+  EXPECT_TRUE(v.at("results").at("check_ok").boolean);
+  int populated_hists = 0;
+  for (const auto& s : v.at("stats").array) {
+    if (s.at("kind").string == "histogram" && s.at("count").number > 0) {
+      ++populated_hists;
+    }
+  }
+  EXPECT_GE(populated_hists, 3) << r.output.substr(0, 400);
+}
+
+TEST(Cli, JsonToFileKeepsTextReport) {
+  const std::string path = ::testing::TempDir() + "virec_cli_report.json";
+  const CliResult r = run_cli("--iters 16 --elements 1024 --json=" + path);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  // stdout still carries the human-readable report.
+  EXPECT_TRUE(has_line_prefix(r.output, "cycles "));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto v = virec::testing::JsonParser::parse(ss.str());
+  EXPECT_TRUE(v.has("results"));
+}
+
+TEST(Cli, SampleIntervalAddsTimeSeries) {
+  const CliResult r = run_cli(
+      "--iters 32 --elements 4096 --json --sample-interval 200");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const auto v = virec::testing::JsonParser::parse(r.output);
+  const auto& ts = v.at("time_series");
+  EXPECT_DOUBLE_EQ(ts.at("interval").number, 200.0);
+  ASSERT_FALSE(ts.at("samples").array.empty());
+  const double final_ipc = ts.at("samples").array.back().at("ipc").number;
+  const double scalar_ipc = v.at("results").at("ipc").number;
+  EXPECT_NEAR(final_ipc, scalar_ipc, 0.01 * scalar_ipc);
+}
+
+TEST(Cli, TraceOutIsWellFormedEventArray) {
+  const std::string path = ::testing::TempDir() + "virec_cli_trace.json";
+  const CliResult r = run_cli(
+      "--workload gather --iters 16 --elements 1024 --trace-out " + path);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto v = virec::testing::JsonParser::parse(ss.str());
+  ASSERT_TRUE(v.is_array());
+  ASSERT_FALSE(v.array.empty());
+  bool saw_residency = false;
+  for (const auto& e : v.array) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_TRUE(e.has("ph"));
+    if (e.at("ph").string == "X" && e.at("cat").string == "residency") {
+      saw_residency = true;
+    }
+  }
+  EXPECT_TRUE(saw_residency);
 }
 
 }  // namespace
