@@ -4,6 +4,7 @@
 //   virec-sim --workload spmv --policy mrt-plru --cores 4 --stats
 //   virec-sim --workload gather --trace --iters 8   # pipeline trace
 //   virec-sim --workload gather --json --trace-out trace.json
+//   virec-sim --sweep --workload gather,reduce --threads 4,8 --jobs 4
 //   virec-sim --list
 //
 // Prints runtime, IPC, RF behaviour and (optionally) every counter of
@@ -22,7 +23,9 @@
 #include "cpu/perfetto_trace.hpp"
 #include "cpu/trace.hpp"
 #include "sim/observability.hpp"
+#include "sim/parallel.hpp"
 #include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 #include "sim/system.hpp"
 
 using namespace virec;
@@ -41,6 +44,12 @@ struct Options {
   std::string json_path;   // empty = stdout
   std::string trace_out;   // Perfetto trace file; empty = off
   u64 sample_interval = 0;
+  bool sweep = false;
+  u32 jobs = 0;            // 0 = hardware concurrency
+  // Grid axes: in --sweep mode these accept comma-separated lists, so
+  // they are captured raw and parsed once the mode is known.
+  std::string workload_arg, scheme_arg, policy_arg;
+  std::string threads_arg, ctx_arg, cores_arg;
 };
 
 void print_usage() {
@@ -76,6 +85,12 @@ void print_usage() {
       "                      (reported in the JSON time_series section)\n"
       "  --stats             dump every component counter\n"
       "  --area              print the area/delay report for this config\n"
+      "  --sweep             run the full cross product of the grid axes\n"
+      "                      (--workload/--scheme/--policy/--threads/\n"
+      "                      --ctx/--cores accept comma-separated lists)\n"
+      "                      and print a CSV table (or JSON with --json)\n"
+      "  --jobs N            worker threads for --sweep (0 = all\n"
+      "                      hardware threads, the default; 1 = serial)\n"
       "  --list              list workloads and exit\n";
 }
 
@@ -101,6 +116,36 @@ double parse_double(const std::string& flag, const std::string& v) {
   return out;
 }
 
+std::vector<std::string> split_csv(const std::string& flag,
+                                   const std::string& v) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= v.size()) {
+    const std::size_t comma = v.find(',', start);
+    const std::string item = v.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (item.empty()) {
+      throw std::invalid_argument(flag + ": empty list item in '" + v + "'");
+    }
+    out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) {
+    throw std::invalid_argument(flag + " needs a value");
+  }
+  return out;
+}
+
+/// Non-sweep mode: the axis flags must be single values, not lists.
+std::string single_value(const std::string& flag, const std::string& v) {
+  if (v.find(',') != std::string::npos) {
+    throw std::invalid_argument(flag + ": list '" + v +
+                                "' is only valid with --sweep");
+  }
+  return v;
+}
+
 bool parse(int argc, char** argv, Options& opt) {
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -117,17 +162,16 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--stats") opt.stats = true;
     else if (arg == "--trace") opt.trace = true;
     else if (arg == "--area") opt.area = true;
+    else if (arg == "--sweep") opt.sweep = true;
+    else if (arg == "--jobs") opt.jobs = static_cast<u32>(u64_value());
     else if (arg == "--group-spill") opt.spec.group_spill = true;
     else if (arg == "--switch-prefetch") opt.spec.switch_prefetch = true;
-    else if (arg == "--workload") opt.spec.workload = value();
-    else if (arg == "--scheme") opt.spec.scheme = sim::parse_scheme(value());
-    else if (arg == "--policy") opt.spec.policy = core::parse_policy(value());
-    else if (arg == "--threads")
-      opt.spec.threads_per_core = static_cast<u32>(u64_value());
-    else if (arg == "--cores")
-      opt.spec.num_cores = static_cast<u32>(u64_value());
-    else if (arg == "--ctx")
-      opt.spec.context_fraction = parse_double(arg, value());
+    else if (arg == "--workload") opt.workload_arg = value();
+    else if (arg == "--scheme") opt.scheme_arg = value();
+    else if (arg == "--policy") opt.policy_arg = value();
+    else if (arg == "--threads") opt.threads_arg = value();
+    else if (arg == "--cores") opt.cores_arg = value();
+    else if (arg == "--ctx") opt.ctx_arg = value();
     else if (arg == "--regs")
       opt.spec.phys_regs = static_cast<u32>(u64_value());
     else if (arg == "--iters") opt.spec.params.iters_per_thread = u64_value();
@@ -156,7 +200,103 @@ bool parse(int argc, char** argv, Options& opt) {
       return false;
     }
   }
+  if (!opt.sweep) {
+    // Single-run mode: the axis flags behave exactly as before.
+    if (!opt.workload_arg.empty()) {
+      opt.spec.workload = single_value("--workload", opt.workload_arg);
+    }
+    if (!opt.scheme_arg.empty()) {
+      opt.spec.scheme =
+          sim::parse_scheme(single_value("--scheme", opt.scheme_arg));
+    }
+    if (!opt.policy_arg.empty()) {
+      opt.spec.policy =
+          core::parse_policy(single_value("--policy", opt.policy_arg));
+    }
+    if (!opt.threads_arg.empty()) {
+      opt.spec.threads_per_core = static_cast<u32>(
+          parse_u64("--threads", single_value("--threads", opt.threads_arg)));
+    }
+    if (!opt.cores_arg.empty()) {
+      opt.spec.num_cores = static_cast<u32>(
+          parse_u64("--cores", single_value("--cores", opt.cores_arg)));
+    }
+    if (!opt.ctx_arg.empty()) {
+      opt.spec.context_fraction =
+          parse_double("--ctx", single_value("--ctx", opt.ctx_arg));
+    }
+  }
   return true;
+}
+
+/// Build the sweep grid from the comma-separated axis flags. Axes the
+/// user did not give stay at the base spec's single value.
+sim::Sweep build_sweep(const Options& opt) {
+  sim::Sweep sweep;
+  sweep.base() = opt.spec;
+  if (!opt.workload_arg.empty()) {
+    sweep.over_workloads(split_csv("--workload", opt.workload_arg));
+  }
+  if (!opt.scheme_arg.empty()) {
+    std::vector<sim::Scheme> schemes;
+    for (const std::string& s : split_csv("--scheme", opt.scheme_arg)) {
+      schemes.push_back(sim::parse_scheme(s));
+    }
+    sweep.over_schemes(std::move(schemes));
+  }
+  if (!opt.policy_arg.empty()) {
+    std::vector<core::PolicyKind> policies;
+    for (const std::string& p : split_csv("--policy", opt.policy_arg)) {
+      policies.push_back(core::parse_policy(p));
+    }
+    sweep.over_policies(std::move(policies));
+  }
+  if (!opt.threads_arg.empty()) {
+    std::vector<u32> threads;
+    for (const std::string& t : split_csv("--threads", opt.threads_arg)) {
+      threads.push_back(static_cast<u32>(parse_u64("--threads", t)));
+    }
+    sweep.over_threads(std::move(threads));
+  }
+  if (!opt.cores_arg.empty()) {
+    std::vector<u32> cores;
+    for (const std::string& c : split_csv("--cores", opt.cores_arg)) {
+      cores.push_back(static_cast<u32>(parse_u64("--cores", c)));
+    }
+    sweep.over_cores(std::move(cores));
+  }
+  if (!opt.ctx_arg.empty()) {
+    std::vector<double> fractions;
+    for (const std::string& f : split_csv("--ctx", opt.ctx_arg)) {
+      fractions.push_back(parse_double("--ctx", f));
+    }
+    sweep.over_context_fractions(std::move(fractions));
+  }
+  return sweep;
+}
+
+int run_sweep_mode(const Options& opt) {
+  if (opt.trace || !opt.trace_out.empty() || opt.sample_interval > 0 ||
+      opt.stats || opt.area) {
+    throw std::invalid_argument(
+        "--trace/--trace-out/--sample-interval/--stats/--area are "
+        "single-run options and cannot be combined with --sweep");
+  }
+  const sim::Sweep sweep = build_sweep(opt);
+  const sim::SweepResults results = sweep.run(opt.jobs);
+  if (opt.json) {
+    if (opt.json_path.empty()) {
+      results.write_json(std::cout);
+    } else {
+      std::ofstream out(opt.json_path);
+      if (!out) throw std::runtime_error("cannot open " + opt.json_path);
+      results.write_json(out);
+      results.write_csv(std::cout);
+    }
+  } else {
+    results.write_csv(std::cout);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -180,6 +320,7 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (opt.sweep) return run_sweep_mode(opt);
 
     const workloads::Workload& workload =
         workloads::find_workload(opt.spec.workload);

@@ -17,8 +17,8 @@ using namespace virec;
 
 namespace {
 
-Cycle run_with(const std::string& workload,
-               const std::function<void(core::ViReCConfig&)>& tweak) {
+sim::RunResult run_point(const std::string& workload,
+                         const std::function<void(core::ViReCConfig&)>& tweak) {
   sim::RunSpec spec;
   spec.workload = workload;
   spec.scheme = sim::Scheme::kViReC;
@@ -30,12 +30,14 @@ Cycle run_with(const std::string& workload,
   sim::System system(config, workloads::find_workload(workload), spec.params);
   const sim::RunResult result = system.run();
   if (!result.check_ok) throw std::runtime_error(result.check_msg);
-  return result.cycles;
+  return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const u32 jobs = bench::parse_jobs(argc, argv);
+
   bench::print_header(
       "Ablation — contribution of each ViReC feature (8 threads, 80% ctx)",
       "Each row removes ONE feature from the full design (or adds one\n"
@@ -78,17 +80,32 @@ int main() {
   headers.emplace_back("geomean");
   Table table(headers);
 
-  std::map<std::string, Cycle> full;
-  for (const char* k : kernels) {
-    full[k] = run_with(k, [](core::ViReCConfig&) {});
-  }
+  // Every (variant, kernel) point is an independent simulation; run
+  // the whole grid on the worker pool, then format from the flat
+  // result vector (row-major: variants x kernels).
+  std::vector<std::function<sim::RunResult()>> tasks;
   for (const Variant& variant : variants) {
-    std::vector<std::string> row = {variant.label};
-    std::vector<double> rel;
     for (const char* k : kernels) {
-      const Cycle cycles = run_with(k, variant.tweak);
+      tasks.emplace_back([k, tweak = variant.tweak] {
+        return run_point(k, tweak);
+      });
+    }
+  }
+  const std::vector<sim::RunResult> results =
+      sim::run_tasks(std::move(tasks), jobs);
+
+  // Row 0 is the full design: the baseline each slowdown is against.
+  std::map<std::string, Cycle> full;
+  for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+    full[kernels[ki]] = results[ki].cycles;
+  }
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    std::vector<std::string> row = {variants[vi].label};
+    std::vector<double> rel;
+    for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+      const Cycle cycles = results[vi * kernels.size() + ki].cycles;
       const double slowdown =
-          static_cast<double>(cycles) / static_cast<double>(full[k]);
+          static_cast<double>(cycles) / static_cast<double>(full[kernels[ki]]);
       rel.push_back(slowdown);
       row.push_back(Table::fmt(slowdown, 3));
     }

@@ -14,9 +14,25 @@ using namespace virec;
 namespace {
 constexpr u32 kThreads = 8;
 constexpr u32 kAccessesPerEpisode = 14;  // ~5-6 instructions per episode
+
+bench::CachedRunner runner;
+
+sim::RunSpec spec_for(const char* name, double frac,
+                      const workloads::WorkloadParams& params) {
+  sim::RunSpec spec;
+  spec.workload = name;
+  spec.scheme = sim::Scheme::kViReC;
+  spec.threads_per_core = kThreads;
+  spec.context_fraction = frac;
+  spec.params = params;
+  return spec;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner.set_jobs(bench::parse_jobs(argc, argv));
+
   bench::print_header(
       "Policy bound — LRC vs Belady's OPT (8 threads)",
       "Section 4: LRC aims to evict the register used furthest in the\n"
@@ -25,6 +41,14 @@ int main() {
 
   workloads::WorkloadParams params = bench::default_params();
   params.iters_per_thread = 128;
+
+  std::vector<sim::RunSpec> grid;
+  for (const char* name : {"gather", "maebo", "spmv"}) {
+    for (double frac : {0.4, 0.6, 0.8, 1.0}) {
+      grid.push_back(spec_for(name, frac, params));
+    }
+  }
+  runner.prefetch(grid);
 
   for (const char* name : {"gather", "maebo", "spmv"}) {
     const workloads::Workload& workload = workloads::find_workload(name);
@@ -35,16 +59,11 @@ int main() {
     Table table({"RF entries", "ctx %", "OPT", "MRT-LRU", "LRU", "FIFO",
                  "LRC (online)"});
     for (double frac : {0.4, 0.6, 0.8, 1.0}) {
-      sim::RunSpec spec;
-      spec.workload = name;
-      spec.scheme = sim::Scheme::kViReC;
-      spec.threads_per_core = kThreads;
-      spec.context_fraction = frac;
-      spec.params = params;
+      const sim::RunSpec spec = spec_for(name, frac, params);
       const u32 rf = sim::spec_phys_regs(spec);
       const analysis::OfflineHitRates offline = analysis::offline_hit_rates(
           trace, rf, kThreads, kAccessesPerEpisode);
-      const double lrc_online = sim::run_spec(spec).rf_hit_rate;
+      const double lrc_online = runner.result(spec).rf_hit_rate;
       table.add_row({std::to_string(rf), Table::fmt_pct(frac, 0),
                      Table::fmt_pct(offline.opt, 1),
                      Table::fmt_pct(offline.mrt_lru, 1),

@@ -1,13 +1,20 @@
 // Shared helpers for the figure/table reproduction harnesses.
 #pragma once
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "sim/parallel.hpp"
 #include "sim/runner.hpp"
 
 namespace virec::bench {
@@ -31,5 +38,101 @@ inline void print_header(const std::string& title, const std::string& paper) {
 inline double relative_perf(Cycle baseline, Cycle measured) {
   return static_cast<double>(baseline) / static_cast<double>(measured);
 }
+
+/// Worker count for a harness: `--jobs N` on the command line, else the
+/// BENCH_JOBS environment variable, else 0 (= every hardware thread).
+/// Strict parsing — "--jobs 4x" is an error, not 4.
+inline u32 parse_jobs(int argc, char** argv) {
+  auto parse = [](const char* src, const std::string& v) -> u32 {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long out = std::strtoull(v.c_str(), &end, 0);
+    if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+      throw std::invalid_argument(std::string(src) + ": invalid job count '" +
+                                  v + "'");
+    }
+    return static_cast<u32>(out);
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) throw std::invalid_argument("--jobs needs a value");
+      return parse("--jobs", argv[i + 1]);
+    }
+  }
+  if (const char* env = std::getenv("BENCH_JOBS")) {
+    return parse("BENCH_JOBS", env);
+  }
+  return 0;
+}
+
+/// Exact identity of an experiment point — every field that changes the
+/// simulation outcome, so two specs share a cache slot only when their
+/// runs would be identical.
+inline std::string spec_key(const sim::RunSpec& s) {
+  u64 fraction_bits;
+  std::memcpy(&fraction_bits, &s.context_fraction, sizeof fraction_bits);
+  std::string key = s.workload;
+  for (const u64 v :
+       {static_cast<u64>(s.scheme), static_cast<u64>(s.num_cores),
+        static_cast<u64>(s.threads_per_core), fraction_bits,
+        static_cast<u64>(s.policy), s.params.iters_per_thread,
+        s.params.elements, s.params.stride, s.params.locality_window,
+        static_cast<u64>(s.params.extra_compute),
+        static_cast<u64>(s.params.max_regs), s.params.seed,
+        static_cast<u64>(s.dcache_bytes), static_cast<u64>(s.dcache_latency),
+        static_cast<u64>(s.phys_regs), static_cast<u64>(s.group_spill),
+        static_cast<u64>(s.switch_prefetch)}) {
+    key += '\0';
+    key += std::to_string(v);
+  }
+  return key;
+}
+
+/// Runs experiment points through sim::run_specs and memoises the
+/// results. The harness enumerates its whole grid once, prefetches it
+/// (all points run concurrently on the worker pool), then keeps its
+/// original formatting logic, which now hits the cache. A point the
+/// grid missed still works — it just runs serially on first use.
+class CachedRunner {
+ public:
+  explicit CachedRunner(u32 jobs = 0) : jobs_(jobs) {}
+
+  void set_jobs(u32 jobs) { jobs_ = jobs; }
+  u32 jobs() const { return jobs_; }
+
+  /// Run every not-yet-cached spec on the worker pool.
+  void prefetch(const std::vector<sim::RunSpec>& specs) {
+    std::vector<sim::RunSpec> todo;
+    std::vector<std::string> keys;
+    for (const sim::RunSpec& spec : specs) {
+      std::string key = spec_key(spec);
+      if (cache_.count(key) || std::count(keys.begin(), keys.end(), key)) {
+        continue;
+      }
+      todo.push_back(spec);
+      keys.push_back(std::move(key));
+    }
+    std::vector<sim::RunResult> results = sim::run_specs(todo, jobs_);
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      cache_.emplace(std::move(keys[i]), std::move(results[i]));
+    }
+  }
+
+  /// Cached result for @p spec; runs it on demand if absent.
+  const sim::RunResult& result(const sim::RunSpec& spec) {
+    std::string key = spec_key(spec);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      it = cache_.emplace(std::move(key), sim::run_spec(spec)).first;
+    }
+    return it->second;
+  }
+
+  Cycle cycles(const sim::RunSpec& spec) { return result(spec).cycles; }
+
+ private:
+  u32 jobs_;
+  std::unordered_map<std::string, sim::RunResult> cache_;
+};
 
 }  // namespace virec::bench

@@ -15,7 +15,9 @@ namespace {
 /// Total work: kTotalIters gather iterations, split across threads.
 constexpr u64 kTotalIters = 2048;
 
-Cycle run_cgmt(sim::Scheme scheme, u32 threads, double fraction) {
+bench::CachedRunner runner;
+
+sim::RunSpec cgmt_spec(sim::Scheme scheme, u32 threads, double fraction) {
   sim::RunSpec spec;
   spec.workload = "gather";
   spec.scheme = scheme;
@@ -23,7 +25,11 @@ Cycle run_cgmt(sim::Scheme scheme, u32 threads, double fraction) {
   spec.context_fraction = fraction;
   spec.params = bench::default_params();
   spec.params.iters_per_thread = kTotalIters / threads;
-  return sim::run_spec(spec).cycles;
+  return spec;
+}
+
+Cycle run_cgmt(sim::Scheme scheme, u32 threads, double fraction) {
+  return runner.cycles(cgmt_spec(scheme, threads, fraction));
 }
 
 /// The OoO anchor runs the whole gather sequentially on the simplified
@@ -55,7 +61,18 @@ double ooo_time_units() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner.set_jobs(bench::parse_jobs(argc, argv));
+  std::vector<sim::RunSpec> grid;
+  grid.push_back(cgmt_spec(sim::Scheme::kBanked, 1, 1.0));
+  for (u32 threads : {4u, 8u}) {
+    grid.push_back(cgmt_spec(sim::Scheme::kBanked, threads, 1.0));
+    for (double frac : {1.0, 0.8, 0.6, 0.4}) {
+      grid.push_back(cgmt_spec(sim::Scheme::kViReC, threads, frac));
+    }
+  }
+  runner.prefetch(grid);
+
   bench::print_header(
       "Figure 1 — performance-area trade-off (gather)",
       "Paper: OoO ~5.3x perf at ~19.1x area of one InO; banked CGMT better\n"

@@ -8,20 +8,44 @@ using namespace virec;
 
 namespace {
 
-Cycle run(const std::string& workload, sim::Scheme scheme, u32 threads,
-          double fraction) {
+bench::CachedRunner runner;
+
+sim::RunSpec spec_for(const std::string& workload, sim::Scheme scheme,
+                      u32 threads, double fraction) {
   sim::RunSpec spec;
   spec.workload = workload;
   spec.scheme = scheme;
   spec.threads_per_core = threads;
   spec.context_fraction = fraction;
   spec.params = bench::default_params();
-  return sim::run_spec(spec).cycles;
+  return spec;
+}
+
+Cycle run(const std::string& workload, sim::Scheme scheme, u32 threads,
+          double fraction) {
+  return runner.cycles(spec_for(workload, scheme, threads, fraction));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner.set_jobs(bench::parse_jobs(argc, argv));
+  std::vector<sim::RunSpec> grid;
+  for (u32 threads : {4u, 6u, 8u}) {
+    for (const workloads::Workload* w : workloads::figure_workloads()) {
+      grid.push_back(spec_for(w->name(), sim::Scheme::kBanked, threads, 1.0));
+      for (double f : {0.8, 0.6, 0.4}) {
+        grid.push_back(spec_for(w->name(), sim::Scheme::kViReC, threads, f));
+      }
+      grid.push_back(spec_for(w->name(), sim::Scheme::kNSF, threads, 0.8));
+      grid.push_back(
+          spec_for(w->name(), sim::Scheme::kPrefetchExact, threads, 0.8));
+      grid.push_back(
+          spec_for(w->name(), sim::Scheme::kPrefetchFull, threads, 0.8));
+    }
+  }
+  runner.prefetch(grid);
+
   bench::print_header(
       "Figure 9 — performance vs banked (higher is better, banked = 1.0)",
       "Paper: ViReC mean drop 4.4%/7.1%/10% at 80% ctx and\n"

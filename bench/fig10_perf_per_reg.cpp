@@ -10,9 +10,36 @@ using namespace virec;
 
 namespace {
 constexpr u64 kTotalIters = 2048;
+
+bench::CachedRunner runner;
+
+sim::RunSpec spec_for(u32 threads, double frac) {
+  sim::RunSpec spec;
+  spec.workload = "gather";
+  spec.threads_per_core = threads;
+  spec.params = bench::default_params();
+  spec.params.iters_per_thread = kTotalIters / threads;
+  if (frac < 0) {
+    spec.scheme = sim::Scheme::kBanked;
+  } else {
+    spec.scheme = sim::Scheme::kViReC;
+    spec.context_fraction = frac;
+  }
+  return spec;
 }
 
-int main() {
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner.set_jobs(bench::parse_jobs(argc, argv));
+  std::vector<sim::RunSpec> grid;
+  for (u32 threads : {2u, 4u, 6u, 8u, 10u}) {
+    for (double frac : {0.4, 0.6, 0.8, 1.0, -1.0}) {
+      grid.push_back(spec_for(threads, frac));
+    }
+  }
+  runner.prefetch(grid);
+
   bench::print_header(
       "Figure 10 — performance per register (gather)",
       "Paper: with few threads (latency not hidden) small contexts cost\n"
@@ -23,24 +50,17 @@ int main() {
   double base_perf = 0.0;
   for (u32 threads : {2u, 4u, 6u, 8u, 10u}) {
     for (double frac : {0.4, 0.6, 0.8, 1.0, -1.0 /* banked */}) {
-      sim::RunSpec spec;
-      spec.workload = "gather";
-      spec.threads_per_core = threads;
-      spec.params = bench::default_params();
-      spec.params.iters_per_thread = kTotalIters / threads;
+      const sim::RunSpec spec = spec_for(threads, frac);
       u32 regs;
       std::string label;
       if (frac < 0) {
-        spec.scheme = sim::Scheme::kBanked;
         regs = threads * isa::kNumArchRegs;
         label = "banked";
       } else {
-        spec.scheme = sim::Scheme::kViReC;
-        spec.context_fraction = frac;
         regs = sim::spec_phys_regs(spec);
         label = "virec " + Table::fmt_pct(frac, 0);
       }
-      const sim::RunResult result = sim::run_spec(spec);
+      const sim::RunResult result = runner.result(spec);
       const double perf = static_cast<double>(kTotalIters) /
                           static_cast<double>(result.cycles);
       if (base_perf == 0.0) base_perf = perf;

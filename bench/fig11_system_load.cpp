@@ -7,7 +7,32 @@
 
 using namespace virec;
 
-int main() {
+namespace {
+
+sim::RunSpec spec_for(u32 cores, u32 threads) {
+  sim::RunSpec spec;
+  spec.workload = "gather";
+  spec.scheme = sim::Scheme::kViReC;
+  spec.num_cores = cores;
+  spec.threads_per_core = threads;
+  // Fixed RF budget per processor: 8 threads get 100% of a 6-reg
+  // context; 10 threads squeeze into the same 48 registers.
+  spec.phys_regs = 48;
+  spec.params = bench::default_params();
+  spec.params.iters_per_thread = 2048 / threads;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CachedRunner runner(bench::parse_jobs(argc, argv));
+  std::vector<sim::RunSpec> grid;
+  for (u32 cores : {1u, 2u, 4u, 8u}) {
+    for (u32 threads : {8u, 10u}) grid.push_back(spec_for(cores, threads));
+  }
+  runner.prefetch(grid);
+
   bench::print_header(
       "Figure 11 — scaling with system load (gather)",
       "Paper: with 1-2 processors 8 threads suffice to hide latency; as\n"
@@ -20,28 +45,8 @@ int main() {
   double base = 0.0;
   for (u32 cores : {1u, 2u, 4u, 8u}) {
     for (u32 threads : {8u, 10u}) {
-      sim::RunSpec spec;
-      spec.workload = "gather";
-      spec.scheme = sim::Scheme::kViReC;
-      spec.num_cores = cores;
-      spec.threads_per_core = threads;
-      // Fixed RF budget per processor: 8 threads get 100% of a 6-reg
-      // context; 10 threads squeeze into the same 48 registers.
-      spec.phys_regs = 48;
-      spec.params = bench::default_params();
-      spec.params.iters_per_thread = 2048 / threads;
-      sim::System system(sim::build_config(spec),
-                         workloads::find_workload("gather"), spec.params);
-      const sim::RunResult result = system.run();
-      if (!result.check_ok) {
-        std::cerr << "check failed: " << result.check_msg << "\n";
-        return 1;
-      }
-      const StatSet& dstats = system.memory_system().dcache(0).stats();
-      const double avg_lat =
-          dstats.get("misses") == 0.0
-              ? 0.0
-              : dstats.get("miss_latency") / dstats.get("misses");
+      const sim::RunResult& result = runner.result(spec_for(cores, threads));
+      const double avg_lat = result.avg_dcache_miss_latency;
       const double perf = 1.0 / static_cast<double>(result.cycles);
       if (base == 0.0) base = perf;
       table.add_row({std::to_string(cores), std::to_string(threads), "48",

@@ -14,8 +14,10 @@ struct Point {
   Cycle cycles;
 };
 
-Point run(const std::string& workload, core::PolicyKind policy,
-          double fraction) {
+bench::CachedRunner runner;
+
+sim::RunSpec spec_for(const std::string& workload, core::PolicyKind policy,
+                      double fraction) {
   sim::RunSpec spec;
   spec.workload = workload;
   spec.scheme = sim::Scheme::kViReC;
@@ -23,13 +25,21 @@ Point run(const std::string& workload, core::PolicyKind policy,
   spec.threads_per_core = 8;
   spec.context_fraction = fraction;
   spec.params = bench::default_params();
-  const sim::RunResult result = sim::run_spec(spec);
+  return spec;
+}
+
+Point run(const std::string& workload, core::PolicyKind policy,
+          double fraction) {
+  const sim::RunResult& result =
+      runner.result(spec_for(workload, policy, fraction));
   return {result.rf_hit_rate, result.cycles};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner.set_jobs(bench::parse_jobs(argc, argv));
+
   bench::print_header(
       "Figure 12 — replacement policy hit rates (8 threads)",
       "Paper: scheduling-aware policies (MRT-*, LRC) beat PLRU/LRU;\n"
@@ -41,6 +51,16 @@ int main() {
       core::PolicyKind::kFIFO,    core::PolicyKind::kRandom,
       core::PolicyKind::kMrtPLRU, core::PolicyKind::kMrtLRU,
       core::PolicyKind::kLRC};
+
+  std::vector<sim::RunSpec> grid;
+  for (double fraction : {0.8, 0.4}) {
+    for (const workloads::Workload* w : workloads::figure_workloads()) {
+      for (core::PolicyKind pk : policies) {
+        grid.push_back(spec_for(w->name(), pk, fraction));
+      }
+    }
+  }
+  runner.prefetch(grid);
 
   for (double fraction : {0.8, 0.4}) {
     std::cout << "\n--- " << Table::fmt_pct(fraction, 0) << " context ---\n";

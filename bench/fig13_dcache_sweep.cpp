@@ -7,26 +7,47 @@ using namespace virec;
 
 namespace {
 
+bench::CachedRunner runner;
+
+sim::RunSpec spec_for(const std::string& workload, sim::Scheme scheme,
+                      u32 latency, u32 bytes) {
+  sim::RunSpec spec;
+  spec.workload = workload;
+  spec.scheme = scheme;
+  spec.threads_per_core = 8;
+  spec.context_fraction = 0.8;
+  spec.dcache_latency = latency;
+  spec.dcache_bytes = bytes;
+  spec.params = bench::default_params();
+  spec.params.iters_per_thread = 128;
+  return spec;
+}
+
 double geomean_ipc(sim::Scheme scheme, u32 latency, u32 bytes) {
   std::vector<double> ipcs;
   for (const workloads::Workload* w : workloads::figure_workloads()) {
-    sim::RunSpec spec;
-    spec.workload = w->name();
-    spec.scheme = scheme;
-    spec.threads_per_core = 8;
-    spec.context_fraction = 0.8;
-    spec.dcache_latency = latency;
-    spec.dcache_bytes = bytes;
-    spec.params = bench::default_params();
-    spec.params.iters_per_thread = 128;
-    ipcs.push_back(sim::run_spec(spec).ipc);
+    ipcs.push_back(runner.result(spec_for(w->name(), scheme, latency, bytes)).ipc);
   }
   return geomean(ipcs);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner.set_jobs(bench::parse_jobs(argc, argv));
+  std::vector<sim::RunSpec> grid;
+  for (const workloads::Workload* w : workloads::figure_workloads()) {
+    for (sim::Scheme s : {sim::Scheme::kBanked, sim::Scheme::kViReC}) {
+      for (u32 latency : {2u, 3u, 4u, 6u, 8u}) {
+        grid.push_back(spec_for(w->name(), s, latency, 0));
+      }
+      for (u32 bytes : {2048u, 4096u, 8192u, 16384u, 32768u}) {
+        grid.push_back(spec_for(w->name(), s, 0, bytes));
+      }
+    }
+  }
+  runner.prefetch(grid);
+
   bench::print_header(
       "Figure 13 — dcache latency / capacity sweep (8 threads, geomean IPC)",
       "Paper: all schemes degrade with dcache latency, ViReC slightly\n"

@@ -5,7 +5,9 @@
 
 #include "core/virec_manager.hpp"
 #include "mem/memory_system.hpp"
+#include "sim/parallel.hpp"
 #include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 
 namespace virec {
 namespace {
@@ -92,6 +94,38 @@ void BM_GatherSimulation(benchmark::State& state) {
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_GatherSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_SweepThroughput(benchmark::State& state) {
+  // Whole-sweep throughput (experiment points/sec) through the
+  // parallel executor. Arg = worker threads; 0 = hardware concurrency.
+  // Compare the jobs=1 row against a multi-job row to read the
+  // end-to-end sweep scaling on this machine.
+  sim::Sweep sweep;
+  sweep.base().workload = "gather";
+  sweep.base().context_fraction = 0.8;
+  sweep.base().params.iters_per_thread = 64;
+  sweep.base().params.elements = 1 << 14;
+  sweep.over_schemes({sim::Scheme::kBanked, sim::Scheme::kViReC})
+      .over_threads({4, 8})
+      .over_context_fractions({1.0, 0.8, 0.4});
+  const u32 jobs = static_cast<u32>(state.range(0));
+  u64 points = 0;
+  for (auto _ : state) {
+    const sim::SweepResults results = sweep.run(jobs);
+    points += results.size();
+    benchmark::DoNotOptimize(results.records().data());
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(points), benchmark::Counter::kIsRate);
+}
+// Real time, not CPU time: the workers' cycles are not attributed to
+// the main thread, so a CPU-time rate would overstate multi-job runs.
+BENCHMARK(BM_SweepThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(0)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace virec

@@ -1,11 +1,14 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace virec {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: parallel experiment workers (sim::ParallelExecutor) read the
+// threshold concurrently.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,12 +22,14 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (level > g_level) return;
+  if (level > log_level()) return;
   std::fprintf(stderr, "[virec %-5s] %s\n", level_name(level), msg.c_str());
 }
 

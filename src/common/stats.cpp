@@ -89,6 +89,12 @@ void StatSet::inc(const std::string& name, double delta) {
   stats_[index_of(name)].value += delta;
 }
 
+double* StatSet::counter(const std::string& name, const std::string& desc) {
+  Stat& stat = stats_[index_of(name)];
+  if (!desc.empty()) stat.desc = desc;
+  return &stat.value;
+}
+
 void StatSet::set(const std::string& name, double value) {
   stats_[index_of(name)].value = value;
 }

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <array>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -153,6 +154,13 @@ class StatSet {
   /// Add @p delta (default 1) to counter @p name.
   void inc(const std::string& name, double delta = 1.0);
 
+  /// Stable pointer to counter @p name's value (created if absent).
+  /// Components fetch this once at construction and bump through it on
+  /// the simulation hot path, skipping the by-name map lookup that
+  /// inc() pays on every event. The pointer stays valid for the
+  /// lifetime of the set (clear() zeroes the value, never moves it).
+  double* counter(const std::string& name, const std::string& desc = "");
+
   /// Overwrite counter @p name.
   void set(const std::string& name, double value);
 
@@ -202,7 +210,7 @@ class StatSet {
 
   std::string prefix_;
   bool detailed_ = false;
-  std::vector<Stat> stats_;
+  std::deque<Stat> stats_;  // deque: counter() pointers stay stable
   std::map<std::string, std::size_t> index_;
   std::vector<std::unique_ptr<Histogram>> histograms_;
   std::vector<std::unique_ptr<Distribution>> distributions_;

@@ -7,17 +7,25 @@ namespace virec::core {
 BackingStoreInterface::BackingStoreInterface(const BsiConfig& config,
                                              const cpu::CoreEnv& env,
                                              StatSet& stats)
-    : config_(config), env_(env), stats_(stats) {}
+    : config_(config),
+      env_(env),
+      stats_(stats),
+      dcache_(env.ms->dcache(env.core_id)) {
+  c_fills_ = stats_.counter("bsi_fills");
+  c_dummy_fills_ = stats_.counter("bsi_dummy_fills");
+  c_spills_ = stats_.counter("bsi_spills");
+  c_sysreg_reads_ = stats_.counter("bsi_sysreg_reads");
+  c_sysreg_writes_ = stats_.counter("bsi_sysreg_writes");
+}
 
 Cycle BackingStoreInterface::issue(Addr addr, bool is_write, Cycle now) {
   Cycle start = now;
   if (!config_.non_blocking) {
     start = std::max(start, busy_until_);
   }
-  const Cycle done = env_.ms->dcache(env_.core_id)
-                         .access(addr, is_write, start,
-                                 /*reg_region=*/config_.pin_lines)
-                         .done;
+  const Cycle done =
+      dcache_.access(addr, is_write, start, /*reg_region=*/config_.pin_lines)
+          .done;
   busy_until_ = done;
   return done;
 }
@@ -27,7 +35,7 @@ Cycle BackingStoreInterface::fill(int tid, isa::RegId arch, Cycle now) {
       env_.ms->reg_addr(env_.core_id, static_cast<u32>(tid), arch);
   const Cycle done = issue(addr, /*is_write=*/false, now);
   last_fill_done_ = std::max(last_fill_done_, done);
-  stats_.inc("bsi_fills");
+  ++*c_fills_;
   return done;
 }
 
@@ -38,26 +46,26 @@ Cycle BackingStoreInterface::dummy_fill(int tid, isa::RegId arch, Cycle now) {
     // Bookkeeping transaction proceeds in the background; the decode
     // stage gets a dummy value immediately.
     issue(addr, /*is_write=*/false, now);
-    stats_.inc("bsi_dummy_fills");
+    ++*c_dummy_fills_;
     return now;
   }
   const Cycle done = issue(addr, /*is_write=*/false, now);
   last_fill_done_ = std::max(last_fill_done_, done);
-  stats_.inc("bsi_fills");
+  ++*c_fills_;
   return done;
 }
 
 Cycle BackingStoreInterface::spill(int tid, isa::RegId arch, Cycle now) {
   const Addr addr =
       env_.ms->reg_addr(env_.core_id, static_cast<u32>(tid), arch);
-  stats_.inc("bsi_spills");
+  ++*c_spills_;
   return issue(addr, /*is_write=*/true, now);
 }
 
 Cycle BackingStoreInterface::sysreg_transfer(int tid, bool is_write,
                                              Cycle now) {
   const Addr addr = env_.ms->sysreg_addr(env_.core_id, static_cast<u32>(tid));
-  stats_.inc(is_write ? "bsi_sysreg_writes" : "bsi_sysreg_reads");
+  ++*(is_write ? c_sysreg_writes_ : c_sysreg_reads_);
   return issue(addr, is_write, now);
 }
 

@@ -56,8 +56,15 @@ class BackingStoreInterface {
   BsiConfig config_;
   cpu::CoreEnv env_;
   StatSet& stats_;
+  mem::Cache& dcache_;  // this core's dcache, resolved once
   Cycle busy_until_ = 0;      // blocking-mode serialisation
   Cycle last_fill_done_ = 0;  // switch mask
+  // Hot-path counter handles (owned by stats_).
+  double* c_fills_ = nullptr;
+  double* c_dummy_fills_ = nullptr;
+  double* c_spills_ = nullptr;
+  double* c_sysreg_reads_ = nullptr;
+  double* c_sysreg_writes_ = nullptr;
 };
 
 }  // namespace virec::core

@@ -12,7 +12,11 @@ ContextSwitchLogic::ContextSwitchLogic(const CslConfig& config,
       bsi_(bsi),
       stats_(stats),
       sysreg_ready_(num_threads, 0),
-      buffered_(num_threads, 0) {}
+      buffered_(num_threads, 0) {
+  c_prefetch_late_ = stats_.counter("csl_prefetch_late");
+  c_demand_fetches_ = stats_.counter("csl_demand_sysreg_fetches");
+  c_prefetches_ = stats_.counter("csl_sysreg_prefetches");
+}
 
 Cycle ContextSwitchLogic::on_thread_start(int tid, Cycle now) {
   const auto t = static_cast<std::size_t>(tid);
@@ -32,13 +36,13 @@ Cycle ContextSwitchLogic::on_switch(int from_tid, int to_tid,
     // Ping-pong buffer swap: the incoming sysregs are (or soon will be)
     // on chip.
     ready = std::max(now, sysreg_ready_[to]);
-    if (sysreg_ready_[to] > now) stats_.inc("csl_prefetch_late");
+    if (sysreg_ready_[to] > now) ++*c_prefetch_late_;
   } else {
     // Demand fetch before the new thread can run.
     ready = bsi_.sysreg_transfer(to_tid, /*is_write=*/false, now);
     sysreg_ready_[to] = ready;
     buffered_[to] = 1;
-    stats_.inc("csl_demand_sysreg_fetches");
+    ++*c_demand_fetches_;
   }
 
   // Outgoing sysregs are written back in the background and leave the
@@ -57,7 +61,7 @@ Cycle ContextSwitchLogic::on_switch(int from_tid, int to_tid,
       sysreg_ready_[nx] =
           bsi_.sysreg_transfer(predicted_next, /*is_write=*/false, ready);
       buffered_[nx] = 1;
-      stats_.inc("csl_sysreg_prefetches");
+      ++*c_prefetches_;
     }
   }
 

@@ -40,6 +40,10 @@ class ContextSwitchLogic {
   StatSet& stats_;
   std::vector<Cycle> sysreg_ready_;  // prefetch completion per thread
   std::vector<u8> buffered_;         // sysregs currently on chip
+  // Hot-path counter handles (owned by stats_).
+  double* c_prefetch_late_ = nullptr;
+  double* c_demand_fetches_ = nullptr;
+  double* c_prefetches_ = nullptr;
 };
 
 }  // namespace virec::core

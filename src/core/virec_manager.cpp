@@ -24,11 +24,16 @@ ViReCManager::ViReCManager(const ViReCConfig& config, const cpu::CoreEnv& env)
       bsi_(config.bsi, env, stats_),
       csl_(config.csl, env.num_threads, bsi_, stats_),
       phys_values_(config.num_phys_regs, 0),
+      locked_scratch_(config.num_phys_regs, 0),
       used_this_episode_(env.num_threads, 0),
       last_episode_used_(env.num_threads, 0) {
-  stats_.describe("rf_hits", "decode operands present in the physical RF");
-  stats_.describe("rf_misses", "decode operands filled from the backing store");
-  stats_.describe("rf_spills", "dirty registers written back on eviction");
+  c_rf_hits_ = stats_.counter("rf_hits",
+                              "decode operands present in the physical RF");
+  c_rf_misses_ = stats_.counter(
+      "rf_misses", "decode operands filled from the backing store");
+  c_rf_spills_ = stats_.counter(
+      "rf_spills", "dirty registers written back on eviction");
+  c_rf_evictions_ = stats_.counter("rf_evictions");
   hist_rollback_depth_ = stats_.histogram(
       "rollback_depth", "rollback-queue occupancy sampled at each decode");
   dist_decode_stall_ = stats_.distribution(
@@ -54,12 +59,12 @@ int ViReCManager::allocate_entry(int tid, isa::RegId arch,
                   phys_values_[static_cast<u32>(idx)]);
     spill_done =
         std::max(spill_done, bsi_.spill(victim.tid, victim.arch, now));
-    stats_.inc("rf_spills");
+    ++*c_rf_spills_;
     if (tracer_ != nullptr) {
       tracer_->on_reg_spill(now, victim.tid, victim.arch);
     }
   }
-  if (victim.valid) stats_.inc("rf_evictions");
+  if (victim.valid) ++*c_rf_evictions_;
   locked[static_cast<u32>(idx)] = 1;
   return idx;
 }
@@ -74,8 +79,8 @@ cpu::DecodeAccess ViReCManager::on_decode(int tid, const isa::Inst& inst,
 
   // Registers this instruction references must not evict each other
   // while its misses resolve.
-  std::vector<u8> locked(config_.num_phys_regs, 0);
-  std::vector<u32> accessed;
+  std::vector<u8>& locked = locked_scratch_;
+  std::fill(locked.begin(), locked.end(), u8{0});
   RollbackQueue::Entry rb;
   rb.is_mem = isa::is_mem(inst.op);
 
@@ -84,7 +89,6 @@ cpu::DecodeAccess ViReCManager::on_decode(int tid, const isa::Inst& inst,
   auto record = [&](int idx, isa::RegId arch) {
     used_this_episode_[static_cast<std::size_t>(tid)] |= 1u << arch;
     locked[static_cast<u32>(idx)] = 1;
-    accessed.push_back(static_cast<u32>(idx));
     if (rb.count < rb.phys.size()) {
       rb.phys[rb.count] = static_cast<u16>(idx);
       rb.tid[rb.count] = static_cast<u8>(tid);
@@ -99,10 +103,10 @@ cpu::DecodeAccess ViReCManager::on_decode(int tid, const isa::Inst& inst,
     const isa::RegId arch = srcs.regs[i];
     int idx = tags_.lookup(tid, arch);
     if (idx >= 0) {
-      stats_.inc("rf_hits");
+      ++*c_rf_hits_;
       tags_.touch(static_cast<u32>(idx));
     } else {
-      stats_.inc("rf_misses");
+      ++*c_rf_misses_;
       idx = allocate_entry(tid, arch, locked, now, spill_done);
       if (idx < 0) {
         // Pathological: every entry locked by this instruction. Serve
@@ -134,10 +138,10 @@ cpu::DecodeAccess ViReCManager::on_decode(int tid, const isa::Inst& inst,
     if (also_src) continue;
     int idx = tags_.lookup(tid, arch);
     if (idx >= 0) {
-      stats_.inc("rf_hits");
+      ++*c_rf_hits_;
       tags_.touch(static_cast<u32>(idx));
     } else {
-      stats_.inc("rf_misses");
+      ++*c_rf_misses_;
       idx = allocate_entry(tid, arch, locked, now, spill_done);
       if (idx < 0) continue;  // handled functionally via backing store
       // The architectural value is dead (pure destination); install the
@@ -160,7 +164,7 @@ cpu::DecodeAccess ViReCManager::on_decode(int tid, const isa::Inst& inst,
     dist_decode_stall_->record(
         static_cast<double>(acc.ready > now ? acc.ready - now : 0));
   }
-  acc.spills = static_cast<u32>(stats_.get("rf_spills"));
+  acc.spills = static_cast<u32>(*c_rf_spills_);
   return acc;
 }
 

@@ -95,12 +95,21 @@ class ViReCManager final : public cpu::ContextManager {
   BackingStoreInterface bsi_;
   ContextSwitchLogic csl_;
   std::vector<u64> phys_values_;
+  // Per-decode scratch: entries this instruction already references
+  // (must not evict each other). Reused across decodes so the hot path
+  // never heap-allocates.
+  std::vector<u8> locked_scratch_;
   // Per-thread register sets for the switch-prefetch extension.
   std::vector<u32> used_this_episode_;
   std::vector<u32> last_episode_used_;
   // Detailed (opt-in) stats; owned by stats_.
   Histogram* hist_rollback_depth_ = nullptr;
   Distribution* dist_decode_stall_ = nullptr;
+  // Hot-path counter handles (owned by stats_).
+  double* c_rf_hits_ = nullptr;
+  double* c_rf_misses_ = nullptr;
+  double* c_rf_spills_ = nullptr;
+  double* c_rf_evictions_ = nullptr;
   cpu::TraceSink* tracer_ = nullptr;
 };
 

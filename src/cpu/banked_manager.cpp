@@ -5,6 +5,8 @@ namespace virec::cpu {
 BankedManager::BankedManager(const CoreEnv& env)
     : ContextManager(env, "banked"), banks_(env.num_threads) {
   for (auto& bank : banks_) bank.fill(0);
+  c_rf_accesses_ = stats_.counter("rf_accesses");
+  c_context_loads_ = stats_.counter("context_loads");
 }
 
 Cycle BankedManager::on_thread_start(int tid, Cycle now) {
@@ -21,7 +23,7 @@ Cycle BankedManager::on_thread_start(int tid, Cycle now) {
   for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
     banks_[static_cast<std::size_t>(tid)][r] = backing_read(tid, r);
   }
-  stats_.inc("context_loads");
+  ++*c_context_loads_;
   return ready;
 }
 
@@ -29,7 +31,7 @@ DecodeAccess BankedManager::on_decode(int tid, const isa::Inst& inst,
                                       Cycle now) {
   (void)tid;
   (void)inst;
-  stats_.inc("rf_accesses");
+  ++*c_rf_accesses_;
   return DecodeAccess{.ready = now, .fills = 0, .spills = 0, .hit = true};
 }
 

@@ -27,6 +27,9 @@ class BankedManager final : public ContextManager {
  private:
   // banks_[tid][arch]
   std::vector<std::array<u64, isa::kNumAllocatableRegs>> banks_;
+  // Hot-path counter handles (owned by stats_).
+  double* c_rf_accesses_ = nullptr;
+  double* c_context_loads_ = nullptr;
 };
 
 }  // namespace virec::cpu

@@ -13,15 +13,29 @@ CgmtCore::CgmtCore(const CgmtCoreConfig& config, const CoreEnv& env,
       rcm_(rcm),
       program_(program),
       sq_(config.sq_entries, env.ms->dcache(env.core_id)),
+      icache_(env.ms->icache(env.core_id)),
+      dcache_(env.ms->dcache(env.core_id)),
       threads_(config.num_threads),
       stats_("core") {
   if (env.num_threads != config.num_threads) {
     throw std::invalid_argument("CgmtCore: env/config thread count mismatch");
   }
   program_.validate();
-  stats_.describe("context_switches", "CGMT context switches taken");
-  stats_.describe("dcache_data_misses",
-                  "demand data misses signalled to the CSL");
+  c_context_switches_ =
+      stats_.counter("context_switches", "CGMT context switches taken");
+  c_halts_ = stats_.counter("halts");
+  c_branches_ = stats_.counter("branches");
+  c_mispredicts_ = stats_.counter("mispredicts");
+  c_sq_full_stall_cycles_ = stats_.counter("sq_full_stall_cycles");
+  c_reg_region_miss_stalls_ = stats_.counter("reg_region_miss_stalls");
+  c_dcache_data_misses_ = stats_.counter(
+      "dcache_data_misses", "demand data misses signalled to the CSL");
+  c_replay_misses_ = stats_.counter("replay_misses");
+  c_switch_no_target_cycles_ = stats_.counter("switch_no_target_cycles");
+  c_switch_masked_cycles_ = stats_.counter("switch_masked_cycles");
+  c_rf_miss_stall_cycles_ = stats_.counter("rf_miss_stall_cycles");
+  c_idle_cycles_ = stats_.counter("idle_cycles");
+  c_frontend_wait_cycles_ = stats_.counter("frontend_wait_cycles");
   hist_run_length_ = stats_.histogram(
       "run_length", "committed instructions between context switches");
   hist_miss_latency_ = stats_.histogram(
@@ -123,7 +137,7 @@ void CgmtCore::flush_pipeline(bool replayed) {
 void CgmtCore::switch_to(int to_tid) {
   Thread& t = threads_[static_cast<std::size_t>(to_tid)];
   if (t.has_reserved_line) {
-    env_.ms->dcache(env_.core_id).release_line(t.reserved_line);
+    dcache_.release_line(t.reserved_line);
     t.has_reserved_line = false;
   }
   current_tid_ = to_tid;
@@ -152,10 +166,10 @@ bool CgmtCore::request_context_switch(u64 resume_pc, Cycle miss_done) {
   // Hold the miss response for this thread: the line it is waiting on
   // must survive until the replayed load consumes it.
   cur.has_reserved_line =
-      env_.ms->dcache(env_.core_id).reserve_line(mem_.mem_addr);
+      dcache_.reserve_line(mem_.mem_addr);
   cur.reserved_line = mem_.mem_addr;
   flush_pipeline(/*replayed=*/true);
-  stats_.inc("context_switches");
+  ++*c_context_switches_;
   hist_run_length_->record(
       static_cast<double>(instructions_ - episode_start_instructions_));
   episode_start_instructions_ = instructions_;
@@ -185,7 +199,7 @@ void CgmtCore::commit(Latch& latch) {
     rcm_.on_thread_halt(tid, cycle_);
     flush_pipeline(/*replayed=*/false);
     rcm_.on_mispredict_flush(tid);
-    stats_.inc("halts");
+    ++*c_halts_;
     hist_run_length_->record(
         static_cast<double>(instructions_ - episode_start_instructions_));
     episode_start_instructions_ = instructions_;
@@ -203,11 +217,11 @@ void CgmtCore::commit(Latch& latch) {
   }
 
   if (res.taken_branch || isa::is_branch(latch.inst.op)) {
-    stats_.inc("branches");
+    ++*c_branches_;
   }
   if (res.next_pc != latch.pred_next) {
     // Misprediction: discard wrong-path in-flight instructions.
-    stats_.inc("mispredicts");
+    ++*c_mispredicts_;
     if (tracer_ != nullptr) {
       tracer_->on_mispredict(cycle_, tid, latch.pc, res.next_pc);
     }
@@ -226,15 +240,14 @@ void CgmtCore::handle_mem_and_commit() {
       const bool reg_region = env_.ms->in_reg_region(addr);
       if (isa::is_store(mem_.inst.op)) {
         if (!sq_.push(addr, cycle_, reg_region)) {
-          stats_.inc("sq_full_stall_cycles");
+          ++*c_sq_full_stall_cycles_;
           return;  // retry next cycle
         }
         mem_.ready = cycle_;
         mem_.mem_issued = true;
       } else {
-        const mem::CacheAccess acc = env_.ms->dcache(env_.core_id)
-                                         .access(addr, /*is_write=*/false,
-                                                 cycle_, reg_region);
+        const mem::CacheAccess acc =
+            dcache_.access(addr, /*is_write=*/false, cycle_, reg_region);
         mem_.mem_issued = true;
         mem_.mem_addr = addr;
         if (acc.hit) {
@@ -243,11 +256,11 @@ void CgmtCore::handle_mem_and_commit() {
         } else if (reg_region) {
           // Register backing-store miss: never a context switch.
           mem_.ready = acc.done;
-          stats_.inc("reg_region_miss_stalls");
+          ++*c_reg_region_miss_stalls_;
         } else {
-          stats_.inc("dcache_data_misses");
+          ++*c_dcache_data_misses_;
           hist_miss_latency_->record(static_cast<double>(acc.done - cycle_));
-          if (!committed_since_switch_) stats_.inc("replay_misses");
+          if (!committed_since_switch_) ++*c_replay_misses_;
           if (tracer_ != nullptr) {
             tracer_->on_data_miss(cycle_, current_tid_, mem_.pc, addr,
                                   acc.done);
@@ -276,9 +289,9 @@ void CgmtCore::handle_mem_and_commit() {
     } else if (cycle_ >= switch_eligible_at_ && rcm_.switch_allowed(cycle_) &&
                committed_since_switch_) {
       if (request_context_switch(mem_.pc, mem_.ready)) return;
-      stats_.inc("switch_no_target_cycles");
+      ++*c_switch_no_target_cycles_;
     } else {
-      stats_.inc("switch_masked_cycles");
+      ++*c_switch_masked_cycles_;
     }
   }
   if (cycle_ >= mem_.ready) commit(mem_);
@@ -309,7 +322,7 @@ void CgmtCore::advance_if_id() {
     id_.decoded = true;
     id_.ready = std::max(cycle_ + 1, da.ready);
     if (!da.hit) {
-      stats_.inc("rf_miss_stall_cycles", double(id_.ready - (cycle_ + 1)));
+      *c_rf_miss_stall_cycles_ += double(id_.ready - (cycle_ + 1));
     }
   }
 }
@@ -319,8 +332,7 @@ void CgmtCore::do_fetch() {
   if (fetch_pc_ >= program_.size()) return;  // wrong-path runoff
   const isa::Inst& inst = program_.at(fetch_pc_);
   const mem::CacheAccess acc =
-      env_.ms->icache(env_.core_id)
-          .access(mem::MemorySystem::code_addr(fetch_pc_), false, cycle_);
+      icache_.access(mem::MemorySystem::code_addr(fetch_pc_), false, cycle_);
   if_.valid = true;
   if_.pc = fetch_pc_;
   if_.inst = inst;
@@ -345,7 +357,7 @@ void CgmtCore::step() {
       switch_to(next);
       fetch_ready_ = std::max(fetch_ready_, csl_ready);
     } else {
-      stats_.inc("idle_cycles");
+      ++*c_idle_cycles_;
       ++cycle_;
       return;
     }
@@ -365,7 +377,7 @@ void CgmtCore::step() {
   }
   if (!if_.valid && !id_.valid && !ex_.valid && !mem_.valid &&
       cycle_ < fetch_ready_) {
-    stats_.inc("frontend_wait_cycles");
+    ++*c_frontend_wait_cycles_;
   }
   ++cycle_;
 }

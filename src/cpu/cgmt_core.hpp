@@ -17,6 +17,7 @@
 #include "cpu/store_queue.hpp"
 #include "cpu/trace.hpp"
 #include "kasm/program.hpp"
+#include "mem/cache.hpp"
 
 namespace virec::cpu {
 
@@ -125,6 +126,8 @@ class CgmtCore {
   ContextManager& rcm_;
   const kasm::Program& program_;
   StoreQueue sq_;
+  mem::Cache& icache_;  // this core's caches, resolved once
+  mem::Cache& dcache_;
   std::vector<Thread> threads_;
 
   Cycle cycle_ = 0;
@@ -144,6 +147,20 @@ class CgmtCore {
   // Detailed (opt-in) histograms; owned by stats_.
   Histogram* hist_run_length_ = nullptr;
   Histogram* hist_miss_latency_ = nullptr;
+  // Hot-path counter handles (owned by stats_).
+  double* c_context_switches_ = nullptr;
+  double* c_halts_ = nullptr;
+  double* c_branches_ = nullptr;
+  double* c_mispredicts_ = nullptr;
+  double* c_sq_full_stall_cycles_ = nullptr;
+  double* c_reg_region_miss_stalls_ = nullptr;
+  double* c_dcache_data_misses_ = nullptr;
+  double* c_replay_misses_ = nullptr;
+  double* c_switch_no_target_cycles_ = nullptr;
+  double* c_switch_masked_cycles_ = nullptr;
+  double* c_rf_miss_stall_cycles_ = nullptr;
+  double* c_idle_cycles_ = nullptr;
+  double* c_frontend_wait_cycles_ = nullptr;
   u64 episode_start_instructions_ = 0;
   TraceSink* tracer_ = nullptr;
 };

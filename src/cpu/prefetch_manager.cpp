@@ -21,6 +21,13 @@ PrefetchManager::PrefetchManager(const CoreEnv& env, PrefetchMode mode)
       started_(env.num_threads, false),
       prefetch_ready_(env.num_threads, 0) {
   for (auto& v : values_) v.fill(0);
+  c_rf_accesses_ = stats_.counter("rf_accesses");
+  c_reg_fills_ = stats_.counter("reg_fills");
+  c_reg_spills_ = stats_.counter("reg_spills");
+  c_demand_fills_ = stats_.counter("demand_fills");
+  c_context_switches_ = stats_.counter("context_switches");
+  c_prefetches_ = stats_.counter("prefetches");
+  c_prefetch_mispredicts_ = stats_.counter("prefetch_mispredicts");
 }
 
 Cycle PrefetchManager::transfer(int tid, RegMask mask, bool is_write,
@@ -34,9 +41,9 @@ Cycle PrefetchManager::transfer(int tid, RegMask mask, bool is_write,
     line_mask |= 1u << (r / 8);
     if (is_write) {
       backing_write(tid, r, values_[static_cast<std::size_t>(tid)][r]);
-      stats_.inc("reg_spills");
+      ++*c_reg_spills_;
     } else {
-      stats_.inc("reg_fills");
+      ++*c_reg_fills_;
     }
   }
   const Addr base = env_.ms->context_base(env_.core_id, static_cast<u32>(tid));
@@ -82,7 +89,7 @@ DecodeAccess PrefetchManager::on_decode(int tid, const isa::Inst& inst,
   const isa::RegList regs = isa::all_regs(inst);
   RegMask& resident = resident_[static_cast<std::size_t>(tid)];
   RegMask& used = used_this_episode_[static_cast<std::size_t>(tid)];
-  stats_.inc("rf_accesses");
+  ++*c_rf_accesses_;
   for (u32 i = 0; i < regs.count; ++i) {
     const u8 r = regs.regs[i];
     used |= 1u << r;
@@ -94,7 +101,7 @@ DecodeAccess PrefetchManager::on_decode(int tid, const isa::Inst& inst,
       resident |= 1u << r;
       acc.hit = false;
       ++acc.fills;
-      stats_.inc("demand_fills");
+      ++*c_demand_fills_;
     }
   }
   return acc;
@@ -104,7 +111,7 @@ Cycle PrefetchManager::on_context_switch(int from_tid, int to_tid,
                                          int predicted_next, Cycle now) {
   const auto from = static_cast<std::size_t>(from_tid);
   const auto to = static_cast<std::size_t>(to_tid);
-  stats_.inc("context_switches");
+  ++*c_context_switches_;
 
   // Close the outgoing episode: remember its used set, write back the
   // registers the strategy must store (full: all; exact: all used).
@@ -121,7 +128,7 @@ Cycle PrefetchManager::on_context_switch(int from_tid, int to_tid,
   if (prefetched_tid_ == to_tid) {
     ready = std::max(now, prefetch_ready_[to]);
   } else {
-    stats_.inc("prefetch_mispredicts");
+    ++*c_prefetch_mispredicts_;
     resident_[to] = predicted_set(to_tid);
     ready = transfer(to_tid, resident_[to], /*is_write=*/false, spill_done);
   }
@@ -140,7 +147,7 @@ Cycle PrefetchManager::on_context_switch(int from_tid, int to_tid,
         transfer(next, resident_[nx], /*is_write=*/false,
                  std::max(spill_done, ready));
     prefetched_tid_ = next;
-    stats_.inc("prefetches");
+    ++*c_prefetches_;
   } else {
     prefetched_tid_ = -1;
   }

@@ -62,6 +62,14 @@ class PrefetchManager final : public ContextManager {
   std::vector<bool> started_;
   std::vector<Cycle> prefetch_ready_;
   int prefetched_tid_ = -1;
+  // Hot-path counter handles (owned by stats_).
+  double* c_rf_accesses_ = nullptr;
+  double* c_reg_fills_ = nullptr;
+  double* c_reg_spills_ = nullptr;
+  double* c_demand_fills_ = nullptr;
+  double* c_context_switches_ = nullptr;
+  double* c_prefetches_ = nullptr;
+  double* c_prefetch_mispredicts_ = nullptr;
 };
 
 }  // namespace virec::cpu

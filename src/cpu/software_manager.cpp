@@ -3,7 +3,11 @@
 namespace virec::cpu {
 
 SoftwareManager::SoftwareManager(const CoreEnv& env)
-    : ContextManager(env, "swctx") {}
+    : ContextManager(env, "swctx") {
+  c_rf_accesses_ = stats_.counter("rf_accesses");
+  c_context_saves_ = stats_.counter("context_saves");
+  c_context_loads_ = stats_.counter("context_loads");
+}
 
 Cycle SoftwareManager::save_context(int tid, Cycle now) {
   // A software trampoline saves registers with stp pairs: one dcache
@@ -20,7 +24,7 @@ Cycle SoftwareManager::save_context(int tid, Cycle now) {
           .access(env_.ms->sysreg_addr(env_.core_id, static_cast<u32>(tid)),
                   /*is_write=*/true, t)
           .done;
-  stats_.inc("context_saves");
+  ++*c_context_saves_;
   return t;
 }
 
@@ -38,7 +42,7 @@ Cycle SoftwareManager::load_context(int tid, Cycle now) {
                   /*is_write=*/false, t)
           .done;
   resident_tid_ = tid;
-  stats_.inc("context_loads");
+  ++*c_context_loads_;
   return t;
 }
 
@@ -50,7 +54,7 @@ Cycle SoftwareManager::on_thread_start(int tid, Cycle now) {
 DecodeAccess SoftwareManager::on_decode(int tid, const isa::Inst& inst,
                                         Cycle now) {
   (void)inst;
-  stats_.inc("rf_accesses");
+  ++*c_rf_accesses_;
   DecodeAccess acc;
   acc.ready = now;
   if (resident_tid_ != tid) {

@@ -36,6 +36,10 @@ class SoftwareManager final : public ContextManager {
 
   int resident_tid_ = -1;
   std::array<u64, isa::kNumAllocatableRegs> rf_{};
+  // Hot-path counter handles (owned by stats_).
+  double* c_rf_accesses_ = nullptr;
+  double* c_context_saves_ = nullptr;
+  double* c_context_loads_ = nullptr;
 };
 
 }  // namespace virec::cpu

@@ -14,10 +14,23 @@ Cache::Cache(const CacheConfig& config, MemLevel& below)
   if (!is_pow2(num_sets_)) {
     throw std::invalid_argument("Cache: number of sets must be a power of 2");
   }
+  set_shift_ = log2_pow2(num_sets_);
   lines_.resize(static_cast<std::size_t>(num_sets_) * config_.assoc);
   mshr_until_.assign(config_.mshrs, 0);
-  stats_.describe("hits", "demand accesses served from a present line");
-  stats_.describe("misses", "demand accesses that went to the next level");
+  c_reads_ = stats_.counter("reads");
+  c_writes_ = stats_.counter("writes");
+  c_hits_ = stats_.counter("hits",
+                           "demand accesses served from a present line");
+  c_misses_ = stats_.counter("misses",
+                             "demand accesses that went to the next level");
+  c_coalesced_ = stats_.counter("coalesced_misses");
+  c_reg_region_misses_ = stats_.counter("reg_region_misses");
+  c_port_wait_cycles_ = stats_.counter("port_wait_cycles");
+  c_miss_latency_ = stats_.counter("miss_latency");
+  c_mshr_stall_cycles_ = stats_.counter("mshr_stall_cycles");
+  c_writebacks_ = stats_.counter("writebacks");
+  c_bypasses_ = stats_.counter("bypasses");
+  c_prefetches_ = stats_.counter("prefetches");
   hist_miss_cycles_ = stats_.histogram(
       "miss_cycles", "per-miss latency from access to data return");
 }
@@ -35,7 +48,7 @@ void Cache::reset() {
 Cache::Line* Cache::find_line(Addr line_addr) {
   const u64 line_no = line_addr / kLineBytes;
   const u32 set = static_cast<u32>(line_no & (num_sets_ - 1));
-  const u64 tag = line_no >> log2_pow2(num_sets_);
+  const u64 tag = line_no >> set_shift_;
   Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
   for (u32 w = 0; w < config_.assoc; ++w) {
     if (base[w].valid && base[w].tag == tag) return &base[w];
@@ -103,7 +116,7 @@ Cycle Cache::acquire_mshr(Addr /*line_addr*/, Cycle start, bool& stalled) {
   stalled = true;
   const Cycle freed = *best;
   *best = kNeverCycle;
-  stats_.inc("mshr_stall_cycles", double(freed - start));
+  *c_mshr_stall_cycles_ += double(freed - start);
   return freed;
 }
 
@@ -123,7 +136,7 @@ void Cache::maybe_prefetch(Addr line_addr, Cycle now) {
       Line* victim = pick_victim(set, now);
       if (victim == nullptr) break;
       if (victim->valid && victim->dirty) {
-        const Addr wb = ((victim->tag << log2_pow2(num_sets_)) |
+        const Addr wb = ((victim->tag << set_shift_) |
                          (pf_line_no & (num_sets_ - 1))) *
                         kLineBytes;
         below_.line_access(wb, /*is_write=*/true, now);
@@ -133,10 +146,10 @@ void Cache::maybe_prefetch(Addr line_addr, Cycle now) {
       victim->dirty = false;
       victim->reg_line = false;
       victim->pin = 0;
-      victim->tag = pf_line_no >> log2_pow2(num_sets_);
+      victim->tag = pf_line_no >> set_shift_;
       victim->pending_until = done;
       victim->lru = done;  // inserted at fill response (MRU on arrival)
-      stats_.inc("prefetches");
+      ++*c_prefetches_;
     }
   }
   last_stride_ = stride;
@@ -157,8 +170,8 @@ CacheAccess Cache::access(Addr addr, bool is_write, Cycle now,
     start = std::max(now, port_next_free_);
     port_next_free_ = start + 1;
   }
-  if (start > now) stats_.inc("port_wait_cycles", double(start - now));
-  stats_.inc(is_write ? "writes" : "reads");
+  if (start > now) *c_port_wait_cycles_ += double(start - now);
+  ++*(is_write ? c_writes_ : c_reads_);
 
   const Addr laddr = line_of(addr);
   Line* line = find_line(laddr);
@@ -180,7 +193,7 @@ CacheAccess Cache::access(Addr addr, bool is_write, Cycle now,
     line->lru = start;
     if (is_write) line->dirty = true;
     touch_reg_bits(*line);
-    stats_.inc("hits");
+    ++*c_hits_;
     return result;
   }
 
@@ -192,13 +205,13 @@ CacheAccess Cache::access(Addr addr, bool is_write, Cycle now,
     line->lru = result.done;
     if (is_write) line->dirty = true;
     touch_reg_bits(*line);
-    stats_.inc("coalesced_misses");
+    ++*c_coalesced_;
     return result;
   }
 
   // Miss.
-  stats_.inc("misses");
-  if (reg_region) stats_.inc("reg_region_misses");
+  ++*c_misses_;
+  if (reg_region) ++*c_reg_region_misses_;
   maybe_prefetch(laddr, start);
 
   bool mshr_stalled = false;
@@ -214,21 +227,21 @@ CacheAccess Cache::access(Addr addr, bool is_write, Cycle now,
   if (victim == nullptr) {
     // Every way pinned or mid-fill: bypass the cache entirely.
     done = below_.line_access(laddr, is_write, issue);
-    stats_.inc("bypasses");
+    ++*c_bypasses_;
   } else {
     if (victim->valid && victim->dirty) {
-      const Addr wb = ((victim->tag << log2_pow2(num_sets_)) |
+      const Addr wb = ((victim->tag << set_shift_) |
                        (line_no & (num_sets_ - 1))) *
                       kLineBytes;
       below_.line_access(wb, /*is_write=*/true, issue);
-      stats_.inc("writebacks");
+      ++*c_writebacks_;
     }
     done = below_.line_access(laddr, false, issue);
     victim->valid = true;
     victim->dirty = is_write;
     victim->reg_line = false;
     victim->pin = 0;
-    victim->tag = line_no >> log2_pow2(num_sets_);
+    victim->tag = line_no >> set_shift_;
     victim->pending_until = done;
     victim->lru = done;  // inserted at fill response (MRU on arrival)
     touch_reg_bits(*victim);
@@ -244,7 +257,7 @@ CacheAccess Cache::access(Addr addr, bool is_write, Cycle now,
 
   result.hit = false;
   result.done = done;
-  stats_.inc("miss_latency", double(done - start));
+  *c_miss_latency_ += double(done - start);
   hist_miss_cycles_->record(double(done - start));
   return result;
 }

@@ -107,6 +107,7 @@ class Cache final : public MemLevel {
   CacheConfig config_;
   MemLevel& below_;
   u32 num_sets_;
+  u32 set_shift_ = 0;  // log2(num_sets_), precomputed for the hot path
   std::vector<Line> lines_;  // num_sets * assoc
   std::vector<Cycle> mshr_until_;
   // Port arbiter (Section 5.3): LSQ/program accesses always win the
@@ -118,6 +119,19 @@ class Cache final : public MemLevel {
   i64 last_stride_ = 0;
   StatSet stats_;
   Histogram* hist_miss_cycles_ = nullptr;  // owned by stats_
+  // Hot-path counter handles (owned by stats_; see StatSet::counter).
+  double* c_reads_ = nullptr;
+  double* c_writes_ = nullptr;
+  double* c_hits_ = nullptr;
+  double* c_misses_ = nullptr;
+  double* c_coalesced_ = nullptr;
+  double* c_reg_region_misses_ = nullptr;
+  double* c_port_wait_cycles_ = nullptr;
+  double* c_miss_latency_ = nullptr;
+  double* c_mshr_stall_cycles_ = nullptr;
+  double* c_writebacks_ = nullptr;
+  double* c_bypasses_ = nullptr;
+  double* c_prefetches_ = nullptr;
 };
 
 }  // namespace virec::mem

@@ -6,6 +6,8 @@ namespace virec::mem {
 
 Crossbar::Crossbar(const CrossbarConfig& config, MemLevel& below)
     : config_(config), below_(below), stats_("xbar") {
+  c_transfers_ = stats_.counter("transfers");
+  c_contention_cycles_ = stats_.counter("contention_cycles");
   dist_link_wait_ = stats_.distribution(
       "link_wait", "per-transfer cycles spent waiting for the shared link");
 }
@@ -17,9 +19,9 @@ void Crossbar::reset() {
 
 Cycle Crossbar::line_access(Addr line_addr, bool is_write, Cycle now) {
   const Cycle start = std::max(now, link_next_free_);
-  if (start > now) stats_.inc("contention_cycles", double(start - now));
+  if (start > now) *c_contention_cycles_ += double(start - now);
   link_next_free_ = start + config_.cycles_per_line;
-  stats_.inc("transfers");
+  ++*c_transfers_;
   dist_link_wait_->record(double(start - now));
   const Cycle done =
       below_.line_access(line_addr, is_write, start + config_.latency);

@@ -30,6 +30,9 @@ class Crossbar final : public MemLevel {
   Cycle link_next_free_ = 0;
   StatSet stats_;
   Distribution* dist_link_wait_ = nullptr;  // owned by stats_
+  // Hot-path counter handles (owned by stats_).
+  double* c_transfers_ = nullptr;
+  double* c_contention_cycles_ = nullptr;
 };
 
 }  // namespace virec::mem

@@ -13,7 +13,14 @@ DramModel::DramModel(const DramConfig& config)
   if (config_.channels == 0 || config_.banks_per_channel == 0) {
     throw std::invalid_argument("DramModel: need >=1 channel and bank");
   }
-  stats_.describe("row_hits", "accesses to the currently open row");
+  c_reads_ = stats_.counter("reads");
+  c_writes_ = stats_.counter("writes");
+  c_row_hits_ = stats_.counter("row_hits",
+                               "accesses to the currently open row");
+  c_row_empty_ = stats_.counter("row_empty");
+  c_row_conflicts_ = stats_.counter("row_conflicts");
+  c_bank_conflict_cycles_ = stats_.counter("bank_conflict_cycles");
+  c_total_latency_ = stats_.counter("total_latency");
   dist_latency_ = stats_.distribution(
       "access_latency", "per-access cycles from issue to data return");
 }
@@ -34,18 +41,18 @@ Cycle DramModel::line_access(Addr line_addr, bool is_write, Cycle now) {
   const u64 row = line_addr / config_.row_bytes;
 
   const Cycle start = std::max(now, bank.next_free);
-  if (start > now) stats_.inc("bank_conflict_cycles", double(start - now));
+  if (start > now) *c_bank_conflict_cycles_ += double(start - now);
 
   u32 access_latency;
   if (bank.open_row == row) {
     access_latency = config_.t_cl;
-    stats_.inc("row_hits");
+    ++*c_row_hits_;
   } else if (bank.open_row == ~u64{0}) {
     access_latency = config_.t_rcd + config_.t_cl;
-    stats_.inc("row_empty");
+    ++*c_row_empty_;
   } else {
     access_latency = config_.t_rp + config_.t_rcd + config_.t_cl;
-    stats_.inc("row_conflicts");
+    ++*c_row_conflicts_;
   }
   bank.open_row = row;
 
@@ -57,8 +64,8 @@ Cycle DramModel::line_access(Addr line_addr, bool is_write, Cycle now) {
   // The bank is busy until its data has been moved.
   bank.next_free = done;
 
-  stats_.inc(is_write ? "writes" : "reads");
-  stats_.inc("total_latency", double(done - now));
+  ++*(is_write ? c_writes_ : c_reads_);
+  *c_total_latency_ += double(done - now);
   dist_latency_->record(double(done - now));
   return done;
 }

@@ -50,6 +50,14 @@ class DramModel final : public MemLevel {
   std::vector<Cycle> bus_next_free_;  // per channel
   StatSet stats_;
   Distribution* dist_latency_ = nullptr;  // owned by stats_
+  // Hot-path counter handles (owned by stats_).
+  double* c_reads_ = nullptr;
+  double* c_writes_ = nullptr;
+  double* c_row_hits_ = nullptr;
+  double* c_row_empty_ = nullptr;
+  double* c_row_conflicts_ = nullptr;
+  double* c_bank_conflict_cycles_ = nullptr;
+  double* c_total_latency_ = nullptr;
 };
 
 }  // namespace virec::mem

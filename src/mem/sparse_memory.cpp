@@ -5,17 +5,36 @@
 namespace virec::mem {
 
 const SparseMemory::Page* SparseMemory::find_page(Addr addr) const {
-  auto it = pages_.find(addr / kPageSize);
-  return it == pages_.end() ? nullptr : &it->second;
+  const u64 page_no = addr / kPageSize;
+  if (page_no == cached_page_no_) return cached_page_;
+  auto it = pages_.find(page_no);
+  if (it == pages_.end()) return nullptr;
+  cached_page_no_ = page_no;
+  cached_page_ = const_cast<Page*>(&it->second);
+  return &it->second;
 }
 
 SparseMemory::Page& SparseMemory::touch_page(Addr addr) {
-  Page& page = pages_[addr / kPageSize];
+  const u64 page_no = addr / kPageSize;
+  if (page_no == cached_page_no_) return *cached_page_;
+  Page& page = pages_[page_no];
   if (page.empty()) page.assign(kPageSize, 0);
+  cached_page_no_ = page_no;
+  cached_page_ = &page;
   return page;
 }
 
 u64 SparseMemory::read(Addr addr, u32 size) const {
+  const u64 off = addr % kPageSize;
+  if (off + size <= kPageSize) {
+    // Whole access inside one page: resolve it once.
+    const Page* page = find_page(addr);
+    if (page == nullptr) return 0;
+    const u8* p = page->data() + off;
+    u64 value = 0;
+    for (u32 i = 0; i < size; ++i) value |= u64{p[i]} << (8 * i);
+    return value;
+  }
   u64 value = 0;
   for (u32 i = 0; i < size; ++i) {
     const Addr byte_addr = addr + i;
@@ -27,6 +46,12 @@ u64 SparseMemory::read(Addr addr, u32 size) const {
 }
 
 void SparseMemory::write(Addr addr, u32 size, u64 value) {
+  const u64 off = addr % kPageSize;
+  if (off + size <= kPageSize) {
+    u8* p = touch_page(addr).data() + off;
+    for (u32 i = 0; i < size; ++i) p[i] = static_cast<u8>(value >> (8 * i));
+    return;
+  }
   for (u32 i = 0; i < size; ++i) {
     const Addr byte_addr = addr + i;
     touch_page(byte_addr)[byte_addr % kPageSize] =

@@ -39,7 +39,11 @@ class SparseMemory {
   std::size_t page_count() const { return pages_.size(); }
 
   /// Drop all contents.
-  void clear() { pages_.clear(); }
+  void clear() {
+    pages_.clear();
+    cached_page_no_ = ~u64{0};
+    cached_page_ = nullptr;
+  }
 
  private:
   using Page = std::vector<u8>;
@@ -48,6 +52,11 @@ class SparseMemory {
   Page& touch_page(Addr addr);
 
   std::unordered_map<u64, Page> pages_;
+  // One-entry page cache so sequential/streaming access skips the
+  // unordered_map probe. unordered_map never moves mapped values on
+  // insert, so the pointer stays valid until clear().
+  mutable u64 cached_page_no_ = ~u64{0};
+  mutable Page* cached_page_ = nullptr;
 };
 
 }  // namespace virec::mem

@@ -1,0 +1,104 @@
+// Parallel experiment engine: run many independent RunSpecs on a fixed
+// pool of worker threads. Every experiment point is a self-contained
+// simulation (its own System, memory, stats registry), so points are
+// embarrassingly parallel; the engine only adds a work queue and
+// deterministic result collection.
+//
+//   sim::ParallelExecutor pool(8);
+//   for (const RunSpec& spec : grid) pool.submit(spec);
+//   std::vector<RunResult> results = pool.join();  // ordered, rethrows
+//
+// or, in one call:
+//
+//   std::vector<RunResult> results = sim::run_specs(grid, /*jobs=*/0);
+//
+// Determinism: results are ordered by submission index, and each run is
+// deterministic in isolation, so the output is bit-identical for any
+// job count (jobs=1 executes on the calling thread, exactly preserving
+// the serial behaviour).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace virec::sim {
+
+/// Worker count "jobs = 0" resolves to: hardware concurrency (at least
+/// 1 if the runtime cannot tell).
+u32 default_jobs();
+
+/// Fixed thread pool over a queue of RunSpecs. Single-use: submit any
+/// number of specs, then call join() exactly once to collect results
+/// in submission order. If any run throws, join() rethrows the
+/// exception of the lowest-indexed failing run after the pool has
+/// drained (never deadlocks; runs queued behind a failure are skipped).
+class ParallelExecutor {
+ public:
+  /// @p jobs worker threads; 0 = default_jobs(). With jobs = 1 no
+  /// threads are spawned and join() runs every spec on the calling
+  /// thread in submission order — today's serial behaviour.
+  explicit ParallelExecutor(u32 jobs = 0);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// Enqueue one experiment point; returns its submission index.
+  std::size_t submit(RunSpec spec);
+
+  /// Enqueue an arbitrary result-producing task — for studies (e.g.
+  /// the feature ablation) whose points tweak config knobs RunSpec
+  /// does not expose. The callable must not touch state shared with
+  /// other tasks.
+  std::size_t submit_task(std::function<RunResult()> task);
+
+  /// Wait for every submitted spec, stop the workers and return the
+  /// results ordered by submission index. Rethrows the first (lowest
+  /// submission index) captured exception, if any.
+  std::vector<RunResult> join();
+
+  u32 jobs() const { return jobs_; }
+
+ private:
+  struct Task {
+    std::size_t index = 0;
+    std::function<RunResult()> fn;
+  };
+
+  void worker();
+  void run_task(const Task& task);
+
+  u32 jobs_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<Task> queue_;
+  bool closed_ = false;  // no more submissions; workers drain and exit
+
+  std::vector<RunResult> results_;  // indexed by submission order
+  std::size_t submitted_ = 0;
+  std::exception_ptr error_;        // lowest-index failure wins
+  std::size_t error_index_ = 0;
+  bool joined_ = false;
+};
+
+/// Run every spec (0 jobs = hardware concurrency) and return results in
+/// input order; rethrows the first failure. jobs = 1 is exactly the
+/// serial loop.
+std::vector<RunResult> run_specs(const std::vector<RunSpec>& specs,
+                                 u32 jobs = 0);
+
+/// Same, for arbitrary result-producing tasks.
+std::vector<RunResult> run_tasks(std::vector<std::function<RunResult()>> tasks,
+                                 u32 jobs = 0);
+
+}  // namespace virec::sim

@@ -1,11 +1,40 @@
 #include "sim/sweep.hpp"
 
+#include <cstring>
 #include <functional>
 #include <ostream>
 
 #include "common/json.hpp"
+#include "sim/parallel.hpp"
 
 namespace virec::sim {
+
+std::string sweep_key(const std::string& workload, Scheme scheme, u32 threads,
+                      double fraction) {
+  u64 fraction_bits;
+  std::memcpy(&fraction_bits, &fraction, sizeof fraction_bits);
+  std::string key = workload;
+  key += '\0';
+  key += std::to_string(static_cast<int>(scheme));
+  key += '\0';
+  key += std::to_string(threads);
+  key += '\0';
+  key += std::to_string(fraction_bits);
+  return key;
+}
+
+SweepResults::SweepResults(std::vector<SweepRecord> records)
+    : records_(std::move(records)) {
+  index_.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const RunSpec& s = records_[i].spec;
+    // emplace: first record for a key wins, matching the old linear
+    // scan's front-to-back behaviour.
+    index_.emplace(sweep_key(s.workload, s.scheme, s.threads_per_core,
+                             s.context_fraction),
+                   i);
+  }
+}
 
 std::vector<const SweepRecord*> SweepResults::where(
     const std::function<bool(const SweepRecord&)>& predicate) const {
@@ -16,17 +45,19 @@ std::vector<const SweepRecord*> SweepResults::where(
   return out;
 }
 
+const SweepRecord* SweepResults::find(const std::string& workload,
+                                      Scheme scheme, u32 threads,
+                                      double fraction) const {
+  const auto it = index_.find(sweep_key(workload, scheme, threads, fraction));
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
 std::optional<Cycle> SweepResults::cycles_of(const std::string& workload,
                                              Scheme scheme, u32 threads,
                                              double fraction) const {
-  for (const SweepRecord& record : records_) {
-    if (record.spec.workload == workload && record.spec.scheme == scheme &&
-        record.spec.threads_per_core == threads &&
-        record.spec.context_fraction == fraction) {
-      return record.result.cycles;
-    }
-  }
-  return std::nullopt;
+  const SweepRecord* record = find(workload, scheme, threads, fraction);
+  if (record == nullptr) return std::nullopt;
+  return record->result.cycles;
 }
 
 void SweepResults::write_csv(std::ostream& os) const {
@@ -149,10 +180,13 @@ std::vector<RunSpec> Sweep::specs() const {
   return out;
 }
 
-SweepResults Sweep::run() const {
+SweepResults Sweep::run(u32 jobs) const {
+  std::vector<RunSpec> grid = specs();
+  std::vector<RunResult> results = run_specs(grid, jobs);
   std::vector<SweepRecord> records;
-  for (const RunSpec& spec : specs()) {
-    records.push_back(SweepRecord{spec, run_spec(spec)});
+  records.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    records.push_back(SweepRecord{std::move(grid[i]), std::move(results[i])});
   }
   return SweepResults(std::move(records));
 }

@@ -16,6 +16,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/runner.hpp"
@@ -29,10 +30,16 @@ struct SweepRecord {
   RunResult result;
 };
 
+/// Lookup key for an experiment point: the axes the figure harnesses
+/// index results by. Encodes the context fraction by its exact bit
+/// pattern so keyed lookups match the same doubles the grid was built
+/// from (no epsilon comparison — sweeps reuse the literal values).
+std::string sweep_key(const std::string& workload, Scheme scheme, u32 threads,
+                      double fraction);
+
 class SweepResults {
  public:
-  explicit SweepResults(std::vector<SweepRecord> records)
-      : records_(std::move(records)) {}
+  explicit SweepResults(std::vector<SweepRecord> records);
 
   const std::vector<SweepRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
@@ -40,6 +47,13 @@ class SweepResults {
   /// Records matching a predicate.
   std::vector<const SweepRecord*> where(
       const std::function<bool(const SweepRecord&)>& predicate) const;
+
+  /// Record matching (workload, scheme, threads, fraction) via the
+  /// keyed index built at construction — O(1), not a rescan. Returns
+  /// nullptr if absent; the first record wins when the grid visits the
+  /// same point twice.
+  const SweepRecord* find(const std::string& workload, Scheme scheme,
+                          u32 threads, double fraction) const;
 
   /// Cycles of the record matching (workload, scheme, threads,
   /// fraction); nullopt if absent.
@@ -58,6 +72,8 @@ class SweepResults {
 
  private:
   std::vector<SweepRecord> records_;
+  // sweep_key -> index into records_, built once by the constructor.
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 class Sweep {
@@ -78,8 +94,11 @@ class Sweep {
   /// Materialise the grid (exposed for tests).
   std::vector<RunSpec> specs() const;
 
-  /// Run every point; throws if any workload check fails.
-  SweepResults run() const;
+  /// Run every point on @p jobs worker threads (0 = hardware
+  /// concurrency, 1 = serial on the calling thread); throws if any
+  /// workload check fails. Results are deterministic and ordered by
+  /// grid position regardless of the job count.
+  SweepResults run(u32 jobs = 1) const;
 
  private:
   RunSpec base_;

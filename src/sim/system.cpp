@@ -186,6 +186,14 @@ RunResult System::run() {
                    : static_cast<double>(result.instructions) /
                          static_cast<double>(result.cycles);
 
+  double miss_cycles = 0.0, misses = 0.0;
+  for (u32 c = 0; c < config_.num_cores; ++c) {
+    const StatSet& ds = ms_->dcache(c).stats();
+    miss_cycles += ds.get("miss_latency");
+    misses += ds.get("misses");
+  }
+  result.avg_dcache_miss_latency = misses == 0.0 ? 0.0 : miss_cycles / misses;
+
   if (config_.scheme == Scheme::kViReC || config_.scheme == Scheme::kNSF) {
     double hits = 0.0, misses = 0.0;
     for (auto& m : managers_) {

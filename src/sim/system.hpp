@@ -29,6 +29,8 @@ struct RunResult {
   u64 context_switches = 0;
   u64 rf_fills = 0;
   u64 rf_spills = 0;
+  /// Mean cycles per demand dcache miss, over every core (0 if none).
+  double avg_dcache_miss_latency = 0.0;
 };
 
 /// One row of the sampled time series (see System::set_sample_interval).

@@ -2,6 +2,7 @@
 // real binary (path injected by CMake) and check its output contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <fstream>
@@ -115,6 +116,61 @@ TEST(Cli, ExtensionsRun) {
       "--elements 4096");
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("check OK"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Sweep mode: comma-separated grid axes, --jobs, CSV/JSON output.
+
+TEST(Cli, SweepPrintsCsvGrid) {
+  const CliResult r = run_cli(
+      "--sweep --workload gather,reduce --scheme banked,virec --threads 4 "
+      "--iters 16 --elements 4096 --jobs 2");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("workload,scheme,policy"), std::string::npos);
+  // header + 2 workloads x 2 schemes
+  EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 5)
+      << r.output;
+}
+
+TEST(Cli, SweepIsDeterministicAcrossJobCounts) {
+  const std::string args =
+      "--sweep --workload reduce --scheme banked,virec --policy plru,lrc "
+      "--threads 2,4 --iters 16 --elements 4096 --jobs ";
+  const CliResult serial = run_cli(args + "1");
+  const CliResult parallel = run_cli(args + "4");
+  EXPECT_EQ(serial.exit_code, 0) << serial.output;
+  EXPECT_EQ(parallel.exit_code, 0) << parallel.output;
+  EXPECT_EQ(serial.output, parallel.output);
+}
+
+TEST(Cli, SweepJsonIsValid) {
+  const CliResult r = run_cli(
+      "--sweep --workload reduce --threads 2,4 --iters 16 --elements 4096 "
+      "--jobs 2 --json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const auto v = virec::testing::JsonParser::parse(r.output);
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.array.size(), 2u);
+  EXPECT_EQ(v.array[1].at("spec").at("threads").number, 4.0);
+  EXPECT_TRUE(v.array[0].at("result").at("check_ok").boolean);
+}
+
+TEST(Cli, ListsRequireSweepMode) {
+  const CliResult r = run_cli("--workload gather,reduce --iters 16");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--sweep"), std::string::npos) << r.output;
+}
+
+TEST(Cli, SweepRejectsSingleRunOnlyFlags) {
+  const CliResult r = run_cli("--sweep --trace --iters 16");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--sweep"), std::string::npos) << r.output;
+}
+
+TEST(Cli, JobsRejectsTrailingGarbage) {
+  const CliResult r = run_cli("--jobs 4x --iters 16 --elements 4096");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--jobs"), std::string::npos) << r.output;
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,99 @@
+// Parallel experiment engine tests: result ordering, serial fallback,
+// exception propagation (without deadlock) and the generic task entry
+// point.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/parallel.hpp"
+
+namespace virec::sim {
+namespace {
+
+RunSpec tiny_spec(u32 threads) {
+  RunSpec spec;
+  spec.workload = "reduce";
+  spec.threads_per_core = threads;
+  spec.params.iters_per_thread = 32;
+  spec.params.elements = 1 << 12;
+  return spec;
+}
+
+TEST(Parallel, DefaultJobsIsAtLeastOne) { EXPECT_GE(default_jobs(), 1u); }
+
+TEST(Parallel, ResultsFollowSubmissionOrder) {
+  // Thread counts give each point a distinguishable cycle count, so a
+  // mis-ordered result vector is detectable.
+  const std::vector<u32> threads = {1, 2, 4, 8, 3, 6};
+  std::vector<RunSpec> specs;
+  for (u32 t : threads) specs.push_back(tiny_spec(t));
+
+  const std::vector<RunResult> serial = run_specs(specs, 1);
+  const std::vector<RunResult> parallel = run_specs(specs, 4);
+  ASSERT_EQ(serial.size(), specs.size());
+  ASSERT_EQ(parallel.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(serial[i].cycles, run_spec(specs[i]).cycles) << i;
+    EXPECT_EQ(parallel[i].cycles, serial[i].cycles) << i;
+    EXPECT_EQ(parallel[i].instructions, serial[i].instructions) << i;
+  }
+}
+
+TEST(Parallel, SubmitReturnsIncreasingIndices) {
+  ParallelExecutor pool(2);
+  EXPECT_EQ(pool.submit(tiny_spec(2)), 0u);
+  EXPECT_EQ(pool.submit(tiny_spec(4)), 1u);
+  const std::vector<RunResult> results = pool.join();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].check_ok);
+  EXPECT_TRUE(results[1].check_ok);
+}
+
+TEST(Parallel, JobsZeroMeansHardwareConcurrency) {
+  ParallelExecutor pool(0);
+  EXPECT_EQ(pool.jobs(), default_jobs());
+}
+
+TEST(Parallel, EmptySubmissionJoinsCleanly) {
+  ParallelExecutor pool(4);
+  EXPECT_TRUE(pool.join().empty());
+}
+
+TEST(Parallel, BadWorkloadThrowsOutOfPool) {
+  std::vector<RunSpec> specs = {tiny_spec(2), tiny_spec(4)};
+  specs[1].workload = "no-such-kernel";
+  specs.push_back(tiny_spec(8));
+  // Must rethrow on join, not deadlock with tasks still queued.
+  EXPECT_THROW(run_specs(specs, 4), std::out_of_range);
+  EXPECT_THROW(run_specs(specs, 1), std::out_of_range);
+}
+
+TEST(Parallel, SerialFailureSkipsLaterWork) {
+  // With jobs = 1 execution is strictly ordered, so the first failing
+  // spec must be the one reported and later specs never run.
+  std::vector<RunSpec> specs = {tiny_spec(2), tiny_spec(4), tiny_spec(8)};
+  specs[1].workload = "first-bad";
+  specs[2].workload = "second-bad";
+  try {
+    run_specs(specs, 1);
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("first-bad"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Parallel, RunTasksCoversNonSpecPoints) {
+  std::vector<std::function<RunResult()>> tasks;
+  for (u32 t : {2u, 4u}) {
+    tasks.emplace_back([t] { return run_spec(tiny_spec(t)); });
+  }
+  const std::vector<RunResult> results = run_tasks(std::move(tasks), 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].cycles, run_spec(tiny_spec(2)).cycles);
+  EXPECT_EQ(results[1].cycles, run_spec(tiny_spec(4)).cycles);
+}
+
+}  // namespace
+}  // namespace virec::sim

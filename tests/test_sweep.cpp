@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 #include "sim/sweep.hpp"
 
@@ -98,6 +99,52 @@ TEST(Sweep, CoresAxisRunsMulticore) {
   const SweepResults results = sweep.run();
   EXPECT_EQ(results.size(), 2u);
   EXPECT_TRUE(results.records()[1].result.check_ok);
+}
+
+TEST(Sweep, FindUsesKeyedIndex) {
+  Sweep sweep = tiny_sweep();
+  sweep.over_schemes({Scheme::kBanked, Scheme::kViReC})
+      .over_context_fractions({1.0, 0.5});
+  const SweepResults results = sweep.run();
+  const SweepRecord* hit = results.find("reduce", Scheme::kViReC, 8, 0.5);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->spec.scheme, Scheme::kViReC);
+  EXPECT_EQ(hit->spec.context_fraction, 0.5);
+  EXPECT_EQ(hit->result.cycles,
+            results.cycles_of("reduce", Scheme::kViReC, 8, 0.5).value());
+  EXPECT_EQ(results.find("reduce", Scheme::kViReC, 8, 0.7), nullptr);
+  EXPECT_EQ(results.find("gather", Scheme::kViReC, 8, 0.5), nullptr);
+}
+
+TEST(Sweep, ParallelRunIsByteIdenticalToSerial) {
+  // Mixed scheme/policy grid; the CSV and JSON documents must come out
+  // byte-identical whatever the job count.
+  Sweep sweep = tiny_sweep();
+  sweep.over_schemes({Scheme::kBanked, Scheme::kViReC})
+      .over_policies({core::PolicyKind::kPLRU, core::PolicyKind::kLRC})
+      .over_threads({2, 4})
+      .over_context_fractions({1.0, 0.5});
+  const SweepResults serial = sweep.run(1);
+  const SweepResults parallel = sweep.run(4);
+  ASSERT_EQ(serial.size(), 16u);
+  ASSERT_EQ(parallel.size(), 16u);
+
+  std::ostringstream csv1, csv4, json1, json4;
+  serial.write_csv(csv1);
+  parallel.write_csv(csv4);
+  serial.write_json(json1);
+  parallel.write_json(json4);
+  EXPECT_EQ(csv1.str(), csv4.str());
+  EXPECT_EQ(json1.str(), json4.str());
+}
+
+TEST(Sweep, FailingPointPropagatesFromParallelRun) {
+  Sweep sweep = tiny_sweep();
+  sweep.over_workloads({"reduce", "no-such-kernel", "gather"})
+      .over_threads({2, 4});
+  // Must throw (unknown workload) and terminate — no deadlocked join.
+  EXPECT_THROW(sweep.run(4), std::out_of_range);
+  EXPECT_THROW(sweep.run(1), std::out_of_range);
 }
 
 }  // namespace
