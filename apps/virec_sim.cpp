@@ -13,6 +13,7 @@
 // results and every typed stat (see docs/observability.md).
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "area/area_model.hpp"
+#include "ckpt/journal.hpp"
 #include "cpu/perfetto_trace.hpp"
 #include "cpu/trace.hpp"
 #include "sim/observability.hpp"
@@ -46,6 +48,10 @@ struct Options {
   u64 sample_interval = 0;
   bool sweep = false;
   u32 jobs = 0;            // 0 = hardware concurrency
+  u64 checkpoint_every = 0;   // periodic snapshot interval (cycles)
+  std::string checkpoint_out; // snapshot directory
+  std::string restore_path;   // snapshot to resume a single run from
+  std::string resume_path;    // sweep journal to resume a sweep from
   // Grid axes: in --sweep mode these accept comma-separated lists, so
   // they are captured raw and parsed once the mode is known.
   std::string workload_arg, scheme_arg, policy_arg;
@@ -85,6 +91,17 @@ void print_usage() {
       "                      (reported in the JSON time_series section)\n"
       "  --stats             dump every component counter\n"
       "  --area              print the area/delay report for this config\n"
+      "  --max-cycles N      watchdog: abort (naming the stuck core/\n"
+      "                      thread) after N cycles\n"
+      "  --checkpoint-every N  write a snapshot every N cycles (needs\n"
+      "                      --checkpoint-out; single-run only)\n"
+      "  --checkpoint-out DIR  directory for ckpt-<cycle>.vckpt files\n"
+      "  --restore FILE      restore a snapshot and continue the run\n"
+      "                      (config must match; single-run only)\n"
+      "  --resume FILE       journal completed sweep points to FILE and\n"
+      "                      skip points already recorded in it (so a\n"
+      "                      killed sweep continues where it stopped;\n"
+      "                      needs --sweep)\n"
       "  --sweep             run the full cross product of the grid axes\n"
       "                      (--workload/--scheme/--policy/--threads/\n"
       "                      --ctx/--cores accept comma-separated lists)\n"
@@ -184,6 +201,11 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--dcache-latency")
       opt.spec.dcache_latency = static_cast<u32>(u64_value());
     else if (arg == "--seed") opt.spec.params.seed = u64_value();
+    else if (arg == "--max-cycles") opt.spec.max_cycles = u64_value();
+    else if (arg == "--checkpoint-every") opt.checkpoint_every = u64_value();
+    else if (arg == "--checkpoint-out") opt.checkpoint_out = value();
+    else if (arg == "--restore") opt.restore_path = value();
+    else if (arg == "--resume") opt.resume_path = value();
     else if (arg == "--trace-core")
       opt.trace_core = static_cast<u32>(u64_value());
     else if (arg == "--trace-out") opt.trace_out = value();
@@ -282,8 +304,23 @@ int run_sweep_mode(const Options& opt) {
         "--trace/--trace-out/--sample-interval/--stats/--area are "
         "single-run options and cannot be combined with --sweep");
   }
+  if (opt.checkpoint_every > 0 || !opt.checkpoint_out.empty() ||
+      !opt.restore_path.empty()) {
+    throw std::invalid_argument(
+        "--checkpoint-every/--checkpoint-out/--restore are single-run "
+        "options and cannot be combined with --sweep (use --resume to "
+        "make a sweep resumable)");
+  }
   const sim::Sweep sweep = build_sweep(opt);
-  const sim::SweepResults results = sweep.run(opt.jobs);
+  std::unique_ptr<ckpt::SweepJournal> journal;
+  if (!opt.resume_path.empty()) {
+    journal = std::make_unique<ckpt::SweepJournal>(opt.resume_path);
+    const std::size_t done = journal->load();
+    std::cerr << "resume: " << done << " of " << sweep.size()
+              << " point(s) already journalled in " << opt.resume_path
+              << "\n";
+  }
+  const sim::SweepResults results = sweep.run(opt.jobs, journal.get());
   if (opt.json) {
     if (opt.json_path.empty()) {
       results.write_json(std::cout);
@@ -321,6 +358,17 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (opt.sweep) return run_sweep_mode(opt);
+
+    if (!opt.resume_path.empty()) {
+      throw std::invalid_argument(
+          "--resume journals sweep points and needs --sweep "
+          "(to continue a single run from a snapshot, use --restore)");
+    }
+    if ((opt.checkpoint_every > 0) != !opt.checkpoint_out.empty()) {
+      throw std::invalid_argument(
+          "--checkpoint-every and --checkpoint-out must be given "
+          "together");
+    }
 
     const workloads::Workload& workload =
         workloads::find_workload(opt.spec.workload);
@@ -369,6 +417,13 @@ int main(int argc, char** argv) {
     if (opt.sample_interval > 0) {
       system.set_sample_interval(opt.sample_interval);
     }
+    if (opt.checkpoint_every > 0) {
+      std::filesystem::create_directories(opt.checkpoint_out);
+      system.set_checkpointing(opt.checkpoint_every, opt.checkpoint_out);
+    }
+    // Restore after all sinks are attached so the continued run traces
+    // and samples exactly like the tail of an uninterrupted one.
+    if (!opt.restore_path.empty()) system.restore(opt.restore_path);
 
     const sim::RunResult result = system.run();
 

@@ -1,0 +1,150 @@
+#include "ckpt/journal.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "ckpt/serialize.hpp"
+
+namespace virec::ckpt {
+
+namespace {
+
+constexpr const char* kLineTag = "VJ1";
+
+u64 fnv1a(u64 h, const void* data, std::size_t size) {
+  const u8* p = static_cast<const u8*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+u64 fnv1a_u64(u64 h, u64 v) { return fnv1a(h, &v, sizeof v); }
+
+u64 fnv1a_f64(u64 h, double v) {
+  u64 bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return fnv1a_u64(h, bits);
+}
+
+u64 f64_bits(double v) {
+  u64 bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double bits_f64(u64 bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+u64 spec_hash(const sim::RunSpec& spec) {
+  u64 h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, spec.workload.data(), spec.workload.size());
+  h = fnv1a_u64(h, static_cast<u64>(spec.scheme));
+  h = fnv1a_u64(h, static_cast<u64>(spec.policy));
+  h = fnv1a_u64(h, spec.num_cores);
+  h = fnv1a_u64(h, spec.threads_per_core);
+  h = fnv1a_f64(h, spec.context_fraction);
+  h = fnv1a_u64(h, spec.params.iters_per_thread);
+  h = fnv1a_u64(h, spec.params.elements);
+  h = fnv1a_u64(h, spec.params.stride);
+  h = fnv1a_u64(h, spec.params.locality_window);
+  h = fnv1a_u64(h, spec.params.extra_compute);
+  h = fnv1a_u64(h, spec.params.max_regs);
+  h = fnv1a_u64(h, spec.params.seed);
+  h = fnv1a_u64(h, spec.dcache_bytes);
+  h = fnv1a_u64(h, spec.dcache_latency);
+  h = fnv1a_u64(h, spec.phys_regs);
+  h = fnv1a_u64(h, spec.max_cycles);
+  h = fnv1a_u64(h, (spec.group_spill ? 1u : 0u) |
+                       (spec.switch_prefetch ? 2u : 0u));
+  return h;
+}
+
+std::size_t SweepJournal::load() {
+  entries_.clear();
+  std::ifstream in(path_);
+  if (!in) return 0;  // no journal yet: nothing completed
+  std::string line;
+  while (std::getline(in, line)) {
+    // A torn trailing line (killed mid-append) has no terminating
+    // newline; getline still yields it, but its CRC will not match.
+    const std::size_t crc_at = line.rfind(' ');
+    if (crc_at == std::string::npos) continue;
+    const std::string body = line.substr(0, crc_at);
+    u32 expected_crc = 0;
+    if (std::sscanf(line.c_str() + crc_at + 1, "%" SCNx32, &expected_crc) !=
+        1) {
+      continue;
+    }
+    if (crc32(body.data(), body.size()) != expected_crc) continue;
+
+    char tag[8] = {0};
+    u64 hash = 0, cycles = 0, instructions = 0, switches = 0, fills = 0,
+        spills = 0, ipc_bits = 0, hit_bits = 0, miss_bits = 0;
+    const int n = std::sscanf(
+        body.c_str(),
+        "%7s %" SCNx64 " %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+        " %" SCNu64 " %" SCNx64 " %" SCNx64 " %" SCNx64,
+        tag, &hash, &cycles, &instructions, &switches, &fills, &spills,
+        &ipc_bits, &hit_bits, &miss_bits);
+    if (n != 10 || std::string(tag) != kLineTag) continue;
+
+    sim::RunResult r;
+    r.cycles = cycles;
+    r.instructions = instructions;
+    r.context_switches = switches;
+    r.rf_fills = fills;
+    r.rf_spills = spills;
+    r.ipc = bits_f64(ipc_bits);
+    r.rf_hit_rate = bits_f64(hit_bits);
+    r.avg_dcache_miss_latency = bits_f64(miss_bits);
+    r.check_ok = true;  // only passing runs are journalled
+    entries_[hash] = r;
+  }
+  return entries_.size();
+}
+
+bool SweepJournal::lookup(u64 hash, sim::RunResult* out) const {
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+void SweepJournal::record(u64 hash, const sim::RunResult& result) {
+  char body[256];
+  std::snprintf(body, sizeof body,
+                "%s %016" PRIx64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                " %" PRIu64 " %" PRIu64 " %016" PRIx64 " %016" PRIx64
+                " %016" PRIx64,
+                kLineTag, hash, result.cycles, result.instructions,
+                result.context_switches, result.rf_fills, result.rf_spills,
+                f64_bits(result.ipc), f64_bits(result.rf_hit_rate),
+                f64_bits(result.avg_dcache_miss_latency));
+  const u32 crc = crc32(body, std::strlen(body));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) {
+    out_.open(path_, std::ios::app);
+    if (!out_) {
+      throw CkptError("cannot open sweep journal " + path_ +
+                      " for appending");
+    }
+  }
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof crc_hex, " %08x", crc);
+  out_ << body << crc_hex << '\n';
+  out_.flush();
+  entries_[hash] = result;
+  entries_[hash].check_ok = true;
+}
+
+}  // namespace virec::ckpt

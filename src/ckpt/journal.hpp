@@ -1,0 +1,57 @@
+// Resumable-sweep journal: an append-only text file recording one line
+// per completed sweep point, keyed by a hash of the full RunSpec. A
+// killed sweep restarted with the same journal skips every point whose
+// result is already recorded, and the reassembled CSV/JSON output is
+// byte-identical to an uninterrupted run (doubles are stored by bit
+// pattern, never reparsed).
+//
+// Crash safety: every line is self-contained and carries its own
+// CRC-32; loading ignores a torn trailing line (the process died
+// mid-append) and rejects corrupted lines, so those points simply
+// re-run.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/runner.hpp"
+
+namespace virec::ckpt {
+
+/// Deterministic hash over every field of @p spec (workload, scheme,
+/// policy, grid axes, workload params, overrides). Two specs collide
+/// only if they describe the same experiment point.
+u64 spec_hash(const sim::RunSpec& spec);
+
+class SweepJournal {
+ public:
+  explicit SweepJournal(std::string path) : path_(std::move(path)) {}
+
+  /// Load existing entries from the journal file (a missing file is an
+  /// empty journal). Malformed, CRC-corrupt and torn trailing lines
+  /// are skipped. Returns the number of entries loaded.
+  std::size_t load();
+
+  /// Result for @p hash, if journalled. Restored results carry
+  /// check_ok = true: only runs that passed their workload check are
+  /// ever recorded.
+  bool lookup(u64 hash, sim::RunResult* out) const;
+
+  /// Append one completed point and flush. Thread-safe: sweep workers
+  /// record results as they finish.
+  void record(u64 hash, const sim::RunResult& result);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::unordered_map<u64, sim::RunResult> entries_;
+  std::ofstream out_;
+  std::mutex mutex_;
+};
+
+}  // namespace virec::ckpt

@@ -1,0 +1,83 @@
+#include "ckpt/serialize.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace virec::ckpt {
+
+namespace {
+
+std::array<u32, 256> make_crc_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+u32 crc32(const void* data, std::size_t size, u32 seed) {
+  static const std::array<u32, 256> table = make_crc_table();
+  const u8* p = static_cast<const u8*>(data);
+  u32 c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void Encoder::put_f64(double v) {
+  u64 bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(bits);
+}
+
+void Encoder::raw(const void* data, std::size_t size) {
+  const u8* p = static_cast<const u8*>(data);
+  bytes_.insert(bytes_.end(), p, p + size);
+}
+
+void Decoder::need(std::size_t n) const {
+  if (size_ - pos_ < n) {
+    throw CkptError("checkpoint " + context_ + ": truncated (need " +
+                    std::to_string(n) + " bytes at offset " +
+                    std::to_string(pos_) + " of " + std::to_string(size_) +
+                    ")");
+  }
+}
+
+double Decoder::get_f64() {
+  const u64 bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string Decoder::get_str() {
+  const u32 n = get_u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void Decoder::raw(void* out, std::size_t size) {
+  need(size);
+  std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+}
+
+void Decoder::finish() const {
+  if (!done()) {
+    throw CkptError("checkpoint " + context_ + ": " +
+                    std::to_string(remaining()) +
+                    " trailing bytes after restore (format mismatch)");
+  }
+}
+
+}  // namespace virec::ckpt

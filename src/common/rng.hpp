@@ -32,6 +32,15 @@ class Xorshift128 {
     return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
   }
 
+  /// Raw engine state, for checkpointing.
+  constexpr u64 state0() const { return s0_; }
+  constexpr u64 state1() const { return s1_; }
+  constexpr void set_state(u64 s0, u64 s1) {
+    s0_ = s0;
+    s1_ = s1;
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
  private:
   static constexpr u64 splitmix(u64 x) {
     x += 0x9e3779b97f4a7c15ull;

@@ -74,6 +74,38 @@ void Distribution::merge(const Distribution& other) {
   sum_sq_ += other.sum_sq_;
 }
 
+void Histogram::save_state(ckpt::Encoder& enc) const {
+  enc.put_u64(count_);
+  enc.put_f64(sum_);
+  enc.put_f64(min_);
+  enc.put_f64(max_);
+  enc.put_u64_vec(buckets_);
+}
+
+void Histogram::restore_state(ckpt::Decoder& dec) {
+  count_ = dec.get_u64();
+  sum_ = dec.get_f64();
+  min_ = dec.get_f64();
+  max_ = dec.get_f64();
+  buckets_ = dec.get_u64_vec();
+}
+
+void Distribution::save_state(ckpt::Encoder& enc) const {
+  enc.put_u64(count_);
+  enc.put_f64(sum_);
+  enc.put_f64(sum_sq_);
+  enc.put_f64(min_);
+  enc.put_f64(max_);
+}
+
+void Distribution::restore_state(ckpt::Decoder& dec) {
+  count_ = dec.get_u64();
+  sum_ = dec.get_f64();
+  sum_sq_ = dec.get_f64();
+  min_ = dec.get_f64();
+  max_ = dec.get_f64();
+}
+
 StatSet::StatSet(std::string prefix) : prefix_(std::move(prefix)) {}
 
 std::size_t StatSet::index_of(const std::string& name) {
@@ -161,6 +193,45 @@ void StatSet::merge(const StatSet& other) {
   }
   for (const auto& d : other.distributions_) {
     distribution(d->name(), d->desc())->merge(*d);
+  }
+}
+
+void StatSet::save_state(ckpt::Encoder& enc) const {
+  enc.put_u32(static_cast<u32>(stats_.size()));
+  for (const Stat& s : stats_) {
+    enc.put_str(s.name);
+    enc.put_f64(s.value);
+  }
+  enc.put_u32(static_cast<u32>(histograms_.size()));
+  for (const auto& h : histograms_) {
+    enc.put_str(h->name());
+    h->save_state(enc);
+  }
+  enc.put_u32(static_cast<u32>(distributions_.size()));
+  for (const auto& d : distributions_) {
+    enc.put_str(d->name());
+    d->save_state(enc);
+  }
+}
+
+void StatSet::restore_state(ckpt::Decoder& dec) {
+  const u32 n_counters = dec.get_u32();
+  for (u32 i = 0; i < n_counters; ++i) {
+    const std::string name = dec.get_str();
+    // counter() creates absent entries in saved order, so lazily
+    // created counters land at the same position as in the run that
+    // produced the snapshot.
+    *counter(name) = dec.get_f64();
+  }
+  const u32 n_hist = dec.get_u32();
+  for (u32 i = 0; i < n_hist; ++i) {
+    const std::string name = dec.get_str();
+    histogram(name)->restore_state(dec);
+  }
+  const u32 n_dist = dec.get_u32();
+  for (u32 i = 0; i < n_dist; ++i) {
+    const std::string name = dec.get_str();
+    distribution(name)->restore_state(dec);
   }
 }
 

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serialize.hpp"
 #include "common/types.hpp"
 
 namespace virec {
@@ -89,6 +90,11 @@ class Histogram {
   void clear();
   void merge(const Histogram& other);
 
+  /// Checkpoint the sample state (not the name/desc/enabled flag,
+  /// which are configuration).
+  void save_state(ckpt::Encoder& enc) const;
+  void restore_state(ckpt::Decoder& dec);
+
  private:
   std::string name_;
   std::string desc_;
@@ -130,6 +136,10 @@ class Distribution {
 
   void clear();
   void merge(const Distribution& other);
+
+  /// Checkpoint the sample state (not the name/desc/enabled flag).
+  void save_state(ckpt::Encoder& enc) const;
+  void restore_state(ckpt::Decoder& dec);
 
  private:
   std::string name_;
@@ -202,6 +212,13 @@ class StatSet {
 
   /// Merge: add every counter / typed stat of @p other into this set.
   void merge(const StatSet& other);
+
+  /// Checkpoint every counter value and typed-stat sample state, by
+  /// name. Restoring recreates counters in the saved order (so report
+  /// ordering matches an uninterrupted run) and overwrites the values
+  /// of counters that already exist.
+  void save_state(ckpt::Encoder& enc) const;
+  void restore_state(ckpt::Decoder& dec);
 
   const std::string& prefix() const { return prefix_; }
 

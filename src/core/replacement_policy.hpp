@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serialize.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "isa/inst.hpp"
@@ -91,6 +92,22 @@ class ReplacementPolicy {
   /// @p locked (bool per entry). Returns -1 if none is evictable.
   int pick_victim(const std::vector<RfEntry>& entries,
                   const std::vector<u8>& locked);
+
+  /// Checkpoint the RNG engine and LRU/FIFO counters (the per-entry
+  /// state lives in the tag store's RfEntry records).
+  void save_state(ckpt::Encoder& enc) const {
+    enc.put_u64(rng_.state0());
+    enc.put_u64(rng_.state1());
+    enc.put_u64(tick_);
+    enc.put_u64(seq_);
+  }
+  void restore_state(ckpt::Decoder& dec) {
+    const u64 s0 = dec.get_u64();
+    const u64 s1 = dec.get_u64();
+    rng_.set_state(s0, s1);
+    tick_ = dec.get_u64();
+    seq_ = dec.get_u64();
+  }
 
  private:
   /// Retention priority; higher values are evicted first.

@@ -72,4 +72,49 @@ u32 TagStore::valid_entries() const {
   return count;
 }
 
+void TagStore::save_state(ckpt::Encoder& enc) const {
+  enc.put_u32(static_cast<u32>(entries_.size()));
+  for (const RfEntry& e : entries_) {
+    enc.put_bool(e.valid);
+    enc.put_u8(e.tid);
+    enc.put_u8(e.arch);
+    enc.put_bool(e.dirty);
+    enc.put_u8(e.t_bits);
+    enc.put_u8(e.age);
+    enc.put_bool(e.c_bit);
+    enc.put_u64(e.last_use);
+    enc.put_u64(e.insert_seq);
+  }
+  enc.put_u32(static_cast<u32>(map_.size()));
+  for (i16 m : map_) enc.put_u16(static_cast<u16>(m));
+  policy_.save_state(enc);
+}
+
+void TagStore::restore_state(ckpt::Decoder& dec) {
+  const u32 n_entries = dec.get_u32();
+  if (n_entries != entries_.size()) {
+    throw ckpt::CkptError("TagStore: snapshot has " +
+                          std::to_string(n_entries) +
+                          " entries, tag store has " +
+                          std::to_string(entries_.size()));
+  }
+  for (RfEntry& e : entries_) {
+    e.valid = dec.get_bool();
+    e.tid = dec.get_u8();
+    e.arch = dec.get_u8();
+    e.dirty = dec.get_bool();
+    e.t_bits = dec.get_u8();
+    e.age = dec.get_u8();
+    e.c_bit = dec.get_bool();
+    e.last_use = dec.get_u64();
+    e.insert_seq = dec.get_u64();
+  }
+  const u32 n_map = dec.get_u32();
+  if (n_map != map_.size()) {
+    throw ckpt::CkptError("TagStore: snapshot map size mismatch");
+  }
+  for (i16& m : map_) m = static_cast<i16>(dec.get_u16());
+  policy_.restore_state(dec);
+}
+
 }  // namespace virec::core

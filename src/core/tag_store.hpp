@@ -60,6 +60,11 @@ class TagStore {
   u32 valid_entries() const;
   PolicyKind policy_kind() const { return policy_.kind(); }
 
+  /// Checkpoint every entry, the (tid, arch) -> phys map and the
+  /// policy counters. Restore validates the entry/map sizes.
+  void save_state(ckpt::Encoder& enc) const;
+  void restore_state(ckpt::Decoder& dec);
+
  private:
   std::vector<RfEntry> entries_;
   // Direct map for O(1) lookup: (tid * 32 + arch) -> phys idx or -1.

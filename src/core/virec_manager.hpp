@@ -82,6 +82,9 @@ class ViReCManager final : public cpu::ContextManager {
   /// the owning core uses.
   void set_tracer(cpu::TraceSink* tracer) override { tracer_ = tracer; }
 
+  void save_state(ckpt::Encoder& enc) const override;
+  void restore_state(ckpt::Decoder& dec) override;
+
  private:
   /// Evict whatever currently occupies (the policy's choice of) an
   /// entry and install (tid, arch); returns phys index or -1 when all

@@ -54,4 +54,18 @@ void BankedManager::write_reg(int tid, isa::RegId reg, u64 value) {
   banks_[static_cast<std::size_t>(tid)][reg] = value;
 }
 
+void BankedManager::save_state(ckpt::Encoder& enc) const {
+  ContextManager::save_state(enc);
+  for (const auto& bank : banks_) {
+    for (u64 v : bank) enc.put_u64(v);
+  }
+}
+
+void BankedManager::restore_state(ckpt::Decoder& dec) {
+  ContextManager::restore_state(dec);
+  for (auto& bank : banks_) {
+    for (u64& v : bank) v = dec.get_u64();
+  }
+}
+
 }  // namespace virec::cpu

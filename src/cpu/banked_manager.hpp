@@ -24,6 +24,9 @@ class BankedManager final : public ContextManager {
   u64 read_reg(int tid, isa::RegId reg) override;
   void write_reg(int tid, isa::RegId reg, u64 value) override;
 
+  void save_state(ckpt::Encoder& enc) const override;
+  void restore_state(ckpt::Decoder& dec) override;
+
  private:
   // banks_[tid][arch]
   std::vector<std::array<u64, isa::kNumAllocatableRegs>> banks_;

@@ -386,11 +386,151 @@ void CgmtCore::run() {
   while (!done()) {
     step();
     if (cycle_ >= config_.max_cycles) {
-      throw std::runtime_error("CgmtCore: max_cycles exceeded");
+      throw std::runtime_error("CgmtCore: max_cycles (" +
+                               std::to_string(config_.max_cycles) +
+                               ") exceeded; " + watchdog_diagnosis());
     }
   }
   stats_.set("cycles", static_cast<double>(cycle_));
   stats_.set("instructions", static_cast<double>(instructions_));
+}
+
+std::string CgmtCore::watchdog_diagnosis() const {
+  std::string out = "core " + std::to_string(env_.core_id) + " at cycle " +
+                    std::to_string(cycle_) + ": ";
+  if (current_tid_ < 0) {
+    out += "no thread running";
+  } else {
+    const Thread& t = threads_[static_cast<std::size_t>(current_tid_)];
+    out += "thread " + std::to_string(current_tid_) + " at pc " +
+           std::to_string(t.pc);
+    if (t.blocked_until > cycle_) {
+      out += " (blocked until cycle " + std::to_string(t.blocked_until) + ")";
+    }
+  }
+  out += ", " + std::to_string(runnable_threads(cycle_)) + "/" +
+         std::to_string(live_threads_) + " threads runnable";
+  if (switch_pending_) out += ", context switch pending";
+  return out;
+}
+
+namespace {
+
+void save_inst(ckpt::Encoder& enc, const isa::Inst& inst) {
+  enc.put_u8(static_cast<u8>(inst.op));
+  enc.put_u8(inst.rd);
+  enc.put_u8(inst.rn);
+  enc.put_u8(inst.rm);
+  enc.put_u8(inst.ra);
+  enc.put_u8(static_cast<u8>(inst.cond));
+  enc.put_u8(static_cast<u8>(inst.mem_mode));
+  enc.put_u8(inst.shift);
+  enc.put_u8(inst.imm2);
+  enc.put_i64(inst.imm);
+  enc.put_i64(inst.target);
+}
+
+void restore_inst(ckpt::Decoder& dec, isa::Inst& inst) {
+  inst.op = static_cast<isa::Op>(dec.get_u8());
+  inst.rd = dec.get_u8();
+  inst.rn = dec.get_u8();
+  inst.rm = dec.get_u8();
+  inst.ra = dec.get_u8();
+  inst.cond = static_cast<isa::Cond>(dec.get_u8());
+  inst.mem_mode = static_cast<isa::MemMode>(dec.get_u8());
+  inst.shift = dec.get_u8();
+  inst.imm2 = dec.get_u8();
+  inst.imm = dec.get_i64();
+  inst.target = dec.get_i64();
+}
+
+}  // namespace
+
+void CgmtCore::save_state(ckpt::Encoder& enc) const {
+  enc.put_u32(static_cast<u32>(threads_.size()));
+  for (const Thread& t : threads_) {
+    enc.put_bool(t.started);
+    enc.put_bool(t.halted);
+    enc.put_u64(t.pc);
+    enc.put_u8(t.nzcv);
+    enc.put_u64(t.blocked_until);
+    enc.put_u64(t.start_ready);
+    enc.put_bool(t.launched_context);
+    enc.put_bool(t.has_reserved_line);
+    enc.put_u64(t.reserved_line);
+  }
+  const auto save_latch = [&enc](const Latch& l) {
+    enc.put_bool(l.valid);
+    enc.put_u64(l.pc);
+    enc.put_u64(l.pred_next);
+    save_inst(enc, l.inst);
+    enc.put_u64(l.ready);
+    enc.put_bool(l.decoded);
+    enc.put_bool(l.mem_issued);
+    enc.put_u64(l.mem_addr);
+  };
+  save_latch(if_);
+  save_latch(id_);
+  save_latch(ex_);
+  save_latch(mem_);
+  enc.put_u64(cycle_);
+  enc.put_u64(instructions_);
+  enc.put_i64(current_tid_);
+  enc.put_u32(live_threads_);
+  enc.put_bool(committed_since_switch_);
+  enc.put_u64(fetch_ready_);
+  enc.put_u64(fetch_pc_);
+  enc.put_bool(switch_pending_);
+  enc.put_u64(switch_eligible_at_);
+  enc.put_u64(episode_start_instructions_);
+  sq_.save_state(enc);
+  stats_.save_state(enc);
+}
+
+void CgmtCore::restore_state(ckpt::Decoder& dec) {
+  const u32 n_threads = dec.get_u32();
+  if (n_threads != threads_.size()) {
+    throw ckpt::CkptError("CgmtCore: snapshot has " +
+                          std::to_string(n_threads) + " threads, core has " +
+                          std::to_string(threads_.size()));
+  }
+  for (Thread& t : threads_) {
+    t.started = dec.get_bool();
+    t.halted = dec.get_bool();
+    t.pc = dec.get_u64();
+    t.nzcv = dec.get_u8();
+    t.blocked_until = dec.get_u64();
+    t.start_ready = dec.get_u64();
+    t.launched_context = dec.get_bool();
+    t.has_reserved_line = dec.get_bool();
+    t.reserved_line = dec.get_u64();
+  }
+  const auto restore_latch = [&dec](Latch& l) {
+    l.valid = dec.get_bool();
+    l.pc = dec.get_u64();
+    l.pred_next = dec.get_u64();
+    restore_inst(dec, l.inst);
+    l.ready = dec.get_u64();
+    l.decoded = dec.get_bool();
+    l.mem_issued = dec.get_bool();
+    l.mem_addr = dec.get_u64();
+  };
+  restore_latch(if_);
+  restore_latch(id_);
+  restore_latch(ex_);
+  restore_latch(mem_);
+  cycle_ = dec.get_u64();
+  instructions_ = dec.get_u64();
+  current_tid_ = static_cast<int>(dec.get_i64());
+  live_threads_ = dec.get_u32();
+  committed_since_switch_ = dec.get_bool();
+  fetch_ready_ = dec.get_u64();
+  fetch_pc_ = dec.get_u64();
+  switch_pending_ = dec.get_bool();
+  switch_eligible_at_ = dec.get_u64();
+  episode_start_instructions_ = dec.get_u64();
+  sq_.restore_state(dec);
+  stats_.restore_state(dec);
 }
 
 }  // namespace virec::cpu

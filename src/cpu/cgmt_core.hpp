@@ -11,8 +11,10 @@
 // prefetching and ViReC schemes plug into the same pipeline.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "ckpt/serialize.hpp"
 #include "cpu/context_manager.hpp"
 #include "cpu/store_queue.hpp"
 #include "cpu/trace.hpp"
@@ -75,6 +77,17 @@ class CgmtCore {
 
   /// Per-thread NZCV flags (functional sysreg, exposed for tests).
   u8 nzcv(int tid) const { return threads_[static_cast<std::size_t>(tid)].nzcv; }
+
+  /// Checkpoint the whole pipeline: thread contexts, latches, frontend
+  /// cursors, switch bookkeeping, the store queue and the stat set.
+  /// The attached ContextManager checkpoints separately.
+  void save_state(ckpt::Encoder& enc) const;
+  void restore_state(ckpt::Decoder& dec);
+
+  /// One-line description of what the core is (or is not) doing, used
+  /// by the watchdog to name the stuck core/thread when max_cycles is
+  /// exceeded.
+  std::string watchdog_diagnosis() const;
 
  private:
   struct Thread {

@@ -111,6 +111,12 @@ class ContextManager : public isa::RegisterFileIO {
   /// rollbacks). Schemes without such traffic ignore it.
   virtual void set_tracer(TraceSink* tracer) { (void)tracer; }
 
+  /// Checkpoint scheme state. The base handles the stat set; overrides
+  /// must call the base first and then append their own state in the
+  /// same order on both sides.
+  virtual void save_state(ckpt::Encoder& enc) const { stats_.save_state(enc); }
+  virtual void restore_state(ckpt::Decoder& dec) { stats_.restore_state(dec); }
+
   const StatSet& stats() const { return stats_; }
   StatSet& stats() { return stats_; }
   const CoreEnv& env() const { return env_; }

@@ -174,4 +174,34 @@ void PrefetchManager::write_reg(int tid, isa::RegId reg, u64 value) {
   values_[static_cast<std::size_t>(tid)][reg] = value;
 }
 
+void PrefetchManager::save_state(ckpt::Encoder& enc) const {
+  ContextManager::save_state(enc);
+  for (const auto& regs : values_) {
+    for (u64 v : regs) enc.put_u64(v);
+  }
+  for (RegMask m : resident_) enc.put_u32(m);
+  for (RegMask m : used_this_episode_) enc.put_u32(m);
+  for (RegMask m : last_episode_used_) enc.put_u32(m);
+  for (bool s : started_) enc.put_bool(s);
+  enc.put_cycle_vec(prefetch_ready_);
+  enc.put_i64(prefetched_tid_);
+}
+
+void PrefetchManager::restore_state(ckpt::Decoder& dec) {
+  ContextManager::restore_state(dec);
+  for (auto& regs : values_) {
+    for (u64& v : regs) v = dec.get_u64();
+  }
+  for (RegMask& m : resident_) m = dec.get_u32();
+  for (RegMask& m : used_this_episode_) m = dec.get_u32();
+  for (RegMask& m : last_episode_used_) m = dec.get_u32();
+  for (std::size_t i = 0; i < started_.size(); ++i) started_[i] = dec.get_bool();
+  const std::vector<Cycle> ready = dec.get_cycle_vec();
+  if (ready.size() != prefetch_ready_.size()) {
+    throw ckpt::CkptError("PrefetchManager: snapshot thread count mismatch");
+  }
+  prefetch_ready_ = ready;
+  prefetched_tid_ = static_cast<int>(dec.get_i64());
+}
+
 }  // namespace virec::cpu

@@ -42,6 +42,9 @@ class PrefetchManager final : public ContextManager {
   u64 read_reg(int tid, isa::RegId reg) override;
   void write_reg(int tid, isa::RegId reg, u64 value) override;
 
+  void save_state(ckpt::Encoder& enc) const override;
+  void restore_state(ckpt::Decoder& dec) override;
+
  private:
   using RegMask = u32;  // bit r set => x<r> involved, r in [0, 31)
 

@@ -100,4 +100,16 @@ void SoftwareManager::write_reg(int tid, isa::RegId reg, u64 value) {
   }
 }
 
+void SoftwareManager::save_state(ckpt::Encoder& enc) const {
+  ContextManager::save_state(enc);
+  enc.put_i64(resident_tid_);
+  for (u64 v : rf_) enc.put_u64(v);
+}
+
+void SoftwareManager::restore_state(ckpt::Decoder& dec) {
+  ContextManager::restore_state(dec);
+  resident_tid_ = static_cast<int>(dec.get_i64());
+  for (u64& v : rf_) v = dec.get_u64();
+}
+
 }  // namespace virec::cpu

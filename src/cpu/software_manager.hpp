@@ -28,6 +28,9 @@ class SoftwareManager final : public ContextManager {
   u64 read_reg(int tid, isa::RegId reg) override;
   void write_reg(int tid, isa::RegId reg, u64 value) override;
 
+  void save_state(ckpt::Encoder& enc) const override;
+  void restore_state(ckpt::Decoder& dec) override;
+
  private:
   /// Store the resident context to memory (one store per register).
   Cycle save_context(int tid, Cycle now);

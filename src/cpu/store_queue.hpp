@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "ckpt/serialize.hpp"
 #include "common/types.hpp"
 #include "mem/cache.hpp"
 
@@ -25,6 +26,23 @@ class StoreQueue {
 
   /// Completion time of the last store accepted (0 if none).
   Cycle last_completion() const { return last_completion_; }
+
+  /// Checkpoint the in-flight completion times.
+  void save_state(ckpt::Encoder& enc) const {
+    enc.put_cycle_vec(completion_);
+    enc.put_u64(last_completion_);
+  }
+  void restore_state(ckpt::Decoder& dec) {
+    // completion_ grows on demand up to capacity_, so only the upper
+    // bound is checked.
+    std::vector<Cycle> completion = dec.get_cycle_vec();
+    if (completion.size() > capacity_) {
+      throw ckpt::CkptError("StoreQueue: snapshot entry count exceeds "
+                            "capacity");
+    }
+    completion_ = std::move(completion);
+    last_completion_ = dec.get_u64();
+  }
 
  private:
   u32 capacity_;

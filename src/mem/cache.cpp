@@ -266,4 +266,53 @@ Cycle Cache::line_access(Addr line_addr, bool is_write, Cycle now) {
   return access(line_addr, is_write, now, /*reg_region=*/false).done;
 }
 
+void Cache::save_state(ckpt::Encoder& enc) const {
+  enc.put_u32(static_cast<u32>(lines_.size()));
+  for (const Line& l : lines_) {
+    enc.put_u64(l.tag);
+    enc.put_bool(l.valid);
+    enc.put_bool(l.dirty);
+    enc.put_bool(l.reg_line);
+    enc.put_u8(l.pin);
+    enc.put_u64(l.pending_until);
+    enc.put_u64(l.lru);
+  }
+  enc.put_cycle_vec(mshr_until_);
+  enc.put_u64(port_next_free_);
+  enc.put_u64(reg_port_next_free_);
+  enc.put_u64(last_miss_line_);
+  enc.put_i64(last_stride_);
+  stats_.save_state(enc);
+}
+
+void Cache::restore_state(ckpt::Decoder& dec) {
+  const u32 n_lines = dec.get_u32();
+  if (n_lines != lines_.size()) {
+    throw ckpt::CkptError(std::string(config_.name) + ": snapshot has " +
+                    std::to_string(n_lines) + " lines, cache has " +
+                    std::to_string(lines_.size()));
+  }
+  for (Line& l : lines_) {
+    l.tag = dec.get_u64();
+    l.valid = dec.get_bool();
+    l.dirty = dec.get_bool();
+    l.reg_line = dec.get_bool();
+    l.pin = dec.get_u8();
+    l.pending_until = dec.get_u64();
+    l.lru = dec.get_u64();
+  }
+  const std::vector<Cycle> mshrs = dec.get_cycle_vec();
+  if (mshrs.size() != mshr_until_.size()) {
+    throw ckpt::CkptError(std::string(config_.name) + ": snapshot has " +
+                    std::to_string(mshrs.size()) + " MSHRs, cache has " +
+                    std::to_string(mshr_until_.size()));
+  }
+  mshr_until_ = mshrs;
+  port_next_free_ = dec.get_u64();
+  reg_port_next_free_ = dec.get_u64();
+  last_miss_line_ = dec.get_u64();
+  last_stride_ = dec.get_i64();
+  stats_.restore_state(dec);
+}
+
 }  // namespace virec::mem

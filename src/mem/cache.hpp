@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/serialize.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/mem_level.hpp"
@@ -83,6 +84,12 @@ class Cache final : public MemLevel {
   StatSet& stats() { return stats_; }
 
   void reset();
+
+  /// Checkpoint all tag/MSHR/port/prefetcher state plus the stat set.
+  /// Restore validates that the saved geometry matches this cache's
+  /// configuration and throws ckpt::CkptError otherwise.
+  void save_state(ckpt::Encoder& enc) const;
+  void restore_state(ckpt::Decoder& dec);
 
  private:
   struct Line {

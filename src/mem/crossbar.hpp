@@ -3,6 +3,7 @@
 // so concurrent processors contend for bandwidth (Figure 11).
 #pragma once
 
+#include "ckpt/serialize.hpp"
 #include "common/stats.hpp"
 #include "mem/mem_level.hpp"
 
@@ -23,6 +24,10 @@ class Crossbar final : public MemLevel {
   void reset();
 
   StatSet& stats() { return stats_; }
+
+  /// Checkpoint link occupancy plus the stat set.
+  void save_state(ckpt::Encoder& enc) const;
+  void restore_state(ckpt::Decoder& dec);
 
  private:
   CrossbarConfig config_;

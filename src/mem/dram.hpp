@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "ckpt/serialize.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/mem_level.hpp"
@@ -38,6 +39,11 @@ class DramModel final : public MemLevel {
 
   /// Forget all bank/bus state (fresh run).
   void reset();
+
+  /// Checkpoint bank/bus timing state plus the stat set. Restore
+  /// validates the bank/channel counts against this model's config.
+  void save_state(ckpt::Encoder& enc) const;
+  void restore_state(ckpt::Decoder& dec);
 
  private:
   struct Bank {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "mem/cache.hpp"
 #include "mem/crossbar.hpp"
 #include "mem/dram.hpp"
@@ -91,6 +92,11 @@ class MemorySystem {
 
   /// Reset all timing state (functional memory is preserved).
   void reset_timing();
+
+  /// Checkpoint the whole hierarchy as named sections: the functional
+  /// memory, DRAM, crossbar, the L2 (if present) and each core's L1s.
+  void save_state(ckpt::CheckpointWriter& writer) const;
+  void restore_state(ckpt::CheckpointReader& reader);
 
  private:
   MemSystemConfig config_;

@@ -4,6 +4,29 @@
 
 namespace virec::mem {
 
+void SparseMemory::save_state(ckpt::Encoder& enc) const {
+  std::vector<u64> page_nos;
+  page_nos.reserve(pages_.size());
+  for (const auto& [no, page] : pages_) page_nos.push_back(no);
+  std::sort(page_nos.begin(), page_nos.end());
+  enc.put_u64(page_nos.size());
+  for (const u64 no : page_nos) {
+    enc.put_u64(no);
+    enc.raw(pages_.at(no).data(), kPageSize);
+  }
+}
+
+void SparseMemory::restore_state(ckpt::Decoder& dec) {
+  clear();
+  const u64 n = dec.get_u64();
+  for (u64 i = 0; i < n; ++i) {
+    const u64 no = dec.get_u64();
+    Page& page = pages_[no];
+    page.resize(kPageSize);
+    dec.raw(page.data(), kPageSize);
+  }
+}
+
 const SparseMemory::Page* SparseMemory::find_page(Addr addr) const {
   const u64 page_no = addr / kPageSize;
   if (page_no == cached_page_no_) return cached_page_;

@@ -11,13 +11,19 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/serialize.hpp"
 #include "common/types.hpp"
 
 namespace virec::mem {
 
-class SparseMemory {
+class SparseMemory final : public ckpt::Serializable {
  public:
   static constexpr u64 kPageSize = 4096;
+
+  /// Checkpoint every touched page (sorted by page number, so the
+  /// snapshot bytes are deterministic). Restore replaces all contents.
+  void save_state(ckpt::Encoder& enc) const override;
+  void restore_state(ckpt::Decoder& dec) override;
 
   /// Read @p size (1/2/4/8) bytes at @p addr, little-endian, zero if
   /// the page was never written.

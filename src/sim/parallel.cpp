@@ -1,6 +1,7 @@
 #include "sim/parallel.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace virec::sim {
@@ -8,6 +9,15 @@ namespace virec::sim {
 u32 default_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1u : static_cast<u32>(hw);
+}
+
+std::string spec_label(const RunSpec& spec) {
+  return "workload=" + spec.workload +
+         " scheme=" + scheme_name(spec.scheme) +
+         " policy=" + core::policy_name(spec.policy) +
+         " cores=" + std::to_string(spec.num_cores) +
+         " threads=" + std::to_string(spec.threads_per_core) +
+         " ctx=" + std::to_string(spec.context_fraction);
 }
 
 ParallelExecutor::ParallelExecutor(u32 jobs)
@@ -34,37 +44,50 @@ ParallelExecutor::~ParallelExecutor() {
 }
 
 std::size_t ParallelExecutor::submit(RunSpec spec) {
+  std::string label = spec_label(spec);
   return submit_task(
-      [spec = std::move(spec)] { return run_spec(spec); });
+      [spec = std::move(spec)] { return run_spec(spec); },
+      std::move(label));
 }
 
-std::size_t ParallelExecutor::submit_task(std::function<RunResult()> task) {
+std::size_t ParallelExecutor::submit_task(std::function<RunResult()> task,
+                                          std::string label) {
   std::size_t index;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     index = submitted_++;
     results_.resize(submitted_);  // workers store under the same lock
-    queue_.push_back(Task{index, std::move(task)});
+    queue_.push_back(Task{index, std::move(task), std::move(label)});
   }
   work_ready_.notify_one();
   return index;
 }
 
 void ParallelExecutor::run_task(const Task& task) {
+  std::exception_ptr error;
   try {
     RunResult result = task.fn();
     std::lock_guard<std::mutex> lock(mutex_);
     results_[task.index] = std::move(result);
+    return;
+  } catch (const std::exception& e) {
+    // Mark which experiment point blew up: a bare "out of range" from
+    // one point of a 200-point sweep is undebuggable.
+    error = task.label.empty()
+                ? std::current_exception()
+                : std::make_exception_ptr(
+                      std::runtime_error(task.label + ": " + e.what()));
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!error_ || task.index < error_index_) {
-      error_ = std::current_exception();
-      error_index_ = task.index;
-    }
-    // Fail fast: specs queued behind a failure are skipped so a broken
-    // sweep doesn't burn the rest of the grid.
-    queue_.clear();
+    error = std::current_exception();
   }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!error_ || task.index < error_index_) {
+    error_ = error;
+    error_index_ = task.index;
+  }
+  // Fail fast: specs queued behind a failure are skipped so a broken
+  // sweep doesn't burn the rest of the grid.
+  queue_.clear();
 }
 
 void ParallelExecutor::worker() {

@@ -35,6 +35,11 @@ namespace virec::sim {
 /// 1 if the runtime cannot tell).
 u32 default_jobs();
 
+/// Human-readable experiment-point label ("workload=gather scheme=virec
+/// policy=lrc ..."), used to mark the failing point in exceptions
+/// rethrown from ParallelExecutor::join().
+std::string spec_label(const RunSpec& spec);
+
 /// Fixed thread pool over a queue of RunSpecs. Single-use: submit any
 /// number of specs, then call join() exactly once to collect results
 /// in submission order. If any run throws, join() rethrows the
@@ -57,8 +62,11 @@ class ParallelExecutor {
   /// Enqueue an arbitrary result-producing task — for studies (e.g.
   /// the feature ablation) whose points tweak config knobs RunSpec
   /// does not expose. The callable must not touch state shared with
-  /// other tasks.
-  std::size_t submit_task(std::function<RunResult()> task);
+  /// other tasks. A non-empty @p label wraps any exception the task
+  /// throws in a std::runtime_error prefixed with it, so join()'s
+  /// rethrow names the failing point.
+  std::size_t submit_task(std::function<RunResult()> task,
+                          std::string label = "");
 
   /// Wait for every submitted spec, stop the workers and return the
   /// results ordered by submission index. Rethrows the first (lowest
@@ -71,6 +79,7 @@ class ParallelExecutor {
   struct Task {
     std::size_t index = 0;
     std::function<RunResult()> fn;
+    std::string label;  // names the point in rethrown exceptions
   };
 
   void worker();

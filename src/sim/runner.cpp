@@ -24,6 +24,7 @@ SystemConfig build_config(const RunSpec& spec) {
   if (spec.dcache_latency != 0) {
     config.mem.dcache.hit_latency = spec.dcache_latency;
   }
+  if (spec.max_cycles != 0) config.core.max_cycles = spec.max_cycles;
   return config;
 }
 

@@ -27,6 +27,9 @@ struct RunSpec {
   /// Future-work extensions (see core::ViReCConfig).
   bool group_spill = false;
   bool switch_prefetch = false;
+  /// Watchdog: abort the run (std::runtime_error naming the stuck
+  /// core/thread) after this many cycles. 0 keeps the preset guard.
+  u64 max_cycles = 0;
 };
 
 /// Build the SystemConfig a RunSpec describes (exposed for tests).

@@ -4,6 +4,7 @@
 #include <functional>
 #include <ostream>
 
+#include "ckpt/journal.hpp"
 #include "common/json.hpp"
 #include "sim/parallel.hpp"
 
@@ -180,9 +181,37 @@ std::vector<RunSpec> Sweep::specs() const {
   return out;
 }
 
-SweepResults Sweep::run(u32 jobs) const {
+SweepResults Sweep::run(u32 jobs, ckpt::SweepJournal* journal) const {
   std::vector<RunSpec> grid = specs();
-  std::vector<RunResult> results = run_specs(grid, jobs);
+  std::vector<RunResult> results(grid.size());
+  if (journal == nullptr) {
+    results = run_specs(grid, jobs);
+  } else {
+    // Resume: skip points the journal already records, run the rest,
+    // and journal each fresh completion as it lands (crash-safe
+    // progress). Results are reassembled in grid order either way.
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (!journal->lookup(ckpt::spec_hash(grid[i]), &results[i])) {
+        pending.push_back(i);
+      }
+    }
+    ParallelExecutor pool(jobs);
+    for (const std::size_t idx : pending) {
+      const RunSpec& spec = grid[idx];
+      pool.submit_task(
+          [spec, journal] {
+            RunResult result = run_spec(spec);
+            journal->record(ckpt::spec_hash(spec), result);
+            return result;
+          },
+          spec_label(spec));
+    }
+    std::vector<RunResult> fresh = pool.join();
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      results[pending[j]] = std::move(fresh[j]);
+    }
+  }
   std::vector<SweepRecord> records;
   records.reserve(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {

@@ -21,6 +21,10 @@
 
 #include "sim/runner.hpp"
 
+namespace virec::ckpt {
+class SweepJournal;
+}
+
 namespace virec::sim {
 
 /// One completed experiment point: the spec that produced it plus the
@@ -98,7 +102,12 @@ class Sweep {
   /// concurrency, 1 = serial on the calling thread); throws if any
   /// workload check fails. Results are deterministic and ordered by
   /// grid position regardless of the job count.
-  SweepResults run(u32 jobs = 1) const;
+  ///
+  /// With a @p journal, points already recorded in it are skipped and
+  /// their journalled results used instead, and every fresh completion
+  /// is appended to it — so an interrupted sweep resumed against the
+  /// same journal reproduces the uninterrupted output byte for byte.
+  SweepResults run(u32 jobs = 1, ckpt::SweepJournal* journal = nullptr) const;
 
  private:
   RunSpec base_;

@@ -122,18 +122,30 @@ void System::take_sample(Cycle prev_cycle, u64 prev_instructions) {
 }
 
 RunResult System::run() {
-  samples_.clear();
-  if (cores_.size() == 1 && sample_interval_ == 0) {
+  if (!restored_) {
+    samples_.clear();
+    sample_next_ = sample_interval_;
+    sample_prev_cycle_ = 0;
+    sample_prev_instructions_ = 0;
+  }
+  restored_ = false;
+  if (cores_.size() == 1 && sample_interval_ == 0 &&
+      checkpoint_every_ == 0) {
     cores_[0]->run();
   } else {
     // Lockstep multi-core simulation so crossbar/DRAM contention is
-    // interleaved correctly (also used whenever sampling needs to
-    // observe the system mid-run).
-    u64 guard = 0;
+    // interleaved correctly (also used whenever sampling or periodic
+    // checkpointing needs to observe the system mid-run).
     bool any_running = true;
-    Cycle next_sample = sample_interval_;
-    Cycle prev_cycle = 0;
-    u64 prev_instructions = 0;
+    Cycle next_checkpoint = 0;
+    if (checkpoint_every_ > 0) {
+      // Align the checkpoint grid with the core cycle count so a
+      // restored run checkpoints at the same cycles as a fresh one.
+      Cycle now = 0;
+      for (auto& core : cores_) now = std::max(now, core->cycle());
+      next_checkpoint = checkpoint_every_;
+      while (next_checkpoint <= now) next_checkpoint += checkpoint_every_;
+    }
     while (any_running) {
       any_running = false;
       for (auto& core : cores_) {
@@ -142,26 +154,37 @@ RunResult System::run() {
           any_running = true;
         }
       }
-      if (sample_interval_ > 0) {
-        Cycle now = 0;
-        for (auto& core : cores_) now = std::max(now, core->cycle());
-        if (now >= next_sample) {
-          const Cycle pc = prev_cycle;
-          const u64 pi = prev_instructions;
-          take_sample(pc, pi);
-          if (!samples_.empty()) {
-            prev_cycle = samples_.back().cycle;
-            prev_instructions = samples_.back().instructions;
-          }
-          while (next_sample <= now) next_sample += sample_interval_;
+      Cycle now = 0;
+      for (auto& core : cores_) now = std::max(now, core->cycle());
+      if (sample_interval_ > 0 && now >= sample_next_) {
+        take_sample(sample_prev_cycle_, sample_prev_instructions_);
+        if (!samples_.empty()) {
+          sample_prev_cycle_ = samples_.back().cycle;
+          sample_prev_instructions_ = samples_.back().instructions;
         }
+        while (sample_next_ <= now) sample_next_ += sample_interval_;
       }
-      if (++guard > config_.core.max_cycles) {
-        throw std::runtime_error("System: max_cycles exceeded");
+      if (checkpoint_every_ > 0 && any_running && now >= next_checkpoint) {
+        save(checkpoint_dir_ + "/ckpt-" + std::to_string(now) + ".vckpt");
+        while (next_checkpoint <= now) next_checkpoint += checkpoint_every_;
+      }
+      if (now > config_.core.max_cycles) {
+        // Watchdog: name the stuck core/thread instead of spinning.
+        std::string diagnosis;
+        for (auto& core : cores_) {
+          if (core->done()) continue;
+          if (!diagnosis.empty()) diagnosis += "; ";
+          diagnosis += core->watchdog_diagnosis();
+        }
+        throw std::runtime_error("System: max_cycles (" +
+                                 std::to_string(config_.core.max_cycles) +
+                                 ") exceeded; " + diagnosis);
       }
     }
     // Final row so the series ends exactly at the run result.
-    if (sample_interval_ > 0) take_sample(prev_cycle, prev_instructions);
+    if (sample_interval_ > 0) {
+      take_sample(sample_prev_cycle_, sample_prev_instructions_);
+    }
   }
   // The step-driven paths bypass CgmtCore::run(); mirror its final
   // scalar bookkeeping so registry dumps always carry totals.
@@ -206,6 +229,139 @@ RunResult System::run() {
   result.check_ok = workload_.check(ms_->memory(), params_, total_threads(),
                                     &result.check_msg);
   return result;
+}
+
+namespace {
+
+u64 hash_u64(u64 h, u64 v) {
+  for (u32 i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+u64 hash_str(u64 h, const std::string& s) {
+  h = hash_u64(h, s.size());
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+u64 hash_cache(u64 h, const mem::CacheConfig& c) {
+  h = hash_u64(h, c.size_bytes);
+  h = hash_u64(h, c.assoc);
+  h = hash_u64(h, c.hit_latency);
+  h = hash_u64(h, c.mshrs);
+  h = hash_u64(h, c.stride_prefetch ? 1 : 0);
+  h = hash_u64(h, c.prefetch_degree);
+  return h;
+}
+
+}  // namespace
+
+u64 System::config_hash() const {
+  u64 h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  h = hash_u64(h, static_cast<u64>(config_.scheme));
+  h = hash_u64(h, config_.num_cores);
+  h = hash_u64(h, config_.threads_per_core);
+  const core::ViReCConfig& v = config_.virec;
+  h = hash_u64(h, v.num_phys_regs);
+  h = hash_u64(h, static_cast<u64>(v.policy));
+  h = hash_u64(h, (v.bsi.non_blocking ? 1u : 0u) |
+                      (v.bsi.dummy_dest_fill ? 2u : 0u) |
+                      (v.bsi.pin_lines ? 4u : 0u) |
+                      (v.csl.sysreg_prefetch ? 8u : 0u) |
+                      (v.group_spill ? 16u : 0u) |
+                      (v.switch_prefetch ? 32u : 0u));
+  h = hash_u64(h, v.rollback_depth);
+  h = hash_u64(h, v.seed);
+  // config_.core.max_cycles is deliberately excluded: restoring with a
+  // larger watchdog budget must be allowed.
+  h = hash_u64(h, config_.core.num_threads);
+  h = hash_u64(h, config_.core.sq_entries);
+  h = hash_u64(h, config_.core.switch_on_miss ? 1 : 0);
+  const mem::MemSystemConfig& m = config_.mem;
+  h = hash_cache(h, m.icache);
+  h = hash_cache(h, m.dcache);
+  h = hash_u64(h, m.has_l2 ? 1 : 0);
+  if (m.has_l2) h = hash_cache(h, m.l2);
+  h = hash_u64(h, m.xbar.latency);
+  h = hash_u64(h, m.xbar.cycles_per_line);
+  h = hash_u64(h, m.dram.channels);
+  h = hash_u64(h, m.dram.banks_per_channel);
+  h = hash_u64(h, m.dram.row_bytes);
+  h = hash_u64(h, m.dram.t_rp);
+  h = hash_u64(h, m.dram.t_rcd);
+  h = hash_u64(h, m.dram.t_cl);
+  h = hash_u64(h, m.dram.burst_cycles);
+  h = hash_str(h, workload_.name());
+  h = hash_u64(h, params_.iters_per_thread);
+  h = hash_u64(h, params_.elements);
+  h = hash_u64(h, params_.stride);
+  h = hash_u64(h, params_.locality_window);
+  h = hash_u64(h, params_.extra_compute);
+  h = hash_u64(h, params_.max_regs);
+  h = hash_u64(h, params_.seed);
+  return h;
+}
+
+void System::save(const std::string& path) const {
+  ckpt::CheckpointWriter writer(config_hash());
+  ms_->save_state(writer);
+  for (u32 c = 0; c < config_.num_cores; ++c) {
+    cores_[c]->save_state(writer.section("core" + std::to_string(c)));
+    managers_[c]->save_state(writer.section("mgr" + std::to_string(c)));
+  }
+  ckpt::Encoder& sim = writer.section("sim");
+  sim.put_u32(static_cast<u32>(samples_.size()));
+  for (const Sample& s : samples_) {
+    sim.put_u64(s.cycle);
+    sim.put_u64(s.instructions);
+    sim.put_f64(s.ipc);
+    sim.put_f64(s.interval_ipc);
+    sim.put_f64(s.rf_hit_rate);
+    sim.put_u32(s.runnable_threads);
+    sim.put_u32(s.outstanding_misses);
+  }
+  sim.put_u64(sample_next_);
+  sim.put_u64(sample_prev_cycle_);
+  sim.put_u64(sample_prev_instructions_);
+  writer.write_file(path);
+}
+
+void System::restore(const std::string& path) {
+  ckpt::CheckpointReader reader(path, config_hash());
+  ms_->restore_state(reader);
+  for (u32 c = 0; c < config_.num_cores; ++c) {
+    ckpt::Decoder core_dec = reader.section("core" + std::to_string(c));
+    cores_[c]->restore_state(core_dec);
+    core_dec.finish();
+    ckpt::Decoder mgr_dec = reader.section("mgr" + std::to_string(c));
+    managers_[c]->restore_state(mgr_dec);
+    mgr_dec.finish();
+  }
+  ckpt::Decoder sim = reader.section("sim");
+  samples_.clear();
+  const u32 n_samples = sim.get_u32();
+  for (u32 i = 0; i < n_samples; ++i) {
+    Sample s;
+    s.cycle = sim.get_u64();
+    s.instructions = sim.get_u64();
+    s.ipc = sim.get_f64();
+    s.interval_ipc = sim.get_f64();
+    s.rf_hit_rate = sim.get_f64();
+    s.runnable_threads = sim.get_u32();
+    s.outstanding_misses = sim.get_u32();
+    samples_.push_back(s);
+  }
+  sample_next_ = sim.get_u64();
+  sample_prev_cycle_ = sim.get_u64();
+  sample_prev_instructions_ = sim.get_u64();
+  sim.finish();
+  restored_ = true;
 }
 
 }  // namespace virec::sim

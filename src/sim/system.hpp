@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "cpu/banked_manager.hpp"
 #include "cpu/cgmt_core.hpp"
 #include "cpu/prefetch_manager.hpp"
@@ -79,6 +80,30 @@ class System {
   /// register traffic from its context manager). nullptr detaches.
   void set_tracer(u32 core, cpu::TraceSink* tracer);
 
+  /// Hash of everything that must match between the system that saved
+  /// a checkpoint and the system restoring it: scheme, core/thread
+  /// counts, ViReC/memory configuration, workload name and parameters.
+  /// Deliberately excludes max_cycles so a resumed run may extend the
+  /// watchdog.
+  u64 config_hash() const;
+
+  /// Write a crash-safe snapshot of the complete simulation state
+  /// (docs/checkpointing.md). Callable mid-run.
+  void save(const std::string& path) const;
+
+  /// Restore a snapshot produced by an identically configured system.
+  /// Throws ckpt::CkptError on corruption or configuration mismatch.
+  /// A subsequent run() continues from the snapshot point and produces
+  /// bit-identical results to an uninterrupted run.
+  void restore(const std::string& path);
+
+  /// Save a snapshot to "<dir>/ckpt-<cycle>.vckpt" every @p every
+  /// cycles during run() (0 disables). Forces the cycle-stepped loop.
+  void set_checkpointing(Cycle every, std::string dir) {
+    checkpoint_every_ = every;
+    checkpoint_dir_ = std::move(dir);
+  }
+
  private:
   void offload_contexts();
   std::unique_ptr<cpu::ContextManager> make_manager(const cpu::CoreEnv& env);
@@ -95,6 +120,16 @@ class System {
   StatRegistry registry_;
   Cycle sample_interval_ = 0;
   std::vector<Sample> samples_;
+  // Sampling bookkeeping lives on the System (not as run() locals) so
+  // a mid-run checkpoint captures it and a restored run resamples at
+  // exactly the same cycles.
+  Cycle sample_next_ = 0;
+  Cycle sample_prev_cycle_ = 0;
+  u64 sample_prev_instructions_ = 0;
+  Cycle checkpoint_every_ = 0;
+  std::string checkpoint_dir_;
+  /// run() continues from restored state instead of starting fresh.
+  bool restored_ = false;
 };
 
 }  // namespace virec::sim

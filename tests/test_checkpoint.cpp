@@ -1,0 +1,429 @@
+// Checkpoint/restore subsystem tests: the headline invariant (restore a
+// mid-run snapshot, run to completion, get bit-identical results and
+// stats versus the uninterrupted run — for every scheme x policy), the
+// crash-safety of the on-disk format, and the run watchdog.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/serialize.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace virec::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+RunSpec tiny_spec(Scheme scheme, core::PolicyKind policy) {
+  RunSpec spec;
+  spec.workload = "gather";
+  spec.scheme = scheme;
+  spec.policy = policy;
+  spec.threads_per_core = 4;
+  spec.context_fraction = 0.5;
+  spec.params.iters_per_thread = 24;
+  spec.params.elements = 1 << 12;
+  return spec;
+}
+
+/// Fresh per-test scratch directory under the gtest temp dir.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("ckpt_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// The ckpt-<cycle>.vckpt files in @p dir, sorted by cycle.
+std::vector<fs::path> snapshots_in(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".vckpt") out.push_back(e.path());
+  }
+  std::sort(out.begin(), out.end(), [](const fs::path& a, const fs::path& b) {
+    auto cycle = [](const fs::path& p) {
+      return std::stoull(p.stem().string().substr(5));  // "ckpt-<cycle>"
+    };
+    return cycle(a) < cycle(b);
+  });
+  return out;
+}
+
+/// Bit-exact double comparison: "close" is not good enough for the
+/// determinism contract.
+void expect_bits_eq(double a, double b, const char* what) {
+  u64 ab, bb;
+  std::memcpy(&ab, &a, sizeof ab);
+  std::memcpy(&bb, &b, sizeof bb);
+  EXPECT_EQ(ab, bb) << what << ": " << a << " vs " << b;
+}
+
+void expect_results_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  expect_bits_eq(a.ipc, b.ipc, "ipc");
+  EXPECT_EQ(a.check_ok, b.check_ok);
+  expect_bits_eq(a.rf_hit_rate, b.rf_hit_rate, "rf_hit_rate");
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.rf_fills, b.rf_fills);
+  EXPECT_EQ(a.rf_spills, b.rf_spills);
+  expect_bits_eq(a.avg_dcache_miss_latency, b.avg_dcache_miss_latency,
+                 "avg_dcache_miss_latency");
+}
+
+void expect_stats_identical(System& a, System& b) {
+  const std::vector<Stat> sa = a.registry().all_scalars();
+  const std::vector<Stat> sb = b.registry().all_scalars();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].name, sb[i].name) << i;
+    expect_bits_eq(sa[i].value, sb[i].value, sa[i].name.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Headline invariant: checkpoint at cycle k, restore, run to completion
+// => bit-identical RunResult and stats, for every scheme x policy.
+
+class RestoreEquivalence
+    : public ::testing::TestWithParam<std::tuple<Scheme, core::PolicyKind>> {};
+
+TEST_P(RestoreEquivalence, MidRunSnapshotReproducesStraightRun) {
+  const auto [scheme, policy] = GetParam();
+  const RunSpec spec = tiny_spec(scheme, policy);
+  const std::string tag = std::string(scheme_name(scheme)) + "_" +
+                          core::policy_name(policy);
+  const fs::path dir = scratch_dir(tag);
+
+  const workloads::Workload& workload = workloads::find_workload(spec.workload);
+  const SystemConfig config = build_config(spec);
+
+  System straight(config, workload, spec.params);
+  straight.set_checkpointing(1000, dir.string());
+  const RunResult want = straight.run();
+  ASSERT_TRUE(want.check_ok) << want.check_msg;
+
+  const std::vector<fs::path> snaps = snapshots_in(dir);
+  ASSERT_GE(snaps.size(), 2u) << "run too short to checkpoint mid-flight";
+
+  // Restore from a snapshot in the middle of the run, not the last one.
+  const fs::path& snap = snaps[snaps.size() / 2];
+  System resumed(config, workload, spec.params);
+  resumed.restore(snap.string());
+  const RunResult got = resumed.run();
+
+  expect_results_identical(want, got);
+  expect_stats_identical(straight, resumed);
+  fs::remove_all(dir);
+}
+
+std::vector<std::tuple<Scheme, core::PolicyKind>> all_points() {
+  std::vector<std::tuple<Scheme, core::PolicyKind>> out;
+  for (Scheme s : {Scheme::kBanked, Scheme::kSoftware, Scheme::kPrefetchFull,
+                   Scheme::kPrefetchExact, Scheme::kViReC, Scheme::kNSF}) {
+    for (core::PolicyKind p : core::all_policies()) out.emplace_back(s, p);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAllPolicies, RestoreEquivalence,
+    ::testing::ValuesIn(all_points()),
+    [](const ::testing::TestParamInfo<RestoreEquivalence::ParamType>& info) {
+      std::string name =
+          std::string(scheme_name(std::get<0>(info.param))) + "_" +
+          core::policy_name(std::get<1>(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// ---------------------------------------------------------------------
+// Mid-miss snapshots: a checkpoint taken while dcache MSHRs are busy
+// must capture the in-flight misses.
+
+TEST(Checkpoint, MidMissSnapshotCapturesBusyMshrs) {
+  // gather with many threads keeps misses outstanding almost always; an
+  // odd interval avoids aliasing with any workload period.
+  RunSpec spec = tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC);
+  spec.threads_per_core = 8;
+  spec.params.iters_per_thread = 48;
+  const fs::path dir = scratch_dir("midmiss");
+
+  const workloads::Workload& workload = workloads::find_workload(spec.workload);
+  const SystemConfig config = build_config(spec);
+
+  System straight(config, workload, spec.params);
+  straight.set_checkpointing(777, dir.string());
+  const RunResult want = straight.run();
+  ASSERT_TRUE(want.check_ok);
+
+  const std::vector<fs::path> snaps = snapshots_in(dir);
+  ASSERT_GE(snaps.size(), 2u);
+
+  // At least one mid-run snapshot must hold busy MSHRs, and every one
+  // must restore into a run that reproduces the straight-through result.
+  bool saw_busy_mshr = false;
+  for (const fs::path& snap : snaps) {
+    System resumed(config, workload, spec.params);
+    resumed.restore(snap.string());
+    const Cycle now = resumed.core(0).cycle();
+    if (resumed.memory_system().dcache(0).outstanding_misses(now) > 0) {
+      saw_busy_mshr = true;
+    }
+    const RunResult got = resumed.run();
+    expect_results_identical(want, got);
+  }
+  EXPECT_TRUE(saw_busy_mshr) << "no snapshot caught an in-flight miss";
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Multicore and sampled runs restore too.
+
+TEST(Checkpoint, MulticoreRestoreEquivalence) {
+  RunSpec spec = tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC);
+  spec.num_cores = 2;
+  const fs::path dir = scratch_dir("multicore");
+
+  const workloads::Workload& workload = workloads::find_workload(spec.workload);
+  const SystemConfig config = build_config(spec);
+
+  System straight(config, workload, spec.params);
+  straight.set_checkpointing(1000, dir.string());
+  const RunResult want = straight.run();
+  ASSERT_TRUE(want.check_ok);
+
+  const std::vector<fs::path> snaps = snapshots_in(dir);
+  ASSERT_GE(snaps.size(), 1u);
+  System resumed(config, workload, spec.params);
+  resumed.restore(snaps[snaps.size() / 2].string());
+  const RunResult got = resumed.run();
+  expect_results_identical(want, got);
+  expect_stats_identical(straight, resumed);
+  fs::remove_all(dir);
+}
+
+TEST(Checkpoint, RestoredRunResamplesAtTheSameCycles) {
+  const RunSpec spec = tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC);
+  const fs::path dir = scratch_dir("sampled");
+
+  const workloads::Workload& workload = workloads::find_workload(spec.workload);
+  const SystemConfig config = build_config(spec);
+
+  System straight(config, workload, spec.params);
+  straight.set_sample_interval(500);
+  straight.set_checkpointing(1300, dir.string());
+  const RunResult want = straight.run();
+  ASSERT_TRUE(want.check_ok);
+
+  const std::vector<fs::path> snaps = snapshots_in(dir);
+  ASSERT_GE(snaps.size(), 1u);
+  System resumed(config, workload, spec.params);
+  resumed.set_sample_interval(500);
+  resumed.restore(snaps.back().string());
+  const RunResult got = resumed.run();
+  expect_results_identical(want, got);
+
+  const std::vector<Sample>& sa = straight.samples();
+  const std::vector<Sample>& sb = resumed.samples();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].cycle, sb[i].cycle) << i;
+    EXPECT_EQ(sa[i].instructions, sb[i].instructions) << i;
+    expect_bits_eq(sa[i].ipc, sb[i].ipc, "sample ipc");
+    expect_bits_eq(sa[i].interval_ipc, sb[i].interval_ipc,
+                   "sample interval_ipc");
+    EXPECT_EQ(sa[i].runnable_threads, sb[i].runnable_threads) << i;
+    EXPECT_EQ(sa[i].outstanding_misses, sb[i].outstanding_misses) << i;
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Crash safety of the on-disk format.
+
+class CheckpointFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = scratch_dir("file");
+    spec_ = tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC);
+    path_ = (dir_ / "snap.vckpt").string();
+    const workloads::Workload& w = workloads::find_workload(spec_.workload);
+    System system(build_config(spec_), w, spec_.params);
+    system.save(path_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void expect_restore_fails(const std::string& path,
+                            const std::string& needle) {
+    const workloads::Workload& w = workloads::find_workload(spec_.workload);
+    System system(build_config(spec_), w, spec_.params);
+    try {
+      system.restore(path);
+      FAIL() << "expected CkptError";
+    } catch (const ckpt::CkptError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  }
+
+  fs::path dir_;
+  RunSpec spec_;
+  std::string path_;
+};
+
+TEST_F(CheckpointFile, SaveIsAtomicNoTempLeftBehind) {
+  EXPECT_TRUE(fs::exists(path_));
+  EXPECT_FALSE(fs::exists(path_ + ".tmp"));
+}
+
+TEST_F(CheckpointFile, TruncatedFileFailsCleanly) {
+  const auto full = fs::file_size(path_);
+  const std::string trunc = (dir_ / "trunc.vckpt").string();
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::vector<char> bytes(full / 3);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    std::ofstream out(trunc, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  expect_restore_fails(trunc, "truncated");
+}
+
+TEST_F(CheckpointFile, CorruptPayloadFailsCrcCheck) {
+  const std::string bad = (dir_ / "bad.vckpt").string();
+  fs::copy_file(path_, bad);
+  std::fstream f(bad, std::ios::in | std::ios::out | std::ios::binary);
+  // Flip one byte well past the header, inside some section payload.
+  f.seekp(static_cast<std::streamoff>(fs::file_size(bad) / 2));
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(static_cast<std::streamoff>(fs::file_size(bad) / 2));
+  byte = static_cast<char>(byte ^ 0x40);
+  f.write(&byte, 1);
+  f.close();
+  expect_restore_fails(bad, "CRC");
+}
+
+TEST_F(CheckpointFile, BadMagicFailsCleanly) {
+  const std::string bad = (dir_ / "magic.vckpt").string();
+  fs::copy_file(path_, bad);
+  std::fstream f(bad, std::ios::in | std::ios::out | std::ios::binary);
+  const char junk[4] = {'J', 'U', 'N', 'K'};
+  f.write(junk, 4);
+  f.close();
+  expect_restore_fails(bad, "not a checkpoint");
+}
+
+TEST_F(CheckpointFile, ConfigMismatchRefusesRestore) {
+  RunSpec other = spec_;
+  other.scheme = Scheme::kBanked;
+  const workloads::Workload& w = workloads::find_workload(other.workload);
+  System system(build_config(other), w, other.params);
+  try {
+    system.restore(path_);
+    FAIL() << "expected CkptError";
+  } catch (const ckpt::CkptError& e) {
+    EXPECT_NE(std::string(e.what()).find("config hash"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CheckpointFile, WorkloadParamChangesConfigHash) {
+  // The hash covers workload parameters, not just the topology: a
+  // different seed means different memory contents, so restoring would
+  // silently corrupt the run.
+  RunSpec other = spec_;
+  other.params.seed += 1;
+  const workloads::Workload& w = workloads::find_workload(other.workload);
+  System a(build_config(spec_), w, spec_.params);
+  System b(build_config(other), w, other.params);
+  EXPECT_NE(a.config_hash(), b.config_hash());
+}
+
+// ---------------------------------------------------------------------
+// Serializer primitives.
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  ckpt::Encoder enc;
+  enc.put_u8(0xAB);
+  enc.put_bool(true);
+  enc.put_u16(0xBEEF);
+  enc.put_u32(0xDEADBEEFu);
+  enc.put_u64(0x0123456789ABCDEFull);
+  enc.put_i64(-42);
+  enc.put_f64(3.25);
+  enc.put_str("virec");
+  enc.put_u64_vec({1, 2, 3});
+
+  ckpt::Decoder dec(enc.bytes().data(), enc.size());
+  EXPECT_EQ(dec.get_u8(), 0xAB);
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_EQ(dec.get_u16(), 0xBEEF);
+  EXPECT_EQ(dec.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(dec.get_i64(), -42);
+  EXPECT_EQ(dec.get_f64(), 3.25);
+  EXPECT_EQ(dec.get_str(), "virec");
+  EXPECT_EQ(dec.get_u64_vec(), (std::vector<u64>{1, 2, 3}));
+  EXPECT_TRUE(dec.done());
+  dec.finish();  // must not throw: everything consumed
+}
+
+TEST(Serialize, DecoderBoundsChecked) {
+  ckpt::Encoder enc;
+  enc.put_u32(7);
+  ckpt::Decoder dec(enc.bytes().data(), enc.size());
+  EXPECT_THROW(dec.get_u64(), ckpt::CkptError);
+}
+
+TEST(Serialize, FinishRejectsLeftoverBytes) {
+  ckpt::Encoder enc;
+  enc.put_u32(7);
+  enc.put_u32(8);
+  ckpt::Decoder dec(enc.bytes().data(), enc.size());
+  dec.get_u32();
+  EXPECT_THROW(dec.finish(), ckpt::CkptError);
+}
+
+TEST(Serialize, Crc32MatchesZlibConvention) {
+  // Known-answer test: CRC-32 ("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(ckpt::crc32(s, 9), 0xCBF43926u);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog: hangs become errors that name the stuck core/thread.
+
+TEST(Watchdog, TinyMaxCyclesAbortsAndNamesCore) {
+  RunSpec spec = tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC);
+  spec.max_cycles = 200;  // far below the real runtime
+  try {
+    run_spec(spec);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("max_cycles"), std::string::npos) << what;
+    EXPECT_NE(what.find("core 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("thread"), std::string::npos) << what;
+  }
+}
+
+TEST(Watchdog, GenerousMaxCyclesDoesNotFire) {
+  RunSpec spec = tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC);
+  spec.max_cycles = 100'000'000;
+  const RunResult result = run_spec(spec);
+  EXPECT_TRUE(result.check_ok);
+}
+
+}  // namespace
+}  // namespace virec::sim

@@ -174,6 +174,94 @@ TEST(Cli, JobsRejectsTrailingGarbage) {
 }
 
 // ---------------------------------------------------------------------
+// Checkpoint/restore and sweep resume surface.
+
+TEST(Cli, CheckpointRestoreReproducesRun) {
+  const std::string dir = ::testing::TempDir() + "virec_cli_ckpt";
+  const std::string args =
+      "--workload gather --scheme virec --threads 4 --iters 24 "
+      "--elements 4096";
+  const CliResult straight = run_cli(
+      args + " --checkpoint-every 1000 --checkpoint-out " + dir);
+  ASSERT_EQ(straight.exit_code, 0) << straight.output;
+  const CliResult restored =
+      run_cli(args + " --restore " + dir + "/ckpt-1000.vckpt");
+  ASSERT_EQ(restored.exit_code, 0) << restored.output;
+  EXPECT_EQ(straight.output, restored.output);
+}
+
+TEST(Cli, RestoreRejectsMismatchedConfig) {
+  const std::string dir = ::testing::TempDir() + "virec_cli_ckpt_mismatch";
+  const CliResult straight = run_cli(
+      "--workload gather --scheme virec --threads 4 --iters 24 "
+      "--elements 4096 --checkpoint-every 1000 --checkpoint-out " + dir);
+  ASSERT_EQ(straight.exit_code, 0) << straight.output;
+  const CliResult other = run_cli(
+      "--workload gather --scheme banked --threads 4 --iters 24 "
+      "--elements 4096 --restore " + dir + "/ckpt-1000.vckpt");
+  EXPECT_EQ(other.exit_code, 2);
+  EXPECT_NE(other.output.find("config hash"), std::string::npos)
+      << other.output;
+}
+
+TEST(Cli, CheckpointFlagsMustComeTogether) {
+  const CliResult r = run_cli("--iters 16 --checkpoint-every 100");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--checkpoint-out"), std::string::npos) << r.output;
+}
+
+TEST(Cli, CheckpointFlagsRejectedInSweepMode) {
+  const CliResult r =
+      run_cli("--sweep --iters 16 --checkpoint-every 100 --checkpoint-out x");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--sweep"), std::string::npos) << r.output;
+}
+
+TEST(Cli, ResumeRequiresSweepMode) {
+  const CliResult r = run_cli("--iters 16 --resume journal.vjl");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--sweep"), std::string::npos) << r.output;
+}
+
+TEST(Cli, MaxCyclesWatchdogNamesStuckCore) {
+  const CliResult r =
+      run_cli("--workload gather --iters 32 --elements 4096 --max-cycles 200");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("max_cycles"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("core 0"), std::string::npos) << r.output;
+}
+
+TEST(Cli, SweepResumeReproducesCleanCsv) {
+  // Kill-and-resume, CLI flavour: run half the grid against a journal,
+  // then the full grid against the same journal; the resumed CSV must
+  // equal the clean uninterrupted run's byte for byte.
+  const std::string journal = ::testing::TempDir() + "virec_cli_resume.vjl";
+  std::remove(journal.c_str());
+  const std::string tail =
+      " --threads 4 --iters 16 --elements 4096 --jobs 2";
+  const CliResult clean =
+      run_cli("--sweep --workload gather,reduce --scheme banked,virec" + tail);
+  ASSERT_EQ(clean.exit_code, 0) << clean.output;
+  const CliResult half = run_cli(
+      "--sweep --workload gather --scheme banked,virec" + tail +
+      " --resume " + journal);
+  ASSERT_EQ(half.exit_code, 0) << half.output;
+  const CliResult resumed = run_cli(
+      "--sweep --workload gather,reduce --scheme banked,virec" + tail +
+      " --resume " + journal);
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+  // stderr (captured alongside stdout) carries the resume banner; the
+  // CSV part must match the clean run exactly.
+  EXPECT_NE(resumed.output.find("2 of 4 point(s) already journalled"),
+            std::string::npos)
+      << resumed.output;
+  const std::string csv =
+      resumed.output.substr(resumed.output.find("workload,"));
+  EXPECT_EQ(csv, clean.output);
+  std::remove(journal.c_str());
+}
+
+// ---------------------------------------------------------------------
 // Observability surface: strict parsing, --json, --trace-out,
 // --trace-core, --sample-interval.
 

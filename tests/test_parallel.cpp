@@ -64,9 +64,18 @@ TEST(Parallel, BadWorkloadThrowsOutOfPool) {
   std::vector<RunSpec> specs = {tiny_spec(2), tiny_spec(4)};
   specs[1].workload = "no-such-kernel";
   specs.push_back(tiny_spec(8));
-  // Must rethrow on join, not deadlock with tasks still queued.
-  EXPECT_THROW(run_specs(specs, 4), std::out_of_range);
-  EXPECT_THROW(run_specs(specs, 1), std::out_of_range);
+  // Must rethrow on join, not deadlock with tasks still queued. The
+  // rethrown exception carries the spec label of the failing point.
+  EXPECT_THROW(run_specs(specs, 4), std::runtime_error);
+  try {
+    run_specs(specs, 1);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("workload=no-such-kernel"), std::string::npos) << what;
+    EXPECT_NE(what.find("scheme="), std::string::npos) << what;
+    EXPECT_NE(what.find("threads=4"), std::string::npos) << what;
+  }
 }
 
 TEST(Parallel, SerialFailureSkipsLaterWork) {
@@ -77,11 +86,36 @@ TEST(Parallel, SerialFailureSkipsLaterWork) {
   specs[2].workload = "second-bad";
   try {
     run_specs(specs, 1);
-    FAIL() << "expected out_of_range";
-  } catch (const std::out_of_range& e) {
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("first-bad"), std::string::npos)
         << e.what();
+    EXPECT_EQ(std::string(e.what()).find("second-bad"), std::string::npos)
+        << e.what();
   }
+}
+
+TEST(Parallel, SpecLabelNamesEveryAxis) {
+  RunSpec spec = tiny_spec(4);
+  spec.scheme = Scheme::kViReC;
+  spec.policy = core::PolicyKind::kLRC;
+  spec.num_cores = 2;
+  const std::string label = spec_label(spec);
+  EXPECT_NE(label.find("workload=reduce"), std::string::npos) << label;
+  EXPECT_NE(label.find("scheme=virec"), std::string::npos) << label;
+  EXPECT_NE(label.find("policy=lrc"), std::string::npos) << label;
+  EXPECT_NE(label.find("cores=2"), std::string::npos) << label;
+  EXPECT_NE(label.find("threads=4"), std::string::npos) << label;
+}
+
+TEST(Parallel, UnlabelledTaskExceptionIsNotWrapped) {
+  // submit_task without a label must rethrow the original type — the
+  // wrapping is opt-in via the label so callers keep exact exceptions.
+  ParallelExecutor pool(1);
+  pool.submit_task([]() -> RunResult {
+    throw std::out_of_range("untouched");
+  });
+  EXPECT_THROW(pool.join(), std::out_of_range);
 }
 
 TEST(Parallel, RunTasksCoversNonSpecPoints) {

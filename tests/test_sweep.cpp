@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "ckpt/journal.hpp"
 #include "sim/sweep.hpp"
 
 namespace virec::sim {
@@ -142,9 +145,83 @@ TEST(Sweep, FailingPointPropagatesFromParallelRun) {
   Sweep sweep = tiny_sweep();
   sweep.over_workloads({"reduce", "no-such-kernel", "gather"})
       .over_threads({2, 4});
-  // Must throw (unknown workload) and terminate — no deadlocked join.
-  EXPECT_THROW(sweep.run(4), std::out_of_range);
-  EXPECT_THROW(sweep.run(1), std::out_of_range);
+  // Must throw (unknown workload, wrapped with the point's spec label)
+  // and terminate — no deadlocked join.
+  EXPECT_THROW(sweep.run(4), std::runtime_error);
+  try {
+    sweep.run(1);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("workload=no-such-kernel"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Sweep, ResumedRunIsByteIdenticalToUninterrupted) {
+  // Simulate a killed sweep: journal only half the grid, then resume
+  // against the same journal. The resumed CSV and JSON must reproduce
+  // an uninterrupted run byte for byte.
+  Sweep sweep = tiny_sweep();
+  sweep.over_schemes({Scheme::kBanked, Scheme::kViReC})
+      .over_policies({core::PolicyKind::kPLRU, core::PolicyKind::kLRC})
+      .over_threads({2, 4});
+  const std::string path = ::testing::TempDir() + "sweep_resume.vjl";
+  std::remove(path.c_str());
+
+  const SweepResults clean = sweep.run(2);
+
+  {
+    // "First run, killed partway": journal the first half of the grid.
+    ckpt::SweepJournal journal(path);
+    const std::vector<RunSpec> grid = sweep.specs();
+    for (std::size_t i = 0; i < grid.size() / 2; ++i) {
+      journal.record(ckpt::spec_hash(grid[i]), run_spec(grid[i]));
+    }
+  }
+
+  ckpt::SweepJournal journal(path);
+  EXPECT_EQ(journal.load(), sweep.size() / 2);
+  const SweepResults resumed = sweep.run(2, &journal);
+
+  std::ostringstream csv_clean, csv_resumed, json_clean, json_resumed;
+  clean.write_csv(csv_clean);
+  resumed.write_csv(csv_resumed);
+  clean.write_json(json_clean);
+  resumed.write_json(json_resumed);
+  EXPECT_EQ(csv_clean.str(), csv_resumed.str());
+  EXPECT_EQ(json_clean.str(), json_resumed.str());
+
+  // The resume appended the other half, so a second resume runs nothing
+  // new and still reproduces the same documents.
+  ckpt::SweepJournal full(path);
+  EXPECT_EQ(full.load(), sweep.size());
+  const SweepResults replay = sweep.run(1, &full);
+  std::ostringstream csv_replay;
+  replay.write_csv(csv_replay);
+  EXPECT_EQ(csv_clean.str(), csv_replay.str());
+  std::remove(path.c_str());
+}
+
+TEST(Sweep, JournalIgnoresForeignAndCorruptLines) {
+  const std::string path = ::testing::TempDir() + "sweep_corrupt.vjl";
+  {
+    std::ofstream out(path);
+    out << "garbage line that is not a journal record\n";
+    out << "VJ1 0123456789abcdef 10 20\n";  // truncated record
+  }
+  ckpt::SweepJournal journal(path);
+  EXPECT_EQ(journal.load(), 0u);  // both lines rejected, none crash
+  // A fresh record still round-trips through the same file.
+  Sweep sweep = tiny_sweep();
+  const RunSpec spec = sweep.specs().front();
+  journal.record(ckpt::spec_hash(spec), run_spec(spec));
+  ckpt::SweepJournal reread(path);
+  EXPECT_EQ(reread.load(), 1u);
+  RunResult out;
+  EXPECT_TRUE(reread.lookup(ckpt::spec_hash(spec), &out));
+  EXPECT_EQ(out.cycles, run_spec(spec).cycles);
+  std::remove(path.c_str());
 }
 
 }  // namespace
