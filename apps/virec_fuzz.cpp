@@ -1,0 +1,292 @@
+// virec-fuzz — differential program fuzzer for the simulator.
+//
+// Generates random programs (check::random_program, edge operands on),
+// runs each one across every scheme x policy configuration under the
+// lockstep reference oracle + hard invariants (check::run_checked), and
+// on the first failure shrinks the program (drop-instruction and
+// halve-iteration passes) and writes a standalone repro file replayable
+// with `virec-sim --replay FILE`.
+//
+//   virec-fuzz --programs 200 --seed 1 --jobs 8
+//   virec-fuzz --inject-tag-bug        # negative self-test (exit 0 if
+//                                      # the corruption is caught)
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/harness.hpp"
+#include "check/progen.hpp"
+#include "check/repro.hpp"
+#include "core/replacement_policy.hpp"
+#include "sim/system_config.hpp"
+
+using namespace virec;
+
+namespace {
+
+struct Options {
+  u64 programs = 50;
+  u64 seed = 1;        // seed of program 0; program i uses seed + i
+  u32 body_len = 24;
+  u32 loop_iters = 40;
+  u32 threads = 2;
+  u32 phys_regs = 6;
+  u32 jobs = 0;        // 0 = hardware concurrency
+  std::string out = "virec-fuzz-repro.txt";
+  bool inject_tag_bug = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::cout <<
+      "virec-fuzz — differential fuzzer (oracle-checked, all schemes)\n"
+      "\n"
+      "usage: virec-fuzz [options]\n"
+      "  --programs N     programs to generate (default 50)\n"
+      "  --seed N         seed of the first program (default 1)\n"
+      "  --body N         loop-body instructions per program (default 24)\n"
+      "  --iters N        loop iterations per program (default 40)\n"
+      "  --threads N      hardware threads in the harness (default 2)\n"
+      "  --regs N         physical registers, virec/nsf (default 6)\n"
+      "  --jobs N         worker threads (0 = all hardware threads)\n"
+      "  --out FILE       repro file for a shrunk failure\n"
+      "                   (default virec-fuzz-repro.txt)\n"
+      "  --inject-tag-bug self-test: corrupt the ViReC tag store mid-run\n"
+      "                   and exit 0 iff the check layer catches it\n";
+}
+
+u64 parse_u64(const std::string& flag, const std::string& v) {
+  errno = 0;
+  char* end = nullptr;
+  const u64 out = std::strtoull(v.c_str(), &end, 0);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    throw std::invalid_argument(flag + ": invalid number '" + v + "'");
+  }
+  return out;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return args[++i];
+    };
+    auto u64_value = [&]() { return parse_u64(arg, value()); };
+    if (arg == "--help" || arg == "-h") opt.help = true;
+    else if (arg == "--programs") opt.programs = u64_value();
+    else if (arg == "--seed") opt.seed = u64_value();
+    else if (arg == "--body") opt.body_len = static_cast<u32>(u64_value());
+    else if (arg == "--iters") opt.loop_iters = static_cast<u32>(u64_value());
+    else if (arg == "--threads") opt.threads = static_cast<u32>(u64_value());
+    else if (arg == "--regs") opt.phys_regs = static_cast<u32>(u64_value());
+    else if (arg == "--jobs") opt.jobs = static_cast<u32>(u64_value());
+    else if (arg == "--out") opt.out = value();
+    else if (arg == "--inject-tag-bug") opt.inject_tag_bug = true;
+    else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Every configuration each program is checked under: the five
+/// fixed-policy schemes plus ViReC under every replacement policy.
+std::vector<check::HarnessSpec> build_configs(const Options& opt) {
+  std::vector<check::HarnessSpec> configs;
+  auto base = [&](sim::Scheme scheme) {
+    check::HarnessSpec spec;
+    spec.scheme = scheme;
+    spec.threads = opt.threads;
+    spec.phys_regs = opt.phys_regs;
+    return spec;
+  };
+  configs.push_back(base(sim::Scheme::kBanked));
+  configs.push_back(base(sim::Scheme::kSoftware));
+  configs.push_back(base(sim::Scheme::kPrefetchFull));
+  configs.push_back(base(sim::Scheme::kPrefetchExact));
+  configs.push_back(base(sim::Scheme::kNSF));
+  for (core::PolicyKind policy : core::all_policies()) {
+    check::HarnessSpec spec = base(sim::Scheme::kViReC);
+    spec.policy = policy;
+    configs.push_back(spec);
+  }
+  return configs;
+}
+
+std::string config_name(const check::HarnessSpec& spec) {
+  std::string name = sim::scheme_name(spec.scheme);
+  if (spec.scheme == sim::Scheme::kViReC) {
+    name += std::string("/") + core::policy_name(spec.policy);
+  }
+  return name;
+}
+
+struct Failure {
+  bool found = false;
+  u64 seed = 0;
+  check::HarnessSpec spec;
+  kasm::Program program;
+  std::string message;
+};
+
+/// A run reproduces the bug only if the checker fired; a timeout is a
+/// different (shrinker-induced) condition and must not be chased.
+bool reproduces(const kasm::Program& program, const check::HarnessSpec& spec,
+                std::string* message = nullptr) {
+  const check::HarnessResult r = check::run_checked(program, spec);
+  if (message != nullptr) *message = r.message;
+  return !r.ok && !r.timed_out;
+}
+
+/// Greedy shrink: repeat drop-instruction and halve-iteration passes
+/// until neither makes progress, re-checking that every accepted
+/// candidate still fails the same configuration.
+kasm::Program shrink(kasm::Program program, const check::HarnessSpec& spec) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (u64 i = 0; i < program.size(); ++i) {
+      const kasm::Program candidate = check::drop_instruction(program, i);
+      if (candidate.size() == 0) continue;
+      if (reproduces(candidate, spec)) {
+        program = candidate;
+        progress = true;
+        --i;  // the next instruction shifted into this slot
+      }
+    }
+    for (;;) {
+      const kasm::Program candidate = check::halve_loop_iters(program);
+      if (candidate.size() == 0 || !reproduces(candidate, spec)) break;
+      program = candidate;
+      progress = true;
+    }
+  }
+  return program;
+}
+
+int fuzz(const Options& opt) {
+  const std::vector<check::HarnessSpec> configs = build_configs(opt);
+  check::ProgenOptions gen;
+  gen.body_len = opt.body_len;
+  gen.loop_iters = opt.loop_iters;
+  gen.edge_ops = true;
+
+  std::atomic<u64> next{0};
+  std::atomic<bool> stop{false};
+  std::atomic<u64> done{0};
+  std::mutex mu;
+  Failure failure;
+
+  auto worker = [&]() {
+    for (;;) {
+      const u64 index = next.fetch_add(1);
+      if (index >= opt.programs || stop.load()) return;
+      const u64 seed = opt.seed + index;
+      const kasm::Program program = check::random_program(seed, gen);
+      for (const check::HarnessSpec& spec : configs) {
+        check::HarnessSpec run_spec = spec;
+        run_spec.seed = seed;
+        const check::HarnessResult r = check::run_checked(program, run_spec);
+        if (r.ok) continue;
+        if (r.timed_out) {
+          std::lock_guard<std::mutex> lock(mu);
+          std::cerr << "warning: seed " << seed << " timed out on "
+                    << config_name(spec) << " (" << r.message << ")\n";
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        if (!failure.found) {
+          failure = Failure{true, seed, run_spec, program, r.message};
+          stop.store(true);
+        }
+        return;
+      }
+      done.fetch_add(1);
+    }
+  };
+
+  u32 jobs = opt.jobs != 0 ? opt.jobs : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  std::vector<std::thread> threads;
+  for (u32 j = 1; j < jobs; ++j) threads.emplace_back(worker);
+  worker();
+  for (std::thread& t : threads) t.join();
+
+  if (!failure.found) {
+    std::cout << "fuzz: " << done.load() << " program(s) x "
+              << configs.size() << " config(s) clean (seeds " << opt.seed
+              << ".." << (opt.seed + opt.programs - 1) << ")\n";
+    return 0;
+  }
+
+  std::cerr << "fuzz: seed " << failure.seed << " FAILED on "
+            << config_name(failure.spec) << ":\n  " << failure.message
+            << "\n";
+  std::cerr << "shrinking (" << failure.program.size()
+            << " instructions)...\n";
+  const kasm::Program shrunk = shrink(failure.program, failure.spec);
+  std::cerr << "shrunk to " << shrunk.size() << " instruction(s)\n";
+
+  std::ofstream out(opt.out);
+  if (!out) {
+    std::cerr << "error: cannot open " << opt.out << "\n";
+    return 2;
+  }
+  out << check::write_repro(failure.spec, shrunk);
+  std::cerr << "repro written to " << opt.out << "\n"
+            << "replay with: virec-sim --replay " << opt.out << "\n";
+  return 1;
+}
+
+int inject_tag_bug(const Options& opt) {
+  check::ProgenOptions gen;
+  gen.body_len = opt.body_len;
+  gen.loop_iters = opt.loop_iters;
+  gen.edge_ops = true;
+  const kasm::Program program = check::random_program(opt.seed, gen);
+  check::HarnessSpec spec;
+  spec.threads = opt.threads;
+  spec.phys_regs = opt.phys_regs;
+  spec.seed = opt.seed;
+  if (check::tag_bug_detected(program, spec)) {
+    std::cout << "inject-tag-bug: corruption detected by the check layer\n";
+    return 0;
+  }
+  std::cerr << "inject-tag-bug: corruption NOT detected\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    if (!parse(argc, argv, opt)) {
+      print_usage();
+      return 2;
+    }
+    if (opt.help) {
+      print_usage();
+      return 0;
+    }
+    if (opt.inject_tag_bug) return inject_tag_bug(opt);
+    if (opt.programs == 0) {
+      throw std::invalid_argument("--programs must be > 0");
+    }
+    return fuzz(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "area/area_model.hpp"
+#include "check/harness.hpp"
+#include "check/repro.hpp"
 #include "ckpt/journal.hpp"
 #include "cpu/perfetto_trace.hpp"
 #include "cpu/trace.hpp"
@@ -52,6 +54,7 @@ struct Options {
   std::string checkpoint_out; // snapshot directory
   std::string restore_path;   // snapshot to resume a single run from
   std::string resume_path;    // sweep journal to resume a sweep from
+  std::string replay_path;    // fuzzer repro file to replay and exit
   // Grid axes: in --sweep mode these accept comma-separated lists, so
   // they are captured raw and parsed once the mode is known.
   std::string workload_arg, scheme_arg, policy_arg;
@@ -93,6 +96,12 @@ void print_usage() {
       "  --area              print the area/delay report for this config\n"
       "  --max-cycles N      watchdog: abort (naming the stuck core/\n"
       "                      thread) after N cycles\n"
+      "  --check             run the lockstep reference oracle and hard\n"
+      "                      invariants alongside the simulation; abort\n"
+      "                      with a divergence report on any mismatch\n"
+      "                      (docs/correctness.md)\n"
+      "  --replay FILE       replay a virec-fuzz repro file under the\n"
+      "                      oracle and exit (0 = clean, 1 = diverged)\n"
       "  --checkpoint-every N  write a snapshot every N cycles (needs\n"
       "                      --checkpoint-out; single-run only)\n"
       "  --checkpoint-out DIR  directory for ckpt-<cycle>.vckpt files\n"
@@ -206,6 +215,8 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--checkpoint-out") opt.checkpoint_out = value();
     else if (arg == "--restore") opt.restore_path = value();
     else if (arg == "--resume") opt.resume_path = value();
+    else if (arg == "--check") opt.spec.check = true;
+    else if (arg == "--replay") opt.replay_path = value();
     else if (arg == "--trace-core")
       opt.trace_core = static_cast<u32>(u64_value());
     else if (arg == "--trace-out") opt.trace_out = value();
@@ -336,6 +347,30 @@ int run_sweep_mode(const Options& opt) {
   return 0;
 }
 
+/// --replay FILE: re-run a fuzzer repro under the lockstep oracle.
+int run_replay_mode(const Options& opt) {
+  const check::Repro repro = check::load_repro(opt.replay_path);
+  std::cout << "replay " << opt.replay_path << "\n"
+            << "scheme " << sim::scheme_name(repro.spec.scheme) << "\n"
+            << "policy " << core::policy_name(repro.spec.policy) << "\n"
+            << "phys_regs " << repro.spec.phys_regs << "\n"
+            << "threads " << repro.spec.threads << "\n"
+            << "instructions_in_program " << repro.program.size() << "\n";
+  const check::HarnessResult result =
+      check::run_checked(repro.program, repro.spec);
+  std::cout << "cycles " << result.cycles << "\n"
+            << "commits_checked " << result.commits_checked << "\n"
+            << "replay_result "
+            << (result.ok ? "OK" : (result.timed_out ? "TIMEOUT" : "FAIL"))
+            << "\n";
+  if (!result.ok) {
+    std::cerr << (result.timed_out ? "replay timed out: " : "replay failed: ")
+              << result.message << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -357,6 +392,7 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (!opt.replay_path.empty()) return run_replay_mode(opt);
     if (opt.sweep) return run_sweep_mode(opt);
 
     if (!opt.resume_path.empty()) {
@@ -421,6 +457,7 @@ int main(int argc, char** argv) {
       std::filesystem::create_directories(opt.checkpoint_out);
       system.set_checkpointing(opt.checkpoint_every, opt.checkpoint_out);
     }
+    if (opt.spec.check) system.enable_check();
     // Restore after all sinks are attached so the continued run traces
     // and samples exactly like the tail of an uninterrupted one.
     if (!opt.restore_path.empty()) system.restore(opt.restore_path);
@@ -477,6 +514,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     return 0;
+  } catch (const check::CheckError& e) {
+    std::cerr << "CHECK FAILED: " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -1,0 +1,160 @@
+#include "check/check.hpp"
+
+#include <sstream>
+
+#include "isa/disasm.hpp"
+
+namespace virec::check {
+
+namespace {
+
+// RegisterFileIO view over one thread's shadow register array. The
+// reference interpreter keeps every context resident — no fills, no
+// spills — which is exactly what makes it a useful oracle for the
+// register-caching schemes.
+class ShadowRegFile final : public isa::RegisterFileIO {
+ public:
+  explicit ShadowRegFile(std::array<u64, isa::kNumAllocatableRegs>& regs)
+      : regs_(regs) {}
+  u64 read_reg(int, isa::RegId reg) override { return regs_[reg]; }
+  void write_reg(int, isa::RegId reg, u64 value) override {
+    regs_[reg] = value;
+  }
+
+ private:
+  std::array<u64, isa::kNumAllocatableRegs>& regs_;
+};
+
+std::string hex(u64 v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+CheckContext::CheckContext(const kasm::Program& program,
+                           mem::MemorySystem& ms, u32 num_cores,
+                           u32 threads_per_core)
+    : oracle_(true),
+      program_(&program),
+      ms_(&ms),
+      threads_per_core_(threads_per_core),
+      shadows_(num_cores * threads_per_core) {}
+
+void CheckContext::fail(const char* file, int line, const char* cond,
+                        const std::string& what) {
+  std::ostringstream os;
+  os << "VIREC_CHECK failed: " << cond << "\n  at " << file << ":" << line
+     << "\n  " << what;
+  throw CheckError(os.str());
+}
+
+void CheckContext::diverge(u32 core, int tid, const isa::Inst& inst, u64 pc,
+                           Cycle cycle, const std::string& detail) const {
+  std::ostringstream os;
+  os << "oracle divergence at cycle " << cycle << ", core " << core
+     << ", thread " << tid << "\n  pc " << pc << ": " << isa::disasm(inst)
+     << "\n  " << detail;
+  throw CheckError(os.str());
+}
+
+void CheckContext::pre_commit(u32 core, int tid, const isa::Inst& inst,
+                              u64 pc, Cycle cycle, isa::RegisterFileIO& rf,
+                              u8 nzcv) {
+  if (!oracle_ || !enabled_) return;
+  // Lazy capture: functional memory only mutates at commits, and every
+  // commit in the system flows through pre_commit in observed order, so
+  // the state at the first call is a consistent snapshot.
+  if (!shadow_mem_captured_) {
+    shadow_mem_ = ms_->memory();
+    shadow_mem_captured_ = true;
+  }
+  ThreadShadow& t = shadow(core, tid);
+  if (t.halted) {
+    diverge(core, tid, inst, pc, cycle, "commit after reference halt");
+  }
+  if (!t.synced) {
+    // First commit of this thread (run start or checkpoint restore):
+    // adopt the architectural register state through the manager's
+    // functional read path, then track it independently from here on.
+    for (u32 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+      t.regs[r] = rf.read_reg(tid, static_cast<isa::RegId>(r));
+    }
+    t.nzcv = nzcv;
+    t.synced = true;
+  } else if (t.has_pc && pc != t.expected_pc) {
+    diverge(core, tid, inst, pc, cycle,
+            "PC expected " + std::to_string(t.expected_pc) + ", committing " +
+                std::to_string(pc));
+  }
+
+  ShadowRegFile srf(t.regs);
+  t.ref_is_store = isa::is_store(inst.op);
+  t.ref_addr = 0;
+  t.ref_size = 0;
+  if (isa::is_mem(inst.op)) {
+    t.ref_addr = isa::compute_mem_addr(inst, tid, srf);
+    t.ref_size = isa::mem_size(inst.op);
+    // Loads from the reserved register region read state the context
+    // managers own (spilled contexts, sysregs); the reference does not
+    // model spilling, so refresh those bytes from the real memory —
+    // still pre-commit, hence the same epoch as the shadow.
+    if (isa::is_load(inst.op) && ms_->in_reg_region(t.ref_addr)) {
+      shadow_mem_.write(t.ref_addr, t.ref_size,
+                        ms_->memory().read(t.ref_addr, t.ref_size));
+    }
+  }
+  t.ref = isa::execute(inst, pc, tid, srf, shadow_mem_, t.nzcv);
+}
+
+void CheckContext::post_commit(u32 core, int tid, const isa::Inst& inst,
+                               u64 pc, Cycle cycle, isa::RegisterFileIO& rf,
+                               u8 nzcv, const isa::ExecResult& res) {
+  if (!oracle_ || !enabled_) return;
+  ThreadShadow& t = shadow(core, tid);
+  if (res.next_pc != t.ref.next_pc) {
+    diverge(core, tid, inst, pc, cycle,
+            "next PC: expected " + std::to_string(t.ref.next_pc) + ", got " +
+                std::to_string(res.next_pc));
+  }
+  if (res.halted != t.ref.halted) {
+    diverge(core, tid, inst, pc, cycle,
+            std::string("halt: expected ") + (t.ref.halted ? "yes" : "no") +
+                ", got " + (res.halted ? "yes" : "no"));
+  }
+  if (nzcv != t.nzcv) {
+    diverge(core, tid, inst, pc, cycle,
+            "NZCV: expected " + hex(t.nzcv) + ", got " + hex(nzcv));
+  }
+  const isa::RegList dsts = isa::dst_regs(inst);
+  for (u32 i = 0; i < dsts.count; ++i) {
+    const isa::RegId r = dsts.regs[i];
+    const u64 actual = rf.read_reg(tid, r);
+    if (actual != t.regs[r]) {
+      diverge(core, tid, inst, pc, cycle,
+              std::string(isa::reg_name(r)) + ": expected " + hex(t.regs[r]) +
+                  ", got " + hex(actual));
+    }
+  }
+  // Stores: compare the bytes the core actually wrote to functional
+  // memory against the reference write-back, at the reference address.
+  // Reg-region stores are skipped — the managers legitimately rewrite
+  // that region when spilling contexts.
+  if (t.ref_is_store && !ms_->in_reg_region(t.ref_addr)) {
+    const u64 expected = shadow_mem_.read(t.ref_addr, t.ref_size);
+    const u64 actual = ms_->memory().read(t.ref_addr, t.ref_size);
+    if (actual != expected) {
+      diverge(core, tid, inst, pc, cycle,
+              "store[" + hex(t.ref_addr) + "," +
+                  std::to_string(t.ref_size) + "B]: expected " +
+                  hex(expected) + ", got " + hex(actual));
+    }
+  }
+  t.expected_pc = t.ref.next_pc;
+  t.has_pc = true;
+  t.halted = t.ref.halted;
+  ++commits_;
+}
+
+}  // namespace virec::check

@@ -1,0 +1,119 @@
+// Self-checking subsystem: a lockstep reference oracle plus a hard
+// runtime-invariant layer (docs/correctness.md).
+//
+// The oracle is a purely functional interpreter over isa::execute and a
+// private shadow copy of SparseMemory. A core calls pre_commit() just
+// before it architecturally executes an instruction and post_commit()
+// just after; the oracle executes the same instruction against its
+// shadow state and any mismatch — PC, destination registers, NZCV,
+// memory write-back — aborts the run with a precise divergence report.
+//
+// Invariants are wired through the same object: components hold a
+// `const check::CheckContext*` (null when checking is off) and assert
+// structural properties with VIREC_CHECK(). The checks are compiled in
+// always; a null/disabled context reduces each to one pointer test.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/inst.hpp"
+#include "isa/semantics.hpp"
+#include "kasm/program.hpp"
+#include "mem/memory_system.hpp"
+
+namespace virec::check {
+
+/// Thrown on any divergence from the reference model or any violated
+/// structural invariant. what() carries the full report.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& report)
+      : std::runtime_error(report) {}
+};
+
+class CheckContext {
+ public:
+  /// Invariant-only context (no lockstep oracle). Used by unit tests
+  /// that poke single components.
+  CheckContext() = default;
+
+  /// Full context: invariants plus a lockstep oracle over @p program.
+  /// The shadow memory is captured lazily at the first pre_commit(), so
+  /// attaching after workload init — or after a checkpoint restore —
+  /// observes the correct functional state.
+  CheckContext(const kasm::Program& program, mem::MemorySystem& ms,
+               u32 num_cores, u32 threads_per_core);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Commits compared so far (diagnostic; 0 for invariant-only use).
+  u64 commits_checked() const { return commits_; }
+
+  /// Called by a core immediately before isa::execute() at commit.
+  /// Verifies the committing PC and runs the reference model one step.
+  void pre_commit(u32 core, int tid, const isa::Inst& inst, u64 pc,
+                  Cycle cycle, isa::RegisterFileIO& rf, u8 nzcv);
+
+  /// Called immediately after isa::execute() (and the manager's
+  /// on_commit). Compares destination registers through the manager's
+  /// read path — so fills/spills are exercised end to end — plus NZCV,
+  /// the store's memory write-back, and the successor PC.
+  void post_commit(u32 core, int tid, const isa::Inst& inst, u64 pc,
+                   Cycle cycle, isa::RegisterFileIO& rf, u8 nzcv,
+                   const isa::ExecResult& res);
+
+  /// Invariant failure: throws CheckError with source location. Static
+  /// so VIREC_CHECK works from any component without extra includes.
+  [[noreturn]] static void fail(const char* file, int line, const char* cond,
+                                const std::string& what);
+
+ private:
+  struct ThreadShadow {
+    bool synced = false;   ///< registers captured from the real RF
+    bool halted = false;
+    bool has_pc = false;
+    u64 expected_pc = 0;
+    u8 nzcv = 0;
+    std::array<u64, isa::kNumAllocatableRegs> regs{};
+    // Reference result of the instruction between pre and post.
+    isa::ExecResult ref;
+    bool ref_is_store = false;
+    Addr ref_addr = 0;
+    u32 ref_size = 0;
+  };
+
+  ThreadShadow& shadow(u32 core, int tid) {
+    return shadows_[core * threads_per_core_ + static_cast<u32>(tid)];
+  }
+  [[noreturn]] void diverge(u32 core, int tid, const isa::Inst& inst, u64 pc,
+                            Cycle cycle, const std::string& detail) const;
+
+  bool enabled_ = true;
+  bool oracle_ = false;
+  const kasm::Program* program_ = nullptr;
+  mem::MemorySystem* ms_ = nullptr;
+  u32 threads_per_core_ = 0;
+  u64 commits_ = 0;
+  bool shadow_mem_captured_ = false;
+  mem::SparseMemory shadow_mem_;
+  std::vector<ThreadShadow> shadows_;
+};
+
+}  // namespace virec::check
+
+/// Hard invariant: always compiled, active when a CheckContext is
+/// attached and enabled. @p ctx is a `const check::CheckContext*`
+/// (may be null), @p what a std::string with diagnostic detail.
+#define VIREC_CHECK(ctx, cond, what)                                       \
+  do {                                                                     \
+    if ((ctx) != nullptr && (ctx)->enabled() && !(cond)) {                 \
+      ::virec::check::CheckContext::fail(__FILE__, __LINE__, #cond,        \
+                                         (what));                          \
+    }                                                                      \
+  } while (0)

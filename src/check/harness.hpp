@@ -1,0 +1,50 @@
+// Single-core checked execution harness: run one program on a chosen
+// scheme/policy configuration with the lockstep oracle and all hard
+// invariants attached. This is the engine behind apps/virec_fuzz.cpp
+// and `virec-sim --replay`.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "core/replacement_policy.hpp"
+#include "kasm/program.hpp"
+#include "sim/system_config.hpp"
+
+namespace virec::check {
+
+struct HarnessSpec {
+  sim::Scheme scheme = sim::Scheme::kViReC;
+  core::PolicyKind policy = core::PolicyKind::kLRC;
+  /// Physical RF entries for the ViReC/NSF schemes. A deliberately
+  /// small default keeps every register crossing the fill/spill path.
+  u32 phys_regs = 6;
+  u32 threads = 2;
+  /// Cycle budget; exceeding it reports a timeout, not a failure
+  /// (shrinking can produce non-terminating loops).
+  Cycle max_cycles = 2'000'000;
+  /// Generator seed, carried for provenance in repro files (0 = n/a).
+  u64 seed = 0;
+};
+
+struct HarnessResult {
+  bool ok = false;
+  bool timed_out = false;
+  std::string message;       ///< divergence / invariant report when !ok
+  Cycle cycles = 0;
+  u64 instructions = 0;
+  u64 commits_checked = 0;
+};
+
+/// Execute @p program under @p spec with the oracle + invariants armed.
+/// All threads start with the arena base register pointing at the
+/// seeded arena (see check::seed_arena).
+HarnessResult run_checked(const kasm::Program& program,
+                          const HarnessSpec& spec);
+
+/// Negative self-test: run @p program on the ViReC datapath and corrupt
+/// the tag store mid-run (swap two entries' tags without fixing the
+/// map). Returns true iff the check layer catches it.
+bool tag_bug_detected(const kasm::Program& program, const HarnessSpec& spec);
+
+}  // namespace virec::check

@@ -1,0 +1,220 @@
+#include "check/progen.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+#include "kasm/builder.hpp"
+
+namespace virec::check {
+
+namespace {
+
+using kasm::ProgramBuilder;
+using kasm::X;
+
+// Operand pool for the division edge class: every value that makes
+// AArch64 and naive host semantics disagree, plus a random filler.
+u64 edge_value(Xorshift128& rng) {
+  switch (rng.next_below(6)) {
+    case 0: return 0;
+    case 1: return 1;
+    case 2: return ~u64{0};  // -1
+    case 3: return u64{1} << 63;  // INT64_MIN
+    case 4: return static_cast<u64>(std::numeric_limits<i64>::max());
+    default: return rng.next();
+  }
+}
+
+// Shift amounts around the 64-bit mask boundary.
+i64 edge_shift(Xorshift128& rng) {
+  switch (rng.next_below(7)) {
+    case 0: return 0;
+    case 1: return 1;
+    case 2: return 63;
+    case 3: return 64;
+    case 4: return 65;
+    case 5: return 127;
+    default: return static_cast<i64>(rng.next_below(256));
+  }
+}
+
+}  // namespace
+
+kasm::Program random_program(u64 seed, const ProgenOptions& opts) {
+  Xorshift128 rng(seed);
+  ProgramBuilder b;
+  auto reg = [&] { return X(static_cast<int>(rng.next_below(12))); };
+  auto arena_off = [&] {
+    return static_cast<i64>(rng.next_below(kArenaWords) * 8);
+  };
+
+  // Seed registers with deterministic junk.
+  for (int r = 0; r < 12; ++r) {
+    b.mov_imm(X(r), static_cast<i64>(rng.next_below(1 << 20)));
+  }
+  b.mov_imm(X(kLoopReg), opts.loop_iters);
+  b.label("loop");
+  u32 skip_id = 0;
+  const u64 num_cases = opts.edge_ops ? 16 : 10;
+  for (u32 i = 0; i < opts.body_len; ++i) {
+    switch (rng.next_below(num_cases)) {
+      case 0:
+        b.add(reg(), reg(), reg());
+        break;
+      case 1:
+        b.sub(reg(), reg(), reg());
+        break;
+      case 2:
+        b.mul(reg(), reg(), reg());
+        break;
+      case 3:
+        b.eor(reg(), reg(), reg());
+        break;
+      case 4:
+        b.add_imm(reg(), reg(), static_cast<i64>(rng.next_below(1000)));
+        break;
+      case 5:
+        b.madd(reg(), reg(), reg(), reg());
+        break;
+      case 6:
+        b.ldr(reg(), X(kArenaBaseReg), arena_off());
+        break;
+      case 7:
+        b.str(reg(), X(kArenaBaseReg), arena_off());
+        break;
+      case 8:
+        b.lsr_imm(reg(), reg(), static_cast<i64>(rng.next_below(8)));
+        break;
+      case 9: {
+        // Forward conditional skip over one instruction.
+        const std::string label = "skip" + std::to_string(skip_id++);
+        b.cmp_imm(reg(), static_cast<i64>(rng.next_below(512)));
+        b.b_cond(rng.next_below(2) ? kasm::Cond::kLt : kasm::Cond::kGe,
+                 label);
+        b.orr_imm(reg(), reg(), 1);
+        b.label(label);
+        break;
+      }
+
+      // --- edge-operand classes (edge_ops only) ---
+      case 10: {
+        // Signed/unsigned division with adversarial divisors (0, -1,
+        // INT64_MIN, ...), materialised so INT64_MIN / -1 is reachable.
+        const kasm::RegId rm = reg();
+        b.mov_imm(rm, static_cast<i64>(edge_value(rng)));
+        if (rng.next_below(2)) {
+          const kasm::RegId rn = reg();
+          b.mov_imm(rn, static_cast<i64>(edge_value(rng)));
+          b.sdiv(reg(), rn, rm);
+        } else {
+          const kasm::RegId rd = reg();
+          b.udiv(rd, reg(), rm);
+        }
+        break;
+      }
+      case 11: {
+        // Register-amount shifts with amounts straddling the &63 mask.
+        const kasm::RegId rm = reg();
+        b.mov_imm(rm, edge_shift(rng));
+        const u64 kind = rng.next_below(3);
+        const kasm::RegId rd = reg();
+        const kasm::RegId rn = reg();
+        switch (kind) {
+          case 0: b.lsl(rd, rn, rm); break;
+          case 1: b.lsr(rd, rn, rm); break;
+          default: b.asr(rd, rn, rm); break;
+        }
+        break;
+      }
+      case 12: {
+        // Halfword insert at every lane, including all-ones / zero.
+        const kasm::RegId rd = reg();
+        const u64 pick = rng.next_below(4);
+        const i64 imm16 = pick == 0   ? 0xffff
+                          : pick == 1 ? 0
+                                      : static_cast<i64>(
+                                            rng.next_below(0x10000));
+        b.movk(rd, imm16, static_cast<int>(rng.next_below(4)));
+        break;
+      }
+      case 13: {
+        const kasm::RegId rd = reg();
+        b.mvn(rd, reg());
+        break;
+      }
+      case 14: {
+        // Sub-word loads: w/sw/h/b widths against the arena.
+        static constexpr isa::Op kLoads[] = {isa::Op::kLdrw, isa::Op::kLdrsw,
+                                             isa::Op::kLdrh, isa::Op::kLdrb};
+        const isa::Op op = kLoads[rng.next_below(4)];
+        const kasm::RegId rd = reg();
+        b.ldr(rd, X(kArenaBaseReg), arena_off(), op);
+        break;
+      }
+      default: {
+        // Sub-word stores.
+        static constexpr isa::Op kStores[] = {isa::Op::kStrw, isa::Op::kStrh,
+                                              isa::Op::kStrb};
+        const isa::Op op = kStores[rng.next_below(3)];
+        const kasm::RegId rd = reg();
+        b.str(rd, X(kArenaBaseReg), arena_off(), op);
+        break;
+      }
+    }
+  }
+  b.sub_imm(X(kLoopReg), X(kLoopReg), 1);
+  b.cbnz(X(kLoopReg), "loop");
+  b.halt();
+  return b.build();
+}
+
+void seed_arena(mem::SparseMemory& memory) {
+  for (u64 w = 0; w < kArenaWords; ++w) {
+    memory.write_u64(kArenaBase + w * 8, w * 0x9e37u + 7);
+  }
+}
+
+namespace {
+
+kasm::Program validated_or_empty(std::vector<isa::Inst> code) {
+  kasm::Program p(std::move(code), {});
+  try {
+    p.validate();
+  } catch (const std::invalid_argument&) {
+    return kasm::Program{};
+  }
+  return p;
+}
+
+}  // namespace
+
+kasm::Program drop_instruction(const kasm::Program& program, u64 index) {
+  if (index >= program.size()) return kasm::Program{};
+  std::vector<isa::Inst> code;
+  code.reserve(program.size() - 1);
+  for (u64 pc = 0; pc < program.size(); ++pc) {
+    if (pc == index) continue;
+    isa::Inst inst = program.at(pc);
+    // Targets past the gap shift down by one; a branch *to* the dropped
+    // instruction falls through to its successor (same index post-drop).
+    if (inst.target > static_cast<i64>(index)) --inst.target;
+    code.push_back(inst);
+  }
+  return validated_or_empty(std::move(code));
+}
+
+kasm::Program halve_loop_iters(const kasm::Program& program, int loop_reg) {
+  std::vector<isa::Inst> code(program.code());
+  for (isa::Inst& inst : code) {
+    if (inst.op == isa::Op::kMovImm &&
+        inst.rd == static_cast<isa::RegId>(loop_reg) && inst.imm > 1) {
+      inst.imm /= 2;
+      return validated_or_empty(std::move(code));
+    }
+  }
+  return kasm::Program{};
+}
+
+}  // namespace virec::check

@@ -1,0 +1,55 @@
+// Random-program generator shared by the differential tests and the
+// fuzzing harness (apps/virec_fuzz.cpp), plus the program-shrinking
+// passes the fuzzer applies to failing inputs.
+//
+// With `edge_ops` off the generator reproduces, byte for byte, the
+// programs the original tests/test_differential.cpp generator produced
+// for a given seed (the RNG consumption sequence is preserved), so
+// historical seeds keep meaning. With `edge_ops` on, six extra
+// instruction classes stress the ISA corner cases that motivated this
+// subsystem: division by 0/-1/INT64_MIN, register-amount shifts >= 64,
+// halfword-insert (movk) lane extremes, and sub-word memory traffic.
+#pragma once
+
+#include "common/types.hpp"
+#include "kasm/program.hpp"
+#include "mem/sparse_memory.hpp"
+
+namespace virec::check {
+
+/// Data arena every generated program reads and writes.
+inline constexpr Addr kArenaBase = 0x4000'0000ull;
+inline constexpr u64 kArenaWords = 128;
+/// Holds kArenaBase; never overwritten by generated code.
+inline constexpr int kArenaBaseReg = 28;
+/// Loop counter; only touched by the loop bookkeeping.
+inline constexpr int kLoopReg = 27;
+
+struct ProgenOptions {
+  u32 body_len = 24;
+  u32 loop_iters = 40;
+  /// Enable the extended edge-operand instruction classes.
+  bool edge_ops = false;
+};
+
+/// Generate a random terminating program: a counted loop whose body is
+/// a random mix of ALU ops, loads/stores into the arena and forward
+/// conditional skips (plus edge-operand classes when enabled).
+kasm::Program random_program(u64 seed, const ProgenOptions& opts);
+
+/// Write the deterministic arena contents generated programs expect.
+void seed_arena(mem::SparseMemory& memory);
+
+/// Copy of @p program with instruction @p index removed and all branch
+/// targets retargeted across the gap. Labels are dropped. Returns an
+/// empty Program if the result would be structurally invalid (bad
+/// target / no reachable halt), i.e. the candidate must be rejected.
+kasm::Program drop_instruction(const kasm::Program& program, u64 index);
+
+/// Copy of @p program with the loop-counter seed (mov_imm xN for
+/// @p loop_reg) halved, or an empty Program if it is already 1 or the
+/// instruction is absent.
+kasm::Program halve_loop_iters(const kasm::Program& program,
+                               int loop_reg = kLoopReg);
+
+}  // namespace virec::check

@@ -3,6 +3,8 @@
 // which the experiment harnesses rely on.
 #pragma once
 
+#include <stdexcept>
+
 #include "common/types.hpp"
 
 namespace virec {
@@ -24,8 +26,11 @@ class Xorshift128 {
     return s1_ + y;
   }
 
-  /// Uniform value in [0, bound). bound must be nonzero.
-  constexpr u64 next_below(u64 bound) { return next() % bound; }
+  /// Uniform value in [0, bound). Throws on bound == 0 (% 0 is UB).
+  constexpr u64 next_below(u64 bound) {
+    if (bound == 0) throw std::logic_error("Xorshift128::next_below(0)");
+    return next() % bound;
+  }
 
   /// Uniform double in [0, 1).
   constexpr double next_double() {

@@ -1,6 +1,10 @@
 #include "core/tag_store.hpp"
 
 #include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "check/check.hpp"
 
 namespace virec::core {
 
@@ -70,6 +74,61 @@ u32 TagStore::valid_entries() const {
     if (e.valid) ++count;
   }
   return count;
+}
+
+void TagStore::audit(const check::CheckContext* check) const {
+  if (check == nullptr || !check->enabled()) return;
+  // Forward direction: every valid entry must be mapped at its slot.
+  for (u32 i = 0; i < entries_.size(); ++i) {
+    const RfEntry& e = entries_[i];
+    if (!e.valid) continue;
+    const std::size_t slot =
+        static_cast<std::size_t>(e.tid) * isa::kNumArchRegs + e.arch;
+    VIREC_CHECK(check, slot < map_.size(),
+                "tag store entry " + std::to_string(i) +
+                    " carries out-of-range tag (tid " + std::to_string(e.tid) +
+                    ", x" + std::to_string(e.arch) + ")");
+    VIREC_CHECK(check, map_[slot] == static_cast<i16>(i),
+                "tag store entry " + std::to_string(i) + " tagged (tid " +
+                    std::to_string(e.tid) + ", x" + std::to_string(e.arch) +
+                    ") but map slot points at " + std::to_string(map_[slot]) +
+                    " — duplicate or stale mapping");
+  }
+  // Reverse direction: every mapped slot must name a matching entry.
+  for (std::size_t slot = 0; slot < map_.size(); ++slot) {
+    const i16 m = map_[slot];
+    if (m < 0) continue;
+    const auto tid = static_cast<u8>(slot / isa::kNumArchRegs);
+    const auto arch = static_cast<isa::RegId>(slot % isa::kNumArchRegs);
+    VIREC_CHECK(check, static_cast<std::size_t>(m) < entries_.size(),
+                "tag store map slot (tid " + std::to_string(tid) + ", x" +
+                    std::to_string(arch) + ") points past the RF");
+    const RfEntry& e = entries_[static_cast<u32>(m)];
+    VIREC_CHECK(check, e.valid && e.tid == tid && e.arch == arch,
+                "tag store map slot (tid " + std::to_string(tid) + ", x" +
+                    std::to_string(arch) + ") points at entry " +
+                    std::to_string(m) + " which is " +
+                    (e.valid ? "tagged (tid " + std::to_string(e.tid) +
+                                   ", x" + std::to_string(e.arch) + ")"
+                             : "free"));
+  }
+}
+
+bool TagStore::corrupt_swap_tags_for_test() {
+  int first = -1;
+  for (u32 i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].valid) continue;
+    if (first < 0) {
+      first = static_cast<int>(i);
+      continue;
+    }
+    RfEntry& a = entries_[static_cast<u32>(first)];
+    RfEntry& b = entries_[i];
+    std::swap(a.tid, b.tid);
+    std::swap(a.arch, b.arch);
+    return true;
+  }
+  return false;
 }
 
 void TagStore::save_state(ckpt::Encoder& enc) const {

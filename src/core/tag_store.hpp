@@ -7,6 +7,10 @@
 
 #include "core/replacement_policy.hpp"
 
+namespace virec::check {
+class CheckContext;
+}  // namespace virec::check
+
 namespace virec::core {
 
 class TagStore {
@@ -64,6 +68,19 @@ class TagStore {
   /// policy counters. Restore validates the entry/map sizes.
   void save_state(ckpt::Encoder& enc) const;
   void restore_state(ckpt::Decoder& dec);
+
+  /// Hard invariants (VIREC_CHECK through @p check, no-op when null or
+  /// disabled): the CAM and the direct map must agree bidirectionally —
+  /// every valid entry is mapped at its (tid, arch) slot and every
+  /// mapped slot points at a valid entry with the matching tag — and no
+  /// two valid entries may carry the same (tid, arch).
+  void audit(const check::CheckContext* check) const;
+
+  /// Fault injection for the negative self-tests: swap the (tid, arch)
+  /// tags of the first two valid entries WITHOUT fixing the map — the
+  /// CAM-aliasing corruption audit() and the oracle must both catch.
+  /// Returns false if fewer than two entries are valid.
+  bool corrupt_swap_tags_for_test();
 
  private:
   std::vector<RfEntry> entries_;

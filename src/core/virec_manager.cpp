@@ -1,6 +1,9 @@
 #include "core/virec_manager.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "check/check.hpp"
 
 namespace virec::core {
 
@@ -160,6 +163,12 @@ cpu::DecodeAccess ViReCManager::on_decode(int tid, const isa::Inst& inst,
 
   rollback_.push(rb);
   hist_rollback_depth_->record(static_cast<double>(rollback_.size()));
+  if (check_ != nullptr) {
+    tags_.audit(check_);
+    VIREC_CHECK(check_, rollback_.size() <= rollback_.depth(),
+                "rollback queue holds " + std::to_string(rollback_.size()) +
+                    " entries, depth " + std::to_string(rollback_.depth()));
+  }
   if (!acc.hit) {
     dist_decode_stall_->record(
         static_cast<double>(acc.ready > now ? acc.ready - now : 0));

@@ -74,6 +74,8 @@ class ViReCManager final : public cpu::ContextManager {
   // Introspection for tests and experiments.
   const TagStore& tag_store() const { return tags_; }
   const RollbackQueue& rollback_queue() const { return rollback_; }
+  /// Mutable access for fault-injection tests (negative check tests).
+  TagStore& tag_store_for_test() { return tags_; }
   const ViReCConfig& config() const { return config_; }
   double rf_hit_rate() const;
 

@@ -1,6 +1,21 @@
 #include "cpu/banked_manager.hpp"
 
+#include <string>
+
+#include "check/check.hpp"
+
 namespace virec::cpu {
+
+namespace {
+
+std::string bank_access_msg(int tid, isa::RegId reg, u32 num_threads) {
+  return "banked RF access (tid " + std::to_string(tid) + ", x" +
+         std::to_string(reg) + ") outside the " +
+         std::to_string(num_threads) + "-bank * " +
+         std::to_string(isa::kNumAllocatableRegs) + "-register file";
+}
+
+}  // namespace
 
 BankedManager::BankedManager(const CoreEnv& env)
     : ContextManager(env, "banked"), banks_(env.num_threads) {
@@ -47,10 +62,20 @@ u32 BankedManager::physical_regs() const {
 }
 
 u64 BankedManager::read_reg(int tid, isa::RegId reg) {
+  // Bank-ownership invariant: a thread may only touch its own bank, and
+  // only allocatable registers (xzr never reaches the RF).
+  VIREC_CHECK(check_,
+              tid >= 0 && static_cast<u32>(tid) < env_.num_threads &&
+                  reg < isa::kNumAllocatableRegs,
+              bank_access_msg(tid, reg, env_.num_threads));
   return banks_[static_cast<std::size_t>(tid)][reg];
 }
 
 void BankedManager::write_reg(int tid, isa::RegId reg, u64 value) {
+  VIREC_CHECK(check_,
+              tid >= 0 && static_cast<u32>(tid) < env_.num_threads &&
+                  reg < isa::kNumAllocatableRegs,
+              bank_access_msg(tid, reg, env_.num_threads));
   banks_[static_cast<std::size_t>(tid)][reg] = value;
 }
 

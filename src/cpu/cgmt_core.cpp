@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/check.hpp"
 #include "common/log.hpp"
 
 namespace virec::cpu {
@@ -184,9 +185,17 @@ bool CgmtCore::request_context_switch(u64 resume_pc, Cycle miss_done) {
 void CgmtCore::commit(Latch& latch) {
   const int tid = current_tid_;
   Thread& t = threads_[static_cast<std::size_t>(tid)];
+  if (check_ != nullptr) {
+    check_->pre_commit(env_.core_id, tid, latch.inst, latch.pc, cycle_, rcm_,
+                       t.nzcv);
+  }
   const isa::ExecResult res = isa::execute(
       latch.inst, latch.pc, tid, rcm_, env_.ms->memory(), t.nzcv);
   rcm_.on_commit(tid, latch.inst);
+  if (check_ != nullptr) {
+    check_->post_commit(env_.core_id, tid, latch.inst, latch.pc, cycle_, rcm_,
+                        t.nzcv, res);
+  }
   ++instructions_;
   committed_since_switch_ = true;
   latch.valid = false;

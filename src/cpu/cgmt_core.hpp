@@ -21,6 +21,10 @@
 #include "kasm/program.hpp"
 #include "mem/cache.hpp"
 
+namespace virec::check {
+class CheckContext;
+}  // namespace virec::check
+
 namespace virec::cpu {
 
 struct CgmtCoreConfig {
@@ -74,6 +78,13 @@ class CgmtCore {
 
   /// Attach a pipeline tracer (nullptr detaches). Not owned.
   void set_tracer(TraceSink* tracer) { tracer_ = tracer; }
+
+  /// Attach the lockstep oracle / invariant context (nullptr detaches).
+  /// Forwards to the store queue for its occupancy invariants.
+  void set_check(check::CheckContext* check) {
+    check_ = check;
+    sq_.set_check(check);
+  }
 
   /// Per-thread NZCV flags (functional sysreg, exposed for tests).
   u8 nzcv(int tid) const { return threads_[static_cast<std::size_t>(tid)].nzcv; }
@@ -176,6 +187,8 @@ class CgmtCore {
   double* c_frontend_wait_cycles_ = nullptr;
   u64 episode_start_instructions_ = 0;
   TraceSink* tracer_ = nullptr;
+  // Mutable: the oracle advances its shadow state at each commit.
+  check::CheckContext* check_ = nullptr;
 };
 
 }  // namespace virec::cpu

@@ -25,6 +25,10 @@
 #include "isa/semantics.hpp"
 #include "mem/memory_system.hpp"
 
+namespace virec::check {
+class CheckContext;
+}  // namespace virec::check
+
 namespace virec::cpu {
 
 class TraceSink;
@@ -111,6 +115,10 @@ class ContextManager : public isa::RegisterFileIO {
   /// rollbacks). Schemes without such traffic ignore it.
   virtual void set_tracer(TraceSink* tracer) { (void)tracer; }
 
+  /// Attach the check context (nullptr detaches). Schemes with
+  /// structural invariants audit themselves against it on hot paths.
+  virtual void set_check(const check::CheckContext* check) { check_ = check; }
+
   /// Checkpoint scheme state. The base handles the stat set; overrides
   /// must call the base first and then append their own state in the
   /// same order on both sides.
@@ -130,6 +138,8 @@ class ContextManager : public isa::RegisterFileIO {
 
   CoreEnv env_;
   StatSet stats_;
+  /// Hard-invariant context; null or disabled when checking is off.
+  const check::CheckContext* check_ = nullptr;
 };
 
 }  // namespace virec::cpu

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "check/check.hpp"
+
 namespace virec::cpu {
 
 OooCore::OooCore(const OooCoreConfig& config, mem::MemorySystem& ms,
@@ -122,8 +124,14 @@ Cycle OooCore::run(u64 entry_pc) {
     ++instructions_;
 
     // --- Architectural execution (program order).
+    if (check_ != nullptr) {
+      check_->pre_commit(core_id_, 0, inst, pc, commit, rf_, nzcv);
+    }
     const isa::ExecResult res =
         isa::execute(inst, pc, 0, rf_, ms_.memory(), nzcv);
+    if (check_ != nullptr) {
+      check_->post_commit(core_id_, 0, inst, pc, commit, rf_, nzcv, res);
+    }
     if (res.halted) break;
     if (res.taken_branch && inst.op == isa::Op::kRet) {
       // Returns through the link register resolve late.

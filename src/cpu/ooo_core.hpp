@@ -18,6 +18,10 @@
 #include "kasm/program.hpp"
 #include "mem/memory_system.hpp"
 
+namespace virec::check {
+class CheckContext;
+}  // namespace virec::check
+
 namespace virec::cpu {
 
 struct OooCoreConfig {
@@ -64,6 +68,10 @@ class OooCore {
   ArrayRegFile& regfile() { return rf_; }
   const StatSet& stats() const { return stats_; }
 
+  /// Attach the lockstep oracle (nullptr detaches). Both core models
+  /// support checked execution, so either can be validated in place.
+  void set_check(check::CheckContext* check) { check_ = check; }
+
  private:
   OooCoreConfig config_;
   mem::MemorySystem& ms_;
@@ -73,6 +81,7 @@ class OooCore {
   u64 instructions_ = 0;
   Cycle last_commit_ = 0;
   StatSet stats_;
+  check::CheckContext* check_ = nullptr;
 };
 
 }  // namespace virec::cpu

@@ -1,6 +1,9 @@
 #include "cpu/store_queue.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "check/check.hpp"
 
 namespace virec::cpu {
 
@@ -17,8 +20,17 @@ bool StoreQueue::push(Addr addr, Cycle now, bool reg_region) {
       reuse = &c;
     }
   }
+  VIREC_CHECK(check_, completion_.size() <= capacity_,
+              "store queue holds " + std::to_string(completion_.size()) +
+                  " entries, capacity " + std::to_string(capacity_));
+  VIREC_CHECK(check_, busy <= capacity_,
+              "store queue occupancy " + std::to_string(busy) +
+                  " exceeds capacity " + std::to_string(capacity_));
   if (busy >= capacity_) return false;
   const Cycle done = dcache_.access(addr, /*is_write=*/true, now, reg_region).done;
+  VIREC_CHECK(check_, done >= now,
+              "dcache store completion " + std::to_string(done) +
+                  " precedes issue cycle " + std::to_string(now));
   last_completion_ = std::max(last_completion_, done);
   if (reuse != nullptr) {
     *reuse = done;

@@ -9,11 +9,24 @@
 #include "common/types.hpp"
 #include "mem/cache.hpp"
 
+namespace virec::check {
+class CheckContext;
+}  // namespace virec::check
+
 namespace virec::cpu {
 
 class StoreQueue {
  public:
   StoreQueue(u32 capacity, mem::Cache& dcache);
+
+  /// Attach the hard-invariant context (nullptr detaches).
+  void set_check(const check::CheckContext* check) { check_ = check; }
+
+  /// Test hook: grow the entry vector past capacity so the occupancy
+  /// invariant fires on the next push (simulates a lost-dealloc bug).
+  void overfill_for_test(Cycle until) {
+    completion_.assign(capacity_ + 1, until);
+  }
 
   /// Accept a store at @p now, issuing its dcache access immediately.
   /// Returns false when the queue is full (the caller must stall).
@@ -49,6 +62,7 @@ class StoreQueue {
   mem::Cache& dcache_;
   std::vector<Cycle> completion_;
   Cycle last_completion_ = 0;
+  const check::CheckContext* check_ = nullptr;
 };
 
 }  // namespace virec::cpu

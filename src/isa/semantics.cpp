@@ -1,6 +1,8 @@
 #include "isa/semantics.hpp"
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 namespace virec::isa {
@@ -25,6 +27,29 @@ u64 as_bits(double v) {
   u64 bits;
   std::memcpy(&bits, &v, sizeof bits);
   return bits;
+}
+
+// AArch64 SDIV semantics: x/0 == 0 and INT64_MIN / -1 == INT64_MIN.
+// The latter is signed-overflow UB if evaluated with host `/`.
+u64 sdiv64(i64 a, i64 b) {
+  if (b == 0) return 0;
+  if (a == std::numeric_limits<i64>::min() && b == -1) {
+    return static_cast<u64>(a);
+  }
+  return static_cast<u64>(a / b);
+}
+
+// AArch64 FCVTZS semantics: NaN converts to 0, out-of-range values
+// saturate. Host float->int casts are UB outside [INT64_MIN, INT64_MAX].
+u64 fcvtzs64(double v) {
+  if (std::isnan(v)) return 0;
+  if (v >= 9223372036854775808.0) {  // 2^63
+    return static_cast<u64>(std::numeric_limits<i64>::max());
+  }
+  if (v < -9223372036854775808.0) {  // -2^63
+    return static_cast<u64>(std::numeric_limits<i64>::min());
+  }
+  return static_cast<u64>(static_cast<i64>(v));
 }
 
 u8 flags_from_sub(u64 a, u64 b) {
@@ -98,12 +123,9 @@ ExecResult execute(const Inst& inst, u64 pc, int tid, RegisterFileIO& rf,
     case Op::kSub: rd_write(rn() - rm()); break;
     case Op::kMul: rd_write(rn() * rm()); break;
     case Op::kUdiv: rd_write(rm() == 0 ? 0 : rn() / rm()); break;
-    case Op::kSdiv: {
-      const i64 a = static_cast<i64>(rn());
-      const i64 b = static_cast<i64>(rm());
-      rd_write(b == 0 ? 0 : static_cast<u64>(a / b));
+    case Op::kSdiv:
+      rd_write(sdiv64(static_cast<i64>(rn()), static_cast<i64>(rm())));
       break;
-    }
     case Op::kAnd: rd_write(rn() & rm()); break;
     case Op::kOrr: rd_write(rn() | rm()); break;
     case Op::kEor: rd_write(rn() ^ rm()); break;
@@ -148,7 +170,7 @@ ExecResult execute(const Inst& inst, u64 pc, int tid, RegisterFileIO& rf,
       rd_write(as_bits(static_cast<double>(static_cast<i64>(rn()))));
       break;
     case Op::kFcvtzs:
-      rd_write(static_cast<u64>(static_cast<i64>(as_f64(rn()))));
+      rd_write(fcvtzs64(as_f64(rn())));
       break;
 
     case Op::kCmp: nzcv = flags_from_sub(rn(), rm()); break;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "check/check.hpp"
 
 namespace virec::mem {
 
@@ -212,6 +215,15 @@ CacheAccess Cache::access(Addr addr, bool is_write, Cycle now,
   // Miss.
   ++*c_misses_;
   if (reg_region) ++*c_reg_region_misses_;
+  if (check_ != nullptr) {
+    // A sentinel still present here means a previous miss claimed an
+    // MSHR and never released it — a slot leaked forever.
+    for (const Cycle until : mshr_until_) {
+      VIREC_CHECK(check_, until != kNeverCycle,
+                  std::string(config_.name) +
+                      ": MSHR claimed but never released (leak)");
+    }
+  }
   maybe_prefetch(laddr, start);
 
   bool mshr_stalled = false;
@@ -248,12 +260,21 @@ CacheAccess Cache::access(Addr addr, bool is_write, Cycle now,
   }
 
   // Release the claimed MSHR at completion time.
+  bool released = false;
   for (Cycle& until : mshr_until_) {
     if (until == kNeverCycle) {
       until = done;
+      released = true;
       break;
     }
   }
+  VIREC_CHECK(check_, released,
+              std::string(config_.name) +
+                  ": no claimed MSHR to release after miss");
+  VIREC_CHECK(check_, done >= now,
+              std::string(config_.name) + ": miss completes at cycle " +
+                  std::to_string(done) + ", before issue cycle " +
+                  std::to_string(now));
 
   result.hit = false;
   result.done = done;

@@ -22,6 +22,10 @@
 #include "common/types.hpp"
 #include "mem/mem_level.hpp"
 
+namespace virec::check {
+class CheckContext;
+}  // namespace virec::check
+
 namespace virec::mem {
 
 struct CacheConfig {
@@ -85,6 +89,14 @@ class Cache final : public MemLevel {
 
   void reset();
 
+  /// Attach the hard-invariant context (nullptr detaches): MSHR
+  /// accounting is audited on every access.
+  void set_check(const check::CheckContext* check) { check_ = check; }
+
+  /// Test hook: mark one MSHR as claimed-but-never-released so the
+  /// leak invariant fires on the next miss.
+  void leak_mshr_for_test() { mshr_until_[0] = kNeverCycle; }
+
   /// Checkpoint all tag/MSHR/port/prefetcher state plus the stat set.
   /// Restore validates that the saved geometry matches this cache's
   /// configuration and throws ckpt::CkptError otherwise.
@@ -139,6 +151,7 @@ class Cache final : public MemLevel {
   double* c_writebacks_ = nullptr;
   double* c_bypasses_ = nullptr;
   double* c_prefetches_ = nullptr;
+  const check::CheckContext* check_ = nullptr;
 };
 
 }  // namespace virec::mem

@@ -20,6 +20,21 @@ class SparseMemory final : public ckpt::Serializable {
  public:
   static constexpr u64 kPageSize = 4096;
 
+  SparseMemory() = default;
+  // Copies must not inherit the one-entry page cache: the raw pointer
+  // would alias the *source's* page map, so a later write through the
+  // copy would silently mutate the original. The check subsystem clones
+  // functional memory for its shadow state, so this matters.
+  SparseMemory(const SparseMemory& other) : pages_(other.pages_) {}
+  SparseMemory& operator=(const SparseMemory& other) {
+    if (this != &other) {
+      pages_ = other.pages_;
+      cached_page_no_ = ~u64{0};
+      cached_page_ = nullptr;
+    }
+    return *this;
+  }
+
   /// Checkpoint every touched page (sorted by page number, so the
   /// snapshot bytes are deterministic). Restore replaces all contents.
   void save_state(ckpt::Encoder& enc) const override;

@@ -31,6 +31,7 @@ SystemConfig build_config(const RunSpec& spec) {
 RunResult run_spec(const RunSpec& spec) {
   const workloads::Workload& workload = workloads::find_workload(spec.workload);
   System system(build_config(spec), workload, spec.params);
+  if (spec.check) system.enable_check();
   RunResult result = system.run();
   if (!result.check_ok) {
     throw std::runtime_error("workload check failed (" + spec.workload +

@@ -30,6 +30,9 @@ struct RunSpec {
   /// Watchdog: abort the run (std::runtime_error naming the stuck
   /// core/thread) after this many cycles. 0 keeps the preset guard.
   u64 max_cycles = 0;
+  /// Arm the lockstep reference oracle and hard invariants
+  /// (System::enable_check); divergence throws check::CheckError.
+  bool check = false;
 };
 
 /// Build the SystemConfig a RunSpec describes (exposed for tests).

@@ -10,6 +10,7 @@ System::System(const SystemConfig& config, const workloads::Workload& workload,
       workload_(workload),
       params_(params),
       program_(workload.program(params)) {
+  params_.validate();
   config_.mem.num_cores = config_.num_cores;
   config_.core.num_threads = config_.threads_per_core;
   ms_ = std::make_unique<mem::MemorySystem>(config_.mem);
@@ -45,6 +46,19 @@ void System::build_registry() {
 void System::set_tracer(u32 core, cpu::TraceSink* tracer) {
   cores_[core]->set_tracer(tracer);
   managers_[core]->set_tracer(tracer);
+}
+
+void System::enable_check() {
+  if (check_ != nullptr) return;
+  check_ = std::make_unique<check::CheckContext>(
+      program_, *ms_, config_.num_cores, config_.threads_per_core);
+  for (u32 c = 0; c < config_.num_cores; ++c) {
+    cores_[c]->set_check(check_.get());
+    managers_[c]->set_check(check_.get());
+    ms_->icache(c).set_check(check_.get());
+    ms_->dcache(c).set_check(check_.get());
+  }
+  if (ms_->has_l2()) ms_->l2().set_check(check_.get());
 }
 
 std::unique_ptr<cpu::ContextManager> System::make_manager(

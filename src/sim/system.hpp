@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "ckpt/checkpoint.hpp"
 #include "cpu/banked_manager.hpp"
 #include "cpu/cgmt_core.hpp"
@@ -80,6 +81,14 @@ class System {
   /// register traffic from its context manager). nullptr detaches.
   void set_tracer(u32 core, cpu::TraceSink* tracer);
 
+  /// Arm the lockstep reference oracle and all hard invariants
+  /// (docs/correctness.md): every core's commits are compared against a
+  /// functional interpreter and any divergence or violated structural
+  /// invariant throws check::CheckError from run(). Works after
+  /// restore() too — the oracle adopts the restored state lazily.
+  void enable_check();
+  const check::CheckContext* check_context() const { return check_.get(); }
+
   /// Hash of everything that must match between the system that saved
   /// a checkpoint and the system restoring it: scheme, core/thread
   /// counts, ViReC/memory configuration, workload name and parameters.
@@ -117,6 +126,7 @@ class System {
   std::unique_ptr<mem::MemorySystem> ms_;
   std::vector<std::unique_ptr<cpu::ContextManager>> managers_;
   std::vector<std::unique_ptr<cpu::CgmtCore>> cores_;
+  std::unique_ptr<check::CheckContext> check_;
   StatRegistry registry_;
   Cycle sample_interval_ = 0;
   std::vector<Sample> samples_;

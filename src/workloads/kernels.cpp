@@ -414,7 +414,9 @@ class PchaseWorkload final : public Workload {
       std::vector<u64> perm(w);
       for (u64 j = 0; j < w; ++j) perm[j] = j;
       Xorshift128 rng(p.seed + 77 * t);
-      for (u64 j = w - 1; j > 0; --j) {
+      // Written underflow-proof: identical iteration sequence to the
+      // textbook `for (j = w - 1; j > 0; --j)` but safe for w == 0.
+      for (u64 j = w; j-- > 1;) {
         const u64 r = rng.next_below(j);
         std::swap(perm[j], perm[r]);
       }

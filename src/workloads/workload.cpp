@@ -4,6 +4,17 @@
 
 namespace virec::workloads {
 
+void WorkloadParams::validate() const {
+  const auto reject = [](const char* what) {
+    throw std::invalid_argument(std::string("WorkloadParams: ") + what);
+  };
+  if (iters_per_thread == 0) reject("iters_per_thread must be nonzero");
+  if (elements == 0) reject("elements must be nonzero");
+  if (stride == 0) reject("stride must be nonzero");
+  if (locality_window == 0) reject("locality_window must be nonzero");
+  if (max_regs == 0 || max_regs > 31) reject("max_regs must be in [1, 31]");
+}
+
 std::vector<const Workload*> figure_workloads() {
   // The eight-kernel subset used by the paper's multi-workload figures.
   static const char* const names[] = {"gather", "scatter", "stride", "maebo",

@@ -39,6 +39,12 @@ struct WorkloadParams {
   /// with explicit loads/stores; see gather_wide).
   u32 max_regs = 31;
   u64 seed = 42;
+
+  /// Reject degenerate parameter combinations (zero-sized arrays, zero
+  /// iteration counts, ...) that would otherwise reach `% 0` index
+  /// generation or underflowing shuffle loops deep inside the kernels.
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 /// Fixed data layout shared by every kernel.

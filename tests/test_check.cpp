@@ -1,0 +1,266 @@
+// Self-checking subsystem tests: lockstep oracle on every scheme,
+// injected-fault detection for each hard invariant, repro round-trip
+// and replay determinism, and the bug-fix guards in rng / workload
+// parameter validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "check/check.hpp"
+#include "check/harness.hpp"
+#include "check/progen.hpp"
+#include "check/repro.hpp"
+#include "common/rng.hpp"
+#include "core/tag_store.hpp"
+#include "isa/disasm.hpp"
+#include "cpu/store_queue.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace virec {
+namespace {
+
+kasm::Program edge_program(u64 seed) {
+  check::ProgenOptions opts;
+  opts.body_len = 24;
+  opts.loop_iters = 16;
+  opts.edge_ops = true;
+  return check::random_program(seed, opts);
+}
+
+// ---------------------------------------------------------------------
+// Lockstep oracle: every scheme runs a random edge-op program clean.
+
+class OracleSchemeTest : public ::testing::TestWithParam<sim::Scheme> {};
+
+TEST_P(OracleSchemeTest, RandomProgramRunsClean) {
+  check::HarnessSpec spec;
+  spec.scheme = GetParam();
+  spec.threads = 2;
+  spec.phys_regs = 6;
+  const check::HarnessResult r = check::run_checked(edge_program(7), spec);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_GT(r.commits_checked, 0u);
+  EXPECT_EQ(r.commits_checked, r.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, OracleSchemeTest,
+    ::testing::Values(sim::Scheme::kBanked, sim::Scheme::kSoftware,
+                      sim::Scheme::kPrefetchFull, sim::Scheme::kPrefetchExact,
+                      sim::Scheme::kViReC, sim::Scheme::kNSF),
+    [](const auto& info) {
+      std::string name = sim::scheme_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Oracle, TinyRfStress) {
+  // 4 physical registers: every value crosses the fill/spill path.
+  check::HarnessSpec spec;
+  spec.phys_regs = 4;
+  spec.threads = 3;
+  const check::HarnessResult r = check::run_checked(edge_program(11), spec);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------
+// System-level --check path: the full simulator (workload init, task
+// offload, multi-core) under the oracle, for every scheme.
+
+TEST(SystemCheck, GatherRunsCleanOnEveryScheme) {
+  for (sim::Scheme scheme :
+       {sim::Scheme::kBanked, sim::Scheme::kSoftware,
+        sim::Scheme::kPrefetchFull, sim::Scheme::kPrefetchExact,
+        sim::Scheme::kViReC, sim::Scheme::kNSF}) {
+    sim::RunSpec spec;
+    spec.workload = "gather";
+    spec.scheme = scheme;
+    spec.threads_per_core = 4;
+    spec.params.iters_per_thread = 16;
+    spec.params.elements = 1024;
+    spec.check = true;
+    const sim::RunResult result = sim::run_spec(spec);
+    EXPECT_TRUE(result.check_ok) << sim::scheme_name(scheme);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Injected faults: each invariant must fire.
+
+TEST(Invariants, InjectedTagCorruptionIsDetected) {
+  check::HarnessSpec spec;
+  spec.phys_regs = 6;
+  spec.threads = 2;
+  spec.seed = 3;
+  EXPECT_TRUE(check::tag_bug_detected(edge_program(3), spec));
+}
+
+TEST(Invariants, TagStoreAuditCatchesSwappedTags) {
+  core::TagStore tags(/*num_phys_regs=*/4, /*num_threads=*/2,
+                      core::PolicyKind::kLRC);
+  const std::vector<u8> locked(4, 0);
+  core::TagStore::Victim victim;
+  ASSERT_GE(tags.allocate(0, 1, locked, &victim), 0);
+  ASSERT_GE(tags.allocate(1, 2, locked, &victim), 0);
+  const check::CheckContext check;  // invariant-only context
+  EXPECT_NO_THROW(tags.audit(&check));
+  ASSERT_TRUE(tags.corrupt_swap_tags_for_test());
+  EXPECT_THROW(tags.audit(&check), check::CheckError);
+  // Null / disabled contexts must never throw (checking off).
+  EXPECT_NO_THROW(tags.audit(nullptr));
+  check::CheckContext off;
+  off.set_enabled(false);
+  EXPECT_NO_THROW(tags.audit(&off));
+}
+
+TEST(Invariants, StoreQueueOverfillIsDetected) {
+  mem::MemorySystem ms{mem::MemSystemConfig{}};
+  cpu::StoreQueue sq(3, ms.dcache(0));
+  const check::CheckContext check;
+  sq.set_check(&check);
+  EXPECT_TRUE(sq.push(0x1000, 0));  // a sane push passes
+  sq.overfill_for_test(/*until=*/1'000'000);
+  EXPECT_THROW(sq.push(0x2000, 0), check::CheckError);
+}
+
+TEST(Invariants, LeakedMshrIsDetected) {
+  mem::MemorySystem ms{mem::MemSystemConfig{}};
+  const check::CheckContext check;
+  ms.dcache(0).set_check(&check);
+  EXPECT_NO_THROW(ms.dcache(0).access(0x1000, false, 0));
+  ms.dcache(0).leak_mshr_for_test();
+  EXPECT_THROW(ms.dcache(0).access(0x8000, false, 1'000'000),
+               check::CheckError);
+}
+
+// ---------------------------------------------------------------------
+// Repro files: round-trip and deterministic replay.
+
+TEST(Repro, RoundTripPreservesSpecAndProgram) {
+  check::HarnessSpec spec;
+  spec.scheme = sim::Scheme::kNSF;
+  spec.policy = core::PolicyKind::kMrtPLRU;
+  spec.phys_regs = 5;
+  spec.threads = 3;
+  spec.max_cycles = 12345;
+  spec.seed = 42;
+  const kasm::Program program = edge_program(5);
+  const std::string text = check::write_repro(spec, program);
+  const check::Repro repro = check::parse_repro(text);
+  EXPECT_EQ(repro.spec.scheme, spec.scheme);
+  EXPECT_EQ(repro.spec.policy, spec.policy);
+  EXPECT_EQ(repro.spec.phys_regs, spec.phys_regs);
+  EXPECT_EQ(repro.spec.threads, spec.threads);
+  EXPECT_EQ(repro.spec.max_cycles, spec.max_cycles);
+  EXPECT_EQ(repro.spec.seed, spec.seed);
+  ASSERT_EQ(repro.program.size(), program.size());
+  for (u64 pc = 0; pc < program.size(); ++pc) {
+    EXPECT_EQ(isa::disasm(repro.program.at(pc)), isa::disasm(program.at(pc)))
+        << "pc " << pc;
+  }
+}
+
+TEST(Repro, ReplayIsDeterministic) {
+  check::HarnessSpec spec;
+  spec.phys_regs = 5;
+  const kasm::Program program = edge_program(9);
+  const std::string text = check::write_repro(spec, program);
+  const check::Repro repro = check::parse_repro(text);
+  const check::HarnessResult a = check::run_checked(program, spec);
+  const check::HarnessResult b =
+      check::run_checked(repro.program, repro.spec);
+  EXPECT_TRUE(a.ok) << a.message;
+  EXPECT_TRUE(b.ok) << b.message;
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.commits_checked, b.commits_checked);
+}
+
+TEST(Repro, RejectsMalformedHeaders) {
+  EXPECT_THROW(check::parse_repro("// repro scheme\nhalt\n"),
+               std::invalid_argument);
+  EXPECT_THROW(check::parse_repro("// repro bogus-key 3\nhalt\n"),
+               std::invalid_argument);
+  EXPECT_THROW(check::parse_repro("// repro scheme virec\n"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Shrinking passes.
+
+TEST(Shrink, DropInstructionRetargetsBranches) {
+  const kasm::Program program = edge_program(13);
+  u64 candidates = 0;
+  for (u64 i = 0; i < program.size(); ++i) {
+    const kasm::Program smaller = check::drop_instruction(program, i);
+    if (smaller.size() == 0) continue;  // structurally invalid, rejected
+    ++candidates;
+    ASSERT_EQ(smaller.size(), program.size() - 1);
+    // Every survivor must still be runnable (possibly timing out).
+    check::HarnessSpec spec;
+    spec.max_cycles = 50'000;
+    const check::HarnessResult r = check::run_checked(smaller, spec);
+    EXPECT_TRUE(r.ok || r.timed_out) << "drop " << i << ": " << r.message;
+  }
+  EXPECT_GT(candidates, 0u);
+}
+
+TEST(Shrink, HalveLoopItersConverges) {
+  kasm::Program program = edge_program(17);
+  u32 halvings = 0;
+  for (;;) {
+    kasm::Program halved = check::halve_loop_iters(program);
+    if (halved.size() == 0) break;
+    program = std::move(halved);
+    ++halvings;
+    ASSERT_LT(halvings, 64u) << "halving must terminate";
+  }
+  EXPECT_GT(halvings, 0u);
+  const check::HarnessResult r =
+      check::run_checked(program, check::HarnessSpec{});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------
+// Bug-fix guards.
+
+TEST(RngGuards, NextBelowZeroThrows) {
+  Xorshift128 rng(1);
+  EXPECT_THROW(rng.next_below(0), std::logic_error);
+}
+
+TEST(WorkloadValidation, RejectsDegenerateParams) {
+  workloads::WorkloadParams good;
+  EXPECT_NO_THROW(good.validate());
+
+  workloads::WorkloadParams p = good;
+  p.iters_per_thread = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = good;
+  p.elements = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = good;
+  p.stride = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = good;
+  p.locality_window = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = good;
+  p.max_regs = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.max_regs = 32;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace virec

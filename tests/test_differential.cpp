@@ -7,12 +7,16 @@
 // This catches whole classes of bugs no directed test would: register
 // liveness races between decode-time fills and commit-time writes,
 // replay-after-flush divergence, store-queue/memory ordering slips.
+//
+// The generator lives in src/check/progen.* (shared with virec-fuzz);
+// with edge_ops off it reproduces the historical per-seed programs of
+// this file's original local generator bit for bit.
 #include <gtest/gtest.h>
 
 #include <array>
 #include <string>
 
-#include "common/rng.hpp"
+#include "check/progen.hpp"
 #include "core/virec_manager.hpp"
 #include "cpu/banked_manager.hpp"
 #include "cpu/cgmt_core.hpp"
@@ -22,99 +26,29 @@
 namespace virec {
 namespace {
 
-using kasm::ProgramBuilder;
-using kasm::X;
-
-constexpr Addr kArena = 0x4000'0000;
-constexpr u64 kArenaWords = 128;
-constexpr int kArenaBaseReg = 28;  // never overwritten by the generator
-constexpr int kLoopReg = 27;       // only touched by the loop bookkeeping
-
-/// Generate a random terminating program: a counted loop whose body is
-/// a random mix of ALU ops, loads/stores into the arena and forward
-/// conditional skips.
-kasm::Program random_program(u64 seed, u32 body_len, u32 loop_iters) {
-  Xorshift128 rng(seed);
-  ProgramBuilder b;
-  auto reg = [&] { return X(static_cast<int>(rng.next_below(12))); };
-  auto arena_off = [&] {
-    return static_cast<i64>(rng.next_below(kArenaWords) * 8);
-  };
-
-  // Seed registers with deterministic junk.
-  for (int r = 0; r < 12; ++r) {
-    b.mov_imm(X(r), static_cast<i64>(rng.next_below(1 << 20)));
-  }
-  b.mov_imm(X(kLoopReg), loop_iters);
-  b.label("loop");
-  u32 skip_id = 0;
-  for (u32 i = 0; i < body_len; ++i) {
-    switch (rng.next_below(10)) {
-      case 0:
-        b.add(reg(), reg(), reg());
-        break;
-      case 1:
-        b.sub(reg(), reg(), reg());
-        break;
-      case 2:
-        b.mul(reg(), reg(), reg());
-        break;
-      case 3:
-        b.eor(reg(), reg(), reg());
-        break;
-      case 4:
-        b.add_imm(reg(), reg(), static_cast<i64>(rng.next_below(1000)));
-        break;
-      case 5:
-        b.madd(reg(), reg(), reg(), reg());
-        break;
-      case 6:
-        b.ldr(reg(), X(kArenaBaseReg), arena_off());
-        break;
-      case 7:
-        b.str(reg(), X(kArenaBaseReg), arena_off());
-        break;
-      case 8:
-        b.lsr_imm(reg(), reg(), static_cast<i64>(rng.next_below(8)));
-        break;
-      case 9: {
-        // Forward conditional skip over one instruction.
-        const std::string label = "skip" + std::to_string(skip_id++);
-        b.cmp_imm(reg(), static_cast<i64>(rng.next_below(512)));
-        b.b_cond(rng.next_below(2) ? kasm::Cond::kLt : kasm::Cond::kGe,
-                 label);
-        b.orr_imm(reg(), reg(), 1);
-        b.label(label);
-        break;
-      }
-    }
-  }
-  b.sub_imm(X(kLoopReg), X(kLoopReg), 1);
-  b.cbnz(X(kLoopReg), "loop");
-  b.halt();
-  return b.build();
+kasm::Program random_program(u64 seed, u32 body_len, u32 loop_iters,
+                             bool edge_ops = false) {
+  check::ProgenOptions opts;
+  opts.body_len = body_len;
+  opts.loop_iters = loop_iters;
+  opts.edge_ops = edge_ops;
+  return check::random_program(seed, opts);
 }
 
 struct ArchState {
   std::array<u64, isa::kNumAllocatableRegs> regs{};
-  std::array<u64, kArenaWords> arena{};
+  std::array<u64, check::kArenaWords> arena{};
 
   bool operator==(const ArchState&) const = default;
 };
-
-void seed_arena(mem::SparseMemory& memory) {
-  for (u64 w = 0; w < kArenaWords; ++w) {
-    memory.write_u64(kArena + w * 8, w * 0x9e37u + 7);
-  }
-}
 
 ArchState collect(isa::RegisterFileIO& rf, const mem::SparseMemory& memory) {
   ArchState state;
   for (u32 r = 0; r < isa::kNumAllocatableRegs; ++r) {
     state.regs[r] = rf.read_reg(0, static_cast<isa::RegId>(r));
   }
-  for (u64 w = 0; w < kArenaWords; ++w) {
-    state.arena[w] = memory.read_u64(kArena + w * 8);
+  for (u64 w = 0; w < check::kArenaWords; ++w) {
+    state.arena[w] = memory.read_u64(check::kArenaBase + w * 8);
   }
   return state;
 }
@@ -123,7 +57,7 @@ ArchState run_cgmt(const kasm::Program& program, bool use_virec,
                    core::PolicyKind policy, u32 phys_regs) {
   mem::MemSystemConfig mc;
   mem::MemorySystem ms(mc);
-  seed_arena(ms.memory());
+  check::seed_arena(ms.memory());
   cpu::CoreEnv env{.core_id = 0, .num_threads = 1, .ms = &ms};
   std::unique_ptr<cpu::ContextManager> manager;
   if (use_virec) {
@@ -135,7 +69,8 @@ ArchState run_cgmt(const kasm::Program& program, bool use_virec,
     manager = std::make_unique<cpu::BankedManager>(env);
   }
   // Offloaded context: arena base register.
-  ms.memory().write_u64(ms.reg_addr(0, 0, kArenaBaseReg), kArena);
+  ms.memory().write_u64(ms.reg_addr(0, 0, check::kArenaBaseReg),
+                        check::kArenaBase);
   cpu::CgmtCoreConfig cc;
   cpu::CgmtCore core(cc, env, *manager, program);
   core.start_thread(0);
@@ -147,9 +82,9 @@ ArchState run_ooo(const kasm::Program& program) {
   mem::MemSystemConfig mc;
   mc.has_l2 = true;
   mem::MemorySystem ms(mc);
-  seed_arena(ms.memory());
+  check::seed_arena(ms.memory());
   cpu::OooCore core(cpu::OooCoreConfig{}, ms, 0, program);
-  core.regfile().write_reg(0, kArenaBaseReg, kArena);
+  core.regfile().write_reg(0, check::kArenaBaseReg, check::kArenaBase);
   core.run();
   return collect(core.regfile(), ms.memory());
 }
@@ -171,6 +106,28 @@ TEST_P(DifferentialTest, ThreeEnginesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Range<u64>(1, 21));
+
+/// Same three-engine comparison over the extended generator: division
+/// by 0/-1/INT64_MIN, register-amount shifts >= 64, movk lane inserts,
+/// sub-word loads and stores.
+class EdgeOpDifferentialTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(EdgeOpDifferentialTest, ThreeEnginesAgree) {
+  const u64 seed = GetParam();
+  const kasm::Program program =
+      random_program(seed, 32, 24, /*edge_ops=*/true);
+  const ArchState banked = run_cgmt(program, false, core::PolicyKind::kLRC, 0);
+  const ArchState virec =
+      run_cgmt(program, true, core::PolicyKind::kLRC, /*phys_regs=*/5);
+  const ArchState ooo = run_ooo(program);
+  EXPECT_EQ(banked.regs, virec.regs) << "seed " << seed;
+  EXPECT_EQ(banked.arena, virec.arena) << "seed " << seed;
+  EXPECT_EQ(banked.regs, ooo.regs) << "seed " << seed;
+  EXPECT_EQ(banked.arena, ooo.arena) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeSeeds, EdgeOpDifferentialTest,
+                         ::testing::Range<u64>(100, 112));
 
 class PolicyDifferentialTest
     : public ::testing::TestWithParam<core::PolicyKind> {};

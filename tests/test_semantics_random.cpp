@@ -69,12 +69,89 @@ TEST_F(RandomSemantics, SdivMatchesHostTruncation) {
     const i64 a = static_cast<i64>(rng.next());
     i64 b = static_cast<i64>(rng.next());
     if (b == 0) b = 1;
-    // Avoid the single UB case of i64 division.
-    if (a == std::numeric_limits<i64>::min() && b == -1) continue;
+    if (a == std::numeric_limits<i64>::min() && b == -1) {
+      // The one case host i64 division cannot evaluate (it overflows);
+      // covered by the directed DivisionEdgeCases test below.
+      continue;
+    }
     EXPECT_EQ(static_cast<i64>(run_binary(Op::kSdiv, static_cast<u64>(a),
                                           static_cast<u64>(b))),
               a / b);
   }
+}
+
+// Directed edge operands (the cases a uniform-random sweep essentially
+// never hits). AArch64 semantics: x/0 == 0 for both divisions and
+// INT64_MIN / -1 == INT64_MIN (no trap, no UB).
+TEST_F(RandomSemantics, DivisionEdgeCases) {
+  const u64 int_min = static_cast<u64>(std::numeric_limits<i64>::min());
+  EXPECT_EQ(run_binary(Op::kSdiv, int_min, static_cast<u64>(-1)), int_min);
+  EXPECT_EQ(run_binary(Op::kSdiv, 12345, 0), 0u);
+  EXPECT_EQ(run_binary(Op::kSdiv, int_min, 0), 0u);
+  EXPECT_EQ(run_binary(Op::kUdiv, 12345, 0), 0u);
+  EXPECT_EQ(run_binary(Op::kUdiv, ~u64{0}, 0), 0u);
+  EXPECT_EQ(run_binary(Op::kSdiv, int_min, 1), int_min);
+  EXPECT_EQ(run_binary(Op::kSdiv, static_cast<u64>(-7), 2),
+            static_cast<u64>(-3));  // truncation toward zero
+}
+
+// Register-amount shifts use only the low 6 bits of rm (so >= 64 wraps
+// instead of invoking host UB).
+TEST_F(RandomSemantics, ShiftAmountsAtAndBeyondWidth) {
+  const u64 v = 0x8000'0000'0000'0001ull;
+  EXPECT_EQ(run_binary(Op::kLsl, v, 64), v);       // 64 & 63 == 0
+  EXPECT_EQ(run_binary(Op::kLsr, v, 64), v);
+  EXPECT_EQ(run_binary(Op::kAsr, v, 64), v);
+  EXPECT_EQ(run_binary(Op::kLsl, v, 65), v << 1);  // 65 & 63 == 1
+  EXPECT_EQ(run_binary(Op::kLsr, v, 127), v >> 63);
+  EXPECT_EQ(run_binary(Op::kAsr, v, 127), ~u64{0});  // sign fill
+  EXPECT_EQ(run_binary(Op::kLsl, v, 63), u64{1} << 63);
+}
+
+// movk inserts one halfword lane and must leave the other three alone,
+// including lane 3 (the sign-carrying top) and the all-ones/all-zeros
+// immediates.
+TEST_F(RandomSemantics, MovkLaneExtremes) {
+  cpu::ArrayRegFile rf;
+  mem::SparseMemory memory;
+  u8 nzcv = 0;
+  for (u32 lane = 0; lane < 4; ++lane) {
+    for (const u64 imm : {u64{0}, u64{0xffff}, u64{0x1234}}) {
+      rf.write_reg(0, 0, 0x0123'4567'89ab'cdefull);
+      Inst movk;
+      movk.op = Op::kMovk;
+      movk.rd = 0;
+      movk.imm = static_cast<i64>(imm);
+      movk.imm2 = static_cast<i64>(lane);
+      execute(movk, 0, 0, rf, memory, nzcv);
+      const u64 mask = u64{0xffff} << (16 * lane);
+      const u64 expected =
+          (0x0123'4567'89ab'cdefull & ~mask) | (imm << (16 * lane));
+      EXPECT_EQ(rf.read_reg(0, 0), expected) << "lane " << lane;
+    }
+  }
+}
+
+// fcvtzs must saturate (not UB-cast) for out-of-range and NaN inputs.
+TEST_F(RandomSemantics, FcvtzsSaturates) {
+  const u64 int_max = static_cast<u64>(std::numeric_limits<i64>::max());
+  const u64 int_min = static_cast<u64>(std::numeric_limits<i64>::min());
+  EXPECT_EQ(run_binary(Op::kFcvtzs, as_bits(1e30), 0), int_max);
+  EXPECT_EQ(run_binary(Op::kFcvtzs, as_bits(-1e30), 0), int_min);
+  EXPECT_EQ(run_binary(Op::kFcvtzs,
+                       as_bits(std::numeric_limits<double>::infinity()), 0),
+            int_max);
+  EXPECT_EQ(run_binary(Op::kFcvtzs,
+                       as_bits(-std::numeric_limits<double>::infinity()), 0),
+            int_min);
+  EXPECT_EQ(run_binary(Op::kFcvtzs,
+                       as_bits(std::numeric_limits<double>::quiet_NaN()), 0),
+            0u);
+  EXPECT_EQ(run_binary(Op::kFcvtzs, as_bits(9223372036854775808.0), 0),
+            int_max);  // exactly 2^63: first unrepresentable value
+  EXPECT_EQ(run_binary(Op::kFcvtzs, as_bits(-9223372036854775808.0), 0),
+            int_min);  // exactly -2^63: still representable
+  EXPECT_EQ(run_binary(Op::kFcvtzs, as_bits(-1.5), 0), static_cast<u64>(-1));
 }
 
 TEST_F(RandomSemantics, FpOpsAreBitExact) {
