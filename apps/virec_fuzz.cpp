@@ -40,6 +40,7 @@ struct Options {
   u32 jobs = 0;        // 0 = hardware concurrency
   std::string out = "virec-fuzz-repro.txt";
   bool inject_tag_bug = false;
+  bool no_skip = false;
   bool help = false;
 };
 
@@ -58,7 +59,10 @@ void print_usage() {
       "  --out FILE       repro file for a shrunk failure\n"
       "                   (default virec-fuzz-repro.txt)\n"
       "  --inject-tag-bug self-test: corrupt the ViReC tag store mid-run\n"
-      "                   and exit 0 iff the check layer catches it\n";
+      "                   and exit 0 iff the check layer catches it\n"
+      "  --no-skip        step every cycle instead of event-skipping\n"
+      "                   quiet stretches (results are identical; this\n"
+      "                   exists to bisect the skip layer itself)\n";
 }
 
 u64 parse_u64(const std::string& flag, const std::string& v) {
@@ -92,6 +96,7 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--jobs") opt.jobs = static_cast<u32>(u64_value());
     else if (arg == "--out") opt.out = value();
     else if (arg == "--inject-tag-bug") opt.inject_tag_bug = true;
+    else if (arg == "--no-skip") opt.no_skip = true;
     else {
       std::cerr << "unknown option: " << arg << "\n";
       return false;
@@ -109,6 +114,7 @@ std::vector<check::HarnessSpec> build_configs(const Options& opt) {
     spec.scheme = scheme;
     spec.threads = opt.threads;
     spec.phys_regs = opt.phys_regs;
+    spec.no_skip = opt.no_skip;
     return spec;
   };
   configs.push_back(base(sim::Scheme::kBanked));
@@ -259,6 +265,7 @@ int inject_tag_bug(const Options& opt) {
   spec.threads = opt.threads;
   spec.phys_regs = opt.phys_regs;
   spec.seed = opt.seed;
+  spec.no_skip = opt.no_skip;
   if (check::tag_bug_detected(program, spec)) {
     std::cout << "inject-tag-bug: corruption detected by the check layer\n";
     return 0;

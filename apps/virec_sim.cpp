@@ -96,6 +96,10 @@ void print_usage() {
       "  --area              print the area/delay report for this config\n"
       "  --max-cycles N      watchdog: abort (naming the stuck core/\n"
       "                      thread) after N cycles\n"
+      "  --no-skip           disable event-driven cycle skipping and\n"
+      "                      step every cycle. Results are bit-identical\n"
+      "                      either way (docs/performance.md); use this\n"
+      "                      only to bisect the simulator itself\n"
       "  --check             run the lockstep reference oracle and hard\n"
       "                      invariants alongside the simulation; abort\n"
       "                      with a divergence report on any mismatch\n"
@@ -211,6 +215,7 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.spec.dcache_latency = static_cast<u32>(u64_value());
     else if (arg == "--seed") opt.spec.params.seed = u64_value();
     else if (arg == "--max-cycles") opt.spec.max_cycles = u64_value();
+    else if (arg == "--no-skip") opt.spec.no_skip = true;
     else if (arg == "--checkpoint-every") opt.checkpoint_every = u64_value();
     else if (arg == "--checkpoint-out") opt.checkpoint_out = value();
     else if (arg == "--restore") opt.restore_path = value();
@@ -349,7 +354,10 @@ int run_sweep_mode(const Options& opt) {
 
 /// --replay FILE: re-run a fuzzer repro under the lockstep oracle.
 int run_replay_mode(const Options& opt) {
-  const check::Repro repro = check::load_repro(opt.replay_path);
+  check::Repro repro = check::load_repro(opt.replay_path);
+  // A repro recorded under --no-skip replays stepped; the flag on the
+  // replay command line forces stepping either way.
+  repro.spec.no_skip |= opt.spec.no_skip;
   std::cout << "replay " << opt.replay_path << "\n"
             << "scheme " << sim::scheme_name(repro.spec.scheme) << "\n"
             << "policy " << core::policy_name(repro.spec.policy) << "\n"

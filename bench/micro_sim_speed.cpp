@@ -95,6 +95,33 @@ void BM_GatherSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_GatherSimulation)->Unit(benchmark::kMillisecond);
 
+void BM_PointerChase(benchmark::State& state) {
+  // Event-skip showcase: a single-thread pointer chase over a 1 MiB
+  // arena misses the (8 KiB) dcache on every load, so the overwhelming
+  // majority of simulated cycles are quiet memory stalls the
+  // event-driven run loop fast-forwards. Arg(1) sets --no-skip (the
+  // cycle-stepped loop); the two rows bound the skip-layer speedup.
+  // Results are bit-identical either way (see tests/test_skip.cpp).
+  // The arena deliberately fits the host LLC: the point is simulator
+  // loop overhead, not host DRAM behaviour.
+  sim::RunSpec spec;
+  spec.workload = "pchase";
+  spec.scheme = sim::Scheme::kBanked;
+  spec.threads_per_core = 1;
+  spec.params.iters_per_thread = 500000;
+  spec.params.elements = 1 << 17;
+  spec.no_skip = state.range(0) != 0;
+  u64 instructions = 0;
+  for (auto _ : state) {
+    const sim::RunResult result = sim::run_spec(spec);
+    instructions += result.instructions;
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.counters["sim_instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PointerChase)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_SweepThroughput(benchmark::State& state) {
   // Whole-sweep throughput (experiment points/sec) through the
   // parallel executor. Arg = worker threads; 0 = hardware concurrency.

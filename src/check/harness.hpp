@@ -25,6 +25,10 @@ struct HarnessSpec {
   Cycle max_cycles = 2'000'000;
   /// Generator seed, carried for provenance in repro files (0 = n/a).
   u64 seed = 0;
+  /// Disable event-driven cycle skipping and step every cycle (the
+  /// oracle checks commits identically either way; skipping only
+  /// changes wall-clock).
+  bool no_skip = false;
 };
 
 struct HarnessResult {

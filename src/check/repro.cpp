@@ -18,6 +18,9 @@ std::string write_repro(const HarnessSpec& spec,
   os << "// repro threads " << spec.threads << "\n";
   os << "// repro max-cycles " << spec.max_cycles << "\n";
   if (spec.seed != 0) os << "// repro seed " << spec.seed << "\n";
+  // Only recorded when set: older repro files (and the default mode)
+  // run with skipping on.
+  if (spec.no_skip) os << "// repro no-skip 1\n";
   for (u64 pc = 0; pc < program.size(); ++pc) {
     os << isa::disasm(program.at(pc)) << "\n";
   }
@@ -51,6 +54,8 @@ Repro parse_repro(const std::string& text) {
         repro.spec.max_cycles = std::stoull(value);
       } else if (key == "seed") {
         repro.spec.seed = std::stoull(value);
+      } else if (key == "no-skip") {
+        repro.spec.no_skip = std::stoull(value) != 0;
       } else {
         throw std::invalid_argument("unknown repro header key: " + key);
       }

@@ -48,6 +48,12 @@ class BackingStoreInterface {
   /// CSL mask: an outstanding fill forbids context switches.
   bool fill_outstanding(Cycle now) const { return last_fill_done_ > now; }
 
+  /// Completion cycle of the masking fill when one is outstanding at
+  /// @p now (kNeverCycle otherwise) — the cycle the CSL mask clears.
+  Cycle mask_clear_cycle(Cycle now) const {
+    return last_fill_done_ > now ? last_fill_done_ : kNeverCycle;
+  }
+
   const BsiConfig& config() const { return config_; }
 
   /// Checkpoint the occupancy cursors (the stat set is owned by the

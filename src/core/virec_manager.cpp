@@ -254,6 +254,13 @@ bool ViReCManager::switch_allowed(Cycle now) const {
   return !bsi_.fill_outstanding(now);
 }
 
+Cycle ViReCManager::next_event_cycle(Cycle now) const {
+  // The only autonomous transition is the CSL mask clearing when the
+  // outstanding BSI fill completes; everything else happens inside
+  // pipeline hooks.
+  return bsi_.mask_clear_cycle(now);
+}
+
 void ViReCManager::on_thread_halt(int tid, Cycle now) {
   Cycle t = now;
   for (u32 i = 0; i < tags_.size(); ++i) {

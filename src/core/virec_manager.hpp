@@ -64,6 +64,7 @@ class ViReCManager final : public cpu::ContextManager {
   Cycle on_context_switch(int from_tid, int to_tid, int predicted_next,
                           Cycle now) override;
   bool switch_allowed(Cycle now) const override;
+  Cycle next_event_cycle(Cycle now) const override;
   void on_thread_halt(int tid, Cycle now) override;
   u32 physical_regs() const override { return config_.num_phys_regs; }
 

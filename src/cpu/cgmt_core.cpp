@@ -1,5 +1,6 @@
 #include "cpu/cgmt_core.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "check/check.hpp"
@@ -391,14 +392,138 @@ void CgmtCore::step() {
   ++cycle_;
 }
 
-void CgmtCore::run() {
-  while (!done()) {
-    step();
-    if (cycle_ >= config_.max_cycles) {
-      throw std::runtime_error("CgmtCore: max_cycles (" +
-                               std::to_string(config_.max_cycles) +
-                               ") exceeded; " + watchdog_diagnosis());
+Cycle CgmtCore::earliest_other_thread_ready() const {
+  Cycle next = kNeverCycle;
+  for (u32 tid = 0; tid < config_.num_threads; ++tid) {
+    const Thread& t = threads_[tid];
+    if (!t.started || t.halted || static_cast<int>(tid) == current_tid_) {
+      continue;
     }
+    if (t.blocked_until > cycle_ && t.blocked_until < next) {
+      next = t.blocked_until;
+    }
+  }
+  return next;
+}
+
+Cycle CgmtCore::next_event_cycle() const {
+  if (live_threads_ == 0) return cycle_;  // done; nothing to wait for
+  if (current_tid_ < 0) {
+    // live_threads_ > 0 guarantees the initial-schedule branch of
+    // pick_next_thread() finds a candidate (it accepts blocked
+    // threads), so the very next step schedules one. The kNeverCycle
+    // arm is defensive.
+    return pick_next_thread() >= 0 ? cycle_ : kNeverCycle;
+  }
+  Cycle next = kNeverCycle;
+  if (mem_.valid) {
+    // An unissued memory stage (including a store stalled on a full
+    // store queue) re-runs real issue work every cycle, and a ready
+    // one commits: both are immediate events.
+    if (!mem_.mem_issued || cycle_ >= mem_.ready) return cycle_;
+    next = std::min(next, mem_.ready);
+    if (switch_pending_) {
+      if (cycle_ < switch_eligible_at_) {
+        next = std::min(next, switch_eligible_at_);
+      } else if (committed_since_switch_) {
+        if (!rcm_.switch_allowed(cycle_)) {
+          // Masked by the scheme (outstanding BSI fill); quiet until
+          // the mask clears.
+          next = std::min(next, rcm_.next_event_cycle(cycle_));
+        } else if (pick_next_thread() >= 0) {
+          return cycle_;  // switch target available: next step switches
+        } else {
+          // No ready target; one appears when another thread's miss
+          // returns.
+          next = std::min(next, earliest_other_thread_ready());
+        }
+      }
+      // Masked purely by !committed_since_switch_: that cannot clear
+      // before the miss itself returns at mem_.ready (already bounded).
+    }
+  }
+  if (ex_.valid && !mem_.valid) {
+    if (cycle_ >= ex_.ready) return cycle_;
+    next = std::min(next, ex_.ready);
+  }
+  // ID -> EX still advances while a switch is pending (only the front
+  // end freezes), so these bounds apply unconditionally.
+  if (id_.valid && !ex_.valid) {
+    if (cycle_ >= id_.ready) return cycle_;
+    next = std::min(next, id_.ready);
+  }
+  if (!switch_pending_) {
+    if (if_.valid && !id_.valid) {
+      if (cycle_ >= if_.ready) return cycle_;
+      next = std::min(next, if_.ready);
+    }
+    if (!if_.valid) {
+      if (fetch_pc_ < program_.size()) {
+        if (cycle_ >= fetch_ready_) return cycle_;
+        next = std::min(next, fetch_ready_);
+      } else if (!id_.valid && !ex_.valid && !mem_.valid &&
+                 cycle_ < fetch_ready_) {
+        // Wrong-path runoff with an empty pipeline: nothing will ever
+        // fetch again, but frontend_wait_cycles accrues only while
+        // cycle_ < fetch_ready_, so the quiet stretch must break there
+        // to keep the counter bit-exact.
+        next = std::min(next, fetch_ready_);
+      }
+    }
+  }
+  // Conservative clamp: a draining store-queue entry is future-dated
+  // state other components observe (occupancy, port ordering).
+  next = std::min(next, sq_.next_event_cycle(cycle_));
+  return next;
+}
+
+void CgmtCore::skip_to(Cycle target) {
+  // Precondition: cycle_ < target <= next_event_cycle(). Within that
+  // stretch every stepped cycle would only advance the clock and bump
+  // the single stall counter classified here, so bulk-adding the span
+  // is bit-exact. The branch conditions mirror step()'s per-cycle
+  // bookkeeping; next_event_cycle()'s bounds guarantee none of them
+  // change before @p target.
+  const double span = static_cast<double>(target - cycle_);
+  if (current_tid_ < 0) {
+    *c_idle_cycles_ += span;
+  } else if (switch_pending_) {
+    if (cycle_ >= switch_eligible_at_ && committed_since_switch_ &&
+        rcm_.switch_allowed(cycle_)) {
+      *c_switch_no_target_cycles_ += span;
+    } else {
+      *c_switch_masked_cycles_ += span;
+    }
+  } else if (!if_.valid && !id_.valid && !ex_.valid && !mem_.valid &&
+             cycle_ < fetch_ready_) {
+    *c_frontend_wait_cycles_ += span;
+  }
+  cycle_ = target;
+}
+
+void CgmtCore::throw_max_cycles() const {
+  throw std::runtime_error("CgmtCore: max_cycles (" +
+                           std::to_string(config_.max_cycles) +
+                           ") exceeded; " + watchdog_diagnosis());
+}
+
+void CgmtCore::run() {
+  // First cycle at which the watchdog fires, saturating so a maximal
+  // budget disables it. Clamping skips here keeps the throw cycle (and
+  // the stall counters at that point) identical to the stepped loop.
+  const Cycle limit =
+      config_.max_cycles + 1 == 0 ? kNeverCycle : config_.max_cycles + 1;
+  while (!done()) {
+    if (config_.skip && maybe_quiet()) {
+      const Cycle target = std::min(next_event_cycle(), limit);
+      if (target > cycle_ + 1) {
+        skip_to(target);
+        if (cycle_ > config_.max_cycles) throw_max_cycles();
+        continue;
+      }
+    }
+    step();
+    if (cycle_ > config_.max_cycles) throw_max_cycles();
   }
   stats_.set("cycles", static_cast<double>(cycle_));
   stats_.set("instructions", static_cast<double>(instructions_));

@@ -33,6 +33,14 @@ struct CgmtCoreConfig {
   /// CGMT enable: switch threads on dcache data misses. With a single
   /// thread the core simply stalls on misses.
   bool switch_on_miss = true;
+  /// Event-driven cycle skipping: run() fast-forwards provably quiet
+  /// stretches (all threads blocked on memory, frontend waiting, CSL
+  /// masks set) in one jump instead of stepping cycle by cycle. The
+  /// skip is cycle-exact — every stat, sample and trace is bit
+  /// identical to the stepped run — so this only trades simulator
+  /// wall-clock. Disable (--no-skip) to force the stepped loop, e.g.
+  /// when bisecting the simulator itself.
+  bool skip = true;
   /// Hard guard against runaway simulations.
   u64 max_cycles = 4'000'000'000ull;
 };
@@ -51,11 +59,45 @@ class CgmtCore {
   /// Advance one cycle.
   void step();
 
+  /// Earliest cycle at which step() would do real work: move a latch,
+  /// issue/commit an instruction, take a context switch, fetch, or
+  /// react to returning data. Returns cycle() itself when the very
+  /// next step is such work, and kNeverCycle when no future event
+  /// exists (the core would spin to the watchdog). Every cycle from
+  /// cycle() up to (but excluding) the returned value is "quiet": the
+  /// stepped loop would only advance the clock and bump at most one
+  /// stall counter, which is exactly what skip_to() replays in bulk.
+  Cycle next_event_cycle() const;
+
+  /// Fast-forward a quiet stretch: jump the core clock to @p target
+  /// (cycle() < target <= next_event_cycle()) and charge the skipped
+  /// span to the same stall counter the stepped loop would have
+  /// incremented each cycle (idle / switch-masked / switch-no-target /
+  /// frontend-wait). Bit-exact with respect to stepping: no other
+  /// state changes during a quiet stretch.
+  void skip_to(Cycle target);
+
+  /// Cheap pre-filter for the skip path: true when the core is in a
+  /// state that can begin a quiet stretch (an issued memory access
+  /// still in flight, or an empty pipeline waiting on fetch / a
+  /// scheduler candidate). False means the next step() very likely
+  /// does real work, so callers step directly without paying for the
+  /// full next_event_cycle() evaluation. Purely a performance hint:
+  /// declining a possible skip is always bit-exact, because stepping
+  /// through a quiet cycle is the reference behaviour.
+  bool maybe_quiet() const {
+    if (mem_.valid) return mem_.mem_issued && cycle_ < mem_.ready;
+    if (if_.valid || id_.valid || ex_.valid) return false;
+    return current_tid_ >= 0 &&
+           (cycle_ < fetch_ready_ || fetch_pc_ >= program_.size());
+  }
+
   /// All started threads halted.
   bool done() const { return live_threads_ == 0; }
 
-  /// Run to completion (single-core convenience). Throws on exceeding
-  /// max_cycles.
+  /// Run to completion (single-core convenience), fast-forwarding
+  /// quiet stretches when config.skip is set. Throws on exceeding
+  /// max_cycles (first at max_cycles + 1, same as the lockstep loop).
   void run();
 
   Cycle cycle() const { return cycle_; }
@@ -144,6 +186,11 @@ class CgmtCore {
   /// Try to switch away from the in-flight miss; returns true if a
   /// switch happened (pipeline flushed).
   bool request_context_switch(u64 resume_pc, Cycle miss_done);
+  /// Earliest blocked_until of a non-current live thread still in the
+  /// future (kNeverCycle if none) — when the scheduler next gains a
+  /// candidate.
+  Cycle earliest_other_thread_ready() const;
+  [[noreturn]] void throw_max_cycles() const;
 
   CgmtCoreConfig config_;
   CoreEnv env_;

@@ -101,6 +101,17 @@ class ContextManager : public isa::RegisterFileIO {
     return true;
   }
 
+  /// Earliest future cycle at which the scheme's autonomous timing
+  /// state changes — in particular, the cycle at which a false
+  /// switch_allowed() turns true again (kNeverCycle when nothing is
+  /// scheduled). Between pipeline hooks, switch_allowed() must stay
+  /// constant up to (but excluding) the returned cycle; this is what
+  /// lets the core fast-forward masked-switch stalls in one jump.
+  virtual Cycle next_event_cycle(Cycle now) const {
+    (void)now;
+    return kNeverCycle;
+  }
+
   /// Thread halted; flush its dirty state to the backing store so the
   /// host can read results.
   virtual void on_thread_halt(int tid, Cycle now) {

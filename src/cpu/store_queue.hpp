@@ -40,6 +40,18 @@ class StoreQueue {
   /// Completion time of the last store accepted (0 if none).
   Cycle last_completion() const { return last_completion_; }
 
+  /// Earliest in-flight completion strictly after @p now — the next
+  /// cycle at which occupancy drops (kNeverCycle if the queue is
+  /// quiescent). Event-skip input: between @p now and this cycle the
+  /// queue's observable state cannot change on its own.
+  Cycle next_event_cycle(Cycle now) const {
+    Cycle next = kNeverCycle;
+    for (const Cycle c : completion_) {
+      if (c > now && c < next) next = c;
+    }
+    return next;
+  }
+
   /// Checkpoint the in-flight completion times.
   void save_state(ckpt::Encoder& enc) const {
     enc.put_cycle_vec(completion_);

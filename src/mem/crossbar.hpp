@@ -20,6 +20,12 @@ class Crossbar final : public MemLevel {
 
   Cycle line_access(Addr line_addr, bool is_write, Cycle now) override;
 
+  /// Shared-link release strictly after @p now (kNeverCycle when the
+  /// link is idle). Event-skip input.
+  Cycle next_event_cycle(Cycle now) const {
+    return link_next_free_ > now ? link_next_free_ : kNeverCycle;
+  }
+
   const StatSet& stats() const { return stats_; }
   void reset();
 

@@ -34,6 +34,11 @@ class DramModel final : public MemLevel {
   /// Completion time of a line access issued at @p now.
   Cycle line_access(Addr line_addr, bool is_write, Cycle now) override;
 
+  /// Earliest bank/bus release strictly after @p now (kNeverCycle if
+  /// everything is free). Event-skip input: the model resolves all
+  /// timing at issue, so nothing changes on its own before this cycle.
+  Cycle next_event_cycle(Cycle now) const;
+
   const StatSet& stats() const { return stats_; }
   StatSet& stats() { return stats_; }
 

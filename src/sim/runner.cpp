@@ -25,6 +25,7 @@ SystemConfig build_config(const RunSpec& spec) {
     config.mem.dcache.hit_latency = spec.dcache_latency;
   }
   if (spec.max_cycles != 0) config.core.max_cycles = spec.max_cycles;
+  config.core.skip = !spec.no_skip;
   return config;
 }
 

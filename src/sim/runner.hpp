@@ -33,6 +33,10 @@ struct RunSpec {
   /// Arm the lockstep reference oracle and hard invariants
   /// (System::enable_check); divergence throws check::CheckError.
   bool check = false;
+  /// Disable event-driven cycle skipping (CgmtCoreConfig::skip) and
+  /// force the cycle-stepped loops. Results are bit-identical either
+  /// way; skipping only trades simulator wall-clock.
+  bool no_skip = false;
 };
 
 /// Build the SystemConfig a RunSpec describes (exposed for tests).

@@ -1,5 +1,6 @@
 #include "sim/system.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace virec::sim {
@@ -135,6 +136,29 @@ void System::take_sample(Cycle prev_cycle, u64 prev_instructions) {
   samples_.push_back(s);
 }
 
+Cycle System::max_core_cycle() const {
+  Cycle now = 0;
+  for (const auto& core : cores_) now = std::max(now, core->cycle());
+  return now;
+}
+
+Cycle System::global_skip_target(Cycle now, Cycle next_checkpoint,
+                                 Cycle limit) const {
+  Cycle target = kNeverCycle;
+  for (const auto& core : cores_) {
+    if (core->done()) continue;
+    // Cheap bail-out before the full event evaluation: a core that is
+    // not stall-shaped almost certainly works next cycle.
+    if (!core->maybe_quiet()) return now;
+    target = std::min(target, core->next_event_cycle());
+    if (target <= now + 1) return target;  // someone works next cycle
+  }
+  target = std::min(target, ms_->next_event_cycle(now));
+  if (sample_interval_ > 0) target = std::min(target, sample_next_);
+  if (checkpoint_every_ > 0) target = std::min(target, next_checkpoint);
+  return std::min(target, limit);
+}
+
 RunResult System::run() {
   if (!restored_) {
     samples_.clear();
@@ -155,21 +179,41 @@ RunResult System::run() {
     if (checkpoint_every_ > 0) {
       // Align the checkpoint grid with the core cycle count so a
       // restored run checkpoints at the same cycles as a fresh one.
-      Cycle now = 0;
-      for (auto& core : cores_) now = std::max(now, core->cycle());
+      const Cycle now = max_core_cycle();
       next_checkpoint = checkpoint_every_;
       while (next_checkpoint <= now) next_checkpoint += checkpoint_every_;
     }
+    // First cycle at which the watchdog fires (saturating).
+    const Cycle limit = config_.core.max_cycles + 1 == 0
+                            ? kNeverCycle
+                            : config_.core.max_cycles + 1;
     while (any_running) {
       any_running = false;
-      for (auto& core : cores_) {
-        if (!core->done()) {
-          core->step();
-          any_running = true;
+      if (config_.core.skip) {
+        // All live cores share the same cycle in lockstep, so a jump
+        // to the min over their next events (and the memory system's)
+        // reproduces the stepped interleaving exactly: no core would
+        // have done anything but bump a stall counter in between.
+        const Cycle target =
+            global_skip_target(max_core_cycle(), next_checkpoint, limit);
+        if (target > max_core_cycle() + 1) {
+          for (auto& core : cores_) {
+            if (!core->done()) {
+              core->skip_to(target);
+              any_running = true;
+            }
+          }
         }
       }
-      Cycle now = 0;
-      for (auto& core : cores_) now = std::max(now, core->cycle());
+      if (!any_running) {
+        for (auto& core : cores_) {
+          if (!core->done()) {
+            core->step();
+            any_running = true;
+          }
+        }
+      }
+      const Cycle now = max_core_cycle();
       if (sample_interval_ > 0 && now >= sample_next_) {
         take_sample(sample_prev_cycle_, sample_prev_instructions_);
         if (!samples_.empty()) {
@@ -293,7 +337,10 @@ u64 System::config_hash() const {
   h = hash_u64(h, v.rollback_depth);
   h = hash_u64(h, v.seed);
   // config_.core.max_cycles is deliberately excluded: restoring with a
-  // larger watchdog budget must be allowed.
+  // larger watchdog budget must be allowed. config_.core.skip is
+  // excluded too: cycle skipping is a pure simulator-speed knob with
+  // no state of its own, so snapshots move freely between skip-on and
+  // --no-skip runs.
   h = hash_u64(h, config_.core.num_threads);
   h = hash_u64(h, config_.core.sq_entries);
   h = hash_u64(h, config_.core.switch_on_miss ? 1 : 0);

@@ -73,7 +73,9 @@ class System {
   void set_detailed_stats(bool on) { registry_.set_detailed(on); }
 
   /// Record a Sample every @p interval cycles during run() (0 turns
-  /// sampling off). Forces the cycle-stepped run loop.
+  /// sampling off). Forces the lockstep run loop; event skips are
+  /// clamped to the sampling grid so samples land on the same cycles
+  /// either way.
   void set_sample_interval(Cycle interval) { sample_interval_ = interval; }
   const std::vector<Sample>& samples() const { return samples_; }
 
@@ -107,7 +109,9 @@ class System {
   void restore(const std::string& path);
 
   /// Save a snapshot to "<dir>/ckpt-<cycle>.vckpt" every @p every
-  /// cycles during run() (0 disables). Forces the cycle-stepped loop.
+  /// cycles during run() (0 disables). Forces the lockstep loop; event
+  /// skips are clamped to the checkpoint grid so snapshots land on the
+  /// same cycles either way.
   void set_checkpointing(Cycle every, std::string dir) {
     checkpoint_every_ = every;
     checkpoint_dir_ = std::move(dir);
@@ -118,6 +122,14 @@ class System {
   std::unique_ptr<cpu::ContextManager> make_manager(const cpu::CoreEnv& env);
   void build_registry();
   void take_sample(Cycle prev_cycle, u64 prev_instructions);
+  /// Global clock of the lockstep loop: max cycle over all cores.
+  Cycle max_core_cycle() const;
+  /// Largest cycle every live core (and the memory system) is provably
+  /// quiet until, clamped to the sampling grid, the checkpoint grid
+  /// and the watchdog limit so those observe exactly the cycles they
+  /// would in a stepped run. <= now + 1 means "no profitable skip".
+  Cycle global_skip_target(Cycle now, Cycle next_checkpoint,
+                           Cycle limit) const;
 
   SystemConfig config_;
   const workloads::Workload& workload_;
