@@ -12,11 +12,14 @@
 // or, with --json, one JSON document carrying the config echo, the
 // results and every typed stat (see docs/observability.md).
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -24,6 +27,7 @@
 #include "check/harness.hpp"
 #include "check/repro.hpp"
 #include "ckpt/journal.hpp"
+#include "common/table.hpp"
 #include "cpu/perfetto_trace.hpp"
 #include "cpu/trace.hpp"
 #include "sim/observability.hpp"
@@ -45,6 +49,10 @@ struct Options {
   bool help = false;
   u32 trace_core = 0;
   bool json = false;
+  bool cpi_stack = false;  // print the closed cycle-accounting table
+  bool lint_stats = false; // stat-schema lint mode (CI)
+  bool progress = false;   // JSON heartbeat lines on stderr
+  double progress_secs = 1.0;
   std::string json_path;   // empty = stdout
   std::string trace_out;   // Perfetto trace file; empty = off
   u64 sample_interval = 0;
@@ -91,7 +99,22 @@ void print_usage() {
       "  --json[=FILE]       emit the run report as JSON (stdout or FILE);\n"
       "                      enables histogram/distribution collection\n"
       "  --sample-interval N record a time-series sample every N cycles\n"
-      "                      (reported in the JSON time_series section)\n"
+      "                      (reported in the JSON time_series section;\n"
+      "                      with --trace-out, also emits Perfetto\n"
+      "                      counter tracks per core: CPI stack, IPC,\n"
+      "                      MSHRs in flight, store-queue depth, ready\n"
+      "                      threads)\n"
+      "  --cpi-stack         print the closed cycle-accounting table\n"
+      "                      (every cycle attributed to one bucket;\n"
+      "                      single-run only, docs/observability.md)\n"
+      "  --progress[=SECS]   emit a JSON heartbeat line on stderr every\n"
+      "                      SECS seconds (default 1) of wall time —\n"
+      "                      cycle, IPC, top stall bucket, skip\n"
+      "                      efficiency and ETA for a single run;\n"
+      "                      points done/total for a sweep\n"
+      "  --lint-stats        stat-schema lint: build every scheme and\n"
+      "                      fail (exit 1) if any registered stat lacks\n"
+      "                      a description; used by CI\n"
       "  --stats             dump every component counter\n"
       "  --area              print the area/delay report for this config\n"
       "  --max-cycles N      watchdog: abort (naming the stuck core/\n"
@@ -226,6 +249,16 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.trace_core = static_cast<u32>(u64_value());
     else if (arg == "--trace-out") opt.trace_out = value();
     else if (arg == "--sample-interval") opt.sample_interval = u64_value();
+    else if (arg == "--cpi-stack") opt.cpi_stack = true;
+    else if (arg == "--lint-stats") opt.lint_stats = true;
+    else if (arg == "--progress") opt.progress = true;
+    else if (arg.rfind("--progress=", 0) == 0) {
+      opt.progress = true;
+      opt.progress_secs = parse_double("--progress", arg.substr(11));
+      if (opt.progress_secs <= 0) {
+        throw std::invalid_argument("--progress: interval must be > 0");
+      }
+    }
     else if (arg == "--json") opt.json = true;
     else if (arg.rfind("--json=", 0) == 0) {
       opt.json = true;
@@ -315,10 +348,11 @@ sim::Sweep build_sweep(const Options& opt) {
 
 int run_sweep_mode(const Options& opt) {
   if (opt.trace || !opt.trace_out.empty() || opt.sample_interval > 0 ||
-      opt.stats || opt.area) {
+      opt.stats || opt.area || opt.cpi_stack) {
     throw std::invalid_argument(
-        "--trace/--trace-out/--sample-interval/--stats/--area are "
-        "single-run options and cannot be combined with --sweep");
+        "--trace/--trace-out/--sample-interval/--stats/--area/"
+        "--cpi-stack are single-run options and cannot be combined "
+        "with --sweep");
   }
   if (opt.checkpoint_every > 0 || !opt.checkpoint_out.empty() ||
       !opt.restore_path.empty()) {
@@ -336,7 +370,31 @@ int run_sweep_mode(const Options& opt) {
               << " point(s) already journalled in " << opt.resume_path
               << "\n";
   }
-  const sim::SweepResults results = sweep.run(opt.jobs, journal.get());
+  sim::Sweep::SweepProgressFn on_point;
+  if (opt.progress) {
+    // Called from worker threads: one mutex serialises the stderr
+    // lines. ETA extrapolates the observed completion rate.
+    auto mu = std::make_shared<std::mutex>();
+    const auto t0 = std::chrono::steady_clock::now();
+    on_point = [mu, t0](std::size_t done, std::size_t total,
+                        double point_secs) {
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double eta =
+          done == 0 ? 0.0
+                    : wall * static_cast<double>(total - done) /
+                          static_cast<double>(done);
+      std::lock_guard<std::mutex> lock(*mu);
+      std::cerr << "{\"type\": \"sweep\", \"done\": " << done
+                << ", \"total\": " << total
+                << ", \"point_secs\": " << point_secs
+                << ", \"wall_secs\": " << wall << ", \"eta_secs\": " << eta
+                << "}\n";
+    };
+  }
+  const sim::SweepResults results =
+      sweep.run(opt.jobs, journal.get(), std::move(on_point));
   if (opt.json) {
     if (opt.json_path.empty()) {
       results.write_json(std::cout);
@@ -349,6 +407,56 @@ int run_sweep_mode(const Options& opt) {
   } else {
     results.write_csv(std::cout);
   }
+  return 0;
+}
+
+/// --lint-stats: build (and briefly run) a tiny system per scheme so
+/// every component type registers its stats, then require a non-empty
+/// description on each registered scalar, histogram and distribution.
+/// CI runs this so a counter can't land without documentation.
+int run_lint_stats() {
+  const char* schemes[] = {"banked",         "software", "prefetch-full",
+                           "prefetch-exact", "virec",    "nsf"};
+  int missing = 0;
+  for (const char* scheme : schemes) {
+    sim::RunSpec spec;
+    spec.workload = "gather";
+    spec.scheme = sim::parse_scheme(scheme);
+    spec.params.iters_per_thread = 1;
+    spec.params.elements = 256;
+    const workloads::Workload& workload =
+        workloads::find_workload(spec.workload);
+    sim::System system(sim::build_config(spec), workload, spec.params);
+    // Run so stats created lazily on first inc() are registered too.
+    system.run();
+    for (const Stat& s : system.registry().all_scalars()) {
+      if (!s.desc.empty()) continue;
+      std::cerr << "lint: stat without description: " << scheme << ": "
+                << s.name << "\n";
+      ++missing;
+    }
+    for (const StatRegistry::Entry& entry : system.registry().entries()) {
+      for (const auto& h : entry.set->histograms()) {
+        if (h->desc().empty()) {
+          std::cerr << "lint: histogram without description: " << scheme
+                    << ": " << h->name() << "\n";
+          ++missing;
+        }
+      }
+      for (const auto& d : entry.set->distributions()) {
+        if (d->desc().empty()) {
+          std::cerr << "lint: distribution without description: " << scheme
+                    << ": " << d->name() << "\n";
+          ++missing;
+        }
+      }
+    }
+  }
+  if (missing > 0) {
+    std::cerr << "lint: " << missing << " stat(s) lack a description\n";
+    return 1;
+  }
+  std::cout << "lint: every registered stat carries a description\n";
   return 0;
 }
 
@@ -400,6 +508,7 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (opt.lint_stats) return run_lint_stats();
     if (!opt.replay_path.empty()) return run_replay_mode(opt);
     if (opt.sweep) return run_sweep_mode(opt);
 
@@ -461,6 +570,85 @@ int main(int argc, char** argv) {
     if (opt.sample_interval > 0) {
       system.set_sample_interval(opt.sample_interval);
     }
+
+    // Perfetto counter tracks ride the sampling grid: at every sample,
+    // emit per-core series — the CPI stack (cycles per bucket within
+    // the elapsed epoch), epoch IPC, and instantaneous MSHR / store-
+    // queue / ready-thread occupancy.
+    struct CounterState {
+      std::array<double, kNumCycleBuckets> cpi{};
+      u64 instructions = 0;
+      Cycle cycle = 0;
+    };
+    auto counter_state = std::make_shared<std::vector<CounterState>>(
+        opt.spec.num_cores);
+    if (trace_writer && opt.sample_interval > 0) {
+      system.set_sample_hook([&system, &opt, counter_state,
+                              w = trace_writer.get()](const sim::Sample& s) {
+        for (u32 c = 0; c < opt.spec.num_cores; ++c) {
+          CounterState& st = (*counter_state)[c];
+          const cpu::CgmtCore& core = system.core(c);
+          const CycleAccount& acct = core.cycle_account();
+          std::ostringstream stack;
+          stack << "{";
+          for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+            const double v = acct.bucket(static_cast<CycleBucket>(b));
+            if (b != 0) stack << ", ";
+            stack << '"' << cycle_bucket_name(static_cast<CycleBucket>(b))
+                  << "\": " << v - st.cpi[b];
+            st.cpi[b] = v;
+          }
+          stack << "}";
+          w->counter_event("cpi stack", c, s.cycle, stack.str());
+          const Cycle cycle = core.cycle();
+          const u64 instructions = core.instructions();
+          const double epoch_ipc =
+              cycle > st.cycle
+                  ? static_cast<double>(instructions - st.instructions) /
+                        static_cast<double>(cycle - st.cycle)
+                  : 0.0;
+          st.cycle = cycle;
+          st.instructions = instructions;
+          std::ostringstream ipc;
+          ipc << "{\"ipc\": " << epoch_ipc << "}";
+          w->counter_event("ipc", c, s.cycle, ipc.str());
+          std::ostringstream occ;
+          occ << "{\"busy\": "
+              << system.memory_system().dcache(c).outstanding_misses(s.cycle)
+              << "}";
+          w->counter_event("mshrs in flight", c, s.cycle, occ.str());
+          std::ostringstream sq;
+          sq << "{\"entries\": " << core.sq_occupancy(s.cycle) << "}";
+          w->counter_event("store queue", c, s.cycle, sq.str());
+          std::ostringstream ready;
+          ready << "{\"ready\": " << core.runnable_threads(s.cycle) << "}";
+          w->counter_event("ready threads", c, s.cycle, ready.str());
+        }
+      });
+    }
+
+    if (opt.progress) {
+      system.set_progress(
+          [](const sim::RunProgress& p) {
+            // ETA against the watchdog budget: an upper bound, since
+            // most runs finish well before max_cycles.
+            const double eta =
+                (p.max_cycles > 0 && p.cycle > 0 && p.wall_secs > 0)
+                    ? p.wall_secs *
+                          static_cast<double>(p.max_cycles - p.cycle) /
+                          static_cast<double>(p.cycle)
+                    : 0.0;
+            std::cerr << "{\"type\": \"run\", \"cycle\": " << p.cycle
+                      << ", \"instructions\": " << p.instructions
+                      << ", \"ipc\": " << p.ipc << ", \"top_stall\": \""
+                      << p.top_stall
+                      << "\", \"top_stall_frac\": " << p.top_stall_frac
+                      << ", \"skip_efficiency\": " << p.skip_efficiency
+                      << ", \"wall_secs\": " << p.wall_secs
+                      << ", \"eta_secs\": " << eta << "}\n";
+          },
+          opt.progress_secs);
+    }
     if (opt.checkpoint_every > 0) {
       std::filesystem::create_directories(opt.checkpoint_out);
       system.set_checkpointing(opt.checkpoint_every, opt.checkpoint_out);
@@ -510,6 +698,30 @@ int main(int argc, char** argv) {
                 << "rf_fills " << result.rf_fills << "\n"
                 << "rf_spills " << result.rf_spills << "\n"
                 << "check " << (result.check_ok ? "OK" : "FAIL") << "\n";
+    }
+
+    if (opt.cpi_stack) {
+      // Closed cycle accounting: every simulated cycle of every core is
+      // in exactly one bucket, so shares sum to 100% and the CPI column
+      // sums to the run's overall CPI.
+      Table table({"bucket", "cycles", "share", "cpi"});
+      double total = 0.0;
+      for (const double v : result.cpi_stack) total += v;
+      for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+        const double v = result.cpi_stack[b];
+        table.add_row(
+            {cycle_bucket_name(static_cast<CycleBucket>(b)),
+             Table::fmt(v, 0), Table::fmt_pct(total == 0 ? 0 : v / total),
+             Table::fmt(result.instructions == 0
+                            ? 0
+                            : v / static_cast<double>(result.instructions))});
+      }
+      table.add_row({"total", Table::fmt(total, 0), Table::fmt_pct(1.0),
+                     Table::fmt(result.instructions == 0
+                                    ? 0
+                                    : total / static_cast<double>(
+                                                  result.instructions))});
+      table.print(std::cout);
     }
 
     if (opt.stats && !opt.json) {

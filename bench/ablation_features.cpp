@@ -78,6 +78,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> headers = {"variant"};
   for (const char* k : kernels) headers.emplace_back(k);
   headers.emplace_back("geomean");
+  // CPI-stack columns (gather): how each ablated feature shifts cycles
+  // between memory stalls and context-switch loss.
+  headers.emplace_back("mem cpi");
+  headers.emplace_back("sw cpi");
   Table table(headers);
 
   // Every (variant, kernel) point is an independent simulation; run
@@ -110,6 +114,11 @@ int main(int argc, char** argv) {
       row.push_back(Table::fmt(slowdown, 3));
     }
     row.push_back(Table::fmt(geomean(rel), 3));
+    // kernels[0] is gather: the row-major index of its result is the
+    // start of this variant's block.
+    const sim::RunResult& gather = results[vi * kernels.size()];
+    row.push_back(Table::fmt(bench::mem_stall_cpi(gather), 2));
+    row.push_back(Table::fmt(bench::switch_cpi(gather), 2));
     table.add_row(row);
   }
   table.print(std::cout);

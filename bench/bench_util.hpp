@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cycle_account.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "sim/parallel.hpp"
@@ -37,6 +38,32 @@ inline void print_header(const std::string& title, const std::string& paper) {
 /// Performance = work / time, normalised so the baseline run is 1.0.
 inline double relative_perf(Cycle baseline, Cycle measured) {
   return static_cast<double>(baseline) / static_cast<double>(measured);
+}
+
+/// Cycles per instruction charged to @p buckets of @p r's closed cycle
+/// stack (0 when nothing committed).
+inline double cpi_of(const sim::RunResult& r,
+                     std::initializer_list<CycleBucket> buckets) {
+  if (r.instructions == 0) return 0.0;
+  double cycles = 0.0;
+  for (const CycleBucket b : buckets) {
+    cycles += r.cpi_stack[static_cast<std::size_t>(b)];
+  }
+  return cycles / static_cast<double>(r.instructions);
+}
+
+/// CPI lost to the memory system: data/register-region/MSHR miss
+/// stalls plus store-queue backpressure.
+inline double mem_stall_cpi(const sim::RunResult& r) {
+  return cpi_of(r, {CycleBucket::kMemData, CycleBucket::kMemReg,
+                    CycleBucket::kMemMshr, CycleBucket::kSqFull});
+}
+
+/// CPI lost to context switching: the switch bubble itself plus cycles
+/// a switch was wanted but no target was ready / the mask blocked it.
+inline double switch_cpi(const sim::RunResult& r) {
+  return cpi_of(r, {CycleBucket::kSwitchOverhead, CycleBucket::kSwitchNoTarget,
+                    CycleBucket::kSwitchMasked});
 }
 
 /// Worker count for a harness: `--jobs N` on the command line, else the

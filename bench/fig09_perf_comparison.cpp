@@ -83,6 +83,27 @@ int main(int argc, char** argv) {
                    Table::fmt(geomean(nsf), 2), Table::fmt(geomean(pfx), 2),
                    Table::fmt(geomean(pff), 2)});
     table.print(std::cout);
+
+    // Where the lost cycles go, from the closed cycle accounting:
+    // memory-stall CPI (data/reg/MSHR misses + SQ backpressure) and
+    // context-switch CPI (bubble + switch-starved cycles). ViReC's gap
+    // to banked should show up as switch CPI, not extra memory CPI.
+    Table cpi({"workload", "banked mem", "v80 mem", "v80 switch", "nsf mem",
+               "nsf switch"});
+    for (const workloads::Workload* w : workloads::figure_workloads()) {
+      const sim::RunResult& banked = runner.result(
+          spec_for(w->name(), sim::Scheme::kBanked, threads, 1.0));
+      const sim::RunResult& v80 = runner.result(
+          spec_for(w->name(), sim::Scheme::kViReC, threads, 0.8));
+      const sim::RunResult& nsf = runner.result(
+          spec_for(w->name(), sim::Scheme::kNSF, threads, 0.8));
+      cpi.add_row({w->name(), Table::fmt(bench::mem_stall_cpi(banked), 2),
+                   Table::fmt(bench::mem_stall_cpi(v80), 2),
+                   Table::fmt(bench::switch_cpi(v80), 2),
+                   Table::fmt(bench::mem_stall_cpi(nsf), 2),
+                   Table::fmt(bench::switch_cpi(nsf), 2)});
+    }
+    cpi.print(std::cout);
     std::cout << "virec80 vs nsf80 speedup: "
               << Table::fmt_pct(geomean(v80) / geomean(nsf) - 1.0, 1)
               << "   virec80 vs pf-exact80: "

@@ -30,7 +30,7 @@ namespace virec::ckpt {
 
 /// Bumped whenever the snapshot layout changes incompatibly. Restoring
 /// a file with a different version fails cleanly.
-inline constexpr u32 kFormatVersion = 1;
+inline constexpr u32 kFormatVersion = 2;  // v2: cycle-accounting state
 inline constexpr u32 kMagic = 0x504b4356u;  // "VCKP"
 
 /// Assembles a snapshot in memory, then writes it atomically.

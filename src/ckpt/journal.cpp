@@ -11,7 +11,9 @@ namespace virec::ckpt {
 
 namespace {
 
-constexpr const char* kLineTag = "VJ1";
+// VJ2 appended the 13 cycle-accounting buckets. VJ1 lines fail the tag
+// check and are silently re-run — safe, just slower on first resume.
+constexpr const char* kLineTag = "VJ2";
 
 u64 fnv1a(u64 h, const void* data, std::size_t size) {
   const u8* p = static_cast<const u8*>(data);
@@ -89,12 +91,13 @@ std::size_t SweepJournal::load() {
     char tag[8] = {0};
     u64 hash = 0, cycles = 0, instructions = 0, switches = 0, fills = 0,
         spills = 0, ipc_bits = 0, hit_bits = 0, miss_bits = 0;
+    int consumed = 0;
     const int n = std::sscanf(
         body.c_str(),
         "%7s %" SCNx64 " %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
-        " %" SCNu64 " %" SCNx64 " %" SCNx64 " %" SCNx64,
+        " %" SCNu64 " %" SCNx64 " %" SCNx64 " %" SCNx64 "%n",
         tag, &hash, &cycles, &instructions, &switches, &fills, &spills,
-        &ipc_bits, &hit_bits, &miss_bits);
+        &ipc_bits, &hit_bits, &miss_bits, &consumed);
     if (n != 10 || std::string(tag) != kLineTag) continue;
 
     sim::RunResult r;
@@ -106,6 +109,20 @@ std::size_t SweepJournal::load() {
     r.ipc = bits_f64(ipc_bits);
     r.rf_hit_rate = bits_f64(hit_bits);
     r.avg_dcache_miss_latency = bits_f64(miss_bits);
+    // Cycle-accounting stack, one hex-bit-pattern double per bucket.
+    const char* rest = body.c_str() + consumed;
+    bool stack_ok = true;
+    for (double& v : r.cpi_stack) {
+      u64 bits = 0;
+      int used = 0;
+      if (std::sscanf(rest, " %" SCNx64 "%n", &bits, &used) != 1) {
+        stack_ok = false;
+        break;
+      }
+      v = bits_f64(bits);
+      rest += used;
+    }
+    if (!stack_ok) continue;
     r.check_ok = true;  // only passing runs are journalled
     entries_[hash] = r;
   }
@@ -120,15 +137,19 @@ bool SweepJournal::lookup(u64 hash, sim::RunResult* out) const {
 }
 
 void SweepJournal::record(u64 hash, const sim::RunResult& result) {
-  char body[256];
-  std::snprintf(body, sizeof body,
-                "%s %016" PRIx64 " %" PRIu64 " %" PRIu64 " %" PRIu64
-                " %" PRIu64 " %" PRIu64 " %016" PRIx64 " %016" PRIx64
-                " %016" PRIx64,
-                kLineTag, hash, result.cycles, result.instructions,
-                result.context_switches, result.rf_fills, result.rf_spills,
-                f64_bits(result.ipc), f64_bits(result.rf_hit_rate),
-                f64_bits(result.avg_dcache_miss_latency));
+  char body[512];
+  int len = std::snprintf(
+      body, sizeof body,
+      "%s %016" PRIx64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+      " %" PRIu64 " %016" PRIx64 " %016" PRIx64 " %016" PRIx64,
+      kLineTag, hash, result.cycles, result.instructions,
+      result.context_switches, result.rf_fills, result.rf_spills,
+      f64_bits(result.ipc), f64_bits(result.rf_hit_rate),
+      f64_bits(result.avg_dcache_miss_latency));
+  for (const double v : result.cpi_stack) {
+    len += std::snprintf(body + len, sizeof body - static_cast<size_t>(len),
+                         " %016" PRIx64, f64_bits(v));
+  }
   const u32 crc = crc32(body, std::strlen(body));
 
   std::lock_guard<std::mutex> lock(mutex_);

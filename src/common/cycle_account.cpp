@@ -1,0 +1,71 @@
+#include "common/cycle_account.hpp"
+
+#include <string>
+
+namespace virec {
+namespace {
+
+struct BucketInfo {
+  const char* name;
+  const char* desc;
+};
+
+constexpr BucketInfo kBuckets[kNumCycleBuckets] = {
+    {"commit", "cycles in which an instruction committed"},
+    {"pipeline", "cycles spent moving work through the pipe, no stall"},
+    {"decode_fill", "cycles decode waited on register fill/spill traffic"},
+    {"frontend_wait", "cycles the empty pipe waited on fetch/icache"},
+    {"mispredict_redirect", "cycles refilling after a mispredict flush"},
+    {"switch_overhead", "cycles draining/refilling across context switches"},
+    {"switch_no_target", "cycles wanting to switch with no ready thread"},
+    {"switch_masked", "cycles a desired switch was masked by policy"},
+    {"mem_data", "cycles blocked on a demand dcache data miss"},
+    {"mem_reg", "cycles blocked on a register-region (fill) miss"},
+    {"mem_mshr", "cycles blocked on a full MSHR file"},
+    {"sq_full", "cycles a store stalled on a full store queue"},
+    {"idle", "cycles with no runnable thread on the core"},
+};
+
+}  // namespace
+
+const char* cycle_bucket_name(CycleBucket b) {
+  return kBuckets[static_cast<std::size_t>(b)].name;
+}
+
+const char* cycle_bucket_desc(CycleBucket b) {
+  return kBuckets[static_cast<std::size_t>(b)].desc;
+}
+
+CycleAccount::CycleAccount(StatSet& stats, u32 num_threads)
+    : num_threads_(num_threads) {
+  for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+    core_[b] = stats.counter(std::string("cpi_") + kBuckets[b].name,
+                             kBuckets[b].desc);
+  }
+  thread_.resize(static_cast<std::size_t>(num_threads) * kNumCycleBuckets);
+  for (u32 t = 0; t < num_threads; ++t) {
+    const std::string stem = "cpi_t" + std::to_string(t) + "_";
+    for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+      thread_[static_cast<std::size_t>(t) * kNumCycleBuckets + b] =
+          stats.counter(stem + kBuckets[b].name,
+                        std::string("thread ") + std::to_string(t) + ": " +
+                            kBuckets[b].desc);
+    }
+  }
+}
+
+double CycleAccount::total() const {
+  double sum = 0.0;
+  for (std::size_t b = 0; b < kNumCycleBuckets; ++b) sum += *core_[b];
+  return sum;
+}
+
+double CycleAccount::thread_total(u32 tid) const {
+  double sum = 0.0;
+  for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+    sum += *thread_[static_cast<std::size_t>(tid) * kNumCycleBuckets + b];
+  }
+  return sum;
+}
+
+}  // namespace virec

@@ -1,0 +1,98 @@
+// Closed cycle accounting (CPI stacks): attribute every simulated
+// cycle of every hardware thread to exactly one leaf cause.
+//
+// A CycleAccount lives inside a core's StatSet, so the buckets ride
+// every existing surface for free — --stats dumps, --json reports,
+// checkpoint save/restore, and the skip-vs-stepped bit-equality sweep
+// in test_skip (which compares every registry scalar).
+//
+// The contract is *closure*: the sum of all buckets equals the core's
+// elapsed cycle count exactly, in both the cycle-stepped loop and the
+// event-driven skip path. CgmtCore enforces this under VIREC_CHECK
+// after every charge; docs/observability.md defines each bucket.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace virec {
+
+/// Leaf causes a cycle can be charged to. Exactly one per cycle per
+/// core; see docs/observability.md for the precise semantics of each.
+enum class CycleBucket : u8 {
+  kCommit = 0,          ///< an instruction left the pipeline this cycle
+  kPipeline,            ///< working: latch in flight, no stall condition
+  kDecodeFill,          ///< decode waiting on register fill/spill traffic
+  kFrontendWait,        ///< fetch/icache wait with work pending
+  kMispredictRedirect,  ///< refilling after a branch mispredict flush
+  kSwitchOverhead,      ///< context-switch drain + incoming-thread fill
+  kSwitchNoTarget,      ///< wanted to switch but no ready thread existed
+  kSwitchMasked,        ///< switch desired but masked (policy/eligibility)
+  kMemData,             ///< blocked on a demand dcache data miss
+  kMemReg,              ///< blocked on a register-region (fill) miss
+  kMemMshr,             ///< blocked because the MSHR file was full
+  kSqFull,              ///< store stalled on a full store queue
+  kIdle,                ///< no runnable thread on the core
+  kCount
+};
+
+inline constexpr std::size_t kNumCycleBuckets =
+    static_cast<std::size_t>(CycleBucket::kCount);
+
+/// Short stable name of a bucket ("commit", "mem_data", ...). Used for
+/// stat names (cpi_<name>), JSON keys, CSV columns and table rows.
+const char* cycle_bucket_name(CycleBucket b);
+
+/// One-line human description of a bucket (stat descriptions, docs).
+const char* cycle_bucket_desc(CycleBucket b);
+
+/// Per-core (and per-thread) cycle attribution. Registers one counter
+/// per bucket — "cpi_<name>" for the core roll-up and
+/// "cpi_t<tid>_<name>" per hardware thread — in the owning StatSet and
+/// bumps them through stable pointers, so charging costs two double
+/// adds on the hot path and the values are checkpointed / reported by
+/// the machinery that already handles every other counter.
+class CycleAccount {
+ public:
+  CycleAccount(StatSet& stats, u32 num_threads);
+
+  /// Charge @p span cycles to @p bucket, attributed to hardware thread
+  /// @p tid (tid < 0: core-level only, e.g. idle with no thread).
+  void charge(CycleBucket bucket, int tid, double span = 1.0) {
+    *core_[static_cast<std::size_t>(bucket)] += span;
+    if (tid >= 0) {
+      *thread_[static_cast<std::size_t>(tid) * kNumCycleBuckets +
+               static_cast<std::size_t>(bucket)] += span;
+    }
+  }
+
+  /// Core-level cycles charged to @p bucket.
+  double bucket(CycleBucket b) const {
+    return *core_[static_cast<std::size_t>(b)];
+  }
+
+  /// Cycles charged to @p bucket on behalf of thread @p tid.
+  double thread_bucket(u32 tid, CycleBucket b) const {
+    return *thread_[static_cast<std::size_t>(tid) * kNumCycleBuckets +
+                    static_cast<std::size_t>(b)];
+  }
+
+  /// Sum of every core-level bucket — the closure invariant compares
+  /// this against the core's elapsed cycles.
+  double total() const;
+
+  /// Sum of every bucket of thread @p tid.
+  double thread_total(u32 tid) const;
+
+  u32 num_threads() const { return num_threads_; }
+
+ private:
+  u32 num_threads_;
+  std::array<double*, kNumCycleBuckets> core_;
+  std::vector<double*> thread_;  // tid-major, kNumCycleBuckets per tid
+};
+
+}  // namespace virec

@@ -11,11 +11,16 @@ BackingStoreInterface::BackingStoreInterface(const BsiConfig& config,
       env_(env),
       stats_(stats),
       dcache_(env.ms->dcache(env.core_id)) {
-  c_fills_ = stats_.counter("bsi_fills");
-  c_dummy_fills_ = stats_.counter("bsi_dummy_fills");
-  c_spills_ = stats_.counter("bsi_spills");
-  c_sysreg_reads_ = stats_.counter("bsi_sysreg_reads");
-  c_sysreg_writes_ = stats_.counter("bsi_sysreg_writes");
+  c_fills_ = stats_.counter("bsi_fills",
+                            "register fills read from the backing store");
+  c_dummy_fills_ = stats_.counter(
+      "bsi_dummy_fills", "fills satisfied without a memory access");
+  c_spills_ = stats_.counter("bsi_spills",
+                             "register spills written to the backing store");
+  c_sysreg_reads_ = stats_.counter("bsi_sysreg_reads",
+                                   "system-register line reads");
+  c_sysreg_writes_ = stats_.counter("bsi_sysreg_writes",
+                                    "system-register line writes");
 }
 
 Cycle BackingStoreInterface::issue(Addr addr, bool is_write, Cycle now) {

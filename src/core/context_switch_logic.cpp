@@ -13,9 +13,12 @@ ContextSwitchLogic::ContextSwitchLogic(const CslConfig& config,
       stats_(stats),
       sysreg_ready_(num_threads, 0),
       buffered_(num_threads, 0) {
-  c_prefetch_late_ = stats_.counter("csl_prefetch_late");
-  c_demand_fetches_ = stats_.counter("csl_demand_sysreg_fetches");
-  c_prefetches_ = stats_.counter("csl_sysreg_prefetches");
+  c_prefetch_late_ = stats_.counter(
+      "csl_prefetch_late", "sysreg prefetches that had not landed at switch");
+  c_demand_fetches_ = stats_.counter(
+      "csl_demand_sysreg_fetches", "sysreg lines fetched on demand at switch");
+  c_prefetches_ = stats_.counter("csl_sysreg_prefetches",
+                                 "sysreg line prefetches issued ahead");
 }
 
 Cycle ContextSwitchLogic::on_thread_start(int tid, Cycle now) {

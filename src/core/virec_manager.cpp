@@ -36,7 +36,13 @@ ViReCManager::ViReCManager(const ViReCConfig& config, const cpu::CoreEnv& env)
       "rf_misses", "decode operands filled from the backing store");
   c_rf_spills_ = stats_.counter(
       "rf_spills", "dirty registers written back on eviction");
-  c_rf_evictions_ = stats_.counter("rf_evictions");
+  c_rf_evictions_ = stats_.counter(
+      "rf_evictions", "physical registers reclaimed by the eviction policy");
+  stats_.describe("context_switches", "context switches handled");
+  stats_.describe("group_spills",
+                  "spill-group writebacks batched at context switch");
+  stats_.describe("switch_prefetch_fills",
+                  "registers prefetched into the RF at context switch");
   hist_rollback_depth_ = stats_.histogram(
       "rollback_depth", "rollback-queue occupancy sampled at each decode");
   dist_decode_stall_ = stats_.distribution(

@@ -20,8 +20,10 @@ std::string bank_access_msg(int tid, isa::RegId reg, u32 num_threads) {
 BankedManager::BankedManager(const CoreEnv& env)
     : ContextManager(env, "banked"), banks_(env.num_threads) {
   for (auto& bank : banks_) bank.fill(0);
-  c_rf_accesses_ = stats_.counter("rf_accesses");
-  c_context_loads_ = stats_.counter("context_loads");
+  c_rf_accesses_ = stats_.counter("rf_accesses",
+                                  "register-file reads and writes");
+  c_context_loads_ = stats_.counter(
+      "context_loads", "bank activations on context switch");
 }
 
 Cycle BankedManager::on_thread_start(int tid, Cycle now) {

@@ -18,26 +18,39 @@ CgmtCore::CgmtCore(const CgmtCoreConfig& config, const CoreEnv& env,
       icache_(env.ms->icache(env.core_id)),
       dcache_(env.ms->dcache(env.core_id)),
       threads_(config.num_threads),
-      stats_("core") {
+      stats_("core"),
+      acct_(stats_, config.num_threads) {
   if (env.num_threads != config.num_threads) {
     throw std::invalid_argument("CgmtCore: env/config thread count mismatch");
   }
   program_.validate();
+  stats_.describe("cycles", "total simulated cycles of this core");
+  stats_.describe("instructions", "instructions committed by this core");
   c_context_switches_ =
       stats_.counter("context_switches", "CGMT context switches taken");
-  c_halts_ = stats_.counter("halts");
-  c_branches_ = stats_.counter("branches");
-  c_mispredicts_ = stats_.counter("mispredicts");
-  c_sq_full_stall_cycles_ = stats_.counter("sq_full_stall_cycles");
-  c_reg_region_miss_stalls_ = stats_.counter("reg_region_miss_stalls");
+  c_halts_ = stats_.counter("halts", "threads that executed HALT");
+  c_branches_ = stats_.counter("branches", "committed branch instructions");
+  c_mispredicts_ =
+      stats_.counter("mispredicts", "BTFN branch mispredictions at commit");
+  c_sq_full_stall_cycles_ = stats_.counter(
+      "sq_full_stall_cycles", "cycles a store stalled on a full store queue");
+  c_reg_region_miss_stalls_ = stats_.counter(
+      "reg_region_miss_stalls", "loads that missed in the register region");
   c_dcache_data_misses_ = stats_.counter(
       "dcache_data_misses", "demand data misses signalled to the CSL");
-  c_replay_misses_ = stats_.counter("replay_misses");
-  c_switch_no_target_cycles_ = stats_.counter("switch_no_target_cycles");
-  c_switch_masked_cycles_ = stats_.counter("switch_masked_cycles");
-  c_rf_miss_stall_cycles_ = stats_.counter("rf_miss_stall_cycles");
-  c_idle_cycles_ = stats_.counter("idle_cycles");
-  c_frontend_wait_cycles_ = stats_.counter("frontend_wait_cycles");
+  c_replay_misses_ = stats_.counter(
+      "replay_misses", "data misses taken again while replaying after a switch");
+  c_switch_no_target_cycles_ = stats_.counter(
+      "switch_no_target_cycles",
+      "cycles a pending switch found no ready thread");
+  c_switch_masked_cycles_ = stats_.counter(
+      "switch_masked_cycles", "cycles a pending switch was masked by the CSL");
+  c_rf_miss_stall_cycles_ = stats_.counter(
+      "rf_miss_stall_cycles", "decode stall cycles on register-file misses");
+  c_idle_cycles_ =
+      stats_.counter("idle_cycles", "cycles with no runnable thread");
+  c_frontend_wait_cycles_ = stats_.counter(
+      "frontend_wait_cycles", "cycles the empty pipe waited on fetch");
   hist_run_length_ = stats_.histogram(
       "run_length", "committed instructions between context switches");
   hist_miss_latency_ = stats_.histogram(
@@ -151,6 +164,7 @@ void CgmtCore::switch_to(int to_tid) {
   }
   ready = std::max(ready, t.start_ready);
   fetch_ready_ = ready;
+  fetch_wait_cause_ = kFwSwitch;
 }
 
 bool CgmtCore::request_context_switch(u64 resume_pc, Cycle miss_done) {
@@ -180,11 +194,16 @@ bool CgmtCore::request_context_switch(u64 resume_pc, Cycle miss_done) {
   switch_to(next);
   fetch_ready_ = std::max(fetch_ready_, csl_ready);
   committed_since_switch_ = false;
+  tag_cycle(CycleBucket::kSwitchOverhead);
   return true;
 }
 
 void CgmtCore::commit(Latch& latch) {
   const int tid = current_tid_;
+  // The commit cycle belongs to the committing thread even when the
+  // halt path below switches away in the same step.
+  acct_tag_ = CycleBucket::kCommit;
+  acct_tid_ = tid;
   Thread& t = threads_[static_cast<std::size_t>(tid)];
   if (check_ != nullptr) {
     check_->pre_commit(env_.core_id, tid, latch.inst, latch.pc, cycle_, rcm_,
@@ -239,6 +258,7 @@ void CgmtCore::commit(Latch& latch) {
     rcm_.on_mispredict_flush(tid);
     fetch_pc_ = res.next_pc;
     fetch_ready_ = std::max(fetch_ready_, cycle_ + 1);
+    fetch_wait_cause_ = kFwMispredict;
   }
 }
 
@@ -251,6 +271,7 @@ void CgmtCore::handle_mem_and_commit() {
       if (isa::is_store(mem_.inst.op)) {
         if (!sq_.push(addr, cycle_, reg_region)) {
           ++*c_sq_full_stall_cycles_;
+          tag_cycle(CycleBucket::kSqFull);
           return;  // retry next cycle
         }
         mem_.ready = cycle_;
@@ -263,9 +284,11 @@ void CgmtCore::handle_mem_and_commit() {
         if (acc.hit) {
           // Pipelined hit: the final access cycle overlaps writeback.
           mem_.ready = std::max(cycle_, acc.done - 1);
+          mem_.mem_kind = 0;
         } else if (reg_region) {
           // Register backing-store miss: never a context switch.
           mem_.ready = acc.done;
+          mem_.mem_kind = acc.mshr_stall ? 3 : 2;
           ++*c_reg_region_miss_stalls_;
         } else {
           ++*c_dcache_data_misses_;
@@ -276,6 +299,7 @@ void CgmtCore::handle_mem_and_commit() {
                                   acc.done);
           }
           mem_.ready = acc.done;
+          mem_.mem_kind = acc.mshr_stall ? 3 : 1;
           if (config_.switch_on_miss) {
             // The miss signal to the CSL arrives after the dcache tag
             // check (Figure 4, (C) -> (D)).
@@ -300,8 +324,10 @@ void CgmtCore::handle_mem_and_commit() {
                committed_since_switch_) {
       if (request_context_switch(mem_.pc, mem_.ready)) return;
       ++*c_switch_no_target_cycles_;
+      tag_cycle(CycleBucket::kSwitchNoTarget);
     } else {
       ++*c_switch_masked_cycles_;
+      tag_cycle(CycleBucket::kSwitchMasked);
     }
   }
   if (cycle_ >= mem_.ready) commit(mem_);
@@ -331,6 +357,7 @@ void CgmtCore::advance_if_id() {
     const DecodeAccess da = rcm_.on_decode(current_tid_, id_.inst, cycle_);
     id_.decoded = true;
     id_.ready = std::max(cycle_ + 1, da.ready);
+    id_.fill_wait = !da.hit;
     if (!da.hit) {
       *c_rf_miss_stall_cycles_ += double(id_.ready - (cycle_ + 1));
     }
@@ -348,6 +375,8 @@ void CgmtCore::do_fetch() {
   if_.inst = inst;
   if_.decoded = false;
   if_.mem_issued = false;
+  if_.fill_wait = false;
+  if_.mem_kind = 0;
   // Pipelined icache: hits deliver next cycle, misses stall the front end.
   if_.ready = acc.hit ? cycle_ + 1 : acc.done;
   if_.pred_next = predict_next(inst, fetch_pc_);
@@ -359,6 +388,8 @@ void CgmtCore::do_fetch() {
 
 void CgmtCore::step() {
   if (live_threads_ == 0) return;
+  acct_tag_ = CycleBucket::kCount;  // untagged until an event claims it
+  acct_tid_ = -1;
   if (current_tid_ < 0) {
     const int next = pick_next_thread();
     if (next >= 0) {
@@ -366,9 +397,13 @@ void CgmtCore::step() {
           rcm_.on_context_switch(-1, next, predict_thread_after(next), cycle_);
       switch_to(next);
       fetch_ready_ = std::max(fetch_ready_, csl_ready);
+      tag_cycle(CycleBucket::kSwitchOverhead);
     } else {
       ++*c_idle_cycles_;
+      acct_.charge(CycleBucket::kIdle, -1);
       ++cycle_;
+      VIREC_CHECK(check_, acct_.total() == static_cast<double>(cycle_),
+                  "cycle accounting must close (idle)");
       return;
     }
   }
@@ -389,7 +424,16 @@ void CgmtCore::step() {
       cycle_ < fetch_ready_) {
     ++*c_frontend_wait_cycles_;
   }
+  // Cycle accounting: if no event tagged this cycle, classify the
+  // (quiet) state — the same function skip_to() bulk-charges with.
+  if (acct_tag_ == CycleBucket::kCount) {
+    acct_tag_ = classify_quiet();
+    acct_tid_ = current_tid_;
+  }
+  acct_.charge(acct_tag_, acct_tid_);
   ++cycle_;
+  VIREC_CHECK(check_, acct_.total() == static_cast<double>(cycle_),
+              "cycle accounting must close after step");
 }
 
 Cycle CgmtCore::earliest_other_thread_ready() const {
@@ -404,6 +448,53 @@ Cycle CgmtCore::earliest_other_thread_ready() const {
     }
   }
   return next;
+}
+
+CycleBucket CgmtCore::classify_quiet() const {
+  // Priority mirrors the head-of-line blocking structure of the pipe:
+  // no thread, then a frozen switch request, then the oldest latch
+  // (MEM outwards), then the empty-pipe fetch wait. Every input is
+  // constant across a quiet stretch (next_event_cycle() bounds them),
+  // so one evaluation at the stretch head equals per-cycle evaluation.
+  if (current_tid_ < 0) return CycleBucket::kIdle;
+  if (switch_pending_) {
+    return (cycle_ >= switch_eligible_at_ && committed_since_switch_ &&
+            rcm_.switch_allowed(cycle_))
+               ? CycleBucket::kSwitchNoTarget
+               : CycleBucket::kSwitchMasked;
+  }
+  if (mem_.valid) {
+    if (mem_.mem_issued && cycle_ < mem_.ready) {
+      switch (mem_.mem_kind) {
+        case 1:
+          return CycleBucket::kMemData;
+        case 2:
+          return CycleBucket::kMemReg;
+        case 3:
+          return CycleBucket::kMemMshr;
+        default:
+          return CycleBucket::kPipeline;  // pipelined hit / non-mem latency
+      }
+    }
+    return CycleBucket::kPipeline;
+  }
+  if (ex_.valid) return CycleBucket::kPipeline;
+  if (id_.valid) {
+    return id_.fill_wait ? CycleBucket::kDecodeFill : CycleBucket::kPipeline;
+  }
+  if (if_.valid) return CycleBucket::kFrontendWait;
+  if (cycle_ < fetch_ready_) {
+    switch (fetch_wait_cause_) {
+      case kFwSwitch:
+        return CycleBucket::kSwitchOverhead;
+      case kFwMispredict:
+        return CycleBucket::kMispredictRedirect;
+      default:
+        return CycleBucket::kFrontendWait;
+    }
+  }
+  // Wrong-path runoff / store-queue drain with nothing else to do.
+  return CycleBucket::kPipeline;
 }
 
 Cycle CgmtCore::next_event_cycle() const {
@@ -485,6 +576,10 @@ void CgmtCore::skip_to(Cycle target) {
   // bookkeeping; next_event_cycle()'s bounds guarantee none of them
   // change before @p target.
   const double span = static_cast<double>(target - cycle_);
+  // Closed accounting first: classify_quiet() is exactly what step()
+  // charges each untagged cycle, so one bulk add is bit-identical to
+  // stepping the stretch.
+  acct_.charge(classify_quiet(), current_tid_, span);
   if (current_tid_ < 0) {
     *c_idle_cycles_ += span;
   } else if (switch_pending_) {
@@ -499,6 +594,8 @@ void CgmtCore::skip_to(Cycle target) {
     *c_frontend_wait_cycles_ += span;
   }
   cycle_ = target;
+  VIREC_CHECK(check_, acct_.total() == static_cast<double>(cycle_),
+              "cycle accounting must close after skip");
 }
 
 void CgmtCore::throw_max_cycles() const {
@@ -602,6 +699,8 @@ void CgmtCore::save_state(ckpt::Encoder& enc) const {
     enc.put_bool(l.decoded);
     enc.put_bool(l.mem_issued);
     enc.put_u64(l.mem_addr);
+    enc.put_bool(l.fill_wait);
+    enc.put_u8(l.mem_kind);
   };
   save_latch(if_);
   save_latch(id_);
@@ -616,6 +715,7 @@ void CgmtCore::save_state(ckpt::Encoder& enc) const {
   enc.put_u64(fetch_pc_);
   enc.put_bool(switch_pending_);
   enc.put_u64(switch_eligible_at_);
+  enc.put_u8(fetch_wait_cause_);
   enc.put_u64(episode_start_instructions_);
   sq_.save_state(enc);
   stats_.save_state(enc);
@@ -648,6 +748,8 @@ void CgmtCore::restore_state(ckpt::Decoder& dec) {
     l.decoded = dec.get_bool();
     l.mem_issued = dec.get_bool();
     l.mem_addr = dec.get_u64();
+    l.fill_wait = dec.get_bool();
+    l.mem_kind = dec.get_u8();
   };
   restore_latch(if_);
   restore_latch(id_);
@@ -662,6 +764,7 @@ void CgmtCore::restore_state(ckpt::Decoder& dec) {
   fetch_pc_ = dec.get_u64();
   switch_pending_ = dec.get_bool();
   switch_eligible_at_ = dec.get_u64();
+  fetch_wait_cause_ = dec.get_u8();
   episode_start_instructions_ = dec.get_u64();
   sq_.restore_state(dec);
   stats_.restore_state(dec);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ckpt/serialize.hpp"
+#include "common/cycle_account.hpp"
 #include "cpu/context_manager.hpp"
 #include "cpu/store_queue.hpp"
 #include "cpu/trace.hpp"
@@ -112,6 +113,13 @@ class CgmtCore {
   StatSet& stats() { return stats_; }
   ContextManager& context_manager() { return rcm_; }
 
+  /// Closed cycle accounting: every elapsed cycle attributed to one
+  /// CycleBucket (Σ buckets == cycle(), skip and stepped bit-identical).
+  const CycleAccount& cycle_account() const { return acct_; }
+
+  /// Store-queue occupancy at @p now (telemetry counter tracks).
+  u32 sq_occupancy(Cycle now) const { return sq_.occupancy(now); }
+
   /// Threads started and not yet halted.
   u32 live_threads() const { return live_threads_; }
   /// Threads that could run at @p now (started, not halted, not
@@ -164,7 +172,16 @@ class CgmtCore {
     bool decoded = false;
     bool mem_issued = false;
     Addr mem_addr = 0;   // effective address once issued
+    /// Decode waited on register fill/spill traffic (cycle accounting).
+    bool fill_wait = false;
+    /// What an issued memory access is waiting on: 0 = nothing / hit
+    /// pipeline, 1 = demand data miss, 2 = register-region miss,
+    /// 3 = MSHR-full stall (cycle accounting).
+    u8 mem_kind = 0;
   };
+
+  /// Cause of an empty-pipe fetch_ready_ wait, for cycle accounting.
+  enum FetchWaitCause : u8 { kFwFetch = 0, kFwSwitch, kFwMispredict };
 
   void do_fetch();
   void advance_if_id();
@@ -190,6 +207,17 @@ class CgmtCore {
   /// future (kNeverCycle if none) — when the scheduler next gains a
   /// candidate.
   Cycle earliest_other_thread_ready() const;
+  /// Pure classification of the current (quiet) state into a cycle
+  /// bucket. step() consults it for cycles no explicit event tagged;
+  /// skip_to() bulk-charges span * this — the two agree bit-for-bit
+  /// because next_event_cycle() bounds every input of this function.
+  CycleBucket classify_quiet() const;
+  /// Record that this step's cycle belongs to @p bucket, attributed to
+  /// the current thread.
+  void tag_cycle(CycleBucket bucket) {
+    acct_tag_ = bucket;
+    acct_tid_ = current_tid_;
+  }
   [[noreturn]] void throw_max_cycles() const;
 
   CgmtCoreConfig config_;
@@ -212,9 +240,14 @@ class CgmtCore {
   /// as soon as the CSL masks clear (or the miss returns first).
   bool switch_pending_ = false;
   Cycle switch_eligible_at_ = 0;  // miss-detection (tag check) delay
+  u8 fetch_wait_cause_ = kFwFetch;
 
   Latch if_, id_, ex_, mem_;
   StatSet stats_;
+  CycleAccount acct_;
+  // Per-step accounting scratch (reset every step; not checkpointed).
+  CycleBucket acct_tag_ = CycleBucket::kCount;
+  int acct_tid_ = -1;
   // Detailed (opt-in) histograms; owned by stats_.
   Histogram* hist_run_length_ = nullptr;
   Histogram* hist_miss_latency_ = nullptr;

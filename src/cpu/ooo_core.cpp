@@ -14,11 +14,27 @@ OooCore::OooCore(const OooCoreConfig& config, mem::MemorySystem& ms,
       ms_(ms),
       core_id_(core_id),
       program_(program),
-      stats_("ooo") {
+      stats_("ooo"),
+      acct_(stats_, /*num_threads=*/1) {
   program_.validate();
+  stats_.describe("cycles", "total simulated cycles (time of the last commit)");
+  stats_.describe("instructions", "instructions committed by this core");
+  stats_.describe("load_hits", "loads that hit in the data cache");
+  stats_.describe("load_misses", "loads that missed in the data cache");
+  stats_.describe("ret_redirects",
+                  "late front-end redirects through the link register");
 }
 
 Cycle OooCore::run(u64 entry_pc) {
+  // Coarse cycle accounting for the comparator: the commit stream is
+  // monotone, so every cycle up to the final commit is attributed by
+  // walking commit-time advances — one commit cycle per advance, the
+  // remaining gap charged to the committing instruction's dominant
+  // cause (dcache-missing load -> mem_data, otherwise pipeline; cycles
+  // before the first commit -> frontend_wait). Sums to cycles() by
+  // construction. No per-stall precision is attempted here; the CGMT
+  // core carries the exact, invariant-checked stack.
+  const double acct_base = acct_.total();
   // Per-architectural-register availability time (renaming assumed to
   // always find a free physical register: the 384-entry file of the N1
   // configuration never limits these kernels).
@@ -67,6 +83,7 @@ Cycle OooCore::run(u64 entry_pc) {
 
     // --- Execute.
     Cycle complete;
+    bool load_missed = false;
     if (isa::is_load(inst.op)) {
       const Cycle lq_free = lq[lq_head % config_.lq_entries];
       const Cycle issue = std::max(ready + 1, lq_free);  // +1 AGU
@@ -76,6 +93,7 @@ Cycle OooCore::run(u64 entry_pc) {
       complete = acc.done;
       lq[lq_head % config_.lq_entries] = complete;
       ++lq_head;
+      load_missed = !acc.hit;
       stats_.inc(acc.hit ? "load_hits" : "load_misses");
     } else if (isa::is_store(inst.op)) {
       const Cycle sq_free = sq[sq_head % config_.sq_entries];
@@ -108,6 +126,7 @@ Cycle OooCore::run(u64 entry_pc) {
     if (isa::writes_flags(inst.op)) flags_ready = complete;
 
     // --- In-order commit, width per cycle.
+    const Cycle commit_before = prev_commit;
     Cycle commit = std::max(complete, prev_commit);
     if (commit == prev_commit) {
       if (++commit_slot >= config_.width) {
@@ -118,6 +137,17 @@ Cycle OooCore::run(u64 entry_pc) {
       commit_slot = 1;
     }
     prev_commit = commit;
+    if (commit > commit_before) {
+      acct_.charge(CycleBucket::kCommit, 0);
+      const Cycle gap = commit - commit_before;
+      if (gap > 1) {
+        const CycleBucket stall =
+            instructions_ == 0 ? CycleBucket::kFrontendWait
+            : load_missed      ? CycleBucket::kMemData
+                               : CycleBucket::kPipeline;
+        acct_.charge(stall, 0, static_cast<double>(gap - 1));
+      }
+    }
     rob[rob_head % config_.rob_entries] = commit;
     ++rob_head;
     last_commit_ = std::max(last_commit_, commit);
@@ -142,6 +172,9 @@ Cycle OooCore::run(u64 entry_pc) {
   }
   stats_.set("cycles", static_cast<double>(last_commit_));
   stats_.set("instructions", static_cast<double>(instructions_));
+  VIREC_CHECK(check_,
+              acct_.total() - acct_base == static_cast<double>(last_commit_),
+              "OooCore cycle accounting must close");
   return last_commit_;
 }
 

@@ -13,6 +13,7 @@
 
 #include <array>
 
+#include "common/cycle_account.hpp"
 #include "common/stats.hpp"
 #include "isa/semantics.hpp"
 #include "kasm/program.hpp"
@@ -68,6 +69,10 @@ class OooCore {
   ArrayRegFile& regfile() { return rf_; }
   const StatSet& stats() const { return stats_; }
 
+  /// Coarse commit-gap cycle accounting (closes against cycles() by
+  /// construction; see run() for the attribution rules).
+  const CycleAccount& cycle_account() const { return acct_; }
+
   /// Attach the lockstep oracle (nullptr detaches). Both core models
   /// support checked execution, so either can be validated in place.
   void set_check(check::CheckContext* check) { check_ = check; }
@@ -81,6 +86,7 @@ class OooCore {
   u64 instructions_ = 0;
   Cycle last_commit_ = 0;
   StatSet stats_;
+  CycleAccount acct_;
   check::CheckContext* check_ = nullptr;
 };
 

@@ -71,6 +71,20 @@ void PerfettoTraceWriter::instant_event(const std::string& name,
   os_ << ", \"s\": \"t\"}";
 }
 
+void PerfettoTraceWriter::counter_event(const std::string& name, u32 pid,
+                                        Cycle ts,
+                                        const std::string& args_json) {
+  if (finished_) return;
+  // Counter tracks are process-scoped in the trace-event format: no
+  // tid, and the args object carries one entry per plotted series.
+  if (!first_) os_ << ",";
+  first_ = false;
+  ++events_;
+  os_ << "\n{\"name\": " << JsonWriter::quote(name)
+      << ", \"ph\": \"C\", \"cat\": \"counter\", \"pid\": " << pid
+      << ", \"ts\": " << ts << ", \"args\": " << args_json << "}";
+}
+
 PerfettoTracer::PerfettoTracer(PerfettoTraceWriter& writer, u32 core_id,
                                u32 num_threads)
     : writer_(writer),

@@ -50,6 +50,11 @@ class PerfettoTraceWriter {
   /// Thread-scoped instant ("i") event at @p ts.
   void instant_event(const std::string& name, const char* category, u32 pid,
                      u32 tid, Cycle ts);
+  /// Counter ("C") sample at @p ts. @p args_json carries the series
+  /// values, e.g. {"value": 3} or {"mem": 12, "switch": 4} for a
+  /// stacked multi-series counter track.
+  void counter_event(const std::string& name, u32 pid, Cycle ts,
+                     const std::string& args_json);
 
   /// Close the JSON array; further events are dropped. Idempotent.
   void finish();

@@ -21,13 +21,20 @@ PrefetchManager::PrefetchManager(const CoreEnv& env, PrefetchMode mode)
       started_(env.num_threads, false),
       prefetch_ready_(env.num_threads, 0) {
   for (auto& v : values_) v.fill(0);
-  c_rf_accesses_ = stats_.counter("rf_accesses");
-  c_reg_fills_ = stats_.counter("reg_fills");
-  c_reg_spills_ = stats_.counter("reg_spills");
-  c_demand_fills_ = stats_.counter("demand_fills");
-  c_context_switches_ = stats_.counter("context_switches");
-  c_prefetches_ = stats_.counter("prefetches");
-  c_prefetch_mispredicts_ = stats_.counter("prefetch_mispredicts");
+  c_rf_accesses_ = stats_.counter("rf_accesses",
+                                  "register-file reads and writes");
+  c_reg_fills_ = stats_.counter("reg_fills",
+                                "registers filled from the backing store");
+  c_reg_spills_ = stats_.counter("reg_spills",
+                                 "registers spilled to the backing store");
+  c_demand_fills_ = stats_.counter(
+      "demand_fills", "fills issued on demand at first post-switch use");
+  c_context_switches_ = stats_.counter("context_switches",
+                                       "context switches handled");
+  c_prefetches_ = stats_.counter("prefetches",
+                                 "register prefetches issued at switch");
+  c_prefetch_mispredicts_ = stats_.counter(
+      "prefetch_mispredicts", "prefetched registers never used before evict");
 }
 
 Cycle PrefetchManager::transfer(int tid, RegMask mask, bool is_write,

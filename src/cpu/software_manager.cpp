@@ -4,9 +4,12 @@ namespace virec::cpu {
 
 SoftwareManager::SoftwareManager(const CoreEnv& env)
     : ContextManager(env, "swctx") {
-  c_rf_accesses_ = stats_.counter("rf_accesses");
-  c_context_saves_ = stats_.counter("context_saves");
-  c_context_loads_ = stats_.counter("context_loads");
+  c_rf_accesses_ = stats_.counter("rf_accesses",
+                                  "register-file reads and writes");
+  c_context_saves_ = stats_.counter(
+      "context_saves", "full software context saves to memory at switch");
+  c_context_loads_ = stats_.counter(
+      "context_loads", "full software context loads from memory at switch");
 }
 
 Cycle SoftwareManager::save_context(int tid, Cycle now) {

@@ -20,20 +20,29 @@ Cache::Cache(const CacheConfig& config, MemLevel& below)
   set_shift_ = log2_pow2(num_sets_);
   lines_.resize(static_cast<std::size_t>(num_sets_) * config_.assoc);
   mshr_until_.assign(config_.mshrs, 0);
-  c_reads_ = stats_.counter("reads");
-  c_writes_ = stats_.counter("writes");
+  c_reads_ = stats_.counter("reads", "read accesses presented to this cache");
+  c_writes_ = stats_.counter("writes",
+                             "write accesses presented to this cache");
   c_hits_ = stats_.counter("hits",
                            "demand accesses served from a present line");
   c_misses_ = stats_.counter("misses",
                              "demand accesses that went to the next level");
-  c_coalesced_ = stats_.counter("coalesced_misses");
-  c_reg_region_misses_ = stats_.counter("reg_region_misses");
-  c_port_wait_cycles_ = stats_.counter("port_wait_cycles");
-  c_miss_latency_ = stats_.counter("miss_latency");
-  c_mshr_stall_cycles_ = stats_.counter("mshr_stall_cycles");
-  c_writebacks_ = stats_.counter("writebacks");
-  c_bypasses_ = stats_.counter("bypasses");
-  c_prefetches_ = stats_.counter("prefetches");
+  c_coalesced_ = stats_.counter(
+      "coalesced_misses", "misses merged into an already in-flight MSHR");
+  c_reg_region_misses_ = stats_.counter(
+      "reg_region_misses", "misses to the register backing-store region");
+  c_port_wait_cycles_ = stats_.counter(
+      "port_wait_cycles", "cycles accesses waited for a free cache port");
+  c_miss_latency_ = stats_.counter(
+      "miss_latency", "summed fill latency over all demand misses");
+  c_mshr_stall_cycles_ = stats_.counter(
+      "mshr_stall_cycles", "cycles accesses stalled with all MSHRs busy");
+  c_writebacks_ = stats_.counter("writebacks",
+                                 "dirty lines written back on eviction");
+  c_bypasses_ = stats_.counter("bypasses",
+                               "accesses that bypassed allocation");
+  c_prefetches_ = stats_.counter("prefetches",
+                                 "prefetch fills issued into this cache");
   hist_miss_cycles_ = stats_.histogram(
       "miss_cycles", "per-miss latency from access to data return");
 }

@@ -6,8 +6,10 @@ namespace virec::mem {
 
 Crossbar::Crossbar(const CrossbarConfig& config, MemLevel& below)
     : config_(config), below_(below), stats_("xbar") {
-  c_transfers_ = stats_.counter("transfers");
-  c_contention_cycles_ = stats_.counter("contention_cycles");
+  c_transfers_ = stats_.counter("transfers",
+                                "line transfers carried by the crossbar");
+  c_contention_cycles_ = stats_.counter(
+      "contention_cycles", "cycles transfers waited for a busy output port");
   dist_link_wait_ = stats_.distribution(
       "link_wait", "per-transfer cycles spent waiting for the shared link");
 }

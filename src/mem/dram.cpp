@@ -13,14 +13,18 @@ DramModel::DramModel(const DramConfig& config)
   if (config_.channels == 0 || config_.banks_per_channel == 0) {
     throw std::invalid_argument("DramModel: need >=1 channel and bank");
   }
-  c_reads_ = stats_.counter("reads");
-  c_writes_ = stats_.counter("writes");
+  c_reads_ = stats_.counter("reads", "DRAM read requests serviced");
+  c_writes_ = stats_.counter("writes", "DRAM write requests serviced");
   c_row_hits_ = stats_.counter("row_hits",
                                "accesses to the currently open row");
-  c_row_empty_ = stats_.counter("row_empty");
-  c_row_conflicts_ = stats_.counter("row_conflicts");
-  c_bank_conflict_cycles_ = stats_.counter("bank_conflict_cycles");
-  c_total_latency_ = stats_.counter("total_latency");
+  c_row_empty_ = stats_.counter("row_empty",
+                                "accesses that found the bank's row closed");
+  c_row_conflicts_ = stats_.counter(
+      "row_conflicts", "accesses that had to close a different open row");
+  c_bank_conflict_cycles_ = stats_.counter(
+      "bank_conflict_cycles", "cycles requests queued behind a busy bank");
+  c_total_latency_ = stats_.counter(
+      "total_latency", "summed DRAM service latency over all requests");
   dist_latency_ = stats_.distribution(
       "access_latency", "per-access cycles from issue to data return");
 }

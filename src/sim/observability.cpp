@@ -112,6 +112,58 @@ void write_json_report(std::ostream& os, const System& system,
   w.kv("check_ok", result.check_ok);
   w.end_object();
 
+  // Closed cycle accounting: bucket names once, then the system-wide
+  // totals and the per-core / per-thread splits as parallel arrays
+  // (index b of any values array is bucket buckets[b]).
+  w.key("cpi_stack");
+  w.begin_object();
+  w.key("buckets");
+  w.begin_array();
+  for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+    w.value(cycle_bucket_name(static_cast<CycleBucket>(b)));
+  }
+  w.end_array();
+  w.key("total");
+  w.begin_array();
+  for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+    w.value(result.cpi_stack[b]);
+  }
+  w.end_array();
+  w.key("per_core");
+  w.begin_array();
+  for (u32 c = 0; c < config.num_cores; ++c) {
+    const CycleAccount& acct = system.core(c).cycle_account();
+    w.begin_object();
+    w.kv("core", c);
+    w.key("cycles");
+    w.begin_array();
+    for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+      w.value(acct.bucket(static_cast<CycleBucket>(b)));
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("per_thread");
+  w.begin_array();
+  for (u32 c = 0; c < config.num_cores; ++c) {
+    const CycleAccount& acct = system.core(c).cycle_account();
+    for (u32 t = 0; t < acct.num_threads(); ++t) {
+      w.begin_object();
+      w.kv("core", c);
+      w.kv("thread", t);
+      w.key("cycles");
+      w.begin_array();
+      for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+        w.value(acct.thread_bucket(t, static_cast<CycleBucket>(b)));
+      }
+      w.end_array();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+
   w.key("stats");
   append_stats(w, system.registry());
 
@@ -130,6 +182,14 @@ void write_json_report(std::ostream& os, const System& system,
       w.kv("rf_hit_rate", s.rf_hit_rate);
       w.kv("runnable_threads", s.runnable_threads);
       w.kv("outstanding_misses", s.outstanding_misses);
+      // Cumulative cycle-accounting stack at this sample; bucket order
+      // matches cpi_stack.buckets. Diff consecutive rows for epochs.
+      w.key("cpi");
+      w.begin_array();
+      for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+        w.value(s.cpi[b]);
+      }
+      w.end_array();
       w.end_object();
     }
     w.end_array();

@@ -5,9 +5,11 @@
 //
 // Schema (see docs/observability.md):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "config":      { workload, scheme, policy, cores, ... },
 //     "results":     { cycles, instructions, ipc, ... },
+//     "cpi_stack":   { buckets, total: [...], per_core: [...],
+//                      per_thread: [...] },
 //     "stats":       [ {name, kind, desc, ...}, ... ],
 //     "time_series": { interval, samples: [...] }   // when sampled
 //   }
@@ -21,7 +23,8 @@
 namespace virec::sim {
 
 /// Current value of the report's "schema_version" field.
-inline constexpr int kReportSchemaVersion = 1;
+/// v2: added the "cpi_stack" section and per-sample "cpi" arrays.
+inline constexpr int kReportSchemaVersion = 2;
 
 /// Write the full JSON report for a finished run of @p system.
 /// @p spec is echoed into the "config" section; @p result into

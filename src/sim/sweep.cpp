@@ -1,10 +1,14 @@
 #include "sim/sweep.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <ostream>
 
 #include "ckpt/journal.hpp"
+#include "common/cycle_account.hpp"
 #include "common/json.hpp"
 #include "sim/parallel.hpp"
 
@@ -63,7 +67,11 @@ std::optional<Cycle> SweepResults::cycles_of(const std::string& workload,
 
 void SweepResults::write_csv(std::ostream& os) const {
   os << "workload,scheme,policy,cores,threads,ctx,phys_regs,cycles,"
-        "instructions,ipc,switches,rf_hit_rate,rf_fills,rf_spills\n";
+        "instructions,ipc,switches,rf_hit_rate,rf_fills,rf_spills";
+  for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+    os << ",cpi_" << cycle_bucket_name(static_cast<CycleBucket>(b));
+  }
+  os << '\n';
   for (const SweepRecord& r : records_) {
     os << r.spec.workload << ',' << scheme_name(r.spec.scheme) << ','
        << core::policy_name(r.spec.policy) << ',' << r.spec.num_cores << ','
@@ -71,7 +79,17 @@ void SweepResults::write_csv(std::ostream& os) const {
        << spec_phys_regs(r.spec) << ',' << r.result.cycles << ','
        << r.result.instructions << ',' << r.result.ipc << ','
        << r.result.context_switches << ',' << r.result.rf_hit_rate << ','
-       << r.result.rf_fills << ',' << r.result.rf_spills << '\n';
+       << r.result.rf_fills << ',' << r.result.rf_spills;
+    // CPI-stack columns: each bucket's cycles per committed instruction
+    // (their sum is the point's total CPI).
+    for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+      os << ','
+         << (r.result.instructions == 0
+                 ? 0.0
+                 : r.result.cpi_stack[b] /
+                       static_cast<double>(r.result.instructions));
+    }
+    os << '\n';
   }
 }
 
@@ -100,6 +118,13 @@ void SweepResults::write_json(std::ostream& os) const {
     w.kv("rf_fills", r.result.rf_fills);
     w.kv("rf_spills", r.result.rf_spills);
     w.kv("check_ok", r.result.check_ok);
+    w.key("cpi_stack");
+    w.begin_object();
+    for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+      w.kv(cycle_bucket_name(static_cast<CycleBucket>(b)),
+           r.result.cpi_stack[b]);
+    }
+    w.end_object();
     w.end_object();
     w.end_object();
   }
@@ -181,10 +206,11 @@ std::vector<RunSpec> Sweep::specs() const {
   return out;
 }
 
-SweepResults Sweep::run(u32 jobs, ckpt::SweepJournal* journal) const {
+SweepResults Sweep::run(u32 jobs, ckpt::SweepJournal* journal,
+                        SweepProgressFn on_point) const {
   std::vector<RunSpec> grid = specs();
   std::vector<RunResult> results(grid.size());
-  if (journal == nullptr) {
+  if (journal == nullptr && !on_point) {
     results = run_specs(grid, jobs);
   } else {
     // Resume: skip points the journal already records, run the rest,
@@ -192,17 +218,34 @@ SweepResults Sweep::run(u32 jobs, ckpt::SweepJournal* journal) const {
     // progress). Results are reassembled in grid order either way.
     std::vector<std::size_t> pending;
     for (std::size_t i = 0; i < grid.size(); ++i) {
-      if (!journal->lookup(ckpt::spec_hash(grid[i]), &results[i])) {
+      if (journal == nullptr ||
+          !journal->lookup(ckpt::spec_hash(grid[i]), &results[i])) {
         pending.push_back(i);
       }
     }
+    const std::size_t total = grid.size();
+    // Shared across worker threads: points completed so far. Journal
+    // hits count as done immediately (one up-front heartbeat).
+    auto done =
+        std::make_shared<std::atomic<std::size_t>>(total - pending.size());
+    if (on_point && done->load() > 0) on_point(done->load(), total, 0.0);
     ParallelExecutor pool(jobs);
     for (const std::size_t idx : pending) {
       const RunSpec& spec = grid[idx];
       pool.submit_task(
-          [spec, journal] {
+          [spec, journal, on_point, done, total] {
+            const auto t0 = std::chrono::steady_clock::now();
             RunResult result = run_spec(spec);
-            journal->record(ckpt::spec_hash(spec), result);
+            if (journal != nullptr) {
+              journal->record(ckpt::spec_hash(spec), result);
+            }
+            if (on_point) {
+              const double secs =
+                  std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+              on_point(done->fetch_add(1) + 1, total, secs);
+            }
             return result;
           },
           spec_label(spec));

@@ -107,7 +107,16 @@ class Sweep {
   /// their journalled results used instead, and every fresh completion
   /// is appended to it — so an interrupted sweep resumed against the
   /// same journal reproduces the uninterrupted output byte for byte.
-  SweepResults run(u32 jobs = 1, ckpt::SweepJournal* journal = nullptr) const;
+  ///
+  /// @p on_point, when set, is invoked after each point completes —
+  /// (points done so far, total points, wall seconds the completing
+  /// point took; 0 for journal hits, reported once up front). It may
+  /// be called concurrently from worker threads: make it thread-safe.
+  using SweepProgressFn =
+      std::function<void(std::size_t done, std::size_t total,
+                         double point_wall_secs)>;
+  SweepResults run(u32 jobs = 1, ckpt::SweepJournal* journal = nullptr,
+                   SweepProgressFn on_point = {}) const;
 
  private:
   RunSpec base_;

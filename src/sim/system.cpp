@@ -1,6 +1,7 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace virec::sim {
@@ -133,7 +134,17 @@ void System::take_sample(Cycle prev_cycle, u64 prev_instructions) {
     s.runnable_threads += cores_[c]->runnable_threads(s.cycle);
     s.outstanding_misses += ms_->dcache(c).outstanding_misses(s.cycle);
   }
+  for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+    s.cpi[b] = cpi_bucket_cycles(static_cast<CycleBucket>(b));
+  }
   samples_.push_back(s);
+  if (sample_hook_) sample_hook_(samples_.back());
+}
+
+double System::cpi_bucket_cycles(CycleBucket b) const {
+  double sum = 0.0;
+  for (const auto& core : cores_) sum += core->cycle_account().bucket(b);
+  return sum;
 }
 
 Cycle System::max_core_cycle() const {
@@ -167,8 +178,8 @@ RunResult System::run() {
     sample_prev_instructions_ = 0;
   }
   restored_ = false;
-  if (cores_.size() == 1 && sample_interval_ == 0 &&
-      checkpoint_every_ == 0) {
+  if (cores_.size() == 1 && sample_interval_ == 0 && checkpoint_every_ == 0 &&
+      !progress_) {
     cores_[0]->run();
   } else {
     // Lockstep multi-core simulation so crossbar/DRAM contention is
@@ -187,6 +198,50 @@ RunResult System::run() {
     const Cycle limit = config_.core.max_cycles + 1 == 0
                             ? kNeverCycle
                             : config_.core.max_cycles + 1;
+    // Live telemetry bookkeeping (observers only: the heartbeat reads
+    // stats and the wall clock, never simulation state it could alter).
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto emit_period = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(progress_every_secs_));
+    auto next_emit = wall_start + emit_period;
+    const Cycle run_start_cycle = max_core_cycle();
+    Cycle skipped_cycles = 0;
+    u32 progress_tick = 0;
+    const auto emit_progress = [&]() {
+      RunProgress p;
+      p.cycle = max_core_cycle();
+      p.max_cycles = config_.core.max_cycles;
+      for (auto& core : cores_) p.instructions += core->instructions();
+      p.ipc = p.cycle == 0 ? 0.0
+                           : static_cast<double>(p.instructions) /
+                                 static_cast<double>(p.cycle);
+      double elapsed = 0.0;
+      for (auto& core : cores_) elapsed += static_cast<double>(core->cycle());
+      double top = 0.0;
+      for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+        const auto bucket = static_cast<CycleBucket>(b);
+        if (bucket == CycleBucket::kCommit ||
+            bucket == CycleBucket::kPipeline) {
+          continue;  // useful cycles are not a stall
+        }
+        const double v = cpi_bucket_cycles(bucket);
+        if (v > top) {
+          top = v;
+          p.top_stall = cycle_bucket_name(bucket);
+        }
+      }
+      p.top_stall_frac = elapsed == 0.0 ? 0.0 : top / elapsed;
+      p.skip_efficiency =
+          p.cycle <= run_start_cycle
+              ? 0.0
+              : static_cast<double>(skipped_cycles) /
+                    static_cast<double>(p.cycle - run_start_cycle);
+      p.wall_secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+      progress_(p);
+    };
     while (any_running) {
       any_running = false;
       if (config_.core.skip) {
@@ -194,9 +249,10 @@ RunResult System::run() {
         // to the min over their next events (and the memory system's)
         // reproduces the stepped interleaving exactly: no core would
         // have done anything but bump a stall counter in between.
-        const Cycle target =
-            global_skip_target(max_core_cycle(), next_checkpoint, limit);
-        if (target > max_core_cycle() + 1) {
+        const Cycle now0 = max_core_cycle();
+        const Cycle target = global_skip_target(now0, next_checkpoint, limit);
+        if (target > now0 + 1) {
+          skipped_cycles += target - now0;
           for (auto& core : cores_) {
             if (!core->done()) {
               core->skip_to(target);
@@ -226,6 +282,15 @@ RunResult System::run() {
         save(checkpoint_dir_ + "/ckpt-" + std::to_string(now) + ".vckpt");
         while (next_checkpoint <= now) next_checkpoint += checkpoint_every_;
       }
+      if (progress_ && (++progress_tick & 0xffu) == 0) {
+        // Amortised wall-clock check: one clock read per 256 loop
+        // iterations keeps the heartbeat off the simulation hot path.
+        const auto now_wall = std::chrono::steady_clock::now();
+        if (now_wall >= next_emit) {
+          emit_progress();
+          next_emit = now_wall + emit_period;
+        }
+      }
       if (now > config_.core.max_cycles) {
         // Watchdog: name the stuck core/thread instead of spinning.
         std::string diagnosis;
@@ -243,6 +308,8 @@ RunResult System::run() {
     if (sample_interval_ > 0) {
       take_sample(sample_prev_cycle_, sample_prev_instructions_);
     }
+    // Final heartbeat so even short runs produce one line.
+    if (progress_) emit_progress();
   }
   // The step-driven paths bypass CgmtCore::run(); mirror its final
   // scalar bookkeeping so registry dumps always carry totals.
@@ -274,6 +341,10 @@ RunResult System::run() {
     misses += ds.get("misses");
   }
   result.avg_dcache_miss_latency = misses == 0.0 ? 0.0 : miss_cycles / misses;
+
+  for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+    result.cpi_stack[b] = cpi_bucket_cycles(static_cast<CycleBucket>(b));
+  }
 
   if (config_.scheme == Scheme::kViReC || config_.scheme == Scheme::kNSF) {
     double hits = 0.0, misses = 0.0;
@@ -386,6 +457,7 @@ void System::save(const std::string& path) const {
     sim.put_f64(s.rf_hit_rate);
     sim.put_u32(s.runnable_threads);
     sim.put_u32(s.outstanding_misses);
+    for (const double v : s.cpi) sim.put_f64(v);
   }
   sim.put_u64(sample_next_);
   sim.put_u64(sample_prev_cycle_);
@@ -416,6 +488,7 @@ void System::restore(const std::string& path) {
     s.rf_hit_rate = sim.get_f64();
     s.runnable_threads = sim.get_u32();
     s.outstanding_misses = sim.get_u32();
+    for (double& v : s.cpi) v = sim.get_f64();
     samples_.push_back(s);
   }
   sample_next_ = sim.get_u64();

@@ -5,6 +5,8 @@
 // the processor fetches them when the thread is first scheduled.
 #pragma once
 
+#include <array>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +35,10 @@ struct RunResult {
   u64 rf_spills = 0;
   /// Mean cycles per demand dcache miss, over every core (0 if none).
   double avg_dcache_miss_latency = 0.0;
+  /// Closed cycle accounting: cycles charged to each CycleBucket,
+  /// summed over all cores (Σ == Σ core cycles; per-core and
+  /// per-thread splits live in the stat registry as cpi_*).
+  std::array<double, kNumCycleBuckets> cpi_stack{};
 };
 
 /// One row of the sampled time series (see System::set_sample_interval).
@@ -44,6 +50,21 @@ struct Sample {
   double rf_hit_rate = 1.0;    ///< cumulative RF hit rate
   u32 runnable_threads = 0;    ///< threads able to run at sample time
   u32 outstanding_misses = 0;  ///< busy dcache MSHRs, summed over cores
+  /// Cumulative cycle-accounting stack at sample time (summed over
+  /// cores); consumers diff consecutive samples for per-epoch stacks.
+  std::array<double, kNumCycleBuckets> cpi{};
+};
+
+/// One heartbeat of a running simulation (see System::set_progress).
+struct RunProgress {
+  Cycle cycle = 0;           ///< current cycle (max over cores)
+  u64 max_cycles = 0;        ///< watchdog budget (ETA denominator)
+  u64 instructions = 0;      ///< committed so far, summed over cores
+  double ipc = 0.0;          ///< cumulative IPC
+  const char* top_stall = "";    ///< dominant non-useful cycle bucket
+  double top_stall_frac = 0.0;   ///< its share of elapsed core cycles
+  double skip_efficiency = 0.0;  ///< cycles fast-forwarded / elapsed
+  double wall_secs = 0.0;        ///< wall time since run() started
 };
 
 class System {
@@ -56,6 +77,7 @@ class System {
   RunResult run();
 
   cpu::CgmtCore& core(u32 i) { return *cores_[i]; }
+  const cpu::CgmtCore& core(u32 i) const { return *cores_[i]; }
   cpu::ContextManager& manager(u32 i) { return *managers_[i]; }
   mem::MemorySystem& memory_system() { return *ms_; }
   const SystemConfig& config() const { return config_; }
@@ -78,6 +100,26 @@ class System {
   /// either way.
   void set_sample_interval(Cycle interval) { sample_interval_ = interval; }
   const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Invoke @p hook whenever run() appends a Sample (after the append).
+  /// Lets live consumers — e.g. Perfetto counter tracks — stream the
+  /// series without polling. nullptr detaches.
+  void set_sample_hook(std::function<void(const Sample&)> hook) {
+    sample_hook_ = std::move(hook);
+  }
+
+  /// Emit a RunProgress heartbeat to @p fn roughly every @p every_secs
+  /// of wall time during run() (forces the lockstep loop; purely an
+  /// observer — simulation results stay bit-identical). nullptr
+  /// detaches.
+  void set_progress(std::function<void(const RunProgress&)> fn,
+                    double every_secs = 1.0) {
+    progress_ = std::move(fn);
+    progress_every_secs_ = every_secs;
+  }
+
+  /// Total cycles charged to @p b, summed over every core.
+  double cpi_bucket_cycles(CycleBucket b) const;
 
   /// Attach one trace sink per core (pipeline events from the core,
   /// register traffic from its context manager). nullptr detaches.
@@ -142,6 +184,9 @@ class System {
   StatRegistry registry_;
   Cycle sample_interval_ = 0;
   std::vector<Sample> samples_;
+  std::function<void(const Sample&)> sample_hook_;
+  std::function<void(const RunProgress&)> progress_;
+  double progress_every_secs_ = 1.0;
   // Sampling bookkeeping lives on the System (not as run() locals) so
   // a mid-run checkpoint captures it and a restored run resamples at
   // exactly the same cycles.

@@ -211,7 +211,7 @@ TEST(JsonReport, GoldenParse) {
   const ReportFixture fx;
   const JsonValue v = fx.report();
 
-  EXPECT_DOUBLE_EQ(v.at("schema_version").number, 1.0);
+  EXPECT_DOUBLE_EQ(v.at("schema_version").number, 2.0);
   EXPECT_EQ(v.at("config").at("workload").string, "gather");
   EXPECT_EQ(v.at("config").at("scheme").string, "virec");
   EXPECT_DOUBLE_EQ(v.at("config").at("threads_per_core").number, 8.0);

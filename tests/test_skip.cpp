@@ -65,6 +65,13 @@ void expect_results_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.rf_spills, b.rf_spills);
   expect_bits_eq(a.avg_dcache_miss_latency, b.avg_dcache_miss_latency,
                  "avg_dcache_miss_latency");
+  // The bulk-charged cycle-accounting stack is part of the contract:
+  // skipping must attribute every fast-forwarded cycle to exactly the
+  // bucket the stepped run would have.
+  for (std::size_t i = 0; i < kNumCycleBuckets; ++i) {
+    expect_bits_eq(a.cpi_stack[i], b.cpi_stack[i],
+                   cycle_bucket_name(static_cast<CycleBucket>(i)));
+  }
 }
 
 /// Every scalar in the registry — including the stall counters the
