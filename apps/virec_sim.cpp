@@ -27,6 +27,7 @@
 #include "check/harness.hpp"
 #include "check/repro.hpp"
 #include "ckpt/journal.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "cpu/perfetto_trace.hpp"
 #include "cpu/trace.hpp"
@@ -56,6 +57,11 @@ struct Options {
   std::string json_path;   // empty = stdout
   std::string trace_out;   // Perfetto trace file; empty = off
   u64 sample_interval = 0;
+  // Tiered simulation (docs/performance.md): the values live in spec;
+  // the *_set flags catch window/warmup options given without
+  // --sample-windows.
+  bool window_insts_set = false;
+  bool warmup_insts_set = false;
   bool sweep = false;
   u32 jobs = 0;            // 0 = hardware concurrency
   u64 checkpoint_every = 0;   // periodic snapshot interval (cycles)
@@ -119,6 +125,20 @@ void print_usage() {
       "  --area              print the area/delay report for this config\n"
       "  --max-cycles N      watchdog: abort (naming the stuck core/\n"
       "                      thread) after N cycles\n"
+      "  --sample-windows N  SMARTS-style sampled measurement: fast-\n"
+      "                      forward functionally between N systematic\n"
+      "                      measurement windows and report an estimated\n"
+      "                      IPC with a confidence interval\n"
+      "                      (docs/performance.md)\n"
+      "  --window-insts K    measured instructions per window (default\n"
+      "                      10000; needs --sample-windows)\n"
+      "  --warmup-insts W    detailed warm-up instructions before each\n"
+      "                      window (default 2000; needs\n"
+      "                      --sample-windows)\n"
+      "  --functional-ff     run the whole program through the\n"
+      "                      functional tier (no cycle estimate; useful\n"
+      "                      with --check to validate the functional\n"
+      "                      tier against the oracle)\n"
       "  --no-skip           disable event-driven cycle skipping and\n"
       "                      step every cycle. Results are bit-identical\n"
       "                      either way (docs/performance.md); use this\n"
@@ -239,6 +259,17 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--seed") opt.spec.params.seed = u64_value();
     else if (arg == "--max-cycles") opt.spec.max_cycles = u64_value();
     else if (arg == "--no-skip") opt.spec.no_skip = true;
+    else if (arg == "--sample-windows")
+      opt.spec.sample_windows = static_cast<u32>(u64_value());
+    else if (arg == "--window-insts") {
+      opt.spec.window_insts = u64_value();
+      opt.window_insts_set = true;
+    }
+    else if (arg == "--warmup-insts") {
+      opt.spec.warmup_insts = u64_value();
+      opt.warmup_insts_set = true;
+    }
+    else if (arg == "--functional-ff") opt.spec.functional_ff = true;
     else if (arg == "--checkpoint-every") opt.checkpoint_every = u64_value();
     else if (arg == "--checkpoint-out") opt.checkpoint_out = value();
     else if (arg == "--restore") opt.restore_path = value();
@@ -296,6 +327,27 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.spec.context_fraction =
           parse_double("--ctx", single_value("--ctx", opt.ctx_arg));
     }
+  }
+  // Sampling-flag consistency (docs/performance.md); these hold in
+  // both single-run and sweep mode.
+  if ((opt.window_insts_set || opt.warmup_insts_set) &&
+      opt.spec.sample_windows == 0) {
+    throw std::invalid_argument(
+        "--window-insts/--warmup-insts need --sample-windows");
+  }
+  if (opt.window_insts_set && opt.spec.window_insts == 0) {
+    throw std::invalid_argument("--window-insts: must be > 0");
+  }
+  if (opt.spec.sample_windows > 0 && opt.spec.functional_ff) {
+    throw std::invalid_argument(
+        "--functional-ff runs the whole program functionally and cannot "
+        "be combined with --sample-windows");
+  }
+  if (opt.spec.sample_windows > 0 && opt.spec.check) {
+    throw std::invalid_argument(
+        "--check validates the full detailed model, which sampling "
+        "deliberately skips most of; use --functional-ff --check to "
+        "validate the functional tier");
   }
   return true;
 }
@@ -460,6 +512,230 @@ int run_lint_stats() {
   return 0;
 }
 
+/// Single-run tiered mode (--sample-windows / --functional-ff):
+/// alternate the functional fast-forward tier with cycle-accurate
+/// measurement windows and report the sampled estimate
+/// (docs/performance.md).
+int run_tiered_mode(const Options& opt) {
+  if (opt.trace || !opt.trace_out.empty() || opt.sample_interval > 0) {
+    throw std::invalid_argument(
+        "--trace/--trace-out/--sample-interval follow every detailed "
+        "cycle and cannot be combined with --sample-windows/"
+        "--functional-ff");
+  }
+  if (opt.checkpoint_every > 0 || !opt.checkpoint_out.empty() ||
+      !opt.restore_path.empty()) {
+    throw std::invalid_argument(
+        "--checkpoint-every/--checkpoint-out/--restore snapshot full "
+        "detailed runs and cannot be combined with --sample-windows/"
+        "--functional-ff");
+  }
+  if (opt.spec.num_cores != 1) {
+    throw std::invalid_argument(
+        "--sample-windows/--functional-ff require --cores 1");
+  }
+  if (opt.cpi_stack && opt.spec.functional_ff) {
+    throw std::invalid_argument(
+        "--cpi-stack needs measurement windows; --functional-ff runs "
+        "no detailed cycles to account");
+  }
+
+  const workloads::Workload& workload =
+      workloads::find_workload(opt.spec.workload);
+  const sim::SystemConfig config = sim::build_config(opt.spec);
+  if (opt.area) {
+    const area::CoreAreaReport report = area::core_area_for(config);
+    std::cout << "area.label " << report.label << "\n"
+              << "area.total_mm2 " << report.total_mm2 << "\n"
+              << "area.rf_mm2 " << report.rf_mm2 << "\n"
+              << "area.tag_mm2 " << report.tag_mm2 << "\n"
+              << "area.rf_delay_ns " << report.rf_delay_ns << "\n";
+  }
+
+  sim::System system(config, workload, opt.spec.params);
+  if (opt.json) system.set_detailed_stats(true);
+  if (opt.spec.check) system.enable_check();
+
+  sim::TieredConfig tiered;
+  tiered.sample_windows = opt.spec.sample_windows;
+  tiered.window_insts = opt.spec.window_insts;
+  tiered.warmup_insts = opt.spec.warmup_insts;
+  tiered.functional_ff = opt.spec.functional_ff;
+  tiered.validate();
+  sim::TieredRunner runner(system, tiered);
+  if (opt.progress) {
+    runner.set_progress(
+        [](const sim::TieredProgress& p) {
+          std::cerr << "{\"type\": \"tiered\", \"tier\": \"" << p.tier
+                    << "\", \"insts_done\": " << p.insts_done
+                    << ", \"insts_total\": " << p.insts_total
+                    << ", \"window\": " << p.window
+                    << ", \"windows\": " << p.windows
+                    << ", \"wall_secs\": " << p.wall_secs
+                    << ", \"eta_secs\": " << p.eta_secs << "}\n";
+        },
+        opt.progress_secs);
+  }
+  const sim::TieredResult result = runner.run();
+
+  const bool sampled = opt.spec.sample_windows > 0;
+  // Achieved speedup estimate: the wall time an all-detailed run would
+  // have taken at the measured detailed simulation rate, over the
+  // actual (functional + detailed) wall time.
+  const double wall_total =
+      result.wall_secs_functional + result.wall_secs_detailed;
+  double est_speedup = 0.0;
+  if (result.insts_detailed > 0 && result.wall_secs_detailed > 0 &&
+      wall_total > 0) {
+    const double detailed_rate =
+        static_cast<double>(result.insts_detailed) / result.wall_secs_detailed;
+    est_speedup =
+        static_cast<double>(result.total_insts) / detailed_rate / wall_total;
+  }
+
+  if (opt.json) {
+    auto write = [&](std::ostream& os) {
+      JsonWriter w(os);
+      w.begin_object();
+      w.key("config");
+      w.begin_object();
+      w.kv("workload", workload.name());
+      w.kv("scheme", sim::scheme_name(opt.spec.scheme));
+      w.kv("policy", core::policy_name(opt.spec.policy));
+      w.kv("cores", opt.spec.num_cores);
+      w.kv("threads_per_core", opt.spec.threads_per_core);
+      w.kv("phys_regs", sim::spec_phys_regs(opt.spec));
+      w.kv("sample_windows", opt.spec.sample_windows);
+      w.kv("window_insts", opt.spec.window_insts);
+      w.kv("warmup_insts", opt.spec.warmup_insts);
+      w.kv("functional_ff", opt.spec.functional_ff);
+      w.end_object();
+      w.key("tiered");
+      w.begin_object();
+      w.kv("total_insts", result.total_insts);
+      w.kv("insts_functional", result.insts_functional);
+      w.kv("insts_detailed", result.insts_detailed);
+      w.kv("cpi_mean", result.cpi_mean);
+      w.kv("cpi_ci_half", result.cpi_ci_half);
+      w.kv("est_cycles", result.est_cycles);
+      w.kv("est_ipc", result.est_ipc);
+      w.kv("est_ipc_lo", result.est_ipc_lo);
+      w.kv("est_ipc_hi", result.est_ipc_hi);
+      w.kv("wall_secs_functional", result.wall_secs_functional);
+      w.kv("wall_secs_detailed", result.wall_secs_detailed);
+      w.kv("est_speedup", est_speedup);
+      w.key("windows");
+      w.begin_array();
+      for (const sim::WindowStat& win : result.windows) {
+        w.begin_object();
+        w.kv("start_inst", win.start_inst);
+        w.kv("insts", win.insts);
+        w.kv("cycles", win.cycles);
+        w.kv("cpi", win.cpi);
+        w.key("cpi_stack");
+        w.begin_object();
+        for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+          w.kv(cycle_bucket_name(static_cast<CycleBucket>(b)),
+               win.insts == 0
+                   ? 0.0
+                   : win.cpi_stack[b] / static_cast<double>(win.insts));
+        }
+        w.end_object();
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      w.key("result");
+      w.begin_object();
+      w.kv("check", result.full.check_ok ? "OK" : "FAIL");
+      w.end_object();
+      w.end_object();
+      os << "\n";
+    };
+    if (opt.json_path.empty()) {
+      write(std::cout);
+    } else {
+      std::ofstream out(opt.json_path);
+      if (!out) throw std::runtime_error("cannot open " + opt.json_path);
+      write(out);
+    }
+  }
+
+  if (!opt.json || !opt.json_path.empty()) {
+    std::cout << "workload " << workload.name() << "\n"
+              << "scheme " << sim::scheme_name(opt.spec.scheme) << "\n"
+              << "policy " << core::policy_name(opt.spec.policy) << "\n"
+              << "cores " << opt.spec.num_cores << "\n"
+              << "threads_per_core " << opt.spec.threads_per_core << "\n"
+              << "phys_regs " << sim::spec_phys_regs(opt.spec) << "\n"
+              << "tier " << (sampled ? "sampled" : "functional") << "\n"
+              << "total_insts " << result.total_insts << "\n"
+              << "insts_functional " << result.insts_functional << "\n"
+              << "insts_detailed " << result.insts_detailed << "\n";
+    if (sampled) {
+      std::cout << "sample_windows " << opt.spec.sample_windows << "\n"
+                << "window_insts " << opt.spec.window_insts << "\n"
+                << "warmup_insts " << opt.spec.warmup_insts << "\n"
+                << "cpi_mean " << result.cpi_mean << "\n"
+                << "cpi_ci_half " << result.cpi_ci_half << "\n"
+                << "est_cycles " << result.est_cycles << "\n"
+                << "est_ipc " << result.est_ipc << "\n"
+                << "est_ipc_lo " << result.est_ipc_lo << "\n"
+                << "est_ipc_hi " << result.est_ipc_hi << "\n";
+      for (std::size_t i = 0; i < result.windows.size(); ++i) {
+        const sim::WindowStat& win = result.windows[i];
+        const double ipc =
+            win.cycles == 0 ? 0.0
+                            : static_cast<double>(win.insts) /
+                                  static_cast<double>(win.cycles);
+        std::cout << "window " << i << " start_inst " << win.start_inst
+                  << " insts " << win.insts << " cycles " << win.cycles
+                  << " ipc " << ipc << "\n";
+      }
+    }
+    std::cout << "wall_secs_functional " << result.wall_secs_functional
+              << "\n"
+              << "wall_secs_detailed " << result.wall_secs_detailed << "\n"
+              << "est_speedup " << est_speedup << "\n"
+              << "check " << (result.full.check_ok ? "OK" : "FAIL") << "\n";
+  }
+
+  if (opt.cpi_stack && sampled && !result.windows.empty()) {
+    // Mean per-window CPI stack: each window's bucket deltas divided by
+    // its measured instructions, averaged across windows. Shares sum to
+    // 100% and the CPI column sums to cpi_mean.
+    Table table({"bucket", "cpi", "share"});
+    std::array<double, kNumCycleBuckets> mean{};
+    double total = 0.0;
+    for (const sim::WindowStat& win : result.windows) {
+      if (win.insts == 0) continue;
+      for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+        mean[b] += win.cpi_stack[b] / static_cast<double>(win.insts) /
+                   static_cast<double>(result.windows.size());
+      }
+    }
+    for (const double v : mean) total += v;
+    for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+      table.add_row({cycle_bucket_name(static_cast<CycleBucket>(b)),
+                     Table::fmt(mean[b]),
+                     Table::fmt_pct(total == 0 ? 0 : mean[b] / total)});
+    }
+    table.add_row({"total", Table::fmt(total), Table::fmt_pct(1.0)});
+    table.print(std::cout);
+  }
+
+  if (opt.stats && !opt.json) {
+    for (const Stat& s : system.registry().all_scalars()) {
+      std::cout << s.name << " " << s.value << "\n";
+    }
+  }
+  if (!result.full.check_ok) {
+    std::cerr << "CHECK FAILED: " << result.full.check_msg << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 /// --replay FILE: re-run a fuzzer repro under the lockstep oracle.
 int run_replay_mode(const Options& opt) {
   check::Repro repro = check::load_repro(opt.replay_path);
@@ -516,6 +792,9 @@ int main(int argc, char** argv) {
       throw std::invalid_argument(
           "--resume journals sweep points and needs --sweep "
           "(to continue a single run from a snapshot, use --restore)");
+    }
+    if (opt.spec.sample_windows > 0 || opt.spec.functional_ff) {
+      return run_tiered_mode(opt);
     }
     if ((opt.checkpoint_every > 0) != !opt.checkpoint_out.empty()) {
       throw std::invalid_argument(

@@ -122,6 +122,59 @@ void BM_PointerChase(benchmark::State& state) {
 }
 BENCHMARK(BM_PointerChase)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+void BM_SampledPointerChase(benchmark::State& state) {
+  // Tiered-simulation showcase on the same long pointer chase as
+  // BM_PointerChase: Arg is the number of SMARTS measurement windows
+  // (0 = full detailed run, the baseline row). The sampled rows skip
+  // most detailed cycles through the functional tier, so the
+  // sim_instr/s ratio against Arg(0) is the achieved tiered speedup
+  // (docs/performance.md records the matching IPC error).
+  sim::RunSpec spec;
+  spec.workload = "pchase";
+  spec.scheme = sim::Scheme::kBanked;
+  spec.threads_per_core = 1;
+  spec.params.iters_per_thread = 500000;
+  spec.params.elements = 1 << 17;
+  spec.sample_windows = static_cast<u32>(state.range(0));
+  spec.window_insts = 10'000;
+  spec.warmup_insts = 2'000;
+  u64 instructions = 0;
+  for (auto _ : state) {
+    const sim::RunResult result = sim::run_spec(spec);
+    instructions += result.instructions;
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.counters["sim_instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SampledPointerChase)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FunctionalTier(benchmark::State& state) {
+  // Functional-tier-only throughput: the whole gather program through
+  // the interpreter + warm hooks, no detailed cycles at all. This is
+  // the ceiling the fast-forward stretches of a sampled run approach.
+  sim::RunSpec spec;
+  spec.workload = "gather";
+  spec.scheme = sim::Scheme::kViReC;
+  spec.threads_per_core = 8;
+  spec.context_fraction = 0.8;
+  spec.params.iters_per_thread = 2048;
+  spec.functional_ff = true;
+  u64 instructions = 0;
+  for (auto _ : state) {
+    const sim::RunResult result = sim::run_spec(spec);
+    instructions += result.instructions;
+    benchmark::DoNotOptimize(result.instructions);
+  }
+  state.counters["sim_instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalTier)->Unit(benchmark::kMillisecond);
+
 void BM_SweepThroughput(benchmark::State& state) {
   // Whole-sweep throughput (experiment points/sec) through the
   // parallel executor. Arg = worker threads; 0 = hardware concurrency.

@@ -66,7 +66,13 @@ u64 spec_hash(const sim::RunSpec& spec) {
   h = fnv1a_u64(h, spec.phys_regs);
   h = fnv1a_u64(h, spec.max_cycles);
   h = fnv1a_u64(h, (spec.group_spill ? 1u : 0u) |
-                       (spec.switch_prefetch ? 2u : 0u));
+                       (spec.switch_prefetch ? 2u : 0u) |
+                       (spec.functional_ff ? 4u : 0u));
+  // Tiered sampling parameters: a sampled point must never reuse a
+  // journalled full-detail result (or vice versa).
+  h = fnv1a_u64(h, spec.sample_windows);
+  h = fnv1a_u64(h, spec.window_insts);
+  h = fnv1a_u64(h, spec.warmup_insts);
   return h;
 }
 

@@ -24,6 +24,8 @@ constexpr BucketInfo kBuckets[kNumCycleBuckets] = {
     {"mem_mshr", "cycles blocked on a full MSHR file"},
     {"sq_full", "cycles a store stalled on a full store queue"},
     {"idle", "cycles with no runnable thread on the core"},
+    {"fast_forward",
+     "cycles covered by the functional fast-forward tier (sampled runs)"},
 };
 
 }  // namespace

@@ -36,6 +36,7 @@ enum class CycleBucket : u8 {
   kMemMshr,             ///< blocked because the MSHR file was full
   kSqFull,              ///< store stalled on a full store queue
   kIdle,                ///< no runnable thread on the core
+  kFastForward,         ///< bulk span covered by the functional tier
   kCount
 };
 

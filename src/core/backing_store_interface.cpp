@@ -74,4 +74,18 @@ Cycle BackingStoreInterface::sysreg_transfer(int tid, bool is_write,
   return issue(addr, is_write, now);
 }
 
+void BackingStoreInterface::warm_reg_transfer(int tid, isa::RegId arch,
+                                              bool is_write, Cycle warm_now) {
+  dcache_.warm_access(
+      env_.ms->reg_addr(env_.core_id, static_cast<u32>(tid), arch), is_write,
+      warm_now, /*reg_region=*/config_.pin_lines);
+}
+
+void BackingStoreInterface::warm_sysreg_transfer(int tid, bool is_write,
+                                                 Cycle warm_now) {
+  dcache_.warm_access(env_.ms->sysreg_addr(env_.core_id,
+                                           static_cast<u32>(tid)),
+                      is_write, warm_now, /*reg_region=*/config_.pin_lines);
+}
+
 }  // namespace virec::core

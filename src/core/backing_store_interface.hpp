@@ -45,6 +45,13 @@ class BackingStoreInterface {
   /// Write/read the sysreg line (used by the CSL ping-pong buffer).
   Cycle sysreg_transfer(int tid, bool is_write, Cycle now);
 
+  /// Functional warm variants (tiered fast-forward): same dcache line
+  /// and pin-counter footprint via Cache::warm_access, but no occupancy
+  /// cursors, no counters and no switch masking.
+  void warm_reg_transfer(int tid, isa::RegId arch, bool is_write,
+                         Cycle warm_now);
+  void warm_sysreg_transfer(int tid, bool is_write, Cycle warm_now);
+
   /// CSL mask: an outstanding fill forbids context switches.
   bool fill_outstanding(Cycle now) const { return last_fill_done_ > now; }
 

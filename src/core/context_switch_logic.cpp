@@ -79,4 +79,38 @@ Cycle ContextSwitchLogic::on_switch(int from_tid, int to_tid,
   return ready;
 }
 
+void ContextSwitchLogic::warm_thread_start(int tid, Cycle warm_now) {
+  const auto t = static_cast<std::size_t>(tid);
+  if (buffered_[t]) return;
+  bsi_.warm_sysreg_transfer(tid, /*is_write=*/false, warm_now);
+  buffered_[t] = 1;
+}
+
+void ContextSwitchLogic::warm_switch(int from_tid, int to_tid,
+                                     int predicted_next, Cycle warm_now) {
+  const auto to = static_cast<std::size_t>(to_tid);
+  if (!buffered_[to]) {
+    bsi_.warm_sysreg_transfer(to_tid, /*is_write=*/false, warm_now);
+    buffered_[to] = 1;
+  }
+  if (from_tid >= 0) {
+    bsi_.warm_sysreg_transfer(from_tid, /*is_write=*/true, warm_now);
+    buffered_[static_cast<std::size_t>(from_tid)] = 0;
+  }
+  if (config_.sysreg_prefetch && predicted_next >= 0 &&
+      predicted_next != to_tid) {
+    const auto nx = static_cast<std::size_t>(predicted_next);
+    if (!buffered_[nx]) {
+      bsi_.warm_sysreg_transfer(predicted_next, /*is_write=*/false, warm_now);
+      buffered_[nx] = 1;
+    }
+  }
+  for (std::size_t t = 0; t < buffered_.size(); ++t) {
+    if (static_cast<int>(t) != to_tid &&
+        static_cast<int>(t) != predicted_next) {
+      buffered_[t] = 0;
+    }
+  }
+}
+
 }  // namespace virec::core

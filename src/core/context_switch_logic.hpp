@@ -34,6 +34,12 @@ class ContextSwitchLogic {
   /// (prefetch target). Returns when the new thread may start fetching.
   Cycle on_switch(int from_tid, int to_tid, int predicted_next, Cycle now);
 
+  /// Functional warm mirrors (tiered fast-forward): same ping-pong
+  /// buffer occupancy and sysreg-line dcache warmth, zero timing.
+  void warm_thread_start(int tid, Cycle warm_now);
+  void warm_switch(int from_tid, int to_tid, int predicted_next,
+                   Cycle warm_now);
+
   /// Checkpoint the ping-pong buffer / prefetch state.
   void save_state(ckpt::Encoder& enc) const {
     enc.put_cycle_vec(sysreg_ready_);

@@ -38,26 +38,33 @@ void ReplacementPolicy::on_access(std::vector<RfEntry>& entries, u32 idx) {
   // Every access ages all other entries (saturating 3-bit counters):
   // entries not touched for a handful of accesses all reach the
   // maximum age — the "fuzzing of reuse distances" of Section 4.2 that
-  // the commit bit disambiguates.
-  for (u32 i = 0; i < entries.size(); ++i) {
-    if (i == idx || !entries[i].valid) continue;
-    if (entries[i].age < kMaxAge) ++entries[i].age;
-  }
+  // the commit bit disambiguates. Realized lazily: the global tick
+  // advances once per access, and age_of() reads each entry's age as
+  // the capped distance to its last reset, so the per-access cost is
+  // O(1) instead of a sweep over the whole register file.
+  ++age_tick_;
   RfEntry& entry = entries[idx];
   entry.age = 0;
+  entry.age_mark = age_tick_;
   entry.last_use = ++tick_;
   entry.c_bit = true;  // speculative; rollback clears it on flush
 }
 
 void ReplacementPolicy::on_instruction(std::vector<RfEntry>& entries,
                                        const std::vector<u32>& accessed) {
+  // Materialize each entry's lazy age, apply the per-instruction
+  // increment, and rebase its mark on the current tick so the stored
+  // value is directly readable (tests and checkpoints rely on this).
   for (u32 i = 0; i < entries.size(); ++i) {
     RfEntry& entry = entries[i];
     if (!entry.valid) continue;
+    const u8 aged = age_of(entry);
+    entry.age_mark = age_tick_;
     if (std::find(accessed.begin(), accessed.end(), i) != accessed.end()) {
+      entry.age = aged;
       continue;
     }
-    if (entry.age < kMaxAge) ++entry.age;
+    entry.age = aged < kMaxAge ? static_cast<u8>(aged + 1) : kMaxAge;
   }
 }
 
@@ -70,6 +77,7 @@ void ReplacementPolicy::on_insert(std::vector<RfEntry>& entries, u32 idx,
   entry.dirty = false;
   entry.t_bits = 0;
   entry.age = 0;
+  entry.age_mark = age_tick_;
   entry.c_bit = true;
   entry.last_use = ++tick_;
   entry.insert_seq = ++seq_;
@@ -95,7 +103,7 @@ u64 ReplacementPolicy::priority(const RfEntry& entry) const {
   const u64 inv_seq = ~entry.insert_seq;
   switch (kind_) {
     case PolicyKind::kPLRU:
-      return entry.age;
+      return age_of(entry);
     case PolicyKind::kLRU:
       return inv_use;
     case PolicyKind::kFIFO:
@@ -103,11 +111,12 @@ u64 ReplacementPolicy::priority(const RfEntry& entry) const {
     case PolicyKind::kRandom:
       return 0;  // handled in pick_victim
     case PolicyKind::kMrtPLRU:
-      return (u64{entry.t_bits} << 3) | entry.age;
+      return (u64{entry.t_bits} << 3) | age_of(entry);
     case PolicyKind::kMrtLRU:
       return (u64{entry.t_bits} << 58) | (inv_use & ((u64{1} << 58) - 1));
     case PolicyKind::kLRC:
-      return (u64{entry.t_bits} << 4) | (u64{entry.c_bit} << 3) | entry.age;
+      return (u64{entry.t_bits} << 4) | (u64{entry.c_bit} << 3) |
+             age_of(entry);
   }
   return 0;
 }

@@ -43,6 +43,15 @@ PolicyKind parse_policy(const std::string& name);
 std::vector<PolicyKind> all_policies();
 
 /// One physical register file entry's tag-store state.
+///
+/// The 3-bit age is stored lazily: `age` is a base value and
+/// `age_mark` records the policy's global access tick when that base
+/// was written; the effective age is
+/// `min(kMaxAge, age + (age_tick - age_mark))` (ReplacementPolicy::
+/// age_of). This turns the "every access ages all other entries" rule
+/// into an O(1) tick increment instead of an O(entries) sweep per
+/// operand — bit-exact with the eager form, since saturating
+/// increments commute with the capped distance.
 struct RfEntry {
   bool valid = false;
   u8 tid = 0;
@@ -50,10 +59,11 @@ struct RfEntry {
   bool dirty = false;
   // Replacement policy state.
   u8 t_bits = 0;       ///< 0 = running thread, max = just suspended
-  u8 age = 0;          ///< 3-bit saturating pseudo-LRU age
+  u8 age = 0;          ///< 3-bit saturating pseudo-LRU age (lazy base)
   bool c_bit = false;  ///< last accessing instruction committed
   u64 last_use = 0;    ///< perfect-LRU timestamp
   u64 insert_seq = 0;  ///< FIFO insertion order
+  u64 age_mark = 0;    ///< global access tick when `age` was written
 };
 
 class ReplacementPolicy {
@@ -88,6 +98,20 @@ class ReplacementPolicy {
   /// Rollback-queue compaction reset of a flushed register's C bit.
   static void on_flush_reset(RfEntry& entry) { entry.c_bit = false; }
 
+  /// Effective (materialized) 3-bit age of an entry under lazy aging:
+  /// the base value plus the number of accesses since it was written,
+  /// saturating at kMaxAge.
+  u8 age_of(const RfEntry& entry) const {
+    const u64 aged = entry.age + (age_tick_ - entry.age_mark);
+    return aged > kMaxAge ? kMaxAge : static_cast<u8>(aged);
+  }
+
+  /// Current global access tick, for rebasing age_mark after a
+  /// checkpoint restore (the tick itself is deliberately not
+  /// serialized: only tick-minus-mark distances are observable, so a
+  /// restore rebases every mark to whatever the live tick is).
+  u64 age_tick_now() const { return age_tick_; }
+
   /// Pick the victim among valid entries whose index is not in
   /// @p locked (bool per entry). Returns -1 if none is evictable.
   int pick_victim(const std::vector<RfEntry>& entries,
@@ -117,6 +141,7 @@ class ReplacementPolicy {
   Xorshift128 rng_;
   u64 tick_ = 0;
   u64 seq_ = 0;
+  u64 age_tick_ = 0;  ///< global access counter backing lazy aging
 };
 
 }  // namespace virec::core

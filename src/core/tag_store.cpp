@@ -25,13 +25,17 @@ int TagStore::lookup(int tid, isa::RegId arch) const {
 int TagStore::allocate(int tid, isa::RegId arch,
                        const std::vector<u8>& locked, Victim* victim) {
   if (victim != nullptr) *victim = Victim{};
-  // Prefer a free entry.
-  for (u32 i = 0; i < entries_.size(); ++i) {
-    if (!entries_[i].valid && !locked[i]) {
-      policy_.on_insert(entries_, i, static_cast<u8>(tid), arch);
-      map_[static_cast<std::size_t>(tid) * isa::kNumArchRegs + arch] =
-          static_cast<i16>(i);
-      return static_cast<int>(i);
+  // Prefer a free entry; skip the scan entirely when the RF is full
+  // (the steady state of every long run).
+  if (valid_count_ < entries_.size()) {
+    for (u32 i = 0; i < entries_.size(); ++i) {
+      if (!entries_[i].valid && !locked[i]) {
+        policy_.on_insert(entries_, i, static_cast<u8>(tid), arch);
+        ++valid_count_;
+        map_[static_cast<std::size_t>(tid) * isa::kNumArchRegs + arch] =
+            static_cast<i16>(i);
+        return static_cast<int>(i);
+      }
     }
   }
   const int idx = policy_.pick_victim(entries_, locked);
@@ -58,6 +62,7 @@ void TagStore::invalidate(u32 idx) {
   map_[static_cast<std::size_t>(entry.tid) * isa::kNumArchRegs + entry.arch] =
       -1;
   entry = RfEntry{};
+  --valid_count_;
 }
 
 void TagStore::reset_c_bit(u32 idx, int tid, isa::RegId arch) {
@@ -139,7 +144,8 @@ void TagStore::save_state(ckpt::Encoder& enc) const {
     enc.put_u8(e.arch);
     enc.put_bool(e.dirty);
     enc.put_u8(e.t_bits);
-    enc.put_u8(e.age);
+    // Materialize the lazy age so the snapshot format is unchanged.
+    enc.put_u8(e.valid ? policy_.age_of(e) : 0);
     enc.put_bool(e.c_bit);
     enc.put_u64(e.last_use);
     enc.put_u64(e.insert_seq);
@@ -174,6 +180,14 @@ void TagStore::restore_state(ckpt::Decoder& dec) {
   }
   for (i16& m : map_) m = static_cast<i16>(dec.get_u16());
   policy_.restore_state(dec);
+  // The snapshot carries materialized ages; rebase every entry's lazy
+  // mark on the live access tick (which is not serialized) and rebuild
+  // the valid-entry count.
+  valid_count_ = 0;
+  for (RfEntry& e : entries_) {
+    e.age_mark = policy_.age_tick_now();
+    if (e.valid) ++valid_count_;
+  }
 }
 
 }  // namespace virec::core

@@ -87,6 +87,9 @@ class TagStore {
   // Direct map for O(1) lookup: (tid * 32 + arch) -> phys idx or -1.
   std::vector<i16> map_;
   ReplacementPolicy policy_;
+  // Number of valid entries; lets allocate() skip the free-entry scan
+  // once the RF is full (valid_entries() recounts independently).
+  u32 valid_count_ = 0;
 };
 
 }  // namespace virec::core

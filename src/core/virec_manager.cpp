@@ -280,6 +280,132 @@ void ViReCManager::on_thread_halt(int tid, Cycle now) {
   }
 }
 
+void ViReCManager::warm_thread_start(int tid, Cycle warm_now) {
+  // read_reg/write_reg are always functional (tags -> phys_values_,
+  // else backing store); this is warmth only: sysreg buffer occupancy
+  // and its dcache line, as on_thread_start would leave them.
+  csl_.warm_thread_start(tid, warm_now);
+}
+
+int ViReCManager::warm_allocate(int tid, isa::RegId arch,
+                                std::vector<u8>& locked, Cycle warm_now) {
+  TagStore::Victim victim;
+  const int idx = tags_.allocate(tid, arch, locked, &victim);
+  if (idx < 0) return -1;
+  if (victim.valid && victim.dirty) {
+    backing_write(victim.tid, victim.arch,
+                  phys_values_[static_cast<u32>(idx)]);
+    bsi_.warm_reg_transfer(victim.tid, victim.arch, /*is_write=*/true,
+                           warm_now);
+  }
+  locked[static_cast<u32>(idx)] = 1;
+  return idx;
+}
+
+void ViReCManager::warm_decode(int tid, const isa::Inst& inst,
+                               Cycle warm_now) {
+  const isa::RegList srcs = isa::src_regs(inst);
+  const isa::RegList dsts = isa::dst_regs(inst);
+
+  std::vector<u8>& locked = locked_scratch_;
+  std::fill(locked.begin(), locked.end(), u8{0});
+  u32& used = used_this_episode_[static_cast<std::size_t>(tid)];
+
+  for (u32 i = 0; i < srcs.count; ++i) {
+    const isa::RegId arch = srcs.regs[i];
+    used |= 1u << arch;
+    int idx = tags_.lookup(tid, arch);
+    if (idx >= 0) {
+      tags_.touch(static_cast<u32>(idx));
+    } else {
+      idx = warm_allocate(tid, arch, locked, warm_now);
+      bsi_.warm_reg_transfer(tid, arch, /*is_write=*/false, warm_now);
+      if (idx < 0) continue;  // pathological: served from the backing store
+      phys_values_[static_cast<u32>(idx)] = backing_read(tid, arch);
+    }
+    locked[static_cast<u32>(idx)] = 1;
+  }
+
+  for (u32 i = 0; i < dsts.count; ++i) {
+    const isa::RegId arch = dsts.regs[i];
+    bool also_src = false;
+    for (u32 j = 0; j < srcs.count; ++j) {
+      if (srcs.regs[j] == arch) {
+        also_src = true;
+        break;
+      }
+    }
+    if (also_src) continue;
+    used |= 1u << arch;
+    int idx = tags_.lookup(tid, arch);
+    if (idx >= 0) {
+      tags_.touch(static_cast<u32>(idx));
+    } else {
+      idx = warm_allocate(tid, arch, locked, warm_now);
+      if (idx < 0) continue;
+      phys_values_[static_cast<u32>(idx)] = backing_read(tid, arch);
+      bsi_.warm_reg_transfer(tid, arch, /*is_write=*/false, warm_now);
+    }
+    locked[static_cast<u32>(idx)] = 1;
+  }
+  if (check_ != nullptr) tags_.audit(check_);
+}
+
+void ViReCManager::warm_context_switch(int from_tid, int to_tid,
+                                       int predicted_next, Cycle warm_now) {
+  // The functional tier commits every instruction it executes, so the
+  // rollback queue is empty here; only the persistent structures move.
+  tags_.on_context_switch(from_tid, to_tid);
+
+  if (from_tid >= 0) {
+    const auto from = static_cast<std::size_t>(from_tid);
+    last_episode_used_[from] = used_this_episode_[from];
+    used_this_episode_[from] = 0;
+
+    if (config_.group_spill) {
+      for (u32 i = 0; i < tags_.size(); ++i) {
+        const RfEntry& entry = tags_.entry(i);
+        if (!entry.valid || static_cast<int>(entry.tid) != from_tid ||
+            !entry.dirty || !entry.c_bit) {
+          continue;
+        }
+        backing_write(from_tid, entry.arch, phys_values_[i]);
+        bsi_.warm_reg_transfer(from_tid, entry.arch, /*is_write=*/true,
+                               warm_now);
+        tags_.clear_dirty(i);
+      }
+    }
+  }
+
+  csl_.warm_switch(from_tid, to_tid, predicted_next, warm_now);
+
+  if (config_.switch_prefetch && to_tid >= 0) {
+    const auto to = static_cast<std::size_t>(to_tid);
+    const u32 want = last_episode_used_[to];
+    std::vector<u8> locked(config_.num_phys_regs, 0);
+    for (u8 arch = 0; arch < isa::kNumAllocatableRegs; ++arch) {
+      if (!(want & (1u << arch))) continue;
+      if (tags_.lookup(to_tid, arch) >= 0) continue;
+      const int idx = warm_allocate(to_tid, arch, locked, warm_now);
+      if (idx < 0) break;
+      phys_values_[static_cast<u32>(idx)] = backing_read(to_tid, arch);
+      bsi_.warm_reg_transfer(to_tid, arch, /*is_write=*/false, warm_now);
+    }
+  }
+}
+
+void ViReCManager::warm_thread_halt(int tid, Cycle warm_now) {
+  for (u32 i = 0; i < tags_.size(); ++i) {
+    const RfEntry& entry = tags_.entry(i);
+    if (!entry.valid || static_cast<int>(entry.tid) != tid) continue;
+    if (entry.dirty) {
+      backing_write(tid, entry.arch, phys_values_[i]);
+      bsi_.warm_reg_transfer(tid, entry.arch, /*is_write=*/true, warm_now);
+    }
+    tags_.invalidate(i);
+  }
+}
+
 u64 ViReCManager::read_reg(int tid, isa::RegId reg) {
   const int idx = tags_.lookup(tid, reg);
   if (idx >= 0) return phys_values_[static_cast<u32>(idx)];

@@ -66,6 +66,11 @@ class ViReCManager final : public cpu::ContextManager {
   bool switch_allowed(Cycle now) const override;
   Cycle next_event_cycle(Cycle now) const override;
   void on_thread_halt(int tid, Cycle now) override;
+  void warm_thread_start(int tid, Cycle warm_now) override;
+  void warm_decode(int tid, const isa::Inst& inst, Cycle warm_now) override;
+  void warm_context_switch(int from_tid, int to_tid, int predicted_next,
+                           Cycle warm_now) override;
+  void warm_thread_halt(int tid, Cycle warm_now) override;
   u32 physical_regs() const override { return config_.num_phys_regs; }
 
   // --- isa::RegisterFileIO (functional) ---
@@ -94,6 +99,11 @@ class ViReCManager final : public cpu::ContextManager {
   /// entries are locked.
   int allocate_entry(int tid, isa::RegId arch, std::vector<u8>& locked,
                      Cycle now, Cycle& spill_done);
+  /// Functional mirror of allocate_entry: same tag-store transition and
+  /// dirty-victim backing write, dcache warmth via the BSI warm path,
+  /// no timing, counters, or rollback interaction.
+  int warm_allocate(int tid, isa::RegId arch, std::vector<u8>& locked,
+                    Cycle warm_now);
 
   ViReCConfig config_;
   TagStore tags_;

@@ -59,6 +59,25 @@ void BankedManager::on_thread_halt(int tid, Cycle now) {
   }
 }
 
+void BankedManager::warm_thread_start(int tid, Cycle warm_now) {
+  // read_reg/write_reg serve from the bank, so the functional tier must
+  // perform the backing -> bank copy on_thread_start would have done.
+  const Addr base = env_.ms->context_base(env_.core_id, static_cast<u32>(tid));
+  for (u32 line = 0; line < 5; ++line) {
+    dcache().warm_access(base + line * mem::kLineBytes, /*is_write=*/false,
+                         warm_now);
+  }
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    banks_[static_cast<std::size_t>(tid)][r] = backing_read(tid, r);
+  }
+}
+
+void BankedManager::warm_thread_halt(int tid, Cycle /*warm_now*/) {
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    backing_write(tid, r, banks_[static_cast<std::size_t>(tid)][r]);
+  }
+}
+
 u32 BankedManager::physical_regs() const {
   return env_.num_threads * isa::kNumArchRegs;
 }

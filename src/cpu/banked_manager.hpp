@@ -18,6 +18,8 @@ class BankedManager final : public ContextManager {
   Cycle on_thread_start(int tid, Cycle now) override;
   DecodeAccess on_decode(int tid, const isa::Inst& inst, Cycle now) override;
   void on_thread_halt(int tid, Cycle now) override;
+  void warm_thread_start(int tid, Cycle warm_now) override;
+  void warm_thread_halt(int tid, Cycle warm_now) override;
   u32 physical_regs() const override;
 
   // RegisterFileIO.

@@ -626,6 +626,90 @@ void CgmtCore::run() {
   stats_.set("instructions", static_cast<double>(instructions_));
 }
 
+void CgmtCore::run_insts(u64 max_insts) {
+  const u64 target = instructions_ + max_insts;
+  const Cycle limit =
+      config_.max_cycles + 1 == 0 ? kNeverCycle : config_.max_cycles + 1;
+  while (!done() && instructions_ < target) {
+    if (config_.skip && maybe_quiet()) {
+      const Cycle skip_target = std::min(next_event_cycle(), limit);
+      if (skip_target > cycle_ + 1) {
+        skip_to(skip_target);
+        if (cycle_ > config_.max_cycles) throw_max_cycles();
+        continue;
+      }
+    }
+    step();
+    if (cycle_ > config_.max_cycles) throw_max_cycles();
+  }
+}
+
+int CgmtCore::cut_to_functional() {
+  const int was_running = current_tid_;
+  if (current_tid_ >= 0) {
+    Thread& cur = threads_[static_cast<std::size_t>(current_tid_)];
+    // The oldest un-committed instruction (MEM outwards) resumes the
+    // thread; with an empty pipe the fetch cursor is exact. Everything
+    // squashed here re-executes functionally, so dropping the rollback
+    // entries mirrors a wrong-path flush.
+    if (mem_.valid) {
+      cur.pc = mem_.pc;
+    } else if (ex_.valid) {
+      cur.pc = ex_.pc;
+    } else if (id_.valid) {
+      cur.pc = id_.pc;
+    } else if (if_.valid) {
+      cur.pc = if_.pc;
+    } else {
+      cur.pc = fetch_pc_;
+    }
+    flush_pipeline(/*replayed=*/true);
+    rcm_.on_mispredict_flush(current_tid_);
+    current_tid_ = -1;
+  }
+  // Reservations pin miss lines for replay; the functional tier
+  // completes those loads itself, and a pinned line would corrupt warm
+  // victim selection.
+  for (Thread& t : threads_) {
+    if (t.has_reserved_line) {
+      dcache_.release_line(t.reserved_line);
+      t.has_reserved_line = false;
+    }
+  }
+  committed_since_switch_ = true;
+  return was_running;
+}
+
+void CgmtCore::resume_from_functional(Cycle warm_clock, u64 retired) {
+  if (warm_clock > cycle_) {
+    acct_.charge(CycleBucket::kFastForward, -1,
+                 static_cast<double>(warm_clock - cycle_));
+    cycle_ = warm_clock;
+  }
+  instructions_ += retired;
+  episode_start_instructions_ = instructions_;
+  for (Thread& t : threads_) {
+    // Outstanding-miss data and initial contexts arrived functionally.
+    if (t.blocked_until > cycle_) t.blocked_until = cycle_;
+    if (t.start_ready > cycle_) t.start_ready = cycle_;
+  }
+  fetch_ready_ = cycle_;
+  fetch_wait_cause_ = kFwFetch;
+  VIREC_CHECK(check_, acct_.total() == static_cast<double>(cycle_),
+              "cycle accounting must close after fast-forward");
+}
+
+void CgmtCore::halt_thread_functional(int tid) {
+  Thread& t = threads_[static_cast<std::size_t>(tid)];
+  t.halted = true;
+  --live_threads_;
+  if (t.has_reserved_line) {
+    dcache_.release_line(t.reserved_line);
+    t.has_reserved_line = false;
+  }
+  ++*c_halts_;
+}
+
 std::string CgmtCore::watchdog_diagnosis() const {
   std::string out = "core " + std::to_string(env_.core_id) + " at cycle " +
                     std::to_string(cycle_) + ": ";

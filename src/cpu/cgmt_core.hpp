@@ -101,6 +101,66 @@ class CgmtCore {
   /// max_cycles (first at max_cycles + 1, same as the lockstep loop).
   void run();
 
+  /// Like run(), but stop once @p max_insts further instructions have
+  /// committed (detailed warm-up / measurement windows of the tiered
+  /// runner). Does not write the final "cycles"/"instructions" stats.
+  void run_insts(u64 max_insts);
+
+  // --- Tiered simulation (sim::TieredRunner) ---
+  /// Detach the detailed pipeline so the functional tier can take
+  /// over: squash all in-flight (uncommitted) instructions — the
+  /// oldest one's pc becomes the running thread's architectural resume
+  /// pc — drop their rollback entries, release every held miss-line
+  /// reservation and deschedule the core. Architectural state (memory,
+  /// register contexts, NZCV, thread pcs) is untouched. Returns the
+  /// tid that was running (-1 if none): the natural first thread for
+  /// the functional scheduler.
+  int cut_to_functional();
+
+  /// Re-attach after a functional phase whose pseudo-clock reached
+  /// @p warm_clock (>= cycle()): the elapsed span is charged to the
+  /// FastForward bucket — keeping the closed-accounting invariant and
+  /// the cache-recency ordering (warm LRU stamps never exceed the
+  /// clock) — @p retired functionally-executed instructions join the
+  /// commit count, and every live thread becomes schedulable at the
+  /// new clock. The next step() re-enters through the initial-schedule
+  /// path, charging a fresh context switch.
+  void resume_from_functional(Cycle warm_clock, u64 retired);
+
+  /// Functional HALT: retire thread @p tid from the scheduler without
+  /// pipeline involvement. The caller runs the context manager's
+  /// warm_thread_halt hook itself.
+  void halt_thread_functional(int tid);
+
+  // Architectural thread state, exposed for the functional executor.
+  bool thread_started(int tid) const {
+    return threads_[static_cast<std::size_t>(tid)].started;
+  }
+  bool thread_halted(int tid) const {
+    return threads_[static_cast<std::size_t>(tid)].halted;
+  }
+  /// on_thread_start (initial context fetch) already ran for @p tid.
+  bool thread_launched(int tid) const {
+    return threads_[static_cast<std::size_t>(tid)].launched_context;
+  }
+  /// The functional tier ran warm_thread_start: a later detailed
+  /// switch_to() must not replay on_thread_start over newer state.
+  void mark_thread_launched(int tid) {
+    threads_[static_cast<std::size_t>(tid)].launched_context = true;
+  }
+  u64 thread_pc(int tid) const {
+    return threads_[static_cast<std::size_t>(tid)].pc;
+  }
+  void set_thread_pc(int tid, u64 pc) {
+    threads_[static_cast<std::size_t>(tid)].pc = pc;
+  }
+  /// Mutable NZCV for the functional executor (isa::execute).
+  u8& nzcv_ref(int tid) {
+    return threads_[static_cast<std::size_t>(tid)].nzcv;
+  }
+
+  const CgmtCoreConfig& config() const { return config_; }
+
   Cycle cycle() const { return cycle_; }
   u64 instructions() const { return instructions_; }
   double ipc() const {

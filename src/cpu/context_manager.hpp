@@ -119,6 +119,52 @@ class ContextManager : public isa::RegisterFileIO {
     (void)now;
   }
 
+  // --- functional fast-forward hooks (tiered simulation) ---
+  //
+  // The functional tier executes committed instructions without the
+  // pipeline. The warm_* hooks mirror each timing hook's persistent
+  // state effects — storage residency, episode masks, cache tags via
+  // Cache::warm_access — at zero timing cost, so a later detailed
+  // window starts against warm structures. They must keep read_reg /
+  // write_reg architecturally correct for any thread the functional
+  // tier runs; the default no-ops are only right for schemes whose
+  // register accessors always reach canonical storage.
+
+  /// Functional counterpart of on_thread_start: make @p tid's registers
+  /// live through read_reg/write_reg (e.g. copy the backing store into
+  /// the scheme's private storage) without charging transfer time.
+  /// Called exactly once per thread, before its first functional
+  /// instruction; the core marks the context launched so a later
+  /// detailed switch-in does not replay on_thread_start over newer
+  /// values.
+  virtual void warm_thread_start(int tid, Cycle warm_now) {
+    (void)tid;
+    (void)warm_now;
+  }
+
+  /// Functional counterpart of on_decode (residency + cache warmth).
+  virtual void warm_decode(int tid, const isa::Inst& inst, Cycle warm_now) {
+    (void)tid;
+    (void)inst;
+    (void)warm_now;
+  }
+
+  /// Functional counterpart of on_context_switch.
+  virtual void warm_context_switch(int from_tid, int to_tid,
+                                   int predicted_next, Cycle warm_now) {
+    (void)from_tid;
+    (void)to_tid;
+    (void)predicted_next;
+    (void)warm_now;
+  }
+
+  /// Functional counterpart of on_thread_halt: flush dirty state to the
+  /// backing store so the host can read results.
+  virtual void warm_thread_halt(int tid, Cycle warm_now) {
+    (void)tid;
+    (void)warm_now;
+  }
+
   /// Physical registers this scheme instantiates (area model input).
   virtual u32 physical_regs() const = 0;
 

@@ -169,6 +169,97 @@ void PrefetchManager::on_thread_halt(int tid, Cycle now) {
   started_[static_cast<std::size_t>(tid)] = false;
 }
 
+void PrefetchManager::warm_transfer(int tid, RegMask mask, bool is_write,
+                                    Cycle warm_now) {
+  u32 line_mask = 0;
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    if (!(mask & (1u << r))) continue;
+    line_mask |= 1u << (r / 8);
+    if (is_write) {
+      backing_write(tid, r, values_[static_cast<std::size_t>(tid)][r]);
+    }
+  }
+  const Addr base = env_.ms->context_base(env_.core_id, static_cast<u32>(tid));
+  for (u32 line = 0; line < 4; ++line) {
+    if (!(line_mask & (1u << line))) continue;
+    dcache().warm_access(base + line * mem::kLineBytes, is_write, warm_now);
+  }
+  dcache().warm_access(env_.ms->sysreg_addr(env_.core_id,
+                                            static_cast<u32>(tid)),
+                       is_write, warm_now);
+}
+
+void PrefetchManager::warm_thread_start(int tid, Cycle warm_now) {
+  // read_reg/write_reg always use values_, so the functional tier must
+  // perform the backing -> values_ copy on_thread_start would have
+  // done before the thread's first instruction.
+  auto& vals = values_[static_cast<std::size_t>(tid)];
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    vals[r] = backing_read(tid, r);
+  }
+  started_[static_cast<std::size_t>(tid)] = true;
+  if (prefetched_tid_ < 0) {
+    prefetched_tid_ = tid;
+    resident_[static_cast<std::size_t>(tid)] = predicted_set(tid);
+    warm_transfer(tid, predicted_set(tid), /*is_write=*/false, warm_now);
+  }
+}
+
+void PrefetchManager::warm_decode(int tid, const isa::Inst& inst,
+                                  Cycle warm_now) {
+  const isa::RegList regs = isa::all_regs(inst);
+  RegMask& resident = resident_[static_cast<std::size_t>(tid)];
+  RegMask& used = used_this_episode_[static_cast<std::size_t>(tid)];
+  for (u32 i = 0; i < regs.count; ++i) {
+    const u8 r = regs.regs[i];
+    used |= 1u << r;
+    if (!(resident & (1u << r))) {
+      dcache().warm_access(
+          env_.ms->reg_addr(env_.core_id, static_cast<u32>(tid), r),
+          /*is_write=*/false, warm_now);
+      resident |= 1u << r;
+    }
+  }
+}
+
+void PrefetchManager::warm_context_switch(int from_tid, int to_tid,
+                                          int predicted_next, Cycle warm_now) {
+  const auto from = static_cast<std::size_t>(from_tid);
+  const auto to = static_cast<std::size_t>(to_tid);
+  const RegMask spill_mask =
+      mode_ == PrefetchMode::kFull ? kAllRegsMask : used_this_episode_[from];
+  warm_transfer(from_tid, spill_mask, /*is_write=*/true, warm_now);
+  last_episode_used_[from] = used_this_episode_[from];
+  used_this_episode_[from] = 0;
+  resident_[from] = 0;
+
+  if (prefetched_tid_ != to_tid) {
+    resident_[to] = predicted_set(to_tid);
+    warm_transfer(to_tid, resident_[to], /*is_write=*/false, warm_now);
+  }
+
+  int next = predicted_next;
+  if (next == to_tid ||
+      (next >= 0 && !started_[static_cast<std::size_t>(next)])) {
+    next = -1;
+  }
+  if (next >= 0) {
+    const auto nx = static_cast<std::size_t>(next);
+    resident_[nx] = predicted_set(next);
+    warm_transfer(next, resident_[nx], /*is_write=*/false, warm_now);
+    prefetched_tid_ = next;
+  } else {
+    prefetched_tid_ = -1;
+  }
+}
+
+void PrefetchManager::warm_thread_halt(int tid, Cycle /*warm_now*/) {
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    backing_write(tid, r, values_[static_cast<std::size_t>(tid)][r]);
+  }
+  started_[static_cast<std::size_t>(tid)] = false;
+}
+
 u32 PrefetchManager::physical_regs() const {
   return 2 * isa::kNumArchRegs;  // double buffer
 }

@@ -37,6 +37,11 @@ class PrefetchManager final : public ContextManager {
   Cycle on_context_switch(int from_tid, int to_tid, int predicted_next,
                           Cycle now) override;
   void on_thread_halt(int tid, Cycle now) override;
+  void warm_thread_start(int tid, Cycle warm_now) override;
+  void warm_decode(int tid, const isa::Inst& inst, Cycle warm_now) override;
+  void warm_context_switch(int from_tid, int to_tid, int predicted_next,
+                           Cycle warm_now) override;
+  void warm_thread_halt(int tid, Cycle warm_now) override;
   u32 physical_regs() const override;
 
   u64 read_reg(int tid, isa::RegId reg) override;
@@ -51,6 +56,9 @@ class PrefetchManager final : public ContextManager {
   /// Issue dcache accesses for every register in @p mask starting at
   /// @p now; returns the completion of the last one.
   Cycle transfer(int tid, RegMask mask, bool is_write, Cycle now);
+  /// Functional mirror of transfer(): same backing writes and dcache
+  /// footprint via warm accesses, zero timing.
+  void warm_transfer(int tid, RegMask mask, bool is_write, Cycle warm_now);
   /// The register set to prefetch for @p tid's next episode.
   RegMask predicted_set(int tid) const;
 

@@ -88,6 +88,53 @@ void SoftwareManager::on_thread_halt(int tid, Cycle now) {
   }
 }
 
+void SoftwareManager::warm_decode(int tid, const isa::Inst& /*inst*/,
+                                  Cycle warm_now) {
+  // read_reg falls back to the backing store for non-resident threads,
+  // so this is warmth only: perform the save/load residency swap
+  // functionally, mirroring the dcache footprint of the trampoline.
+  if (resident_tid_ == tid) return;
+  if (resident_tid_ >= 0) {
+    const int old = resident_tid_;
+    for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+      backing_write(old, r, rf_[r]);
+      if (r % 2 != 0) continue;
+      dcache().warm_access(
+          env_.ms->reg_addr(env_.core_id, static_cast<u32>(old), r),
+          /*is_write=*/true, warm_now);
+    }
+    dcache().warm_access(
+        env_.ms->sysreg_addr(env_.core_id, static_cast<u32>(old)),
+        /*is_write=*/true, warm_now);
+  }
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    rf_[r] = backing_read(tid, r);
+    if (r % 2 != 0) continue;
+    dcache().warm_access(
+        env_.ms->reg_addr(env_.core_id, static_cast<u32>(tid), r),
+        /*is_write=*/false, warm_now);
+  }
+  dcache().warm_access(env_.ms->sysreg_addr(env_.core_id,
+                                            static_cast<u32>(tid)),
+                       /*is_write=*/false, warm_now);
+  resident_tid_ = tid;
+}
+
+void SoftwareManager::warm_thread_halt(int tid, Cycle warm_now) {
+  if (resident_tid_ != tid) return;
+  for (u8 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+    backing_write(tid, r, rf_[r]);
+    if (r % 2 != 0) continue;
+    dcache().warm_access(
+        env_.ms->reg_addr(env_.core_id, static_cast<u32>(tid), r),
+        /*is_write=*/true, warm_now);
+  }
+  dcache().warm_access(env_.ms->sysreg_addr(env_.core_id,
+                                            static_cast<u32>(tid)),
+                       /*is_write=*/true, warm_now);
+  resident_tid_ = -1;
+}
+
 u32 SoftwareManager::physical_regs() const { return isa::kNumArchRegs; }
 
 u64 SoftwareManager::read_reg(int tid, isa::RegId reg) {

@@ -21,6 +21,8 @@ class SoftwareManager final : public ContextManager {
   Cycle on_context_switch(int from_tid, int to_tid, int predicted_next,
                           Cycle now) override;
   void on_thread_halt(int tid, Cycle now) override;
+  void warm_decode(int tid, const isa::Inst& inst, Cycle warm_now) override;
+  void warm_thread_halt(int tid, Cycle warm_now) override;
   u32 physical_regs() const override;
 
   // RegisterFileIO: only the resident thread has live values; all other

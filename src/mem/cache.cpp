@@ -43,6 +43,10 @@ Cache::Cache(const CacheConfig& config, MemLevel& below)
                                "accesses that bypassed allocation");
   c_prefetches_ = stats_.counter("prefetches",
                                  "prefetch fills issued into this cache");
+  c_warm_hits_ = stats_.counter(
+      "warm_hits", "functional warm-tier accesses that found the line");
+  c_warm_misses_ = stats_.counter(
+      "warm_misses", "functional warm-tier accesses that filled or bypassed");
   hist_miss_cycles_ = stats_.histogram(
       "miss_cycles", "per-miss latency from access to data return");
 }
@@ -302,6 +306,70 @@ CacheAccess Cache::access(Addr addr, bool is_write, Cycle now,
 
 Cycle Cache::line_access(Addr line_addr, bool is_write, Cycle now) {
   return access(line_addr, is_write, now, /*reg_region=*/false).done;
+}
+
+bool Cache::warm_access(Addr addr, bool is_write, Cycle warm_now,
+                        bool reg_region) {
+  const Addr laddr = line_of(addr);
+  Line* line = find_line(laddr);
+
+  auto touch_reg_bits = [&](Line& l) {
+    if (!reg_region) return;
+    l.reg_line = true;
+    if (is_write) {
+      if (l.pin > 0) --l.pin;
+    } else {
+      if (l.pin < 7) ++l.pin;
+    }
+  };
+
+  if (line != nullptr) {
+    // Present (possibly still mid-fill from before the tier cut —
+    // functionally the data is in memory either way): refresh recency.
+    line->lru = warm_now;
+    if (is_write) line->dirty = true;
+    touch_reg_bits(*line);
+    ++*c_warm_hits_;
+    return true;
+  }
+
+  ++*c_warm_misses_;
+  const u64 line_no = laddr / kLineBytes;
+  const u32 set = static_cast<u32>(line_no & (num_sets_ - 1));
+  Line* victim = pick_victim(set, warm_now);
+  if (victim == nullptr) {
+    // Every way pinned or mid-fill: the detailed model would bypass.
+    below_.warm_line(laddr, is_write, warm_now);
+    return false;
+  }
+  if (victim->valid && victim->dirty) {
+    // The writeback itself is a functional no-op (the cache holds tags
+    // only; SparseMemory already has the data), but it would touch the
+    // level below, so warm that.
+    const Addr wb = ((victim->tag << set_shift_) |
+                     (line_no & (num_sets_ - 1))) *
+                    kLineBytes;
+    below_.warm_line(wb, /*is_write=*/true, warm_now);
+  }
+  below_.warm_line(laddr, /*is_write=*/false, warm_now);
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->reg_line = false;
+  victim->pin = 0;
+  victim->tag = line_no >> set_shift_;
+  victim->pending_until = warm_now;  // fill completes instantly
+  // The detailed model inserts at fill *completion* (lru = done), so a
+  // just-filled line outranks lines merely hit around the same time —
+  // which is what lets streaming fills push out frequently-hit lines.
+  // Reproduce that geometry: stamp warm fills ahead of the warm clock
+  // by the cache's own observed mean miss latency (0 until a detailed
+  // stretch has measured one).
+  const Cycle fill_bias =
+      *c_misses_ > 0.0 ? static_cast<Cycle>(*c_miss_latency_ / *c_misses_)
+                       : 0;
+  victim->lru = warm_now + fill_bias;
+  touch_reg_bits(*victim);
+  return false;
 }
 
 void Cache::save_state(ckpt::Encoder& enc) const {

@@ -63,6 +63,21 @@ class Cache final : public MemLevel {
   /// MemLevel interface for an upper cache level.
   Cycle line_access(Addr line_addr, bool is_write, Cycle now) override;
 
+  /// Functional warm-up access (tiered fast-forward tier): mirrors the
+  /// tag/LRU/dirty/pin effects of access() without touching ports,
+  /// MSHRs or demand statistics. Fills complete instantly (the data
+  /// already lives in functional memory); misses propagate as
+  /// warm_line() to the level below so lower tags and DRAM rows warm
+  /// too. @p warm_now must be monotonic with the detailed clock so
+  /// recency stays ordered across tier switches. Returns whether the
+  /// line was already present.
+  bool warm_access(Addr addr, bool is_write, Cycle warm_now,
+                   bool reg_region = false);
+
+  void warm_line(Addr line_addr, bool is_write, Cycle warm_now) override {
+    warm_access(line_addr, is_write, warm_now, /*reg_region=*/false);
+  }
+
   /// True if @p addr currently hits (tags only, no state change).
   bool probe(Addr addr) const;
 
@@ -157,6 +172,8 @@ class Cache final : public MemLevel {
   double* c_writebacks_ = nullptr;
   double* c_bypasses_ = nullptr;
   double* c_prefetches_ = nullptr;
+  double* c_warm_hits_ = nullptr;
+  double* c_warm_misses_ = nullptr;
   const check::CheckContext* check_ = nullptr;
 };
 

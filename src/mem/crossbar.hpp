@@ -20,6 +20,12 @@ class Crossbar final : public MemLevel {
 
   Cycle line_access(Addr line_addr, bool is_write, Cycle now) override;
 
+  /// The crossbar keeps no persistent state besides the link cursor;
+  /// warm accesses pass straight through to the memory controller.
+  void warm_line(Addr line_addr, bool is_write, Cycle warm_now) override {
+    below_.warm_line(line_addr, is_write, warm_now);
+  }
+
   /// Shared-link release strictly after @p now (kNeverCycle when the
   /// link is idle). Event-skip input.
   Cycle next_event_cycle(Cycle now) const {

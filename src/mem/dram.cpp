@@ -85,6 +85,16 @@ Cycle DramModel::line_access(Addr line_addr, bool is_write, Cycle now) {
   return done;
 }
 
+void DramModel::warm_line(Addr line_addr, bool /*is_write*/,
+                          Cycle /*warm_now*/) {
+  const u64 line = line_addr / kLineBytes;
+  const u32 channel = static_cast<u32>(line % config_.channels);
+  const u32 bank_idx =
+      static_cast<u32>((line / config_.channels) % config_.banks_per_channel);
+  banks_[channel * config_.banks_per_channel + bank_idx].open_row =
+      line_addr / config_.row_bytes;
+}
+
 void DramModel::save_state(ckpt::Encoder& enc) const {
   enc.put_u32(static_cast<u32>(banks_.size()));
   for (const Bank& b : banks_) {

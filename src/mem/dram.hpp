@@ -34,6 +34,10 @@ class DramModel final : public MemLevel {
   /// Completion time of a line access issued at @p now.
   Cycle line_access(Addr line_addr, bool is_write, Cycle now) override;
 
+  /// Functional warm-up: track the row-activation effect of the access
+  /// (open_row) without advancing bank/bus busy cursors or stats.
+  void warm_line(Addr line_addr, bool is_write, Cycle warm_now) override;
+
   /// Earliest bank/bus release strictly after @p now (kNeverCycle if
   /// everything is free). Event-skip input: the model resolves all
   /// timing at issue, so nothing changes on its own before this cycle.

@@ -15,6 +15,18 @@ class MemLevel {
   /// at which the data movement completes. Implementations advance
   /// their internal contention state (bus/bank/port busy-until times).
   virtual Cycle line_access(Addr line_addr, bool is_write, Cycle now) = 0;
+
+  /// Functional warm-up: mirror the persistent state effects of a line
+  /// access — cache tag/LRU/dirty/pin state, DRAM open rows — without
+  /// advancing any busy-until cursor, MSHR or timing statistic. The
+  /// tiered fast-forward tier uses this to keep the hierarchy warm
+  /// between measurement windows. @p warm_now is the functional tier's
+  /// monotonic pseudo-clock (used for recency ordering only).
+  virtual void warm_line(Addr line_addr, bool is_write, Cycle warm_now) {
+    (void)line_addr;
+    (void)is_write;
+    (void)warm_now;
+  }
 };
 
 inline constexpr u32 kLineBytes = 64;

@@ -1,5 +1,6 @@
 #include "sim/runner.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace virec::sim {
@@ -29,7 +30,48 @@ SystemConfig build_config(const RunSpec& spec) {
   return config;
 }
 
+TieredResult run_spec_tiered(const RunSpec& spec) {
+  if (spec.sample_windows == 0 && !spec.functional_ff) {
+    throw std::invalid_argument(
+        "run_spec_tiered: spec has neither sample_windows nor functional_ff");
+  }
+  if (spec.sample_windows > 0 && spec.check) {
+    throw std::invalid_argument(
+        "sampled runs cannot be combined with check: checked runs validate "
+        "the full detailed model, which sampling deliberately skips "
+        "(functional_ff + check validates the functional tier)");
+  }
+  const workloads::Workload& workload = workloads::find_workload(spec.workload);
+  System system(build_config(spec), workload, spec.params);
+  if (spec.check) system.enable_check();
+  TieredConfig tiered;
+  tiered.sample_windows = spec.sample_windows;
+  tiered.window_insts = spec.window_insts;
+  tiered.warmup_insts = spec.warmup_insts;
+  tiered.functional_ff = spec.functional_ff;
+  TieredRunner runner(system, tiered);
+  TieredResult result = runner.run();
+  if (!result.full.check_ok) {
+    throw std::runtime_error("workload check failed (" + spec.workload +
+                             ", scheme " + scheme_name(spec.scheme) +
+                             "): " + result.full.check_msg);
+  }
+  return result;
+}
+
 RunResult run_spec(const RunSpec& spec) {
+  if (spec.sample_windows > 0 || spec.functional_ff) {
+    const TieredResult tiered = run_spec_tiered(spec);
+    RunResult result = tiered.full;
+    if (spec.sample_windows > 0) {
+      // Report the sampled estimates through the standard fields so
+      // sweeps and harnesses consume them unchanged.
+      result.cycles = static_cast<Cycle>(std::llround(tiered.est_cycles));
+      result.instructions = tiered.total_insts;
+      result.ipc = tiered.est_ipc;
+    }
+    return result;
+  }
   const workloads::Workload& workload = workloads::find_workload(spec.workload);
   System system(build_config(spec), workload, spec.params);
   if (spec.check) system.enable_check();

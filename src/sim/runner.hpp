@@ -5,6 +5,7 @@
 #include <string>
 
 #include "sim/system.hpp"
+#include "tiered/tiered_runner.hpp"
 
 namespace virec::sim {
 
@@ -37,6 +38,20 @@ struct RunSpec {
   /// force the cycle-stepped loops. Results are bit-identical either
   /// way; skipping only trades simulator wall-clock.
   bool no_skip = false;
+  /// Tiered simulation (sim::TieredRunner; docs/performance.md).
+  /// sample_windows > 0 runs SMARTS-style sampled measurement: the
+  /// returned RunResult carries the *estimated* cycles/IPC
+  /// (cpi_mean * prepass instruction count) instead of measured
+  /// full-run values. functional_ff runs the whole program through the
+  /// functional tier. Both require a single-core spec and are mutually
+  /// exclusive. Sampling also excludes check: a checked run exists to
+  /// validate the full detailed model, which sampling deliberately
+  /// skips most of (functional_ff + check is allowed — that is exactly
+  /// how the functional tier itself is validated).
+  u32 sample_windows = 0;
+  u64 window_insts = 10'000;
+  u64 warmup_insts = 2'000;
+  bool functional_ff = false;
 };
 
 /// Build the SystemConfig a RunSpec describes (exposed for tests).
@@ -44,8 +59,16 @@ SystemConfig build_config(const RunSpec& spec);
 
 /// Run the experiment point; throws std::runtime_error if the workload
 /// result check fails (a simulator correctness bug, not a model
-/// property).
+/// property). Tiered specs (sample_windows > 0 / functional_ff)
+/// dispatch through sim::TieredRunner; a sampled spec's RunResult then
+/// carries the estimated cycles/IPC.
 RunResult run_spec(const RunSpec& spec);
+
+/// Tiered entry point returning the full per-window statistics.
+/// Requires spec.sample_windows > 0 or spec.functional_ff; throws
+/// std::invalid_argument on rejected combinations (multi-core,
+/// sampling + check, zero-size windows).
+TieredResult run_spec_tiered(const RunSpec& spec);
 
 /// Registers per thread implied by a spec (for reporting).
 u32 spec_phys_regs(const RunSpec& spec);

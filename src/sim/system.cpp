@@ -311,6 +311,64 @@ RunResult System::run() {
     // Final heartbeat so even short runs produce one line.
     if (progress_) emit_progress();
   }
+  return make_result();
+}
+
+u64 System::total_instructions() const {
+  u64 n = 0;
+  for (const auto& core : cores_) n += core->instructions();
+  return n;
+}
+
+void System::run_detailed_insts(u64 insts) {
+  const u64 target = total_instructions() + insts;
+  if (cores_.size() == 1) {
+    cores_[0]->run_insts(insts);
+    return;
+  }
+  // Lockstep multi-core stepping, same interleaving as run() minus the
+  // sampling/checkpoint/progress observers.
+  const Cycle limit = config_.core.max_cycles + 1 == 0
+                          ? kNeverCycle
+                          : config_.core.max_cycles + 1;
+  bool any_running = true;
+  while (any_running && total_instructions() < target) {
+    any_running = false;
+    if (config_.core.skip) {
+      const Cycle now0 = max_core_cycle();
+      const Cycle skip_target = global_skip_target(now0, kNeverCycle, limit);
+      if (skip_target > now0 + 1) {
+        for (auto& core : cores_) {
+          if (!core->done()) {
+            core->skip_to(skip_target);
+            any_running = true;
+          }
+        }
+      }
+    }
+    if (!any_running) {
+      for (auto& core : cores_) {
+        if (!core->done()) {
+          core->step();
+          any_running = true;
+        }
+      }
+    }
+    if (max_core_cycle() > config_.core.max_cycles) {
+      std::string diagnosis;
+      for (auto& core : cores_) {
+        if (core->done()) continue;
+        if (!diagnosis.empty()) diagnosis += "; ";
+        diagnosis += core->watchdog_diagnosis();
+      }
+      throw std::runtime_error("System: max_cycles (" +
+                               std::to_string(config_.core.max_cycles) +
+                               ") exceeded; " + diagnosis);
+    }
+  }
+}
+
+RunResult System::make_result() {
   // The step-driven paths bypass CgmtCore::run(); mirror its final
   // scalar bookkeeping so registry dumps always carry totals.
   for (auto& core : cores_) {
@@ -440,7 +498,9 @@ u64 System::config_hash() const {
   return h;
 }
 
-void System::save(const std::string& path) const {
+void System::save(
+    const std::string& path,
+    const std::function<void(ckpt::CheckpointWriter&)>& extra) const {
   ckpt::CheckpointWriter writer(config_hash());
   ms_->save_state(writer);
   for (u32 c = 0; c < config_.num_cores; ++c) {
@@ -462,10 +522,13 @@ void System::save(const std::string& path) const {
   sim.put_u64(sample_next_);
   sim.put_u64(sample_prev_cycle_);
   sim.put_u64(sample_prev_instructions_);
+  if (extra) extra(writer);
   writer.write_file(path);
 }
 
-void System::restore(const std::string& path) {
+void System::restore(
+    const std::string& path,
+    const std::function<void(ckpt::CheckpointReader&)>& extra) {
   ckpt::CheckpointReader reader(path, config_hash());
   ms_->restore_state(reader);
   for (u32 c = 0; c < config_.num_cores; ++c) {
@@ -495,6 +558,7 @@ void System::restore(const std::string& path) {
   sample_prev_cycle_ = sim.get_u64();
   sample_prev_instructions_ = sim.get_u64();
   sim.finish();
+  if (extra) extra(reader);
   restored_ = true;
 }
 

@@ -76,11 +76,29 @@ class System {
   /// results.
   RunResult run();
 
+  /// Run the detailed model until @p insts further instructions have
+  /// committed (summed over cores) or every core is done. Used by the
+  /// tiered runner for warm-up prefixes and measurement windows; the
+  /// plain sampling/checkpoint/progress observers of run() do not
+  /// apply here.
+  void run_detailed_insts(u64 insts);
+
+  /// Assemble the RunResult for the current simulation state (run()'s
+  /// final bookkeeping, exposed so sim::TieredRunner can finish a
+  /// sampled run through the same path).
+  RunResult make_result();
+
+  /// Instructions committed so far, summed over cores.
+  u64 total_instructions() const;
+
   cpu::CgmtCore& core(u32 i) { return *cores_[i]; }
   const cpu::CgmtCore& core(u32 i) const { return *cores_[i]; }
   cpu::ContextManager& manager(u32 i) { return *managers_[i]; }
   mem::MemorySystem& memory_system() { return *ms_; }
   const SystemConfig& config() const { return config_; }
+  const kasm::Program& program() const { return program_; }
+  const workloads::Workload& workload() const { return workload_; }
+  const workloads::WorkloadParams& params() const { return params_; }
   u32 total_threads() const {
     return config_.num_cores * config_.threads_per_core;
   }
@@ -132,6 +150,9 @@ class System {
   /// restore() too — the oracle adopts the restored state lazily.
   void enable_check();
   const check::CheckContext* check_context() const { return check_.get(); }
+  /// Mutable oracle access for the functional tier (nullptr when
+  /// enable_check() has not run).
+  check::CheckContext* check() { return check_.get(); }
 
   /// Hash of everything that must match between the system that saved
   /// a checkpoint and the system restoring it: scheme, core/thread
@@ -141,14 +162,21 @@ class System {
   u64 config_hash() const;
 
   /// Write a crash-safe snapshot of the complete simulation state
-  /// (docs/checkpointing.md). Callable mid-run.
-  void save(const std::string& path) const;
+  /// (docs/checkpointing.md). Callable mid-run. @p extra, when set, may
+  /// append owner-specific sections after the built-in ones (the
+  /// tiered runner stores its sampling plan this way).
+  void save(const std::string& path,
+            const std::function<void(ckpt::CheckpointWriter&)>& extra =
+                {}) const;
 
   /// Restore a snapshot produced by an identically configured system.
   /// Throws ckpt::CkptError on corruption or configuration mismatch.
   /// A subsequent run() continues from the snapshot point and produces
-  /// bit-identical results to an uninterrupted run.
-  void restore(const std::string& path);
+  /// bit-identical results to an uninterrupted run. @p extra must
+  /// mirror the writer-side callback, consuming the same sections in
+  /// the same order.
+  void restore(const std::string& path,
+               const std::function<void(ckpt::CheckpointReader&)>& extra = {});
 
   /// Save a snapshot to "<dir>/ckpt-<cycle>.vckpt" every @p every
   /// cycles during run() (0 disables). Forces the lockstep loop; event

@@ -1,0 +1,119 @@
+#include "tiered/functional_executor.hpp"
+
+#include "isa/semantics.hpp"
+#include "mem/memory_system.hpp"
+
+namespace virec::sim {
+
+FunctionalExecutor::FunctionalExecutor(cpu::CgmtCore& core,
+                                       cpu::ContextManager& rcm,
+                                       mem::MemorySystem& ms,
+                                       const kasm::Program& program,
+                                       u32 core_id,
+                                       check::CheckContext* check,
+                                       int start_tid, u64 cpi_scale)
+    : core_(core),
+      rcm_(rcm),
+      ms_(ms),
+      program_(program),
+      icache_(ms.icache(core_id)),
+      dcache_(ms.dcache(core_id)),
+      core_id_(core_id),
+      num_threads_(core.config().num_threads),
+      switch_on_miss_(core.config().switch_on_miss),
+      check_(check),
+      cur_tid_(start_tid),
+      warm_clock_(core.cycle()),
+      cpi_scale_(cpi_scale == 0 ? 1 : cpi_scale) {}
+
+int FunctionalExecutor::pick_next(int after, int exclude) const {
+  const u32 n = num_threads_;
+  const u32 base = after < 0 ? n - 1 : static_cast<u32>(after);
+  for (u32 s = 1; s <= n; ++s) {
+    const int tid = static_cast<int>((base + s) % n);
+    if (tid == after || tid == exclude) continue;
+    if (core_.thread_started(tid) && !core_.thread_halted(tid)) return tid;
+  }
+  return -1;
+}
+
+u64 FunctionalExecutor::run(u64 max_insts) {
+  u64 executed = 0;
+  if (cur_tid_ >= 0 && core_.thread_halted(cur_tid_)) cur_tid_ = -1;
+  while (executed < max_insts && core_.live_threads() > 0) {
+    if (cur_tid_ < 0) {
+      cur_tid_ = pick_next(-1, -1);
+      run_length_ = 0;
+      if (cur_tid_ < 0) break;  // defensive; live_threads() > 0 implies found
+    }
+    const int tid = cur_tid_;
+    if (!core_.thread_launched(tid)) {
+      // Initial context fetch: functional equivalent of
+      // on_thread_start. Marking the thread launched stops a later
+      // detailed switch_to() replaying it over newer register values.
+      rcm_.warm_thread_start(tid, warm_clock_);
+      core_.mark_thread_launched(tid);
+    }
+    const u64 pc = core_.thread_pc(tid);
+    const isa::Inst& inst = program_.at(pc);
+    icache_.warm_access(mem::MemorySystem::code_addr(pc), /*is_write=*/false,
+                        warm_clock_);
+    rcm_.warm_decode(tid, inst, warm_clock_);
+
+    // Warm the data path before executing: the effective address uses
+    // pre-commit register values, exactly as the MEM stage computes it.
+    bool load_miss = false;
+    if (isa::is_mem(inst.op)) {
+      const Addr addr = isa::compute_mem_addr(inst, tid, rcm_);
+      const bool reg_region = ms_.in_reg_region(addr);
+      const bool is_write = isa::is_store(inst.op);
+      const bool hit = dcache_.warm_access(addr, is_write, warm_clock_,
+                                           reg_region);
+      // Only demand-load data misses trigger CGMT switches (stores
+      // drain through the store queue; register-region misses never
+      // switch).
+      load_miss = !hit && !is_write && !reg_region;
+    }
+
+    u8& nzcv = core_.nzcv_ref(tid);
+    if (check_ != nullptr) {
+      check_->pre_commit(core_id_, tid, inst, pc, warm_clock_, rcm_, nzcv);
+    }
+    const isa::ExecResult res =
+        isa::execute(inst, pc, tid, rcm_, ms_.memory(), nzcv);
+    if (check_ != nullptr) {
+      check_->post_commit(core_id_, tid, inst, pc, warm_clock_, rcm_, nzcv,
+                          res);
+    }
+    core_.set_thread_pc(tid, res.next_pc);
+    ++executed;
+    warm_clock_ += cpi_scale_;
+    ++run_length_;
+
+    if (res.halted) {
+      rcm_.warm_thread_halt(tid, warm_clock_);
+      core_.halt_thread_functional(tid);
+      const int next = pick_next(tid, -1);
+      if (next >= 0) {
+        rcm_.warm_context_switch(tid, next, pick_next(next, tid), warm_clock_);
+      }
+      cur_tid_ = next;
+      run_length_ = 0;
+      continue;
+    }
+
+    const bool rotate = (load_miss && switch_on_miss_) ||
+                        run_length_ >= kRotationPeriod;
+    if (rotate && core_.live_threads() > 1) {
+      const int next = pick_next(tid, -1);
+      if (next >= 0 && next != tid) {
+        rcm_.warm_context_switch(tid, next, pick_next(next, tid), warm_clock_);
+        cur_tid_ = next;
+        run_length_ = 0;
+      }
+    }
+  }
+  return executed;
+}
+
+}  // namespace virec::sim

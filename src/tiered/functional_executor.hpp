@@ -1,0 +1,69 @@
+// The functional fast-forward tier (tiered simulation, see
+// docs/performance.md): drives one core's architectural state forward
+// without per-cycle pipeline stepping. Instructions execute through
+// isa::execute against the core's own context manager and memory — so
+// register contexts, NZCV and data memory stay bit-exact with the
+// cycle model — while the warm_* hooks keep the microarchitectural
+// warm state (cache tags/LRU, ViReC tag-store and BSI residency, CSL
+// ping-pong buffer, DRAM row buffers) hot enough that a short detailed
+// warm-up converges after re-attach.
+//
+// A pseudo-clock advances cpi_scale cycles per executed instruction
+// (the caller's running CPI estimate from the detailed stretches, so
+// warm recency stamps are spaced like real ones), starting from the
+// core's frozen cycle; CgmtCore::resume_from_functional() later
+// advances the real clock to it (charged to the FastForward bucket),
+// so recency ordering survives the tier switch.
+#pragma once
+
+#include "check/check.hpp"
+#include "cpu/cgmt_core.hpp"
+
+namespace virec::sim {
+
+class FunctionalExecutor {
+ public:
+  /// @p start_tid: thread to execute first (the one running at the
+  /// cut; < 0 picks the first live thread). @p check may be nullptr.
+  /// @p cpi_scale: warm-clock cycles charged per instruction (clamped
+  /// to >= 1); pass the measured CPI of the detailed stretches so far.
+  FunctionalExecutor(cpu::CgmtCore& core, cpu::ContextManager& rcm,
+                     mem::MemorySystem& ms, const kasm::Program& program,
+                     u32 core_id, check::CheckContext* check, int start_tid,
+                     u64 cpi_scale = 1);
+
+  /// Execute up to @p max_insts instructions across the live threads,
+  /// mirroring the CGMT schedule functionally: round-robin rotation on
+  /// data-cache load misses (switch_on_miss) and a forced rotation
+  /// every kRotationPeriod instructions so hit-heavy stretches still
+  /// interleave. Returns the number executed (less when every thread
+  /// halts first).
+  u64 run(u64 max_insts);
+
+  Cycle warm_clock() const { return warm_clock_; }
+
+  /// Functional scheduler rotation period (instructions).
+  static constexpr u64 kRotationPeriod = 128;
+
+ private:
+  /// First live thread after @p after in cyclic tid order, skipping
+  /// @p exclude; -1 if none.
+  int pick_next(int after, int exclude) const;
+
+  cpu::CgmtCore& core_;
+  cpu::ContextManager& rcm_;
+  mem::MemorySystem& ms_;
+  const kasm::Program& program_;
+  mem::Cache& icache_;
+  mem::Cache& dcache_;
+  u32 core_id_;
+  u32 num_threads_;
+  bool switch_on_miss_;
+  check::CheckContext* check_;
+  int cur_tid_;
+  u64 run_length_ = 0;
+  Cycle warm_clock_;
+  u64 cpi_scale_;
+};
+
+}  // namespace virec::sim

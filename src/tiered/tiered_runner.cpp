@@ -1,0 +1,366 @@
+#include "tiered/tiered_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tiered/functional_executor.hpp"
+
+namespace virec::sim {
+
+namespace {
+
+double now_secs() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Two-sided 95% Student-t quantile for small window counts (df = n-1);
+// converges to the normal 1.96 the sampled-simulation literature quotes.
+double t_quantile_95(std::size_t df) {
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086};
+  if (df == 0) return 12.706;
+  if (df <= 20) return kTable[df - 1];
+  if (df <= 30) return 2.042;
+  if (df <= 60) return 2.000;
+  return 1.96;
+}
+
+}  // namespace
+
+void TieredConfig::validate() const {
+  if (functional_ff && sample_windows > 0) {
+    throw std::invalid_argument(
+        "TieredConfig: --functional-ff and --sample-windows are exclusive "
+        "(plain fast-forward has no measurement windows)");
+  }
+  if (!functional_ff && sample_windows == 0) {
+    throw std::invalid_argument(
+        "TieredConfig: nothing to run (no windows, no fast-forward)");
+  }
+  if (sample_windows > 0 && window_insts == 0) {
+    throw std::invalid_argument(
+        "TieredConfig: window_insts must be > 0 (zero-size measurement "
+        "windows estimate nothing)");
+  }
+}
+
+TieredRunner::TieredRunner(System& system, const TieredConfig& config)
+    : sys_(system), config_(config) {
+  config_.validate();
+  if (system.config().num_cores != 1) {
+    throw std::invalid_argument(
+        "TieredRunner: tiered simulation supports single-core systems only");
+  }
+}
+
+void TieredRunner::set_progress(std::function<void(const TieredProgress&)> fn,
+                                double every_secs) {
+  progress_ = std::move(fn);
+  progress_every_secs_ = every_secs;
+}
+
+u64 TieredRunner::functional_instruction_count(System& system) {
+  // Plain per-thread register files seeded like the offloaded
+  // contexts; memory is a clone, so the real system stays untouched.
+  struct FlatRegFile final : isa::RegisterFileIO {
+    std::vector<std::array<u64, isa::kNumAllocatableRegs>> regs;
+    u64 read_reg(int tid, isa::RegId reg) override {
+      return regs[static_cast<std::size_t>(tid)][reg];
+    }
+    void write_reg(int tid, isa::RegId reg, u64 value) override {
+      regs[static_cast<std::size_t>(tid)][reg] = value;
+    }
+  };
+  const u32 total = system.total_threads();
+  FlatRegFile rf;
+  rf.regs.resize(total);
+  for (u32 gtid = 0; gtid < total; ++gtid) {
+    const workloads::RegContext regs =
+        system.workload().thread_regs(system.params(), gtid, total);
+    for (u32 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+      rf.regs[gtid][r] = regs[r];
+    }
+  }
+  mem::SparseMemory memory = system.memory_system().memory();
+  const kasm::Program& program = system.program();
+  // Instructions never outnumber cycles on this 1-wide core, so the
+  // watchdog budget bounds the prepass too.
+  const u64 cap = system.config().core.max_cycles;
+  u64 total_insts = 0;
+  for (u32 gtid = 0; gtid < total; ++gtid) {
+    u64 pc = 0;
+    u8 nzcv = 0;
+    while (true) {
+      const isa::ExecResult res = isa::execute(
+          program.at(pc), pc, static_cast<int>(gtid), rf, memory, nzcv);
+      ++total_insts;
+      if (res.halted) break;
+      pc = res.next_pc;
+      if (total_insts > cap) {
+        throw std::runtime_error(
+            "TieredRunner: functional prepass exceeded the max_cycles "
+            "instruction budget");
+      }
+    }
+  }
+  return total_insts;
+}
+
+u64 TieredRunner::cpi_scale() const {
+  if (insts_detailed_ == 0) return 1;
+  return std::max<u64>(1, (cycles_detailed_ + insts_detailed_ / 2) /
+                              insts_detailed_);
+}
+
+void TieredRunner::functional_advance(u64 insts) {
+  cpu::CgmtCore& core = sys_.core(0);
+  if (insts == 0 || core.done()) return;
+  const int start_tid = core.cut_to_functional();
+  FunctionalExecutor fx(core, sys_.manager(0), sys_.memory_system(),
+                        sys_.program(), /*core_id=*/0, sys_.check(),
+                        start_tid, cpi_scale());
+  u64 done = 0;
+  double last = now_secs();
+  while (done < insts && core.live_threads() > 0) {
+    const u64 chunk = std::min<u64>(insts - done, u64{1} << 16);
+    const u64 ran = fx.run(chunk);
+    if (ran == 0) break;  // defensive: live threads imply progress
+    done += ran;
+    pending_functional_ = done;
+    insts_functional_ += ran;
+    const double t = now_secs();
+    wall_functional_ += t - last;
+    last = t;
+    emit_progress("functional", false);
+  }
+  pending_functional_ = 0;
+  core.resume_from_functional(fx.warm_clock(), done);
+}
+
+void TieredRunner::run_detailed(u64 insts) {
+  if (insts == 0) return;
+  const double t0 = now_secs();
+  const u64 before = sys_.total_instructions();
+  const Cycle c0 = sys_.core(0).cycle();
+  sys_.run_detailed_insts(insts);
+  insts_detailed_ += sys_.total_instructions() - before;
+  cycles_detailed_ += sys_.core(0).cycle() - c0;
+  wall_detailed_ += now_secs() - t0;
+  emit_progress("detailed", false);
+}
+
+void TieredRunner::emit_progress(const char* tier, bool force) {
+  if (!progress_) return;
+  const double now = now_secs();
+  if (!force && now < next_emit_wall_) return;
+  next_emit_wall_ = now + progress_every_secs_;
+  TieredProgress p;
+  p.tier = tier;
+  p.insts_done = sys_.total_instructions() + pending_functional_;
+  p.insts_total = n_total_;
+  p.window = window_;
+  p.windows = config_.sample_windows;
+  p.wall_secs = now - wall_start_;
+  // Instruction-based ETA with one measured rate per tier: the plan
+  // splits the remaining instructions into detailed (unfinished
+  // windows' warm-up + measurement) and functional (everything else).
+  const double f_rate = wall_functional_ > 0.0
+                            ? static_cast<double>(insts_functional_) /
+                                  wall_functional_
+                            : 0.0;
+  const double d_rate = wall_detailed_ > 0.0
+                            ? static_cast<double>(insts_detailed_) /
+                                  wall_detailed_
+                            : 0.0;
+  const u64 rem_total =
+      n_total_ > p.insts_done ? n_total_ - p.insts_done : 0;
+  const u64 windows_left =
+      config_.sample_windows > window_ ? config_.sample_windows - window_ : 0;
+  const u64 rem_detailed = std::min<u64>(
+      rem_total,
+      static_cast<u64>(windows_left) *
+          (config_.warmup_insts + config_.window_insts));
+  const u64 rem_functional = rem_total - rem_detailed;
+  double eta = 0.0;
+  if (f_rate > 0.0) {
+    eta += static_cast<double>(rem_functional) / f_rate;
+  } else if (d_rate > 0.0) {
+    eta += static_cast<double>(rem_functional) / d_rate;
+  }
+  if (d_rate > 0.0) {
+    eta += static_cast<double>(rem_detailed) / d_rate;
+  } else if (f_rate > 0.0 && rem_detailed > 0) {
+    // No detailed rate measured yet: a detailed window runs orders of
+    // magnitude slower than the functional tier; leave its share out
+    // rather than fabricate a rate (the ETA firms up after window 1).
+  }
+  p.eta_secs = eta;
+  progress_(p);
+}
+
+void TieredRunner::finalize(TieredResult& r) {
+  r.full = sys_.make_result();
+  r.total_insts = n_total_;
+  r.windows = windows_;
+  r.insts_functional = insts_functional_;
+  r.insts_detailed = insts_detailed_;
+  r.wall_secs_functional = wall_functional_;
+  r.wall_secs_detailed = wall_detailed_;
+  const std::size_t n = windows_.size();
+  if (n == 0) return;
+  double sum = 0.0;
+  for (const WindowStat& w : windows_) sum += w.cpi;
+  const double mean = sum / static_cast<double>(n);
+  double half = 0.0;
+  if (n >= 2) {
+    double var = 0.0;
+    for (const WindowStat& w : windows_) {
+      var += (w.cpi - mean) * (w.cpi - mean);
+    }
+    var /= static_cast<double>(n - 1);
+    half = t_quantile_95(n - 1) * std::sqrt(var / static_cast<double>(n));
+  }
+  r.cpi_mean = mean;
+  r.cpi_ci_half = half;
+  // Stratified estimate: exact cycles for every detailed instruction
+  // (pilot + warm-ups + windows — this is what captures the cold-start
+  // transient), windowed CPI extrapolated over the functional spans
+  // only. The interval maps the CPI interval through the same sum.
+  const double detailed = static_cast<double>(cycles_detailed_);
+  const double func_insts = static_cast<double>(
+      n_total_ - std::min<u64>(n_total_, insts_detailed_));
+  r.est_cycles = detailed + mean * func_insts;
+  const double total = static_cast<double>(n_total_);
+  r.est_ipc = r.est_cycles > 0.0 ? total / r.est_cycles : 0.0;
+  const double hi_cycles = detailed + (mean + half) * func_insts;
+  r.est_ipc_lo = hi_cycles > 0.0 ? total / hi_cycles : 0.0;
+  const double lo_cycles = detailed + (mean - half) * func_insts;
+  r.est_ipc_hi = lo_cycles > 0.0 ? total / lo_cycles
+                                 : std::numeric_limits<double>::infinity();
+}
+
+TieredResult TieredRunner::run() {
+  wall_start_ = now_secs();
+  next_emit_wall_ = wall_start_ + progress_every_secs_;
+  if (!prepass_done_) {
+    emit_progress("prepass", false);
+    n_total_ = functional_instruction_count(sys_);
+    prepass_done_ = true;
+  }
+  TieredResult r;
+  cpu::CgmtCore& core = sys_.core(0);
+  if (config_.functional_ff) {
+    while (!core.done()) functional_advance(n_total_ + 1);
+    emit_progress("functional", true);
+    finalize(r);
+    return r;
+  }
+  const u64 wk = config_.warmup_insts + config_.window_insts;
+  const u32 n = config_.sample_windows;
+  if (static_cast<u64>(n) * wk > n_total_) {
+    throw std::invalid_argument(
+        "TieredRunner: " + std::to_string(n) + " windows of " +
+        std::to_string(wk) +
+        " instructions (warm-up + measured) exceed the workload's " +
+        std::to_string(n_total_) +
+        " total instructions; shrink --sample-windows, --window-insts or "
+        "--warmup-insts");
+  }
+  const u64 spacing = n_total_ / n;
+  // Detailed pilot: the first functional stretch needs a CPI estimate
+  // (warm-clock scale) and observed miss latencies (warm-fill recency
+  // bias) to warm state faithfully, so burn one window-equivalent of
+  // detailed execution at the start before the first cut. Skipped on
+  // restore (a detailed stretch has already run).
+  if (insts_detailed_ == 0 && window_ == 0 && !core.done()) {
+    const u64 first_start = spacing > wk ? (spacing - wk) / 2 : 0;
+    run_detailed(std::min(wk, first_start));
+  }
+  while (window_ < n && !core.done()) {
+    // Systematic placement: window i's detailed stretch is centred in
+    // its stratum [i*spacing, (i+1)*spacing).
+    const u64 detail_start = static_cast<u64>(window_) * spacing +
+                             (spacing > wk ? (spacing - wk) / 2 : 0);
+    const u64 cur = sys_.total_instructions();
+    if (detail_start > cur) functional_advance(detail_start - cur);
+    if (core.done()) break;
+    run_detailed(config_.warmup_insts);
+    if (core.done()) break;
+    WindowStat w;
+    w.start_inst = sys_.total_instructions();
+    const Cycle c0 = core.cycle();
+    std::array<double, kNumCycleBuckets> s0{};
+    for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+      s0[b] = sys_.cpi_bucket_cycles(static_cast<CycleBucket>(b));
+    }
+    run_detailed(config_.window_insts);
+    w.insts = sys_.total_instructions() - w.start_inst;
+    w.cycles = core.cycle() - c0;
+    for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+      w.cpi_stack[b] =
+          sys_.cpi_bucket_cycles(static_cast<CycleBucket>(b)) - s0[b];
+    }
+    if (w.insts > 0) {
+      w.cpi = static_cast<double>(w.cycles) / static_cast<double>(w.insts);
+      windows_.push_back(w);
+    }
+    ++window_;
+    if (window_hook_) window_hook_(window_);
+  }
+  while (!core.done()) functional_advance(n_total_ + 1);
+  emit_progress("functional", true);
+  finalize(r);
+  return r;
+}
+
+void TieredRunner::save(const std::string& path) const {
+  sys_.save(path, [this](ckpt::CheckpointWriter& writer) {
+    ckpt::Encoder& enc = writer.section("tiered");
+    enc.put_bool(prepass_done_);
+    enc.put_u64(n_total_);
+    enc.put_u32(window_);
+    enc.put_u32(static_cast<u32>(windows_.size()));
+    for (const WindowStat& w : windows_) {
+      enc.put_u64(w.start_inst);
+      enc.put_u64(w.insts);
+      enc.put_u64(w.cycles);
+      enc.put_f64(w.cpi);
+      for (const double v : w.cpi_stack) enc.put_f64(v);
+    }
+    enc.put_u64(insts_functional_);
+    enc.put_u64(insts_detailed_);
+    enc.put_u64(cycles_detailed_);
+  });
+}
+
+void TieredRunner::restore(const std::string& path) {
+  sys_.restore(path, [this](ckpt::CheckpointReader& reader) {
+    ckpt::Decoder dec = reader.section("tiered");
+    prepass_done_ = dec.get_bool();
+    n_total_ = dec.get_u64();
+    window_ = dec.get_u32();
+    windows_.clear();
+    const u32 n = dec.get_u32();
+    for (u32 i = 0; i < n; ++i) {
+      WindowStat w;
+      w.start_inst = dec.get_u64();
+      w.insts = dec.get_u64();
+      w.cycles = dec.get_u64();
+      w.cpi = dec.get_f64();
+      for (double& v : w.cpi_stack) v = dec.get_f64();
+      windows_.push_back(w);
+    }
+    insts_functional_ = dec.get_u64();
+    insts_detailed_ = dec.get_u64();
+    cycles_detailed_ = dec.get_u64();
+    dec.finish();
+  });
+}
+
+}  // namespace virec::sim

@@ -1,0 +1,160 @@
+// Tiered simulation: SMARTS-style systematic sampling over a single
+// golden execution stream (docs/performance.md).
+//
+// One persistent System carries the run. Between measurement windows
+// the FunctionalExecutor advances architectural state at ~10-100x the
+// detailed rate while keeping caches / register-cache residency warm;
+// each window re-attaches the cycle-accurate pipeline, burns a
+// detailed warm-up prefix (W instructions) and then measures K
+// instructions of CPI + CPI stack. The per-window CPIs give a sampled
+// mean with a confidence interval from inter-window variance; the
+// run's total instruction count comes from a pure functional prepass.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace virec::sim {
+
+struct TieredConfig {
+  /// Measurement windows (N). 0 together with !functional_ff means
+  /// "no tiering" — callers should use System::run() directly.
+  u32 sample_windows = 0;
+  /// Measured instructions per window (K).
+  u64 window_insts = 10'000;
+  /// Detailed warm-up instructions burned before each window (W).
+  u64 warmup_insts = 2'000;
+  /// Run the entire program through the functional tier (no windows,
+  /// no cycle estimate) — fast-forward-to-end, used for validation and
+  /// as the fast path to a final memory image.
+  bool functional_ff = false;
+
+  /// Throws std::invalid_argument on nonsensical combinations
+  /// (zero-size windows, functional_ff together with windows).
+  void validate() const;
+};
+
+/// One measurement window.
+struct WindowStat {
+  u64 start_inst = 0;  ///< committed instructions when measurement began
+  u64 insts = 0;       ///< instructions measured (== K except at the tail)
+  Cycle cycles = 0;    ///< detailed cycles they took
+  double cpi = 0.0;
+  /// Cycle-accounting deltas over the measured stretch.
+  std::array<double, kNumCycleBuckets> cpi_stack{};
+};
+
+/// Heartbeat of a tiered run (tier-aware --progress): ETA is
+/// instruction-based with a separate measured rate per tier, since
+/// cycles/sec differs by orders of magnitude between tiers.
+struct TieredProgress {
+  const char* tier = "";  ///< "prepass" | "functional" | "detailed"
+  u64 insts_done = 0;     ///< committed so far (both tiers)
+  u64 insts_total = 0;    ///< prepass total (0 while prepassing)
+  u32 window = 0;         ///< completed measurement windows
+  u32 windows = 0;
+  double wall_secs = 0.0;
+  double eta_secs = 0.0;  ///< 0 when no rate has been measured yet
+};
+
+struct TieredResult {
+  /// Final result through System::make_result(): workload check over
+  /// the (bit-exact) functional+detailed memory image, totals over
+  /// both tiers. `full.cycles`/`full.ipc` mix warm-clock and detailed
+  /// cycles — use est_* for performance numbers.
+  RunResult full;
+  u64 total_insts = 0;  ///< from the functional prepass
+  std::vector<WindowStat> windows;
+  double cpi_mean = 0.0;     ///< mean of the per-window CPIs
+  double cpi_ci_half = 0.0;  ///< t_{95%,n-1} * s / sqrt(n); 0 when n < 2
+  /// Stratified estimate: exact cycles of the detailed stretches plus
+  /// cpi_mean extrapolated over the functional instructions.
+  double est_cycles = 0.0;
+  double est_ipc = 0.0;      ///< total_insts / est_cycles
+  double est_ipc_lo = 0.0;   ///< from cpi_mean + ci_half
+  double est_ipc_hi = 0.0;   ///< from cpi_mean - ci_half
+  u64 insts_functional = 0;
+  u64 insts_detailed = 0;    ///< warm-up + measured
+  double wall_secs_functional = 0.0;
+  double wall_secs_detailed = 0.0;
+};
+
+class TieredRunner {
+ public:
+  /// @p system must be freshly constructed (or restored from a
+  /// checkpoint written by another TieredRunner) and single-core.
+  TieredRunner(System& system, const TieredConfig& config);
+
+  /// Execute the tiered run to completion and return the estimates.
+  TieredResult run();
+
+  /// Emit TieredProgress heartbeats roughly every @p every_secs of
+  /// wall time (nullptr detaches).
+  void set_progress(std::function<void(const TieredProgress&)> fn,
+                    double every_secs = 1.0);
+
+  /// Invoked after each completed measurement window (with the number
+  /// of windows completed so far). The runner is checkpointable inside
+  /// this hook — see save().
+  void set_window_hook(std::function<void(u32)> hook) {
+    window_hook_ = std::move(hook);
+  }
+
+  /// Checkpoint the sampled run. Valid at window boundaries (inside
+  /// the window hook, or before/after run()); the snapshot carries the
+  /// System state plus a "tiered" section with the sampling plan and
+  /// completed windows.
+  void save(const std::string& path) const;
+
+  /// Restore a snapshot written by save() on an identically configured
+  /// runner; a subsequent run() continues the remaining windows and
+  /// produces the same estimates as an uninterrupted run (wall-time
+  /// fields restart from the restore point).
+  void restore(const std::string& path);
+
+  /// Pure functional prepass: total instructions the workload commits,
+  /// executed against a clone of the system's current memory at
+  /// interpreter speed (the system itself is untouched). Deterministic
+  /// and interleave-independent (workload threads are
+  /// data-independent).
+  static u64 functional_instruction_count(System& system);
+
+ private:
+  void functional_advance(u64 insts);
+  void run_detailed(u64 insts);
+  void emit_progress(const char* tier, bool force);
+  void finalize(TieredResult& r);
+  /// Warm-clock cycles per functional instruction: the running CPI of
+  /// the detailed stretches so far (1 until one has run). Keeps warm
+  /// recency stamps spaced like detailed ones, so replacement decisions
+  /// made on warm state match the detailed model's.
+  u64 cpi_scale() const;
+
+  System& sys_;
+  TieredConfig config_;
+  // Resumable progress (checkpointed in the "tiered" section).
+  bool prepass_done_ = false;
+  u64 n_total_ = 0;
+  u32 window_ = 0;  // completed windows
+  std::vector<WindowStat> windows_;
+  u64 insts_functional_ = 0;
+  u64 insts_detailed_ = 0;
+  Cycle cycles_detailed_ = 0;  // detailed cycles backing cpi_scale()
+  // Instructions executed in the current functional phase but not yet
+  // folded into the core's commit count (progress reporting only).
+  u64 pending_functional_ = 0;
+  // Wall-clock accounting (not checkpointed).
+  double wall_functional_ = 0.0;
+  double wall_detailed_ = 0.0;
+  // Progress plumbing.
+  std::function<void(const TieredProgress&)> progress_;
+  double progress_every_secs_ = 1.0;
+  double next_emit_wall_ = 0.0;
+  double wall_start_ = 0.0;
+  std::function<void(u32)> window_hook_;
+};
+
+}  // namespace virec::sim

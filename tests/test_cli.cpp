@@ -358,4 +358,75 @@ TEST(Cli, TraceOutIsWellFormedEventArray) {
   EXPECT_TRUE(saw_residency);
 }
 
+TEST(Cli, SampledRunReportsEstimate) {
+  const CliResult r = run_cli(
+      "--workload gather --iters 2048 --elements 4096 "
+      "--sample-windows 6 --window-insts 400 --warmup-insts 200");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(has_line_prefix(r.output, "tier sampled")) << r.output;
+  EXPECT_TRUE(has_line_prefix(r.output, "est_ipc ")) << r.output;
+  EXPECT_TRUE(has_line_prefix(r.output, "est_ipc_lo ")) << r.output;
+  EXPECT_TRUE(has_line_prefix(r.output, "window 5 ")) << r.output;
+  EXPECT_TRUE(has_line_prefix(r.output, "check OK")) << r.output;
+}
+
+TEST(Cli, SampledJsonCarriesWindows) {
+  const CliResult r = run_cli(
+      "--workload gather --iters 2048 --elements 4096 "
+      "--sample-windows 5 --window-insts 300 --warmup-insts 150 --json");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const auto v = virec::testing::JsonParser::parse(r.output);
+  ASSERT_TRUE(v.is_object());
+  const auto& tiered = v.at("tiered");
+  EXPECT_EQ(tiered.at("windows").array.size(), 5u);
+  EXPECT_GT(tiered.at("est_ipc").number, 0.0);
+  EXPECT_LE(tiered.at("est_ipc_lo").number, tiered.at("est_ipc").number);
+  EXPECT_GE(tiered.at("est_ipc_hi").number, tiered.at("est_ipc").number);
+  EXPECT_EQ(v.at("result").at("check").string, "OK");
+}
+
+TEST(Cli, FunctionalFFWithCheckPasses) {
+  const CliResult r = run_cli(
+      "--workload stride --iters 64 --elements 4096 --functional-ff "
+      "--check");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(has_line_prefix(r.output, "tier functional")) << r.output;
+  EXPECT_TRUE(has_line_prefix(r.output, "check OK")) << r.output;
+}
+
+TEST(Cli, SamplingGuardsReject) {
+  // Each bad combination must exit 2 with an explanatory error, not
+  // fall through to a run.
+  const char* const bad[] = {
+      "--sample-windows 4 --check",
+      "--window-insts 100",
+      "--warmup-insts 100",
+      "--sample-windows 4 --window-insts 0",
+      "--sample-windows 4 --functional-ff",
+      "--sample-windows 4 --cores 2",
+      "--sample-windows 4 --trace",
+      "--sample-windows 4 --sample-interval 100",
+      "--sample-windows 4 --restore nonexistent.vckpt",
+      "--sample-windows 4 --checkpoint-every 100 --checkpoint-out /tmp/x",
+      "--functional-ff --cpi-stack",
+      "--sample-windows nope",
+  };
+  for (const char* args : bad) {
+    const CliResult r = run_cli(args);
+    EXPECT_EQ(r.exit_code, 2) << args << "\n" << r.output;
+    EXPECT_NE(r.output.find("error:"), std::string::npos)
+        << args << "\n" << r.output;
+  }
+}
+
+TEST(Cli, SampledSweepUsesEstimatedIpc) {
+  const CliResult r = run_cli(
+      "--sweep --workload gather --scheme virec,banked --iters 1024 "
+      "--elements 4096 --sample-windows 5 --window-insts 300 "
+      "--warmup-insts 100 --jobs 2");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("gather,virec"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("gather,banked"), std::string::npos) << r.output;
+}
+
 }  // namespace
