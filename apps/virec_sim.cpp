@@ -29,6 +29,7 @@
 #include "ckpt/journal.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
+#include "common/version.hpp"
 #include "cpu/perfetto_trace.hpp"
 #include "cpu/trace.hpp"
 #include "sim/observability.hpp"
@@ -36,6 +37,7 @@
 #include "sim/runner.hpp"
 #include "sim/sweep.hpp"
 #include "sim/system.hpp"
+#include "svc/client.hpp"
 
 using namespace virec;
 
@@ -48,6 +50,8 @@ struct Options {
   bool trace = false;
   bool area = false;
   bool help = false;
+  bool version = false;
+  std::string connect_path;  // virec-simd socket; empty = run locally
   u32 trace_core = 0;
   bool json = false;
   bool cpi_stack = false;  // print the closed cycle-accounting table
@@ -164,7 +168,15 @@ void print_usage() {
       "                      and print a CSV table (or JSON with --json)\n"
       "  --jobs N            worker threads for --sweep (0 = all\n"
       "                      hardware threads, the default; 1 = serial)\n"
-      "  --list              list workloads and exit\n";
+      "  --connect SOCKET    run points through a virec-simd daemon\n"
+      "                      (docs/service.md) instead of simulating\n"
+      "                      locally; cached points cost no simulation\n"
+      "                      and output stays byte-identical. Works for\n"
+      "                      plain single runs and --sweep; local-\n"
+      "                      inspection flags (--trace/--stats/--json\n"
+      "                      single-run reports/...) stay local-only\n"
+      "  --list              list workloads and exit\n"
+      "  --version           print build provenance and exit\n";
 }
 
 /// Strict numeric parsing: the whole value must be consumed, so
@@ -231,6 +243,8 @@ bool parse(int argc, char** argv, Options& opt) {
     };
     auto u64_value = [&]() { return parse_u64(arg, value()); };
     if (arg == "--help" || arg == "-h") opt.help = true;
+    else if (arg == "--version") opt.version = true;
+    else if (arg == "--connect") opt.connect_path = value();
     else if (arg == "--list") opt.list = true;
     else if (arg == "--stats") opt.stats = true;
     else if (arg == "--trace") opt.trace = true;
@@ -398,6 +412,38 @@ sim::Sweep build_sweep(const Options& opt) {
   return sweep;
 }
 
+/// Shared by sweep and single-run --connect paths: dial the daemon,
+/// run the grid remotely, and print the client-side source summary
+/// (machine-greppable on stderr; CI asserts service_executed 0 on a
+/// warm cache).
+svc::ServiceClient::Outcome run_via_service(
+    const Options& opt, const std::vector<sim::RunSpec>& grid) {
+  svc::ServiceClient client(opt.connect_path);
+  if (!client.connect()) {
+    throw std::runtime_error("--connect: " + client.error());
+  }
+  std::function<void(std::size_t, std::size_t)> on_progress;
+  if (opt.progress) {
+    auto t0 = std::chrono::steady_clock::now();
+    on_progress = [t0](std::size_t done, std::size_t total) {
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      std::cerr << "{\"type\": \"sweep\", \"done\": " << done
+                << ", \"total\": " << total << ", \"wall_secs\": " << wall
+                << "}\n";
+    };
+  }
+  const svc::ServiceClient::Outcome outcome =
+      client.run_sweep(grid, std::move(on_progress));
+  std::cerr << "service_points " << grid.size() << "\n"
+            << "service_executed " << outcome.executed << "\n"
+            << "service_store_hits " << outcome.store_hits << "\n"
+            << "service_dedup_hits " << outcome.dedup_hits << "\n"
+            << "service_failed " << outcome.failed << "\n";
+  return outcome;
+}
+
 int run_sweep_mode(const Options& opt) {
   if (opt.trace || !opt.trace_out.empty() || opt.sample_interval > 0 ||
       opt.stats || opt.area || opt.cpi_stack) {
@@ -412,6 +458,43 @@ int run_sweep_mode(const Options& opt) {
         "--checkpoint-every/--checkpoint-out/--restore are single-run "
         "options and cannot be combined with --sweep (use --resume to "
         "make a sweep resumable)");
+  }
+  if (!opt.connect_path.empty()) {
+    if (!opt.resume_path.empty()) {
+      throw std::invalid_argument(
+          "--resume journals local sweeps; with --connect the daemon's "
+          "result store already makes re-runs resumable");
+    }
+    const sim::Sweep sweep = build_sweep(opt);
+    std::vector<sim::RunSpec> grid = sweep.specs();
+    const svc::ServiceClient::Outcome outcome = run_via_service(opt, grid);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (!outcome.errors[i].empty()) {
+        throw std::runtime_error("point " + std::to_string(i) +
+                                 " failed on the daemon: " +
+                                 outcome.errors[i]);
+      }
+    }
+    std::vector<sim::SweepRecord> records;
+    records.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      records.push_back(
+          sim::SweepRecord{std::move(grid[i]), outcome.results[i]});
+    }
+    const sim::SweepResults results(std::move(records));
+    if (opt.json) {
+      if (opt.json_path.empty()) {
+        results.write_json(std::cout);
+      } else {
+        std::ofstream out(opt.json_path);
+        if (!out) throw std::runtime_error("cannot open " + opt.json_path);
+        results.write_json(out);
+        results.write_csv(std::cout);
+      }
+    } else {
+      results.write_csv(std::cout);
+    }
+    return 0;
   }
   const sim::Sweep sweep = build_sweep(opt);
   std::unique_ptr<ckpt::SweepJournal> journal;
@@ -736,6 +819,61 @@ int run_tiered_mode(const Options& opt) {
   return 0;
 }
 
+/// Single run through a virec-simd daemon: the spec travels over the
+/// wire, the result comes back bit-exact, and the standard text report
+/// is printed. Flags that inspect the local System (traces, stats,
+/// JSON reports, checkpoints) have nothing to inspect and are
+/// rejected.
+int run_connect_single(const Options& opt) {
+  if (opt.trace || !opt.trace_out.empty() || opt.sample_interval > 0 ||
+      opt.stats || opt.area || opt.cpi_stack || opt.json) {
+    throw std::invalid_argument(
+        "--trace/--trace-out/--sample-interval/--stats/--area/"
+        "--cpi-stack/--json inspect the local simulation and cannot be "
+        "combined with --connect (run the daemon-side sweep with "
+        "--sweep --json instead)");
+  }
+  if (opt.checkpoint_every > 0 || !opt.checkpoint_out.empty() ||
+      !opt.restore_path.empty()) {
+    throw std::invalid_argument(
+        "--checkpoint-every/--checkpoint-out/--restore snapshot local "
+        "runs and cannot be combined with --connect");
+  }
+  if (opt.spec.sample_windows > 0 || opt.spec.functional_ff) {
+    throw std::invalid_argument(
+        "--sample-windows/--functional-ff report tiered estimates the "
+        "service protocol does not carry; run them locally");
+  }
+  // Validates the workload name before dialling the daemon.
+  const workloads::Workload& workload =
+      workloads::find_workload(opt.spec.workload);
+  const svc::ServiceClient::Outcome outcome =
+      run_via_service(opt, {opt.spec});
+  if (!outcome.errors[0].empty()) {
+    throw std::runtime_error("daemon run failed: " + outcome.errors[0]);
+  }
+  const sim::RunResult& result = outcome.results[0];
+  std::cout << "workload " << workload.name() << "\n"
+            << "scheme " << sim::scheme_name(opt.spec.scheme) << "\n"
+            << "policy " << core::policy_name(opt.spec.policy) << "\n"
+            << "cores " << opt.spec.num_cores << "\n"
+            << "threads_per_core " << opt.spec.threads_per_core << "\n"
+            << "phys_regs " << sim::spec_phys_regs(opt.spec) << "\n"
+            << "cycles " << result.cycles << "\n"
+            << "instructions " << result.instructions << "\n"
+            << "ipc " << result.ipc << "\n"
+            << "context_switches " << result.context_switches << "\n"
+            << "rf_hit_rate " << result.rf_hit_rate << "\n"
+            << "rf_fills " << result.rf_fills << "\n"
+            << "rf_spills " << result.rf_spills << "\n"
+            << "check " << (result.check_ok ? "OK" : "FAIL") << "\n";
+  if (!result.check_ok) {
+    std::cerr << "CHECK FAILED: " << result.check_msg << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 /// --replay FILE: re-run a fuzzer repro under the lockstep oracle.
 int run_replay_mode(const Options& opt) {
   check::Repro repro = check::load_repro(opt.replay_path);
@@ -777,6 +915,13 @@ int main(int argc, char** argv) {
       print_usage();
       return 0;
     }
+    if (opt.version) {
+      std::cout << "virec-sim\n"
+                << "provenance " << build::provenance() << "\n"
+                << "report_schema " << sim::kReportSchemaVersion << "\n"
+                << "spec_codec " << ckpt::kSpecCodecVersion << "\n";
+      return 0;
+    }
     if (opt.list) {
       for (const workloads::Workload* w : workloads::workload_registry()) {
         std::cout << w->name() << "\t(" << w->active_regs()
@@ -793,6 +938,7 @@ int main(int argc, char** argv) {
           "--resume journals sweep points and needs --sweep "
           "(to continue a single run from a snapshot, use --restore)");
     }
+    if (!opt.connect_path.empty()) return run_connect_single(opt);
     if (opt.spec.sample_windows > 0 || opt.spec.functional_ff) {
       return run_tiered_mode(opt);
     }

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -17,6 +18,7 @@
 #include "common/table.hpp"
 #include "sim/parallel.hpp"
 #include "sim/runner.hpp"
+#include "svc/client.hpp"
 
 namespace virec::bench {
 
@@ -120,6 +122,15 @@ inline std::string spec_key(const sim::RunSpec& s) {
 /// (all points run concurrently on the worker pool), then keeps its
 /// original formatting logic, which now hits the cache. A point the
 /// grid missed still works — it just runs serially on first use.
+///
+/// When the VIREC_SIMD_SOCKET environment variable names a live
+/// virec-simd socket (docs/service.md), points run through the daemon
+/// instead: repeated figure regenerations are then served from its
+/// persistent result store without re-simulating, and concurrent
+/// harnesses share one execution per unique point. Results are
+/// bit-identical either way (the wire carries doubles by bit pattern).
+/// If the socket is unreachable the runner warns once and falls back
+/// to local simulation.
 class CachedRunner {
  public:
   explicit CachedRunner(u32 jobs = 0) : jobs_(jobs) {}
@@ -139,7 +150,19 @@ class CachedRunner {
       todo.push_back(spec);
       keys.push_back(std::move(key));
     }
-    std::vector<sim::RunResult> results = sim::run_specs(todo, jobs_);
+    std::vector<sim::RunResult> results;
+    if (svc::ServiceClient* client = service()) {
+      svc::ServiceClient::Outcome outcome = client->run_sweep(todo);
+      for (std::size_t i = 0; i < todo.size(); ++i) {
+        if (!outcome.errors[i].empty()) {
+          throw std::runtime_error("virec-simd point failed: " +
+                                   outcome.errors[i]);
+        }
+      }
+      results = std::move(outcome.results);
+    } else {
+      results = sim::run_specs(todo, jobs_);
+    }
     for (std::size_t i = 0; i < todo.size(); ++i) {
       cache_.emplace(std::move(keys[i]), std::move(results[i]));
     }
@@ -150,7 +173,16 @@ class CachedRunner {
     std::string key = spec_key(spec);
     auto it = cache_.find(key);
     if (it == cache_.end()) {
-      it = cache_.emplace(std::move(key), sim::run_spec(spec)).first;
+      sim::RunResult fresh;
+      if (svc::ServiceClient* client = service()) {
+        if (!client->run_one(spec, &fresh)) {
+          throw std::runtime_error("virec-simd point failed: " +
+                                   client->error());
+        }
+      } else {
+        fresh = sim::run_spec(spec);
+      }
+      it = cache_.emplace(std::move(key), std::move(fresh)).first;
     }
     return it->second;
   }
@@ -158,7 +190,28 @@ class CachedRunner {
   Cycle cycles(const sim::RunSpec& spec) { return result(spec).cycles; }
 
  private:
+  /// Daemon connection per VIREC_SIMD_SOCKET, dialled once on first
+  /// use; null = run locally.
+  svc::ServiceClient* service() {
+    if (!service_checked_) {
+      service_checked_ = true;
+      if (const char* sock = std::getenv("VIREC_SIMD_SOCKET")) {
+        auto client = std::make_unique<svc::ServiceClient>(sock, "bench");
+        if (client->connect()) {
+          client_ = std::move(client);
+        } else {
+          std::cerr << "bench: VIREC_SIMD_SOCKET=" << sock
+                    << " unreachable (" << client->error()
+                    << "); simulating locally\n";
+        }
+      }
+    }
+    return client_.get();
+  }
+
   u32 jobs_;
+  bool service_checked_ = false;
+  std::unique_ptr<svc::ServiceClient> client_;
   std::unordered_map<std::string, sim::RunResult> cache_;
 };
 

@@ -3,11 +3,15 @@
 // path and whole-system simulation throughput.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "core/virec_manager.hpp"
 #include "mem/memory_system.hpp"
 #include "sim/parallel.hpp"
 #include "sim/runner.hpp"
 #include "sim/sweep.hpp"
+#include "svc/result_store.hpp"
+#include "svc/sweep_service.hpp"
 
 namespace virec {
 namespace {
@@ -206,6 +210,73 @@ BENCHMARK(BM_SweepThroughput)
     ->Arg(0)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+void BM_ResultStoreLookup(benchmark::State& state) {
+  // Cost of serving one experiment point from the persistent result
+  // store (docs/service.md): file read + whole-entry CRC + identity
+  // verification + payload decode. Compare against BM_GatherSimulation
+  // to read the warm-over-cold advantage: a lookup must be orders of
+  // magnitude cheaper than the run it replaces for the cache to pay.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "virec_bench_store").string();
+  std::filesystem::remove_all(dir);
+  svc::ResultStore store(dir);
+  sim::RunSpec spec;
+  spec.workload = "gather";
+  spec.params.iters_per_thread = 64;
+  spec.params.elements = 1 << 14;
+  const u64 hash = ckpt::spec_hash(spec);
+  store.put(hash, spec, sim::run_spec(spec), 0.1);
+  sim::RunResult out;
+  for (auto _ : state) {
+    const bool hit = store.lookup(hash, spec, &out);
+    benchmark::DoNotOptimize(hit);
+    benchmark::DoNotOptimize(out.cycles);
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ResultStoreLookup);
+
+void BM_WarmSweepThroughput(benchmark::State& state) {
+  // The same 24-point grid as BM_SweepThroughput, but through a
+  // SweepService over a pre-warmed ResultStore: every point is a store
+  // hit, no simulation runs. points/s here vs BM_SweepThroughput's
+  // jobs=1 row is the measured warm-over-cold sweep speedup
+  // (BENCH_sim_speed.json records the pair per PR).
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "virec_bench_warm").string();
+  std::filesystem::remove_all(dir);
+  svc::ResultStore store(dir);
+  sim::Sweep sweep;
+  sweep.base().workload = "gather";
+  sweep.base().context_fraction = 0.8;
+  sweep.base().params.iters_per_thread = 64;
+  sweep.base().params.elements = 1 << 14;
+  sweep.over_schemes({sim::Scheme::kBanked, sim::Scheme::kViReC})
+      .over_threads({4, 8})
+      .over_context_fractions({1.0, 0.8, 0.4});
+  const std::vector<sim::RunSpec> grid = sweep.specs();
+  {
+    // Warm the store (not timed); a fresh service per iteration below
+    // keeps the in-memory memo cold so disk lookups are measured.
+    svc::SweepService warmer(svc::ServiceConfig{}, &store);
+    warmer.submit("warmup", grid, {}).wait();
+  }
+  u64 points = 0;
+  for (auto _ : state) {
+    svc::SweepService service(svc::ServiceConfig{}, &store);
+    svc::SweepTicket ticket = service.submit("bench", grid, {});
+    ticket.wait();
+    points += ticket.counts().points;
+    if (ticket.counts().executed != 0) {
+      state.SkipWithError("warm sweep executed points");
+    }
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(points), benchmark::Counter::kIsRate);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WarmSweepThroughput)->UseRealTime();
 
 }  // namespace
 }  // namespace virec

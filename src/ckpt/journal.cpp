@@ -1,11 +1,17 @@
 #include "ckpt/journal.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
-#include <sstream>
+#include <fstream>
 
 #include "ckpt/serialize.hpp"
+#include "common/version.hpp"
 
 namespace virec::ckpt {
 
@@ -14,23 +20,9 @@ namespace {
 // VJ2 appended the 13 cycle-accounting buckets. VJ1 lines fail the tag
 // check and are silently re-run — safe, just slower on first resume.
 constexpr const char* kLineTag = "VJ2";
-
-u64 fnv1a(u64 h, const void* data, std::size_t size) {
-  const u8* p = static_cast<const u8*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-u64 fnv1a_u64(u64 h, u64 v) { return fnv1a(h, &v, sizeof v); }
-
-u64 fnv1a_f64(u64 h, double v) {
-  u64 bits;
-  std::memcpy(&bits, &v, sizeof bits);
-  return fnv1a_u64(h, bits);
-}
+// Header line written once at the top of a fresh journal: the build
+// provenance of the producer. Skipped like any foreign tag on load.
+constexpr const char* kHeaderTag = "VJH";
 
 u64 f64_bits(double v) {
   u64 bits;
@@ -44,40 +36,22 @@ double bits_f64(u64 bits) {
   return v;
 }
 
+std::string framed_line(const std::string& body) {
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof crc_hex, " %08x",
+                crc32(body.data(), body.size()));
+  return body + crc_hex + "\n";
+}
+
 }  // namespace
 
-u64 spec_hash(const sim::RunSpec& spec) {
-  u64 h = 0xcbf29ce484222325ull;
-  h = fnv1a(h, spec.workload.data(), spec.workload.size());
-  h = fnv1a_u64(h, static_cast<u64>(spec.scheme));
-  h = fnv1a_u64(h, static_cast<u64>(spec.policy));
-  h = fnv1a_u64(h, spec.num_cores);
-  h = fnv1a_u64(h, spec.threads_per_core);
-  h = fnv1a_f64(h, spec.context_fraction);
-  h = fnv1a_u64(h, spec.params.iters_per_thread);
-  h = fnv1a_u64(h, spec.params.elements);
-  h = fnv1a_u64(h, spec.params.stride);
-  h = fnv1a_u64(h, spec.params.locality_window);
-  h = fnv1a_u64(h, spec.params.extra_compute);
-  h = fnv1a_u64(h, spec.params.max_regs);
-  h = fnv1a_u64(h, spec.params.seed);
-  h = fnv1a_u64(h, spec.dcache_bytes);
-  h = fnv1a_u64(h, spec.dcache_latency);
-  h = fnv1a_u64(h, spec.phys_regs);
-  h = fnv1a_u64(h, spec.max_cycles);
-  h = fnv1a_u64(h, (spec.group_spill ? 1u : 0u) |
-                       (spec.switch_prefetch ? 2u : 0u) |
-                       (spec.functional_ff ? 4u : 0u));
-  // Tiered sampling parameters: a sampled point must never reuse a
-  // journalled full-detail result (or vice versa).
-  h = fnv1a_u64(h, spec.sample_windows);
-  h = fnv1a_u64(h, spec.window_insts);
-  h = fnv1a_u64(h, spec.warmup_insts);
-  return h;
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) ::close(fd_);
 }
 
 std::size_t SweepJournal::load() {
   entries_.clear();
+  provenance_.clear();
   std::ifstream in(path_);
   if (!in) return 0;  // no journal yet: nothing completed
   std::string line;
@@ -93,6 +67,11 @@ std::size_t SweepJournal::load() {
       continue;
     }
     if (crc32(body.data(), body.size()) != expected_crc) continue;
+
+    if (body.rfind(std::string(kHeaderTag) + " ", 0) == 0) {
+      provenance_ = body.substr(std::strlen(kHeaderTag) + 1);
+      continue;
+    }
 
     char tag[8] = {0};
     u64 hash = 0, cycles = 0, instructions = 0, switches = 0, fills = 0,
@@ -156,20 +135,46 @@ void SweepJournal::record(u64 hash, const sim::RunResult& result) {
     len += std::snprintf(body + len, sizeof body - static_cast<size_t>(len),
                          " %016" PRIx64, f64_bits(v));
   }
-  const u32 crc = crc32(body, std::strlen(body));
+  std::string line = framed_line(body);
 
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!out_.is_open()) {
-    out_.open(path_, std::ios::app);
-    if (!out_) {
+  if (fd_ < 0) {
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0) {
       throw CkptError("cannot open sweep journal " + path_ +
                       " for appending");
     }
   }
-  char crc_hex[16];
-  std::snprintf(crc_hex, sizeof crc_hex, " %08x", crc);
-  out_ << body << crc_hex << '\n';
-  out_.flush();
+  // The header goes first in a fresh (still-empty) file. Two processes
+  // racing on creation can both write one under their own lock; the
+  // duplicate header is skipped on load like any non-entry line.
+  ::flock(fd_, LOCK_EX);
+  struct stat st {};
+  if (::fstat(fd_, &st) == 0 && st.st_size == 0) {
+    line = framed_line(std::string(kHeaderTag) + " " + build::provenance()) +
+           line;
+  }
+  // One write(2) for the whole line: with O_APPEND the kernel appends
+  // it atomically at the current end, so concurrent writers interleave
+  // whole lines, never bytes (the flock adds belt-and-braces around
+  // the header race and short writes).
+  const char* p = line.data();
+  std::size_t remaining = line.size();
+  bool ok = true;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd_, p, remaining);
+    if (n <= 0) {
+      ok = false;
+      break;
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  ::flock(fd_, LOCK_UN);
+  if (!ok) {
+    throw CkptError("short write appending to sweep journal " + path_);
+  }
   entries_[hash] = result;
   entries_[hash].check_ok = true;
 }

@@ -1,34 +1,45 @@
 // Resumable-sweep journal: an append-only text file recording one line
-// per completed sweep point, keyed by a hash of the full RunSpec. A
-// killed sweep restarted with the same journal skips every point whose
-// result is already recorded, and the reassembled CSV/JSON output is
-// byte-identical to an uninterrupted run (doubles are stored by bit
-// pattern, never reparsed).
+// per completed sweep point, keyed by ckpt::spec_hash (the canonical
+// identity hash from ckpt/spec_codec.hpp). A killed sweep restarted
+// with the same journal skips every point whose result is already
+// recorded, and the reassembled CSV/JSON output is byte-identical to
+// an uninterrupted run (doubles are stored by bit pattern, never
+// reparsed).
 //
 // Crash safety: every line is self-contained and carries its own
 // CRC-32; loading ignores a torn trailing line (the process died
 // mid-append) and rejects corrupted lines, so those points simply
 // re-run.
+//
+// Concurrent writers: record() assembles the whole line in memory and
+// appends it with a single O_APPEND write(2) under an exclusive
+// flock(2), so any number of processes (or SweepJournal instances) may
+// append to one journal file concurrently — lines never tear or
+// interleave. Readers are unaffected: load() tolerates whatever a
+// concurrent writer has flushed so far. Enforced by the
+// ConcurrentWritersInterleaveSafely test in tests/test_sweep.cpp.
+//
+// Provenance: the first line of a fresh journal is a "VJH" header
+// carrying the producing build's provenance string (git describe,
+// compiler, flags — src/common/version.hpp.in). Loaders skip it like
+// any foreign-tag line, so old builds read new journals; load()
+// exposes it via provenance().
 #pragma once
 
 #include <cstddef>
-#include <fstream>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "ckpt/spec_codec.hpp"
 #include "sim/runner.hpp"
 
 namespace virec::ckpt {
 
-/// Deterministic hash over every field of @p spec (workload, scheme,
-/// policy, grid axes, workload params, overrides). Two specs collide
-/// only if they describe the same experiment point.
-u64 spec_hash(const sim::RunSpec& spec);
-
 class SweepJournal {
  public:
   explicit SweepJournal(std::string path) : path_(std::move(path)) {}
+  ~SweepJournal();
 
   /// Load existing entries from the journal file (a missing file is an
   /// empty journal). Malformed, CRC-corrupt and torn trailing lines
@@ -40,17 +51,25 @@ class SweepJournal {
   /// ever recorded.
   bool lookup(u64 hash, sim::RunResult* out) const;
 
-  /// Append one completed point and flush. Thread-safe: sweep workers
-  /// record results as they finish.
+  /// Append one completed point and flush. Thread-safe within this
+  /// instance (sweep workers record results as they finish) and safe
+  /// across concurrent processes appending to the same file (see file
+  /// comment).
   void record(u64 hash, const sim::RunResult& result);
 
   std::size_t size() const { return entries_.size(); }
   const std::string& path() const { return path_; }
 
+  /// Provenance string from the journal's header line, if load() found
+  /// one (empty otherwise — e.g. a journal written by a pre-header
+  /// build).
+  const std::string& provenance() const { return provenance_; }
+
  private:
   std::string path_;
+  std::string provenance_;
   std::unordered_map<u64, sim::RunResult> entries_;
-  std::ofstream out_;
+  int fd_ = -1;  // append-mode descriptor, opened on first record()
   std::mutex mutex_;
 };
 

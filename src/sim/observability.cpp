@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "common/version.hpp"
+
 namespace virec::sim {
 
 namespace {
@@ -80,6 +82,17 @@ void write_json_report(std::ostream& os, const System& system,
   JsonWriter w(os);
   w.begin_object();
   w.kv("schema_version", kReportSchemaVersion);
+
+  // Provenance of the producing binary (schema v3): with reports now
+  // cacheable and shareable across machines and daemon restarts, every
+  // document must say which build computed it.
+  w.key("provenance");
+  w.begin_object();
+  w.kv("git", build::kGitDescribe);
+  w.kv("compiler", build::kCompiler);
+  w.kv("build", build::kBuildType);
+  w.kv("flags", build::kBuildFlags);
+  w.end_object();
 
   w.key("config");
   w.begin_object();

@@ -5,7 +5,8 @@
 //
 // Schema (see docs/observability.md):
 //   {
-//     "schema_version": 2,
+//     "schema_version": 3,
+//     "provenance":  { git, compiler, build, flags },
 //     "config":      { workload, scheme, policy, cores, ... },
 //     "results":     { cycles, instructions, ipc, ... },
 //     "cpi_stack":   { buckets, total: [...], per_core: [...],
@@ -24,7 +25,9 @@ namespace virec::sim {
 
 /// Current value of the report's "schema_version" field.
 /// v2: added the "cpi_stack" section and per-sample "cpi" arrays.
-inline constexpr int kReportSchemaVersion = 2;
+/// v3: added the "provenance" section (git describe, compiler, build
+///     type, flags of the producing binary).
+inline constexpr int kReportSchemaVersion = 3;
 
 /// Write the full JSON report for a finished run of @p system.
 /// @p spec is echoed into the "config" section; @p result into

@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <ostream>
+#include <unordered_map>
 
 #include "ckpt/journal.hpp"
 #include "common/cycle_account.hpp"
@@ -210,41 +211,76 @@ SweepResults Sweep::run(u32 jobs, ckpt::SweepJournal* journal,
                         SweepProgressFn on_point) const {
   std::vector<RunSpec> grid = specs();
   std::vector<RunResult> results(grid.size());
+  // Group grid indices by identity hash: a grid whose axes collapse to
+  // the same point (repeated list values, axes the scheme ignores)
+  // simulates each unique point once and copies the result to every
+  // duplicate index. CSV/JSON output is unchanged — every grid row is
+  // still emitted, duplicates just share one execution.
+  std::vector<u64> hashes(grid.size());
+  std::unordered_map<u64, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    hashes[i] = ckpt::spec_hash(grid[i]);
+    groups[hashes[i]].push_back(i);
+  }
+  auto scatter = [&](std::size_t rep) {
+    const std::vector<std::size_t>& members = groups[hashes[rep]];
+    for (std::size_t m = 1; m < members.size(); ++m) {
+      results[members[m]] = results[members[0]];
+    }
+  };
   if (journal == nullptr && !on_point) {
-    results = run_specs(grid, jobs);
+    std::vector<RunSpec> unique;
+    std::vector<std::size_t> reps;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (groups[hashes[i]].front() != i) continue;
+      unique.push_back(grid[i]);
+      reps.push_back(i);
+    }
+    std::vector<RunResult> fresh = run_specs(unique, jobs);
+    for (std::size_t j = 0; j < reps.size(); ++j) {
+      results[reps[j]] = std::move(fresh[j]);
+      scatter(reps[j]);
+    }
   } else {
     // Resume: skip points the journal already records, run the rest,
     // and journal each fresh completion as it lands (crash-safe
     // progress). Results are reassembled in grid order either way.
     std::vector<std::size_t> pending;
+    std::size_t pending_points = 0;  // including duplicate indices
     for (std::size_t i = 0; i < grid.size(); ++i) {
-      if (journal == nullptr ||
-          !journal->lookup(ckpt::spec_hash(grid[i]), &results[i])) {
+      if (groups[hashes[i]].front() != i) continue;
+      if (journal != nullptr && journal->lookup(hashes[i], &results[i])) {
+        scatter(i);
+      } else {
         pending.push_back(i);
+        pending_points += groups[hashes[i]].size();
       }
     }
     const std::size_t total = grid.size();
     // Shared across worker threads: points completed so far. Journal
-    // hits count as done immediately (one up-front heartbeat).
+    // hits and deduplicated copies count as done immediately (one
+    // up-front heartbeat).
     auto done =
-        std::make_shared<std::atomic<std::size_t>>(total - pending.size());
+        std::make_shared<std::atomic<std::size_t>>(total - pending_points);
     if (on_point && done->load() > 0) on_point(done->load(), total, 0.0);
     ParallelExecutor pool(jobs);
     for (const std::size_t idx : pending) {
       const RunSpec& spec = grid[idx];
+      const std::size_t copies = groups[hashes[idx]].size();
       pool.submit_task(
-          [spec, journal, on_point, done, total] {
+          [spec, journal, on_point, done, total, copies,
+           hash = hashes[idx]] {
             const auto t0 = std::chrono::steady_clock::now();
             RunResult result = run_spec(spec);
             if (journal != nullptr) {
-              journal->record(ckpt::spec_hash(spec), result);
+              journal->record(hash, result);
             }
             if (on_point) {
               const double secs =
                   std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
-              on_point(done->fetch_add(1) + 1, total, secs);
+              on_point(done->fetch_add(copies) + copies, total, secs);
             }
             return result;
           },
@@ -253,6 +289,7 @@ SweepResults Sweep::run(u32 jobs, ckpt::SweepJournal* journal,
     std::vector<RunResult> fresh = pool.join();
     for (std::size_t j = 0; j < pending.size(); ++j) {
       results[pending[j]] = std::move(fresh[j]);
+      scatter(pending[j]);
     }
   }
   std::vector<SweepRecord> records;

@@ -1,0 +1,230 @@
+#include "svc/client.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/json.hpp"
+#include "common/json_parse.hpp"
+
+namespace virec::svc {
+
+namespace {
+
+std::string compact_begin(const char* type) {
+  return std::string("{\"type\":") + JsonWriter::quote(type);
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(std::string socket_path, std::string client_name)
+    : path_(std::move(socket_path)), client_name_(std::move(client_name)) {}
+
+bool ServiceClient::read_body(std::string* body) {
+  std::string line;
+  if (!conn_.read_line(&line)) {
+    error_ = "connection closed";
+    return false;
+  }
+  if (!proto::unframe(line, body)) {
+    error_ = "corrupt frame from server";
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::roundtrip(const std::string& body, std::string* reply) {
+  if (!conn_.write_line(proto::frame(body))) {
+    error_ = "connection closed";
+    return false;
+  }
+  return read_body(reply);
+}
+
+bool ServiceClient::connect() {
+  conn_ = unix_connect(path_);
+  if (!conn_.valid()) {
+    error_ = "cannot connect to " + path_;
+    return false;
+  }
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("type", "hello");
+  w.kv("protocol", proto::kProtocolVersion);
+  w.kv("client", client_name_);
+  w.end_object();
+  std::string reply;
+  if (!roundtrip(os.str(), &reply)) {
+    conn_.close();
+    return false;
+  }
+  try {
+    const JsonValue msg = json_parse(reply);
+    if (msg.at("type").string != "hello" ||
+        msg.at("protocol").as_u64() != proto::kProtocolVersion) {
+      error_ = "protocol mismatch with server";
+      conn_.close();
+      return false;
+    }
+    server_provenance_ = msg.at("provenance").string;
+  } catch (const JsonParseError& e) {
+    error_ = std::string("bad hello from server: ") + e.what();
+    conn_.close();
+    return false;
+  }
+  return true;
+}
+
+ServiceClient::Outcome ServiceClient::run_sweep(
+    const std::vector<sim::RunSpec>& specs,
+    std::function<void(std::size_t done, std::size_t total)> on_progress) {
+  Outcome out;
+  out.results.resize(specs.size());
+  out.errors.assign(specs.size(), "");
+  if (specs.empty()) return out;
+  if (!connected()) throw std::runtime_error("not connected to virec-simd");
+
+  // The request is identical across busy retries except for its id.
+  std::vector<std::string> spec_hex;
+  spec_hex.reserve(specs.size());
+  for (const sim::RunSpec& spec : specs) {
+    spec_hex.push_back(proto::encode_spec_hex(spec));
+  }
+
+  for (;;) {
+    const u64 id = next_id_++;
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.begin_object();
+    w.kv("type", "sweep");
+    w.kv("id", id);
+    w.key("specs");
+    w.begin_array();
+    for (const std::string& hex : spec_hex) w.value(hex);
+    w.end_array();
+    w.end_object();
+    if (!conn_.write_line(proto::frame(os.str()))) {
+      throw std::runtime_error("virec-simd connection closed");
+    }
+
+    std::size_t delivered = 0;
+    bool retry = false;
+    double retry_after = 0.25;
+    while (!retry) {
+      std::string body;
+      if (!read_body(&body)) {
+        throw std::runtime_error("virec-simd: " + error_);
+      }
+      JsonValue msg;
+      try {
+        msg = json_parse(body);
+      } catch (const JsonParseError& e) {
+        throw std::runtime_error(std::string("virec-simd: bad message: ") +
+                                 e.what());
+      }
+      const std::string& type = msg.at("type").string;
+      if (type == "busy") {
+        retry = true;
+        if (const JsonValue* v = msg.find("retry_after_secs")) {
+          retry_after = v->number;
+        }
+        continue;
+      }
+      if (msg.at("id").as_u64() != id) {
+        throw std::runtime_error("virec-simd: reply for unknown request");
+      }
+      if (type == "point") {
+        const std::size_t index = msg.at("index").as_u64();
+        if (index >= specs.size()) {
+          throw std::runtime_error("virec-simd: point index out of range");
+        }
+        if (!proto::decode_result_hex(msg.at("result").string,
+                                      &out.results[index])) {
+          throw std::runtime_error("virec-simd: undecodable result");
+        }
+        const std::string& source = msg.at("source").string;
+        if (source == "executed") {
+          ++out.executed;
+        } else if (source == "store_hit") {
+          ++out.store_hits;
+        } else {
+          ++out.dedup_hits;
+        }
+        ++delivered;
+        if (on_progress) on_progress(delivered, specs.size());
+      } else if (type == "error") {
+        const std::size_t index = msg.at("index").as_u64();
+        if (index < specs.size()) {
+          out.errors[index] = msg.at("message").string;
+        }
+        ++out.failed;
+        ++delivered;
+        if (on_progress) on_progress(delivered, specs.size());
+      } else if (type == "done") {
+        if (delivered != specs.size()) {
+          throw std::runtime_error("virec-simd: sweep finished short");
+        }
+        return out;
+      } else {
+        throw std::runtime_error("virec-simd: unexpected message " + type);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(retry_after));
+  }
+}
+
+bool ServiceClient::run_one(const sim::RunSpec& spec, sim::RunResult* out) {
+  Outcome outcome = run_sweep({spec});
+  if (outcome.failed != 0) {
+    error_ = outcome.errors[0];
+    return false;
+  }
+  if (out != nullptr) *out = std::move(outcome.results[0]);
+  return true;
+}
+
+std::optional<ServiceClient::ServerStats> ServiceClient::stats() {
+  std::string reply;
+  if (!roundtrip(compact_begin("stats") + "}", &reply)) return std::nullopt;
+  try {
+    const JsonValue msg = json_parse(reply);
+    if (msg.at("type").string != "stats") return std::nullopt;
+    ServerStats s;
+    s.executed = msg.at("executed").as_u64();
+    s.store_hits = msg.at("store_hits").as_u64();
+    s.dedup_hits = msg.at("dedup_hits").as_u64();
+    s.failed = msg.at("failed").as_u64();
+    s.pending = msg.at("pending").as_u64();
+    s.inflight = msg.at("inflight").as_u64();
+    s.store_entries = msg.at("store_entries").as_u64();
+    s.provenance = msg.at("provenance").string;
+    return s;
+  } catch (const JsonParseError&) {
+    error_ = "bad stats reply";
+    return std::nullopt;
+  }
+}
+
+bool ServiceClient::ping() {
+  std::string reply;
+  if (!roundtrip(compact_begin("ping") + "}", &reply)) return false;
+  try {
+    return json_parse(reply).at("type").string == "pong";
+  } catch (const JsonParseError&) {
+    return false;
+  }
+}
+
+bool ServiceClient::shutdown_server() {
+  std::string reply;
+  if (!roundtrip(compact_begin("shutdown") + "}", &reply)) return false;
+  try {
+    return json_parse(reply).at("type").string == "bye";
+  } catch (const JsonParseError&) {
+    return false;
+  }
+}
+
+}  // namespace virec::svc

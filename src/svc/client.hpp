@@ -1,0 +1,86 @@
+// Client side of the virec-simd protocol (docs/service.md). Wraps one
+// connection to a daemon: hello handshake, sweep submission with
+// streamed point delivery, busy/retry handling, stats/ping/shutdown
+// control messages. Used by `virec-sim --connect` and by
+// bench::CachedRunner when VIREC_SIMD_SOCKET is set, so every harness
+// shares the daemon's result cache instead of re-simulating.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "svc/socket.hpp"
+
+namespace virec::svc {
+
+class ServiceClient {
+ public:
+  /// @p client_name is the daemon-side fairness/logging label.
+  explicit ServiceClient(std::string socket_path,
+                         std::string client_name = "virec-sim");
+
+  /// Connect and complete the hello handshake. False (with reason in
+  /// error()) if nothing listens on the path or versions mismatch.
+  bool connect();
+  bool connected() const { return conn_.valid(); }
+  /// Build provenance string of the daemon (valid after connect()).
+  const std::string& server_provenance() const { return server_provenance_; }
+  /// Reason for the last failed call.
+  const std::string& error() const { return error_; }
+
+  struct Outcome {
+    std::vector<sim::RunResult> results;  ///< grid order
+    std::size_t executed = 0;    ///< points the daemon simulated anew
+    std::size_t store_hits = 0;  ///< served from the daemon's cache
+    std::size_t dedup_hits = 0;  ///< coalesced with concurrent requests
+    std::size_t failed = 0;
+    std::vector<std::string> errors;  ///< "" per point, message on failure
+  };
+
+  /// Run @p specs through the daemon, blocking until every point has
+  /// streamed back. Retries transparently (after the server's hinted
+  /// delay) when the daemon is at its admission limit. Throws
+  /// std::runtime_error if the connection dies mid-sweep.
+  Outcome run_sweep(
+      const std::vector<sim::RunSpec>& specs,
+      std::function<void(std::size_t done, std::size_t total)> on_progress =
+          {});
+
+  /// Single-point convenience for harnesses (bench::CachedRunner).
+  /// False on per-point failure (message in error()).
+  bool run_one(const sim::RunSpec& spec, sim::RunResult* out);
+
+  struct ServerStats {
+    u64 executed = 0;
+    u64 store_hits = 0;
+    u64 dedup_hits = 0;
+    u64 failed = 0;
+    u64 pending = 0;
+    u64 inflight = 0;
+    u64 store_entries = 0;
+    std::string provenance;
+  };
+  std::optional<ServerStats> stats();
+
+  bool ping();
+  /// Ask the daemon to exit (it finishes in-flight work first).
+  bool shutdown_server();
+
+ private:
+  /// Send one framed body and read the next framed reply body.
+  bool roundtrip(const std::string& body, std::string* reply);
+  bool read_body(std::string* body);
+
+  std::string path_;
+  std::string client_name_;
+  UnixConn conn_;
+  std::string server_provenance_;
+  std::string error_;
+  u64 next_id_ = 1;
+};
+
+}  // namespace virec::svc

@@ -1,0 +1,108 @@
+#include "svc/protocol.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace virec::svc::proto {
+
+std::string frame(const std::string& body) {
+  char crc[16];
+  std::snprintf(crc, sizeof crc, " %08x",
+                ckpt::crc32(body.data(), body.size()));
+  return body + crc + "\n";
+}
+
+bool unframe(const std::string& line, std::string* body) {
+  std::string text = line;
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  if (!text.empty() && text.back() == '\r') text.pop_back();
+  // " %08x" suffix: space + 8 hex digits.
+  if (text.size() < 10 || text[text.size() - 9] != ' ') return false;
+  const std::string crc_hex = text.substr(text.size() - 8);
+  unsigned long want = 0;
+  char* end = nullptr;
+  want = std::strtoul(crc_hex.c_str(), &end, 16);
+  if (end != crc_hex.c_str() + crc_hex.size()) return false;
+  text.resize(text.size() - 9);
+  if (ckpt::crc32(text.data(), text.size()) != static_cast<u32>(want)) {
+    return false;
+  }
+  *body = std::move(text);
+  return true;
+}
+
+std::string to_hex(const std::vector<u8>& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (u8 b : bytes) {
+    out += kDigits[b >> 4];
+    out += kDigits[b & 0xf];
+  }
+  return out;
+}
+
+namespace {
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+bool from_hex(const std::string& hex, std::vector<u8>* out) {
+  if (hex.size() % 2 != 0) return false;
+  std::vector<u8> bytes;
+  bytes.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    bytes.push_back(static_cast<u8>((hi << 4) | lo));
+  }
+  *out = std::move(bytes);
+  return true;
+}
+
+std::string encode_spec_hex(const sim::RunSpec& spec) {
+  ckpt::Encoder enc;
+  ckpt::encode_spec(enc, spec);
+  return to_hex(enc.bytes());
+}
+
+bool decode_spec_hex(const std::string& hex, sim::RunSpec* out) {
+  std::vector<u8> bytes;
+  if (!from_hex(hex, &bytes)) return false;
+  try {
+    ckpt::Decoder dec(bytes.data(), bytes.size(), "wire spec");
+    *out = ckpt::decode_spec(dec);
+    dec.finish();
+    return true;
+  } catch (const ckpt::CkptError&) {
+    return false;
+  }
+}
+
+std::string encode_result_hex(const sim::RunResult& result) {
+  ckpt::Encoder enc;
+  ckpt::encode_result(enc, result);
+  return to_hex(enc.bytes());
+}
+
+bool decode_result_hex(const std::string& hex, sim::RunResult* out) {
+  std::vector<u8> bytes;
+  if (!from_hex(hex, &bytes)) return false;
+  try {
+    ckpt::Decoder dec(bytes.data(), bytes.size(), "wire result");
+    *out = ckpt::decode_result(dec);
+    dec.finish();
+    return true;
+  } catch (const ckpt::CkptError&) {
+    return false;
+  }
+}
+
+}  // namespace virec::svc::proto

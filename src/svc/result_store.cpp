@@ -1,0 +1,261 @@
+#include "svc/result_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/version.hpp"
+
+namespace fs = std::filesystem;
+
+namespace virec::svc {
+
+namespace {
+
+// Entry layout (via ckpt::Encoder, little-endian):
+//   u32 magic, u32 format_version, u64 spec_hash,
+//   str provenance, f64 wall_secs,
+//   u32 identity_len + identity bytes (canonical spec encoding),
+//   u32 payload_crc, u32 payload_len + payload (encoded RunResult),
+//   u32 entry_crc (crc32 of every preceding byte).
+// The trailing entry_crc covers the whole file, so a flip anywhere —
+// header, provenance, identity, payload — reads as corruption; the
+// payload_crc additionally survives future envelope-layout changes.
+constexpr const char* kEntrySuffix = ".vres";
+
+/// Whole-file integrity: true iff @p bytes ends in a valid entry_crc.
+/// On success *body_size excludes the trailing CRC word.
+bool check_entry_crc(const std::vector<u8>& bytes, std::size_t* body_size) {
+  if (bytes.size() < sizeof(u32)) return false;
+  const std::size_t body = bytes.size() - sizeof(u32);
+  u32 stored = 0;
+  for (int i = 3; i >= 0; --i) {
+    stored = (stored << 8) | bytes[body + static_cast<std::size_t>(i)];
+  }
+  if (ckpt::crc32(bytes.data(), body) != stored) return false;
+  *body_size = body;
+  return true;
+}
+
+std::vector<u8> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::vector<u8>(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+}
+
+bool is_entry_file(const fs::directory_entry& e) {
+  return e.is_regular_file() && e.path().extension() == kEntrySuffix;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw std::runtime_error("result store: cannot create directory " + dir_ +
+                             (ec ? ": " + ec.message() : ""));
+  }
+}
+
+std::string ResultStore::entry_path(u64 hash) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return dir_ + "/" + name + kEntrySuffix;
+}
+
+bool ResultStore::lookup_entry(u64 hash, const sim::RunSpec& spec,
+                               StoreEntry* out) const {
+  const std::vector<u8> bytes = read_file(entry_path(hash));
+  if (bytes.empty()) return false;
+  std::size_t body_size = 0;
+  if (!check_entry_crc(bytes, &body_size)) return false;
+  try {
+    ckpt::Decoder dec(bytes.data(), body_size, "store entry");
+    if (dec.get_u32() != kStoreMagic) return false;
+    if (dec.get_u32() != kStoreFormatVersion) return false;
+    if (dec.get_u64() != hash) return false;
+    StoreEntry entry;
+    entry.provenance = dec.get_str();
+    entry.wall_secs = dec.get_f64();
+    // Identity verification: the stored canonical spec bytes must match
+    // the requested spec exactly — a hash collision or codec drift is a
+    // miss, never a wrong result.
+    ckpt::Encoder want;
+    ckpt::encode_spec_identity(want, spec);
+    const u32 identity_len = dec.get_u32();
+    if (identity_len != want.size()) return false;
+    std::vector<u8> identity(identity_len);
+    dec.raw(identity.data(), identity_len);
+    if (identity != want.bytes()) return false;
+    const u32 payload_crc = dec.get_u32();
+    const u32 payload_len = dec.get_u32();
+    std::vector<u8> payload(payload_len);
+    dec.raw(payload.data(), payload_len);
+    dec.finish();
+    if (ckpt::crc32(payload.data(), payload.size()) != payload_crc) {
+      return false;
+    }
+    ckpt::Decoder pdec(payload.data(), payload.size(), "store payload");
+    entry.result = ckpt::decode_result(pdec);
+    pdec.finish();
+    if (out != nullptr) *out = std::move(entry);
+    return true;
+  } catch (const ckpt::CkptError&) {
+    return false;  // truncated/corrupt entry: a miss, the point re-runs
+  }
+}
+
+bool ResultStore::lookup(u64 hash, const sim::RunSpec& spec,
+                         sim::RunResult* out) const {
+  StoreEntry entry;
+  if (!lookup_entry(hash, spec, &entry)) return false;
+  if (out != nullptr) *out = std::move(entry.result);
+  return true;
+}
+
+void ResultStore::put(u64 hash, const sim::RunSpec& spec,
+                      const sim::RunResult& result, double wall_secs) {
+  ckpt::Encoder payload;
+  ckpt::encode_result(payload, result);
+
+  ckpt::Encoder enc;
+  enc.put_u32(kStoreMagic);
+  enc.put_u32(kStoreFormatVersion);
+  enc.put_u64(hash);
+  enc.put_str(build::provenance());
+  enc.put_f64(wall_secs);
+  ckpt::Encoder identity;
+  ckpt::encode_spec_identity(identity, spec);
+  enc.put_u32(static_cast<u32>(identity.size()));
+  enc.raw(identity.bytes().data(), identity.size());
+  enc.put_u32(ckpt::crc32(payload.bytes().data(), payload.size()));
+  enc.put_u32(static_cast<u32>(payload.size()));
+  enc.raw(payload.bytes().data(), payload.size());
+  const u32 entry_crc = ckpt::crc32(enc.bytes().data(), enc.size());
+  enc.put_u32(entry_crc);
+
+  // Unique temp name (pid + address of this call's encoder) so
+  // concurrent writers — including separate daemon processes sharing
+  // one store — never scribble on each other's partial file; rename is
+  // atomic and last-writer-wins on identical content.
+  const std::string path = entry_path(hash);
+  char tmp_tag[64];
+  std::snprintf(tmp_tag, sizeof tmp_tag, ".tmp.%ld.%p",
+                static_cast<long>(::getpid()),
+                static_cast<const void*>(&enc));
+  const std::string tmp = path + tmp_tag;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("result store: cannot write " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(enc.bytes().data()),
+              static_cast<std::streamsize>(enc.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("result store: short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("result store: rename " + tmp + " -> " + path +
+                             " failed: " + ec.message());
+  }
+}
+
+std::size_t ResultStore::size() const {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir_, ec)) {
+    if (is_entry_file(e)) ++n;
+  }
+  return n;
+}
+
+ResultStore::VerifyReport ResultStore::verify(bool repair) {
+  VerifyReport report;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir_, ec)) {
+    if (!is_entry_file(e)) continue;
+    ++report.total;
+    const std::vector<u8> bytes = read_file(e.path().string());
+    bool ok = false;
+    bool foreign = false;
+    std::size_t body_size = 0;
+    try {
+      if (!check_entry_crc(bytes, &body_size)) {
+        throw ckpt::CkptError("store entry: bad entry crc");
+      }
+      ckpt::Decoder dec(bytes.data(), body_size, "store entry");
+      if (dec.get_u32() == kStoreMagic) {
+        if (dec.get_u32() != kStoreFormatVersion) {
+          foreign = true;
+        } else {
+          dec.get_u64();   // hash (name may have been tampered; payload
+                           // integrity is what verify guards)
+          dec.get_str();   // provenance
+          dec.get_f64();   // wall_secs
+          const u32 identity_len = dec.get_u32();
+          dec.skip(identity_len);
+          const u32 payload_crc = dec.get_u32();
+          const u32 payload_len = dec.get_u32();
+          std::vector<u8> payload(payload_len);
+          dec.raw(payload.data(), payload_len);
+          dec.finish();
+          ok = ckpt::crc32(payload.data(), payload.size()) == payload_crc;
+        }
+      }
+    } catch (const ckpt::CkptError&) {
+      ok = false;
+    }
+    if (foreign) {
+      ++report.foreign;
+    } else if (ok) {
+      ++report.ok;
+    } else {
+      ++report.corrupt;
+      if (repair) {
+        std::error_code rm;
+        fs::remove(e.path(), rm);
+        if (!rm) report.removed.push_back(e.path().string());
+      }
+    }
+  }
+  return report;
+}
+
+std::size_t ResultStore::gc(std::size_t keep) {
+  struct File {
+    fs::path path;
+    fs::file_time_type mtime;
+  };
+  std::vector<File> files;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir_, ec)) {
+    if (!is_entry_file(e)) continue;
+    std::error_code mec;
+    files.push_back({e.path(), fs::last_write_time(e.path(), mec)});
+  }
+  if (files.size() <= keep) return 0;
+  std::sort(files.begin(), files.end(),
+            [](const File& a, const File& b) { return a.mtime > b.mtime; });
+  std::size_t removed = 0;
+  for (std::size_t i = keep; i < files.size(); ++i) {
+    std::error_code rm;
+    fs::remove(files[i].path, rm);
+    if (!rm) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace virec::svc

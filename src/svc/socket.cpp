@@ -1,0 +1,162 @@
+#include "svc/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace virec::svc {
+
+namespace {
+
+/// Fill a sockaddr_un for @p path; throws if the path does not fit the
+/// fixed-size sun_path field (a bind/connect would silently truncate).
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+UnixConn::UnixConn(UnixConn&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+
+UnixConn& UnixConn::operator=(UnixConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+  }
+  return *this;
+}
+
+void UnixConn::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void UnixConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+bool UnixConn::write_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::size_t off = 0;
+  while (off < line.size()) {
+    // MSG_NOSIGNAL: a vanished peer must yield false, not SIGPIPE.
+    const ssize_t n = ::send(fd_, line.data() + off, line.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool UnixConn::read_line(std::string* line) {
+  if (fd_ < 0) return false;
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF; a partial buffered line is torn
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+UnixListener::UnixListener(std::string path) : path_(std::move(path)) {
+  const sockaddr_un addr = make_addr(path_);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("socket(AF_UNIX): " +
+                             std::string(std::strerror(errno)));
+  }
+  // A stale socket file from a killed daemon would make bind fail;
+  // remove it. A *live* daemon still holding the path loses the path
+  // but keeps serving existing connections — callers that care use a
+  // fresh path per instance (the CLI defaults to a pid-free fixed path
+  // and documents one-daemon-per-path).
+  ::unlink(path_.c_str());
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("bind(" + path_ + "): " + why);
+  }
+  if (::listen(fd_, 64) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+    throw std::runtime_error("listen(" + path_ + "): " + why);
+  }
+}
+
+UnixListener::~UnixListener() {
+  shutdown();
+  ::unlink(path_.c_str());
+}
+
+UnixConn UnixListener::accept() {
+  for (;;) {
+    const int fd = fd_;
+    if (fd < 0) return UnixConn();
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) return UnixConn(conn);
+    if (errno == EINTR) continue;
+    return UnixConn();  // includes EBADF/EINVAL after shutdown()
+  }
+}
+
+void UnixListener::shutdown() {
+  if (fd_ >= 0) {
+    // shutdown() wakes a blocked accept() with an error; the close
+    // then releases the descriptor.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UnixConn unix_connect(const std::string& path) {
+  sockaddr_un addr{};
+  try {
+    addr = make_addr(path);
+  } catch (const std::runtime_error&) {
+    return UnixConn();
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return UnixConn();
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    return UnixConn();
+  }
+  return UnixConn(fd);
+}
+
+}  // namespace virec::svc

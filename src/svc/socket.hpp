@@ -1,0 +1,82 @@
+// Thin RAII wrappers over AF_UNIX stream sockets for the virec-simd
+// daemon and its clients. Line-oriented: the protocol layer frames
+// messages as single lines (protocol.hpp), so the connection type only
+// needs write-a-line / read-a-line with buffering. All errors surface
+// as boolean failures (connection closed) rather than exceptions —
+// a client vanishing mid-sweep is normal daemon life, not a fault.
+#pragma once
+
+#include <string>
+
+namespace virec::svc {
+
+/// One connected stream socket. Move-only; closes on destruction.
+class UnixConn {
+ public:
+  UnixConn() = default;
+  explicit UnixConn(int fd) : fd_(fd) {}
+  ~UnixConn() { close(); }
+
+  UnixConn(UnixConn&& other) noexcept;
+  UnixConn& operator=(UnixConn&& other) noexcept;
+  UnixConn(const UnixConn&) = delete;
+  UnixConn& operator=(const UnixConn&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Write the full line (caller includes the trailing newline; the
+  /// protocol's frame() already does). False once the peer is gone.
+  bool write_line(const std::string& line);
+
+  /// Read up to and including the next newline, returned without it.
+  /// False on EOF or error with no complete line buffered.
+  bool read_line(std::string* line);
+
+  /// Half-close from another thread: wakes a blocked read_line() with
+  /// EOF without racing close() against the reader's descriptor use.
+  void shutdown();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  ///< bytes received past the last returned line
+};
+
+/// Listening socket bound to a filesystem path. Removes a stale socket
+/// file on bind and unlinks its own on destruction.
+class UnixListener {
+ public:
+  /// Throws std::runtime_error if the path cannot be bound.
+  explicit UnixListener(std::string path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Blocks for the next connection; invalid UnixConn after
+  /// shutdown() or on listener failure.
+  UnixConn accept();
+
+  /// Unblocks accept() (used by the daemon's signal-driven shutdown);
+  /// safe to call from another thread or a signal-notified thread.
+  void shutdown();
+
+  const std::string& path() const { return path_; }
+
+  /// Raw listening descriptor, for the daemon's async-signal-safe
+  /// ::shutdown() from a signal handler (both shutdown(2) and the
+  /// resulting accept() wake-up are signal-safe; the full shutdown()
+  /// method is not).
+  int native_handle() const { return fd_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Connect to a daemon's socket; invalid UnixConn if nothing listens
+/// there.
+UnixConn unix_connect(const std::string& path);
+
+}  // namespace virec::svc

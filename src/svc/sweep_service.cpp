@@ -1,0 +1,300 @@
+#include "svc/sweep_service.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace virec::svc {
+
+const char* point_source_name(PointSource source) {
+  switch (source) {
+    case PointSource::kExecuted: return "executed";
+    case PointSource::kStoreHit: return "store_hit";
+    case PointSource::kDedup: return "dedup";
+  }
+  return "?";
+}
+
+struct SweepTicket::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  PointFn on_point;
+  std::size_t remaining = 0;
+  Counts counts;
+
+  void deliver(std::size_t index, const sim::RunResult* result,
+               PointSource source, const std::string& error) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (result == nullptr) {
+      ++counts.failed;
+    } else {
+      switch (source) {
+        case PointSource::kExecuted: ++counts.executed; break;
+        case PointSource::kStoreHit: ++counts.store_hits; break;
+        case PointSource::kDedup: ++counts.dedup_hits; break;
+      }
+    }
+    // Callback under the ticket mutex: deliveries for one ticket are
+    // serialised, so PointFn implementations need no locking of their
+    // own (they must not call wait() from inside the callback).
+    if (on_point) on_point(index, result, source, error);
+    if (--remaining == 0) cv.notify_all();
+  }
+};
+
+void SweepTicket::wait() {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->cv.wait(lk, [&] { return impl_->remaining == 0; });
+}
+
+SweepTicket::Counts SweepTicket::counts() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->counts;
+}
+
+namespace {
+
+struct Waiter {
+  std::shared_ptr<SweepTicket::Impl> ticket;
+  std::size_t index = 0;
+  PointSource source = PointSource::kExecuted;
+};
+
+struct Execution {
+  u64 hash = 0;
+  sim::RunSpec spec;
+  std::vector<Waiter> waiters;
+};
+
+}  // namespace
+
+struct SweepService::State {
+  mutable std::mutex mu;
+  std::condition_variable work_cv;
+  bool stopping = false;
+
+  /// Executions queued or running, by identity hash. An entry is
+  /// removed only after its result (or failure) is recorded, so a
+  /// concurrent submit always either memo-hits or finds it here —
+  /// never both misses and re-executes.
+  std::unordered_map<u64, std::shared_ptr<Execution>> inflight;
+  /// Results completed in this process. Closes the race between a
+  /// store lookup (done outside the lock) and an execution finishing,
+  /// and serves repeat points without touching disk.
+  std::unordered_map<u64, sim::RunResult> memo;
+
+  /// Per-client FIFO queues drained round-robin (fairness).
+  std::unordered_map<std::string, std::deque<std::shared_ptr<Execution>>>
+      queues;
+  std::vector<std::string> rr_clients;
+  std::size_t rr_cursor = 0;
+  std::size_t pending = 0;  ///< executions queued, not yet picked up
+  std::size_t running = 0;
+
+  Stats lifetime;
+  std::vector<std::thread> workers;
+};
+
+SweepService::SweepService(ServiceConfig config, ResultStore* store)
+    : config_(config), store_(store), state_(std::make_unique<State>()) {
+  if (config_.jobs == 0) config_.jobs = 1;
+  state_->workers.reserve(config_.jobs);
+  for (u32 i = 0; i < config_.jobs; ++i) {
+    state_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SweepService::~SweepService() {
+  {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    state_->stopping = true;
+  }
+  state_->work_cv.notify_all();
+  for (std::thread& t : state_->workers) t.join();
+  // Workers are gone; anything still queued never ran. Fail those
+  // waiters so no ticket blocks forever across shutdown.
+  for (auto& [client, queue] : state_->queues) {
+    for (const std::shared_ptr<Execution>& exec : queue) {
+      for (const Waiter& w : exec->waiters) {
+        w.ticket->deliver(w.index, nullptr, w.source, "service stopped");
+      }
+    }
+  }
+}
+
+SweepTicket SweepService::submit(const std::string& client,
+                                 const std::vector<sim::RunSpec>& specs,
+                                 PointFn on_point) {
+  auto impl = std::make_shared<SweepTicket::Impl>();
+  impl->on_point = std::move(on_point);
+  impl->remaining = specs.size();
+  impl->counts.points = specs.size();
+  SweepTicket ticket;
+  ticket.impl_ = impl;
+  if (specs.empty()) return ticket;
+
+  // Phase 1 — hash every point and probe the persistent store, all
+  // outside the service lock (store lookups are disk reads; holding
+  // the lock across them would stall workers and other clients).
+  std::vector<u64> hashes(specs.size());
+  std::unordered_map<u64, std::optional<sim::RunResult>> probed;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    hashes[i] = ckpt::spec_hash(specs[i]);
+    auto [it, inserted] = probed.try_emplace(hashes[i]);
+    if (inserted && store_ != nullptr) {
+      sim::RunResult r;
+      if (store_->lookup(hashes[i], specs[i], &r)) it->second = std::move(r);
+    }
+  }
+
+  // Phase 2 — classify under the lock: admission first (all-or-nothing,
+  // so a rejected batch leaves no partial state), then apply.
+  struct HitDelivery {
+    std::size_t index;
+    sim::RunResult result;
+  };
+  std::vector<HitDelivery> hits;
+  bool added_work = false;
+  {
+    State& st = *state_;
+    std::lock_guard<std::mutex> lk(st.mu);
+    if (st.stopping) throw std::runtime_error("sweep service is stopping");
+
+    std::unordered_set<u64> new_in_batch;
+    std::size_t new_execs = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const u64 h = hashes[i];
+      if (st.memo.count(h) != 0 || probed[h].has_value() ||
+          st.inflight.count(h) != 0) {
+        continue;
+      }
+      if (new_in_batch.insert(h).second) ++new_execs;
+    }
+    if (new_execs > 0 && st.pending + new_execs > config_.max_pending) {
+      throw ServiceBusy(config_.retry_after_secs);
+    }
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const u64 h = hashes[i];
+      if (const auto mit = st.memo.find(h); mit != st.memo.end()) {
+        hits.push_back({i, mit->second});
+        ++st.lifetime.store_hits;
+        continue;
+      }
+      if (std::optional<sim::RunResult>& hit = probed[h]; hit.has_value()) {
+        st.memo.emplace(h, *hit);
+        hits.push_back({i, *hit});
+        ++st.lifetime.store_hits;
+        continue;
+      }
+      if (const auto fit = st.inflight.find(h); fit != st.inflight.end()) {
+        fit->second->waiters.push_back({impl, i, PointSource::kDedup});
+        ++st.lifetime.dedup_hits;
+        continue;
+      }
+      auto exec = std::make_shared<Execution>();
+      exec->hash = h;
+      exec->spec = specs[i];
+      exec->waiters.push_back({impl, i, PointSource::kExecuted});
+      st.inflight.emplace(h, exec);
+      auto [qit, fresh] = st.queues.try_emplace(client);
+      if (fresh) st.rr_clients.push_back(client);
+      qit->second.push_back(std::move(exec));
+      ++st.pending;
+      added_work = true;
+    }
+  }
+  if (added_work) state_->work_cv.notify_all();
+
+  // Deliver cache hits outside the service lock (the per-ticket lock
+  // still serialises them against streaming worker deliveries).
+  for (const HitDelivery& hit : hits) {
+    impl->deliver(hit.index, &hit.result, PointSource::kStoreHit, "");
+  }
+  return ticket;
+}
+
+void SweepService::worker_loop() {
+  State& st = *state_;
+  for (;;) {
+    std::shared_ptr<Execution> exec;
+    {
+      std::unique_lock<std::mutex> lk(st.mu);
+      st.work_cv.wait(lk, [&] { return st.stopping || st.pending > 0; });
+      if (st.stopping) return;
+      // Round-robin across clients: take one execution from the next
+      // client with queued work, then move the cursor on, so large
+      // batches interleave with small ones instead of starving them.
+      for (std::size_t n = 0; n < st.rr_clients.size() && !exec; ++n) {
+        std::deque<std::shared_ptr<Execution>>& q =
+            st.queues[st.rr_clients[st.rr_cursor]];
+        st.rr_cursor = (st.rr_cursor + 1) % st.rr_clients.size();
+        if (!q.empty()) {
+          exec = std::move(q.front());
+          q.pop_front();
+        }
+      }
+      if (!exec) continue;
+      --st.pending;
+      ++st.running;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    sim::RunResult result;
+    std::string error;
+    bool ok = true;
+    try {
+      result = sim::run_spec(exec->spec);
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+    }
+    const double wall_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (ok && store_ != nullptr) {
+      try {
+        store_->put(exec->hash, exec->spec, result, wall_secs);
+      } catch (const std::exception&) {
+        // A full or read-only store must not fail the run itself; the
+        // point is simply not cached for next time.
+      }
+    }
+
+    std::vector<Waiter> waiters;
+    {
+      std::lock_guard<std::mutex> lk(st.mu);
+      --st.running;
+      if (ok) {
+        ++st.lifetime.executed;
+        st.memo.emplace(exec->hash, result);
+      } else {
+        ++st.lifetime.failed;
+      }
+      // Erase only after the memo insert above: a submit holding the
+      // lock next either memo-hits or re-queues a fresh execution (the
+      // failure-retry path) — it can never fall between the two.
+      st.inflight.erase(exec->hash);
+      waiters = std::move(exec->waiters);
+    }
+    for (const Waiter& w : waiters) {
+      w.ticket->deliver(w.index, ok ? &result : nullptr, w.source, error);
+    }
+  }
+}
+
+SweepService::Stats SweepService::stats() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  Stats s = state_->lifetime;
+  s.pending = state_->pending;
+  s.inflight = state_->running;
+  return s;
+}
+
+}  // namespace virec::svc

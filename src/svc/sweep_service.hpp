@@ -1,0 +1,137 @@
+// Layer 2 of the simulation service (docs/service.md): an in-process
+// broker that turns raw experiment points into scheduled, deduplicated,
+// cache-aware work. Every consumer of simulation results — the
+// virec-simd daemon, in-process harnesses, tests — goes through one of
+// these instead of calling sim::run_spec directly, which buys:
+//
+//   * cache serving — points already in the ResultStore (or completed
+//     earlier in this process) are answered without running the
+//     simulator, and every fresh execution is persisted back;
+//   * in-flight dedup — identical points requested concurrently (by one
+//     client or several) execute exactly once; all requesters receive
+//     the one result when it lands;
+//   * fair scheduling — queued work is drained round-robin across
+//     clients, so a client submitting a 10k-point grid cannot starve a
+//     client submitting 10 points;
+//   * admission control — the pending queue is bounded; a submission
+//     that would overflow it is rejected whole with ServiceBusy
+//     (carrying a retry-after hint) rather than queued into unbounded
+//     memory.
+//
+// Results stream: each point is delivered through the submission's
+// callback as soon as it resolves (cache hits immediately, executions
+// as they finish), tagged with how it was satisfied.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "svc/result_store.hpp"
+
+namespace virec::svc {
+
+/// How a delivered point was satisfied.
+enum class PointSource {
+  kExecuted,  ///< this submission triggered the simulator run
+  kStoreHit,  ///< served from the ResultStore or this process's memo
+  kDedup,     ///< coalesced onto an execution another request started
+};
+
+const char* point_source_name(PointSource source);
+
+/// Per-point delivery callback. Invoked from service worker threads
+/// (serialised per ticket, so implementations need no locking against
+/// themselves). @p result is null iff the point failed; then @p error
+/// carries the reason.
+using PointFn = std::function<void(std::size_t index,
+                                   const sim::RunResult* result,
+                                   PointSource source,
+                                   const std::string& error)>;
+
+/// Thrown by submit() when admission control rejects the request.
+class ServiceBusy : public std::runtime_error {
+ public:
+  explicit ServiceBusy(double retry_after_secs)
+      : std::runtime_error("service busy"),
+        retry_after_secs(retry_after_secs) {}
+  double retry_after_secs;
+};
+
+struct ServiceConfig {
+  u32 jobs = 1;                   ///< simulator worker threads
+  std::size_t max_pending = 4096; ///< queued-execution bound (admission)
+  double retry_after_secs = 0.25; ///< hint carried by ServiceBusy
+};
+
+/// Handle for one submitted sweep. wait() blocks until every point has
+/// been delivered; the counters then say how the request was satisfied.
+class SweepTicket {
+ public:
+  void wait();
+
+  struct Counts {
+    std::size_t points = 0;      ///< total points in the submission
+    std::size_t executed = 0;    ///< runs this submission triggered
+    std::size_t store_hits = 0;  ///< served from store/memo
+    std::size_t dedup_hits = 0;  ///< coalesced onto foreign executions
+    std::size_t failed = 0;      ///< delivered with an error
+  };
+  /// Stable only after wait() returns (counters advance while points
+  /// stream in).
+  Counts counts() const;
+
+  /// Opaque shared state (defined in sweep_service.cpp; public so the
+  /// service's internal bookkeeping can name it).
+  struct Impl;
+
+ private:
+  friend class SweepService;
+  std::shared_ptr<Impl> impl_;
+};
+
+class SweepService {
+ public:
+  /// @p store may be null (memo-only service, used by some tests);
+  /// normally it is the persistent cache that outlives the process.
+  SweepService(ServiceConfig config, ResultStore* store);
+  /// Drains nothing: undelivered points are failed with an error so no
+  /// ticket ever hangs across shutdown.
+  ~SweepService();
+
+  SweepService(const SweepService&) = delete;
+  SweepService& operator=(const SweepService&) = delete;
+
+  /// Submit a batch of points for @p client (an opaque fairness key —
+  /// one per connection in the daemon). Delivery starts immediately:
+  /// cache hits are delivered inside this call, the rest stream through
+  /// @p on_point from worker threads. Throws ServiceBusy (rejecting the
+  /// whole batch, nothing partially queued) if the new executions it
+  /// needs would overflow the pending queue.
+  SweepTicket submit(const std::string& client,
+                     const std::vector<sim::RunSpec>& specs,
+                     PointFn on_point);
+
+  struct Stats {
+    std::size_t executed = 0;    ///< simulator runs completed, lifetime
+    std::size_t store_hits = 0;
+    std::size_t dedup_hits = 0;
+    std::size_t failed = 0;
+    std::size_t pending = 0;     ///< executions queued, not yet running
+    std::size_t inflight = 0;    ///< executions currently running
+  };
+  Stats stats() const;
+
+ private:
+  struct State;
+  void worker_loop();
+
+  ServiceConfig config_;
+  ResultStore* store_;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace virec::svc

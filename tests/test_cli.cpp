@@ -48,6 +48,32 @@ TEST(Cli, HelpExitsCleanly) {
   EXPECT_NE(r.output.find("--policy"), std::string::npos);
 }
 
+TEST(Cli, VersionPrintsProvenance) {
+  const CliResult r = run_cli("--version");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_TRUE(has_line_prefix(r.output, "virec-sim")) << r.output;
+  EXPECT_TRUE(has_line_prefix(r.output, "provenance ")) << r.output;
+  EXPECT_NE(r.output.find("git="), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("compiler="), std::string::npos) << r.output;
+  EXPECT_TRUE(has_line_prefix(r.output, "report_schema ")) << r.output;
+  EXPECT_TRUE(has_line_prefix(r.output, "spec_codec ")) << r.output;
+}
+
+TEST(Cli, ConnectRequiresReachableDaemon) {
+  // No daemon at this socket: a clean connection error, not a hang or a
+  // silent local fallback.
+  const CliResult r = run_cli(
+      "--connect " + ::testing::TempDir() + "no-such-daemon.sock --iters 8");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("error:"), std::string::npos) << r.output;
+}
+
+TEST(Cli, ConnectRejectsLocalOnlyFlags) {
+  const CliResult r = run_cli("--connect x.sock --trace --iters 8");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--connect"), std::string::npos) << r.output;
+}
+
 TEST(Cli, ListShowsEveryKernel) {
   const CliResult r = run_cli("--list");
   EXPECT_EQ(r.exit_code, 0);

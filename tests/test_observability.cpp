@@ -211,7 +211,11 @@ TEST(JsonReport, GoldenParse) {
   const ReportFixture fx;
   const JsonValue v = fx.report();
 
-  EXPECT_DOUBLE_EQ(v.at("schema_version").number, 2.0);
+  EXPECT_DOUBLE_EQ(v.at("schema_version").number, 3.0);
+  // v3: every report says which build produced it.
+  EXPECT_FALSE(v.at("provenance").at("git").string.empty());
+  EXPECT_FALSE(v.at("provenance").at("compiler").string.empty());
+  EXPECT_FALSE(v.at("provenance").at("build").string.empty());
   EXPECT_EQ(v.at("config").at("workload").string, "gather");
   EXPECT_EQ(v.at("config").at("scheme").string, "virec");
   EXPECT_DOUBLE_EQ(v.at("config").at("threads_per_core").number, 8.0);
