@@ -147,6 +147,18 @@ void print_usage() {
       "                      step every cycle. Results are bit-identical\n"
       "                      either way (docs/performance.md); use this\n"
       "                      only to bisect the simulator itself\n"
+      "  --pdes-jobs N       partition the simulated cores across N\n"
+      "                      worker threads (conservative PDES,\n"
+      "                      docs/performance.md). Results stay bit-\n"
+      "                      identical to the serial loop; like\n"
+      "                      --no-skip this is purely a simulator-speed\n"
+      "                      knob. Local runs only (ignored by --check\n"
+      "                      and single-core systems)\n"
+      "  --relaxed-sync      with --pdes-jobs: let partitions race\n"
+      "                      within one crossbar round trip instead of\n"
+      "                      synchronizing exactly. Faster but NOT\n"
+      "                      deterministic — never use for recorded\n"
+      "                      experiments\n"
       "  --check             run the lockstep reference oracle and hard\n"
       "                      invariants alongside the simulation; abort\n"
       "                      with a divergence report on any mismatch\n"
@@ -273,6 +285,9 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--seed") opt.spec.params.seed = u64_value();
     else if (arg == "--max-cycles") opt.spec.max_cycles = u64_value();
     else if (arg == "--no-skip") opt.spec.no_skip = true;
+    else if (arg == "--pdes-jobs")
+      opt.spec.pdes_jobs = static_cast<u32>(u64_value());
+    else if (arg == "--relaxed-sync") opt.spec.relaxed_sync = true;
     else if (arg == "--sample-windows")
       opt.spec.sample_windows = static_cast<u32>(u64_value());
     else if (arg == "--window-insts") {
@@ -362,6 +377,16 @@ bool parse(int argc, char** argv, Options& opt) {
         "--check validates the full detailed model, which sampling "
         "deliberately skips most of; use --functional-ff --check to "
         "validate the functional tier");
+  }
+  if (opt.spec.relaxed_sync && opt.spec.pdes_jobs == 0) {
+    throw std::invalid_argument("--relaxed-sync needs --pdes-jobs");
+  }
+  if (opt.spec.pdes_jobs > 0 &&
+      (opt.spec.sample_windows > 0 || opt.spec.functional_ff)) {
+    throw std::invalid_argument(
+        "--pdes-jobs parallelizes the detailed run loop and cannot be "
+        "combined with --sample-windows/--functional-ff (the tiered "
+        "runner drives the cores itself)");
   }
   return true;
 }
@@ -844,6 +869,11 @@ int run_connect_single(const Options& opt) {
         "--sample-windows/--functional-ff report tiered estimates the "
         "service protocol does not carry; run them locally");
   }
+  if (opt.spec.pdes_jobs > 0) {
+    throw std::invalid_argument(
+        "--pdes-jobs parallelizes the local run loop; the daemon "
+        "schedules its own workers (drop the flag with --connect)");
+  }
   // Validates the workload name before dialling the daemon.
   const workloads::Workload& workload =
       workloads::find_workload(opt.spec.workload);
@@ -1079,6 +1109,9 @@ int main(int argc, char** argv) {
       system.set_checkpointing(opt.checkpoint_every, opt.checkpoint_out);
     }
     if (opt.spec.check) system.enable_check();
+    if (opt.spec.pdes_jobs > 0) {
+      system.set_pdes(opt.spec.pdes_jobs, opt.spec.relaxed_sync);
+    }
     // Restore after all sinks are attached so the continued run traces
     // and samples exactly like the tail of an uninterrupted one.
     if (!opt.restore_path.empty()) system.restore(opt.restore_path);

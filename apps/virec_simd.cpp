@@ -223,33 +223,41 @@ void handle_sweep(Daemon& d, svc::UnixConn& conn, const JsonValue& msg,
   }
 
   svc::SweepTicket ticket;
+  // Set by the delivery callback when the client stops accepting
+  // frames; the polling loop below then withdraws the client.
+  auto write_failed = std::make_shared<std::atomic<bool>>(false);
   try {
     // Streamed delivery: each point goes out the moment it resolves.
-    // Write failures (client gone) are ignored — the executions finish
+    // Write failures (client gone) flag the connection so unstarted
+    // points are cancelled; executions already running still finish
     // and land in the store, so the client's retry is all cache hits.
     ticket = d.service.submit(
         client_key, specs,
-        [&conn, &spec_index, id](std::size_t index,
-                                 const sim::RunResult* result,
-                                 svc::PointSource source,
-                                 const std::string& error) {
+        [&conn, &spec_index, id, write_failed](std::size_t index,
+                                               const sim::RunResult* result,
+                                               svc::PointSource source,
+                                               const std::string& error) {
           const u64 wire_index = spec_index[index];
           if (result == nullptr) {
-            conn.write_line(svc::proto::frame(compact([&](JsonWriter& w) {
-              w.kv("type", "error");
-              w.kv("id", id);
-              w.kv("index", wire_index);
-              w.kv("message", error);
-            })));
+            if (!conn.write_line(svc::proto::frame(compact([&](JsonWriter& w) {
+                  w.kv("type", "error");
+                  w.kv("id", id);
+                  w.kv("index", wire_index);
+                  w.kv("message", error);
+                })))) {
+              write_failed->store(true);
+            }
             return;
           }
-          conn.write_line(svc::proto::frame(compact([&](JsonWriter& w) {
-            w.kv("type", "point");
-            w.kv("id", id);
-            w.kv("index", wire_index);
-            w.kv("source", svc::point_source_name(source));
-            w.kv("result", svc::proto::encode_result_hex(*result));
-          })));
+          if (!conn.write_line(svc::proto::frame(compact([&](JsonWriter& w) {
+                w.kv("type", "point");
+                w.kv("id", id);
+                w.kv("index", wire_index);
+                w.kv("source", svc::point_source_name(source));
+                w.kv("result", svc::proto::encode_result_hex(*result));
+              })))) {
+            write_failed->store(true);
+          }
         });
   } catch (const svc::ServiceBusy& busy) {
     conn.write_line(svc::proto::frame(compact([&](JsonWriter& w) {
@@ -259,7 +267,20 @@ void handle_sweep(Daemon& d, svc::UnixConn& conn, const JsonValue& msg,
     })));
     return;
   }
-  ticket.wait();
+  // Poll instead of a blind wait: a client that disconnects mid-stream
+  // must not keep its unstarted points occupying admission slots until
+  // they all simulate into the void. Cancelling fails this client's
+  // waiters, so the ticket drains promptly after the reclaim.
+  while (!ticket.wait_for(0.25)) {
+    if (d.stop || write_failed->load() || conn.peer_closed()) {
+      const std::size_t reclaimed = d.service.cancel(client_key);
+      d.log("sweep id=" + std::to_string(id) + " client=" + client_key +
+            ": client gone, cancelled " + std::to_string(reclaimed) +
+            " queued point(s)");
+      ticket.wait();
+      break;
+    }
+  }
   const svc::SweepTicket::Counts counts = ticket.counts();
   conn.write_line(svc::proto::frame(compact([&](JsonWriter& w) {
     w.kv("type", "done");

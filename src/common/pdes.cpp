@@ -1,0 +1,45 @@
+#include "common/pdes.hpp"
+
+#include <thread>
+
+namespace virec {
+
+namespace {
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace
+
+PdesGate::PdesGate(u32 num_partitions, Cycle relaxed_window)
+    : bounds_(num_partitions),
+      window_keys_(static_cast<u64>(relaxed_window) << kRankBits) {}
+
+void PdesGate::wait_turn(u32 p) {
+  const u64 k = bounds_[p].v.load(std::memory_order_relaxed);
+  // Relaxed mode: tolerate other partitions lagging up to the window.
+  const u64 wait_below = window_keys_ < k ? k - window_keys_ : 0;
+  for (u32 q = 0; q < bounds_.size(); ++q) {
+    if (q == p) continue;
+    u32 spins = 0;
+    while (bounds_[q].v.load(std::memory_order_acquire) <= wait_below) {
+      if (abort_.load(std::memory_order_relaxed)) throw PdesAborted();
+      // Brief busy wait, then yield: with fewer hardware threads than
+      // workers (CI containers) a pure spin would starve the partition
+      // we are waiting on.
+      if (++spins < 64) {
+        cpu_pause();
+      } else {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+}  // namespace virec

@@ -1,0 +1,113 @@
+// Conservative parallel-discrete-event synchronization for partitioned
+// core stepping (docs/performance.md, "Parallel simulation").
+//
+// The timing hierarchy resolves everything at access time: shared
+// components (crossbar, DRAM, the optional L2) never act on their own,
+// so the only cross-partition ordering that matters is the order in
+// which partitions issue line accesses at the shared boundary. The
+// lockstep reference loop issues them in ascending (cycle, core-index)
+// order; PdesGate reproduces exactly that order across free-running
+// worker threads.
+//
+// Protocol: every partition owns one monotonically increasing bound,
+// the packed key (cycle << kRankBits) | core_rank of its *next possible*
+// shared access. A worker publishes key(T, c) immediately before
+// stepping core c at cycle T (and key(target, 0) before skipping to
+// `target`, since skipped cycles are provably quiet and touch nothing
+// shared). A shared access at key k then waits until every other
+// partition's bound exceeds k:
+//
+//  * ordering — accesses happen in global key order, matching lockstep;
+//  * mutual exclusion — keys are unique (a core lives in exactly one
+//    partition), and an access at k1 < k2 holds its bound at k1, so the
+//    k2 access cannot start until the k1 access finished and its
+//    partition published a higher bound;
+//  * happens-before — bounds are published with release stores and
+//    waited on with acquire loads, so everything a partition did before
+//    raising its bound is visible to the partition it unblocks;
+//  * progress — the partition holding the globally minimal pending key
+//    never waits, and every other worker keeps raising its bound as it
+//    steps quiet cores, so the minimum advances and nobody deadlocks.
+//
+// Relaxed mode trades this determinism for speed: an access may proceed
+// once every other bound is within `window` cycles (the crossbar round
+// trip), and a mutex supplies the mutual exclusion that key ordering no
+// longer guarantees. Timing results then depend on thread scheduling.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace virec {
+
+/// Thrown out of a blocked shared access when another worker aborted
+/// the parallel run (its partition hit an error); unwinds the worker
+/// so the coordinator can rethrow the original failure.
+class PdesAborted : public std::runtime_error {
+ public:
+  PdesAborted() : std::runtime_error("pdes: aborted by another worker") {}
+};
+
+class PdesGate {
+ public:
+  /// Bits reserved for the core rank inside a packed key; bounds the
+  /// simulated system at 1024 cores and the clock at 2^54 cycles.
+  static constexpr u32 kRankBits = 10;
+  /// Published by a partition whose cores are all done (or whose worker
+  /// is unwinding): it will never issue another shared access.
+  static constexpr u64 kDoneBound = ~u64{0};
+
+  /// @p num_partitions workers; @p relaxed_window > 0 enables relaxed
+  /// mode with that slack (in cycles).
+  PdesGate(u32 num_partitions, Cycle relaxed_window);
+
+  PdesGate(const PdesGate&) = delete;
+  PdesGate& operator=(const PdesGate&) = delete;
+
+  /// Packed global ordering key of a shared access issued by core rank
+  /// @p rank while stepping cycle @p cycle (saturates to kDoneBound).
+  static u64 key_of(Cycle cycle, u32 rank) {
+    if (cycle >= (kDoneBound >> kRankBits)) return kDoneBound;
+    return (static_cast<u64>(cycle) << kRankBits) | rank;
+  }
+
+  /// Raise partition @p p's bound to @p key (release). Keys must be
+  /// published in non-decreasing order.
+  void publish(u32 p, u64 key) {
+    bounds_[p].v.store(key, std::memory_order_release);
+  }
+
+  /// Block until every other partition's bound exceeds partition
+  /// @p p's own current bound (minus the relaxed window, if any).
+  /// Throws PdesAborted if abort() is called while waiting.
+  void wait_turn(u32 p);
+
+  bool relaxed() const { return window_keys_ != 0; }
+  /// Mutual exclusion for shared accesses in relaxed mode (key ordering
+  /// no longer provides it there).
+  std::mutex& access_mutex() { return access_mu_; }
+
+  /// Release every spinning worker with PdesAborted.
+  void abort() { abort_.store(true, std::memory_order_relaxed); }
+  bool aborted() const { return abort_.load(std::memory_order_relaxed); }
+
+  u32 num_partitions() const { return static_cast<u32>(bounds_.size()); }
+
+ private:
+  // One cache line per bound so workers spinning on each other's
+  // progress do not false-share.
+  struct alignas(64) Bound {
+    std::atomic<u64> v{0};
+  };
+
+  std::vector<Bound> bounds_;
+  u64 window_keys_;  // relaxed slack in key units (0 = exact mode)
+  std::atomic<bool> abort_{false};
+  std::mutex access_mu_;
+};
+
+}  // namespace virec

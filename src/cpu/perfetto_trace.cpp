@@ -15,6 +15,7 @@ PerfettoTraceWriter::PerfettoTraceWriter(std::ostream& os) : os_(os) {
 PerfettoTraceWriter::~PerfettoTraceWriter() { finish(); }
 
 void PerfettoTraceWriter::finish() {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (finished_) return;
   finished_ = true;
   os_ << "\n]\n";
@@ -33,6 +34,7 @@ void PerfettoTraceWriter::event_prefix(const char* ph, const std::string& name,
 }
 
 void PerfettoTraceWriter::process_name(u32 pid, const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (finished_) return;
   if (!first_) os_ << ",";
   first_ = false;
@@ -43,6 +45,7 @@ void PerfettoTraceWriter::process_name(u32 pid, const std::string& name) {
 
 void PerfettoTraceWriter::thread_name(u32 pid, u32 tid,
                                       const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (finished_) return;
   if (!first_) os_ << ",";
   first_ = false;
@@ -56,6 +59,7 @@ void PerfettoTraceWriter::complete_event(const std::string& name,
                                          const char* category, u32 pid,
                                          u32 tid, Cycle ts, Cycle dur,
                                          const std::string& args_json) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (finished_) return;
   event_prefix("X", name, category, pid, tid, ts);
   os_ << ", \"dur\": " << dur;
@@ -66,6 +70,7 @@ void PerfettoTraceWriter::complete_event(const std::string& name,
 void PerfettoTraceWriter::instant_event(const std::string& name,
                                         const char* category, u32 pid,
                                         u32 tid, Cycle ts) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (finished_) return;
   event_prefix("i", name, category, pid, tid, ts);
   os_ << ", \"s\": \"t\"}";
@@ -74,6 +79,7 @@ void PerfettoTraceWriter::instant_event(const std::string& name,
 void PerfettoTraceWriter::counter_event(const std::string& name, u32 pid,
                                         Cycle ts,
                                         const std::string& args_json) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (finished_) return;
   // Counter tracks are process-scoped in the trace-event format: no
   // tid, and the args object carries one entry per plotted series.

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,7 +30,10 @@
 
 namespace virec::cpu {
 
-/// Serialises trace events into one shared JSON array.
+/// Serialises trace events into one shared JSON array. Thread-safe:
+/// every per-core PerfettoTracer of a PDES run (sim::System::set_pdes)
+/// funnels into one writer from its partition's worker thread, so each
+/// emitting call serialises the whole event under an internal mutex.
 class PerfettoTraceWriter {
  public:
   explicit PerfettoTraceWriter(std::ostream& os);
@@ -58,13 +62,18 @@ class PerfettoTraceWriter {
 
   /// Close the JSON array; further events are dropped. Idempotent.
   void finish();
-  u64 events_written() const { return events_; }
+  u64 events_written() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
 
  private:
+  /// Emits the shared event prelude; callers hold mu_.
   void event_prefix(const char* ph, const std::string& name,
                     const char* category, u32 pid, u32 tid, Cycle ts);
 
   std::ostream& os_;
+  mutable std::mutex mu_;
   bool first_ = true;
   bool finished_ = false;
   u64 events_ = 0;

@@ -116,18 +116,24 @@ DecodeAccess PrefetchManager::on_decode(int tid, const isa::Inst& inst,
 
 Cycle PrefetchManager::on_context_switch(int from_tid, int to_tid,
                                          int predicted_next, Cycle now) {
-  const auto from = static_cast<std::size_t>(from_tid);
   const auto to = static_cast<std::size_t>(to_tid);
   ++*c_context_switches_;
 
   // Close the outgoing episode: remember its used set, write back the
   // registers the strategy must store (full: all; exact: all used).
-  const RegMask spill_mask =
-      mode_ == PrefetchMode::kFull ? kAllRegsMask : used_this_episode_[from];
-  Cycle spill_done = transfer(from_tid, spill_mask, /*is_write=*/true, now);
-  last_episode_used_[from] = used_this_episode_[from];
-  used_this_episode_[from] = 0;
-  resident_[from] = 0;
+  // There is no outgoing episode on the first schedule after reset or
+  // an idle period (from_tid < 0) — indexing the per-thread arrays
+  // with -1 read and spilled out-of-bounds memory.
+  Cycle spill_done = now;
+  if (from_tid >= 0) {
+    const auto from = static_cast<std::size_t>(from_tid);
+    const RegMask spill_mask =
+        mode_ == PrefetchMode::kFull ? kAllRegsMask : used_this_episode_[from];
+    spill_done = transfer(from_tid, spill_mask, /*is_write=*/true, now);
+    last_episode_used_[from] = used_this_episode_[from];
+    used_this_episode_[from] = 0;
+    resident_[from] = 0;
+  }
 
   // The incoming thread should already be prefetched; a wrong
   // prediction degenerates to a demand fetch here.

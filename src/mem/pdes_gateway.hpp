@@ -1,0 +1,53 @@
+// Per-core choke point between the private L1 caches and the shared
+// levels below (L2/crossbar/DRAM). With no gate attached it forwards
+// transparently; with a gate it enforces the conservative PDES ordering
+// protocol (common/pdes.hpp) on every shared line access, so partitions
+// running on different worker threads touch the shared timing state in
+// exactly the lockstep loop's (cycle, core-index) order.
+#pragma once
+
+#include <mutex>
+
+#include "common/pdes.hpp"
+#include "mem/mem_level.hpp"
+
+namespace virec::mem {
+
+class PdesGateway final : public MemLevel {
+ public:
+  explicit PdesGateway(MemLevel& below) : below_(below) {}
+
+  /// Attach to @p gate as partition @p partition (nullptr detaches and
+  /// restores transparent forwarding). Call only while no simulation
+  /// thread is inside line_access.
+  void set_gate(PdesGate* gate, u32 partition) {
+    gate_ = gate;
+    partition_ = partition;
+  }
+
+  Cycle line_access(Addr line_addr, bool is_write, Cycle now) override {
+    PdesGate* gate = gate_;
+    if (gate == nullptr) return below_.line_access(line_addr, is_write, now);
+    gate->wait_turn(partition_);
+    if (gate->relaxed()) {
+      // Key ordering no longer excludes concurrent accesses inside the
+      // relaxed window; a plain mutex supplies the mutual exclusion.
+      std::lock_guard<std::mutex> lock(gate->access_mutex());
+      return below_.line_access(line_addr, is_write, now);
+    }
+    return below_.line_access(line_addr, is_write, now);
+  }
+
+  /// Warm-up traffic comes only from the single-threaded functional
+  /// tier, so it bypasses the gate.
+  void warm_line(Addr line_addr, bool is_write, Cycle warm_now) override {
+    below_.warm_line(line_addr, is_write, warm_now);
+  }
+
+ private:
+  MemLevel& below_;
+  PdesGate* gate_ = nullptr;
+  u32 partition_ = 0;
+};
+
+}  // namespace virec::mem

@@ -75,6 +75,7 @@ RunResult run_spec(const RunSpec& spec) {
   const workloads::Workload& workload = workloads::find_workload(spec.workload);
   System system(build_config(spec), workload, spec.params);
   if (spec.check) system.enable_check();
+  if (spec.pdes_jobs > 0) system.set_pdes(spec.pdes_jobs, spec.relaxed_sync);
   RunResult result = system.run();
   if (!result.check_ok) {
     throw std::runtime_error("workload check failed (" + spec.workload +

@@ -38,6 +38,18 @@ struct RunSpec {
   /// force the cycle-stepped loops. Results are bit-identical either
   /// way; skipping only trades simulator wall-clock.
   bool no_skip = false;
+  /// Conservative PDES core partitioning across this many worker
+  /// threads (System::set_pdes; docs/performance.md). 0 = serial run
+  /// loop. Like no_skip this is a pure simulator-speed knob: exact
+  /// mode is bit-identical, so it is deliberately excluded from the
+  /// spec identity (ckpt/spec_codec.cpp) and thus from result-store /
+  /// memo keys. Ignored by tiered and checked runs (serial fallback).
+  u32 pdes_jobs = 0;
+  /// With pdes_jobs > 1: allow shared-boundary accesses to proceed
+  /// within one crossbar round trip of the other partitions instead of
+  /// waiting for exact order. Faster, NOT deterministic — results vary
+  /// with host thread scheduling.
+  bool relaxed_sync = false;
   /// Tiered simulation (sim::TieredRunner; docs/performance.md).
   /// sample_windows > 0 runs SMARTS-style sampled measurement: the
   /// returned RunResult carries the *estimated* cycles/IPC

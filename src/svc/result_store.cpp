@@ -247,8 +247,14 @@ std::size_t ResultStore::gc(std::size_t keep) {
     files.push_back({e.path(), fs::last_write_time(e.path(), mec)});
   }
   if (files.size() <= keep) return 0;
-  std::sort(files.begin(), files.end(),
-            [](const File& a, const File& b) { return a.mtime > b.mtime; });
+  // Newest first; equal mtimes (common on coarse-granularity
+  // filesystems, where a whole burst of writes lands on one timestamp)
+  // tie-break on the filename — the spec hash — so which entries
+  // survive is deterministic rather than directory-iteration order.
+  std::sort(files.begin(), files.end(), [](const File& a, const File& b) {
+    if (a.mtime != b.mtime) return a.mtime > b.mtime;
+    return a.path.filename() < b.path.filename();
+  });
   std::size_t removed = 0;
   for (std::size_t i = keep; i < files.size(); ++i) {
     std::error_code rm;

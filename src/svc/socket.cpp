@@ -43,6 +43,21 @@ void UnixConn::shutdown() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
+bool UnixConn::peer_closed() const {
+  if (fd_ < 0) return true;
+  char probe;
+  for (;;) {
+    const ssize_t n =
+        ::recv(fd_, &probe, sizeof probe, MSG_PEEK | MSG_DONTWAIT);
+    if (n > 0) return false;   // pipelined bytes waiting: peer is alive
+    if (n == 0) return true;   // orderly EOF
+    if (errno == EINTR) continue;
+    // No data to peek is the live-and-idle case; anything else means
+    // the socket is dead.
+    return errno != EAGAIN && errno != EWOULDBLOCK;
+  }
+}
+
 void UnixConn::close() {
   if (fd_ >= 0) {
     ::close(fd_);

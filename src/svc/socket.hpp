@@ -32,6 +32,12 @@ class UnixConn {
   /// False on EOF or error with no complete line buffered.
   bool read_line(std::string* line);
 
+  /// True once the peer has closed its end (EOF pending or the socket
+  /// errored). Non-blocking peek, consumes nothing — pipelined request
+  /// bytes stay buffered for read_line(). Lets a handler thread detect
+  /// a vanished client while a long result stream is still in flight.
+  bool peer_closed() const;
+
   /// Half-close from another thread: wakes a blocked read_line() with
   /// EOF without racing close() against the reader's descriptor use.
   void shutdown();

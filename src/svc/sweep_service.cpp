@@ -53,6 +53,12 @@ void SweepTicket::wait() {
   impl_->cv.wait(lk, [&] { return impl_->remaining == 0; });
 }
 
+bool SweepTicket::wait_for(double secs) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  return impl_->cv.wait_for(lk, std::chrono::duration<double>(secs),
+                            [&] { return impl_->remaining == 0; });
+}
+
 SweepTicket::Counts SweepTicket::counts() const {
   std::lock_guard<std::mutex> lk(impl_->mu);
   return impl_->counts;
@@ -64,6 +70,9 @@ struct Waiter {
   std::shared_ptr<SweepTicket::Impl> ticket;
   std::size_t index = 0;
   PointSource source = PointSource::kExecuted;
+  /// Fairness key of the submitting connection, so cancel() can find
+  /// this waiter wherever dedup attached it.
+  std::string client;
 };
 
 struct Execution {
@@ -194,14 +203,14 @@ SweepTicket SweepService::submit(const std::string& client,
         continue;
       }
       if (const auto fit = st.inflight.find(h); fit != st.inflight.end()) {
-        fit->second->waiters.push_back({impl, i, PointSource::kDedup});
+        fit->second->waiters.push_back({impl, i, PointSource::kDedup, client});
         ++st.lifetime.dedup_hits;
         continue;
       }
       auto exec = std::make_shared<Execution>();
       exec->hash = h;
       exec->spec = specs[i];
-      exec->waiters.push_back({impl, i, PointSource::kExecuted});
+      exec->waiters.push_back({impl, i, PointSource::kExecuted, client});
       st.inflight.emplace(h, exec);
       auto [qit, fresh] = st.queues.try_emplace(client);
       if (fresh) st.rr_clients.push_back(client);
@@ -218,6 +227,51 @@ SweepTicket SweepService::submit(const std::string& client,
     impl->deliver(hit.index, &hit.result, PointSource::kStoreHit, "");
   }
   return ticket;
+}
+
+std::size_t SweepService::cancel(const std::string& client) {
+  std::vector<Waiter> dropped;
+  std::size_t reclaimed = 0;
+  {
+    State& st = *state_;
+    std::lock_guard<std::mutex> lk(st.mu);
+    // Strip the client's waiters from every execution, queued or
+    // running — dedup may have attached them to another client's run.
+    for (auto& [hash, exec] : st.inflight) {
+      std::vector<Waiter>& ws = exec->waiters;
+      for (auto it = ws.begin(); it != ws.end();) {
+        if (it->client == client) {
+          dropped.push_back(std::move(*it));
+          it = ws.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Reclaim admission slots: a queued execution nobody waits for any
+    // more must never start. (An execution dedup kept alive for other
+    // clients stays queued; a running one finishes and caches.)
+    for (auto& [queue_client, queue] : st.queues) {
+      std::deque<std::shared_ptr<Execution>> keep;
+      for (std::shared_ptr<Execution>& exec : queue) {
+        if (exec->waiters.empty()) {
+          st.inflight.erase(exec->hash);
+          --st.pending;
+          ++reclaimed;
+        } else {
+          keep.push_back(std::move(exec));
+        }
+      }
+      queue.swap(keep);
+    }
+  }
+  // Fail the collected waiters outside the service lock (same rule as
+  // every other delivery path).
+  for (const Waiter& w : dropped) {
+    w.ticket->deliver(w.index, nullptr, w.source,
+                      "cancelled: client disconnected");
+  }
+  return reclaimed;
 }
 
 void SweepService::worker_loop() {

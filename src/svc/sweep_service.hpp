@@ -73,6 +73,11 @@ class SweepTicket {
  public:
   void wait();
 
+  /// Wait at most @p secs; true once every point has been delivered.
+  /// Lets a caller poll for liveness (e.g. the daemon watching for a
+  /// disconnected client) while the sweep streams.
+  bool wait_for(double secs);
+
   struct Counts {
     std::size_t points = 0;      ///< total points in the submission
     std::size_t executed = 0;    ///< runs this submission triggered
@@ -114,6 +119,16 @@ class SweepService {
   SweepTicket submit(const std::string& client,
                      const std::vector<sim::RunSpec>& specs,
                      PointFn on_point);
+
+  /// Withdraw @p client from the service: its waiters are failed
+  /// ("cancelled: client disconnected") on every execution — queued or
+  /// running, own or dedup-joined — and queued executions left with no
+  /// waiters at all are dropped before they ever start, releasing
+  /// their admission slots. Executions already running finish (and
+  /// cache) normally. Returns the number of unstarted executions
+  /// reclaimed. Must not be called from inside a PointFn (deliveries
+  /// hold the ticket lock cancel needs).
+  std::size_t cancel(const std::string& client);
 
   struct Stats {
     std::size_t executed = 0;    ///< simulator runs completed, lifetime

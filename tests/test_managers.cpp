@@ -139,6 +139,19 @@ TEST_P(PrefetchTest, PrefetchedThreadSwitchesQuickly) {
   EXPECT_LE(r2 - 10'000, 2u);
 }
 
+TEST_P(PrefetchTest, FirstScheduleHasNoOutgoingSpill) {
+  // The core's very first schedule (and the one after any idle period)
+  // reports from_tid = -1: there is no outgoing episode to close.
+  // Regression: the manager used to index its per-thread arrays with
+  // -1 and spill out-of-bounds values to a wild backing address.
+  PrefetchManager pf(env, GetParam());
+  pf.on_thread_start(0, 0);
+  const double spills_before = pf.stats().get("reg_spills");
+  const Cycle ready = pf.on_context_switch(-1, 0, 1, 100);
+  EXPECT_GE(ready, 100u);
+  EXPECT_EQ(pf.stats().get("reg_spills"), spills_before);
+}
+
 TEST_P(PrefetchTest, HaltPersistsValues) {
   PrefetchManager pf(env, GetParam());
   pf.on_thread_start(0, 0);

