@@ -27,6 +27,7 @@
 #include "check/harness.hpp"
 #include "check/repro.hpp"
 #include "ckpt/journal.hpp"
+#include "ckpt/spec_codec.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "common/version.hpp"
@@ -38,6 +39,7 @@
 #include "sim/sweep.hpp"
 #include "sim/system.hpp"
 #include "svc/client.hpp"
+#include "tiered/func_stream.hpp"
 
 using namespace virec;
 
@@ -66,6 +68,8 @@ struct Options {
   // --sample-windows.
   bool window_insts_set = false;
   bool warmup_insts_set = false;
+  bool adaptive_warmup_set = false;
+  bool warm_set_sample_set = false;
   bool sweep = false;
   u32 jobs = 0;            // 0 = hardware concurrency
   u64 checkpoint_every = 0;   // periodic snapshot interval (cycles)
@@ -143,6 +147,26 @@ void print_usage() {
       "                      functional tier (no cycle estimate; useful\n"
       "                      with --check to validate the functional\n"
       "                      tier against the oracle)\n"
+      "  --adaptive-warmup F with --sample-windows: let each window\n"
+      "                      extend its warm-up by up to F-1 further\n"
+      "                      chunks of W instructions while the dcache\n"
+      "                      miss rate is still converging (default 1 =\n"
+      "                      fixed warm-up; docs/performance.md)\n"
+      "  --warm-set-sample K with --sample-windows: only warm dcache\n"
+      "                      sets with index % K == 0 between windows\n"
+      "                      (K a power of two; default 1 = exact).\n"
+      "                      Faster but APPROXIMATE — estimates are no\n"
+      "                      longer bit-identical to K=1\n"
+      "  --stream-store DIR  persist recorded functional streams in DIR\n"
+      "                      (<identity>.vfs) and reuse them across\n"
+      "                      processes; sampled sweep points sharing a\n"
+      "                      functional identity already share one\n"
+      "                      stream in-process (stream_* stats go to\n"
+      "                      stderr after sampled runs/sweeps)\n"
+      "  --no-stream-reuse   build a private functional stream per\n"
+      "                      sampled point instead of sharing per\n"
+      "                      identity (estimates are bit-identical\n"
+      "                      either way; this is a debugging knob)\n"
       "  --no-skip           disable event-driven cycle skipping and\n"
       "                      step every cycle. Results are bit-identical\n"
       "                      either way (docs/performance.md); use this\n"
@@ -299,6 +323,16 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.warmup_insts_set = true;
     }
     else if (arg == "--functional-ff") opt.spec.functional_ff = true;
+    else if (arg == "--adaptive-warmup") {
+      opt.spec.adaptive_warmup = static_cast<u32>(u64_value());
+      opt.adaptive_warmup_set = true;
+    }
+    else if (arg == "--warm-set-sample") {
+      opt.spec.warm_set_sample = static_cast<u32>(u64_value());
+      opt.warm_set_sample_set = true;
+    }
+    else if (arg == "--stream-store") opt.spec.stream_dir = value();
+    else if (arg == "--no-stream-reuse") opt.spec.stream_reuse = false;
     else if (arg == "--checkpoint-every") opt.checkpoint_every = u64_value();
     else if (arg == "--checkpoint-out") opt.checkpoint_out = value();
     else if (arg == "--restore") opt.restore_path = value();
@@ -366,6 +400,23 @@ bool parse(int argc, char** argv, Options& opt) {
   }
   if (opt.window_insts_set && opt.spec.window_insts == 0) {
     throw std::invalid_argument("--window-insts: must be > 0");
+  }
+  if ((opt.adaptive_warmup_set || opt.warm_set_sample_set ||
+       !opt.spec.stream_dir.empty() || !opt.spec.stream_reuse) &&
+      opt.spec.sample_windows == 0) {
+    throw std::invalid_argument(
+        "--adaptive-warmup/--warm-set-sample/--stream-store/"
+        "--no-stream-reuse tune sampled measurement and need "
+        "--sample-windows");
+  }
+  if (opt.adaptive_warmup_set && opt.spec.adaptive_warmup == 0) {
+    throw std::invalid_argument("--adaptive-warmup: must be >= 1");
+  }
+  if (opt.warm_set_sample_set &&
+      (opt.spec.warm_set_sample == 0 ||
+       (opt.spec.warm_set_sample & (opt.spec.warm_set_sample - 1)) != 0)) {
+    throw std::invalid_argument(
+        "--warm-set-sample: must be a power of two >= 1");
   }
   if (opt.spec.sample_windows > 0 && opt.spec.functional_ff) {
     throw std::invalid_argument(
@@ -469,6 +520,18 @@ svc::ServiceClient::Outcome run_via_service(
   return outcome;
 }
 
+/// Machine-greppable stream-cache summary on stderr after sampled
+/// runs/sweeps (the CI smoke asserts stream_builds 0 on a warm
+/// --stream-store, i.e. the functional tier was not paid again).
+/// Suppressed under --json: consumers that merge the streams must
+/// still parse stdout as a single JSON document.
+void print_stream_stats() {
+  const sim::StreamCache::Stats s = sim::StreamCache::instance().stats();
+  std::cerr << "stream_builds " << s.built << "\n"
+            << "stream_loads " << s.loaded << "\n"
+            << "stream_mem_hits " << s.mem_hits << "\n";
+}
+
 int run_sweep_mode(const Options& opt) {
   if (opt.trace || !opt.trace_out.empty() || opt.sample_interval > 0 ||
       opt.stats || opt.area || opt.cpi_stack) {
@@ -555,6 +618,7 @@ int run_sweep_mode(const Options& opt) {
   }
   const sim::SweepResults results =
       sweep.run(opt.jobs, journal.get(), std::move(on_point));
+  if (opt.spec.sample_windows > 0 && !opt.json) print_stream_stats();
   if (opt.json) {
     if (opt.json_path.empty()) {
       results.write_json(std::cout);
@@ -669,6 +733,11 @@ int run_tiered_mode(const Options& opt) {
   tiered.window_insts = opt.spec.window_insts;
   tiered.warmup_insts = opt.spec.warmup_insts;
   tiered.functional_ff = opt.spec.functional_ff;
+  tiered.adaptive_warmup = opt.spec.adaptive_warmup;
+  tiered.warm_set_sample = opt.spec.warm_set_sample;
+  tiered.stream_key =
+      opt.spec.stream_reuse ? ckpt::functional_stream_hash(opt.spec) : 0;
+  tiered.stream_dir = opt.spec.stream_dir;
   tiered.validate();
   sim::TieredRunner runner(system, tiered);
   if (opt.progress) {
@@ -687,6 +756,7 @@ int run_tiered_mode(const Options& opt) {
   const sim::TieredResult result = runner.run();
 
   const bool sampled = opt.spec.sample_windows > 0;
+  if (sampled && !opt.json) print_stream_stats();
   // Achieved speedup estimate: the wall time an all-detailed run would
   // have taken at the measured detailed simulation rate, over the
   // actual (functional + detailed) wall time.
@@ -716,6 +786,8 @@ int run_tiered_mode(const Options& opt) {
       w.kv("sample_windows", opt.spec.sample_windows);
       w.kv("window_insts", opt.spec.window_insts);
       w.kv("warmup_insts", opt.spec.warmup_insts);
+      w.kv("adaptive_warmup", opt.spec.adaptive_warmup);
+      w.kv("warm_set_sample", opt.spec.warm_set_sample);
       w.kv("functional_ff", opt.spec.functional_ff);
       w.end_object();
       w.key("tiered");
@@ -784,6 +856,8 @@ int run_tiered_mode(const Options& opt) {
       std::cout << "sample_windows " << opt.spec.sample_windows << "\n"
                 << "window_insts " << opt.spec.window_insts << "\n"
                 << "warmup_insts " << opt.spec.warmup_insts << "\n"
+                << "adaptive_warmup " << opt.spec.adaptive_warmup << "\n"
+                << "warm_set_sample " << opt.spec.warm_set_sample << "\n"
                 << "cpi_mean " << result.cpi_mean << "\n"
                 << "cpi_ci_half " << result.cpi_ci_half << "\n"
                 << "est_cycles " << result.est_cycles << "\n"

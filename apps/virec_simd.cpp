@@ -22,6 +22,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -141,11 +142,21 @@ struct Daemon {
                     : opt.jobs,
                 opt.max_pending, opt.retry_after_secs},
             &store),
-        listener(opt.socket_path) {}
+        listener(opt.socket_path),
+        stream_dir((std::filesystem::path(store.dir()) / "streams").string()) {
+    // Sampled points replay shared functional streams; persisting them
+    // beside the result store means daemon restarts skip the golden
+    // prepass too (docs/performance.md, "Stream reuse"). The store key
+    // ignores stream_dir, so cached results are unaffected.
+    std::error_code ec;
+    std::filesystem::create_directories(stream_dir, ec);
+    if (ec) stream_dir.clear();  // degrade to in-memory sharing
+  }
 
   svc::ResultStore store;
   svc::SweepService service;
   svc::UnixListener listener;
+  std::string stream_dir;  // "" = no on-disk stream persistence
   std::atomic<bool> stop{false};
 
   /// Open connections, so shutdown can wake handlers blocked in
@@ -207,6 +218,9 @@ void handle_sweep(Daemon& d, svc::UnixConn& conn, const JsonValue& msg,
     sim::RunSpec spec;
     if (spec_hexes.array[i].is_string() &&
         svc::proto::decode_spec_hex(spec_hexes.array[i].string, &spec)) {
+      // The wire codec does not carry stream_dir (it is host-local);
+      // the daemon supplies its own persistent stream store.
+      if (spec.sample_windows > 0) spec.stream_dir = d.stream_dir;
       specs.push_back(std::move(spec));
       spec_index.push_back(i);
     } else {

@@ -12,6 +12,7 @@
 #include "sim/sweep.hpp"
 #include "svc/result_store.hpp"
 #include "svc/sweep_service.hpp"
+#include "tiered/func_stream.hpp"
 
 namespace virec {
 namespace {
@@ -178,6 +179,38 @@ void BM_FunctionalTier(benchmark::State& state) {
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FunctionalTier)->Unit(benchmark::kMillisecond);
+
+void BM_FunctionalReuse(benchmark::State& state) {
+  // Stream-reuse payoff: the same sampled gather point with the
+  // process-wide stream cache cleared before every run (Arg 0 — each
+  // run pays the golden functional prepass) or kept warm (Arg 1 —
+  // every run replays the recorded stream). The rows' ratio is the
+  // per-point saving every sweep point after the first enjoys in a
+  // policy/scheme grid sharing one functional identity.
+  sim::RunSpec spec;
+  spec.workload = "gather";
+  spec.scheme = sim::Scheme::kViReC;
+  spec.threads_per_core = 8;
+  spec.context_fraction = 0.8;
+  spec.params.iters_per_thread = 25'600;
+  spec.params.elements = 1 << 16;
+  spec.sample_windows = 10;
+  spec.window_insts = 10'000;
+  spec.warmup_insts = 2'000;
+  const bool warm = state.range(0) != 0;
+  sim::StreamCache::instance().reset_for_test();
+  if (warm) sim::run_spec(spec);  // builds the shared stream, untimed
+  u64 instructions = 0;
+  for (auto _ : state) {
+    if (!warm) sim::StreamCache::instance().reset_for_test();
+    const sim::RunResult result = sim::run_spec(spec);
+    instructions += result.instructions;
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.counters["sim_instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalReuse)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_SweepThroughput(benchmark::State& state) {
   // Whole-sweep throughput (experiment points/sec) through the

@@ -6,6 +6,7 @@
 //
 //   sampled_validation [--quick] [--csv PATH]
 //                      [--max-err PCT] [--min-speedup X]
+//                      [--adaptive-warmup F] [--warm-set-sample K]
 //
 // --quick shrinks the grid to the CI smoke subset. --max-err /
 // --min-speedup (0 = disabled) turn the run into a gate: the process
@@ -13,6 +14,24 @@
 // with a known, documented estimator bias (bulk-miss schemes whose
 // steady state the short warm-up cannot reach — see "known
 // limitations" in docs/performance.md) are reported but never gated.
+//
+// --adaptive-warmup F > 1 lets each window extend its warm-up while
+// the dcache miss rate is still converging — this is what shrinks the
+// bulk-miss (software / prefetch-full) optimism. --warm-set-sample
+// K > 1 turns on set-sampled cache warming, which is deliberately
+// APPROXIMATE: with it, every point's error gate is disabled (the
+// estimates are no longer bit-faithful to exact warming) and only the
+// speedup gate remains.
+//
+// Sampled points of the gather grid share one functional identity, so
+// the recorded functional stream is built once and replayed by every
+// later point (docs/performance.md, "Stream reuse"); the stream column
+// shows which role each point played. A point that BUILDS its stream
+// pays the one-off golden prepass — its wall-clock is the amortized
+// sweep entry fee, so the speedup gate applies only to replay/load
+// points (the steady-state sweep cost). Set VIREC_STREAM_DIR to
+// persist streams across invocations: a warm second run replays
+// everything and every gated point faces the speedup gate.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -25,6 +44,7 @@
 
 #include "bench/bench_util.hpp"
 #include "common/table.hpp"
+#include "tiered/func_stream.hpp"
 
 using namespace virec;
 
@@ -95,6 +115,8 @@ int main(int argc, char** argv) try {
   std::string csv_path;
   double max_err_pct = 0.0;    // 0 = no error gate
   double min_speedup = 0.0;    // 0 = no speedup gate
+  u32 adaptive_warmup = 1;     // 1 = fixed warm-up (bit-faithful default)
+  u32 warm_set_sample = 1;     // 1 = exact warming (bit-faithful default)
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> std::string {
@@ -111,6 +133,20 @@ int main(int argc, char** argv) try {
       max_err_pct = parse_double("--max-err", value("--max-err"));
     } else if (arg == "--min-speedup") {
       min_speedup = parse_double("--min-speedup", value("--min-speedup"));
+    } else if (arg == "--adaptive-warmup") {
+      adaptive_warmup = static_cast<u32>(
+          parse_double("--adaptive-warmup", value("--adaptive-warmup")));
+      if (adaptive_warmup == 0) {
+        throw std::invalid_argument("--adaptive-warmup must be >= 1");
+      }
+    } else if (arg == "--warm-set-sample") {
+      warm_set_sample = static_cast<u32>(
+          parse_double("--warm-set-sample", value("--warm-set-sample")));
+      if (warm_set_sample == 0 ||
+          (warm_set_sample & (warm_set_sample - 1)) != 0) {
+        throw std::invalid_argument(
+            "--warm-set-sample must be a power of two >= 1");
+      }
     } else {
       throw std::invalid_argument("unknown argument '" + arg + "'");
     }
@@ -170,7 +206,7 @@ int main(int argc, char** argv) try {
 
   Table table({"workload", "scheme", "policy", "full IPC", "est IPC",
                "err %", "CI covers", "full s", "sampled s", "speedup",
-               "gate"});
+               "stream", "gate"});
   std::ofstream csv;
   if (!csv_path.empty()) {
     csv.open(csv_path);
@@ -179,10 +215,12 @@ int main(int argc, char** argv) try {
     }
     csv << "workload,scheme,policy,threads,iters,sample_windows,window_insts,"
            "warmup_insts,full_ipc,est_ipc,est_ipc_lo,est_ipc_hi,err_pct,"
-           "ci_covers,full_secs,sampled_secs,speedup,gated,note\n";
+           "ci_covers,full_secs,sampled_secs,speedup,stream,gated,note\n";
   }
 
   int violations = 0;
+  double full_total = 0.0;
+  double sampled_total = 0.0;
   for (Point& point : grid) {
     sim::RunSpec full_spec = point.spec;
     sim::RunResult full{};
@@ -192,20 +230,41 @@ int main(int argc, char** argv) try {
     sampled_spec.sample_windows = 10;
     sampled_spec.window_insts = 10'000;
     sampled_spec.warmup_insts = 2'000;
+    sampled_spec.adaptive_warmup = adaptive_warmup;
+    sampled_spec.warm_set_sample = warm_set_sample;
+    bench::apply_stream_env(sampled_spec);
+    const sim::StreamCache::Stats before =
+        sim::StreamCache::instance().stats();
     sim::TieredResult tiered{};
     const double sampled_secs = wall_run_tiered(sampled_spec, &tiered);
+    const sim::StreamCache::Stats after = sim::StreamCache::instance().stats();
+    // "build" = this point paid the golden prepass; "load"/"replay" =
+    // it reused a stream from disk / the in-process cache.
+    const char* stream_role = after.built > before.built    ? "build"
+                              : after.loaded > before.loaded ? "load"
+                                                             : "replay";
 
+    full_total += full_secs;
+    sampled_total += sampled_secs;
     const double err_pct = (tiered.est_ipc - full.ipc) / full.ipc * 100.0;
     const bool covers =
         full.ipc >= tiered.est_ipc_lo && full.ipc <= tiered.est_ipc_hi;
     const double speedup = full_secs / sampled_secs;
 
+    // Set-sampled warming (K > 1) trades warming fidelity for speed; the
+    // estimates are no longer bit-faithful, so only the speedup gate
+    // applies (the error stays reported for inspection).
+    const bool err_gated = point.gated && warm_set_sample == 1;
+    // The speedup gate measures the steady-state sweep cost, so it
+    // skips the one-off prepass payer (the "build" point of each
+    // functional identity) — that cost amortizes across the sweep.
+    const bool speedup_gated =
+        point.gated && std::strcmp(stream_role, "build") != 0;
     bool bad = false;
-    if (point.gated && max_err_pct > 0.0 &&
-        std::abs(err_pct) > max_err_pct) {
+    if (err_gated && max_err_pct > 0.0 && std::abs(err_pct) > max_err_pct) {
       bad = true;
     }
-    if (point.gated && min_speedup > 0.0 && speedup < min_speedup) {
+    if (speedup_gated && min_speedup > 0.0 && speedup < min_speedup) {
       bad = true;
     }
     if (bad) ++violations;
@@ -218,7 +277,7 @@ int main(int argc, char** argv) try {
                    Table::fmt(tiered.est_ipc), err_buf,
                    covers ? "yes" : "no", Table::fmt(full_secs, 2),
                    Table::fmt(sampled_secs, 2),
-                   Table::fmt(speedup, 2) + "x",
+                   Table::fmt(speedup, 2) + "x", stream_role,
                    bad ? "FAIL" : (point.gated ? "ok" : "-")});
     if (csv) {
       csv << point.spec.workload << ','
@@ -231,13 +290,27 @@ int main(int argc, char** argv) try {
           << tiered.est_ipc << ',' << tiered.est_ipc_lo << ','
           << tiered.est_ipc_hi << ',' << err_pct << ',' << (covers ? 1 : 0)
           << ',' << full_secs << ',' << sampled_secs << ',' << speedup << ','
-          << (point.gated ? 1 : 0) << ',' << point.note << '\n';
+          << stream_role << ',' << (point.gated ? 1 : 0) << ',' << point.note
+          << '\n';
     }
   }
 
   table.print(std::cout);
   std::cout << "\nUngated rows (gate '-') carry a documented estimator bias;"
                "\nsee the tiered-simulation section of docs/performance.md.\n";
+  if (warm_set_sample > 1) {
+    std::cout << "warm-set-sample " << warm_set_sample
+              << " is approximate: error gates disabled for this run.\n";
+  }
+  const sim::StreamCache::Stats ss = sim::StreamCache::instance().stats();
+  std::cout << "stream_builds " << ss.built << " stream_loads " << ss.loaded
+            << " stream_mem_hits " << ss.mem_hits << '\n';
+  if (sampled_total > 0.0) {
+    char agg_buf[64];
+    std::snprintf(agg_buf, sizeof agg_buf, "%.2f", full_total / sampled_total);
+    std::cout << "aggregate speedup (sum full / sum sampled): " << agg_buf
+              << "x\n";
+  }
   if (max_err_pct > 0.0 || min_speedup > 0.0) {
     std::cout << "\ngates:";
     if (max_err_pct > 0.0) std::cout << " |err| <= " << max_err_pct << "%";

@@ -37,6 +37,11 @@ void encode_spec_identity(Encoder& enc, const sim::RunSpec& spec) {
   enc.put_u32(spec.sample_windows);
   enc.put_u64(spec.window_insts);
   enc.put_u64(spec.warmup_insts);
+  // v2: adaptive warm-up and set-sampled warming change the sampled
+  // estimate, so they are identity. stream_reuse / stream_dir are NOT:
+  // reuse is bit-identical by construction (tests/test_stream_reuse).
+  enc.put_u32(spec.adaptive_warmup);
+  enc.put_u32(spec.warm_set_sample);
 }
 
 namespace {
@@ -66,6 +71,8 @@ sim::RunSpec decode_spec_identity(Decoder& dec) {
   spec.sample_windows = dec.get_u32();
   spec.window_insts = dec.get_u64();
   spec.warmup_insts = dec.get_u64();
+  spec.adaptive_warmup = dec.get_u32();
+  spec.warm_set_sample = dec.get_u32();
   return spec;
 }
 
@@ -132,6 +139,28 @@ u64 spec_hash(const sim::RunSpec& spec) {
   Encoder enc;
   encode_spec_identity(enc, spec);
   return fnv1a(kFnvOffsetBasis, enc.bytes().data(), enc.size());
+}
+
+u64 functional_stream_hash(const sim::RunSpec& spec) {
+  if (spec.num_cores != 1) return 0;
+  Encoder enc;
+  enc.put_u32(kFuncStreamVersion);
+  enc.put_str(spec.workload);
+  enc.put_u64(spec.params.iters_per_thread);
+  enc.put_u64(spec.params.elements);
+  enc.put_u64(spec.params.stride);
+  enc.put_u64(spec.params.locality_window);
+  enc.put_u32(spec.params.extra_compute);
+  enc.put_u32(spec.params.max_regs);
+  enc.put_u64(spec.params.seed);
+  enc.put_u32(spec.num_cores);
+  enc.put_u32(spec.threads_per_core);
+  // The dcache byte size shapes the schedule model's set geometry
+  // (switch-on-miss decisions), so it splits streams; latency, scheme,
+  // policy and phys_regs do not reach the functional tier.
+  enc.put_u32(spec.dcache_bytes);
+  const u64 h = fnv1a(kFnvOffsetBasis, enc.bytes().data(), enc.size());
+  return h == 0 ? 1 : h;
 }
 
 }  // namespace virec::ckpt

@@ -30,7 +30,7 @@ namespace virec::ckpt {
 /// Bumped whenever the canonical encoding changes incompatibly. Decoded
 /// payloads with a different version throw CkptError; store entries
 /// with a different version read as misses.
-inline constexpr u32 kSpecCodecVersion = 1;
+inline constexpr u32 kSpecCodecVersion = 2;
 
 /// Append the identity bytes of @p spec (outcome-defining fields only;
 /// see file comment) to @p enc. Field order is part of the format.
@@ -58,5 +58,21 @@ u64 spec_hash(const sim::RunSpec& spec);
 /// kFnvOffsetBasis).
 inline constexpr u64 kFnvOffsetBasis = 0xcbf29ce484222325ull;
 u64 fnv1a(u64 h, const void* data, std::size_t size);
+
+/// Bumped whenever the functional-stream record format or the golden
+/// schedule model changes: streams persisted by an older build then
+/// read as misses instead of replaying a stale schedule.
+inline constexpr u32 kFuncStreamVersion = 1;
+
+/// Functional identity of an experiment point: hash over exactly the
+/// fields that shape the functional tier's instruction stream and
+/// warm-event sequence — workload + parameters, topology
+/// (num_cores/threads_per_core) and the dcache geometry that drives
+/// switch-on-miss scheduling. Deliberately EXCLUDES the replacement
+/// policy, scheme, phys_regs/context_fraction, dcache latency and the
+/// sample plan: points differing only in those replay the same stream
+/// (the whole point of stream reuse). Returns 0 for specs the stream
+/// cache must not serve (multi-core).
+u64 functional_stream_hash(const sim::RunSpec& spec);
 
 }  // namespace virec::ckpt

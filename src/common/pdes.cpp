@@ -1,7 +1,5 @@
 #include "common/pdes.hpp"
 
-#include <thread>
-
 namespace virec {
 
 namespace {
@@ -21,24 +19,42 @@ PdesGate::PdesGate(u32 num_partitions, Cycle relaxed_window)
       window_keys_(static_cast<u64>(relaxed_window) << kRankBits) {}
 
 void PdesGate::wait_turn(u32 p) {
+  if (abort_.load(std::memory_order_relaxed)) throw PdesAborted();
   const u64 k = bounds_[p].v.load(std::memory_order_relaxed);
   // Relaxed mode: tolerate other partitions lagging up to the window.
   const u64 wait_below = window_keys_ < k ? k - window_keys_ : 0;
   for (u32 q = 0; q < bounds_.size(); ++q) {
     if (q == p) continue;
+    u64 b = bounds_[q].v.load(std::memory_order_acquire);
     u32 spins = 0;
-    while (bounds_[q].v.load(std::memory_order_acquire) <= wait_below) {
+    while (b <= wait_below) {
       if (abort_.load(std::memory_order_relaxed)) throw PdesAborted();
-      // Brief busy wait, then yield: with fewer hardware threads than
-      // workers (CI containers) a pure spin would starve the partition
-      // we are waiting on.
+      // Brief busy wait for the common quick handoff, then park on q's
+      // bound: publish() and abort() notify it, so with more workers
+      // than hardware threads (CI containers, oversubscribed sweeps)
+      // waiters sleep in the kernel instead of burning a core. wait()
+      // may also return spuriously, so the bound is always re-checked.
       if (++spins < 64) {
         cpu_pause();
       } else {
-        spins = 0;
-        std::this_thread::yield();
+        bounds_[q].v.wait(b, std::memory_order_acquire);
       }
+      b = bounds_[q].v.load(std::memory_order_acquire);
     }
+  }
+  if (abort_.load(std::memory_order_relaxed)) throw PdesAborted();
+}
+
+void PdesGate::abort() {
+  abort_.store(true, std::memory_order_relaxed);
+  // Clobber every bound so parked waiters observe a value change and
+  // wake (a bare flag + notify could race with a waiter that checked
+  // the flag just before parking). kDoneBound is the order maximum, so
+  // the non-decreasing publish invariant holds; nobody trusts bounds
+  // after an abort — wait_turn rechecks the flag on wake and on entry.
+  for (Bound& b : bounds_) {
+    b.v.store(kDoneBound, std::memory_order_release);
+    b.v.notify_all();
   }
 }
 

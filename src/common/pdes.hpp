@@ -76,9 +76,11 @@ class PdesGate {
   }
 
   /// Raise partition @p p's bound to @p key (release). Keys must be
-  /// published in non-decreasing order.
+  /// published in non-decreasing order. Wakes any worker parked on this
+  /// bound in wait_turn (the notify is syscall-free when nobody waits).
   void publish(u32 p, u64 key) {
     bounds_[p].v.store(key, std::memory_order_release);
+    bounds_[p].v.notify_all();
   }
 
   /// Block until every other partition's bound exceeds partition
@@ -91,8 +93,10 @@ class PdesGate {
   /// no longer provides it there).
   std::mutex& access_mutex() { return access_mu_; }
 
-  /// Release every spinning worker with PdesAborted.
-  void abort() { abort_.store(true, std::memory_order_relaxed); }
+  /// Release every waiting worker with PdesAborted (spinning or parked:
+  /// every bound is clobbered to kDoneBound and notified, so parked
+  /// waiters wake immediately; the gate is dead afterwards).
+  void abort();
   bool aborted() const { return abort_.load(std::memory_order_relaxed); }
 
   u32 num_partitions() const { return static_cast<u32>(bounds_.size()); }

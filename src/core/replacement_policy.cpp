@@ -76,6 +76,7 @@ void ReplacementPolicy::on_insert(std::vector<RfEntry>& entries, u32 idx,
   entry.arch = arch;
   entry.dirty = false;
   entry.t_bits = 0;
+  entry.t_mark = switch_epoch_;
   entry.age = 0;
   entry.age_mark = age_tick_;
   entry.c_bit = true;
@@ -83,17 +84,19 @@ void ReplacementPolicy::on_insert(std::vector<RfEntry>& entries, u32 idx,
   entry.insert_seq = ++seq_;
 }
 
-void ReplacementPolicy::on_context_switch(std::vector<RfEntry>& entries,
-                                          int from_tid, int to_tid) {
-  for (RfEntry& entry : entries) {
-    if (!entry.valid) continue;
-    if (static_cast<int>(entry.tid) == from_tid) {
-      entry.t_bits = kMaxTBits;
-    } else if (static_cast<int>(entry.tid) == to_tid) {
-      entry.t_bits = 0;
-    } else if (entry.t_bits > 0) {
-      --entry.t_bits;
-    }
+void ReplacementPolicy::on_context_switch(int from_tid, int to_tid) {
+  // O(1) lazy form of: from's entries get T = kMaxTBits, to's get 0,
+  // everyone else decrements saturating at zero. The from event is
+  // recorded first so from == to resolves to kMaxTBits, matching the
+  // eager walk's if/else ordering.
+  ++switch_epoch_;
+  if (from_tid >= 0 && from_tid < static_cast<int>(switch_ev_.size())) {
+    switch_ev_[static_cast<std::size_t>(from_tid)] = {switch_epoch_,
+                                                      kMaxTBits};
+  }
+  if (to_tid >= 0 && to_tid != from_tid &&
+      to_tid < static_cast<int>(switch_ev_.size())) {
+    switch_ev_[static_cast<std::size_t>(to_tid)] = {switch_epoch_, 0};
   }
 }
 
@@ -111,11 +114,11 @@ u64 ReplacementPolicy::priority(const RfEntry& entry) const {
     case PolicyKind::kRandom:
       return 0;  // handled in pick_victim
     case PolicyKind::kMrtPLRU:
-      return (u64{entry.t_bits} << 3) | age_of(entry);
+      return (u64{t_of(entry)} << 3) | age_of(entry);
     case PolicyKind::kMrtLRU:
-      return (u64{entry.t_bits} << 58) | (inv_use & ((u64{1} << 58) - 1));
+      return (u64{t_of(entry)} << 58) | (inv_use & ((u64{1} << 58) - 1));
     case PolicyKind::kLRC:
-      return (u64{entry.t_bits} << 4) | (u64{entry.c_bit} << 3) |
+      return (u64{t_of(entry)} << 4) | (u64{entry.c_bit} << 3) |
              age_of(entry);
   }
   return 0;

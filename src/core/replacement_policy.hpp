@@ -58,12 +58,13 @@ struct RfEntry {
   isa::RegId arch = 0;
   bool dirty = false;
   // Replacement policy state.
-  u8 t_bits = 0;       ///< 0 = running thread, max = just suspended
+  u8 t_bits = 0;       ///< lazy T base; read through ReplacementPolicy::t_of
   u8 age = 0;          ///< 3-bit saturating pseudo-LRU age (lazy base)
   bool c_bit = false;  ///< last accessing instruction committed
   u64 last_use = 0;    ///< perfect-LRU timestamp
   u64 insert_seq = 0;  ///< FIFO insertion order
   u64 age_mark = 0;    ///< global access tick when `age` was written
+  u64 t_mark = 0;      ///< global switch epoch when `t_bits` was written
 };
 
 class ReplacementPolicy {
@@ -91,9 +92,12 @@ class ReplacementPolicy {
 
   /// Context switch: previous thread's registers get T = max, all
   /// others decrement saturating at zero; the incoming thread's
-  /// registers are forced to zero.
-  void on_context_switch(std::vector<RfEntry>& entries, int from_tid,
-                         int to_tid);
+  /// registers are forced to zero. Realized lazily in O(1) — the same
+  /// trick as the aging tick: the global switch epoch advances and a
+  /// per-thread event record captures the forced value, so t_of()
+  /// reads each entry's T as the forced base minus the number of
+  /// switches since, without walking the register file.
+  void on_context_switch(int from_tid, int to_tid);
 
   /// Rollback-queue compaction reset of a flushed register's C bit.
   static void on_flush_reset(RfEntry& entry) { entry.c_bit = false; }
@@ -111,6 +115,35 @@ class ReplacementPolicy {
   /// serialized: only tick-minus-mark distances are observable, so a
   /// restore rebases every mark to whatever the live tick is).
   u64 age_tick_now() const { return age_tick_; }
+
+  /// Effective (materialized) 3-bit thread-recency field under lazy
+  /// T updates: the most recent of (a) the entry's stored base and
+  /// (b) the last switch event that forced this entry's thread (from:
+  /// kMaxTBits, to: 0), decremented once per context switch since,
+  /// saturating at zero. Bit-exact with the eager per-entry walk.
+  u8 t_of(const RfEntry& entry) const {
+    u64 base = entry.t_bits;
+    u64 mark = entry.t_mark;
+    const ThreadSwitchEvent& ev = switch_ev_[entry.tid];
+    if (ev.epoch > mark) {
+      base = ev.base;
+      mark = ev.epoch;
+    }
+    const u64 dec = switch_epoch_ - mark;
+    return base > dec ? static_cast<u8>(base - dec) : 0;
+  }
+
+  /// Current global switch epoch, for rebasing t_mark after a restore
+  /// (not serialized, same reasoning as age_tick_now).
+  u64 switch_epoch_now() const { return switch_epoch_; }
+
+  /// Store an explicit T value into @p entry at the current epoch
+  /// (tests and checkpoint restore; regular state flows through
+  /// on_insert / on_context_switch).
+  void set_t(RfEntry& entry, u8 t) const {
+    entry.t_bits = t;
+    entry.t_mark = switch_epoch_;
+  }
 
   /// Pick the victim among valid entries whose index is not in
   /// @p locked (bool per entry). Returns -1 if none is evictable.
@@ -131,9 +164,20 @@ class ReplacementPolicy {
     rng_.set_state(s0, s1);
     tick_ = dec.get_u64();
     seq_ = dec.get_u64();
+    // Snapshots carry materialized T values that the tag store rebases
+    // onto the live epoch; stale per-thread switch events would
+    // override those marks, so drop them.
+    switch_ev_.assign(switch_ev_.size(), ThreadSwitchEvent{});
   }
 
  private:
+  /// Last context-switch event that explicitly forced a thread's
+  /// entries (from: kMaxTBits, to: 0). epoch 0 = never.
+  struct ThreadSwitchEvent {
+    u64 epoch = 0;
+    u8 base = 0;
+  };
+
   /// Retention priority; higher values are evicted first.
   u64 priority(const RfEntry& entry) const;
 
@@ -142,6 +186,10 @@ class ReplacementPolicy {
   u64 tick_ = 0;
   u64 seq_ = 0;
   u64 age_tick_ = 0;  ///< global access counter backing lazy aging
+  u64 switch_epoch_ = 0;  ///< global switch counter backing lazy T bits
+  // Indexed by RfEntry::tid (u8), so 256 slots cover every tag.
+  std::vector<ThreadSwitchEvent> switch_ev_ =
+      std::vector<ThreadSwitchEvent>(256);
 };
 
 }  // namespace virec::core

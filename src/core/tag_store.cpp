@@ -143,8 +143,9 @@ void TagStore::save_state(ckpt::Encoder& enc) const {
     enc.put_u8(e.tid);
     enc.put_u8(e.arch);
     enc.put_bool(e.dirty);
-    enc.put_u8(e.t_bits);
-    // Materialize the lazy age so the snapshot format is unchanged.
+    // Materialize the lazy T and age fields so the snapshot format is
+    // unchanged from the eager representation.
+    enc.put_u8(e.valid ? policy_.t_of(e) : 0);
     enc.put_u8(e.valid ? policy_.age_of(e) : 0);
     enc.put_bool(e.c_bit);
     enc.put_u64(e.last_use);
@@ -180,12 +181,13 @@ void TagStore::restore_state(ckpt::Decoder& dec) {
   }
   for (i16& m : map_) m = static_cast<i16>(dec.get_u16());
   policy_.restore_state(dec);
-  // The snapshot carries materialized ages; rebase every entry's lazy
-  // mark on the live access tick (which is not serialized) and rebuild
-  // the valid-entry count.
+  // The snapshot carries materialized ages and T values; rebase every
+  // entry's lazy marks on the live ticks (which are not serialized) and
+  // rebuild the valid-entry count.
   valid_count_ = 0;
   for (RfEntry& e : entries_) {
     e.age_mark = policy_.age_tick_now();
+    e.t_mark = policy_.switch_epoch_now();
     if (e.valid) ++valid_count_;
   }
 }

@@ -49,10 +49,14 @@ class TagStore {
   void mark_dirty(u32 idx) { entries_[idx].dirty = true; }
   void clear_dirty(u32 idx) { entries_[idx].dirty = false; }
 
-  /// T-bit update on a context switch.
+  /// T-bit update on a context switch (O(1); ReplacementPolicy::t_of
+  /// materializes per-entry values on access).
   void on_context_switch(int from_tid, int to_tid) {
-    policy_.on_context_switch(entries_, from_tid, to_tid);
+    policy_.on_context_switch(from_tid, to_tid);
   }
+
+  /// Effective T value of entry @p idx (lazy T materialization).
+  u8 entry_t(u32 idx) const { return policy_.t_of(entries_[idx]); }
 
   /// Rollback-queue compaction: reset the C bit of entry @p idx if it
   /// still maps (tid, arch); stale (remapped) indices are ignored.

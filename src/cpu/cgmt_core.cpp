@@ -699,6 +699,27 @@ void CgmtCore::resume_from_functional(Cycle warm_clock, u64 retired) {
               "cycle accounting must close after fast-forward");
 }
 
+std::vector<CgmtCore::ThreadProbeState> CgmtCore::probe_snapshot() const {
+  std::vector<ThreadProbeState> snap(threads_.size());
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    snap[i] = {threads_[i].halted, threads_[i].pc, threads_[i].nzcv};
+  }
+  return snap;
+}
+
+void CgmtCore::probe_restore(const std::vector<ThreadProbeState>& snap) {
+  live_threads_ = 0;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    Thread& t = threads_[i];
+    t.halted = snap[i].halted;
+    t.pc = snap[i].pc;
+    t.nzcv = snap[i].nzcv;
+    // Outstanding-miss data arrives functionally during the replay.
+    if (t.blocked_until > cycle_) t.blocked_until = cycle_;
+    if (t.started && !t.halted) ++live_threads_;
+  }
+}
+
 void CgmtCore::halt_thread_functional(int tid) {
   Thread& t = threads_[static_cast<std::size_t>(tid)];
   t.halted = true;

@@ -140,6 +140,22 @@ class CgmtCore {
   /// warm_thread_halt hook itself.
   void halt_thread_functional(int tid);
 
+  /// Per-thread architectural state a detailed probe may disturb
+  /// (tiered probe-and-revert: the golden replay stream is the sole
+  /// driver of architectural progress, so a measurement probe's thread
+  /// effects are reverted afterwards).
+  struct ThreadProbeState {
+    bool halted = false;
+    u64 pc = 0;
+    u8 nzcv = 0;
+  };
+  std::vector<ThreadProbeState> probe_snapshot() const;
+  /// Revert thread scheduling state to @p snap. Must be called while
+  /// detached (after cut_to_functional()); un-halts threads a probe
+  /// halted and recomputes the live count. Register values and memory
+  /// are reverted separately by the caller.
+  void probe_restore(const std::vector<ThreadProbeState>& snap);
+
   // Architectural thread state, exposed for the functional executor.
   bool thread_started(int tid) const {
     return threads_[static_cast<std::size_t>(tid)].started;

@@ -1,6 +1,7 @@
 #include "mem/sparse_memory.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace virec::mem {
 
@@ -91,7 +92,29 @@ u64 SparseMemory::read(Addr addr, u32 size) const {
   return value;
 }
 
+void SparseMemory::journal_begin() {
+  if (journaling_) {
+    throw std::logic_error("SparseMemory: journal already active");
+  }
+  journaling_ = true;
+  journal_.clear();
+}
+
+void SparseMemory::journal_rollback() {
+  journaling_ = false;
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    write(it->addr, it->size, it->old_value);
+  }
+  journal_.clear();
+}
+
+void SparseMemory::journal_discard() {
+  journaling_ = false;
+  journal_.clear();
+}
+
 void SparseMemory::write(Addr addr, u32 size, u64 value) {
+  if (journaling_) journal_.push_back({addr, size, read(addr, size)});
   const u64 off = addr % kPageSize;
   if (off + size <= kPageSize) {
     u8* p = touch_page(addr).data() + off;
@@ -119,6 +142,13 @@ void SparseMemory::write_f64(Addr addr, double v) {
 }
 
 void SparseMemory::write_block(Addr addr, const void* src, std::size_t bytes) {
+  if (journaling_) {
+    // Rare under a journal (bulk writes happen at init time); fall back
+    // to journaled byte writes so rollback stays exact.
+    const u8* q = static_cast<const u8*>(src);
+    for (std::size_t i = 0; i < bytes; ++i) write(addr + i, 1, q[i]);
+    return;
+  }
   const u8* p = static_cast<const u8*>(src);
   std::size_t done = 0;
   while (done < bytes) {

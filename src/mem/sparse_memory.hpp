@@ -87,6 +87,22 @@ class SparseMemory final : public ckpt::Serializable {
     drop_cache();
   }
 
+  // --- Undo journal (tiered probe-and-revert; sim::TieredRunner) ---
+  //
+  // While active, every write() records the bytes it overwrites so
+  // journal_rollback() can restore the pre-journal contents exactly
+  // (entries are replayed in reverse, so overlapping writes unwind
+  // correctly). Single-threaded use only — a detailed probe runs on
+  // the serial loop; do not combine with set_concurrent(true).
+
+  /// Start recording undo entries. Must not already be active.
+  void journal_begin();
+  /// Undo every journaled write (newest first) and stop recording.
+  void journal_rollback();
+  /// Stop recording and keep the written state.
+  void journal_discard();
+  bool journal_active() const { return journaling_; }
+
  private:
   using Page = std::vector<u8>;
 
@@ -107,8 +123,16 @@ class SparseMemory final : public ckpt::Serializable {
   const Page* find_page(Addr addr) const;
   Page& touch_page(Addr addr);
 
+  struct JournalEntry {
+    Addr addr;
+    u32 size;
+    u64 old_value;
+  };
+
   std::array<Shard, kShards> shards_;
   bool concurrent_ = false;
+  bool journaling_ = false;
+  std::vector<JournalEntry> journal_;
   // One-entry page cache so sequential/streaming access skips the
   // unordered_map probe. unordered_map never moves mapped values on
   // insert, so the pointer stays valid until clear(). Bypassed in

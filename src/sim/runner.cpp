@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ckpt/spec_codec.hpp"
+
 namespace virec::sim {
 
 u32 spec_phys_regs(const RunSpec& spec) {
@@ -49,6 +51,13 @@ TieredResult run_spec_tiered(const RunSpec& spec) {
   tiered.window_insts = spec.window_insts;
   tiered.warmup_insts = spec.warmup_insts;
   tiered.functional_ff = spec.functional_ff;
+  tiered.adaptive_warmup = spec.adaptive_warmup;
+  tiered.warm_set_sample = spec.warm_set_sample;
+  // Reuse off forces a private stream (key 0): same replay engine,
+  // same records, just no sharing — estimates are bit-identical.
+  tiered.stream_key =
+      spec.stream_reuse ? ckpt::functional_stream_hash(spec) : 0;
+  tiered.stream_dir = spec.stream_dir;
   TieredRunner runner(system, tiered);
   TieredResult result = runner.run();
   if (!result.full.check_ok) {

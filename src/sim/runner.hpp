@@ -64,6 +64,26 @@ struct RunSpec {
   u64 window_insts = 10'000;
   u64 warmup_insts = 2'000;
   bool functional_ff = false;
+  /// Adaptive warm-up multiplier for sampled runs: each detailed probe
+  /// may extend its warm-up by additional warmup_insts chunks (up to
+  /// this factor in total) while the dcache miss rate is still
+  /// converging — bulk-miss schemes need longer warm-up than the fixed
+  /// budget. 1 = fixed warm-up (default); part of the spec identity.
+  u32 adaptive_warmup = 1;
+  /// Opt-in set-sampled cache warming (Cache::set_warm_set_sample):
+  /// only 1/K of dcache sets are warmed between detailed windows.
+  /// 1 = full warming (default); K > 1 is approximate (documented bias)
+  /// and part of the spec identity.
+  u32 warm_set_sample = 1;
+  /// Reuse the functional prepass stream across same-identity points
+  /// (sweeps over scheme/policy/phys_regs). Pure simulator-speed knob:
+  /// per-point estimates are bit-identical with reuse on or off, so —
+  /// like pdes_jobs — it is deliberately excluded from the spec
+  /// identity and from result-store keys.
+  bool stream_reuse = true;
+  /// Directory for persisted functional streams ("" = in-memory reuse
+  /// only). Excluded from the identity for the same reason.
+  std::string stream_dir;
 };
 
 /// Build the SystemConfig a RunSpec describes (exposed for tests).

@@ -1,0 +1,568 @@
+#include "tiered/func_stream.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "isa/semantics.hpp"
+#include "tiered/functional_executor.hpp"
+
+namespace virec::sim {
+
+namespace {
+
+// Record layout, one per committed instruction. Everything derivable
+// from the program and the replayer's own cursor state (tid, pc,
+// is_mem/is_store, the destination register list, halt) is NOT stored.
+//
+//   u8 flags                      (bits below)
+//   [varint next_pc]              when kFlagExplicitPc
+//   [u8 nzcv]                     when kFlagNzcv
+//   [varint addr]                 when is_mem(inst)
+//   [varint stored value]         when is_store(inst)
+//   [varint dst value]...         one per dst_regs(inst) entry
+//   [varint sched next_tid + 1]   when kFlagSched (0 = pool exhausted)
+constexpr u8 kFlagExplicitPc = 1;  // next_pc != pc + 1
+constexpr u8 kFlagNzcv = 2;        // NZCV changed
+constexpr u8 kFlagSched = 4;       // scheduler switched threads
+constexpr u8 kFlagTaken = 8;       // ExecResult::taken_branch
+
+void put_varint(std::vector<u8>& out, u64 v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<u8>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<u8>(v));
+}
+
+// Raw-pointer variant for the replay hot loop: decode_next executes
+// once per replayed instruction, so the cursor lives in a register
+// instead of round-tripping through the vector each byte.
+u64 get_varint(const u8*& p, const u8* end) {
+  u64 v = 0;
+  u32 shift = 0;
+  for (;;) {
+    if (p >= end) {
+      throw std::runtime_error("FuncStream: truncated record payload");
+    }
+    const u8 b = *p++;
+    v |= static_cast<u64>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+/// Plain per-thread register files seeded like the offloaded contexts
+/// (same shape as TieredRunner's prepass interpreter).
+struct FlatRegFile final : isa::RegisterFileIO {
+  std::vector<std::array<u64, isa::kNumAllocatableRegs>> regs;
+  u64 read_reg(int tid, isa::RegId reg) override {
+    return regs[static_cast<std::size_t>(tid)][reg];
+  }
+  void write_reg(int tid, isa::RegId reg, u64 value) override {
+    regs[static_cast<std::size_t>(tid)][reg] = value;
+  }
+};
+
+/// Deterministically cold tag-only LRU model of the dcache geometry.
+/// Supplies the golden pass's load hit/miss schedule signal in place of
+/// the live dcache, whose warm state is point-specific (probes, pin
+/// bits) and must not leak into a shared stream.
+class TagLruModel {
+ public:
+  TagLruModel(u32 num_sets, u32 assoc)
+      : num_sets_(num_sets),
+        assoc_(assoc),
+        tags_(static_cast<std::size_t>(num_sets) * assoc, 0),
+        valid_(static_cast<std::size_t>(num_sets) * assoc, 0) ,
+        lru_(static_cast<std::size_t>(num_sets) * assoc, 0) {
+    while ((u32{1} << shift_) < num_sets_) ++shift_;
+  }
+
+  bool access(Addr addr) {
+    const u64 line = addr / mem::kLineBytes;
+    const u32 set = static_cast<u32>(line & (num_sets_ - 1));
+    const u64 tag = line >> shift_;
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+    for (u32 w = 0; w < assoc_; ++w) {
+      if (valid_[base + w] && tags_[base + w] == tag) {
+        lru_[base + w] = ++tick_;
+        return true;
+      }
+    }
+    std::size_t victim = base;
+    for (u32 w = 0; w < assoc_; ++w) {
+      if (!valid_[base + w]) {
+        victim = base + w;
+        break;
+      }
+      if (lru_[base + w] < lru_[victim]) victim = base + w;
+    }
+    valid_[victim] = 1;
+    tags_[victim] = tag;
+    lru_[victim] = ++tick_;
+    return false;
+  }
+
+ private:
+  u32 num_sets_;
+  u32 assoc_;
+  u32 shift_ = 0;
+  u64 tick_ = 0;
+  std::vector<u64> tags_;
+  std::vector<u8> valid_;
+  std::vector<u64> lru_;
+};
+
+int model_pick_next(const std::vector<u8>& halted, u32 n, int after,
+                    int exclude) {
+  // Mirror of FunctionalExecutor::pick_next (all threads started).
+  const u32 base = after < 0 ? n - 1 : static_cast<u32>(after);
+  for (u32 s = 1; s <= n; ++s) {
+    const int tid = static_cast<int>((base + s) % n);
+    if (tid == after || tid == exclude) continue;
+    if (!halted[static_cast<std::size_t>(tid)]) return tid;
+  }
+  return -1;
+}
+
+std::string stream_file_name(const std::string& dir, u64 key) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(key));
+  return dir + "/" + hex + ".vfs";
+}
+
+constexpr u32 kStreamMagic = 0x31534656;  // "VFS1", little-endian
+constexpr u32 kStreamFileVersion = 1;
+
+}  // namespace
+
+std::shared_ptr<const FuncStream> build_func_stream(System& system,
+                                                    u64 identity) {
+  if (system.config().num_cores != 1) {
+    throw std::invalid_argument(
+        "build_func_stream: single-core systems only");
+  }
+  const u32 total = system.total_threads();
+  FlatRegFile rf;
+  rf.regs.resize(total);
+  std::vector<u8> nzcv(total, 0);
+  for (u32 gtid = 0; gtid < total; ++gtid) {
+    const workloads::RegContext regs =
+        system.workload().thread_regs(system.params(), gtid, total);
+    for (u32 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+      rf.regs[gtid][r] = regs[r];
+    }
+  }
+  // Clone of the live memory (includes the offloaded context images),
+  // so replay against the real system starts from the same bytes the
+  // oracle's shadow captures.
+  mem::SparseMemory memory = system.memory_system().memory();
+  const kasm::Program& program = system.program();
+  mem::MemorySystem& ms = system.memory_system();
+  TagLruModel model(ms.dcache(0).num_sets(), ms.dcache(0).assoc());
+  const bool switch_on_miss = system.config().core.switch_on_miss;
+  const u64 cap = system.config().core.max_cycles;
+
+  auto stream = std::make_shared<FuncStream>();
+  stream->identity = identity;
+  stream->num_threads = total;
+
+  std::vector<u64> pcs(total, 0);
+  std::vector<u8> halted(total, 0);
+  u32 live = total;
+  int cur = model_pick_next(halted, total, -1, -1);
+  stream->start_tid = cur;
+  u64 run_length = 0;
+  u64 n = 0;
+  std::vector<u8>& out = stream->records;
+
+  while (live > 0) {
+    if (cur < 0) {
+      cur = model_pick_next(halted, total, -1, -1);
+      run_length = 0;
+      if (cur < 0) break;
+    }
+    const int tid = cur;
+    const u64 pc = pcs[static_cast<std::size_t>(tid)];
+    const isa::Inst& inst = program.at(pc);
+    const bool mem_op = isa::is_mem(inst.op);
+    const bool store_op = isa::is_store(inst.op);
+    bool load_miss = false;
+    Addr addr = 0;
+    if (mem_op) {
+      addr = isa::compute_mem_addr(inst, tid, rf);
+      if (!ms.in_reg_region(addr)) {
+        const bool hit = model.access(addr);
+        load_miss = !hit && !store_op;
+      }
+    }
+    u8& flags_ref = nzcv[static_cast<std::size_t>(tid)];
+    const u8 nzcv_before = flags_ref;
+    const isa::ExecResult res =
+        isa::execute(inst, pc, tid, rf, memory, flags_ref);
+    if (++n > cap) {
+      throw std::runtime_error(
+          "build_func_stream: golden pass exceeded the max_cycles "
+          "instruction budget");
+    }
+    pcs[static_cast<std::size_t>(tid)] = res.next_pc;
+    ++run_length;
+
+    // Scheduler transition (mirrors FunctionalExecutor::run).
+    int sched_next = -2;  // -2 = no event
+    if (res.halted) {
+      halted[static_cast<std::size_t>(tid)] = 1;
+      --live;
+      sched_next = model_pick_next(halted, total, tid, -1);
+      cur = sched_next;
+      run_length = 0;
+    } else {
+      const bool rotate =
+          (load_miss && switch_on_miss) ||
+          run_length >= FunctionalExecutor::kRotationPeriod;
+      if (rotate && live > 1) {
+        const int next = model_pick_next(halted, total, tid, -1);
+        if (next >= 0 && next != tid) {
+          sched_next = next;
+          cur = next;
+          run_length = 0;
+        }
+      }
+    }
+
+    u8 flags = 0;
+    if (res.next_pc != pc + 1) flags |= kFlagExplicitPc;
+    if (flags_ref != nzcv_before) flags |= kFlagNzcv;
+    if (res.halted || sched_next != -2) flags |= kFlagSched;
+    if (res.taken_branch) flags |= kFlagTaken;
+    out.push_back(flags);
+    if (flags & kFlagExplicitPc) put_varint(out, res.next_pc);
+    if (flags & kFlagNzcv) out.push_back(flags_ref);
+    if (mem_op) put_varint(out, addr);
+    if (store_op) put_varint(out, memory.read(addr, isa::mem_size(inst.op)));
+    const isa::RegList dsts = isa::dst_regs(inst);
+    for (u32 i = 0; i < dsts.count; ++i) {
+      put_varint(out, rf.read_reg(tid, dsts.regs[i]));
+    }
+    if (flags & kFlagSched) {
+      put_varint(out, static_cast<u64>(sched_next + 1));  // 0 = exhausted
+    }
+  }
+  stream->n_total = n;
+  stream->records.shrink_to_fit();
+  return stream;
+}
+
+// --- FuncStreamReplayer ---
+
+struct FuncStreamReplayer::Decoded {
+  u64 next_pc = 0;
+  u8 nzcv = 0;
+  bool nzcv_changed = false;
+  bool taken = false;
+  bool halted = false;
+  bool has_sched = false;
+  int sched_next = -1;
+  bool mem_op = false;
+  bool store_op = false;
+  Addr addr = 0;
+  u64 store_value = 0;
+  std::array<u64, 4> dst_vals{};
+  isa::RegList dsts{};  ///< destination list, decoded once per record
+};
+
+FuncStreamReplayer::FuncStreamReplayer(
+    std::shared_ptr<const FuncStream> stream, const kasm::Program& program)
+    : stream_(std::move(stream)),
+      program_(&program),
+      cur_tid_(stream_->start_tid),
+      pcs_(stream_->num_threads, 0),
+      halted_(stream_->num_threads, 0),
+      live_(stream_->num_threads) {}
+
+int FuncStreamReplayer::pick_next(int after, int exclude) const {
+  return model_pick_next(halted_, stream_->num_threads, after, exclude);
+}
+
+FuncStreamReplayer::Decoded FuncStreamReplayer::decode_next(
+    const isa::Inst*& inst, u64& pc) {
+  if (cur_tid_ < 0) cur_tid_ = pick_next(-1, -1);
+  if (cur_tid_ < 0) {
+    throw std::runtime_error("FuncStream: record with no live thread");
+  }
+  const std::vector<u8>& bytes = stream_->records;
+  const u8* p = bytes.data() + byte_;
+  const u8* const end = bytes.data() + bytes.size();
+  if (p >= end) {
+    throw std::runtime_error("FuncStream: cursor past end of records");
+  }
+  pc = pcs_[static_cast<std::size_t>(cur_tid_)];
+  inst = &program_->at(pc);
+  Decoded d;
+  const u8 flags = *p++;
+  d.taken = (flags & kFlagTaken) != 0;
+  d.halted = isa::is_halt(inst->op);
+  d.next_pc = (flags & kFlagExplicitPc) ? get_varint(p, end) : pc + 1;
+  d.nzcv_changed = (flags & kFlagNzcv) != 0;
+  if (d.nzcv_changed) {
+    if (p >= end) {
+      throw std::runtime_error("FuncStream: truncated record payload");
+    }
+    d.nzcv = *p++;
+  }
+  d.mem_op = isa::is_mem(inst->op);
+  d.store_op = isa::is_store(inst->op);
+  if (d.mem_op) d.addr = get_varint(p, end);
+  if (d.store_op) d.store_value = get_varint(p, end);
+  d.dsts = isa::dst_regs(*inst);
+  for (u32 i = 0; i < d.dsts.count; ++i) {
+    d.dst_vals[i] = get_varint(p, end);
+  }
+  d.has_sched = (flags & kFlagSched) != 0;
+  if (d.has_sched) {
+    d.sched_next = static_cast<int>(get_varint(p, end)) - 1;
+  }
+  byte_ = static_cast<std::size_t>(p - bytes.data());
+  return d;
+}
+
+Cycle FuncStreamReplayer::advance(u64 target, cpu::CgmtCore& core,
+                                  cpu::ContextManager& rcm,
+                                  mem::MemorySystem& ms,
+                                  check::CheckContext* check,
+                                  Cycle warm_clock, u64 cpi_scale) {
+  if (cpi_scale == 0) cpi_scale = 1;
+  if (target > stream_->n_total) target = stream_->n_total;
+  mem::Cache& icache = ms.icache(0);
+  mem::Cache& dcache = ms.dcache(0);
+  while (pos_ < target) {
+    const isa::Inst* inst = nullptr;
+    u64 pc = 0;
+    const Decoded d = decode_next(inst, pc);
+    const int tid = cur_tid_;
+    if (!core.thread_launched(tid)) {
+      rcm.warm_thread_start(tid, warm_clock);
+      core.mark_thread_launched(tid);
+    }
+    icache.warm_access(mem::MemorySystem::code_addr(pc), /*is_write=*/false,
+                       warm_clock);
+    rcm.warm_decode(tid, *inst, warm_clock);
+    if (d.mem_op) {
+      dcache.warm_access(d.addr, d.store_op, warm_clock,
+                         ms.in_reg_region(d.addr));
+    }
+    u8& nzcv = core.nzcv_ref(tid);
+    if (check != nullptr) {
+      check->pre_commit(/*core=*/0, tid, *inst, pc, warm_clock, rcm, nzcv);
+    }
+    // Apply the recorded architectural deltas in commit order: memory
+    // write-back, destination registers (through the scheme's canonical
+    // write path, so residency/dirty state evolves like live
+    // execution), then flags.
+    if (d.store_op) {
+      ms.memory().write(d.addr, isa::mem_size(inst->op), d.store_value);
+    }
+    for (u32 i = 0; i < d.dsts.count; ++i) {
+      rcm.write_reg(tid, d.dsts.regs[i], d.dst_vals[i]);
+    }
+    if (d.nzcv_changed) nzcv = d.nzcv;
+    const isa::ExecResult res{d.next_pc, d.taken, d.halted};
+    if (check != nullptr) {
+      check->post_commit(/*core=*/0, tid, *inst, pc, warm_clock, rcm, nzcv,
+                         res);
+    }
+    core.set_thread_pc(tid, d.next_pc);
+    pcs_[static_cast<std::size_t>(tid)] = d.next_pc;
+    warm_clock += cpi_scale;
+    ++pos_;
+    if (d.halted) {
+      rcm.warm_thread_halt(tid, warm_clock);
+      core.halt_thread_functional(tid);
+      halted_[static_cast<std::size_t>(tid)] = 1;
+      --live_;
+      if (d.sched_next >= 0) {
+        rcm.warm_context_switch(tid, d.sched_next,
+                                pick_next(d.sched_next, tid), warm_clock);
+      }
+      cur_tid_ = d.sched_next;
+    } else if (d.has_sched) {
+      rcm.warm_context_switch(tid, d.sched_next,
+                              pick_next(d.sched_next, tid), warm_clock);
+      cur_tid_ = d.sched_next;
+    }
+  }
+  return warm_clock;
+}
+
+void FuncStreamReplayer::seek(u64 target) {
+  if (target > stream_->n_total) target = stream_->n_total;
+  while (pos_ < target) {
+    const isa::Inst* inst = nullptr;
+    u64 pc = 0;
+    const Decoded d = decode_next(inst, pc);
+    const int tid = cur_tid_;
+    pcs_[static_cast<std::size_t>(tid)] = d.next_pc;
+    ++pos_;
+    if (d.halted) {
+      halted_[static_cast<std::size_t>(tid)] = 1;
+      --live_;
+      cur_tid_ = d.sched_next;
+    } else if (d.has_sched) {
+      cur_tid_ = d.sched_next;
+    }
+  }
+}
+
+// --- Disk codec ---
+
+std::shared_ptr<const FuncStream> load_func_stream(const std::string& path,
+                                                   u64 expect_identity) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return nullptr;
+  if (raw.size() < 4) return nullptr;
+  const std::size_t body = raw.size() - 4;
+  ckpt::Decoder crc_dec(reinterpret_cast<const u8*>(raw.data()) + body, 4,
+                        "stream crc");
+  if (ckpt::crc32(raw.data(), body) != crc_dec.get_u32()) return nullptr;
+  try {
+    ckpt::Decoder dec(reinterpret_cast<const u8*>(raw.data()), body,
+                      "stream file");
+    if (dec.get_u32() != kStreamMagic) return nullptr;
+    if (dec.get_u32() != kStreamFileVersion) return nullptr;
+    auto stream = std::make_shared<FuncStream>();
+    stream->identity = dec.get_u64();
+    if (expect_identity != 0 && stream->identity != expect_identity) {
+      return nullptr;
+    }
+    stream->num_threads = dec.get_u32();
+    stream->start_tid = static_cast<int>(dec.get_i64());
+    stream->n_total = dec.get_u64();
+    const u64 size = dec.get_u64();
+    if (size != dec.remaining()) return nullptr;
+    stream->records.resize(size);
+    dec.raw(stream->records.data(), size);
+    return stream;
+  } catch (const ckpt::CkptError&) {
+    return nullptr;
+  }
+}
+
+bool save_func_stream(const std::string& path, const FuncStream& stream) {
+  ckpt::Encoder enc;
+  enc.put_u32(kStreamMagic);
+  enc.put_u32(kStreamFileVersion);
+  enc.put_u64(stream.identity);
+  enc.put_u32(stream.num_threads);
+  enc.put_i64(stream.start_tid);
+  enc.put_u64(stream.n_total);
+  enc.put_u64(stream.records.size());
+  enc.raw(stream.records.data(), stream.records.size());
+  const u32 crc = ckpt::crc32(enc.bytes().data(), enc.size());
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(enc.bytes().data()),
+              static_cast<std::streamsize>(enc.size()));
+    char crc_bytes[4] = {static_cast<char>(crc), static_cast<char>(crc >> 8),
+                         static_cast<char>(crc >> 16),
+                         static_cast<char>(crc >> 24)};
+    out.write(crc_bytes, 4);
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// --- StreamCache ---
+
+StreamCache& StreamCache::instance() {
+  static StreamCache cache;
+  return cache;
+}
+
+std::shared_ptr<const FuncStream> StreamCache::acquire(
+    u64 key, const std::string& dir, System& system) {
+  if (key == 0) {
+    auto stream = build_func_stream(system, 0);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.built;
+    return stream;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    auto it = streams_.find(key);
+    if (it != streams_.end()) {
+      ++stats_.mem_hits;
+      return it->second;
+    }
+    if (building_.find(key) == building_.end()) break;
+    cv_.wait(lk);
+  }
+  building_.insert(key);
+  lk.unlock();
+  std::shared_ptr<const FuncStream> stream;
+  bool from_disk = false;
+  try {
+    if (!dir.empty()) {
+      stream = load_func_stream(stream_file_name(dir, key), key);
+      from_disk = stream != nullptr;
+    }
+    if (stream == nullptr) {
+      stream = build_func_stream(system, key);
+      if (!dir.empty()) {
+        // Best-effort persistence: a missing store directory is
+        // created here; any failure just means the next process
+        // rebuilds instead of loading.
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (!ec) save_func_stream(stream_file_name(dir, key), *stream);
+      }
+    }
+  } catch (...) {
+    lk.lock();
+    building_.erase(key);
+    cv_.notify_all();
+    throw;
+  }
+  lk.lock();
+  building_.erase(key);
+  streams_[key] = stream;
+  if (from_disk) {
+    ++stats_.loaded;
+  } else {
+    ++stats_.built;
+  }
+  cv_.notify_all();
+  return stream;
+}
+
+StreamCache::Stats StreamCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void StreamCache::reset_for_test() {
+  std::lock_guard<std::mutex> lk(mu_);
+  streams_.clear();
+  building_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace virec::sim

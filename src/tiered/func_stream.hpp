@@ -1,0 +1,160 @@
+// Shared functional streams (docs/performance.md, "Stream reuse").
+//
+// A sampled tiered run spends most of its instructions in the
+// functional tier, and that tier's work — the architectural values
+// every instruction produces plus the thread schedule — depends only
+// on the *functional identity* of the experiment point (workload +
+// parameters + topology + dcache geometry; see
+// ckpt::functional_stream_hash). A policy or scheme sweep therefore
+// re-pays the same interpretation N times.
+//
+// build_func_stream() pays it once: a golden interleaved pass over a
+// clone of the system's memory records, per committed instruction, a
+// compact delta record (successor PC when not sequential, NZCV when
+// changed, the memory address and stored bytes, the destination
+// register values, and scheduler rotation events). FuncStreamReplayer
+// then re-applies those records through a point's OWN warm hooks
+// (icache/dcache warm_access, warm_decode, warm_context_switch,
+// warm_thread_start/halt) and register write path — so per-point
+// microarchitectural warm state is exactly what a live functional
+// execution of the same schedule would produce, without re-running
+// isa::execute.
+//
+// The golden pass mirrors FunctionalExecutor's scheduling (rotate on
+// switch-on-miss demand-load misses and every kRotationPeriod
+// instructions), with one substitution: load hit/miss decisions come
+// from a private, deterministically cold tag-only LRU model of the
+// dcache geometry instead of the live dcache, so the recorded schedule
+// cannot depend on any point-specific warm state and one stream is
+// valid for every point sharing the identity.
+//
+// StreamCache is the process-wide rendezvous: all stream acquisitions
+// funnel through it, deduplicating builds across the points of an
+// in-process sweep and, when a directory is configured, persisting
+// streams on disk (CRC-guarded, written atomically) so later processes
+// skip the build too.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace virec::sim {
+
+/// One recorded functional execution, immutable once built.
+struct FuncStream {
+  u64 identity = 0;    ///< ckpt::functional_stream_hash (0 = unkeyed)
+  u32 num_threads = 0;
+  int start_tid = 0;   ///< first scheduled thread
+  u64 n_total = 0;     ///< records == committed instructions
+  std::vector<u8> records;  ///< varint-packed per-instruction deltas
+};
+
+/// Golden interleaved pass over @p system's current program/workload
+/// state: executes every thread to completion against clones of the
+/// initial register contexts and memory (the system is untouched) and
+/// records the stream. Throws std::runtime_error when the instruction
+/// count exceeds the core's max_cycles watchdog budget.
+std::shared_ptr<const FuncStream> build_func_stream(System& system,
+                                                    u64 identity);
+
+/// Advance-only cursor over a FuncStream that re-applies records
+/// through a live system's warm hooks and architectural write paths.
+/// One replayer drives a whole sampled run 0 -> n_total; detailed
+/// probes in between must be reverted (TieredRunner's probe-and-revert)
+/// so the stream stays the sole driver of architectural state.
+class FuncStreamReplayer {
+ public:
+  FuncStreamReplayer(std::shared_ptr<const FuncStream> stream,
+                     const kasm::Program& program);
+
+  u64 pos() const { return pos_; }
+  bool done() const { return pos_ >= stream_->n_total; }
+  int cur_tid() const { return cur_tid_; }
+  const FuncStream& stream() const { return *stream_; }
+
+  /// Replay records [pos, min(target, n_total)): warm the icache /
+  /// dcache / context manager, apply register, memory and NZCV deltas,
+  /// update thread PCs and drive launch/halt/switch hooks exactly as
+  /// FunctionalExecutor would. @p warm_clock advances by @p cpi_scale
+  /// per record; the final value is returned (pass it to
+  /// CgmtCore::resume_from_functional). @p check, when non-null and
+  /// enabled, receives pre/post_commit for every record so the lockstep
+  /// oracle validates the stream against its reference interpreter.
+  Cycle advance(u64 target, cpu::CgmtCore& core, cpu::ContextManager& rcm,
+                mem::MemorySystem& ms, check::CheckContext* check,
+                Cycle warm_clock, u64 cpi_scale);
+
+  /// Decode-only fast-forward of the cursor to @p target (thread PCs,
+  /// halt flags and the scheduled thread advance; no system effects).
+  /// Checkpoint restore uses this to re-seat a fresh replayer at the
+  /// snapshot's stream position.
+  void seek(u64 target);
+
+ private:
+  struct Decoded;
+  /// Decode the record at the cursor (updating byte_ only).
+  Decoded decode_next(const isa::Inst*& inst, u64& pc);
+  /// Post-record bookkeeping shared by advance/seek: PC, halt flag and
+  /// scheduler updates. Returns the outgoing tid's successor (-1 when
+  /// the thread pool is exhausted).
+  int pick_next(int after, int exclude) const;
+
+  std::shared_ptr<const FuncStream> stream_;
+  const kasm::Program* program_;
+  u64 pos_ = 0;
+  std::size_t byte_ = 0;
+  int cur_tid_;
+  std::vector<u64> pcs_;
+  std::vector<u8> halted_;
+  u32 live_ = 0;
+};
+
+/// Process-wide stream registry: deduplicates builds across the points
+/// of a sweep (and across threads) and optionally persists streams to
+/// disk. Key 0 opts out of sharing entirely (always a local build).
+class StreamCache {
+ public:
+  struct Stats {
+    u64 built = 0;     ///< golden passes actually executed
+    u64 loaded = 0;    ///< streams deserialized from disk
+    u64 mem_hits = 0;  ///< acquisitions served from the in-memory map
+  };
+
+  static StreamCache& instance();
+
+  /// Return the stream for @p key, building it from @p system at most
+  /// once per process (concurrent acquirers of the same key block
+  /// until the first finishes). @p dir, when non-empty, is probed for
+  /// a persisted stream before building and receives newly built
+  /// streams ("<hex key>.vfs", written atomically; unreadable or
+  /// corrupt files degrade to a rebuild, never an error).
+  std::shared_ptr<const FuncStream> acquire(u64 key, const std::string& dir,
+                                            System& system);
+
+  Stats stats() const;
+  /// Drop every cached stream and zero the counters (tests / CI smoke).
+  void reset_for_test();
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<u64, std::shared_ptr<const FuncStream>> streams_;
+  std::unordered_set<u64> building_;
+  Stats stats_;
+};
+
+/// Disk codec (exposed for tests): returns nullptr on any I/O error,
+/// magic/version/CRC mismatch or identity disagreement.
+std::shared_ptr<const FuncStream> load_func_stream(const std::string& path,
+                                                   u64 expect_identity);
+/// Atomic (tmp + rename) write; returns false on I/O failure.
+bool save_func_stream(const std::string& path, const FuncStream& stream);
+
+}  // namespace virec::sim

@@ -48,6 +48,16 @@ void TieredConfig::validate() const {
         "TieredConfig: window_insts must be > 0 (zero-size measurement "
         "windows estimate nothing)");
   }
+  if (adaptive_warmup == 0) {
+    throw std::invalid_argument(
+        "TieredConfig: adaptive_warmup must be >= 1 (1 = fixed warm-up)");
+  }
+  if (warm_set_sample == 0 ||
+      (warm_set_sample & (warm_set_sample - 1)) != 0) {
+    throw std::invalid_argument(
+        "TieredConfig: warm_set_sample must be a power of two (1 = full "
+        "warming)");
+  }
 }
 
 TieredRunner::TieredRunner(System& system, const TieredConfig& config)
@@ -143,8 +153,126 @@ void TieredRunner::functional_advance(u64 insts) {
   core.resume_from_functional(fx.warm_clock(), done);
 }
 
+void TieredRunner::replay_advance(u64 target) {
+  cpu::CgmtCore& core = sys_.core(0);
+  if (target > n_total_) target = n_total_;
+  if (replayer_->pos() >= target && !detached_) return;
+  if (!detached_) {
+    core.cut_to_functional();
+    detached_ = true;
+  }
+  Cycle wc = core.cycle();
+  const u64 scale = cpi_scale();
+  double last = now_secs();
+  while (replayer_->pos() < target) {
+    const u64 before = replayer_->pos();
+    const u64 chunk = std::min<u64>(target - before, u64{1} << 16);
+    wc = replayer_->advance(before + chunk, core, sys_.manager(0),
+                            sys_.memory_system(), sys_.check(), wc, scale);
+    const u64 ran = replayer_->pos() - before;
+    if (ran == 0) break;  // defensive: target <= n_total implies progress
+    insts_functional_ += ran;
+    pending_functional_ += ran;
+    const double t = now_secs();
+    wall_functional_ += t - last;
+    last = t;
+    emit_progress("functional", false);
+  }
+  pending_functional_ = 0;
+  // A reverted probe's committed instructions are already in the core's
+  // count (probes execute real golden instructions; only their
+  // architectural side effects were reverted), so credit the replay
+  // with the difference that lands the commit count on target.
+  const u64 committed = sys_.total_instructions();
+  core.resume_from_functional(wc, target > committed ? target - committed : 0);
+  detached_ = false;
+}
+
+void TieredRunner::begin_probe() {
+  if (sys_.check() != nullptr) sys_.check()->set_enabled(false);
+  cpu::ContextManager& rcm = sys_.manager(0);
+  cpu::CgmtCore& core = sys_.core(0);
+  const u32 total = sys_.total_threads();
+  probe_regs_.assign(total, {});
+  probe_launched_.assign(total, 0);
+  for (u32 tid = 0; tid < total; ++tid) {
+    // Pre-launch threads have no meaningful on-chip register state —
+    // their architectural values live in the context region the memory
+    // journal reverts; snapshot only launched threads.
+    if (!core.thread_launched(static_cast<int>(tid))) continue;
+    probe_launched_[tid] = 1;
+    for (u32 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+      probe_regs_[tid][r] =
+          rcm.read_reg(static_cast<int>(tid), static_cast<isa::RegId>(r));
+    }
+  }
+  probe_threads_ = core.probe_snapshot();
+  sys_.memory_system().memory().journal_begin();
+}
+
+void TieredRunner::end_probe() {
+  cpu::CgmtCore& core = sys_.core(0);
+  // Cut FIRST: squashing the probe's in-flight instructions computes
+  // resume PCs from the pipeline latches, which must happen before the
+  // golden PCs are restored underneath it.
+  core.cut_to_functional();
+  detached_ = true;
+  sys_.memory_system().memory().journal_rollback();
+  // Registers after memory: backing-store values live in the context
+  // regions the rollback just restored; the diff-write then fixes the
+  // on-chip resident copies through the scheme's canonical write path.
+  // Threads the probe itself launched (launch flags are sticky; the
+  // replay's launch guard will skip them) are reverted to their initial
+  // context image instead — at snapshot time their architectural state
+  // was the context region, not the unfetched on-chip storage.
+  cpu::ContextManager& rcm = sys_.manager(0);
+  mem::MemorySystem& ms = sys_.memory_system();
+  for (u32 tid = 0; tid < probe_regs_.size(); ++tid) {
+    if (!core.thread_launched(static_cast<int>(tid))) continue;
+    for (u32 r = 0; r < isa::kNumAllocatableRegs; ++r) {
+      const u64 want = probe_launched_[tid] != 0
+                           ? probe_regs_[tid][r]
+                           : ms.memory().read(ms.reg_addr(0, tid, r), 8);
+      const auto reg = static_cast<isa::RegId>(r);
+      if (rcm.read_reg(static_cast<int>(tid), reg) != want) {
+        rcm.write_reg(static_cast<int>(tid), reg, want);
+      }
+    }
+  }
+  core.probe_restore(probe_threads_);
+  if (sys_.check() != nullptr) sys_.check()->set_enabled(true);
+}
+
+void TieredRunner::adaptive_warmup_extend(u64 spacing, u64 wk) {
+  // Base warm-up chunk first, measuring its dcache miss rate; then,
+  // with adaptive_warmup > 1, keep burning W-sized chunks while the
+  // chunk-over-chunk miss rate is still moving (a bulk context-switch
+  // scheme refilling a large working set warms far more slowly than a
+  // register-cache scheme). Every extension fits inside the stratum's
+  // slack, so the probe can never spill into the next stratum.
+  const u64 w = config_.warmup_insts;
+  const StatSet& st = sys_.memory_system().dcache(0).stats();
+  const auto accesses = [&st] { return st.get("reads") + st.get("writes"); };
+  const u64 slack = spacing > wk ? (spacing - wk) / 2 : 0;
+  const u64 cap =
+      w > 0 ? std::min<u64>(config_.adaptive_warmup - 1, slack / w) : 0;
+  double prev_rate = -1.0;
+  for (u64 chunk = 0; chunk <= cap && !sys_.core(0).done(); ++chunk) {
+    const double a0 = accesses();
+    const double m0 = st.get("misses");
+    run_detailed(w);
+    const double da = accesses() - a0;
+    const double rate = da > 0.0 ? (st.get("misses") - m0) / da : 0.0;
+    const bool converged =
+        prev_rate >= 0.0 &&
+        std::fabs(rate - prev_rate) <= std::max(0.1 * prev_rate, 0.005);
+    prev_rate = rate;
+    if (converged) break;
+  }
+}
+
 void TieredRunner::run_detailed(u64 insts) {
-  if (insts == 0) return;
+  if (insts == 0 || sys_.core(0).done()) return;
   const double t0 = now_secs();
   const u64 before = sys_.total_instructions();
   const Cycle c0 = sys_.core(0).cycle();
@@ -248,19 +376,39 @@ void TieredRunner::finalize(TieredResult& r) {
 TieredResult TieredRunner::run() {
   wall_start_ = now_secs();
   next_emit_wall_ = wall_start_ + progress_every_secs_;
-  if (!prepass_done_) {
-    emit_progress("prepass", false);
-    n_total_ = functional_instruction_count(sys_);
-    prepass_done_ = true;
-  }
   TieredResult r;
   cpu::CgmtCore& core = sys_.core(0);
   if (config_.functional_ff) {
+    // Fast-forward keeps the live functional tier (and its oracle
+    // coverage); no stream is recorded or replayed.
+    if (!prepass_done_) {
+      emit_progress("prepass", false);
+      n_total_ = functional_instruction_count(sys_);
+      prepass_done_ = true;
+    }
     while (!core.done()) functional_advance(n_total_ + 1);
     emit_progress("functional", true);
     finalize(r);
     return r;
   }
+  // Sampled path: acquire the (possibly sweep-shared) functional
+  // stream — it subsumes the prepass, since recording fixes the total
+  // instruction count — then alternate replayed functional stretches
+  // with reverted detailed probes.
+  if (config_.warm_set_sample > 1) {
+    sys_.memory_system().dcache(0).set_warm_set_sample(
+        config_.warm_set_sample);
+  }
+  if (stream_ == nullptr) {
+    emit_progress("prepass", false);
+    const double t0 = now_secs();
+    stream_ = StreamCache::instance().acquire(config_.stream_key,
+                                              config_.stream_dir, sys_);
+    replayer_ = std::make_unique<FuncStreamReplayer>(stream_, sys_.program());
+    wall_functional_ += now_secs() - t0;
+  }
+  n_total_ = stream_->n_total;
+  prepass_done_ = true;
   const u64 wk = config_.warmup_insts + config_.window_insts;
   const u32 n = config_.sample_windows;
   if (static_cast<u64>(n) * wk > n_total_) {
@@ -273,25 +421,30 @@ TieredResult TieredRunner::run() {
         "--warmup-insts");
   }
   const u64 spacing = n_total_ / n;
-  // Detailed pilot: the first functional stretch needs a CPI estimate
+  // Detailed pilot: the first replayed stretch needs a CPI estimate
   // (warm-clock scale) and observed miss latencies (warm-fill recency
   // bias) to warm state faithfully, so burn one window-equivalent of
-  // detailed execution at the start before the first cut. Skipped on
-  // restore (a detailed stretch has already run).
-  if (insts_detailed_ == 0 && window_ == 0 && !core.done()) {
+  // detailed execution at the start. Like every probe it is reverted —
+  // the replay below re-executes the same golden positions — but its
+  // warm state and CPI carry forward. Skipped on restore (a detailed
+  // stretch has already run).
+  if (insts_detailed_ == 0 && window_ == 0) {
     const u64 first_start = spacing > wk ? (spacing - wk) / 2 : 0;
-    run_detailed(std::min(wk, first_start));
+    const u64 pilot = std::min(wk, first_start);
+    if (pilot > 0 && !core.done()) {
+      begin_probe();
+      run_detailed(pilot);
+      end_probe();
+    }
   }
-  while (window_ < n && !core.done()) {
+  while (window_ < n) {
     // Systematic placement: window i's detailed stretch is centred in
     // its stratum [i*spacing, (i+1)*spacing).
     const u64 detail_start = static_cast<u64>(window_) * spacing +
                              (spacing > wk ? (spacing - wk) / 2 : 0);
-    const u64 cur = sys_.total_instructions();
-    if (detail_start > cur) functional_advance(detail_start - cur);
-    if (core.done()) break;
-    run_detailed(config_.warmup_insts);
-    if (core.done()) break;
+    replay_advance(detail_start);
+    begin_probe();
+    adaptive_warmup_extend(spacing, wk);
     WindowStat w;
     w.start_inst = sys_.total_instructions();
     const Cycle c0 = core.cycle();
@@ -306,6 +459,7 @@ TieredResult TieredRunner::run() {
       w.cpi_stack[b] =
           sys_.cpi_bucket_cycles(static_cast<CycleBucket>(b)) - s0[b];
     }
+    end_probe();
     if (w.insts > 0) {
       w.cpi = static_cast<double>(w.cycles) / static_cast<double>(w.insts);
       windows_.push_back(w);
@@ -313,7 +467,7 @@ TieredResult TieredRunner::run() {
     ++window_;
     if (window_hook_) window_hook_(window_);
   }
-  while (!core.done()) functional_advance(n_total_ + 1);
+  replay_advance(n_total_);
   emit_progress("functional", true);
   finalize(r);
   return r;
@@ -336,6 +490,20 @@ void TieredRunner::save(const std::string& path) const {
     enc.put_u64(insts_functional_);
     enc.put_u64(insts_detailed_);
     enc.put_u64(cycles_detailed_);
+    // Stream replay state: the snapshot embeds the stream itself, so a
+    // restore in another process (no StreamCache entry) is
+    // self-contained and replays the identical schedule.
+    enc.put_bool(detached_);
+    enc.put_bool(stream_ != nullptr);
+    if (stream_ != nullptr) {
+      enc.put_u64(stream_->identity);
+      enc.put_u32(stream_->num_threads);
+      enc.put_i64(stream_->start_tid);
+      enc.put_u64(stream_->n_total);
+      enc.put_u64(stream_->records.size());
+      enc.raw(stream_->records.data(), stream_->records.size());
+      enc.put_u64(replayer_->pos());
+    }
   });
 }
 
@@ -359,6 +527,22 @@ void TieredRunner::restore(const std::string& path) {
     insts_functional_ = dec.get_u64();
     insts_detailed_ = dec.get_u64();
     cycles_detailed_ = dec.get_u64();
+    detached_ = dec.get_bool();
+    stream_.reset();
+    replayer_.reset();
+    if (dec.get_bool()) {
+      auto stream = std::make_shared<FuncStream>();
+      stream->identity = dec.get_u64();
+      stream->num_threads = dec.get_u32();
+      stream->start_tid = static_cast<int>(dec.get_i64());
+      stream->n_total = dec.get_u64();
+      stream->records.resize(dec.get_u64());
+      dec.raw(stream->records.data(), stream->records.size());
+      stream_ = stream;
+      replayer_ =
+          std::make_unique<FuncStreamReplayer>(stream_, sys_.program());
+      replayer_->seek(dec.get_u64());
+    }
     dec.finish();
   });
 }

@@ -1,21 +1,33 @@
 // Tiered simulation: SMARTS-style systematic sampling over a single
 // golden execution stream (docs/performance.md).
 //
-// One persistent System carries the run. Between measurement windows
-// the FunctionalExecutor advances architectural state at ~10-100x the
-// detailed rate while keeping caches / register-cache residency warm;
-// each window re-attaches the cycle-accurate pipeline, burns a
-// detailed warm-up prefix (W instructions) and then measures K
-// instructions of CPI + CPI stack. The per-window CPIs give a sampled
-// mean with a confidence interval from inter-window variance; the
-// run's total instruction count comes from a pure functional prepass.
+// One persistent System carries the run. Sampled runs are driven by a
+// recorded functional stream (tiered/func_stream.hpp): replaying its
+// records through the point's warm hooks advances architectural state
+// at interpreter speed while keeping caches / register-cache residency
+// warm, and the stream is shared across every point of a sweep with
+// the same functional identity — the prepass cost is paid once per
+// sweep, not once per point. Each measurement window is a detailed
+// *probe*: the cycle-accurate pipeline re-attaches, burns a warm-up
+// prefix (W instructions, optionally extended adaptively) and measures
+// K instructions of CPI + CPI stack; afterwards the probe's
+// architectural effects (memory via an undo journal, registers and
+// thread PCs/NZCV/halts via snapshots) are reverted, so the replayed
+// stream remains the sole driver of architectural progress and every
+// probe measures exactly the golden execution. Microarchitectural warm
+// state (caches, register-cache residency) deliberately carries
+// across. The per-window CPIs give a sampled mean with a confidence
+// interval from inter-window variance.
 #pragma once
 
+#include <array>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/system.hpp"
+#include "tiered/func_stream.hpp"
 
 namespace virec::sim {
 
@@ -31,9 +43,33 @@ struct TieredConfig {
   /// no cycle estimate) — fast-forward-to-end, used for validation and
   /// as the fast path to a final memory image.
   bool functional_ff = false;
+  /// Adaptive warm-up multiplier F (>= 1): a probe may extend its
+  /// warm-up by further warmup_insts chunks — up to F chunks in total,
+  /// and never past the stratum's slack — while the dcache miss rate
+  /// of consecutive chunks is still converging. Bulk-transfer schemes
+  /// (full context save/restore) disturb far more cache state per
+  /// switch than register-cache schemes, so a fixed W that is fair to
+  /// one is unfair to the other. 1 = fixed warm-up. Ignored by
+  /// functional_ff.
+  u32 adaptive_warmup = 1;
+  /// Set-sampled cache warming factor K (power of two, >= 1): between
+  /// detailed stretches only dcache sets with index % K == 0 are
+  /// warmed (Cache::set_warm_set_sample). K > 1 is opt-in and
+  /// *approximate* — see the bias note on set_warm_set_sample —
+  /// 1 restores exact warming. Ignored by functional_ff.
+  u32 warm_set_sample = 1;
+  /// Functional identity of the run (ckpt::functional_stream_hash):
+  /// sampled runs replay a recorded functional stream, and points
+  /// sharing a nonzero key share one recorded stream per process
+  /// (StreamCache). 0 = build a private stream (reuse off); estimates
+  /// are bit-identical either way.
+  u64 stream_key = 0;
+  /// Directory for persisted streams ("" = in-memory sharing only).
+  std::string stream_dir;
 
   /// Throws std::invalid_argument on nonsensical combinations
-  /// (zero-size windows, functional_ff together with windows).
+  /// (zero-size windows, functional_ff together with windows, zero or
+  /// non-power-of-two warming knobs).
   void validate() const;
 };
 
@@ -124,7 +160,25 @@ class TieredRunner {
 
  private:
   void functional_advance(u64 insts);
+  /// Replay stream records up to golden position @p target through the
+  /// system's warm hooks (cutting the pipeline first if attached) and
+  /// re-attach. Instructions a reverted probe already committed are
+  /// absorbed into the credit, so the commit count lands on @p target.
+  void replay_advance(u64 target);
+  /// Begin a detailed probe: disable the lockstep oracle, snapshot
+  /// per-thread registers and scheduling state, open the memory undo
+  /// journal.
+  void begin_probe();
+  /// End a detailed probe: squash the pipeline (cut), roll back
+  /// memory, diff-restore registers through the context manager's
+  /// canonical write path, revert thread PCs/NZCV/halts, re-enable the
+  /// oracle. Leaves the core detached (replay_advance re-attaches).
+  void end_probe();
   void run_detailed(u64 insts);
+  /// Adaptive warm-up: after the base W chunk, run up to
+  /// adaptive_warmup - 1 further W chunks (bounded by the stratum
+  /// slack) until the per-chunk dcache miss rate converges.
+  void adaptive_warmup_extend(u64 spacing, u64 wk);
   void emit_progress(const char* tier, bool force);
   void finalize(TieredResult& r);
   /// Warm-clock cycles per functional instruction: the running CPI of
@@ -143,6 +197,14 @@ class TieredRunner {
   u64 insts_functional_ = 0;
   u64 insts_detailed_ = 0;
   Cycle cycles_detailed_ = 0;  // detailed cycles backing cpi_scale()
+  // Stream replay state (sampled path; stream embedded in snapshots).
+  std::shared_ptr<const FuncStream> stream_;
+  std::unique_ptr<FuncStreamReplayer> replayer_;
+  bool detached_ = false;  // core cut, not yet resumed (checkpointed)
+  // Probe revert buffers (live only between begin_/end_probe).
+  std::vector<std::array<u64, isa::kNumAllocatableRegs>> probe_regs_;
+  std::vector<cpu::CgmtCore::ThreadProbeState> probe_threads_;
+  std::vector<u8> probe_launched_;  // launch state at begin_probe
   // Instructions executed in the current functional phase but not yet
   // folded into the core's commit count (progress reporting only).
   u64 pending_functional_ = 0;

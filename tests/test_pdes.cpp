@@ -7,11 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/pdes.hpp"
@@ -333,6 +337,72 @@ TEST(Pdes, RelaxedSyncCompletesAndChecks) {
 
 // ---------------------------------------------------------------------
 // The gate key packing underpinning the ordering proof.
+
+// Gate parking under oversubscription: twice as many workers as
+// hardware threads guarantees waiters blow past the bounded spin and
+// park in std::atomic::wait; the global access order must still be
+// exactly ascending-key (the lockstep order), with every wake driven
+// by publish()'s notify. A worker between wait_turn() and its next
+// publish() still holds its old (minimal) bound, so no higher-key
+// worker can record its access first — the log must come out strictly
+// sorted.
+TEST(Pdes, GateParksUnderOversubscriptionAndStaysOrdered) {
+  const u32 hw = std::max(2u, std::thread::hardware_concurrency());
+  const u32 parts = std::min(hw * 2, u32{64});
+  constexpr Cycle kSteps = 200;
+  PdesGate gate(parts, /*relaxed_window=*/0);
+  std::mutex mu;
+  std::vector<u64> order;
+  order.reserve(static_cast<std::size_t>(parts) * kSteps);
+  std::vector<std::thread> workers;
+  for (u32 w = 0; w < parts; ++w) {
+    workers.emplace_back([&gate, &mu, &order, w] {
+      for (Cycle c = 1; c <= kSteps; ++c) {
+        gate.publish(w, PdesGate::key_of(c, w));
+        gate.wait_turn(w);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(PdesGate::key_of(c, w));
+        }
+        // A periodic stall on the lead partition piles the others onto
+        // its bound, past the spin budget and into the futex path.
+        if (w == 0 && c % 32 == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+      gate.publish(w, PdesGate::kDoneBound);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(parts) * kSteps);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    ASSERT_LT(order[i - 1], order[i]) << "shared accesses out of global order";
+  }
+}
+
+// abort() must wake workers parked in the futex wait (a missed notify
+// would hang them forever — this is the liveness half of the parking
+// contract).
+TEST(Pdes, AbortWakesParkedWaiters) {
+  PdesGate gate(4, /*relaxed_window=*/0);
+  std::atomic<int> unwound{0};
+  std::vector<std::thread> waiters;
+  for (u32 w = 1; w < 4; ++w) {
+    waiters.emplace_back([&gate, &unwound, w] {
+      gate.publish(w, PdesGate::key_of(1000, w));
+      try {
+        gate.wait_turn(w);  // partition 0 never advances: park here
+        ADD_FAILURE() << "wait_turn returned without partition 0 advancing";
+      } catch (const PdesAborted&) {
+        unwound.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.abort();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(unwound.load(), 3);
+}
 
 TEST(Pdes, GateKeysOrderCycleMajorCoreMinor) {
   EXPECT_LT(PdesGate::key_of(7, 1023), PdesGate::key_of(8, 0));

@@ -3,6 +3,8 @@
 // commit-bit differentiation).
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "core/replacement_policy.hpp"
 
 namespace virec::core {
@@ -69,7 +71,7 @@ TEST(Plru, IgnoresThreads) {
     plru.on_access(entries, 3);
     plru.on_instruction(entries, {3});
   }
-  plru.on_context_switch(entries, /*from=*/1, /*to=*/0);
+  plru.on_context_switch(/*from_tid=*/1, /*to_tid=*/0);
   // Even though thread 0 runs next, PLRU victimises its aged registers.
   const int victim = plru.pick_victim(entries, no_locks(4));
   EXPECT_EQ(entries[static_cast<u32>(victim)].tid, 0);
@@ -87,7 +89,7 @@ TEST(MrtPlru, TargetsMostRecentlySuspendedThread) {
     mrt.on_access(entries, 2);
     mrt.on_instruction(entries, {2});
   }
-  mrt.on_context_switch(entries, /*from=*/1, /*to=*/0);
+  mrt.on_context_switch(/*from_tid=*/1, /*to_tid=*/0);
   const int victim = mrt.pick_victim(entries, no_locks(4));
   // Thread 1 just suspended (runs furthest in the future): its entries
   // must be victimised despite their fresh ages.
@@ -100,11 +102,11 @@ TEST(TBits, SwitchSetsFromToMaxAndDecrementsOthers) {
   insert(lrc, entries, 0, 0, 1);
   insert(lrc, entries, 1, 1, 1);
   insert(lrc, entries, 2, 2, 1);
-  entries[2].t_bits = 3;
-  lrc.on_context_switch(entries, /*from=*/0, /*to=*/1);
-  EXPECT_EQ(entries[0].t_bits, ReplacementPolicy::kMaxTBits);
-  EXPECT_EQ(entries[1].t_bits, 0);  // incoming thread forced to zero
-  EXPECT_EQ(entries[2].t_bits, 2);  // decremented
+  lrc.set_t(entries[2], 3);
+  lrc.on_context_switch(/*from_tid=*/0, /*to_tid=*/1);
+  EXPECT_EQ(lrc.t_of(entries[0]), ReplacementPolicy::kMaxTBits);
+  EXPECT_EQ(lrc.t_of(entries[1]), 0);  // incoming thread forced to zero
+  EXPECT_EQ(lrc.t_of(entries[2]), 2);  // decremented
 }
 
 TEST(TBits, DecrementSaturatesAtZero) {
@@ -112,9 +114,9 @@ TEST(TBits, DecrementSaturatesAtZero) {
   auto entries = make_entries(2);
   insert(lrc, entries, 0, 2, 1);
   insert(lrc, entries, 1, 3, 1);
-  for (int i = 0; i < 10; ++i) lrc.on_context_switch(entries, 0, 1);
-  EXPECT_EQ(entries[0].t_bits, 0);
-  EXPECT_EQ(entries[1].t_bits, 0);
+  for (int i = 0; i < 10; ++i) lrc.on_context_switch(0, 1);
+  EXPECT_EQ(lrc.t_of(entries[0]), 0);
+  EXPECT_EQ(lrc.t_of(entries[1]), 0);
 }
 
 TEST(Lrc, CommitBitBreaksTies) {
@@ -130,7 +132,7 @@ TEST(Lrc, CommitBitBreaksTies) {
   // Rollback resets C of the flushed ones.
   ReplacementPolicy::on_flush_reset(entries[1]);
   ReplacementPolicy::on_flush_reset(entries[2]);
-  lrc.on_context_switch(entries, /*from=*/1, /*to=*/0);
+  lrc.on_context_switch(/*from_tid=*/1, /*to_tid=*/0);
   const int victim = lrc.pick_victim(entries, no_locks(3));
   EXPECT_EQ(victim, 0);  // the committed register goes first
 }
@@ -150,9 +152,9 @@ TEST(Lrc, ThreadFieldDominatesCommitField) {
   auto entries = make_entries(2);
   insert(lrc, entries, 0, 0, 1);  // current thread, committed
   insert(lrc, entries, 1, 1, 1);  // suspended thread, flushed
-  entries[0].t_bits = 0;
+  lrc.set_t(entries[0], 0);
   entries[0].c_bit = true;
-  entries[1].t_bits = ReplacementPolicy::kMaxTBits;
+  lrc.set_t(entries[1], ReplacementPolicy::kMaxTBits);
   entries[1].c_bit = false;
   // Suspended-thread entry must still be preferred (T is most
   // significant in the priority word).
@@ -194,7 +196,7 @@ TEST(MrtLru, ThreadThenTimestamp) {
   insert(mrtlru, entries, 2, 1, 0);
   insert(mrtlru, entries, 3, 1, 1);
   mrtlru.on_access(entries, 2);  // thread1/x0 refreshed
-  mrtlru.on_context_switch(entries, /*from=*/1, /*to=*/0);
+  mrtlru.on_context_switch(/*from_tid=*/1, /*to_tid=*/0);
   // Victim from thread 1 (max T); among those, oldest timestamp = idx 3.
   EXPECT_EQ(mrtlru.pick_victim(entries, no_locks(4)), 3);
 }
@@ -253,18 +255,64 @@ TEST(AllPolicies, EmptyRfHasNoVictim) {
   }
 }
 
+TEST(TBits, LazyMatchesEagerReference) {
+  // The O(1) epoch-mark realisation of on_context_switch must be
+  // bit-exact with the eager per-entry walk: from-thread entries go to
+  // kMaxTBits, to-thread entries to 0 (from wins when from == to),
+  // everything else decrements saturating at zero.
+  ReplacementPolicy lrc(PolicyKind::kLRC);
+  constexpr u32 kEntries = 16;
+  constexpr u8 kThreads = 4;
+  auto entries = make_entries(kEntries);
+  std::array<u8, kEntries> eager{};
+  u64 rng = 0x9e3779b97f4a7c15ull;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int op = 0; op < 2000; ++op) {
+    if (next() % 4 == 0) {
+      const u32 idx = static_cast<u32>(next() % kEntries);
+      const u8 tid = static_cast<u8>(next() % kThreads);
+      lrc.on_insert(entries, idx, tid, static_cast<isa::RegId>(next() % 31));
+      eager[idx] = 0;
+    } else {
+      const int from = static_cast<int>(next() % kThreads);
+      const int to = static_cast<int>(next() % kThreads);
+      lrc.on_context_switch(from, to);
+      for (u32 i = 0; i < kEntries; ++i) {
+        if (!entries[i].valid) continue;
+        if (entries[i].tid == from) {
+          eager[i] = ReplacementPolicy::kMaxTBits;
+        } else if (entries[i].tid == to) {
+          eager[i] = 0;
+        } else if (eager[i] > 0) {
+          --eager[i];
+        }
+      }
+    }
+    for (u32 i = 0; i < kEntries; ++i) {
+      if (!entries[i].valid) continue;
+      ASSERT_EQ(lrc.t_of(entries[i]), eager[i])
+          << "entry " << i << " after op " << op;
+    }
+  }
+}
+
 TEST(Insert, ResetsAllPolicyState) {
   ReplacementPolicy lrc(PolicyKind::kLRC);
   auto entries = make_entries(1);
   insert(lrc, entries, 0, 0, 5);
   entries[0].age = 5;
-  entries[0].t_bits = 3;
+  lrc.set_t(entries[0], 3);
   entries[0].dirty = true;
   lrc.on_insert(entries, 0, 2, 7);
   EXPECT_EQ(entries[0].tid, 2);
   EXPECT_EQ(entries[0].arch, 7);
   EXPECT_EQ(entries[0].age, 0);
-  EXPECT_EQ(entries[0].t_bits, 0);
+  EXPECT_EQ(lrc.t_of(entries[0]), 0);
   EXPECT_FALSE(entries[0].dirty);
   EXPECT_TRUE(entries[0].c_bit);
 }

@@ -1,0 +1,302 @@
+// Shared functional stream tests: the headline contract (sampled
+// estimates are bit-identical with stream reuse on vs off, for every
+// scheme x policy), the sweep economics (one golden build per
+// functional identity, however many points share it), the disk
+// persistence path (round-trip, corruption degrades to a rebuild) and
+// the stream codec itself.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/spec_codec.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "tiered/func_stream.hpp"
+#include "tiered/tiered_runner.hpp"
+
+namespace virec::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct SchemePoint {
+  Scheme scheme;
+  core::PolicyKind policy;
+};
+
+// All six schemes; the ViReC-family entries carry representative
+// replacement policies (the others ignore the field).
+const std::vector<SchemePoint>& scheme_grid() {
+  static const std::vector<SchemePoint> grid = {
+      {Scheme::kBanked, core::PolicyKind::kLRC},
+      {Scheme::kSoftware, core::PolicyKind::kLRC},
+      {Scheme::kPrefetchFull, core::PolicyKind::kLRC},
+      {Scheme::kPrefetchExact, core::PolicyKind::kLRC},
+      {Scheme::kViReC, core::PolicyKind::kLRC},
+      {Scheme::kViReC, core::PolicyKind::kPLRU},
+      {Scheme::kViReC, core::PolicyKind::kLRU},
+      {Scheme::kNSF, core::PolicyKind::kPLRU},
+  };
+  return grid;
+}
+
+RunSpec sampled_spec(const std::string& workload, Scheme scheme,
+                     core::PolicyKind policy) {
+  RunSpec spec;
+  spec.workload = workload;
+  spec.scheme = scheme;
+  spec.policy = policy;
+  spec.threads_per_core = 4;
+  spec.params.iters_per_thread = 256;
+  spec.params.elements = 1 << 12;
+  spec.sample_windows = 5;
+  spec.window_insts = 200;
+  spec.warmup_insts = 100;
+  return spec;
+}
+
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("stream_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Bit-exact double comparison: "close" is not good enough for the
+/// reuse-equivalence contract.
+void expect_bits_eq(double a, double b, const char* what) {
+  u64 ab, bb;
+  std::memcpy(&ab, &a, sizeof ab);
+  std::memcpy(&bb, &b, sizeof bb);
+  EXPECT_EQ(ab, bb) << what << ": " << a << " vs " << b;
+}
+
+void expect_tiered_identical(const TieredResult& a, const TieredResult& b) {
+  EXPECT_EQ(a.total_insts, b.total_insts);
+  EXPECT_EQ(a.insts_functional, b.insts_functional);
+  EXPECT_EQ(a.insts_detailed, b.insts_detailed);
+  expect_bits_eq(a.cpi_mean, b.cpi_mean, "cpi_mean");
+  expect_bits_eq(a.cpi_ci_half, b.cpi_ci_half, "cpi_ci_half");
+  expect_bits_eq(a.est_cycles, b.est_cycles, "est_cycles");
+  expect_bits_eq(a.est_ipc, b.est_ipc, "est_ipc");
+  expect_bits_eq(a.est_ipc_lo, b.est_ipc_lo, "est_ipc_lo");
+  expect_bits_eq(a.est_ipc_hi, b.est_ipc_hi, "est_ipc_hi");
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].start_inst, b.windows[i].start_inst) << i;
+    EXPECT_EQ(a.windows[i].insts, b.windows[i].insts) << i;
+    EXPECT_EQ(a.windows[i].cycles, b.windows[i].cycles) << i;
+    expect_bits_eq(a.windows[i].cpi, b.windows[i].cpi, "window cpi");
+    for (std::size_t s = 0; s < kNumCycleBuckets; ++s) {
+      expect_bits_eq(a.windows[i].cpi_stack[s], b.windows[i].cpi_stack[s],
+                     "window cpi_stack");
+    }
+  }
+  EXPECT_EQ(a.full.cycles, b.full.cycles);
+  EXPECT_EQ(a.full.instructions, b.full.instructions);
+  EXPECT_EQ(a.full.context_switches, b.full.context_switches);
+  expect_bits_eq(a.full.rf_hit_rate, b.full.rf_hit_rate, "rf_hit_rate");
+  EXPECT_EQ(a.full.rf_fills, b.full.rf_fills);
+  EXPECT_EQ(a.full.rf_spills, b.full.rf_spills);
+}
+
+// ---------------------------------------------------------------------
+// Headline contract: reuse is a pure sharing optimization. A reused
+// (keyed) stream and a private (key 0) stream drive bit-identical
+// sampled runs for every scheme x policy.
+
+TEST(StreamReuse, BitIdenticalOnVsOffAllSchemes) {
+  for (const SchemePoint& p : scheme_grid()) {
+    SCOPED_TRACE(std::string(scheme_name(p.scheme)) + "/" +
+                 core::policy_name(p.policy));
+    RunSpec spec = sampled_spec("gather", p.scheme, p.policy);
+    spec.stream_reuse = true;
+    const TieredResult shared = run_spec_tiered(spec);
+    spec.stream_reuse = false;
+    const TieredResult priv = run_spec_tiered(spec);
+    expect_tiered_identical(shared, priv);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sweep economics: every point of a scheme x policy grid shares one
+// functional identity (scheme and policy are switch-mechanism knobs,
+// not functional ones), so an N-point sweep pays exactly one golden
+// build — including under parallel --jobs, where concurrent acquirers
+// of the in-flight key must block rather than build twice.
+
+TEST(StreamReuse, PolicySweepBuildsStreamOnce) {
+  StreamCache::instance().reset_for_test();
+  Sweep sweep;
+  sweep.base() = sampled_spec("gather", Scheme::kViReC, core::PolicyKind::kLRC);
+  sweep.over_schemes({Scheme::kBanked, Scheme::kViReC, Scheme::kNSF})
+      .over_policies({core::PolicyKind::kLRC, core::PolicyKind::kLRU,
+                      core::PolicyKind::kPLRU, core::PolicyKind::kFIFO});
+  const SweepResults results = sweep.run(/*jobs=*/2);
+  ASSERT_EQ(results.size(), 12u);
+  const StreamCache::Stats stats = StreamCache::instance().stats();
+  EXPECT_EQ(stats.built, 1u) << "functional tier must run once per identity";
+  EXPECT_EQ(stats.loaded, 0u);
+  EXPECT_EQ(stats.mem_hits, 11u);
+}
+
+TEST(StreamReuse, DistinctIdentitiesBuildSeparately) {
+  StreamCache::instance().reset_for_test();
+  Sweep sweep;
+  sweep.base() = sampled_spec("gather", Scheme::kViReC, core::PolicyKind::kLRC);
+  sweep.over_threads({2, 4});  // thread count is part of the identity
+  const SweepResults results = sweep.run(/*jobs=*/1);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results.records()[0].result.cycles,
+            results.records()[1].result.cycles);
+  const StreamCache::Stats stats = StreamCache::instance().stats();
+  EXPECT_EQ(stats.built, 2u);
+  EXPECT_EQ(stats.mem_hits, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Disk persistence: a stream store lets a later process skip the build
+// too, and the loaded stream reproduces the estimates bit for bit.
+// Corrupt or truncated files degrade to a rebuild, never an error.
+
+TEST(StreamReuse, DiskStoreRoundTripAndCorruption) {
+  const fs::path dir = scratch_dir("store");
+  RunSpec spec = sampled_spec("gather", Scheme::kViReC, core::PolicyKind::kLRC);
+  spec.stream_dir = dir.string();
+
+  StreamCache::instance().reset_for_test();
+  const TieredResult first = run_spec_tiered(spec);
+  EXPECT_EQ(StreamCache::instance().stats().built, 1u);
+
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.vfs",
+                static_cast<unsigned long long>(
+                    ckpt::functional_stream_hash(spec)));
+  const fs::path file = dir / name;
+  ASSERT_TRUE(fs::exists(file)) << file;
+
+  // Fresh process simulated by resetting the in-memory cache: the
+  // stream comes off disk, nothing is rebuilt, estimates are identical.
+  StreamCache::instance().reset_for_test();
+  const TieredResult reloaded = run_spec_tiered(spec);
+  const StreamCache::Stats after_load = StreamCache::instance().stats();
+  EXPECT_EQ(after_load.built, 0u);
+  EXPECT_EQ(after_load.loaded, 1u);
+  expect_tiered_identical(first, reloaded);
+
+  // Flip one record byte: the CRC rejects the file and the build runs
+  // again, transparently.
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f);
+    f.seekp(-16, std::ios::end);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-16, std::ios::end);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  StreamCache::instance().reset_for_test();
+  const TieredResult rebuilt = run_spec_tiered(spec);
+  const StreamCache::Stats after_corrupt = StreamCache::instance().stats();
+  EXPECT_EQ(after_corrupt.built, 1u);
+  EXPECT_EQ(after_corrupt.loaded, 0u);
+  expect_tiered_identical(first, rebuilt);
+
+  StreamCache::instance().reset_for_test();
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Stream codec: save/load round-trips every field; identity and
+// truncation are both rejected (as nullptr, not exceptions).
+
+TEST(StreamReuse, CodecRoundTrip) {
+  RunSpec spec = sampled_spec("stride", Scheme::kViReC, core::PolicyKind::kLRC);
+  System system(build_config(spec), workloads::find_workload(spec.workload),
+                spec.params);
+  const auto stream = build_func_stream(system, /*identity=*/0x1234);
+  ASSERT_NE(stream, nullptr);
+  EXPECT_GT(stream->n_total, 0u);
+  EXPECT_FALSE(stream->records.empty());
+
+  const fs::path dir = scratch_dir("codec");
+  const std::string path = (dir / "s.vfs").string();
+  ASSERT_TRUE(save_func_stream(path, *stream));
+
+  const auto back = load_func_stream(path, 0x1234);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->identity, stream->identity);
+  EXPECT_EQ(back->num_threads, stream->num_threads);
+  EXPECT_EQ(back->start_tid, stream->start_tid);
+  EXPECT_EQ(back->n_total, stream->n_total);
+  EXPECT_EQ(back->records, stream->records);
+
+  // Wrong identity: the file is valid but not the stream we want.
+  EXPECT_EQ(load_func_stream(path, 0x9999), nullptr);
+
+  // Truncation: drop the CRC trailer.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(),
+            static_cast<std::streamsize>(bytes.size() - 6));
+  out.close();
+  EXPECT_EQ(load_func_stream(path, 0x1234), nullptr);
+
+  EXPECT_EQ(load_func_stream((dir / "absent.vfs").string(), 0), nullptr);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint interop: a snapshot taken mid-sampled-run embeds the
+// stream, so a restore into a fresh process (empty StreamCache, no
+// store) resumes without rebuilding and reproduces the estimates.
+
+TEST(StreamReuse, CheckpointCarriesStream) {
+  RunSpec spec = sampled_spec("gather", Scheme::kViReC, core::PolicyKind::kLRC);
+  spec.params.iters_per_thread = 512;
+  TieredConfig config;
+  config.sample_windows = 6;
+  config.window_insts = 250;
+  config.warmup_insts = 100;
+  config.stream_key = ckpt::functional_stream_hash(spec);
+  const fs::path dir = scratch_dir("ckpt");
+  const std::string path = (dir / "mid.vckpt").string();
+
+  System sys_a(build_config(spec), workloads::find_workload(spec.workload),
+               spec.params);
+  TieredRunner runner_a(sys_a, config);
+  runner_a.set_window_hook([&](u32 done) {
+    if (done == 3) runner_a.save(path);
+  });
+  const TieredResult uninterrupted = runner_a.run();
+
+  StreamCache::instance().reset_for_test();
+  System sys_b(build_config(spec), workloads::find_workload(spec.workload),
+               spec.params);
+  TieredRunner runner_b(sys_b, config);
+  runner_b.restore(path);
+  const TieredResult resumed = runner_b.run();
+  EXPECT_EQ(StreamCache::instance().stats().built, 0u)
+      << "restore must not re-run the functional prepass";
+
+  ASSERT_EQ(resumed.windows.size(), uninterrupted.windows.size());
+  for (std::size_t i = 0; i < resumed.windows.size(); ++i) {
+    EXPECT_EQ(resumed.windows[i].start_inst,
+              uninterrupted.windows[i].start_inst);
+    EXPECT_EQ(resumed.windows[i].cycles, uninterrupted.windows[i].cycles);
+  }
+  expect_bits_eq(resumed.est_ipc, uninterrupted.est_ipc, "est_ipc");
+  StreamCache::instance().reset_for_test();
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace virec::sim

@@ -2,6 +2,7 @@
 // C-bit rollback resets.
 #include <gtest/gtest.h>
 
+#include "ckpt/serialize.hpp"
 #include "core/tag_store.hpp"
 
 namespace virec::core {
@@ -105,9 +106,49 @@ TEST(TagStore, ContextSwitchUpdatesTBits) {
   const int a = tags.allocate(0, 0, locked, nullptr);
   const int b = tags.allocate(1, 0, locked, nullptr);
   tags.on_context_switch(/*from=*/0, /*to=*/1);
-  EXPECT_EQ(tags.entry(static_cast<u32>(a)).t_bits,
-            ReplacementPolicy::kMaxTBits);
-  EXPECT_EQ(tags.entry(static_cast<u32>(b)).t_bits, 0);
+  // T is stored lazily; entry_t materializes it.
+  EXPECT_EQ(tags.entry_t(static_cast<u32>(a)), ReplacementPolicy::kMaxTBits);
+  EXPECT_EQ(tags.entry_t(static_cast<u32>(b)), 0);
+}
+
+// Lazy T survives a checkpoint: save_state materializes every entry's
+// effective T (pending per-thread switch events and epoch decrements
+// folded in), and a restored store reports bit-identical T values —
+// both immediately and after further switches on both stores.
+TEST(TagStore, CheckpointPreservesLazyTBits) {
+  TagStore tags(8, 4, PolicyKind::kLRC);
+  std::vector<u8> locked(8, 0);
+  for (int tid = 0; tid < 4; ++tid) {
+    tags.allocate(tid, 0, locked, nullptr);
+    tags.allocate(tid, 1, locked, nullptr);
+  }
+  // Leave pending lazy events on several threads plus saturating
+  // decrements on the bystanders.
+  tags.on_context_switch(0, 1);
+  tags.on_context_switch(1, 2);
+  tags.on_context_switch(2, 0);
+  tags.on_context_switch(0, 3);
+
+  std::vector<u8> expected(tags.size());
+  for (u32 i = 0; i < tags.size(); ++i) expected[i] = tags.entry_t(i);
+
+  ckpt::Encoder enc;
+  tags.save_state(enc);
+  TagStore restored(8, 4, PolicyKind::kLRC);
+  ckpt::Decoder dec(enc.bytes().data(), enc.size());
+  restored.restore_state(dec);
+
+  for (u32 i = 0; i < tags.size(); ++i) {
+    EXPECT_EQ(restored.entry_t(i), expected[i]) << "entry " << i;
+  }
+  // Post-restore switches must age both stores identically.
+  tags.on_context_switch(3, 1);
+  restored.on_context_switch(3, 1);
+  tags.on_context_switch(1, 2);
+  restored.on_context_switch(1, 2);
+  for (u32 i = 0; i < tags.size(); ++i) {
+    EXPECT_EQ(restored.entry_t(i), tags.entry_t(i)) << "entry " << i;
+  }
 }
 
 TEST(TagStore, PrefersFreeEntriesOverEviction) {
